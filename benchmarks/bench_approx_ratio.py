@@ -1,0 +1,85 @@
+"""Lemma 4.1 / Thm. 4.3 / Thm. 4.4 study: greedy vs enumerated optimum.
+
+The paper's theory: the greedy hill-climbing scheme is a
+1/2-approximation in both regimes; its evaluation observes it is
+usually near-optimal ("sufficiently close to the optimal solution in
+most cases", with the optimum "obtained by enumerating all possible
+scheduling").  We regenerate that comparison on batches of random
+instances, report worst/mean ratios, and benchmark the exact solver.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit
+from repro import ChargingPeriod, SchedulingProblem, solve
+from repro.analysis.report import format_table
+from repro.analysis.stats import summarize_ratios
+from repro.core.optimal import optimal_value
+
+from tests.conftest import random_coverage_utility, random_target_system
+
+
+def instance(seed, n, regime, workload):
+    rng = np.random.default_rng(seed)
+    if workload == "targets":
+        utility = random_target_system(n, 3, rng)
+    else:
+        utility = random_coverage_utility(n, 10, rng)
+    rho = 2.0 if regime == "sparse" else 0.5
+    return SchedulingProblem(
+        num_sensors=n, period=ChargingPeriod.from_ratio(rho), utility=utility
+    )
+
+
+BATCH = 20
+
+
+def ratio_batch(regime, workload, n=6):
+    achieved, optimal = [], []
+    for seed in range(BATCH):
+        problem = instance(1000 * hash((regime, workload)) % 9999 + seed, n, regime, workload)
+        achieved.append(solve(problem, method="greedy").total_utility)
+        optimal.append(optimal_value(problem))
+    return summarize_ratios(achieved, optimal)
+
+
+class TestRatios:
+    @pytest.mark.parametrize("regime", ["sparse", "dense"])
+    @pytest.mark.parametrize("workload", ["targets", "coverage"])
+    def test_half_approx_and_near_optimality(self, regime, workload):
+        summary = ratio_batch(regime, workload)
+        emit(
+            f"approximation study [{regime}/{workload}] "
+            f"({BATCH} instances): {summary}"
+        )
+        # The theorem.
+        assert summary.all_above_half
+        # The evaluation observation: near-optimal in practice.
+        assert summary.mean_ratio > 0.9
+
+    def test_summary_table(self):
+        rows = []
+        for regime in ("sparse", "dense"):
+            for workload in ("targets", "coverage"):
+                s = ratio_batch(regime, workload)
+                rows.append([regime, workload, s.worst_ratio, s.mean_ratio])
+        emit(
+            "greedy / optimal ratios\n"
+            + format_table(
+                ["regime", "workload", "worst", "mean"], rows, "{:.4f}"
+            )
+        )
+        assert all(row[2] >= 0.5 for row in rows)
+
+
+class TestBenchmarks:
+    def test_bench_branch_and_bound(self, benchmark):
+        problem = instance(3, 7, "sparse", "targets")
+        value = benchmark(optimal_value, problem)
+        assert value > 0
+
+    def test_bench_greedy_same_instance(self, benchmark):
+        problem = instance(3, 7, "sparse", "targets")
+        result = benchmark(solve, problem, "greedy")
+        assert result.total_utility > 0

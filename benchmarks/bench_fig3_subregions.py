@@ -1,0 +1,73 @@
+"""Fig. 3 reproduction: subregion arrangement of the monitored region.
+
+Fig. 3b shows a rectangle Omega subdivided by three overlapping convex
+sensing regions into 38 subregions, and the paper bounds the count by a
+polynomial (at most ~n^2 for convex regions).  We regenerate the
+decomposition for deployments of growing size, report the coverage-
+class counts and covered-area fractions, check the polynomial bound,
+and benchmark the arrangement computation.
+"""
+
+import math
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro import DiskSensingModel, compute_subregions, uniform_deployment
+from repro.analysis.report import format_table
+from repro.coverage.arrangement import count_subregions, covered_area
+from repro.coverage.geometry import Disk, Point, Rectangle
+
+
+def disks_for(n, seed, radius=25.0):
+    deployment = uniform_deployment(num_sensors=n, rng=seed)
+    sensing = DiskSensingModel(radius=radius, p=0.4)
+    return deployment.region, [sensing.region(p) for p in deployment.sensors]
+
+
+class TestFig3Shape:
+    def test_three_disk_figure(self):
+        # A Fig. 3b-like configuration: 3 mutually overlapping disks in
+        # a rectangle: 7 coverage classes (every non-empty subset).
+        region = Rectangle.square(30)
+        disks = [
+            Disk(Point(13, 15), 6.0),
+            Disk(Point(18, 15), 6.0),
+            Disk(Point(15.5, 19), 6.0),
+        ]
+        cells = compute_subregions(region, disks, resolution=400)
+        signatures = {cell.covered_by for cell in cells}
+        assert len(signatures) == 7
+
+    def test_counts_grow_polynomially(self):
+        rows = []
+        for n in (5, 10, 20, 40):
+            region, disks = disks_for(n, seed=n)
+            count = count_subregions(region, disks, resolution=300)
+            union = covered_area(region, disks, resolution=300)
+            rows.append([n, count, n * n, union / region.area])
+            # The paper's bound: at most ~n^2 subregions for convex
+            # regions (merged-signature classes can only be fewer).
+            assert count <= n * n + n + 1
+        emit(
+            "Fig. 3 subregion counts\n"
+            + format_table(
+                ["n sensors", "classes", "n^2 bound", "covered frac"],
+                rows,
+                "{:.3f}",
+            )
+        )
+
+    def test_classes_at_least_sensors_when_sparse(self):
+        # Disjoint disks: exactly n classes.
+        region = Rectangle.square(100)
+        disks = [Disk(Point(10 + 20 * i, 10), 5.0) for i in range(4)]
+        assert count_subregions(region, disks, resolution=400) == 4
+
+
+class TestBenchmarks:
+    @pytest.mark.parametrize("n", [10, 40])
+    def test_bench_arrangement(self, benchmark, n):
+        region, disks = disks_for(n, seed=1)
+        cells = benchmark(compute_subregions, region, disks, 200)
+        assert cells

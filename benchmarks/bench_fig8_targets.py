@@ -1,0 +1,144 @@
+"""Fig. 8 reproduction: average utility vs number of sensors, m = 1..4.
+
+Paper setup (Sec. VI-B): p = 0.4, T_d = 15 / T_r = 45 (rho = 3, T = 4),
+average utility = per-target per-slot utility; panels for m = 1..4;
+the greedy curve hugs the upper bound ``U* = 1 - (1-p)^ceil(n/T)``.
+Headline numbers at n = 100: greedy 0.983408764, bound 0.999380 --
+measured on a weather-limited rooftop testbed.  We regenerate:
+
+- the *ideal* greedy curve (exact scheduling arithmetic), which meets
+  the closed-form bound whenever T divides n;
+- a *testbed-like* curve: the same schedule executed in the simulator
+  under the Sec. V random charging model, whose refused activations
+  thin the active sets just as real weather did.
+
+Shape checks: monotone in n, >= 0.92 everywhere (panel (a)'s y-floor),
+ideal <= bound, testbed-like <= ideal, and the n = 100 testbed-like
+run lands in the paper's measured ballpark.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit
+from repro import (
+    ChargingPeriod,
+    HomogeneousDetectionUtility,
+    SchedulingProblem,
+    TargetSystem,
+    single_target_upper_bound,
+    solve,
+)
+from repro.analysis.report import render_figure8_panel
+from repro.policies import SchedulePolicy
+from repro.sim import SensorNetwork, SimulationEngine
+from repro.sim.random_model import RandomChargingModel
+
+PERIOD = ChargingPeriod.paper_sunny()
+P = 0.4
+SENSOR_COUNTS = list(range(20, 101, 20))
+
+
+def single_target_problem(n):
+    return SchedulingProblem(
+        num_sensors=n,
+        period=PERIOD,
+        utility=HomogeneousDetectionUtility(range(n), p=P),
+    )
+
+
+def multi_target_problem(n, m, seed=0):
+    # Fig. 8's multi-target panels: small target cluster, every sensor
+    # covers every target (the testbed's targets sat inside the
+    # deployment's common coverage area).
+    covers = [set(range(n))] * m
+    utility = TargetSystem.homogeneous_detection(covers, p=P)
+    return SchedulingProblem(num_sensors=n, period=PERIOD, utility=utility)
+
+
+def weather_limited_average(n, periods=30, seed=0):
+    """Greedy schedule executed under weather-limited charging."""
+    problem = single_target_problem(n).with_num_periods(periods)
+    planned = solve(problem, method="greedy")
+    network = SensorNetwork.from_problem(problem)
+    model = RandomChargingModel(
+        PERIOD,
+        arrival_rate=1.0,
+        mean_duration=2.0,  # saturated sensing: full drain when active
+        recharge_std=25.0,  # cloudy-passage recharge variability
+        rng=seed,
+    )
+    sim = SimulationEngine(
+        network, SchedulePolicy(planned.periodic), charging_model=model
+    ).run(problem.total_slots)
+    return sim.average_slot_utility
+
+
+class TestPanelA:
+    def test_fig8a_single_target(self):
+        ideal, bounds, testbed = [], [], []
+        for n in SENSOR_COUNTS:
+            result = solve(single_target_problem(n), method="greedy")
+            ideal.append(result.average_slot_utility)
+            bounds.append(single_target_upper_bound(n, 4, P))
+            testbed.append(weather_limited_average(n, seed=n))
+        emit(
+            render_figure8_panel(
+                1, SENSOR_COUNTS, ideal, upper_bounds=bounds
+            )
+            + "\n(testbed-like, weather-limited sim): "
+            + ", ".join(f"n={n}:{u:.4f}" for n, u in zip(SENSOR_COUNTS, testbed))
+        )
+        # Shape: monotone, above the paper's panel floor, below the bound.
+        assert all(b >= a - 1e-12 for a, b in zip(ideal, ideal[1:]))
+        assert all(u >= 0.92 for u in ideal)
+        for u, b in zip(ideal, bounds):
+            assert u <= b + 1e-12
+            assert u >= 0.97 * b
+        for t, u in zip(testbed, ideal):
+            assert t <= u + 1e-9
+
+    def test_headline_n100(self):
+        """Sec. VI-B headline: greedy 0.9834 vs bound 0.99938 at n=100."""
+        ideal = solve(single_target_problem(100), method="greedy")
+        bound = single_target_upper_bound(100, 4, P)
+        measured = weather_limited_average(100, periods=60, seed=9)
+        emit(
+            "Sec. VI-B headline (n=100, m=1):\n"
+            f"  ideal greedy       : {ideal.average_slot_utility:.6f}\n"
+            f"  upper bound U*     : {bound:.6f}   (paper printed 0.999380)\n"
+            f"  testbed-like sim   : {measured:.6f}   (paper measured 0.983408764)"
+        )
+        assert ideal.average_slot_utility == pytest.approx(bound)
+        # The weather-limited run lands in the paper's measured ballpark:
+        # clearly below the bound but still >= 0.9.
+        assert 0.90 <= measured < bound
+
+
+class TestPanelsBCD:
+    @pytest.mark.parametrize("m", [2, 3, 4])
+    def test_fig8_multi_target(self, m):
+        values = []
+        for n in SENSOR_COUNTS:
+            result = solve(multi_target_problem(n, m), method="greedy")
+            values.append(result.average_utility_per_target)
+        bounds = [single_target_upper_bound(n, 4, P) for n in SENSOR_COUNTS]
+        emit(render_figure8_panel(m, SENSOR_COUNTS, values, upper_bounds=bounds))
+        assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+        # Paper panels (b)-(d) floors: 0.98 / 0.99 / 0.995 at their
+        # y-axes; our shared-coverage model stays near the bound too.
+        assert all(u >= 0.92 for u in values)
+        for u, b in zip(values, bounds):
+            assert u <= b + 1e-12
+
+
+class TestBenchmarks:
+    def test_bench_greedy_n100_single_target(self, benchmark):
+        problem = single_target_problem(100)
+        result = benchmark(solve, problem, "greedy")
+        assert result.average_slot_utility > 0.99
+
+    def test_bench_greedy_n100_m4(self, benchmark):
+        problem = multi_target_problem(100, 4)
+        result = benchmark(solve, problem, "greedy")
+        assert result.average_utility_per_target > 0.99

@@ -1,0 +1,100 @@
+"""Fig. 9 reproduction: average utility vs #targets for n = 100..500.
+
+Paper setup (Sec. VI-B): a larger simulated system driven by the
+measured charging data; targets m = 10..50, sensors n = 100..500.
+Reported shape: average utility per target >= 0.69 for n = 100-200,
+>= 0.78 for n = 300-500, always >= 0.5 (corroborating the 1/2-approx),
+decreasing mildly in m and increasing in n.
+
+Our workload is geometric, mirroring "targets distributed in a
+region": sensors and targets uniform in 100 m x 100 m, disk sensing of
+radius 21 m at p = 0.4.  At n = 100 each target is covered by ~12
+sensors (~3 active per slot), which puts the per-target utility right
+at the paper's 0.69 floor; more sensors raise it from there.  (As with
+Fig. 8, the ideal scheduler's absolute numbers at large n sit above the
+paper's weather-limited testbed numbers; the floors and orderings are
+the reproducible shape.)
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit
+from repro import (
+    ChargingPeriod,
+    DiskSensingModel,
+    SchedulingProblem,
+    TargetSystem,
+    coverage_sets,
+    solve,
+    uniform_deployment,
+)
+from repro.analysis.report import render_figure9_table
+from repro.coverage.matrix import ensure_coverable
+
+PERIOD = ChargingPeriod.paper_sunny()
+TARGET_COUNTS = [10, 20, 30, 40, 50]
+SENSOR_COUNTS = [100, 200, 300, 400, 500]
+RADIUS = 21.0
+P = 0.4
+
+
+def fig9_cell(n, m, seed):
+    sensing = DiskSensingModel(radius=RADIUS, p=P)
+    deployment = ensure_coverable(
+        uniform_deployment(num_sensors=n, num_targets=m, rng=seed), sensing
+    )
+    covers = coverage_sets(deployment, sensing)
+    utility = TargetSystem.homogeneous_detection(covers, p=P)
+    problem = SchedulingProblem(num_sensors=n, period=PERIOD, utility=utility)
+    return solve(problem, method="greedy").average_utility_per_target
+
+
+@pytest.fixture(scope="module")
+def fig9_data():
+    data = {}
+    for n in SENSOR_COUNTS:
+        data[n] = [fig9_cell(n, m, seed=1000 + n + m) for m in TARGET_COUNTS]
+    return data
+
+
+def test_fig9_table_and_floors(fig9_data):
+    emit(render_figure9_table(TARGET_COUNTS, fig9_data))
+
+    # Paper's floors.
+    for n in (100, 200):
+        assert all(u >= 0.69 for u in fig9_data[n]), f"n={n} under 0.69"
+    for n in (300, 400, 500):
+        assert all(u >= 0.78 for u in fig9_data[n]), f"n={n} under 0.78"
+    # "in either case, the average utility is no less than 0.5".
+    for series in fig9_data.values():
+        assert all(u >= 0.5 for u in series)
+
+
+def test_fig9_monotone_in_sensors(fig9_data):
+    # More sensors help at every target count.
+    for j in range(len(TARGET_COUNTS)):
+        column = [fig9_data[n][j] for n in SENSOR_COUNTS]
+        for a, b in zip(column, column[1:]):
+            assert b >= a - 0.02  # allow seed noise, forbid real drops
+
+
+def test_fig9_mild_decrease_in_targets(fig9_data):
+    # With fixed sensors, more targets dilute per-target coverage; the
+    # drop from m=10 to m=50 is mild (the paper's curves are flat-ish).
+    for n in SENSOR_COUNTS:
+        series = fig9_data[n]
+        assert series[-1] >= series[0] - 0.1
+
+
+def test_bench_greedy_n500_m50(benchmark):
+    sensing = DiskSensingModel(radius=RADIUS, p=P)
+    deployment = ensure_coverable(
+        uniform_deployment(num_sensors=500, num_targets=50, rng=7), sensing
+    )
+    utility = TargetSystem.homogeneous_detection(
+        coverage_sets(deployment, sensing), p=P
+    )
+    problem = SchedulingProblem(num_sensors=500, period=PERIOD, utility=utility)
+    result = benchmark(solve, problem, "greedy")
+    assert result.average_utility_per_target >= 0.5

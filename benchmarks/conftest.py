@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench module reproduces one of the paper's tables or figures:
+it *prints* the regenerated rows/series (run with ``-s`` to see them,
+or read the captured output in the report) and *benchmarks* the
+underlying computation with pytest-benchmark.  Assertions pin the
+qualitative shape so a regression that changes who-wins or by-how-much
+fails loudly.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+
+def emit(text: str) -> None:
+    """Print a reproduced figure/table block, flushed, with a separator."""
+    sys.stdout.write("\n" + text + "\n")
+    sys.stdout.flush()

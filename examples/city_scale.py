@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""City-scale scheduling: 1000 sensors, three greedy engines compared.
+
+The paper's testbed has 100 motes; a city-scale air-quality network has
+thousands.  This example shows how the three greedy engines scale:
+
+- the literal Algorithm 1 (full scan every step, O(n^2 T) evaluations);
+- the lazy (CELF-style) variant -- identical schedule, far less work;
+- the stochastic subsampled variant -- approximate, sampling instead
+  of caching.
+
+All three run on the same 1000-sensor, 100-target instance.  The
+punchline is instructive: *lazy evaluation wins outright*.  Stale-gain
+caching exploits submodularity so well that at n = 1000 the exact
+schedule costs well under a second, while the stochastic sampler --
+which re-evaluates its whole sample every step -- is slower AND
+approximate.  Subsampling pays off against the naive scan (quadratic),
+not against CELF; if you have lazy greedy, use it.
+
+Run:  python examples/city_scale.py
+"""
+
+import time
+
+from repro import ChargingPeriod, SchedulingProblem, TargetSystem
+from repro.analysis import format_table
+from repro.core.greedy import greedy_schedule
+from repro.core.stochastic_greedy import stochastic_greedy_schedule
+from repro.coverage.deployment import make_rng
+
+N = 1000
+M = 100
+SEED = 5
+
+
+def build_instance():
+    rng = make_rng(SEED)
+    covers = []
+    for _ in range(M):
+        cover = {v for v in range(N) if rng.random() < 0.02}  # ~20 per target
+        if not cover:
+            cover = {int(rng.integers(N))}
+        covers.append(frozenset(cover))
+    utility = TargetSystem.homogeneous_detection(covers, p=0.4)
+    return SchedulingProblem(
+        num_sensors=N, period=ChargingPeriod.paper_sunny(), utility=utility
+    )
+
+
+def main() -> None:
+    problem = build_instance()
+    print(f"instance: {problem}, {M} targets (~20 covering sensors each)\n")
+
+    rows = []
+
+    start = time.perf_counter()
+    lazy = greedy_schedule(problem, lazy=True)
+    lazy_seconds = time.perf_counter() - start
+    lazy_value = lazy.period_utility(problem.utility)
+    rows.append(["lazy greedy (exact)", lazy_seconds, lazy_value, 1.0])
+
+    small = SchedulingProblem(
+        num_sensors=300,
+        period=problem.period,
+        utility=problem.utility.restricted(range(300)),
+    )
+    start = time.perf_counter()
+    greedy_schedule(small, lazy=False)
+    naive_seconds = time.perf_counter() - start
+    print(
+        f"(naive greedy at n=300 took {naive_seconds:.2f}s; the full "
+        f"n=1000 run would be ~{naive_seconds * (1000 / 300) ** 2:.0f}s "
+        "for the identical schedule -- skipped)\n"
+    )
+
+    for eps in (0.2, 0.05):
+        start = time.perf_counter()
+        approx = stochastic_greedy_schedule(problem, epsilon=eps, rng=SEED)
+        seconds = time.perf_counter() - start
+        value = approx.period_utility(problem.utility)
+        rows.append(
+            [f"stochastic (eps={eps})", seconds, value, value / lazy_value]
+        )
+
+    print(
+        format_table(
+            ["engine", "seconds", "period utility", "vs lazy"],
+            rows,
+            "{:.3f}",
+        )
+    )
+    print(
+        "\nLazy evaluation wins outright: exact Algorithm 1 output in "
+        "well under a second at n=1000.  The stochastic sampler only "
+        "beats the naive quadratic scan, not CELF -- its samples are "
+        "nearly as big as the ground set under a partition constraint "
+        "(s ~ (n/T) ln(1/eps)) and it cannot reuse stale gains."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Data gathering: does the schedule's sensed data actually reach the sink?
+
+The paper's deployment collects environmental data to a base station
+over multi-hop radio (Sec. I), and its lifecycle gives READY nodes
+periodic wake-ups -- so asleep-but-charged nodes can forward packets
+while PASSIVE (recharging) nodes are dead air.  The scheduling model
+optimizes coverage only; this example closes the loop:
+
+1. deploy 80 sensors + a sink at the region corner; derive the minimum
+   radio range that connects the full network;
+2. plan the greedy coverage schedule;
+3. for each slot of the period, compute which nodes are awake (ACTIVE
+   per the schedule + READY = not currently recharging) and the
+   fraction of active sensors whose data can reach the sink;
+4. compare radio ranges: at the connectivity threshold vs. a 25% margin.
+
+Run:  python examples/data_gathering.py
+"""
+
+from repro import (
+    ChargingPeriod,
+    DiskSensingModel,
+    SchedulingProblem,
+    TargetSystem,
+    coverage_sets,
+    solve,
+    uniform_deployment,
+)
+from repro.analysis import format_table
+from repro.coverage.connectivity import (
+    communication_graph,
+    delivery_fraction,
+    min_range_for_connectivity,
+)
+from repro.coverage.geometry import Point
+from repro.coverage.matrix import ensure_coverable
+
+SEED = 17
+N = 80
+
+
+def main() -> None:
+    sensing = DiskSensingModel(radius=25.0, p=0.4)
+    deployment = ensure_coverable(
+        uniform_deployment(num_sensors=N, num_targets=10, rng=SEED), sensing
+    )
+    sink = Point(deployment.region.x_min, deployment.region.y_min)
+
+    base_range = min_range_for_connectivity(deployment, sink, precision=0.2)
+    print(f"minimum radio range for full connectivity: {base_range:.1f} m")
+
+    utility = TargetSystem.homogeneous_detection(
+        coverage_sets(deployment, sensing), p=0.4
+    )
+    problem = SchedulingProblem(
+        num_sensors=deployment.num_sensors,
+        period=ChargingPeriod.paper_sunny(),
+        utility=utility,
+    )
+    schedule = solve(problem, method="greedy").periodic
+    T = problem.slots_per_period
+
+    rows = []
+    for label, radio_range in (
+        ("threshold", base_range),
+        ("1.5x", 1.5 * base_range),
+        ("2x", 2.0 * base_range),
+        ("3x", 3.0 * base_range),
+        ("4x", 4.0 * base_range),
+    ):
+        graph = communication_graph(deployment, radio_range, sink=sink)
+        worst = 1.0
+        mean = 0.0
+        for slot in range(T):
+            active = schedule.active_set(slot)
+            # Awake relays in steady state: the active set (everyone
+            # else is mid-recharge with T = rho + 1) plus unscheduled
+            # sensors, which stay READY forever and can forward.
+            unscheduled = set(range(deployment.num_sensors)) - set(
+                schedule.assignment
+            )
+            awake = set(active) | unscheduled
+            fraction = delivery_fraction(graph, active, relays=awake)
+            worst = min(worst, fraction)
+            mean += fraction / T
+        rows.append([label, f"{radio_range:.1f}", mean, worst])
+
+    print()
+    print(
+        format_table(
+            ["radio range", "meters", "mean delivery", "worst slot"],
+            rows,
+            "{:.3f}",
+        )
+    )
+    print(
+        "\nAt the bare connectivity threshold the *full* network is "
+        "connected, but a duty-cycled slot keeps only ~n/T sensors "
+        "awake: the relay subgraph fragments and almost nothing reaches "
+        "the sink.  Because the awake density drops by a factor of T, "
+        "the radio range must grow by roughly sqrt(T) = 2x to restore "
+        "delivery -- the intro's range/connectivity/power trade-off, "
+        "quantified."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Failure resilience: how gracefully the greedy schedule degrades.
+
+A 30-day deployment loses motes -- rain gets into cases, batteries die,
+radio commands drop.  The paper's submodular utility model implies
+built-in redundancy: losing one of many covering sensors costs far less
+than proportional utility.  This example quantifies that:
+
+1. plan the greedy schedule for a 60-sensor, 10-target deployment;
+2. run a month with increasing random node-death rates and with radio
+   command loss, using the failure-injection layer;
+3. report achieved utility vs. the healthy run, alongside the naive
+   linear-degradation expectation.
+
+Run:  python examples/failure_resilience.py
+"""
+
+from repro import (
+    ChargingPeriod,
+    DiskSensingModel,
+    SchedulingProblem,
+    TargetSystem,
+    coverage_sets,
+    solve,
+    uniform_deployment,
+)
+from repro.analysis import format_table
+from repro.coverage.matrix import ensure_coverable
+from repro.policies import SchedulePolicy
+from repro.sim import SensorNetwork, SimulationEngine
+from repro.sim.failures import FailureInjectedPolicy, FailurePlan
+
+SEED = 11
+N, M = 60, 10
+DAYS = 30
+PERIODS_PER_DAY = 12
+
+
+def main() -> None:
+    sensing = DiskSensingModel(radius=28.0, p=0.4)
+    deployment = ensure_coverable(
+        uniform_deployment(num_sensors=N, num_targets=M, rng=SEED), sensing
+    )
+    utility = TargetSystem.homogeneous_detection(
+        coverage_sets(deployment, sensing), p=0.4
+    )
+    period = ChargingPeriod.paper_sunny()
+    problem = SchedulingProblem(
+        num_sensors=N,
+        period=period,
+        utility=utility,
+        num_periods=DAYS * PERIODS_PER_DAY,
+    )
+    planned = solve(problem, method="greedy")
+    horizon = problem.total_slots
+
+    def run(policy):
+        network = SensorNetwork(N, period, utility)
+        return SimulationEngine(network, policy).run(horizon)
+
+    healthy = run(SchedulePolicy(planned.periodic))
+    print(
+        f"healthy month: avg utility/target {healthy.average_utility_per_target:.4f}"
+    )
+
+    rows = []
+    for death_rate in (0.05, 0.10, 0.20, 0.40):
+        plan = FailurePlan.random_deaths(
+            N, death_rate, horizon=horizon, rng=SEED
+        )
+        policy = FailureInjectedPolicy(SchedulePolicy(planned.periodic), plan=plan)
+        result = run(policy)
+        retained = result.total_utility / healthy.total_utility
+        # Naive expectation: utility falls linearly with dead sensors
+        # (each death costs a full sensor-share for half the month on
+        # average).  Redundancy should beat this handily.
+        naive = 1 - 0.5 * len(plan.deaths) / N
+        rows.append(
+            [f"{death_rate:.0%}", len(plan.deaths), retained, naive]
+        )
+    print("\nnode deaths (uniform death time over the month):")
+    print(
+        format_table(
+            ["death rate", "nodes lost", "utility retained", "linear model"],
+            rows,
+            "{:.4f}",
+        )
+    )
+
+    rows = []
+    for loss in (0.05, 0.15, 0.30):
+        policy = FailureInjectedPolicy(
+            SchedulePolicy(planned.periodic), command_loss=loss, rng=SEED
+        )
+        result = run(policy)
+        retained = result.total_utility / healthy.total_utility
+        rows.append(
+            [f"{loss:.0%}", policy.dropped_commands, retained, 1 - loss]
+        )
+    print("\nradio command loss:")
+    print(
+        format_table(
+            ["loss rate", "commands dropped", "utility retained", "linear model"],
+            rows,
+            "{:.4f}",
+        )
+    )
+    print(
+        "\nutility retained > linear model everywhere: submodular coverage\n"
+        "redundancy absorbs a disproportionate share of the failures."
+    )
+
+
+if __name__ == "__main__":
+    main()

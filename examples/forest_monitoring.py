@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""Forest monitoring: multi-target coverage with geometric deployments.
+
+The paper's motivating application (Sec. I): sensors deployed in a
+forest to monitor environmental changes at a set of points of interest.
+This example builds the full geometric pipeline:
+
+1. deploy 120 sensors and 8 targets uniformly in a 100 m x 100 m region;
+2. derive the coverage relation a_ij from a disk sensing model
+   (radius 25 m, in-range detection probability 0.4);
+3. assemble the multi-target utility of Eq. 1 (sum over targets of the
+   detection utility restricted to V(O_i));
+4. schedule with the greedy hill-climbing scheme and with baselines;
+5. simulate a full working day and report per-target coverage quality
+   plus empirical event-detection rates under the Sec. V event model.
+
+Run:  python examples/forest_monitoring.py
+"""
+
+import numpy as np
+
+from repro import (
+    ChargingPeriod,
+    DiskSensingModel,
+    SchedulingProblem,
+    TargetSystem,
+    coverage_sets,
+    solve,
+    uniform_deployment,
+)
+from repro.analysis import format_table
+from repro.coverage.matrix import detection_probabilities, ensure_coverable
+from repro.policies import SchedulePolicy
+from repro.sim import PoissonEventProcess, SensorNetwork, SimulationEngine
+
+SEED = 2011  # the paper's year -- any fixed seed reproduces this run
+
+
+def main() -> None:
+    sensing = DiskSensingModel(radius=25.0, p=0.4)
+    deployment = uniform_deployment(
+        num_sensors=120, num_targets=8, rng=SEED
+    )
+    deployment = ensure_coverable(deployment, sensing)
+    covers = coverage_sets(deployment, sensing)
+    print(
+        f"deployment: {deployment.num_sensors} sensors, "
+        f"{deployment.num_targets} coverable targets"
+    )
+    for i, cover in enumerate(covers):
+        print(f"  target {i}: covered by {len(cover)} sensors")
+
+    utility = TargetSystem.homogeneous_detection(covers, p=0.4)
+    period = ChargingPeriod.paper_sunny()
+    problem = SchedulingProblem(
+        num_sensors=deployment.num_sensors,
+        period=period,
+        utility=utility,
+        num_periods=12,
+    )
+
+    rows = []
+    schedules = {}
+    for method in ("greedy", "balanced-random", "round-robin", "all-first-slot"):
+        result = solve(problem, method=method, rng=SEED)
+        schedules[method] = result.periodic
+        rows.append(
+            [
+                method,
+                result.average_slot_utility,
+                result.average_utility_per_target,
+            ]
+        )
+    print()
+    print(format_table(["method", "avg utility/slot", "avg per target"], rows))
+
+    # Simulate the greedy schedule for a day with Poisson events at each
+    # target and measure the empirical detection rate.
+    probs = detection_probabilities(deployment, sensing)
+    events = PoissonEventProcess(
+        num_targets=deployment.num_targets,
+        arrival_rate=0.3,  # events per slot per target
+        mean_duration=1.5,  # slots
+        detection_probabilities=probs,
+        rng=SEED,
+    )
+    network = SensorNetwork(deployment.num_sensors, period, utility)
+    engine = SimulationEngine(
+        network, SchedulePolicy(schedules["greedy"]), event_process=events
+    )
+    sim = engine.run(problem.total_slots)
+
+    print(f"\nsimulated day: {sim.num_slots} slots")
+    print(f"  average utility per target : {sim.average_utility_per_target:.4f}")
+    outcome = sim.detection
+    assert outcome is not None
+    print(
+        f"  events: {outcome.events_total} arrived, "
+        f"{outcome.events_detected} detected "
+        f"({outcome.detection_rate:.3f} rate)"
+    )
+    per_target = sim.accumulator.per_target_averages()
+    assert per_target is not None
+    worst = int(np.argmin(per_target))
+    print(
+        f"  weakest target: {worst} with per-slot utility "
+        f"{per_target[worst]:.4f} ({len(covers[worst])} covering sensors)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""The NP-hardness reduction of Thm. 3.1, live.
+
+The paper proves the dynamic activation problem NP-hard by encoding
+Subset-Sum: give sensor v_i the integer weight I_i, use the utility
+U(S) = log(1 + sum of weights in S) and a 2-slot period; the optimal
+2-slot schedule reaches 2·log(1 + W/2) exactly when the weights split
+into two equal halves.
+
+This demo walks a handful of instances through the reduction: it builds
+the scheduling problem, solves it exactly, shows the slot partition the
+optimum induces, and compares the scheduling-based decision against a
+classic dynamic-programming Subset-Sum oracle.  It also shows what the
+*greedy* 1/2-approximation does on the same instances -- illustrating
+why an approximation can exist for a problem whose exact version is
+NP-hard.
+
+Run:  python examples/hardness_demo.py
+"""
+
+import math
+
+from repro.analysis import format_table
+from repro.core.greedy import greedy_schedule
+from repro.core.hardness import (
+    SubsetSumInstance,
+    decide_subset_sum_via_scheduling,
+    optimum_if_yes,
+    reduction_from_subset_sum,
+)
+from repro.core.optimal import optimal_schedule
+
+INSTANCES = [
+    (3, 5, 2),        # yes: {3,2} vs {5}
+    (4, 2, 2),        # yes: {4} vs {2,2}
+    (1, 2, 5),        # no
+    (6, 5, 4, 3, 2),  # yes: {6,4} vs {5,3,2}
+    (10, 1, 1),       # no
+    (7, 3, 2, 2),     # yes: {7} vs {3,2,2}
+]
+
+
+def main() -> None:
+    rows = []
+    for weights in INSTANCES:
+        instance = SubsetSumInstance(weights)
+        problem = reduction_from_subset_sum(instance)
+
+        exact = optimal_schedule(problem)
+        achieved = exact.period_utility(problem.utility)
+        target = optimum_if_yes(instance)
+
+        slot_weights = [0, 0]
+        for sensor, slot in exact.assignment.items():
+            slot_weights[slot] += weights[sensor]
+
+        greedy = greedy_schedule(problem).period_utility(problem.utility)
+
+        via_scheduling = decide_subset_sum_via_scheduling(instance)
+        via_dp = instance.brute_force_decide()
+        assert via_scheduling == via_dp, "reduction must agree with the oracle"
+
+        rows.append(
+            [
+                str(weights),
+                f"{slot_weights[0]}|{slot_weights[1]}",
+                achieved,
+                target,
+                "yes" if via_scheduling else "no",
+                f"{greedy / achieved:.3f}" if achieved > 0 else "-",
+            ]
+        )
+
+    print("Thm. 3.1: Subset-Sum via optimal 2-slot scheduling")
+    print(
+        format_table(
+            [
+                "weights",
+                "opt split",
+                "opt utility",
+                "2*log(1+W/2)",
+                "decision",
+                "greedy/opt",
+            ],
+            rows,
+            "{:.4f}",
+        )
+    )
+    print(
+        "\ndecision = yes  <=>  opt utility reaches the target "
+        "<=>  a perfect split exists.\n"
+        "The greedy column shows the 1/2-approximation at work on the\n"
+        "same instances: always >= 0.5, usually ~1.0."
+    )
+
+
+if __name__ == "__main__":
+    main()

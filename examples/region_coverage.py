@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Region monitoring: the weighted area utility of Eq. 2 (Fig. 3b).
+
+Instead of discrete targets, the WSN monitors a whole region Omega.
+The region is subdivided into the subregions induced by the sensing
+disks; each subregion carries a preference weight, and the per-slot
+utility is the covered weighted area.  This example:
+
+1. deploys 30 sensors over a 100 m x 100 m region (disk radius 18 m);
+2. computes the subregion arrangement and reports the cell count (the
+   paper's Fig. 3b example has 38 cells for 3 regions);
+3. weights a 'high-priority' quadrant 5x over the rest;
+4. schedules with greedy vs. baselines and reports covered-area
+   fractions per slot.
+
+Run:  python examples/region_coverage.py
+"""
+
+from repro import (
+    AreaCoverageUtility,
+    ChargingPeriod,
+    DiskSensingModel,
+    SchedulingProblem,
+    compute_subregions,
+    solve,
+    uniform_deployment,
+)
+from repro.analysis import format_table
+from repro.coverage.arrangement import covered_area
+from repro.utility.area import Subregion
+
+SEED = 42
+
+
+def main() -> None:
+    deployment = uniform_deployment(num_sensors=30, rng=SEED)
+    region = deployment.region
+    sensing = DiskSensingModel(radius=18.0, p=0.4)
+    disks = [sensing.region(p) for p in deployment.sensors]
+
+    cells = compute_subregions(region, disks, resolution=250)
+    union_area = covered_area(region, disks, resolution=250)
+    print(
+        f"arrangement: {len(cells)} coverage classes, union covers "
+        f"{union_area:.0f} of {region.area:.0f} m^2 "
+        f"({union_area / region.area:.1%})"
+    )
+
+    # Re-weight cells in the north-east quadrant 5x: the paper's w_i
+    # preferences over subregions.  A cell is 'in' the quadrant if every
+    # sensor covering it sits there; a coarse but deterministic proxy.
+    def in_priority_quadrant(cell: Subregion) -> bool:
+        return all(
+            deployment.sensors[v].x > 50 and deployment.sensors[v].y > 50
+            for v in cell.covered_by
+        )
+
+    weighted = [
+        Subregion(
+            covered_by=cell.covered_by,
+            area=cell.area,
+            weight=5.0 if in_priority_quadrant(cell) else 1.0,
+        )
+        for cell in cells
+    ]
+    utility = AreaCoverageUtility(weighted)
+    print(f"total weighted area when all active: {utility.total_weighted_area:.0f}")
+
+    period = ChargingPeriod.paper_sunny()
+    problem = SchedulingProblem(
+        num_sensors=deployment.num_sensors,
+        period=period,
+        utility=utility,
+        num_periods=12,
+    )
+
+    rows = []
+    for method in ("greedy", "balanced-random", "round-robin", "all-first-slot"):
+        result = solve(problem, method=method, rng=SEED)
+        fraction = result.average_slot_utility / utility.total_weighted_area
+        rows.append([method, result.average_slot_utility, fraction])
+    print()
+    print(
+        format_table(
+            ["method", "avg weighted area/slot", "fraction of max"],
+            rows,
+            float_format="{:.2f}",
+        )
+    )
+
+    # Show the per-slot spread of the greedy schedule: which slots cover
+    # how much of the region.
+    greedy = solve(problem, method="greedy").periodic
+    assert greedy is not None
+    print("\ngreedy per-slot coverage (one period):")
+    for slot, active in enumerate(greedy.active_sets()):
+        frac = utility.coverage_fraction(active)
+        print(f"  slot {slot}: {len(active):2d} sensors, {frac:.1%} weighted area")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Time-varying monitoring priorities: scheduling with per-slot utilities.
+
+The paper's analysis fixes one utility per slot, but Algorithm 1 never
+uses stationarity -- it only needs each slot's utility to be
+submodular.  The library exposes that generality through
+``PerSlotUtility``: this example schedules a wildlife-monitoring
+deployment where detection matters most at dawn and dusk (animal
+activity peaks) by weighting the per-slot utility accordingly, and
+shows how the greedy allocation shifts sensors into the high-priority
+slots compared with the stationary schedule.
+
+Run:  python examples/time_varying_priorities.py
+"""
+
+from repro import ChargingPeriod, HomogeneousDetectionUtility, SchedulingProblem
+from repro.analysis import format_table
+from repro.core.greedy import greedy_schedule
+from repro.utility.operations import ScaledUtility
+from repro.utility.target_system import PerSlotUtility
+
+N = 16
+P = 0.4
+
+# One charging period = 4 slots of 15 min.  Map the period onto a
+# dawn-centred hour: slot 0 = civil twilight (peak activity), slot 1 =
+# sunrise (high), slots 2-3 = full daylight (baseline).
+SLOT_WEIGHTS = [3.0, 2.0, 1.0, 1.0]
+SLOT_NAMES = ["twilight", "sunrise", "morning", "day"]
+
+
+def main() -> None:
+    period = ChargingPeriod.paper_sunny()
+    base = HomogeneousDetectionUtility(range(N), p=P)
+    problem = SchedulingProblem(num_sensors=N, period=period, utility=base)
+
+    stationary = greedy_schedule(problem)
+
+    weighted = PerSlotUtility(
+        [ScaledUtility(base, w) for w in SLOT_WEIGHTS]
+    )
+    prioritized = greedy_schedule(problem, slot_utilities=weighted)
+
+    rows = []
+    for slot in range(4):
+        stat_set = stationary.active_sets()[slot]
+        prio_set = prioritized.active_sets()[slot]
+        rows.append(
+            [
+                f"{slot} ({SLOT_NAMES[slot]})",
+                SLOT_WEIGHTS[slot],
+                len(stat_set),
+                base.value(stat_set),
+                len(prio_set),
+                base.value(prio_set),
+            ]
+        )
+    print(
+        format_table(
+            [
+                "slot",
+                "weight",
+                "stationary #",
+                "stationary U",
+                "weighted #",
+                "weighted U",
+            ],
+            rows,
+            "{:.3f}",
+        )
+    )
+
+    stationary_value = sum(
+        SLOT_WEIGHTS[t] * base.value(s)
+        for t, s in enumerate(stationary.active_sets())
+    )
+    prioritized_value = sum(
+        SLOT_WEIGHTS[t] * base.value(s)
+        for t, s in enumerate(prioritized.active_sets())
+    )
+    print(
+        f"\nweighted objective: stationary {stationary_value:.4f}, "
+        f"priority-aware {prioritized_value:.4f} "
+        f"({(prioritized_value / stationary_value - 1):+.1%})"
+    )
+    print(
+        "The priority-aware schedule moves sensors from daylight slots "
+        "into the twilight/sunrise slots, trading a little daytime "
+        "coverage for detection where it counts."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Week-long monitoring with weather-driven re-planning (Sec. I, II-B).
+
+The paper's long-term story: the charging pattern (T_d, T_r) is stable
+within ~2 h of one weather condition but changes across days, so the
+deployment should "dynamically choose mu_d and mu_r according to
+different weather condition".  This example runs that loop end to end:
+
+1. sample a week of weather from the Markov weather process;
+2. generate the synthetic testbed trace for one node per day (the
+   Fig. 7-style measurement) and run the 2-hour harvest estimator on it
+   to recover each day's charging period;
+3. compare, day by day, the greedy schedule planned for the *estimated*
+   period against a static schedule planned once for sunny weather;
+4. report the utility gap -- the value of adaptation.
+
+Run:  python examples/weather_adaptive.py
+"""
+
+from repro import (
+    ChargingPeriod,
+    HomogeneousDetectionUtility,
+    SchedulingProblem,
+    generate_node_trace,
+    solve,
+)
+from repro.analysis import format_table
+from repro.energy.profiles import profile_for_weather
+from repro.solar import MarkovWeatherProcess, WeatherCondition
+from repro.solar.harvest import estimate_period_from_trace
+
+SEED = 7
+NUM_SENSORS = 24
+P_DETECT = 0.4
+
+
+def day_utility(period: ChargingPeriod, planned_for: ChargingPeriod) -> float:
+    """Average per-slot utility of a schedule planned for ``planned_for``
+    but *executed* under the true ``period``.
+
+    If the plan assumes a shorter recharge than reality, activations are
+    refused and coverage is lost; we model that combinatorially: a plan
+    for period T' executed under true period T >= T' only realizes
+    each sensor's activation every lcm-aligned T slots -- conservatively,
+    we scale the per-slot utility by min(1, T'/T) active-density.
+    """
+    utility = HomogeneousDetectionUtility(range(NUM_SENSORS), p=P_DETECT)
+    problem = SchedulingProblem(
+        num_sensors=NUM_SENSORS, period=planned_for, utility=utility
+    )
+    planned = solve(problem, method="greedy")
+    value = planned.average_slot_utility
+    t_true = period.slots_per_period
+    t_plan = planned_for.slots_per_period
+    if t_plan < t_true:
+        # Activations come up short: each sensor is only ready every
+        # t_true slots, so a fraction of planned activations is refused.
+        value *= t_plan / t_true
+    return value
+
+
+def main() -> None:
+    weather_process = MarkovWeatherProcess(
+        initial=WeatherCondition.SUNNY, rng=SEED
+    )
+    week = [WeatherCondition.SUNNY] + weather_process.forecast(6)
+
+    sunny_period = profile_for_weather("sunny").period
+    rows = []
+    total_static = 0.0
+    total_adaptive = 0.0
+    for day, condition in enumerate(week):
+        true_period = profile_for_weather(condition.value).period
+
+        # Measure the day: synthetic testbed trace + 2-h estimator.
+        trace = generate_node_trace(
+            node_id=5,
+            days=1,
+            weather=[condition],
+            battery_capacity=50.0,
+            rng=SEED + day,
+        )
+        estimated = estimate_period_from_trace(
+            trace, capacity=50.0, discharge_time=true_period.discharge_time
+        )
+        est_period = estimated if estimated is not None else sunny_period
+
+        static_u = day_utility(true_period, planned_for=sunny_period)
+        adaptive_u = day_utility(true_period, planned_for=est_period)
+        total_static += static_u
+        total_adaptive += adaptive_u
+        rows.append(
+            [
+                day,
+                condition.value,
+                f"rho={true_period.rho:g}",
+                f"rho_hat={est_period.rho:g}",
+                static_u,
+                adaptive_u,
+            ]
+        )
+
+    print(
+        format_table(
+            ["day", "weather", "true", "estimated", "static util", "adaptive util"],
+            rows,
+            float_format="{:.4f}",
+        )
+    )
+    gain = (total_adaptive - total_static) / max(total_static, 1e-12)
+    print(f"\nweek total: static {total_static:.4f}, adaptive {total_adaptive:.4f}")
+    print(f"adaptation gain over the week: {gain:+.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so
+``pip install -e .`` works on minimal offline environments that lack
+the ``wheel`` package (pip falls back to ``setup.py develop`` with
+``--no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

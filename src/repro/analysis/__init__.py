@@ -1,0 +1,59 @@
+"""Statistics and reporting helpers for the benchmark harness.
+
+- :mod:`~repro.analysis.stats` -- summary statistics, confidence
+  intervals, approximation-ratio bookkeeping across seeds.
+- :mod:`~repro.analysis.report` -- fixed-width tables and ASCII series
+  that mirror the layout of the paper's figures, so the benchmark
+  output can be compared against the paper side by side.
+"""
+
+from repro.analysis.stats import (
+    ApproximationSummary,
+    SeriesSummary,
+    mean_confidence_interval,
+    summarize_ratios,
+    summarize_series,
+)
+from repro.analysis.report import (
+    ascii_series,
+    format_table,
+    render_figure8_panel,
+    render_figure9_table,
+    render_schedule_gantt,
+)
+from repro.analysis.curvature import (
+    CurvatureReport,
+    curvature_guarantee,
+    total_curvature,
+)
+from repro.analysis.lifetime import (
+    coverage_lifetime,
+    lifetime_result,
+    lifetime_under_depletion,
+    sustained_fraction,
+)
+from repro.analysis.sweep import SweepRecord, SweepSpec, pivot, run_sweep
+
+__all__ = [
+    "SeriesSummary",
+    "ApproximationSummary",
+    "mean_confidence_interval",
+    "summarize_series",
+    "summarize_ratios",
+    "format_table",
+    "ascii_series",
+    "render_figure8_panel",
+    "render_figure9_table",
+    "render_schedule_gantt",
+    "CurvatureReport",
+    "total_curvature",
+    "curvature_guarantee",
+    "coverage_lifetime",
+    "sustained_fraction",
+    "lifetime_result",
+    "lifetime_under_depletion",
+    "SweepSpec",
+    "SweepRecord",
+    "run_sweep",
+    "pivot",
+]

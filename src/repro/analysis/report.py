@@ -1,0 +1,157 @@
+"""Fixed-width tables and ASCII series mirroring the paper's figures.
+
+The benchmark harness prints its reproduced rows/series through these
+helpers, so a run's stdout can be laid beside the paper's Fig. 8/9 for
+shape comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    float_format: str = "{:.6f}",
+) -> str:
+    """Render a fixed-width text table.
+
+    Floats go through ``float_format``; everything else through
+    ``str``.  Column widths fit the widest cell.
+    """
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_format.format(cell)
+        return str(cell)
+
+    text_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in text_rows)
+    return "\n".join(out)
+
+
+def ascii_series(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    width: int = 50,
+    label: str = "",
+    y_min: float | None = None,
+    y_max: float | None = None,
+) -> str:
+    """One-line-per-point ASCII plot: ``x | bar | y``."""
+    if len(xs) != len(ys):
+        raise ValueError(f"length mismatch: {len(xs)} xs vs {len(ys)} ys")
+    if not xs:
+        return f"{label}: (empty)"
+    lo = min(ys) if y_min is None else y_min
+    hi = max(ys) if y_max is None else y_max
+    span = hi - lo if hi > lo else 1.0
+    lines = [label] if label else []
+    for x, y in zip(xs, ys):
+        filled = int(round((y - lo) / span * width))
+        filled = max(0, min(width, filled))
+        lines.append(f"{x:>8g} |{'#' * filled}{'.' * (width - filled)}| {y:.6f}")
+    return "\n".join(lines)
+
+
+def render_figure8_panel(
+    num_targets: int,
+    sensor_counts: Sequence[int],
+    average_utilities: Sequence[float],
+    upper_bounds: Sequence[float] | None = None,
+    optimal_values: Sequence[float] | None = None,
+) -> str:
+    """One panel of Fig. 8: average utility vs number of sensors.
+
+    Matches the paper's panels (a)-(d): the greedy average utility per
+    target per slot, the closed-form upper bound where available, and
+    the enumerated optimum where it was computed.
+    """
+    headers: List[str] = ["n", "avg_utility"]
+    if upper_bounds is not None:
+        headers.append("upper_bound")
+    if optimal_values is not None:
+        headers.append("optimal")
+    rows = []
+    for i, n in enumerate(sensor_counts):
+        row: List[object] = [n, average_utilities[i]]
+        if upper_bounds is not None:
+            row.append(upper_bounds[i])
+        if optimal_values is not None:
+            row.append(optimal_values[i])
+        rows.append(row)
+    title = f"Fig. 8 panel (m={num_targets} target{'s' if num_targets != 1 else ''})"
+    return title + "\n" + format_table(headers, rows)
+
+
+def render_schedule_gantt(
+    schedule,
+    num_periods: int = 1,
+    utility=None,
+) -> str:
+    """ASCII Gantt chart of a periodic schedule: one row per sensor.
+
+    ``#`` marks active slots, ``.`` idle/recharging ones; optional
+    per-slot utilities are appended as a footer row.  Handy for eyeball
+    verification of what the greedy scheme produced (the Fig. 4 view).
+    """
+    from repro.core.schedule import PeriodicSchedule, UnrolledSchedule
+
+    if isinstance(schedule, PeriodicSchedule):
+        unrolled = schedule.unroll(num_periods)
+    elif isinstance(schedule, UnrolledSchedule):
+        unrolled = schedule
+    else:
+        raise TypeError(
+            f"cannot render a {type(schedule).__name__} as a Gantt chart"
+        )
+    sensors = sorted(unrolled.sensors_ever_active())
+    total = unrolled.total_slots
+    lines: List[str] = []
+    header = "sensor |" + "".join(
+        "|" if (t % unrolled.slots_per_period == 0 and t > 0) else " "
+        for t in range(total)
+    )
+    lines.append(header)
+    for v in sensors:
+        cells = []
+        for t in range(total):
+            sep = "|" if (t % unrolled.slots_per_period == 0 and t > 0) else ""
+            cells.append(sep + ("#" if v in unrolled.active_set(t) else "."))
+        lines.append(f"{v:>6} |" + "".join(cells))
+    if utility is not None:
+        values = unrolled.per_slot_utilities(utility)
+        footer = " U(slot) " + " ".join(f"{u:.2f}" for u in values)
+        lines.append(footer)
+    return "\n".join(lines)
+
+
+def render_figure9_table(
+    target_counts: Sequence[int],
+    utilities_by_sensor_count: Mapping[int, Sequence[float]],
+) -> str:
+    """Fig. 9 as a table: rows = #targets, one column per sensor count."""
+    sensor_counts = sorted(utilities_by_sensor_count)
+    headers = ["m \\ n"] + [str(n) for n in sensor_counts]
+    rows = []
+    for i, m in enumerate(target_counts):
+        row: List[object] = [m]
+        for n in sensor_counts:
+            row.append(utilities_by_sensor_count[n][i])
+        rows.append(row)
+    return "Fig. 9 (average utility per target per slot)\n" + format_table(
+        headers, rows, float_format="{:.4f}"
+    )

@@ -1,0 +1,211 @@
+"""Minimal SVG line/scatter charts -- figure images without matplotlib.
+
+The benchmark harness prints tables; sometimes you want the actual
+picture.  This module writes self-contained SVG files with no plotting
+dependency: multi-series line charts with axes, ticks and a legend --
+enough to render the Fig. 7/8/9 reproductions as images
+(``python -m repro.cli figure fig8a --svg fig8a.svg``).
+
+Deliberately small: numeric x/y only, linear scales, one chart per
+file.  Not a plotting library; just enough SVG for the paper's plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+#: Default series colors (colorblind-safe-ish hues).
+PALETTE = ("#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b")
+
+
+@dataclass
+class Series:
+    """One plotted line."""
+
+    label: str
+    xs: Sequence[float]
+    ys: Sequence[float]
+    color: Optional[str] = None
+    dashed: bool = False
+
+    def __post_init__(self) -> None:
+        if len(self.xs) != len(self.ys):
+            raise ValueError(
+                f"series {self.label!r}: {len(self.xs)} xs vs {len(self.ys)} ys"
+            )
+        if not self.xs:
+            raise ValueError(f"series {self.label!r} is empty")
+
+
+def _ticks(lo: float, hi: float, count: int = 5) -> List[float]:
+    """Evenly spaced tick positions including both ends."""
+    if hi <= lo:
+        return [lo]
+    step = (hi - lo) / (count - 1)
+    return [lo + i * step for i in range(count)]
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e6:
+        return str(int(value))
+    return f"{value:.4g}"
+
+
+def render_line_chart(
+    series: Sequence[Series],
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+    width: int = 640,
+    height: int = 420,
+    y_min: Optional[float] = None,
+    y_max: Optional[float] = None,
+) -> str:
+    """Render series as a complete standalone SVG document string."""
+    if not series:
+        raise ValueError("need at least one series")
+    margin_l, margin_r, margin_t, margin_b = 62, 16, 34, 46
+    plot_w = width - margin_l - margin_r
+    plot_h = height - margin_t - margin_b
+
+    all_x = [x for s in series for x in s.xs]
+    all_y = [y for s in series for y in s.ys]
+    x_lo, x_hi = min(all_x), max(all_x)
+    y_lo = min(all_y) if y_min is None else y_min
+    y_hi = max(all_y) if y_max is None else y_max
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    def px(x: float) -> float:
+        return margin_l + (x - x_lo) / (x_hi - x_lo) * plot_w
+
+    def py(y: float) -> float:
+        return margin_t + (1.0 - (y - y_lo) / (y_hi - y_lo)) * plot_h
+
+    parts: List[str] = []
+    parts.append(
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">'
+    )
+    parts.append(f'<rect width="{width}" height="{height}" fill="white"/>')
+    if title:
+        parts.append(
+            f'<text x="{width / 2}" y="20" text-anchor="middle" '
+            f'font-family="sans-serif" font-size="14">{title}</text>'
+        )
+
+    # Axes box + gridlines + ticks.
+    parts.append(
+        f'<rect x="{margin_l}" y="{margin_t}" width="{plot_w}" '
+        f'height="{plot_h}" fill="none" stroke="#444"/>'
+    )
+    for tick in _ticks(x_lo, x_hi):
+        x = px(tick)
+        parts.append(
+            f'<line x1="{x:.1f}" y1="{margin_t}" x2="{x:.1f}" '
+            f'y2="{margin_t + plot_h}" stroke="#ddd"/>'
+        )
+        parts.append(
+            f'<text x="{x:.1f}" y="{margin_t + plot_h + 16}" '
+            f'text-anchor="middle" font-family="sans-serif" '
+            f'font-size="11">{_fmt(tick)}</text>'
+        )
+    for tick in _ticks(y_lo, y_hi):
+        y = py(tick)
+        parts.append(
+            f'<line x1="{margin_l}" y1="{y:.1f}" x2="{margin_l + plot_w}" '
+            f'y2="{y:.1f}" stroke="#ddd"/>'
+        )
+        parts.append(
+            f'<text x="{margin_l - 6}" y="{y + 4:.1f}" text-anchor="end" '
+            f'font-family="sans-serif" font-size="11">{_fmt(tick)}</text>'
+        )
+    if x_label:
+        parts.append(
+            f'<text x="{margin_l + plot_w / 2}" y="{height - 8}" '
+            f'text-anchor="middle" font-family="sans-serif" '
+            f'font-size="12">{x_label}</text>'
+        )
+    if y_label:
+        cx, cy = 16, margin_t + plot_h / 2
+        parts.append(
+            f'<text x="{cx}" y="{cy}" text-anchor="middle" '
+            f'font-family="sans-serif" font-size="12" '
+            f'transform="rotate(-90 {cx} {cy})">{y_label}</text>'
+        )
+
+    # Series polylines + point markers.
+    for i, s in enumerate(series):
+        color = s.color or PALETTE[i % len(PALETTE)]
+        points = " ".join(f"{px(x):.1f},{py(y):.1f}" for x, y in zip(s.xs, s.ys))
+        dash = ' stroke-dasharray="6 4"' if s.dashed else ""
+        parts.append(
+            f'<polyline points="{points}" fill="none" stroke="{color}" '
+            f'stroke-width="1.8"{dash}/>'
+        )
+        for x, y in zip(s.xs, s.ys):
+            parts.append(
+                f'<circle cx="{px(x):.1f}" cy="{py(y):.1f}" r="2.6" '
+                f'fill="{color}"/>'
+            )
+
+    # Legend.
+    legend_y = margin_t + 8
+    for i, s in enumerate(series):
+        color = s.color or PALETTE[i % len(PALETTE)]
+        y = legend_y + i * 16
+        x = margin_l + 10
+        parts.append(
+            f'<line x1="{x}" y1="{y}" x2="{x + 18}" y2="{y}" '
+            f'stroke="{color}" stroke-width="2"/>'
+        )
+        parts.append(
+            f'<text x="{x + 24}" y="{y + 4}" font-family="sans-serif" '
+            f'font-size="11">{s.label}</text>'
+        )
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def figure_to_svg(figure_data: dict, figure_name: str) -> str:
+    """Render a :mod:`repro.experiments` figure payload as SVG.
+
+    Supports the line-chart figures: fig8a-d (utility + bound vs n) and
+    fig9 (one series per sensor count vs m).
+    """
+    if figure_name.startswith("fig8"):
+        return render_line_chart(
+            [
+                Series("greedy avg utility", figure_data["n"], figure_data["avg_utility"]),
+                Series(
+                    "upper bound U*",
+                    figure_data["n"],
+                    figure_data["upper_bound"],
+                    dashed=True,
+                ),
+            ],
+            title=f"Fig. 8 (m={figure_data['m']})",
+            x_label="number of sensors",
+            y_label="average utility",
+        )
+    if figure_name == "fig9":
+        table = figure_data["avg_utility_per_target"]
+        series = [
+            Series(f"n={n}", figure_data["m"], table[str(n)])
+            for n in figure_data["n"]
+        ]
+        return render_line_chart(
+            series,
+            title="Fig. 9",
+            x_label="number of targets",
+            y_label="average utility per target",
+            y_min=0.0,
+            y_max=1.0,
+        )
+    raise ValueError(
+        f"no SVG renderer for {figure_name!r}; supported: fig8a-d, fig9"
+    )

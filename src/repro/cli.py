@@ -1,0 +1,224 @@
+"""Command-line interface: plan, simulate, trace and sweep from a shell.
+
+Subcommands:
+
+- ``solve``     plan a schedule for a synthetic instance and print it
+                (optionally as JSON for shipping to a deployment);
+- ``simulate``  execute the planned schedule on the simulated network
+                and report achieved vs scheduled utility;
+- ``trace``     generate a synthetic testbed trace (the Fig. 7 data)
+                as CSV;
+- ``sweep``     run a parameter sweep and print the pivot table.
+
+Examples::
+
+    python -m repro.cli solve --sensors 20 --rho 3 --p 0.4
+    python -m repro.cli solve --sensors 12 --method lp --json
+    python -m repro.cli simulate --sensors 20 --periods 12
+    python -m repro.cli trace --days 2 --weather cloudy > trace.csv
+    python -m repro.cli sweep --sensors 50 100 --targets 10 --methods greedy random
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.analysis.report import format_table
+from repro.analysis.sweep import SweepSpec, pivot, run_sweep
+from repro.core.problem import SchedulingProblem
+from repro.core.solver import METHODS, solve
+from repro.energy.period import ChargingPeriod
+from repro.io.serialization import result_summary, schedule_to_dict
+from repro.policies.schedule_policy import SchedulePolicy
+from repro.sim.engine import SimulationEngine
+from repro.sim.network import SensorNetwork
+from repro.solar.trace import generate_node_trace
+from repro.solar.weather import WeatherCondition
+from repro.utility.detection import HomogeneousDetectionUtility
+
+
+def _build_problem(args: argparse.Namespace) -> SchedulingProblem:
+    return SchedulingProblem(
+        num_sensors=args.sensors,
+        period=ChargingPeriod.from_ratio(args.rho),
+        utility=HomogeneousDetectionUtility(range(args.sensors), p=args.p),
+        num_periods=args.periods,
+    )
+
+
+def cmd_solve(args: argparse.Namespace) -> int:
+    problem = _build_problem(args)
+    result = solve(problem, method=args.method, rng=args.seed)
+    if args.json:
+        payload = result_summary(result)
+        if result.periodic is not None:
+            payload["schedule"] = schedule_to_dict(result.periodic)
+        json.dump(payload, sys.stdout, indent=2)
+        sys.stdout.write("\n")
+        return 0
+    print(f"problem : {problem}")
+    print(f"method  : {args.method}")
+    if result.periodic is not None:
+        print(f"schedule: {result.periodic}")
+    print(f"total utility       : {result.total_utility:.6f}")
+    print(f"avg utility per slot: {result.average_slot_utility:.6f}")
+    for key, value in result.extras.items():
+        print(f"{key}: {value:.6f}")
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    problem = _build_problem(args)
+    planned = solve(problem, method=args.method, rng=args.seed)
+    network = SensorNetwork.from_problem(problem)
+    schedule = planned.periodic if planned.periodic is not None else planned.schedule
+    sim = SimulationEngine(network, SchedulePolicy(schedule)).run(
+        problem.total_slots
+    )
+    print(f"slots simulated     : {sim.num_slots}")
+    print(f"scheduled avg/slot  : {planned.average_slot_utility:.6f}")
+    print(f"achieved avg/slot   : {sim.average_slot_utility:.6f}")
+    print(f"refused activations : {sim.refused_activations}")
+    return 0 if sim.refused_activations == 0 else 1
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    try:
+        weather = WeatherCondition(args.weather)
+    except ValueError:
+        print(
+            f"unknown weather {args.weather!r}; choose from "
+            f"{[w.value for w in WeatherCondition]}",
+            file=sys.stderr,
+        )
+        return 2
+    trace = generate_node_trace(
+        node_id=args.node,
+        days=args.days,
+        weather=[weather] * args.days,
+        rng=args.seed,
+    )
+    sys.stdout.write(trace.to_csv())
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    spec = SweepSpec(
+        sensor_counts=args.sensors,
+        target_counts=args.targets,
+        rhos=args.rhos,
+        ps=[args.p],
+        methods=args.methods,
+        seeds=list(range(args.repeats)),
+        workload=args.workload,
+    )
+    records = run_sweep(spec)
+    table = pivot(records, row_key="n", col_key="method")
+    methods = sorted({r.params["method"] for r in records})
+    rows = [
+        [n] + [table[n].get(m, float("nan")) for m in methods]
+        for n in sorted(table)
+    ]
+    print(format_table(["n"] + methods, rows, "{:.4f}"))
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    from repro.experiments import FIGURES, reproduce
+
+    if args.name not in FIGURES:
+        print(
+            f"unknown figure {args.name!r}; available: {sorted(FIGURES)}",
+            file=sys.stderr,
+        )
+        return 2
+    data = reproduce(args.name)
+    if args.svg:
+        from pathlib import Path
+
+        from repro.analysis.svg import figure_to_svg
+
+        try:
+            document = figure_to_svg(data, args.name)
+        except ValueError as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        Path(args.svg).write_text(document)
+        print(f"wrote {args.svg}")
+        return 0
+    json.dump(data, sys.stdout, indent=2)
+    sys.stdout.write("\n")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Cool (ICDCS 2011) reproduction: solar-powered coverage scheduling",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_instance_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--sensors", type=int, default=20, help="number of sensors")
+        p.add_argument("--rho", type=float, default=3.0, help="T_r / T_d ratio")
+        p.add_argument("--p", type=float, default=0.4, help="detection probability")
+        p.add_argument("--periods", type=int, default=1, help="alpha in L = alpha T")
+        p.add_argument("--seed", type=int, default=0, help="RNG seed")
+        p.add_argument(
+            "--method", choices=METHODS, default="greedy", help="solver method"
+        )
+
+    p_solve = sub.add_parser("solve", help="plan a schedule and print it")
+    add_instance_args(p_solve)
+    p_solve.add_argument("--json", action="store_true", help="emit JSON")
+    p_solve.set_defaults(func=cmd_solve)
+
+    p_sim = sub.add_parser("simulate", help="execute the plan on simulated motes")
+    add_instance_args(p_sim)
+    p_sim.set_defaults(func=cmd_simulate)
+
+    p_trace = sub.add_parser("trace", help="synthetic testbed trace as CSV")
+    p_trace.add_argument("--node", type=int, default=5)
+    p_trace.add_argument("--days", type=int, default=1)
+    p_trace.add_argument("--weather", default="sunny")
+    p_trace.add_argument("--seed", type=int, default=0)
+    p_trace.set_defaults(func=cmd_trace)
+
+    p_sweep = sub.add_parser("sweep", help="parameter sweep, pivoted by method")
+    p_sweep.add_argument("--sensors", type=int, nargs="+", default=[20, 40])
+    p_sweep.add_argument("--targets", type=int, nargs="+", default=[5])
+    p_sweep.add_argument("--rhos", type=float, nargs="+", default=[3.0])
+    p_sweep.add_argument("--p", type=float, default=0.4)
+    p_sweep.add_argument(
+        "--methods", nargs="+", default=["greedy", "round-robin", "random"]
+    )
+    p_sweep.add_argument("--repeats", type=int, default=3)
+    p_sweep.add_argument(
+        "--workload",
+        default="bipartite",
+        choices=["single-target", "geometric", "bipartite"],
+    )
+    p_sweep.set_defaults(func=cmd_sweep)
+
+    p_fig = sub.add_parser(
+        "figure", help="reproduce a paper figure as JSON (fig7/fig8a-d/fig9/headline)"
+    )
+    p_fig.add_argument("name", help="figure id, e.g. fig8a")
+    p_fig.add_argument(
+        "--svg", metavar="PATH", help="render as an SVG image instead of JSON"
+    )
+    p_fig.set_defaults(func=cmd_figure)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

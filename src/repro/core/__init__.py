@@ -1,0 +1,101 @@
+"""The paper's core contribution: activation scheduling algorithms.
+
+Given ``n`` homogeneous solar-powered sensors with charging period
+``T`` (:class:`~repro.energy.period.ChargingPeriod`), a working time
+``L = alpha T`` and a non-decreasing submodular per-slot utility, find
+a feasible dynamic activation schedule maximizing total utility.
+
+Solvers (all operate on :class:`~repro.core.problem.SchedulingProblem`):
+
+- :func:`~repro.core.greedy.greedy_schedule` -- Algorithm 1, the greedy
+  hill-climbing scheme with the proven 1/2-approximation (Lemma 4.1,
+  Thm. 4.3); includes a lazy-evaluation accelerated variant.
+- :func:`~repro.core.greedy_passive.greedy_passive_schedule` -- the
+  rho <= 1 variant allocating passive slots (Sec. IV-B, Thm. 4.4).
+- :func:`~repro.core.lp.lp_schedule` -- the LP-relaxation + randomized
+  rounding + repair pipeline (Sec. IV-A-1).
+- :func:`~repro.core.optimal.optimal_schedule` -- exhaustive / branch-
+  and-bound optimum for small instances (the paper's Fig. 8 baseline).
+- :mod:`~repro.core.baselines` -- random / round-robin / naive
+  comparison policies.
+- :mod:`~repro.core.bounds` -- optimum upper bounds, including the
+  closed form ``U* = 1 - (1-p)^ceil(n/T)`` of Sec. VI-B.
+- :mod:`~repro.core.hardness` -- the Subset-Sum reduction of Thm. 3.1.
+"""
+
+from repro.core.problem import SchedulingProblem
+from repro.core.schedule import (
+    InfeasibleScheduleError,
+    PeriodicSchedule,
+    UnrolledSchedule,
+)
+from repro.core.greedy import GreedyTrace, greedy_schedule
+from repro.core.greedy_passive import greedy_passive_schedule
+from repro.core.lp import LpSolution, lp_periodic_schedule, lp_relaxation, lp_schedule
+from repro.core.optimal import optimal_schedule
+from repro.core.baselines import (
+    all_in_first_slot_schedule,
+    balanced_random_schedule,
+    random_schedule,
+    round_robin_schedule,
+)
+from repro.core.bounds import (
+    lp_upper_bound,
+    per_slot_ceiling_bound,
+    single_target_upper_bound,
+)
+from repro.core.hardness import (
+    SubsetSumInstance,
+    decide_subset_sum_via_scheduling,
+    reduction_from_subset_sum,
+)
+from repro.core.dp import (
+    balanced_schedule,
+    balanced_slot_sizes,
+    concave_count_optimal_value,
+    exact_count_optimal,
+    single_target_optimal_value,
+)
+from repro.core.local_search import (
+    LocalSearchReport,
+    greedy_with_local_search,
+    local_search,
+)
+from repro.core.stochastic_greedy import stochastic_greedy_schedule
+from repro.core.solver import SolveResult, solve
+
+__all__ = [
+    "SchedulingProblem",
+    "PeriodicSchedule",
+    "UnrolledSchedule",
+    "InfeasibleScheduleError",
+    "greedy_schedule",
+    "GreedyTrace",
+    "greedy_passive_schedule",
+    "lp_schedule",
+    "lp_periodic_schedule",
+    "lp_relaxation",
+    "LpSolution",
+    "optimal_schedule",
+    "random_schedule",
+    "balanced_random_schedule",
+    "round_robin_schedule",
+    "all_in_first_slot_schedule",
+    "single_target_upper_bound",
+    "per_slot_ceiling_bound",
+    "lp_upper_bound",
+    "SubsetSumInstance",
+    "reduction_from_subset_sum",
+    "decide_subset_sum_via_scheduling",
+    "balanced_schedule",
+    "balanced_slot_sizes",
+    "concave_count_optimal_value",
+    "exact_count_optimal",
+    "single_target_optimal_value",
+    "local_search",
+    "greedy_with_local_search",
+    "stochastic_greedy_schedule",
+    "LocalSearchReport",
+    "solve",
+    "SolveResult",
+]

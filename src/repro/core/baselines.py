@@ -1,0 +1,91 @@
+"""Baseline activation schedules for comparison.
+
+The paper compares its greedy scheme against the enumerated optimum and
+the closed-form upper bound; a practical reproduction also wants cheap
+baselines to show the greedy scheme's advantage and to sanity-check the
+simulator.  All baselines return feasible one-period schedules in the
+same format as :func:`~repro.core.greedy.greedy_schedule`.
+
+- :func:`random_schedule` -- each sensor picks a uniformly random slot
+  (or passive slot for rho <= 1).
+- :func:`balanced_random_schedule` -- a random *balanced* partition:
+  slot loads differ by at most one.  Matches the intuition the paper
+  states ("we may want to let each sensor active evenly").
+- :func:`round_robin_schedule` -- sensor ``i`` to slot ``i mod T``:
+  the deterministic even-spreading heuristic.
+- :func:`all_in_first_slot_schedule` -- the pathological clustered
+  schedule (everything in slot 0); the anti-pattern the diminishing-
+  returns discussion of Sec. II-C warns about.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.problem import SchedulingProblem
+from repro.core.schedule import PeriodicSchedule, ScheduleMode
+from repro.coverage.deployment import RngLike, make_rng
+
+
+def _mode(problem: SchedulingProblem) -> ScheduleMode:
+    return (
+        ScheduleMode.ACTIVE_SLOT
+        if problem.is_sparse_regime
+        else ScheduleMode.PASSIVE_SLOT
+    )
+
+
+def random_schedule(
+    problem: SchedulingProblem, rng: RngLike = None
+) -> PeriodicSchedule:
+    """Every sensor picks an independent uniformly random slot."""
+    generator = make_rng(rng)
+    T = problem.slots_per_period
+    assignment: Dict[int, int] = {
+        v: int(generator.integers(T)) for v in problem.sensors
+    }
+    return PeriodicSchedule(
+        slots_per_period=T, assignment=assignment, mode=_mode(problem)
+    )
+
+
+def balanced_random_schedule(
+    problem: SchedulingProblem, rng: RngLike = None
+) -> PeriodicSchedule:
+    """Random assignment with slot loads balanced to within one sensor.
+
+    Shuffles the sensors and deals them round-robin into slots, so the
+    partition is uniform among all balanced partitions.
+    """
+    generator = make_rng(rng)
+    T = problem.slots_per_period
+    order = list(problem.sensors)
+    generator.shuffle(order)
+    assignment: Dict[int, int] = {v: i % T for i, v in enumerate(order)}
+    return PeriodicSchedule(
+        slots_per_period=T, assignment=assignment, mode=_mode(problem)
+    )
+
+
+def round_robin_schedule(problem: SchedulingProblem) -> PeriodicSchedule:
+    """Deterministic even spreading: sensor ``i`` to slot ``i mod T``."""
+    T = problem.slots_per_period
+    assignment: Dict[int, int] = {v: v % T for v in problem.sensors}
+    return PeriodicSchedule(
+        slots_per_period=T, assignment=assignment, mode=_mode(problem)
+    )
+
+
+def all_in_first_slot_schedule(problem: SchedulingProblem) -> PeriodicSchedule:
+    """Everything activated simultaneously in slot 0.
+
+    For rho >= 1 this wastes the diminishing returns completely: all
+    coverage is bunched in one slot out of T.  For rho <= 1 the
+    passive slots are bunched instead (everyone rests in slot 0), which
+    is actually a sensible schedule there -- useful asymmetry for tests.
+    """
+    T = problem.slots_per_period
+    assignment: Dict[int, int] = {v: 0 for v in problem.sensors}
+    return PeriodicSchedule(
+        slots_per_period=T, assignment=assignment, mode=_mode(problem)
+    )

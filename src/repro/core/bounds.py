@@ -1,0 +1,84 @@
+"""Upper bounds on the optimal schedule utility.
+
+Three bounds, from cheapest to tightest:
+
+1. :func:`single_target_upper_bound` -- the closed form the paper uses
+   in Sec. VI-B for a single target covered by all sensors with
+   homogeneous detection probability ``p``:
+
+   .. math:: \\bar{U}^* = 1 - (1-p)^{\\bar{n}}, \\qquad \\bar{n} = \\lceil n/T \\rceil.
+
+   Rationale: over one period each sensor is active at most once, so
+   some slot hosts at least ``ceil(n/T)`` sensors *on average*; by
+   concavity of ``1-(1-p)^k`` in ``k``, the per-slot average utility is
+   maximized by splitting the sensors evenly, giving the bound on the
+   *average utility per slot*.
+
+2. :func:`per_slot_ceiling_bound` -- ``U(V)`` per slot: no slot can
+   beat activating everybody.  Valid for any utility.
+
+3. :func:`lp_upper_bound` -- the LP-relaxation optimum of
+   Sec. IV-A-1 (see :mod:`repro.core.lp`); the tightest of the three
+   and valid for count-based or coverage-type utilities.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.problem import SchedulingProblem
+
+
+def single_target_upper_bound(num_sensors: int, slots_per_period: int, p: float) -> float:
+    """The paper's ``U* = 1 - (1-p)^ceil(n/T)`` average-utility bound.
+
+    Paper's worked numbers (Sec. VI-B): ``n = 100``, ``T = 4``,
+    ``p = 0.4`` gives ``1 - 0.6^25 = 0.999380...``.
+    """
+    if num_sensors < 0:
+        raise ValueError(f"num_sensors must be >= 0, got {num_sensors}")
+    if slots_per_period < 1:
+        raise ValueError(
+            f"slots_per_period must be >= 1, got {slots_per_period}"
+        )
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be in [0, 1], got {p}")
+    n_bar = math.ceil(num_sensors / slots_per_period)
+    if p == 1.0:
+        return 0.0 if n_bar == 0 else 1.0
+    return -math.expm1(n_bar * math.log1p(-p))
+
+
+def per_slot_ceiling_bound(problem: SchedulingProblem) -> float:
+    """Total-utility bound ``L * U(V)``: every slot at the all-on ceiling."""
+    return problem.total_slots * problem.utility.value(problem.sensor_set)
+
+
+def balanced_count_bound(problem: SchedulingProblem, p: float) -> float:
+    """Average per-slot detection-utility bound for multi-target systems.
+
+    Generalizes the single-target closed form: for each target ``O_i``
+    with ``n_i = |V(O_i)|`` covering sensors, no schedule can average
+    better than ``1 - (1-p)^ceil(n_i / T)`` on that target (same
+    concavity argument target-by-target).  Returns the *sum over
+    targets* of the per-slot bounds, i.e. an upper bound on the average
+    per-slot total utility.
+    """
+    from repro.utility.target_system import TargetSystem
+
+    utility = problem.utility
+    T = problem.slots_per_period
+    if isinstance(utility, TargetSystem):
+        total = 0.0
+        for i in range(utility.num_targets):
+            n_i = len(utility.coverage_set(i))
+            total += single_target_upper_bound(n_i, T, p)
+        return total
+    return single_target_upper_bound(problem.num_sensors, T, p)
+
+
+def lp_upper_bound(problem: SchedulingProblem) -> float:
+    """Total-utility bound from the LP relaxation (Sec. IV-A-1)."""
+    from repro.core.lp import lp_relaxation
+
+    return lp_relaxation(problem).objective

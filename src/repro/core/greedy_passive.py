@@ -1,0 +1,149 @@
+"""The rho <= 1 greedy scheme: allocate passive slots (Sec. IV-B, Thm. 4.4).
+
+When recharge is faster than discharge (rho <= 1), a sensor can stay
+active for ``1/rho`` slots per period and needs only one passive slot
+to recharge.  The paper flips the greedy question: instead of choosing
+when each sensor is *on*, start from "everybody on all the time" and
+choose each sensor's single *off* (passive) slot so as to minimize the
+decremental utility.  The resulting schedule is feasible and keeps the
+1/2-approximation (Thm. 4.4).
+
+As with the rho >= 1 scheme, a lazy variant is provided.  Here the
+cached decrements are *lower bounds* of the true current decrements
+(removing other sensors from a slot can only make a sensor's own
+removal hurt more, by submodularity), so popping the min of a min-heap
+and re-checking freshness is again exact.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.core.greedy import GreedyStep, GreedyTrace, _slot_functions
+from repro.core.problem import SchedulingProblem
+from repro.core.schedule import PeriodicSchedule, ScheduleMode
+from repro.utility.base import UtilityFunction
+from repro.utility.target_system import PerSlotUtility
+
+
+def greedy_passive_schedule(
+    problem: SchedulingProblem,
+    lazy: bool = True,
+    slot_utilities: Optional[PerSlotUtility] = None,
+    trace: Optional[GreedyTrace] = None,
+) -> PeriodicSchedule:
+    """Allocate every sensor's passive slot greedily (Sec. IV-B).
+
+    Requires the rho <= 1 regime.  Returns a PASSIVE_SLOT-mode
+    :class:`~repro.core.schedule.PeriodicSchedule`: each sensor is
+    active in all slots of the period except its assigned passive slot.
+
+    The trace, if provided, records each (sensor, passive-slot) choice;
+    ``gain`` holds the *negated decrement* (the larger, the cheaper the
+    removal) and ``total_after`` the remaining schedule utility.
+    """
+    if problem.rho > 1:
+        raise ValueError(
+            f"greedy_passive_schedule requires rho <= 1 (got rho={problem.rho:g}); "
+            "use greedy_schedule for rho > 1"
+        )
+    functions = _slot_functions(problem, slot_utilities)
+    if lazy:
+        assignment, steps = _run_lazy(problem, functions)
+    else:
+        assignment, steps = _run_naive(problem, functions)
+    if trace is not None:
+        trace.steps = steps
+    return PeriodicSchedule(
+        slots_per_period=problem.slots_per_period,
+        assignment=assignment,
+        mode=ScheduleMode.PASSIVE_SLOT,
+    )
+
+
+def _initial_slot_sets(problem: SchedulingProblem) -> List[frozenset]:
+    everyone = frozenset(problem.sensors)
+    return [everyone for _ in range(problem.slots_per_period)]
+
+
+def _total(functions: Sequence[UtilityFunction], slot_sets: Sequence[frozenset]) -> float:
+    return sum(fn.value(s) for fn, s in zip(functions, slot_sets))
+
+
+def _run_naive(
+    problem: SchedulingProblem,
+    functions: Sequence[UtilityFunction],
+) -> Tuple[dict, List[GreedyStep]]:
+    """Literal Sec. IV-B: full scan for the cheapest removal each step."""
+    T = problem.slots_per_period
+    remaining: Set[int] = set(problem.sensors)
+    slot_sets = _initial_slot_sets(problem)
+    assignment: dict = {}
+    steps: List[GreedyStep] = []
+    total = _total(functions, slot_sets)
+    for order in range(problem.num_sensors):
+        best: Optional[Tuple[float, int, int]] = None
+        for sensor in sorted(remaining):
+            for slot in range(T):
+                loss = functions[slot].decrement(sensor, slot_sets[slot])
+                # Min loss; ties by lower sensor id then lower slot id.
+                key = (loss, sensor, slot)
+                if best is None or key < best:
+                    best = key
+                    best_pair = (sensor, slot)
+        assert best is not None
+        sensor, slot = best_pair
+        loss = best[0]
+        remaining.remove(sensor)
+        slot_sets[slot] = slot_sets[slot] - {sensor}
+        assignment[sensor] = slot
+        total -= loss
+        steps.append(
+            GreedyStep(
+                order=order, sensor=sensor, slot=slot, gain=-loss, total_after=total
+            )
+        )
+    return assignment, steps
+
+
+def _run_lazy(
+    problem: SchedulingProblem,
+    functions: Sequence[UtilityFunction],
+) -> Tuple[dict, List[GreedyStep]]:
+    """Lazy min-heap variant; identical output to the naive scan."""
+    T = problem.slots_per_period
+    remaining: Set[int] = set(problem.sensors)
+    slot_sets = _initial_slot_sets(problem)
+    slot_version = [0] * T
+    assignment: dict = {}
+    steps: List[GreedyStep] = []
+    total = _total(functions, slot_sets)
+
+    heap: List[Tuple[float, int, int, int]] = []
+    for sensor in problem.sensors:
+        for slot in range(T):
+            loss = functions[slot].decrement(sensor, slot_sets[slot])
+            heapq.heappush(heap, (loss, sensor, slot, 0))
+
+    order = 0
+    while remaining and heap:
+        loss, sensor, slot, version = heapq.heappop(heap)
+        if sensor not in remaining:
+            continue
+        if version != slot_version[slot]:
+            fresh = functions[slot].decrement(sensor, slot_sets[slot])
+            heapq.heappush(heap, (fresh, sensor, slot, slot_version[slot]))
+            continue
+        remaining.remove(sensor)
+        slot_sets[slot] = slot_sets[slot] - {sensor}
+        slot_version[slot] += 1
+        assignment[sensor] = slot
+        total -= loss
+        steps.append(
+            GreedyStep(
+                order=order, sensor=sensor, slot=slot, gain=-loss, total_after=total
+            )
+        )
+        order += 1
+    return assignment, steps

@@ -1,0 +1,97 @@
+"""The NP-hardness reduction from Subset-Sum (paper Thm. 3.1), executable.
+
+Construction: given integers ``I_1..I_n``, build a scheduling instance
+with ``n`` sensors, one target covered by all of them, ``rho = 1``
+(period ``T = 2`` slots), working time ``L = T``, and utility
+
+.. math:: U(S) = \\log\\Bigl(1 + \\sum_{v_i \\in S} I_i\\Bigr).
+
+Each sensor is activated in exactly one of the two slots, so a schedule
+is a 2-partition ``(A_1, A_2)`` of the weights, with total utility
+``log(1 + w(A_1)) + log(1 + w(A_2))``.  By strict concavity this is
+maximized exactly when ``w(A_1) = w(A_2) = W/2``; hence the optimum
+reaches ``2 log(1 + W/2)`` iff the Subset-Sum instance (target ``W/2``)
+is a yes-instance.
+
+:func:`decide_subset_sum_via_scheduling` runs the reduction end-to-end
+with the exact solver, turning it into a (exponential-time, of course)
+decision procedure used by the tests to verify the reduction on known
+yes/no instances.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.core.optimal import optimal_schedule
+from repro.core.problem import SchedulingProblem
+from repro.energy.period import ChargingPeriod
+from repro.utility.logsum import LogSumUtility
+
+
+@dataclass(frozen=True)
+class SubsetSumInstance:
+    """A Subset-Sum instance asking for a subset summing to half the total."""
+
+    weights: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.weights:
+            raise ValueError("need at least one weight")
+        for w in self.weights:
+            if w <= 0 or int(w) != w:
+                raise ValueError(f"weights must be positive integers, got {w}")
+
+    @property
+    def total(self) -> int:
+        return sum(self.weights)
+
+    @property
+    def target(self) -> float:
+        """Half the total (may be fractional, in which case: no-instance)."""
+        return self.total / 2
+
+    def brute_force_decide(self) -> bool:
+        """Classic DP decision, used as the test oracle."""
+        if self.total % 2 == 1:
+            return False
+        goal = self.total // 2
+        reachable = {0}
+        for w in self.weights:
+            reachable |= {r + w for r in reachable if r + w <= goal}
+        return goal in reachable
+
+
+def reduction_from_subset_sum(instance: SubsetSumInstance) -> SchedulingProblem:
+    """Build the Thm. 3.1 scheduling instance for a Subset-Sum input."""
+    weights = {i: float(w) for i, w in enumerate(instance.weights)}
+    utility = LogSumUtility(weights)
+    period = ChargingPeriod.from_ratio(1.0)  # rho = 1 -> T = 2 slots
+    return SchedulingProblem(
+        num_sensors=len(instance.weights),
+        period=period,
+        utility=utility,
+        num_periods=1,
+    )
+
+
+def optimum_if_yes(instance: SubsetSumInstance) -> float:
+    """``2 log(1 + W/2)``: the utility reachable iff a perfect split exists."""
+    return 2.0 * math.log1p(instance.total / 2.0)
+
+
+def decide_subset_sum_via_scheduling(
+    instance: SubsetSumInstance, tol: float = 1e-9
+) -> bool:
+    """Decide Subset-Sum by solving the constructed scheduling instance.
+
+    Solves the reduction exactly and compares the optimum against
+    ``2 log(1 + W/2)``.  Exponential time -- this exists to *validate*
+    the reduction, not to solve Subset-Sum fast.
+    """
+    problem = reduction_from_subset_sum(instance)
+    schedule = optimal_schedule(problem)
+    achieved = schedule.period_utility(problem.utility)
+    return achieved >= optimum_if_yes(instance) - tol

@@ -1,0 +1,101 @@
+"""The scheduling-problem specification (paper Sec. II-D).
+
+A :class:`SchedulingProblem` bundles everything a solver needs:
+
+- the sensor ids (0..n-1, homogeneous batteries as the paper assumes),
+- the charging period (which fixes ``T`` and whether we are in the
+  rho > 1 or rho <= 1 regime),
+- the number of periods ``alpha`` (working time ``L = alpha T``),
+- the per-slot utility (a single stationary submodular function, the
+  paper's setting -- per-slot variation is supported through
+  :class:`~repro.utility.target_system.PerSlotUtility` in the greedy
+  internals but the problem-level API is stationary, matching the
+  periodic-repetition analysis of Thm. 4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Tuple
+
+from repro.energy.period import ChargingPeriod
+from repro.utility.base import UtilityFunction
+
+
+@dataclass(frozen=True)
+class SchedulingProblem:
+    """A complete instance of the dynamic node-activation problem.
+
+    Attributes
+    ----------
+    num_sensors:
+        ``n``; sensors are ids ``0..n-1``.
+    period:
+        The homogeneous charging period (T_d, T_r) shared by all nodes.
+    utility:
+        The per-slot utility ``U(S)`` -- normalized, non-decreasing,
+        submodular.  For multi-target coverage pass a
+        :class:`~repro.utility.target_system.TargetSystem` (Eq. 1).
+    num_periods:
+        ``alpha >= 1``; the working time is ``L = alpha T`` slots.
+    """
+
+    num_sensors: int
+    period: ChargingPeriod
+    utility: UtilityFunction
+    num_periods: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_sensors < 0:
+            raise ValueError(f"num_sensors must be >= 0, got {self.num_sensors}")
+        if self.num_periods < 1:
+            raise ValueError(f"num_periods must be >= 1, got {self.num_periods}")
+
+    # ------------------------------------------------------------------
+    # Derived structure
+    # ------------------------------------------------------------------
+
+    @property
+    def sensors(self) -> Tuple[int, ...]:
+        """Sensor ids in order: ``(0, 1, .., n-1)``."""
+        return tuple(range(self.num_sensors))
+
+    @property
+    def sensor_set(self) -> FrozenSet[int]:
+        """Sensor ids as a frozenset (the full activation candidate set)."""
+        return frozenset(range(self.num_sensors))
+
+    @property
+    def slots_per_period(self) -> int:
+        """``T`` in slots."""
+        return self.period.slots_per_period
+
+    @property
+    def total_slots(self) -> int:
+        """``L`` in slots."""
+        return self.num_periods * self.slots_per_period
+
+    @property
+    def rho(self) -> float:
+        """``T_r / T_d`` of the charging period (integral per Sec. II-B)."""
+        return self.period.rho
+
+    @property
+    def is_sparse_regime(self) -> bool:
+        """True for rho >= 1 (each sensor active <= 1 slot per period)."""
+        return self.rho >= 1
+
+    def with_num_periods(self, num_periods: int) -> "SchedulingProblem":
+        """Copy of the instance with a different working time ``alpha``."""
+        return SchedulingProblem(
+            num_sensors=self.num_sensors,
+            period=self.period,
+            utility=self.utility,
+            num_periods=num_periods,
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"SchedulingProblem(n={self.num_sensors}, rho={self.rho:g}, "
+            f"T={self.slots_per_period} slots, alpha={self.num_periods})"
+        )

@@ -1,0 +1,158 @@
+"""Subdivision of a region into subregions induced by sensing disks (Fig. 3b).
+
+The paper subdivides the monitored region Omega by the arrangement of
+the ``n`` sensing regions into at most ``O(n^2)`` cells, each labelled
+by the set of sensors covering it; the area utility (Eq. 2) is then a
+weighted coverage function over those cells.
+
+We compute the decomposition *numerically*: every point of Omega gets a
+signature (the frozenset of disks containing it); points sharing a
+signature belong to the same union of arrangement cells, and the area
+of each signature class is estimated by quadrature over a fine grid.
+For the utility function (which only needs *signature -> area*), merging
+all cells with equal signatures is exact -- ``I_i(S)`` in Eq. 2 depends
+only on the covering set, not on which connected component the cell is.
+
+Area error is O(cell perimeter * grid pitch); the test-suite checks
+convergence against closed-form disk areas.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Sequence
+
+import numpy as np
+
+from repro.coverage.geometry import Disk, Point, Rectangle
+from repro.utility.area import Subregion
+
+
+def _signature_grid(
+    region: Rectangle, disks: Sequence[Disk], resolution: int
+) -> Dict[FrozenSet[int], int]:
+    """Count grid cells per coverage signature using vectorized numpy.
+
+    Returns a mapping ``signature -> number of grid cells``, including
+    the empty signature for uncovered cells.
+    """
+    if resolution <= 0:
+        raise ValueError(f"resolution must be positive, got {resolution}")
+    xs = region.x_min + (np.arange(resolution) + 0.5) * (region.width / resolution)
+    ys = region.y_min + (np.arange(resolution) + 0.5) * (region.height / resolution)
+    grid_x, grid_y = np.meshgrid(xs, ys)
+    flat_x = grid_x.ravel()
+    flat_y = grid_y.ravel()
+    num_points = flat_x.size
+
+    # Bit-pack coverage of each point into python ints via per-disk masks.
+    # For n <= ~500 disks this is fast and exact.
+    signatures = np.zeros(num_points, dtype=object)
+    signatures[:] = 0
+    for disk_id, disk in enumerate(disks):
+        dx = flat_x - disk.center.x
+        dy = flat_y - disk.center.y
+        inside = dx * dx + dy * dy <= disk.radius * disk.radius
+        bit = 1 << disk_id
+        for idx in np.flatnonzero(inside):
+            signatures[idx] += bit
+
+    counts: Dict[int, int] = {}
+    for sig in signatures:
+        counts[sig] = counts.get(sig, 0) + 1
+
+    decoded: Dict[FrozenSet[int], int] = {}
+    for packed, count in counts.items():
+        members = frozenset(
+            disk_id for disk_id in range(len(disks)) if packed >> disk_id & 1
+        )
+        decoded[members] = decoded.get(members, 0) + count
+    return decoded
+
+
+def compute_subregions(
+    region: Rectangle,
+    disks: Sequence[Disk],
+    resolution: int = 200,
+    weights: Dict[FrozenSet[int], float] | None = None,
+    default_weight: float = 1.0,
+    include_uncovered: bool = False,
+) -> List[Subregion]:
+    """Decompose ``region`` into signature classes of the disk arrangement.
+
+    Parameters
+    ----------
+    region:
+        The monitored region Omega.
+    disks:
+        Sensing regions ``R(v_i)``; disk ``i``'s id is its index.
+    resolution:
+        Grid resolution per axis for area quadrature; error shrinks
+        linearly with the pitch.
+    weights:
+        Optional per-signature preference weight ``w_i``; defaults to
+        ``default_weight`` for every class.
+    include_uncovered:
+        If True, also emit the uncovered class (empty signature) --
+        useful for reporting the uncovered area; it never contributes
+        utility.
+
+    Returns
+    -------
+    One :class:`~repro.utility.area.Subregion` per coverage signature,
+    with area estimated by quadrature.
+    """
+    if resolution <= 0:
+        raise ValueError(f"resolution must be positive, got {resolution}")
+    cell_area = region.area / (resolution * resolution)
+    decoded = _signature_grid(region, disks, resolution)
+    subregions: List[Subregion] = []
+    for signature, count in sorted(
+        decoded.items(), key=lambda kv: (len(kv[0]), sorted(kv[0]))
+    ):
+        if not signature and not include_uncovered:
+            continue
+        weight = default_weight
+        if weights is not None and signature in weights:
+            weight = weights[signature]
+        if not signature:
+            # Uncovered area is reported with weight as given but will be
+            # filtered out by AreaCoverageUtility anyway.
+            subregions.append(
+                Subregion(covered_by=signature, area=count * cell_area, weight=weight)
+            )
+        else:
+            subregions.append(
+                Subregion(covered_by=signature, area=count * cell_area, weight=weight)
+            )
+    return subregions
+
+
+def count_subregions(
+    region: Rectangle, disks: Sequence[Disk], resolution: int = 200
+) -> int:
+    """Number of distinct non-empty coverage signatures in the region.
+
+    Fig. 3b's example shows 38 subregions for 3 overlapping regions in a
+    rectangle; this function reproduces such counts (connected
+    components with identical signatures are merged, so counts here are
+    a lower bound on the paper's purely geometric cell count; the
+    utility value is unaffected).
+    """
+    decoded = _signature_grid(region, disks, resolution)
+    return sum(1 for signature in decoded if signature)
+
+
+def uncovered_area(
+    region: Rectangle, disks: Sequence[Disk], resolution: int = 200
+) -> float:
+    """Area of the region not covered by any disk (quadrature estimate)."""
+    decoded = _signature_grid(region, disks, resolution)
+    cell_area = region.area / (resolution * resolution)
+    return decoded.get(frozenset(), 0) * cell_area
+
+
+def covered_area(
+    region: Rectangle, disks: Sequence[Disk], resolution: int = 200
+) -> float:
+    """Area covered by the union of the disks, clipped to the region."""
+    return region.area - uncovered_area(region, disks, resolution)

@@ -1,0 +1,138 @@
+"""Communication connectivity: can active sensors report to the sink?
+
+The paper's motivating deployment (Sec. I) gathers sensed data to a
+base station over multi-hop radio, and notes that reducing transmission
+range "may of course not be always possible depending on network
+connectivity constraints".  The scheduling model abstracts this away;
+this module makes it checkable so deployments can validate a schedule
+against radio reality:
+
+- :func:`communication_graph` -- the unit-disk graph over sensors (and
+  the sink) at a given radio range, as a :mod:`networkx` graph;
+- :func:`reachable_from_sink` -- which nodes can reach the sink through
+  a set of *relay-capable* nodes (in the paper's lifecycle, ACTIVE and
+  READY nodes wake and can forward; PASSIVE nodes are dead air);
+- :func:`delivery_fraction` -- fraction of an active set whose data can
+  reach the sink;
+- :func:`min_range_for_connectivity` -- the smallest radio range making
+  the full deployment connected (bisection over the unit-disk radius),
+  quantifying the intro's range/connectivity trade-off.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Optional, Set
+
+import networkx as nx
+
+from repro.coverage.deployment import Deployment
+from repro.coverage.geometry import Point
+
+#: Node key used for the base station in communication graphs.
+SINK = "sink"
+
+
+def communication_graph(
+    deployment: Deployment,
+    radio_range: float,
+    sink: Optional[Point] = None,
+) -> nx.Graph:
+    """Unit-disk communication graph over the deployment's sensors.
+
+    Sensors are nodes ``0..n-1``; if ``sink`` is given it becomes the
+    node :data:`SINK`.  Two nodes are linked iff their distance is at
+    most ``radio_range``.
+    """
+    if radio_range <= 0:
+        raise ValueError(f"radio range must be positive, got {radio_range}")
+    graph = nx.Graph()
+    positions = list(deployment.sensors)
+    graph.add_nodes_from(range(len(positions)))
+    if sink is not None:
+        graph.add_node(SINK)
+    for i, a in enumerate(positions):
+        for j in range(i + 1, len(positions)):
+            if a.distance_to(positions[j]) <= radio_range + 1e-12:
+                graph.add_edge(i, j)
+        if sink is not None and a.distance_to(sink) <= radio_range + 1e-12:
+            graph.add_edge(i, SINK)
+    return graph
+
+
+def reachable_from_sink(
+    graph: nx.Graph, relays: Iterable[int]
+) -> FrozenSet[int]:
+    """Sensors that can reach the sink through relay-capable nodes.
+
+    ``relays`` are the awake nodes (ACTIVE + READY); the subgraph
+    induced by them plus the sink is searched from the sink.  A node in
+    ``relays`` adjacent to that component is reachable.
+    """
+    if SINK not in graph:
+        raise ValueError("graph has no sink node; pass sink= to communication_graph")
+    relay_set: Set = set(relays) & set(graph.nodes)
+    induced = graph.subgraph(relay_set | {SINK})
+    component = nx.node_connected_component(induced, SINK)
+    return frozenset(v for v in component if v != SINK)
+
+
+def delivery_fraction(
+    graph: nx.Graph,
+    active: Iterable[int],
+    relays: Optional[Iterable[int]] = None,
+) -> float:
+    """Fraction of the active set able to deliver data to the sink.
+
+    ``relays`` defaults to the active set itself (only sensing nodes
+    forward); pass the awake set (ACTIVE + READY) for the paper's
+    lifecycle, where READY nodes wake periodically and can relay.
+    """
+    active_set = frozenset(active)
+    if not active_set:
+        return 1.0  # vacuously: nothing to deliver, nothing lost
+    relay_set = frozenset(relays) if relays is not None else active_set
+    reachable = reachable_from_sink(graph, relay_set | active_set)
+    return len(active_set & reachable) / len(active_set)
+
+
+def is_connected_deployment(
+    deployment: Deployment, radio_range: float, sink: Point
+) -> bool:
+    """True iff every sensor could reach the sink with everyone awake."""
+    graph = communication_graph(deployment, radio_range, sink=sink)
+    reachable = reachable_from_sink(graph, range(deployment.num_sensors))
+    return len(reachable) == deployment.num_sensors
+
+
+def min_range_for_connectivity(
+    deployment: Deployment,
+    sink: Point,
+    precision: float = 0.1,
+    upper: Optional[float] = None,
+) -> float:
+    """Smallest radio range connecting all sensors to the sink.
+
+    Bisection over the unit-disk radius; ``upper`` defaults to the
+    region diagonal (always sufficient).  The intro's trade-off in a
+    number: below this range, some sensor's data cannot be gathered no
+    matter the schedule.
+    """
+    if precision <= 0:
+        raise ValueError(f"precision must be positive, got {precision}")
+    if deployment.num_sensors == 0:
+        return 0.0
+    region = deployment.region
+    hi = upper if upper is not None else (region.width**2 + region.height**2) ** 0.5
+    if not is_connected_deployment(deployment, hi, sink):
+        raise ValueError(
+            f"deployment is not connected even at range {hi}; "
+            "is the sink inside the region?"
+        )
+    lo = 0.0
+    while hi - lo > precision:
+        mid = (lo + hi) / 2
+        if is_connected_deployment(deployment, mid, sink):
+            hi = mid
+        else:
+            lo = mid
+    return hi

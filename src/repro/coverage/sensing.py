@@ -1,0 +1,102 @@
+"""Sensing models: which sensors can monitor which points, and how well.
+
+The paper fixes each sensor's operating power, so its monitored region
+``R(v_i)`` is fixed (Sec. II-A).  Two concrete models:
+
+- :class:`DiskSensingModel` -- the boolean disk model: ``v`` monitors
+  every point within its sensing radius; detection probability is a
+  constant ``p`` inside the disk (``p = 0.4`` in the paper's
+  evaluation) and 0 outside.
+- :class:`ProbabilisticSensingModel` -- distance-decaying detection
+  probability ``p(d) = p0 * exp(-beta * d)`` truncated at the sensing
+  radius; a common refinement that still yields a submodular detection
+  utility (the miss probabilities multiply).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.coverage.geometry import Disk, Point
+
+
+class SensingModel(ABC):
+    """Maps (sensor position, point) to coverage and detection quality."""
+
+    @abstractmethod
+    def covers(self, sensor: Point, point: Point) -> bool:
+        """True iff the point lies inside the sensor's monitored region."""
+
+    @abstractmethod
+    def detection_probability(self, sensor: Point, point: Point) -> float:
+        """Per-event detection probability of this sensor for the point."""
+
+    @abstractmethod
+    def region(self, sensor: Point) -> Disk:
+        """The monitored region ``R(v)`` as a disk."""
+
+
+@dataclass(frozen=True)
+class DiskSensingModel(SensingModel):
+    """Boolean disk sensing with constant in-range detection probability.
+
+    Parameters
+    ----------
+    radius:
+        Sensing radius (same units as the deployment region).
+    p:
+        Detection probability for any point inside the disk.  The paper
+        uses ``p = 0.4``.
+    """
+
+    radius: float
+    p: float = 0.4
+
+    def __post_init__(self) -> None:
+        if self.radius <= 0:
+            raise ValueError(f"sensing radius must be positive, got {self.radius}")
+        if not 0.0 <= self.p <= 1.0:
+            raise ValueError(f"detection probability must be in [0, 1], got {self.p}")
+
+    def covers(self, sensor: Point, point: Point) -> bool:
+        return sensor.distance_to(point) <= self.radius + 1e-12
+
+    def detection_probability(self, sensor: Point, point: Point) -> float:
+        return self.p if self.covers(sensor, point) else 0.0
+
+    def region(self, sensor: Point) -> Disk:
+        return Disk(sensor, self.radius)
+
+
+@dataclass(frozen=True)
+class ProbabilisticSensingModel(SensingModel):
+    """Exponentially decaying detection probability, truncated at ``radius``.
+
+    ``p(d) = p0 * exp(-beta * d)`` for ``d <= radius``, else 0.
+    """
+
+    radius: float
+    p0: float = 0.9
+    beta: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.radius <= 0:
+            raise ValueError(f"sensing radius must be positive, got {self.radius}")
+        if not 0.0 <= self.p0 <= 1.0:
+            raise ValueError(f"p0 must be in [0, 1], got {self.p0}")
+        if self.beta < 0:
+            raise ValueError(f"beta must be non-negative, got {self.beta}")
+
+    def covers(self, sensor: Point, point: Point) -> bool:
+        return sensor.distance_to(point) <= self.radius + 1e-12
+
+    def detection_probability(self, sensor: Point, point: Point) -> float:
+        d = sensor.distance_to(point)
+        if d > self.radius + 1e-12:
+            return 0.0
+        return self.p0 * math.exp(-self.beta * d)
+
+    def region(self, sensor: Point) -> Disk:
+        return Disk(sensor, self.radius)

@@ -1,0 +1,94 @@
+"""Battery model: capacity ``B``, linear charge/discharge, depletion to zero.
+
+The paper assumes (Sec. II-B) a battery that can be depleted to zero,
+discharges at a fixed speed ``mu_d`` while the node is active, and
+recharges at ``mu_r`` while passive.  Within a short horizon (~2 h of
+sunny weather) both speeds are effectively constant -- the testbed
+measurement of Sec. VI-A exists to justify exactly this.
+"""
+
+from __future__ import annotations
+
+
+class Battery:
+    """A linear battery with hard [0, capacity] bounds.
+
+    Parameters
+    ----------
+    capacity:
+        ``B`` in energy units (e.g. joules or mAh-equivalents).
+    level:
+        Initial energy; defaults to full (the paper activates only
+        fully charged sensors).
+    """
+
+    def __init__(self, capacity: float, level: float | None = None):
+        if capacity <= 0:
+            raise ValueError(f"battery capacity must be positive, got {capacity}")
+        self._capacity = capacity
+        if level is None:
+            level = capacity
+        if not 0 <= level <= capacity:
+            raise ValueError(
+                f"battery level must be in [0, {capacity}], got {level}"
+            )
+        self._level = float(level)
+
+    @property
+    def capacity(self) -> float:
+        return self._capacity
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    @property
+    def fraction(self) -> float:
+        """State of charge in [0, 1]."""
+        return self._level / self._capacity
+
+    @property
+    def is_full(self) -> bool:
+        return self._level >= self._capacity - 1e-9
+
+    @property
+    def is_empty(self) -> bool:
+        return self._level <= 1e-9
+
+    def discharge(self, amount: float) -> float:
+        """Drain up to ``amount``; returns the energy actually drained.
+
+        Draining clamps at zero -- the paper's model lets the battery
+        deplete fully, at which point the node drops to PASSIVE.
+        """
+        if amount < 0:
+            raise ValueError(f"discharge amount must be non-negative, got {amount}")
+        drained = min(amount, self._level)
+        self._level -= drained
+        return drained
+
+    def charge(self, amount: float) -> float:
+        """Add up to ``amount``; returns the energy actually stored.
+
+        Charging clamps at capacity (excess harvest is wasted, matching
+        a real solar charging circuit topping off).
+        """
+        if amount < 0:
+            raise ValueError(f"charge amount must be non-negative, got {amount}")
+        stored = min(amount, self._capacity - self._level)
+        self._level += stored
+        return stored
+
+    def set_level(self, level: float) -> None:
+        """Force the energy level (used by trace replay and tests)."""
+        if not 0 <= level <= self._capacity:
+            raise ValueError(
+                f"battery level must be in [0, {self._capacity}], got {level}"
+            )
+        self._level = float(level)
+
+    def copy(self) -> "Battery":
+        return Battery(self._capacity, self._level)
+
+    def __repr__(self) -> str:
+        return f"Battery(capacity={self._capacity}, level={self._level:.4g})"

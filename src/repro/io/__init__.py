@@ -1,0 +1,39 @@
+"""Serialization: schedules, utilities and results to/from JSON.
+
+Deployments plan offline and execute on motes; the exchange format
+matters.  This subpackage round-trips the library's core objects
+through plain JSON-compatible dicts:
+
+- schedules (:func:`~repro.io.serialization.schedule_to_dict` /
+  :func:`~repro.io.serialization.schedule_from_dict`) -- what gets
+  shipped to the base station;
+- utility functions for the serializable families (homogeneous /
+  general detection, log-sum, weighted coverage, target systems);
+- solve-result summaries for experiment logs.
+"""
+
+from repro.io.serialization import (
+    result_summary,
+    schedule_from_dict,
+    schedule_to_dict,
+    utility_from_dict,
+    utility_to_dict,
+)
+from repro.io.files import (
+    load_schedule,
+    save_schedule,
+    save_sweep_csv,
+    save_trace_csv,
+)
+
+__all__ = [
+    "schedule_to_dict",
+    "schedule_from_dict",
+    "utility_to_dict",
+    "utility_from_dict",
+    "result_summary",
+    "save_schedule",
+    "load_schedule",
+    "save_sweep_csv",
+    "save_trace_csv",
+]

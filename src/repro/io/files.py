@@ -1,0 +1,47 @@
+"""File-level save/load for schedules and experiment artifacts.
+
+Thin wrappers around :mod:`repro.io.serialization` that read and write
+actual files, so deployments can persist a planned schedule and reload
+it at the base station, and sweeps can be archived as CSV.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence, Union
+
+from repro.io.serialization import schedule_from_dict, schedule_to_dict
+
+PathLike = Union[str, Path]
+
+
+def save_schedule(schedule, path: PathLike) -> None:
+    """Write a schedule to a JSON file (creates parent dirs)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w") as handle:
+        json.dump(schedule_to_dict(schedule), handle, indent=2)
+        handle.write("\n")
+
+
+def load_schedule(path: PathLike):
+    """Read a schedule written by :func:`save_schedule`."""
+    with Path(path).open() as handle:
+        return schedule_from_dict(json.load(handle))
+
+
+def save_sweep_csv(records: Sequence, path: PathLike) -> None:
+    """Archive sweep records as CSV (creates parent dirs)."""
+    from repro.analysis.sweep import records_to_csv
+
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(records_to_csv(records))
+
+
+def save_trace_csv(trace, path: PathLike) -> None:
+    """Archive a :class:`~repro.solar.trace.NodeTrace` as CSV."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(trace.to_csv())

@@ -1,0 +1,167 @@
+"""JSON-compatible (de)serialization of schedules, utilities, results.
+
+Everything maps to plain dicts/lists/numbers so callers can use
+``json.dumps`` directly.  Deserializers validate the ``kind`` tag and
+fail loudly on unknown formats -- silent best-effort parsing of a
+schedule that will drive hardware is not acceptable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Union
+
+from repro.core.schedule import PeriodicSchedule, ScheduleMode, UnrolledSchedule
+from repro.core.solver import SolveResult
+from repro.utility.base import UtilityFunction
+from repro.utility.coverage_count import WeightedCoverageUtility
+from repro.utility.detection import DetectionUtility, HomogeneousDetectionUtility
+from repro.utility.logsum import LogSumUtility
+from repro.utility.target_system import TargetSystem
+
+Schedule = Union[PeriodicSchedule, UnrolledSchedule]
+
+
+# ----------------------------------------------------------------------
+# Schedules
+# ----------------------------------------------------------------------
+
+
+def schedule_to_dict(schedule: Schedule) -> Dict[str, Any]:
+    """Serialize a periodic or unrolled schedule."""
+    if isinstance(schedule, PeriodicSchedule):
+        return {
+            "kind": "periodic",
+            "slots_per_period": schedule.slots_per_period,
+            "mode": schedule.mode.value,
+            # JSON keys are strings; keep sensor ids as strings in flight.
+            "assignment": {str(v): t for v, t in schedule.assignment.items()},
+        }
+    if isinstance(schedule, UnrolledSchedule):
+        return {
+            "kind": "unrolled",
+            "slots_per_period": schedule.slots_per_period,
+            "rho_at_most_one": schedule.rho_at_most_one,
+            "active_sets": [sorted(s) for s in schedule.active_sets],
+        }
+    raise TypeError(f"cannot serialize schedule of type {type(schedule).__name__}")
+
+
+def schedule_from_dict(data: Dict[str, Any]) -> Schedule:
+    """Inverse of :func:`schedule_to_dict`; validates the ``kind`` tag."""
+    kind = data.get("kind")
+    if kind == "periodic":
+        return PeriodicSchedule(
+            slots_per_period=int(data["slots_per_period"]),
+            assignment={int(v): int(t) for v, t in data["assignment"].items()},
+            mode=ScheduleMode(data["mode"]),
+        )
+    if kind == "unrolled":
+        return UnrolledSchedule(
+            slots_per_period=int(data["slots_per_period"]),
+            active_sets=tuple(frozenset(s) for s in data["active_sets"]),
+            rho_at_most_one=bool(data.get("rho_at_most_one", False)),
+        )
+    raise ValueError(f"unknown schedule kind: {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Utilities (the serializable families)
+# ----------------------------------------------------------------------
+
+
+def utility_to_dict(fn: UtilityFunction) -> Dict[str, Any]:
+    """Serialize a utility of a known family; TypeError otherwise."""
+    if isinstance(fn, HomogeneousDetectionUtility):
+        return {
+            "kind": "homogeneous-detection",
+            "sensors": sorted(fn.ground_set),
+            "p": fn.p,
+        }
+    if isinstance(fn, DetectionUtility):
+        return {
+            "kind": "detection",
+            "probabilities": {str(v): p for v, p in fn.probabilities.items()},
+        }
+    if isinstance(fn, LogSumUtility):
+        return {
+            "kind": "logsum",
+            "weights": {str(v): w for v, w in fn.weights.items()},
+        }
+    if isinstance(fn, WeightedCoverageUtility):
+        return {
+            "kind": "weighted-coverage",
+            "covers": {
+                str(v): sorted(fn.covers_of(v)) for v in fn.ground_set
+            },
+            "element_weights": {
+                str(e): fn.element_weight(e) for e in fn.elements
+            },
+        }
+    if isinstance(fn, TargetSystem):
+        return {
+            "kind": "target-system",
+            "coverage_sets": [
+                sorted(fn.coverage_set(i)) for i in range(fn.num_targets)
+            ],
+            "target_utilities": [
+                utility_to_dict(fn.target_utility(i))
+                for i in range(fn.num_targets)
+            ],
+        }
+    raise TypeError(
+        f"cannot serialize utility of type {type(fn).__name__}; "
+        "serializable families: homogeneous-detection, detection, logsum, "
+        "weighted-coverage, target-system"
+    )
+
+
+def utility_from_dict(data: Dict[str, Any]) -> UtilityFunction:
+    """Inverse of :func:`utility_to_dict`."""
+    kind = data.get("kind")
+    if kind == "homogeneous-detection":
+        return HomogeneousDetectionUtility(data["sensors"], p=float(data["p"]))
+    if kind == "detection":
+        return DetectionUtility(
+            {int(v): float(p) for v, p in data["probabilities"].items()}
+        )
+    if kind == "logsum":
+        return LogSumUtility(
+            {int(v): float(w) for v, w in data["weights"].items()}
+        )
+    if kind == "weighted-coverage":
+        weights = data.get("element_weights")
+        return WeightedCoverageUtility(
+            {int(v): set(elems) for v, elems in data["covers"].items()},
+            element_weights=(
+                {int(e): float(w) for e, w in weights.items()}
+                if weights
+                else None
+            ),
+        )
+    if kind == "target-system":
+        return TargetSystem(
+            [frozenset(s) for s in data["coverage_sets"]],
+            [utility_from_dict(u) for u in data["target_utilities"]],
+        )
+    raise ValueError(f"unknown utility kind: {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Results
+# ----------------------------------------------------------------------
+
+
+def result_summary(result: SolveResult) -> Dict[str, Any]:
+    """Flat experiment-log record for one solve."""
+    return {
+        "method": result.method,
+        "num_sensors": result.problem.num_sensors,
+        "rho": result.problem.rho,
+        "slots_per_period": result.problem.slots_per_period,
+        "num_periods": result.problem.num_periods,
+        "total_utility": result.total_utility,
+        "average_slot_utility": result.average_slot_utility,
+        "average_utility_per_target": result.average_utility_per_target,
+        "solve_seconds": result.solve_seconds,
+        "extras": dict(result.extras),
+    }

@@ -1,0 +1,135 @@
+"""Adaptive re-planning: estimate rho online, re-plan when it shifts.
+
+The paper's deployment story (Sec. I, II-B, VI-A): the charging pattern
+is stable over short windows (~2 h) but changes with the weather, so
+"in order to suit long-term monitoring case, e.g. one week, we can
+dynamically choose mu_d and mu_r according to different weather
+condition".  This policy implements that loop:
+
+1. Observe the energy actually charged by passive nodes each slot
+   (the testbed's charging-voltage measurement, in simulation form) and
+   feed a :class:`~repro.solar.harvest.HarvestEstimator`.
+2. Every ``replan_interval`` slots (default 8 slots = 2 h at 15 min),
+   fit a :class:`~repro.energy.period.ChargingPeriod` from the
+   estimate, snapping rho to the integral grid.
+3. If the fitted rho differs from the one currently planned for,
+   recompute the greedy schedule under the new period, phase-aligned to
+   the replan boundary.
+
+Until the first estimate exists the policy plans with the network's
+nominal period.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, FrozenSet, Optional, Sequence
+
+from repro.core.greedy import greedy_schedule
+from repro.core.greedy_passive import greedy_passive_schedule
+from repro.core.problem import SchedulingProblem
+from repro.core.schedule import PeriodicSchedule
+from repro.energy.period import ChargingPeriod
+from repro.policies.base import ActivationPolicy
+from repro.solar.harvest import HarvestEstimator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.network import SensorNetwork
+    from repro.sim.node import NodeSlotReport
+
+
+class AdaptiveReplanPolicy(ActivationPolicy):
+    """Greedy schedule, re-planned as the charging-pattern estimate moves."""
+
+    def __init__(
+        self,
+        replan_interval: int = 8,
+        estimator_window_minutes: float = 120.0,
+        lazy: bool = True,
+    ):
+        if replan_interval < 1:
+            raise ValueError(
+                f"replan_interval must be >= 1, got {replan_interval}"
+            )
+        self.replan_interval = replan_interval
+        self._estimator_window = estimator_window_minutes
+        self._lazy = lazy
+        self._estimator: Optional[HarvestEstimator] = None
+        self._schedule: Optional[PeriodicSchedule] = None
+        self._planned_period: Optional[ChargingPeriod] = None
+        self._plan_start_slot = 0
+        self._slot_minutes: Optional[float] = None
+        self.replans = 0
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+
+    def _plan(
+        self, network: "SensorNetwork", period: ChargingPeriod, slot: int
+    ) -> None:
+        problem = SchedulingProblem(
+            num_sensors=network.num_sensors,
+            period=period,
+            utility=network.utility,
+        )
+        if problem.is_sparse_regime:
+            self._schedule = greedy_schedule(problem, lazy=self._lazy)
+        else:
+            self._schedule = greedy_passive_schedule(problem, lazy=self._lazy)
+        self._planned_period = period
+        self._plan_start_slot = slot
+
+    def _maybe_replan(self, network: "SensorNetwork", slot: int) -> None:
+        if self._estimator is None:
+            return
+        capacity = network.nodes[0].battery.capacity if network.nodes else 1.0
+        fitted = self._estimator.estimated_period(
+            capacity=capacity,
+            discharge_time=network.period.discharge_time,
+        )
+        if fitted is None:
+            return
+        assert self._planned_period is not None
+        if abs(fitted.rho - self._planned_period.rho) > 1e-9:
+            self._plan(network, fitted, slot)
+            self.replans += 1
+
+    # ------------------------------------------------------------------
+    # Policy interface
+    # ------------------------------------------------------------------
+
+    def decide(self, slot: int, network: "SensorNetwork") -> FrozenSet[int]:
+        if self._estimator is None:
+            self._estimator = HarvestEstimator(
+                window_minutes=self._estimator_window
+            )
+        if self._slot_minutes is None:
+            self._slot_minutes = network.period.slot_length
+        if self._schedule is None:
+            self._plan(network, network.period, slot)
+        elif slot > self._plan_start_slot and slot % self.replan_interval == 0:
+            self._maybe_replan(network, slot)
+        assert self._schedule is not None
+        phase = slot - self._plan_start_slot
+        return self._schedule.active_set(phase)
+
+    def observe(self, slot: int, reports: Sequence["NodeSlotReport"]) -> None:
+        if self._estimator is None:
+            return
+        charging = [r.energy_charged for r in reports if r.energy_charged > 0]
+        if not charging:
+            return
+        # One aggregate sample per slot: the mean per-slot charge across
+        # recharging nodes, converted to per-minute via the slot length.
+        slot_minutes = self._slot_minutes if self._slot_minutes else 15.0
+        mean_rate = sum(charging) / len(charging) / slot_minutes
+        minute = slot * slot_minutes
+        self._estimator.observe(minute, mean_rate)
+
+    def reset(self) -> None:
+        self._estimator = None
+        self._schedule = None
+        self._planned_period = None
+        self._plan_start_slot = 0
+        self._slot_minutes = None
+        self.replans = 0

@@ -1,0 +1,88 @@
+"""Forecast-driven day-ahead planning policy.
+
+Combines :mod:`repro.solar.forecast` with the greedy scheduler: at the
+start of every day, forecast tomorrow's charging profile from the
+weather chain (under a chosen risk posture) and plan that day's greedy
+schedule for the forecast period.  This is the planning-side
+counterpart of :class:`~repro.policies.adaptive.AdaptiveReplanPolicy`
+(which *reacts* to measured rates); the two bracket the design space
+the paper's "choose the charging pattern per day" remark opens.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, FrozenSet, Optional
+
+from repro.core.greedy import greedy_schedule
+from repro.core.greedy_passive import greedy_passive_schedule
+from repro.core.problem import SchedulingProblem
+from repro.core.schedule import PeriodicSchedule
+from repro.policies.base import ActivationPolicy
+from repro.solar.forecast import RiskPosture, forecast_profile
+from repro.solar.weather import MarkovWeatherProcess
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.network import SensorNetwork
+
+
+class ForecastPlanningPolicy(ActivationPolicy):
+    """Re-plan each simulated day from the weather forecast.
+
+    Parameters
+    ----------
+    weather_process:
+        The (shared) weather chain; :meth:`decide` samples it forward
+        one step per simulated day, so the policy sees the same weather
+        sequence the simulation's charging model was built from when
+        both are driven by the same chain parameters and seed.
+    slots_per_day:
+        Day length in slots (48 for 12 h of 15-min slots).
+    posture:
+        Forecast risk posture (see
+        :func:`repro.solar.forecast.forecast_profile`).
+    """
+
+    def __init__(
+        self,
+        weather_process: MarkovWeatherProcess,
+        slots_per_day: int = 48,
+        posture: RiskPosture = "pessimistic",
+    ):
+        if slots_per_day < 1:
+            raise ValueError(f"slots_per_day must be >= 1, got {slots_per_day}")
+        self.weather = weather_process
+        self.slots_per_day = slots_per_day
+        self.posture = posture
+        self._schedule: Optional[PeriodicSchedule] = None
+        self._planned_day = -1
+        self.plans_made = 0
+
+    def _plan_for_day(self, network: "SensorNetwork", day: int) -> None:
+        profile = forecast_profile(self.weather, posture=self.posture)
+        problem = SchedulingProblem(
+            num_sensors=network.num_sensors,
+            period=profile.period,
+            utility=network.utility,
+        )
+        if problem.is_sparse_regime:
+            self._schedule = greedy_schedule(problem)
+        else:
+            self._schedule = greedy_passive_schedule(problem)
+        self._planned_day = day
+        self.plans_made += 1
+
+    def decide(self, slot: int, network: "SensorNetwork") -> FrozenSet[int]:
+        day = slot // self.slots_per_day
+        if day != self._planned_day:
+            if self._planned_day >= 0:
+                # A day passed: advance the weather chain.
+                self.weather.step()
+            self._plan_for_day(network, day)
+        assert self._schedule is not None
+        phase = slot % self.slots_per_day
+        return self._schedule.active_set(phase)
+
+    def reset(self) -> None:
+        self._schedule = None
+        self._planned_day = -1
+        self.plans_made = 0

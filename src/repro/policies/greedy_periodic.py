@@ -1,0 +1,52 @@
+"""Plan once with Algorithm 1, repeat every period (Thm. 4.3).
+
+The paper's deployed configuration: compute the greedy hill-climbing
+schedule for a single charging period, then execute it periodically for
+the whole working time.  Planning is lazy -- it happens on the first
+``decide`` call, using the network's own period and utility, so the
+policy can be constructed before the network exists.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, FrozenSet, Optional
+
+from repro.core.greedy import greedy_schedule
+from repro.core.greedy_passive import greedy_passive_schedule
+from repro.core.problem import SchedulingProblem
+from repro.core.schedule import PeriodicSchedule
+from repro.policies.base import ActivationPolicy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.network import SensorNetwork
+
+
+class GreedyPeriodicPolicy(ActivationPolicy):
+    """Greedy plan for one period, repeated forever."""
+
+    def __init__(self, lazy: bool = True):
+        self._lazy = lazy
+        self._schedule: Optional[PeriodicSchedule] = None
+
+    @property
+    def schedule(self) -> Optional[PeriodicSchedule]:
+        """The planned one-period schedule (``None`` before first use)."""
+        return self._schedule
+
+    def _plan(self, network: "SensorNetwork") -> PeriodicSchedule:
+        problem = SchedulingProblem(
+            num_sensors=network.num_sensors,
+            period=network.period,
+            utility=network.utility,
+        )
+        if problem.is_sparse_regime:
+            return greedy_schedule(problem, lazy=self._lazy)
+        return greedy_passive_schedule(problem, lazy=self._lazy)
+
+    def decide(self, slot: int, network: "SensorNetwork") -> FrozenSet[int]:
+        if self._schedule is None:
+            self._schedule = self._plan(network)
+        return self._schedule.active_set(slot)
+
+    def reset(self) -> None:
+        self._schedule = None

@@ -1,0 +1,31 @@
+"""Execute a fixed schedule (periodic or unrolled) verbatim.
+
+The bridge between the offline solvers and the online simulator: a
+:class:`~repro.core.schedule.PeriodicSchedule` is repeated every period
+(Fig. 5) and an :class:`~repro.core.schedule.UnrolledSchedule` is read
+slot-by-slot (slots past its end command nothing).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, FrozenSet, Union
+
+from repro.core.schedule import PeriodicSchedule, UnrolledSchedule
+from repro.policies.base import ActivationPolicy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.network import SensorNetwork
+
+
+class SchedulePolicy(ActivationPolicy):
+    """Commands exactly what the schedule says, every slot."""
+
+    def __init__(self, schedule: Union[PeriodicSchedule, UnrolledSchedule]):
+        self.schedule = schedule
+
+    def decide(self, slot: int, network: "SensorNetwork") -> FrozenSet[int]:
+        if isinstance(self.schedule, PeriodicSchedule):
+            return self.schedule.active_set(slot)
+        if slot < self.schedule.total_slots:
+            return self.schedule.active_set(slot)
+        return frozenset()

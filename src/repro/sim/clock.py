@@ -1,0 +1,81 @@
+"""Slotted simulation clock (paper Sec. II-B).
+
+Time is divided into equal-sized slots (15 minutes in the paper's
+evaluation) and all sensors are synchronized; slots start from time 0.
+The clock converts between slot indices, wall-clock minutes and
+position within the charging period, and exposes the daily structure
+(the paper's working time L is the 12-hour daytime of one day).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class SlottedClock:
+    """Tracks the current slot and converts to wall-clock time.
+
+    Parameters
+    ----------
+    slot_minutes:
+        Wall-clock length of a slot (the paper's normalized slot is
+        T_d = 15 minutes in the sunny profile).
+    slots_per_period:
+        ``T`` in slots, for period-relative arithmetic.
+    start_minute:
+        Wall-clock minute of slot 0 (e.g. 7:00 = 420 for a daytime run).
+    """
+
+    slot_minutes: float = 15.0
+    slots_per_period: int = 4
+    start_minute: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.slot_minutes <= 0:
+            raise ValueError(f"slot length must be positive, got {self.slot_minutes}")
+        if self.slots_per_period < 1:
+            raise ValueError(
+                f"slots_per_period must be >= 1, got {self.slots_per_period}"
+            )
+        self._slot = 0
+
+    @property
+    def slot(self) -> int:
+        """Current slot index (starts at 0)."""
+        return self._slot
+
+    @property
+    def minute(self) -> float:
+        """Wall-clock minutes at the *start* of the current slot."""
+        return self.start_minute + self._slot * self.slot_minutes
+
+    @property
+    def slot_in_period(self) -> int:
+        """Position of the current slot within its charging period."""
+        return self._slot % self.slots_per_period
+
+    @property
+    def period_index(self) -> int:
+        """Which charging period the current slot belongs to."""
+        return self._slot // self.slots_per_period
+
+    def minute_of_slot(self, slot: int) -> float:
+        """Wall-clock minutes at the start of an arbitrary slot."""
+        return self.start_minute + slot * self.slot_minutes
+
+    def advance(self, slots: int = 1) -> int:
+        """Move forward; returns the new current slot."""
+        if slots < 0:
+            raise ValueError(f"cannot advance by {slots} slots")
+        self._slot += slots
+        return self._slot
+
+    def reset(self) -> None:
+        self._slot = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"SlottedClock(slot={self._slot}, minute={self.minute:g}, "
+            f"period={self.period_index})"
+        )

@@ -1,0 +1,128 @@
+"""Failure injection: node deaths, outages and command loss.
+
+The paper's testbed implicitly tolerates real-world failures (motes
+crash, radio commands get lost); the reproduction makes them explicit
+and injectable so robustness can be measured:
+
+- **permanent death**: a node stops responding at a given slot and
+  never comes back (hardware failure, battery damage);
+- **transient outage**: a node ignores commands during an interval
+  (reboot, local interference);
+- **command loss**: each activation command is independently lost with
+  probability ``command_loss``.
+
+Failures are applied as a policy wrapper
+(:class:`FailureInjectedPolicy`): commands to failed nodes are dropped
+before the hardware layer sees them, so a dead node simply never
+activates -- exactly how a lost radio command behaves on a real
+deployment.  The underlying policy is unaware, which lets experiments
+measure how gracefully a *schedule planned for a healthy network*
+degrades (the coverage redundancy of submodular utilities is the
+mitigation the paper's model implies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Tuple
+
+from repro.coverage.deployment import RngLike, make_rng
+from repro.policies.base import ActivationPolicy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.network import SensorNetwork
+
+
+@dataclass
+class FailurePlan:
+    """Deterministic part of a failure scenario."""
+
+    #: node id -> slot at which it dies permanently.
+    deaths: Dict[int, int] = field(default_factory=dict)
+    #: node id -> list of (start, end) outage intervals, end exclusive.
+    outages: Dict[int, List[Tuple[int, int]]] = field(default_factory=dict)
+
+    def is_down(self, node_id: int, slot: int) -> bool:
+        death = self.deaths.get(node_id)
+        if death is not None and slot >= death:
+            return True
+        for start, end in self.outages.get(node_id, ()):
+            if start <= slot < end:
+                return True
+        return False
+
+    @classmethod
+    def random_deaths(
+        cls,
+        num_sensors: int,
+        death_probability: float,
+        horizon: int,
+        rng: RngLike = None,
+    ) -> "FailurePlan":
+        """Each node independently dies w.p. ``death_probability``, at a
+        uniform random slot within the horizon."""
+        if not 0.0 <= death_probability <= 1.0:
+            raise ValueError(
+                f"death probability must be in [0, 1], got {death_probability}"
+            )
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        generator = make_rng(rng)
+        deaths = {
+            v: int(generator.integers(horizon))
+            for v in range(num_sensors)
+            if generator.random() < death_probability
+        }
+        return cls(deaths=deaths)
+
+
+class FailureInjectedPolicy(ActivationPolicy):
+    """Wraps a policy, dropping commands per a failure scenario.
+
+    Parameters
+    ----------
+    inner:
+        The policy being subjected to failures.
+    plan:
+        Deterministic deaths/outages.
+    command_loss:
+        Per-(node, slot) independent probability that an activation
+        command is lost in transit.
+    """
+
+    def __init__(
+        self,
+        inner: ActivationPolicy,
+        plan: Optional[FailurePlan] = None,
+        command_loss: float = 0.0,
+        rng: RngLike = None,
+    ):
+        if not 0.0 <= command_loss <= 1.0:
+            raise ValueError(
+                f"command loss must be in [0, 1], got {command_loss}"
+            )
+        self.inner = inner
+        self.plan = plan or FailurePlan()
+        self.command_loss = command_loss
+        self._rng = make_rng(rng)
+        self.dropped_commands = 0
+
+    def decide(self, slot: int, network: "SensorNetwork") -> FrozenSet[int]:
+        commands = self.inner.decide(slot, network)
+        surviving = set()
+        for node_id in commands:
+            if self.plan.is_down(node_id, slot):
+                self.dropped_commands += 1
+                continue
+            if self.command_loss > 0.0 and self._rng.random() < self.command_loss:
+                self.dropped_commands += 1
+                continue
+            surviving.add(node_id)
+        return frozenset(surviving)
+
+    def observe(self, slot, reports) -> None:
+        self.inner.observe(slot, reports)
+
+    def reset(self) -> None:
+        self.inner.reset()
+        self.dropped_commands = 0

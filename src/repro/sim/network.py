@@ -1,0 +1,167 @@
+"""The simulated sensor network: nodes + utility system + clock.
+
+Bundles the per-node simulation entities with the utility function the
+deployment serves, and provides snapshot views (who is READY, state of
+charge) that online policies consume.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence
+
+from repro.core.problem import SchedulingProblem
+from repro.energy.period import ChargingPeriod
+from repro.energy.states import NodeState
+from repro.sim.clock import SlottedClock
+from repro.sim.node import SimulatedNode
+from repro.utility.base import UtilityFunction
+
+
+class SensorNetwork:
+    """``n`` homogeneous rechargeable nodes serving one utility function.
+
+    Parameters
+    ----------
+    num_sensors:
+        Node count; ids are ``0..n-1``.
+    period:
+        The shared charging period (homogeneous sensors, Sec. II-B).
+    utility:
+        The per-slot utility ``U(S)`` the network earns.
+    capacity:
+        Battery capacity per node (normalized 1.0 by default).
+    ready_threshold:
+        Passed to every node; < 1.0 enables the partial-charge
+        extension (Sec. VIII).
+    node_periods:
+        Optional per-node period overrides (heterogeneous extension,
+        Sec. VIII); nodes not listed use the shared ``period``.  The
+        clock and schedule arithmetic still use the shared period.
+    """
+
+    def __init__(
+        self,
+        num_sensors: int,
+        period: ChargingPeriod,
+        utility: UtilityFunction,
+        capacity: float = 1.0,
+        ready_threshold: float = 1.0,
+        node_periods: Optional[Dict[int, ChargingPeriod]] = None,
+    ):
+        if num_sensors < 0:
+            raise ValueError(f"num_sensors must be >= 0, got {num_sensors}")
+        self.period = period
+        self.utility = utility
+        overrides = node_periods or {}
+        self.nodes: List[SimulatedNode] = [
+            SimulatedNode(
+                node_id=i,
+                period=overrides.get(i, period),
+                capacity=capacity,
+                ready_threshold=ready_threshold,
+                slot_minutes=period.slot_length,
+            )
+            for i in range(num_sensors)
+        ]
+        self.clock = SlottedClock(
+            slot_minutes=period.slot_length,
+            slots_per_period=period.slots_per_period,
+        )
+
+    @classmethod
+    def from_problem(
+        cls,
+        problem: SchedulingProblem,
+        capacity: float = 1.0,
+        ready_threshold: float = 1.0,
+    ) -> "SensorNetwork":
+        return cls(
+            num_sensors=problem.num_sensors,
+            period=problem.period,
+            utility=problem.utility,
+            capacity=capacity,
+            ready_threshold=ready_threshold,
+        )
+
+    # ------------------------------------------------------------------
+    # Snapshots for policies
+    # ------------------------------------------------------------------
+
+    @property
+    def num_sensors(self) -> int:
+        return len(self.nodes)
+
+    def node(self, node_id: int) -> SimulatedNode:
+        return self.nodes[node_id]
+
+    def ready_sensors(self) -> FrozenSet[int]:
+        """Ids that would honour an activation command this slot."""
+        return frozenset(n.node_id for n in self.nodes if n.can_activate)
+
+    def active_sensors(self) -> FrozenSet[int]:
+        return frozenset(n.node_id for n in self.nodes if n.is_active)
+
+    def states(self) -> Dict[int, NodeState]:
+        return {n.node_id: n.state for n in self.nodes}
+
+    def charge_fractions(self) -> Dict[int, float]:
+        return {n.node_id: n.battery.fraction for n in self.nodes}
+
+    def total_stored_energy(self) -> float:
+        return sum(n.battery.level for n in self.nodes)
+
+    def total_refused_activations(self) -> int:
+        return sum(n.refused_activations for n in self.nodes)
+
+    # ------------------------------------------------------------------
+    # Warm start
+    # ------------------------------------------------------------------
+
+    def warm_start(self, schedule) -> None:
+        """Put every node in the steady-state phase of a periodic schedule.
+
+        A fresh network starts all-full/all-READY, but a periodic
+        schedule's steady state has each node mid-cycle at slot 0 (the
+        paper's analysis is steady-state: each sensor activates exactly
+        once per period).  Without a warm start the first period shows
+        transient refused activations in the rho <= 1 regime (nodes
+        parked with partial charge do not recharge -- Sec. II-B's READY
+        semantics); after warm start the schedule executes exactly.
+
+        Parameters
+        ----------
+        schedule:
+            A :class:`~repro.core.schedule.PeriodicSchedule` whose
+            assignment covers the nodes to warm.
+        """
+        from repro.core.schedule import PeriodicSchedule, ScheduleMode
+        from repro.energy.states import NodeState
+
+        if not isinstance(schedule, PeriodicSchedule):
+            raise TypeError(
+                f"warm_start needs a PeriodicSchedule, got {type(schedule).__name__}"
+            )
+        T = schedule.slots_per_period
+        for node in self.nodes:
+            slot = schedule.slot_of(node.node_id)
+            if slot is None:
+                continue  # never-activated sensor: leave it READY/full
+            capacity = node.battery.capacity
+            done = T - 1 - slot  # cycle slots completed before slot 0
+            if schedule.mode is ScheduleMode.ACTIVE_SLOT:
+                # Recharging since its last activation at slot - T.
+                level = min(capacity, done * node.charge_per_slot)
+                state = (
+                    NodeState.READY
+                    if level >= capacity - 1e-9
+                    else NodeState.PASSIVE
+                )
+            else:
+                # Draining since its last passive slot at slot - T.
+                level = max(0.0, capacity - done * node.drain_per_slot)
+                if level <= 1e-9:
+                    state = NodeState.PASSIVE
+                    level = 0.0
+                else:
+                    state = NodeState.READY  # will be commanded on at slot 0
+            node.force(level, state)

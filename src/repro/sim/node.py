@@ -1,0 +1,198 @@
+"""One simulated sensor node: battery + state machine + slot stepping.
+
+Implements the lifecycle of Sec. II-B faithfully:
+
+- a node activates only from READY (fully charged by default -- "a node
+  can be activated only if it is fully charged");
+- while ACTIVE it drains at ``mu_d`` and drops to PASSIVE the moment
+  the battery empties;
+- while PASSIVE it recharges at ``mu_r`` and becomes READY at full;
+- READY holds its energy (the paper treats the periodic wake-up drain
+  as negligible).
+
+The *partially recharged activation* extension (the paper's Sec. VIII
+future work) is supported via ``ready_threshold``: a node becomes READY
+once its state of charge reaches the threshold instead of 1.0, and an
+activation then drains whatever charge it has.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.energy.battery import Battery
+from repro.energy.period import ChargingPeriod
+from repro.energy.states import NodeState, SensorStateMachine
+
+
+@dataclass
+class NodeSlotReport:
+    """What one node did during one slot."""
+
+    node_id: int
+    slot: int
+    was_active: bool
+    refused_activation: bool
+    energy_drained: float
+    energy_charged: float
+    state_after: NodeState
+    level_after: float
+
+
+class SimulatedNode:
+    """A rechargeable sensor node stepping through slots.
+
+    Parameters
+    ----------
+    node_id:
+        The sensor id used by schedules and utilities.
+    period:
+        The charging period; per-slot drain/charge amounts are derived
+        from it so that ``T_d``/``T_r`` are honoured exactly in the
+        normalized slot system.
+    capacity:
+        Battery capacity ``B`` (energy units; default 1.0, the
+        normalized battery).
+    ready_threshold:
+        State-of-charge (0..1] at which a PASSIVE node becomes READY.
+        1.0 is the paper's full-charge rule; lower values enable the
+        Sec. VIII partial-charge extension.
+    slot_minutes:
+        Wall-clock slot length used to convert T_d/T_r into per-slot
+        energy amounts.  Defaults to the period's own normalized slot;
+        heterogeneous networks pass the shared simulation slot so nodes
+        with different periods drain/charge at their own rates on the
+        common grid.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        period: ChargingPeriod,
+        capacity: float = 1.0,
+        ready_threshold: float = 1.0,
+        slot_minutes: float | None = None,
+    ):
+        if not 0.0 < ready_threshold <= 1.0:
+            raise ValueError(
+                f"ready_threshold must be in (0, 1], got {ready_threshold}"
+            )
+        self.node_id = node_id
+        self.period = period
+        self.battery = Battery(capacity)
+        self.machine = SensorStateMachine(NodeState.READY)
+        self.ready_threshold = ready_threshold
+        slot = period.slot_length if slot_minutes is None else slot_minutes
+        if slot <= 0:
+            raise ValueError(f"slot length must be positive, got {slot}")
+        # Energy per slot implied by the normalized-slot system.
+        self._drain_per_slot = capacity * slot / period.discharge_time
+        self._charge_per_slot = capacity * slot / period.recharge_time
+        self.refused_activations = 0
+        self.completed_activations = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def state(self) -> NodeState:
+        return self.machine.state
+
+    @property
+    def is_active(self) -> bool:
+        return self.machine.is_active
+
+    @property
+    def can_activate(self) -> bool:
+        """True iff an activation command this slot would be honoured."""
+        return self.machine.is_ready
+
+    @property
+    def drain_per_slot(self) -> float:
+        return self._drain_per_slot
+
+    @property
+    def charge_per_slot(self) -> float:
+        return self._charge_per_slot
+
+    # ------------------------------------------------------------------
+    # Stepping
+    # ------------------------------------------------------------------
+
+    def step(
+        self,
+        slot: int,
+        activate: bool,
+        drain_scale: float = 1.0,
+        charge_scale: float = 1.0,
+    ) -> NodeSlotReport:
+        """Advance the node through one slot.
+
+        Parameters
+        ----------
+        activate:
+            The policy's command: should this node sense during the slot?
+            Honoured only from READY; an ACTIVE node keeps running when
+            commanded on, and parks (ACTIVE -> READY, retaining charge)
+            when commanded off.
+        drain_scale / charge_scale:
+            Multipliers on the nominal per-slot drain/charge; the random
+            charging model (Sec. V) and weather variation feed in here.
+            1.0 reproduces the deterministic homogeneous model.
+        """
+        if drain_scale < 0 or charge_scale < 0:
+            raise ValueError("scales must be non-negative")
+        refused = False
+        drained = 0.0
+        charged = 0.0
+
+        if activate:
+            if self.machine.is_ready:
+                self.machine.activate()
+            elif not self.machine.is_active:
+                refused = True
+                self.refused_activations += 1
+        else:
+            if self.machine.is_active:
+                # Commanded off mid-activation: park with remaining charge.
+                self.machine.park()
+
+        was_active = self.machine.is_active
+        if self.machine.is_active:
+            drained = self.battery.discharge(self._drain_per_slot * drain_scale)
+            if self.battery.is_empty:
+                self.machine.deplete()
+                self.completed_activations += 1
+        elif self.machine.is_passive:
+            charged = self.battery.charge(self._charge_per_slot * charge_scale)
+            if self.battery.fraction >= self.ready_threshold - 1e-12:
+                self.machine.fully_charged()
+
+        return NodeSlotReport(
+            node_id=self.node_id,
+            slot=slot,
+            was_active=was_active,
+            refused_activation=refused,
+            energy_drained=drained,
+            energy_charged=charged,
+            state_after=self.machine.state,
+            level_after=self.battery.level,
+        )
+
+    def force(self, level: float, state: NodeState) -> None:
+        """Set battery level and state directly (warm starts, trace replay).
+
+        Bypasses the legal-transition checks -- this models *observing*
+        a node mid-cycle, not commanding it.  Consistency between level
+        and state is the caller's responsibility (e.g. PASSIVE with a
+        full battery would never be observed).
+        """
+        self.battery.set_level(level)
+        self.machine = SensorStateMachine(state)
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulatedNode(id={self.node_id}, state={self.state.value}, "
+            f"soc={self.battery.fraction:.2f})"
+        )

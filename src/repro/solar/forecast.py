@@ -1,0 +1,103 @@
+"""Day-ahead harvest forecasting from the weather process.
+
+The paper's long-term operating mode chooses a charging pattern per day
+by weather.  Given today's condition and the weather chain, tomorrow's
+condition -- hence tomorrow's (T_d, T_r) profile -- is a distribution,
+and a deployment can plan against its expectation instead of waiting to
+re-measure.  This module provides:
+
+- :func:`next_day_distribution` -- the conditional distribution of
+  tomorrow's weather given today's;
+- :func:`expected_rho` -- the expectation of tomorrow's rho under that
+  distribution (with the catalogue profiles);
+- :func:`forecast_profile` -- the most robust planning profile for
+  tomorrow under a chosen risk posture: ``"expected"`` plans for the
+  snapped expected rho, ``"pessimistic"`` for the worst
+  plausible rho (never refuses activations), ``"mode"`` for the most
+  likely condition.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Literal
+
+import numpy as np
+
+from repro.energy.period import ChargingPeriod
+from repro.energy.profiles import ChargingProfile, profile_for_weather
+from repro.solar.weather import MarkovWeatherProcess, WeatherCondition
+
+RiskPosture = Literal["expected", "pessimistic", "mode"]
+
+_ORDER = (
+    WeatherCondition.SUNNY,
+    WeatherCondition.CLOUDY,
+    WeatherCondition.RAINY,
+)
+
+
+def next_day_distribution(
+    process: MarkovWeatherProcess,
+    today: WeatherCondition | None = None,
+) -> Dict[WeatherCondition, float]:
+    """P(tomorrow = c | today) from the chain's transition matrix."""
+    condition = today if today is not None else process.current
+    row_index = _ORDER.index(condition)
+    row = process._matrix[row_index]  # the chain owns its matrix
+    return {c: float(p) for c, p in zip(_ORDER, row)}
+
+
+def expected_rho(distribution: Dict[WeatherCondition, float]) -> float:
+    """E[rho(tomorrow)] under the catalogue profiles."""
+    total = 0.0
+    for condition, probability in distribution.items():
+        total += probability * profile_for_weather(condition.value).rho
+    return total
+
+
+def _snap_up(rho: float) -> float:
+    """Snap to the next integral rho at or above (conservative)."""
+    import math
+
+    if rho >= 1:
+        return float(math.ceil(rho - 1e-9))
+    k = math.floor(1.0 / rho + 1e-9)
+    return 1.0 / max(1, k)
+
+
+def forecast_profile(
+    process: MarkovWeatherProcess,
+    today: WeatherCondition | None = None,
+    posture: RiskPosture = "pessimistic",
+) -> ChargingProfile:
+    """Pick tomorrow's planning profile.
+
+    - ``"mode"``: the most likely condition's measured profile.
+    - ``"expected"``: a synthetic profile at the snapped-up expected
+      rho (conservative rounding: planning for a slightly slower
+      recharge only costs utility, never feasibility).
+    - ``"pessimistic"``: the slowest-charging condition with
+      probability >= 10% -- activations are never refused at the cost
+      of duty cycle.
+    """
+    distribution = next_day_distribution(process, today)
+    if posture == "mode":
+        best = max(distribution.items(), key=lambda kv: kv[1])[0]
+        return profile_for_weather(best.value)
+    if posture == "pessimistic":
+        plausible = [
+            c for c, p in distribution.items() if p >= 0.10
+        ] or list(distribution)
+        worst = max(plausible, key=lambda c: profile_for_weather(c.value).rho)
+        return profile_for_weather(worst.value)
+    if posture == "expected":
+        rho = _snap_up(expected_rho(distribution))
+        discharge = profile_for_weather("sunny").period.discharge_time
+        return ChargingProfile(
+            name=f"forecast-rho{rho:g}",
+            weather="forecast",
+            period=ChargingPeriod.from_ratio(rho, discharge_time=discharge),
+        )
+    raise ValueError(
+        f"unknown posture {posture!r}; choose expected/pessimistic/mode"
+    )

@@ -1,0 +1,165 @@
+"""Short-window harvest estimation: the "2-hour" mu_r / rho estimator.
+
+The scheduling layer does not consume raw light samples; it consumes a
+:class:`~repro.energy.period.ChargingPeriod` believed to hold for the
+near future.  The paper argues (Sec. I, II-B, VI-A) that within ~2 h of
+stable weather the recharge speed barely moves, so estimating over a
+sliding short window and re-planning when the estimate shifts is sound.
+This module is that estimator:
+
+- :class:`HarvestEstimator` ingests (minute, charging-power) samples and
+  reports the windowed mean recharge rate, its relative dispersion (the
+  stability check) and the implied ``T_r``/``rho``.
+- :func:`estimate_period_from_trace` runs the estimator over a recorded
+  node trace (:class:`~repro.solar.trace.NodeTrace`) and returns the
+  fitted :class:`~repro.energy.period.ChargingPeriod`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional, Tuple
+
+import numpy as np
+
+from repro.energy.period import ChargingPeriod, normalize_ratio
+
+
+@dataclass(frozen=True)
+class HarvestEstimate:
+    """Windowed estimate of the recharge process."""
+
+    mean_rate: float  # mu_r estimate, energy units per minute
+    relative_std: float  # dispersion of the rate within the window
+    window_minutes: float  # how much data backs the estimate
+
+    @property
+    def is_stable(self) -> bool:
+        """Paper-style stability: rate moved < 10% within the window."""
+        return self.relative_std < 0.10
+
+
+class HarvestEstimator:
+    """Sliding-window estimator of the recharge speed ``mu_r``.
+
+    Parameters
+    ----------
+    window_minutes:
+        Length of the sliding window; the paper's working assumption is
+        2 hours (120 minutes).
+    """
+
+    def __init__(self, window_minutes: float = 120.0):
+        if window_minutes <= 0:
+            raise ValueError(
+                f"window must be positive, got {window_minutes} minutes"
+            )
+        self._window = window_minutes
+        self._samples: Deque[Tuple[float, float]] = deque()
+
+    @property
+    def window_minutes(self) -> float:
+        return self._window
+
+    @property
+    def num_samples(self) -> int:
+        return len(self._samples)
+
+    def observe(self, minute: float, charge_rate: float) -> None:
+        """Record one (time, recharge-rate) sample and expire old ones."""
+        if charge_rate < 0:
+            raise ValueError(f"charge rate must be non-negative, got {charge_rate}")
+        if self._samples and minute < self._samples[-1][0]:
+            raise ValueError(
+                f"samples must be time-ordered: got {minute} after "
+                f"{self._samples[-1][0]}"
+            )
+        self._samples.append((minute, charge_rate))
+        cutoff = minute - self._window
+        while self._samples and self._samples[0][0] < cutoff:
+            self._samples.popleft()
+
+    def estimate(self) -> Optional[HarvestEstimate]:
+        """Current windowed estimate, or ``None`` with no data.
+
+        Only harvesting samples (rate > 0) enter the mean: the paper's
+        T_r is the recharge time *while harvesting*; night samples would
+        say "weather changed" when only the sun set.
+        """
+        if not self._samples:
+            return None
+        rates = np.array([rate for _, rate in self._samples if rate > 0])
+        if rates.size == 0:
+            return None
+        mean = float(rates.mean())
+        rel_std = float(rates.std() / mean) if mean > 0 else 0.0
+        span = self._samples[-1][0] - self._samples[0][0]
+        return HarvestEstimate(
+            mean_rate=mean, relative_std=rel_std, window_minutes=span
+        )
+
+    def estimated_recharge_time(self, capacity: float) -> Optional[float]:
+        """``T_r = B / mu_r`` from the current estimate (minutes)."""
+        est = self.estimate()
+        if est is None or est.mean_rate <= 0:
+            return None
+        return capacity / est.mean_rate
+
+    def estimated_period(
+        self, capacity: float, discharge_time: float
+    ) -> Optional[ChargingPeriod]:
+        """Fit a :class:`ChargingPeriod`, snapping rho to the integer grid.
+
+        The paper assumes integral rho (or 1/rho); a raw estimate like
+        2.93 becomes rho = 3.  Returns ``None`` when there is no
+        harvesting data yet.
+        """
+        t_r = self.estimated_recharge_time(capacity)
+        if t_r is None:
+            return None
+        raw_rho = t_r / discharge_time
+        snapped = _snap_rho(raw_rho)
+        return ChargingPeriod(
+            discharge_time=discharge_time,
+            recharge_time=snapped * discharge_time,
+        )
+
+
+def _snap_rho(raw: float) -> float:
+    """Snap a raw ratio to the nearest valid integral rho (or 1/k)."""
+    if raw >= 1:
+        return float(max(1, round(raw)))
+    k = max(1, round(1.0 / raw))
+    return normalize_ratio(1.0 / k)
+
+
+def estimate_period_from_trace(
+    trace: "NodeTrace",
+    capacity: float,
+    discharge_time: float,
+    window_minutes: float = 120.0,
+) -> Optional[ChargingPeriod]:
+    """Run the windowed estimator over a recorded trace.
+
+    Feeds every sample of the trace through a fresh
+    :class:`HarvestEstimator`, re-fitting as the window slides, and
+    returns the *last* period fitted while harvesting data was in the
+    window.  (The terminal window of a full-day trace is night -- no
+    harvesting samples -- so returning only the end-of-trace fit would
+    always be ``None``; what the deployment wants is the daytime fit.)
+    Returns ``None`` when the trace never harvested at all.
+    """
+    from repro.solar.trace import NodeTrace  # local import to avoid a cycle
+
+    if not isinstance(trace, NodeTrace):
+        raise TypeError(f"expected NodeTrace, got {type(trace).__name__}")
+    estimator = HarvestEstimator(window_minutes=window_minutes)
+    last_fit: Optional[ChargingPeriod] = None
+    for sample in trace.samples:
+        estimator.observe(sample.minute, sample.charge_rate)
+        if sample.charge_rate > 0:
+            fitted = estimator.estimated_period(capacity, discharge_time)
+            if fitted is not None:
+                last_fit = fitted
+    return last_fit

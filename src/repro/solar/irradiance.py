@@ -1,0 +1,89 @@
+"""Clear-sky diurnal irradiance curve.
+
+A standard half-sinusoid clear-sky model: irradiance is zero before
+sunrise and after sunset and follows
+
+.. math:: G(t) = G_{peak} \\sin\\Bigl(\\pi \\frac{t - t_{rise}}{t_{set} - t_{rise}}\\Bigr)
+
+between them.  This is the textbook first-order model of global
+horizontal irradiance and reproduces the qualitative shape of the
+paper's Fig. 7 light-strength measurements (ramp up after sunrise,
+midday peak, ramp down, plus high-frequency fluctuation which the
+weather layer adds).
+
+Times are minutes since local midnight throughout, matching the paper's
+July (Hangzhou) measurement window: the experiment of Fig. 7 spans
+roughly 05:30-19:00 of daylight.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DiurnalIrradiance:
+    """Half-sinusoid clear-sky irradiance.
+
+    Parameters
+    ----------
+    sunrise_minute:
+        Local sunrise, minutes after midnight (default 05:30).
+    sunset_minute:
+        Local sunset (default 19:00).
+    peak:
+        Solar-noon irradiance in W/m^2 (default 1000, the standard
+        test condition for panels).
+    """
+
+    sunrise_minute: float = 5.5 * 60
+    sunset_minute: float = 19.0 * 60
+    peak: float = 1000.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.sunrise_minute < self.sunset_minute <= 24 * 60:
+            raise ValueError(
+                f"need 0 <= sunrise < sunset <= 1440, got "
+                f"{self.sunrise_minute}, {self.sunset_minute}"
+            )
+        if self.peak <= 0:
+            raise ValueError(f"peak irradiance must be positive, got {self.peak}")
+
+    @property
+    def day_length(self) -> float:
+        """Daylight duration in minutes."""
+        return self.sunset_minute - self.sunrise_minute
+
+    def at(self, minute_of_day: float) -> float:
+        """Clear-sky irradiance (W/m^2) at the given minute of the day.
+
+        ``minute_of_day`` is taken modulo 24 h so multi-day simulations
+        can pass a running minute counter.
+        """
+        t = minute_of_day % (24 * 60)
+        if t <= self.sunrise_minute or t >= self.sunset_minute:
+            return 0.0
+        phase = (t - self.sunrise_minute) / self.day_length
+        return self.peak * math.sin(math.pi * phase)
+
+    def sample(self, minutes: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`at` over an array of running minutes."""
+        t = np.asarray(minutes, dtype=float) % (24 * 60)
+        phase = (t - self.sunrise_minute) / self.day_length
+        values = self.peak * np.sin(np.pi * np.clip(phase, 0.0, 1.0))
+        values[(t <= self.sunrise_minute) | (t >= self.sunset_minute)] = 0.0
+        return values
+
+    def daily_energy(self) -> float:
+        """Integral of the clear-sky curve over one day (W-min/m^2).
+
+        For the half-sinusoid this is ``peak * day_length * 2 / pi``.
+        """
+        return self.peak * self.day_length * 2.0 / math.pi
+
+    def is_daylight(self, minute_of_day: float) -> bool:
+        t = minute_of_day % (24 * 60)
+        return self.sunrise_minute < t < self.sunset_minute

@@ -1,0 +1,172 @@
+"""Weather conditions, attenuation and a day-to-day Markov process.
+
+The paper's algorithms assume the (T_d, T_r) pattern is stable within a
+short window (~2 h) of a given weather condition but may change across
+days ("we may choose different charging pattern each day for different
+weather condition", Sec. II-B).  The weather layer supplies:
+
+- :class:`WeatherCondition` -- the catalogue of conditions with mean
+  attenuation (fraction of clear-sky irradiance reaching the panel)
+  and a cloud-flicker amplitude (the high-frequency light fluctuation
+  visible in Fig. 7).
+- :class:`MarkovWeatherProcess` -- a first-order Markov chain over
+  conditions, one step per day, for multi-day simulations like the
+  30-day run of Sec. VI-B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Mapping, Sequence
+
+import numpy as np
+
+from repro.coverage.deployment import RngLike, make_rng
+
+
+class WeatherCondition(Enum):
+    """Catalogued weather conditions."""
+
+    SUNNY = "sunny"
+    CLOUDY = "cloudy"
+    RAINY = "rainy"
+
+
+#: Mean fraction of clear-sky irradiance that reaches the panel, and the
+#: relative amplitude of short-term fluctuation around that mean.
+WEATHER_ATTENUATION: Mapping[WeatherCondition, "WeatherParams"] = {}
+
+
+@dataclass(frozen=True)
+class WeatherParams:
+    """Attenuation statistics of a weather condition.
+
+    ``charger_derating`` models the disproportionate loss small
+    harvesters suffer under diffuse (cloud-scattered) light: even when
+    the photometric light level would saturate the charger, the usable
+    charging power drops.  The deratings are calibrated so the trace
+    generator reproduces the catalogue profiles of
+    :mod:`repro.energy.profiles` (sunny T_r = 45 min, cloudy 90, rainy
+    180 for the default 50 J mote battery).
+    """
+
+    mean_attenuation: float  # fraction of clear sky, in (0, 1]
+    flicker: float  # std of relative fluctuation, >= 0
+    charger_derating: float = 1.0  # usable fraction of charging power, (0, 1]
+
+    def __post_init__(self) -> None:
+        if not 0 < self.mean_attenuation <= 1:
+            raise ValueError(
+                f"mean attenuation must be in (0, 1], got {self.mean_attenuation}"
+            )
+        if self.flicker < 0:
+            raise ValueError(f"flicker must be non-negative, got {self.flicker}")
+        if not 0 < self.charger_derating <= 1:
+            raise ValueError(
+                f"charger derating must be in (0, 1], got {self.charger_derating}"
+            )
+
+
+WEATHER_ATTENUATION = {
+    WeatherCondition.SUNNY: WeatherParams(
+        mean_attenuation=1.0, flicker=0.05, charger_derating=1.0
+    ),
+    WeatherCondition.CLOUDY: WeatherParams(
+        mean_attenuation=0.45, flicker=0.25, charger_derating=0.5
+    ),
+    WeatherCondition.RAINY: WeatherParams(
+        mean_attenuation=0.15, flicker=0.35, charger_derating=0.25
+    ),
+}
+
+
+class MarkovWeatherProcess:
+    """First-order Markov chain over weather conditions, one step per day.
+
+    The default transition matrix is sticky (weather persists), which is
+    what makes the paper's "choose the charging pattern per day" policy
+    sensible: tomorrow usually looks like today.
+    """
+
+    _ORDER: Sequence[WeatherCondition] = (
+        WeatherCondition.SUNNY,
+        WeatherCondition.CLOUDY,
+        WeatherCondition.RAINY,
+    )
+
+    _DEFAULT_MATRIX = np.array(
+        [
+            [0.70, 0.25, 0.05],  # sunny ->
+            [0.30, 0.50, 0.20],  # cloudy ->
+            [0.20, 0.40, 0.40],  # rainy ->
+        ]
+    )
+
+    def __init__(
+        self,
+        initial: WeatherCondition = WeatherCondition.SUNNY,
+        transition_matrix: np.ndarray | None = None,
+        rng: RngLike = None,
+    ):
+        matrix = (
+            self._DEFAULT_MATRIX
+            if transition_matrix is None
+            else np.asarray(transition_matrix, dtype=float)
+        )
+        if matrix.shape != (3, 3):
+            raise ValueError(f"transition matrix must be 3x3, got {matrix.shape}")
+        if not np.allclose(matrix.sum(axis=1), 1.0):
+            raise ValueError("transition matrix rows must sum to 1")
+        if (matrix < 0).any():
+            raise ValueError("transition probabilities must be non-negative")
+        self._matrix = matrix
+        self._state = initial
+        self._rng = make_rng(rng)
+        self._index: Dict[WeatherCondition, int] = {
+            c: i for i, c in enumerate(self._ORDER)
+        }
+
+    @property
+    def current(self) -> WeatherCondition:
+        return self._state
+
+    def step(self) -> WeatherCondition:
+        """Advance one day and return the new condition."""
+        row = self._matrix[self._index[self._state]]
+        next_index = int(self._rng.choice(len(self._ORDER), p=row))
+        self._state = self._ORDER[next_index]
+        return self._state
+
+    def forecast(self, days: int) -> List[WeatherCondition]:
+        """Sample a sequence of daily conditions, starting from tomorrow."""
+        if days < 0:
+            raise ValueError(f"days must be non-negative, got {days}")
+        return [self.step() for _ in range(days)]
+
+    def stationary_distribution(self) -> np.ndarray:
+        """Long-run fraction of days in each condition (left eigenvector)."""
+        eigenvalues, eigenvectors = np.linalg.eig(self._matrix.T)
+        idx = int(np.argmin(np.abs(eigenvalues - 1.0)))
+        vec = np.real(eigenvectors[:, idx])
+        vec = np.abs(vec)
+        return vec / vec.sum()
+
+
+def attenuated_irradiance(
+    clear_sky: float,
+    condition: WeatherCondition,
+    rng: RngLike = None,
+) -> float:
+    """One noisy attenuated sample: clear-sky value through the weather.
+
+    Multiplies by the condition's mean attenuation and a lognormal-ish
+    positive flicker factor, then clips to the physical [0, clear_sky]
+    range.
+    """
+    params = WEATHER_ATTENUATION[condition]
+    generator = make_rng(rng)
+    factor = params.mean_attenuation * (
+        1.0 + params.flicker * float(generator.standard_normal())
+    )
+    return float(np.clip(clear_sky * factor, 0.0, clear_sky))

@@ -1,0 +1,194 @@
+"""Abstract utility-function interface and set-function property checkers.
+
+Paper reference (Sec. II-C): for every target ``O_i`` the utility
+``U_i()`` is assumed to satisfy
+
+.. math::
+
+    U_i(\\emptyset) = 0, \\qquad
+    U_i(S_1) \\le U_i(S_2) \\text{ for } S_1 \\subseteq S_2, \\qquad
+    U_i(S_1 \\cup A) - U_i(S_1) \\ge U_i(S_2 \\cup A) - U_i(S_2)
+    \\text{ for } S_1 \\subseteq S_2.
+
+i.e. it is normalized, non-decreasing, and submodular.  Everything in
+:mod:`repro.core` relies only on this interface, so any user-supplied
+set function with these properties can be scheduled.
+"""
+
+from __future__ import annotations
+
+import itertools
+from abc import ABC, abstractmethod
+from typing import FrozenSet, Iterable, Sequence
+
+SensorSet = FrozenSet[int]
+
+_EMPTY: SensorSet = frozenset()
+
+
+def as_sensor_set(sensors: Iterable[int]) -> SensorSet:
+    """Normalize any iterable of sensor ids to the canonical frozenset form."""
+    if isinstance(sensors, frozenset):
+        return sensors
+    return frozenset(sensors)
+
+
+class UtilityFunction(ABC):
+    """A normalized, non-decreasing, submodular set function over sensor ids.
+
+    Subclasses implement :meth:`value`.  All other operations --
+    marginal gains, greedy-friendly batch evaluation, property checks --
+    are derived, though subclasses may override them with faster
+    closed-form versions (e.g. :class:`~repro.utility.detection.DetectionUtility`
+    overrides :meth:`marginal`).
+
+    The *ground set* is the set of sensor ids the function is defined
+    over.  Evaluating on ids outside the ground set is allowed and must
+    be a no-op (sensors that cannot contribute simply contribute zero);
+    this matches the paper's convention that only sensors in ``V(O_i)``
+    affect ``U_i``.
+    """
+
+    @abstractmethod
+    def value(self, sensors: Iterable[int]) -> float:
+        """Return ``U(S)`` for the activated set ``S``."""
+
+    @property
+    @abstractmethod
+    def ground_set(self) -> SensorSet:
+        """Sensor ids that can affect this function's value."""
+
+    def marginal(self, sensor: int, base: Iterable[int]) -> float:
+        """Return the marginal gain ``U(base + {sensor}) - U(base)``.
+
+        This is the quantity maximized at every step of the greedy
+        hill-climbing scheme (Algorithm 1).
+        """
+        base_set = as_sensor_set(base)
+        if sensor in base_set:
+            return 0.0
+        return self.value(base_set | {sensor}) - self.value(base_set)
+
+    def marginal_set(self, addition: Iterable[int], base: Iterable[int]) -> float:
+        """Return ``U(base | addition) - U(base)`` for a whole set ``addition``."""
+        base_set = as_sensor_set(base)
+        add_set = as_sensor_set(addition)
+        return self.value(base_set | add_set) - self.value(base_set)
+
+    def decrement(self, sensor: int, base: Iterable[int]) -> float:
+        """Return the loss ``U(base) - U(base - {sensor})``.
+
+        Used by the rho <= 1 greedy variant (Sec. IV-B), which allocates
+        *passive* slots so as to minimize the decremental utility.
+        """
+        base_set = as_sensor_set(base)
+        if sensor not in base_set:
+            return 0.0
+        return self.value(base_set) - self.value(base_set - {sensor})
+
+    # ------------------------------------------------------------------
+    # Derived conveniences
+    # ------------------------------------------------------------------
+
+    def value_of_all(self) -> float:
+        """Utility when every sensor in the ground set is active."""
+        return self.value(self.ground_set)
+
+    def restricted(self, allowed: Iterable[int]) -> "UtilityFunction":
+        """Return this utility restricted to a subset of the ground set.
+
+        ``restricted(A).value(S) == value(S & A)`` for every ``S``.
+        Restriction preserves normalization, monotonicity and
+        submodularity.
+        """
+        from repro.utility.operations import RestrictedUtility
+
+        return RestrictedUtility(self, allowed)
+
+    def __call__(self, sensors: Iterable[int]) -> float:
+        return self.value(sensors)
+
+
+# ----------------------------------------------------------------------
+# Numeric property checkers (used by the test-suite and by users who
+# bring their own utility functions).
+# ----------------------------------------------------------------------
+
+
+def check_normalized(fn: UtilityFunction, tol: float = 1e-9) -> bool:
+    """Return ``True`` iff ``U(empty) == 0`` up to ``tol``."""
+    return abs(fn.value(_EMPTY)) <= tol
+
+
+def check_monotone(
+    fn: UtilityFunction,
+    subsets: Sequence[Iterable[int]] | None = None,
+    tol: float = 1e-9,
+) -> bool:
+    """Check ``U(S) <= U(S + {v})`` for the given subsets (or exhaustively).
+
+    With ``subsets=None`` the ground set must be small (the check
+    enumerates all ``2^n`` subsets).  Otherwise every provided subset is
+    checked against every single-element extension.
+    """
+    ground = sorted(fn.ground_set)
+    if subsets is None:
+        if len(ground) > 12:
+            raise ValueError(
+                "exhaustive monotonicity check needs |ground set| <= 12; "
+                "pass explicit subsets for larger functions"
+            )
+        subsets = [
+            frozenset(combo)
+            for r in range(len(ground) + 1)
+            for combo in itertools.combinations(ground, r)
+        ]
+    for subset in subsets:
+        base = as_sensor_set(subset)
+        base_value = fn.value(base)
+        for v in ground:
+            if v in base:
+                continue
+            if fn.value(base | {v}) < base_value - tol:
+                return False
+    return True
+
+
+def check_submodular(
+    fn: UtilityFunction,
+    subsets: Sequence[Iterable[int]] | None = None,
+    tol: float = 1e-9,
+) -> bool:
+    """Check the diminishing-returns property.
+
+    Uses the equivalent characterization: for all ``X subset Y`` and
+    ``v not in Y``, ``U(X+{v}) - U(X) >= U(Y+{v}) - U(Y)``.  With
+    ``subsets=None`` the ground set must be small and every nested pair
+    is checked; otherwise every ordered pair of provided subsets with
+    ``X subset Y`` is checked.
+    """
+    ground = sorted(fn.ground_set)
+    if subsets is None:
+        if len(ground) > 10:
+            raise ValueError(
+                "exhaustive submodularity check needs |ground set| <= 10; "
+                "pass explicit subsets for larger functions"
+            )
+        subsets = [
+            frozenset(combo)
+            for r in range(len(ground) + 1)
+            for combo in itertools.combinations(ground, r)
+        ]
+    normalized = [as_sensor_set(s) for s in subsets]
+    for small in normalized:
+        for big in normalized:
+            if not small <= big:
+                continue
+            for v in ground:
+                if v in big:
+                    continue
+                gain_small = fn.marginal(v, small)
+                gain_big = fn.marginal(v, big)
+                if gain_small < gain_big - tol:
+                    return False
+    return True

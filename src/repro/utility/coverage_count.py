@@ -1,0 +1,97 @@
+"""Classic coverage-count utilities.
+
+These are the simplest members of the family the paper's model admits:
+
+- :class:`CoverageCountUtility` -- ``U(S) = |union of elements covered
+  by S|``: the unweighted maximum-coverage objective.  With targets as
+  elements this gives "number of targets covered by at least one active
+  sensor".
+- :class:`WeightedCoverageUtility` -- same with per-element weights,
+  the discrete analogue of the area utility (Eq. 2).
+
+Both are normalized, monotone and submodular, so they slot directly
+into the greedy and LP schedulers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Mapping, Set
+
+from repro.utility.base import SensorSet, UtilityFunction, as_sensor_set
+
+
+class WeightedCoverageUtility(UtilityFunction):
+    """Weighted set-coverage utility.
+
+    Parameters
+    ----------
+    covers:
+        Mapping from sensor id to the set of *element* ids it covers.
+        Elements can be targets, grid cells, subregions -- anything.
+    element_weights:
+        Optional mapping from element id to a non-negative weight
+        (defaults to 1 for every element that appears in ``covers``).
+    """
+
+    def __init__(
+        self,
+        covers: Mapping[int, Iterable[int]],
+        element_weights: Mapping[int, float] | None = None,
+    ):
+        self._covers: Dict[int, FrozenSet[int]] = {
+            sensor: frozenset(elements) for sensor, elements in covers.items()
+        }
+        all_elements: Set[int] = set()
+        for elements in self._covers.values():
+            all_elements |= elements
+        if element_weights is None:
+            self._weights: Dict[int, float] = {e: 1.0 for e in all_elements}
+        else:
+            self._weights = {e: float(element_weights.get(e, 0.0)) for e in all_elements}
+            for element, w in self._weights.items():
+                if w < 0:
+                    raise ValueError(
+                        f"weight for element {element} must be non-negative, got {w}"
+                    )
+        self._ground: SensorSet = frozenset(self._covers)
+
+    @property
+    def ground_set(self) -> SensorSet:
+        return self._ground
+
+    @property
+    def elements(self) -> FrozenSet[int]:
+        return frozenset(self._weights)
+
+    def covers_of(self, sensor: int) -> FrozenSet[int]:
+        """Elements covered by one sensor (empty for unknown sensors)."""
+        return self._covers.get(sensor, frozenset())
+
+    def element_weight(self, element: int) -> float:
+        """Weight of one element (0 for unknown elements)."""
+        return self._weights.get(element, 0.0)
+
+    def covered_elements(self, sensors: Iterable[int]) -> FrozenSet[int]:
+        covered: Set[int] = set()
+        for v in as_sensor_set(sensors) & self._ground:
+            covered |= self._covers[v]
+        return frozenset(covered)
+
+    def value(self, sensors: Iterable[int]) -> float:
+        return sum(self._weights[e] for e in self.covered_elements(sensors))
+
+    def marginal(self, sensor: int, base: Iterable[int]) -> float:
+        base_set = as_sensor_set(base)
+        if sensor in base_set or sensor not in self._ground:
+            return 0.0
+        already = self.covered_elements(base_set)
+        return sum(
+            self._weights[e] for e in self._covers[sensor] if e not in already
+        )
+
+
+class CoverageCountUtility(WeightedCoverageUtility):
+    """Unweighted coverage count: ``U(S) = |covered elements|``."""
+
+    def __init__(self, covers: Mapping[int, Iterable[int]]):
+        super().__init__(covers, element_weights=None)

@@ -1,0 +1,123 @@
+"""Probabilistic detection utility (paper Sec. II-C and VI-B).
+
+For each sensor ``v_j`` that can monitor a target, let ``p_j`` be the
+probability that ``v_j`` detects an event at the target.  Assuming
+independent detections, the probability that *some* active sensor
+detects the event is
+
+.. math:: U(S) = 1 - \\prod_{v_j \\in S} (1 - p_j).
+
+This is the utility used in the paper's evaluation with homogeneous
+``p = 0.4`` (Sec. VI-B), where the achieved average utility of the
+greedy scheme is 0.983408764 against an upper bound of 0.999380 for
+``n = 100`` sensors, ``rho = 3``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Mapping
+
+from repro.utility.base import SensorSet, UtilityFunction, as_sensor_set
+
+
+class DetectionUtility(UtilityFunction):
+    """``U(S) = 1 - prod_{v in S intersect ground}(1 - p_v)``.
+
+    Parameters
+    ----------
+    probabilities:
+        Mapping from sensor id to its per-event detection probability in
+        ``[0, 1]``.  Sensors absent from the mapping are outside the
+        ground set and contribute nothing.
+    """
+
+    def __init__(self, probabilities: Mapping[int, float]):
+        for sensor, p in probabilities.items():
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(
+                    f"detection probability for sensor {sensor} must be in "
+                    f"[0, 1], got {p}"
+                )
+        self._probabilities: Dict[int, float] = dict(probabilities)
+        self._ground: SensorSet = frozenset(self._probabilities)
+
+    @property
+    def ground_set(self) -> SensorSet:
+        return self._ground
+
+    @property
+    def probabilities(self) -> Mapping[int, float]:
+        return dict(self._probabilities)
+
+    def miss_probability(self, sensors: Iterable[int]) -> float:
+        """Probability ``prod (1 - p_v)`` that every active sensor misses."""
+        miss = 1.0
+        for sensor in as_sensor_set(sensors):
+            p = self._probabilities.get(sensor)
+            if p is None:
+                continue
+            miss *= 1.0 - p
+        return miss
+
+    def value(self, sensors: Iterable[int]) -> float:
+        return 1.0 - self.miss_probability(sensors)
+
+    def marginal(self, sensor: int, base: Iterable[int]) -> float:
+        # Closed form: adding v multiplies the miss probability by (1-p_v),
+        # so the gain is p_v * miss(base).  O(|base|) instead of two full
+        # evaluations; exercised heavily by the greedy scheduler.
+        base_set = as_sensor_set(base)
+        if sensor in base_set:
+            return 0.0
+        p = self._probabilities.get(sensor)
+        if p is None:
+            return 0.0
+        return p * self.miss_probability(base_set)
+
+
+class HomogeneousDetectionUtility(UtilityFunction):
+    """Detection utility with a single shared probability ``p``.
+
+    ``U(S) = 1 - (1 - p)^{|S intersect ground|}`` -- exactly the form the
+    paper evaluates (``p = 0.4``).  Only the *size* of the active subset
+    matters, which also yields the closed-form optimum upper bound
+    ``U* = 1 - (1-p)^{ceil(n/T)}`` of Sec. VI-B (see
+    :func:`repro.core.bounds.single_target_upper_bound`).
+    """
+
+    def __init__(self, sensors: Iterable[int], p: float):
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"detection probability must be in [0, 1], got {p}")
+        self._ground: SensorSet = as_sensor_set(sensors)
+        self._p = p
+
+    @property
+    def ground_set(self) -> SensorSet:
+        return self._ground
+
+    @property
+    def p(self) -> float:
+        return self._p
+
+    def count(self, sensors: Iterable[int]) -> int:
+        """Number of activated sensors that belong to the ground set."""
+        return len(as_sensor_set(sensors) & self._ground)
+
+    def value_of_count(self, k: int) -> float:
+        """``U`` of any active subset of size ``k``: ``1 - (1-p)^k``."""
+        if k < 0:
+            raise ValueError(f"count must be non-negative, got {k}")
+        if self._p == 1.0:
+            return 0.0 if k == 0 else 1.0
+        return -math.expm1(k * math.log1p(-self._p))
+
+    def value(self, sensors: Iterable[int]) -> float:
+        return self.value_of_count(self.count(sensors))
+
+    def marginal(self, sensor: int, base: Iterable[int]) -> float:
+        base_set = as_sensor_set(base)
+        if sensor in base_set or sensor not in self._ground:
+            return 0.0
+        k = self.count(base_set)
+        return self.value_of_count(k + 1) - self.value_of_count(k)

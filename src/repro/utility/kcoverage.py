@@ -1,0 +1,90 @@
+"""k-coverage utility: targets want *several* simultaneous observers.
+
+A standard strengthening of the coverage objective (localization and
+triangulation need >= k sensors watching a target at once).  The
+per-target utility is the truncated count
+
+.. math:: U_i(S) = \\min(k_i, |S \\cap V(O_i)|) / k_i,
+
+normalized to 1 when the requirement is met.  Truncated-count functions
+are concave in the count, hence submodular -- so k-coverage drops into
+every scheduler in :mod:`repro.core` unchanged, and the count-based LP
+linearization applies exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Sequence
+
+from repro.utility.base import SensorSet, UtilityFunction, as_sensor_set
+from repro.utility.target_system import TargetSystem
+
+
+class KCoverageUtility(UtilityFunction):
+    """``U(S) = min(k, |S & ground|) / k`` for one target."""
+
+    def __init__(self, sensors: Iterable[int], k: int):
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self._ground: SensorSet = as_sensor_set(sensors)
+        self._k = k
+
+    @property
+    def ground_set(self) -> SensorSet:
+        return self._ground
+
+    @property
+    def k(self) -> int:
+        return self._k
+
+    def count(self, sensors: Iterable[int]) -> int:
+        return len(as_sensor_set(sensors) & self._ground)
+
+    def value_of_count(self, count: int) -> float:
+        """Count-based form (used by the LP linearization)."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        return min(self._k, count) / self._k
+
+    def value(self, sensors: Iterable[int]) -> float:
+        return self.value_of_count(self.count(sensors))
+
+    def is_satisfied(self, sensors: Iterable[int]) -> bool:
+        """True iff the full k-coverage requirement is met."""
+        return self.count(sensors) >= self._k
+
+    def marginal(self, sensor: int, base: Iterable[int]) -> float:
+        base_set = as_sensor_set(base)
+        if sensor in base_set or sensor not in self._ground:
+            return 0.0
+        c = self.count(base_set)
+        return self.value_of_count(c + 1) - self.value_of_count(c)
+
+
+def k_coverage_system(
+    coverage_sets: Sequence[Iterable[int]],
+    k: int | Sequence[int] = 2,
+) -> TargetSystem:
+    """A multi-target system whose targets each demand k-coverage.
+
+    Parameters
+    ----------
+    coverage_sets:
+        ``V(O_i)`` per target.
+    k:
+        A single requirement shared by all targets, or one per target.
+    """
+    m = len(coverage_sets)
+    if isinstance(k, int):
+        requirements = [k] * m
+    else:
+        requirements = list(k)
+        if len(requirements) != m:
+            raise ValueError(
+                f"{m} coverage sets but {len(requirements)} k values"
+            )
+    utilities = [
+        KCoverageUtility(cover, k=req)
+        for cover, req in zip(coverage_sets, requirements)
+    ]
+    return TargetSystem(coverage_sets, utilities)

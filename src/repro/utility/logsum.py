@@ -1,0 +1,60 @@
+"""The ``log(1 + sum I_i)`` utility from the NP-hardness proof (Thm. 3.1).
+
+The paper reduces Subset-Sum to the scheduling problem by giving sensor
+``v_i`` the integer weight ``I_i`` and using the utility
+
+.. math:: U(S) = \\log\\bigl(1 + \\sum_{v_i \\in S} I_i\\bigr),
+
+which is normalized, non-decreasing and submodular (it is a concave
+function of a modular function).  An optimal 2-slot schedule reaches
+``2 log(1 + W/2)`` (with ``W`` the total weight) iff the weights can be
+split into two halves of equal sum -- i.e. iff the Subset-Sum instance
+is a yes-instance.  :mod:`repro.core.hardness` builds the full
+reduction on top of this class.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Mapping
+
+from repro.utility.base import SensorSet, UtilityFunction, as_sensor_set
+
+
+class LogSumUtility(UtilityFunction):
+    """``U(S) = log(1 + sum_{v in S} weight_v)`` with non-negative weights."""
+
+    def __init__(self, weights: Mapping[int, float]):
+        for sensor, w in weights.items():
+            if w < 0:
+                raise ValueError(
+                    f"weight for sensor {sensor} must be non-negative, got {w}"
+                )
+        self._weights: Dict[int, float] = dict(weights)
+        self._ground: SensorSet = frozenset(self._weights)
+
+    @property
+    def ground_set(self) -> SensorSet:
+        return self._ground
+
+    @property
+    def weights(self) -> Mapping[int, float]:
+        return dict(self._weights)
+
+    def total_weight(self, sensors: Iterable[int]) -> float:
+        return sum(
+            self._weights[v] for v in as_sensor_set(sensors) if v in self._weights
+        )
+
+    def value(self, sensors: Iterable[int]) -> float:
+        return math.log1p(self.total_weight(sensors))
+
+    def marginal(self, sensor: int, base: Iterable[int]) -> float:
+        base_set = as_sensor_set(base)
+        if sensor in base_set:
+            return 0.0
+        w = self._weights.get(sensor)
+        if not w:
+            return 0.0
+        base_total = self.total_weight(base_set)
+        return math.log1p(base_total + w) - math.log1p(base_total)

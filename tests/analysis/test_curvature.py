@@ -1,0 +1,87 @@
+"""Tests for submodular curvature measurement."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.curvature import curvature_guarantee, total_curvature
+from repro.core.greedy import greedy_schedule
+from repro.core.optimal import optimal_value
+from repro.core.problem import SchedulingProblem
+from repro.energy.period import ChargingPeriod
+from repro.utility.coverage_count import WeightedCoverageUtility
+from repro.utility.detection import DetectionUtility, HomogeneousDetectionUtility
+from repro.utility.operations import CappedCardinalityUtility
+
+from tests.conftest import random_target_system
+
+
+class TestTotalCurvature:
+    def test_modular_function_zero_curvature(self):
+        # Disjoint coverage: perfectly modular.
+        fn = WeightedCoverageUtility({0: {1}, 1: {2}, 2: {3}})
+        report = total_curvature(fn)
+        assert report.curvature == pytest.approx(0.0)
+        assert report.guarantee == pytest.approx(1.0)
+
+    def test_fully_saturating_function(self):
+        # min(|S|, 1): the second sensor adds nothing -> curvature 1.
+        fn = CappedCardinalityUtility(range(3), cap=1)
+        report = total_curvature(fn)
+        assert report.curvature == pytest.approx(1.0)
+        assert report.guarantee == pytest.approx(0.5)
+
+    def test_detection_utility_closed_form(self):
+        # Homogeneous detection: tail gain of the n-th sensor is
+        # p(1-p)^{n-1}; singleton is p -> c = 1 - (1-p)^{n-1}.
+        n, p = 5, 0.4
+        fn = HomogeneousDetectionUtility(range(n), p=p)
+        report = total_curvature(fn)
+        assert report.curvature == pytest.approx(1 - (1 - p) ** (n - 1))
+
+    def test_zero_singleton_sensors_skipped(self):
+        fn = DetectionUtility({0: 0.0, 1: 0.5})
+        report = total_curvature(fn)
+        # Only sensor 1 counts; alone it has ratio 1 -> curvature 0.
+        assert report.curvature == pytest.approx(0.0)
+
+    def test_empty_ground_set(self):
+        fn = DetectionUtility({})
+        report = total_curvature(fn)
+        assert report.curvature == 0.0
+        assert report.worst_sensor is None
+
+    def test_sensor_subset_restriction(self):
+        fn = HomogeneousDetectionUtility(range(10), p=0.4)
+        small = total_curvature(fn, sensors=range(2))
+        full = total_curvature(fn)
+        assert small.curvature < full.curvature
+
+    def test_str(self):
+        fn = HomogeneousDetectionUtility(range(3), p=0.4)
+        assert "curvature" in str(total_curvature(fn))
+
+
+class TestGuaranteeValidity:
+    """1/(1+c) must actually lower-bound the observed greedy ratio."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_bound_holds_on_random_instances(self, seed):
+        rng = np.random.default_rng(seed)
+        utility = random_target_system(6, 3, rng)
+        problem = SchedulingProblem(
+            num_sensors=6,
+            period=ChargingPeriod.from_ratio(2.0),
+            utility=utility,
+        )
+        greedy = greedy_schedule(problem).period_utility(utility)
+        opt = optimal_value(problem)
+        if opt <= 0:
+            return
+        guarantee = curvature_guarantee(utility)
+        assert 0.5 <= guarantee <= 1.0
+        assert greedy / opt >= guarantee - 1e-9
+
+    def test_tighter_than_half_for_flat_utilities(self):
+        # Low p => near-modular => guarantee well above 1/2.
+        fn = HomogeneousDetectionUtility(range(8), p=0.05)
+        assert curvature_guarantee(fn) > 0.7

@@ -1,0 +1,103 @@
+"""Tests for network-lifetime metrics."""
+
+import pytest
+
+from repro.analysis.lifetime import (
+    coverage_lifetime,
+    lifetime_result,
+    lifetime_under_depletion,
+    sustained_fraction,
+)
+from repro.core.greedy import greedy_schedule
+from repro.core.problem import SchedulingProblem
+from repro.energy.period import ChargingPeriod
+from repro.policies.schedule_policy import SchedulePolicy
+from repro.sim.engine import SimulationEngine
+from repro.sim.network import SensorNetwork
+from repro.utility.detection import HomogeneousDetectionUtility
+
+PERIOD = ChargingPeriod.paper_sunny()
+
+
+class TestCoverageLifetime:
+    def test_never_collapses(self):
+        assert coverage_lifetime([0.9, 0.8, 0.95], threshold=0.5) is None
+
+    def test_first_breach(self):
+        assert coverage_lifetime([0.9, 0.4, 0.3], threshold=0.5) == 1
+
+    def test_sustain_ignores_transients(self):
+        series = [0.9, 0.2, 0.9, 0.2, 0.2, 0.2]
+        assert coverage_lifetime(series, 0.5, sustain_slots=2) == 3
+
+    def test_sustain_validation(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            coverage_lifetime([1.0], 0.5, sustain_slots=0)
+
+    def test_empty_series(self):
+        assert coverage_lifetime([], 0.5) is None
+
+
+class TestSustainedFraction:
+    def test_fraction(self):
+        assert sustained_fraction([0.9, 0.4, 0.6, 0.2], 0.5) == pytest.approx(0.5)
+
+    def test_empty(self):
+        assert sustained_fraction([], 0.5) == 0.0
+
+    def test_all_pass(self):
+        assert sustained_fraction([1.0, 0.9], 0.5) == 1.0
+
+
+class TestSimulationLifetime:
+    def test_harvesting_schedule_lives_forever(self):
+        utility = HomogeneousDetectionUtility(range(12), p=0.4)
+        problem = SchedulingProblem(
+            num_sensors=12, period=PERIOD, utility=utility, num_periods=20
+        )
+        schedule = greedy_schedule(problem)
+        network = SensorNetwork(12, PERIOD, utility)
+        result = SimulationEngine(network, SchedulePolicy(schedule)).run(
+            problem.total_slots
+        )
+        assert lifetime_result(result, threshold=0.5) is None
+
+
+class TestDepletionBaseline:
+    def make_schedule(self, n=12, periods=20):
+        utility = HomogeneousDetectionUtility(range(n), p=0.4)
+        problem = SchedulingProblem(
+            num_sensors=n, period=PERIOD, utility=utility, num_periods=periods
+        )
+        return greedy_schedule(problem).unroll(periods), utility
+
+    def test_one_shot_batteries_die_after_first_period(self):
+        schedule, utility = self.make_schedule()
+        lifetime = lifetime_under_depletion(
+            schedule, utility, threshold=0.5, battery_activations=1
+        )
+        # Every sensor activates once in period 0; with no recharge the
+        # second period has nobody left.
+        assert lifetime == 4
+
+    def test_bigger_batteries_live_proportionally_longer(self):
+        schedule, utility = self.make_schedule()
+        short = lifetime_under_depletion(schedule, utility, 0.5, 1)
+        longer = lifetime_under_depletion(schedule, utility, 0.5, 3)
+        assert longer == 3 * short
+
+    def test_harvesting_advantage_quantified(self):
+        # The motivating comparison: same schedule, recharge vs not.
+        schedule, utility = self.make_schedule(periods=20)
+        depleted = lifetime_under_depletion(schedule, utility, 0.5, 1)
+        assert depleted < schedule.total_slots  # dies without harvesting
+
+    def test_zero_threshold_never_dies(self):
+        schedule, utility = self.make_schedule()
+        lifetime = lifetime_under_depletion(schedule, utility, 0.0, 1)
+        assert lifetime == schedule.total_slots
+
+    def test_validation(self):
+        schedule, utility = self.make_schedule()
+        with pytest.raises(ValueError, match=">= 0"):
+            lifetime_under_depletion(schedule, utility, 0.5, -1)

@@ -1,0 +1,139 @@
+"""Tests for report formatting."""
+
+import pytest
+
+from repro.analysis.report import (
+    ascii_series,
+    format_table,
+    render_figure8_panel,
+    render_figure9_table,
+)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["a", "bbb"], [[1, 2.5], [100, 0.125]])
+        lines = out.split("\n")
+        assert len(lines) == 4
+        # All lines same width.
+        assert len({len(line) for line in lines}) == 1
+
+    def test_float_format(self):
+        out = format_table(["x"], [[0.123456789]], float_format="{:.2f}")
+        assert "0.12" in out
+
+    def test_non_floats_stringified(self):
+        out = format_table(["m", "v"], [["greedy", 10]])
+        assert "greedy" in out and "10" in out
+
+    def test_row_length_checked(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["a", "b"], [[1]])
+
+
+class TestAsciiSeries:
+    def test_one_line_per_point(self):
+        out = ascii_series([1, 2, 3], [0.1, 0.5, 0.9], label="demo")
+        lines = out.split("\n")
+        assert lines[0] == "demo"
+        assert len(lines) == 4
+
+    def test_bars_monotone_with_values(self):
+        out = ascii_series([1, 2], [0.0, 1.0], width=10)
+        lines = out.split("\n")
+        assert lines[0].count("#") < lines[1].count("#")
+
+    def test_empty(self):
+        assert "(empty)" in ascii_series([], [], label="x")
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            ascii_series([1], [1.0, 2.0])
+
+    def test_explicit_bounds_clamp(self):
+        out = ascii_series([1], [5.0], width=10, y_min=0.0, y_max=1.0)
+        assert out.count("#") == 10
+
+
+class TestFigureRenderers:
+    def test_figure8_panel_columns(self):
+        out = render_figure8_panel(
+            num_targets=1,
+            sensor_counts=[20, 40],
+            average_utilities=[0.92, 0.96],
+            upper_bounds=[0.93, 0.97],
+        )
+        assert "m=1 target" in out
+        assert "upper_bound" in out
+        assert "0.920000" in out
+
+    def test_figure8_optional_columns_omitted(self):
+        out = render_figure8_panel(
+            num_targets=2,
+            sensor_counts=[20],
+            average_utilities=[0.9],
+        )
+        assert "upper_bound" not in out
+        assert "optimal" not in out
+
+    def test_figure8_with_optimal(self):
+        out = render_figure8_panel(
+            num_targets=3,
+            sensor_counts=[20],
+            average_utilities=[0.9],
+            optimal_values=[0.95],
+        )
+        assert "optimal" in out
+
+    def test_figure9_table(self):
+        out = render_figure9_table(
+            target_counts=[10, 20],
+            utilities_by_sensor_count={100: [0.7, 0.69], 200: [0.75, 0.74]},
+        )
+        assert "Fig. 9" in out
+        assert "100" in out and "200" in out
+        assert "0.6900" in out
+
+
+class TestScheduleGantt:
+    def test_periodic_rows_and_marks(self):
+        from repro.analysis.report import render_schedule_gantt
+        from repro.core.schedule import PeriodicSchedule
+
+        sched = PeriodicSchedule(slots_per_period=3, assignment={0: 0, 1: 2})
+        out = render_schedule_gantt(sched, num_periods=2)
+        lines = out.splitlines()
+        assert len(lines) == 3  # header + 2 sensors
+        row0 = lines[1]
+        assert row0.strip().startswith("0 |")
+        # Sensor 0 active at slots 0 and 3.
+        assert row0.count("#") == 2
+
+    def test_unrolled_accepted(self):
+        from repro.analysis.report import render_schedule_gantt
+        from repro.core.schedule import UnrolledSchedule
+
+        sched = UnrolledSchedule(
+            slots_per_period=2,
+            active_sets=(frozenset({0}), frozenset({1})),
+        )
+        out = render_schedule_gantt(sched)
+        assert "#" in out
+
+    def test_utility_footer(self):
+        from repro.analysis.report import render_schedule_gantt
+        from repro.core.schedule import PeriodicSchedule
+        from repro.utility.detection import HomogeneousDetectionUtility
+
+        sched = PeriodicSchedule(slots_per_period=2, assignment={0: 0, 1: 1})
+        out = render_schedule_gantt(
+            sched, utility=HomogeneousDetectionUtility(range(2), p=0.4)
+        )
+        assert "U(slot)" in out
+        assert "0.40" in out
+
+    def test_type_checked(self):
+        from repro.analysis.report import render_schedule_gantt
+
+        with pytest.raises(TypeError, match="Gantt"):
+            render_schedule_gantt("nope")

@@ -1,0 +1,89 @@
+"""Tests for summary statistics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import (
+    mean_confidence_interval,
+    summarize_ratios,
+    summarize_series,
+)
+
+
+class TestConfidenceInterval:
+    def test_mean(self):
+        mean, low, high = mean_confidence_interval([1.0, 2.0, 3.0])
+        assert mean == pytest.approx(2.0)
+        assert low < mean < high
+
+    def test_single_value_zero_width(self):
+        mean, low, high = mean_confidence_interval([5.0])
+        assert mean == low == high == 5.0
+
+    def test_constant_series_zero_width(self):
+        mean, low, high = mean_confidence_interval([2.0, 2.0, 2.0])
+        assert mean == low == high == 2.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            mean_confidence_interval([])
+
+    def test_wider_confidence_wider_interval(self):
+        data = [1.0, 2.0, 3.0, 4.0]
+        _, low95, high95 = mean_confidence_interval(data, 0.95)
+        _, low99, high99 = mean_confidence_interval(data, 0.99)
+        assert low99 < low95 and high99 > high95
+
+    def test_coverage_on_normal_data(self):
+        rng = np.random.default_rng(0)
+        hits = 0
+        for _ in range(200):
+            sample = rng.normal(10.0, 2.0, size=20)
+            _, low, high = mean_confidence_interval(sample, 0.95)
+            hits += low <= 10.0 <= high
+        assert hits > 170  # ~95% coverage, generous slack
+
+
+class TestSummarizeSeries:
+    def test_fields(self):
+        s = summarize_series([1.0, 2.0, 3.0, 4.0])
+        assert s.mean == pytest.approx(2.5)
+        assert s.minimum == 1.0
+        assert s.maximum == 4.0
+        assert s.count == 4
+        assert s.std == pytest.approx(np.std([1, 2, 3, 4], ddof=1))
+
+    def test_single_value(self):
+        s = summarize_series([7.0])
+        assert s.std == 0.0
+        assert s.ci_low == s.ci_high == 7.0
+
+    def test_str(self):
+        assert "+/-" in str(summarize_series([1.0, 2.0]))
+
+
+class TestSummarizeRatios:
+    def test_basic(self):
+        s = summarize_ratios([0.9, 0.8], [1.0, 1.0])
+        assert s.worst_ratio == pytest.approx(0.8)
+        assert s.mean_ratio == pytest.approx(0.85)
+        assert s.all_above_half
+
+    def test_below_half_flagged(self):
+        s = summarize_ratios([0.4], [1.0])
+        assert not s.all_above_half
+
+    def test_zero_optimum_counts_as_one(self):
+        s = summarize_ratios([0.0, 0.9], [0.0, 1.0])
+        assert s.worst_ratio == pytest.approx(0.9)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            summarize_ratios([1.0], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="zero instances"):
+            summarize_ratios([], [])
+
+    def test_str(self):
+        assert "worst=" in str(summarize_ratios([1.0], [1.0]))

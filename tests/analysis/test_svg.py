@@ -1,0 +1,113 @@
+"""Tests for the dependency-free SVG chart writer."""
+
+import xml.dom.minidom
+
+import pytest
+
+from repro.analysis.svg import PALETTE, Series, figure_to_svg, render_line_chart
+
+
+def parse(svg: str):
+    return xml.dom.minidom.parseString(svg)
+
+
+class TestSeries:
+    def test_length_checked(self):
+        with pytest.raises(ValueError, match="xs vs"):
+            Series("s", [1, 2], [1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            Series("s", [], [])
+
+
+class TestRenderLineChart:
+    def simple(self, **kwargs):
+        return render_line_chart(
+            [
+                Series("a", [0, 1, 2], [0.0, 0.5, 1.0]),
+                Series("b", [0, 1, 2], [1.0, 0.5, 0.0], dashed=True),
+            ],
+            title="demo",
+            x_label="x",
+            y_label="y",
+            **kwargs,
+        )
+
+    def test_valid_xml(self):
+        parse(self.simple())
+
+    def test_contains_polylines_and_markers(self):
+        doc = parse(self.simple())
+        polylines = doc.getElementsByTagName("polyline")
+        assert len(polylines) == 2
+        circles = doc.getElementsByTagName("circle")
+        assert len(circles) == 6  # 3 points x 2 series
+
+    def test_dashed_series(self):
+        svg = self.simple()
+        assert "stroke-dasharray" in svg
+
+    def test_labels_present(self):
+        svg = self.simple()
+        assert "demo" in svg and ">x<" in svg and ">y<" in svg
+
+    def test_legend_lists_series(self):
+        svg = self.simple()
+        assert ">a<" in svg and ">b<" in svg
+
+    def test_explicit_bounds(self):
+        svg = self.simple(y_min=0.0, y_max=2.0)
+        assert ">2<" in svg  # top tick label
+
+    def test_custom_color_used(self):
+        svg = render_line_chart([Series("c", [0, 1], [0, 1], color="#123456")])
+        assert "#123456" in svg
+
+    def test_default_palette_cycles(self):
+        series = [Series(f"s{i}", [0, 1], [0, 1]) for i in range(8)]
+        svg = render_line_chart(series)
+        assert PALETTE[0] in svg and PALETTE[1] in svg
+
+    def test_degenerate_ranges_handled(self):
+        svg = render_line_chart([Series("flat", [1, 1], [2.0, 2.0])])
+        parse(svg)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            render_line_chart([])
+
+
+class TestFigureToSvg:
+    def test_fig8_payload(self):
+        from repro.experiments import reproduce_fig8_panel
+
+        data = reproduce_fig8_panel(1, sensor_counts=(20, 40))
+        svg = figure_to_svg(data, "fig8a")
+        parse(svg)
+        assert "upper bound" in svg
+
+    def test_fig9_payload(self):
+        from repro.experiments import reproduce_fig9
+
+        data = reproduce_fig9(sensor_counts=(60,), target_counts=(5, 10))
+        svg = figure_to_svg(data, "fig9")
+        parse(svg)
+        assert "n=60" in svg
+
+    def test_unsupported_figure(self):
+        with pytest.raises(ValueError, match="no SVG renderer"):
+            figure_to_svg({}, "fig7")
+
+    def test_cli_svg_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "fig.svg"
+        assert main(["figure", "fig8a", "--svg", str(out)]) == 0
+        parse(out.read_text())
+
+    def test_cli_svg_unsupported(self, capsys):
+        from repro.cli import main
+
+        assert main(["figure", "fig7", "--svg", "/tmp/never.svg"]) == 2
+        assert "no SVG renderer" in capsys.readouterr().err

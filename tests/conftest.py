@@ -1,0 +1,87 @@
+"""Shared fixtures and helpers for the test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.problem import SchedulingProblem
+from repro.energy.period import ChargingPeriod
+from repro.utility.coverage_count import WeightedCoverageUtility
+from repro.utility.detection import DetectionUtility, HomogeneousDetectionUtility
+from repro.utility.logsum import LogSumUtility
+from repro.utility.target_system import TargetSystem
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def paper_period() -> ChargingPeriod:
+    """The measured sunny pattern: T_d = 15, T_r = 45, rho = 3, T = 4."""
+    return ChargingPeriod.paper_sunny()
+
+
+@pytest.fixture
+def fast_charge_period() -> ChargingPeriod:
+    """rho = 1/3: recharge 3x faster than discharge, T = 4 slots."""
+    return ChargingPeriod.from_ratio(1.0 / 3.0, discharge_time=45.0)
+
+
+@pytest.fixture
+def small_detection_problem(paper_period) -> SchedulingProblem:
+    """8 sensors, one implicit target, p = 0.4 -- enumerable exactly."""
+    return SchedulingProblem(
+        num_sensors=8,
+        period=paper_period,
+        utility=HomogeneousDetectionUtility(range(8), p=0.4),
+    )
+
+
+def random_target_system(
+    num_sensors: int,
+    num_targets: int,
+    rng: np.random.Generator,
+    p_low: float = 0.2,
+    p_high: float = 0.6,
+    cover_prob: float = 0.5,
+) -> TargetSystem:
+    """A random multi-target detection system (test workload generator).
+
+    Every target is guaranteed at least one covering sensor so the
+    instance is never degenerate.
+    """
+    covers = []
+    utilities = []
+    for _ in range(num_targets):
+        cover = {v for v in range(num_sensors) if rng.random() < cover_prob}
+        if not cover:
+            cover = {int(rng.integers(num_sensors))}
+        probs = {v: float(rng.uniform(p_low, p_high)) for v in cover}
+        covers.append(frozenset(cover))
+        utilities.append(DetectionUtility(probs))
+    return TargetSystem(covers, utilities)
+
+
+def random_coverage_utility(
+    num_sensors: int,
+    num_elements: int,
+    rng: np.random.Generator,
+) -> WeightedCoverageUtility:
+    """A random weighted coverage utility (test workload generator)."""
+    covers = {
+        v: {e for e in range(num_elements) if rng.random() < 0.4}
+        for v in range(num_sensors)
+    }
+    weights = {e: float(rng.uniform(0.5, 2.0)) for e in range(num_elements)}
+    return WeightedCoverageUtility(covers, weights)
+
+
+def random_logsum_utility(
+    num_sensors: int, rng: np.random.Generator
+) -> LogSumUtility:
+    return LogSumUtility(
+        {v: float(rng.integers(1, 20)) for v in range(num_sensors)}
+    )

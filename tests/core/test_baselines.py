@@ -1,0 +1,112 @@
+"""Tests for baseline schedules."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import (
+    all_in_first_slot_schedule,
+    balanced_random_schedule,
+    random_schedule,
+    round_robin_schedule,
+)
+from repro.core.greedy import greedy_schedule
+from repro.core.problem import SchedulingProblem
+from repro.core.schedule import ScheduleMode
+from repro.energy.period import ChargingPeriod
+from repro.utility.detection import HomogeneousDetectionUtility
+
+
+def make_problem(n=12, rho=3.0):
+    return SchedulingProblem(
+        num_sensors=n,
+        period=ChargingPeriod.from_ratio(rho),
+        utility=HomogeneousDetectionUtility(range(n), p=0.4),
+    )
+
+
+class TestFeasibilityAndMode:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda p: random_schedule(p, rng=1),
+            lambda p: balanced_random_schedule(p, rng=1),
+            round_robin_schedule,
+            all_in_first_slot_schedule,
+        ],
+    )
+    def test_all_sensors_assigned_and_feasible(self, factory):
+        problem = make_problem()
+        sched = factory(problem)
+        assert sched.scheduled_sensors == problem.sensor_set
+        sched.unroll(3).validate_feasible()
+
+    def test_mode_follows_regime(self):
+        sparse = make_problem(rho=3.0)
+        dense = make_problem(rho=0.5)
+        assert random_schedule(sparse, rng=1).mode is ScheduleMode.ACTIVE_SLOT
+        assert random_schedule(dense, rng=1).mode is ScheduleMode.PASSIVE_SLOT
+
+
+class TestRandom:
+    def test_seeded_reproducible(self):
+        problem = make_problem()
+        a = random_schedule(problem, rng=5)
+        b = random_schedule(problem, rng=5)
+        assert dict(a.assignment) == dict(b.assignment)
+
+    def test_covers_all_slots_eventually(self):
+        problem = make_problem(n=100)
+        sched = random_schedule(problem, rng=2)
+        used = set(sched.assignment.values())
+        assert used == set(range(4))
+
+
+class TestBalancedRandom:
+    def test_loads_within_one(self):
+        problem = make_problem(n=10, rho=2.0)  # T = 3
+        sched = balanced_random_schedule(problem, rng=3)
+        loads = [len(s) for s in sched.active_sets()]
+        assert max(loads) - min(loads) <= 1
+
+    def test_randomized_across_seeds(self):
+        problem = make_problem()
+        a = balanced_random_schedule(problem, rng=1)
+        b = balanced_random_schedule(problem, rng=2)
+        assert dict(a.assignment) != dict(b.assignment)
+
+
+class TestRoundRobin:
+    def test_assignment_formula(self):
+        problem = make_problem(n=6, rho=2.0)
+        sched = round_robin_schedule(problem)
+        assert all(sched.slot_of(v) == v % 3 for v in range(6))
+
+    def test_matches_greedy_for_symmetric_utility(self):
+        # Round-robin is optimal for the homogeneous single-target case;
+        # greedy must tie it.
+        problem = make_problem(n=12, rho=3.0)
+        rr = round_robin_schedule(problem).period_utility(problem.utility)
+        greedy = greedy_schedule(problem).period_utility(problem.utility)
+        assert greedy == pytest.approx(rr)
+
+
+class TestAllFirstSlot:
+    def test_everything_in_slot_zero(self):
+        problem = make_problem()
+        sched = all_in_first_slot_schedule(problem)
+        assert sched.active_sets()[0] == problem.sensor_set
+        assert all(s == frozenset() for s in sched.active_sets()[1:])
+
+    def test_much_worse_than_greedy_sparse(self):
+        problem = make_problem(n=20, rho=3.0)
+        bunched = all_in_first_slot_schedule(problem).period_utility(problem.utility)
+        greedy = greedy_schedule(problem).period_utility(problem.utility)
+        assert bunched < 0.5 * greedy
+
+    def test_fine_in_dense_regime(self):
+        # Resting everyone in slot 0 is a sensible dense-regime schedule.
+        problem = make_problem(n=6, rho=0.5)
+        sched = all_in_first_slot_schedule(problem)
+        sets = sched.active_sets()
+        assert sets[0] == frozenset()
+        assert sets[1] == problem.sensor_set

@@ -1,0 +1,111 @@
+"""Tests for the optimum upper bounds (Sec. VI-B)."""
+
+import pytest
+
+from repro.core.bounds import (
+    balanced_count_bound,
+    lp_upper_bound,
+    per_slot_ceiling_bound,
+    single_target_upper_bound,
+)
+from repro.core.greedy import greedy_schedule
+from repro.core.optimal import optimal_value
+from repro.core.problem import SchedulingProblem
+from repro.energy.period import ChargingPeriod
+from repro.utility.detection import HomogeneousDetectionUtility
+from repro.utility.target_system import TargetSystem
+
+
+def make_problem(n, rho=3.0, utility=None):
+    if utility is None:
+        utility = HomogeneousDetectionUtility(range(n), p=0.4)
+    return SchedulingProblem(
+        num_sensors=n,
+        period=ChargingPeriod.from_ratio(rho),
+        utility=utility,
+    )
+
+
+class TestSingleTargetBound:
+    def test_closed_form(self):
+        assert single_target_upper_bound(100, 4, 0.4) == pytest.approx(
+            1 - 0.6**25
+        )
+
+    def test_ceiling_applied(self):
+        # n = 9, T = 4 -> ceil = 3.
+        assert single_target_upper_bound(9, 4, 0.4) == pytest.approx(1 - 0.6**3)
+
+    def test_zero_sensors(self):
+        assert single_target_upper_bound(0, 4, 0.4) == 0.0
+
+    def test_p_one(self):
+        assert single_target_upper_bound(5, 4, 1.0) == 1.0
+        assert single_target_upper_bound(0, 4, 1.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            single_target_upper_bound(-1, 4, 0.4)
+        with pytest.raises(ValueError, match=">= 1"):
+            single_target_upper_bound(4, 0, 0.4)
+        with pytest.raises(ValueError, match="\\[0, 1\\]"):
+            single_target_upper_bound(4, 4, 1.5)
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 6, 7, 8])
+    def test_bounds_enumerated_optimum(self, n):
+        problem = make_problem(n, rho=3.0)
+        opt_avg = optimal_value(problem) / problem.slots_per_period
+        bound = single_target_upper_bound(n, problem.slots_per_period, 0.4)
+        assert opt_avg <= bound + 1e-9
+
+    def test_tight_when_n_divisible_by_t(self):
+        problem = make_problem(8, rho=3.0)
+        opt_avg = optimal_value(problem) / 4
+        bound = single_target_upper_bound(8, 4, 0.4)
+        assert opt_avg == pytest.approx(bound)
+
+
+class TestPerSlotCeiling:
+    def test_value(self):
+        problem = make_problem(5, rho=3.0)
+        expected = 4 * problem.utility.value(frozenset(range(5)))
+        assert per_slot_ceiling_bound(problem) == pytest.approx(expected)
+
+    def test_dominates_optimum(self):
+        problem = make_problem(5, rho=2.0)
+        assert per_slot_ceiling_bound(problem) >= optimal_value(problem)
+
+
+class TestBalancedCountBound:
+    def test_multi_target(self):
+        ts = TargetSystem.homogeneous_detection([{0, 1, 2, 3}, {2, 3}], p=0.4)
+        problem = make_problem(4, rho=1.0, utility=ts)
+        bound = balanced_count_bound(problem, p=0.4)
+        expected = single_target_upper_bound(4, 2, 0.4) + single_target_upper_bound(
+            2, 2, 0.4
+        )
+        assert bound == pytest.approx(expected)
+
+    def test_bounds_greedy_average(self):
+        ts = TargetSystem.homogeneous_detection([{0, 1, 2}, {1, 2, 3}], p=0.4)
+        problem = make_problem(4, rho=1.0, utility=ts)
+        greedy_avg = (
+            greedy_schedule(problem).period_utility(ts) / problem.slots_per_period
+        )
+        assert greedy_avg <= balanced_count_bound(problem, p=0.4) + 1e-9
+
+    def test_single_utility_falls_back(self):
+        problem = make_problem(8, rho=3.0)
+        assert balanced_count_bound(problem, p=0.4) == pytest.approx(
+            single_target_upper_bound(8, 4, 0.4)
+        )
+
+
+class TestLpBound:
+    def test_dominates_optimum(self):
+        problem = make_problem(5, rho=2.0)
+        assert lp_upper_bound(problem) >= optimal_value(problem) - 1e-6
+
+    def test_tighter_or_equal_to_ceiling(self):
+        problem = make_problem(5, rho=2.0)
+        assert lp_upper_bound(problem) <= per_slot_ceiling_bound(problem) + 1e-6

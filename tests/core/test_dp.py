@@ -1,0 +1,128 @@
+"""Tests for the count-based exact optimum (balanced allocation / DP)."""
+
+import math
+
+import pytest
+
+from repro.core.dp import (
+    balanced_schedule,
+    balanced_slot_sizes,
+    concave_count_optimal_value,
+    exact_count_optimal,
+    single_target_optimal_value,
+)
+from repro.core.greedy import greedy_schedule
+from repro.core.optimal import optimal_value
+from repro.core.problem import SchedulingProblem
+from repro.energy.period import ChargingPeriod
+from repro.utility.detection import HomogeneousDetectionUtility
+from repro.utility.logsum import LogSumUtility
+
+
+def make_problem(n, rho=3.0, p=0.4):
+    return SchedulingProblem(
+        num_sensors=n,
+        period=ChargingPeriod.from_ratio(rho),
+        utility=HomogeneousDetectionUtility(range(n), p=p),
+    )
+
+
+class TestBalancedSizes:
+    def test_divisible(self):
+        assert balanced_slot_sizes(12, 4) == [3, 3, 3, 3]
+
+    def test_remainder_spread(self):
+        assert balanced_slot_sizes(10, 4) == [3, 3, 2, 2]
+
+    def test_fewer_sensors_than_slots(self):
+        assert balanced_slot_sizes(2, 4) == [1, 1, 0, 0]
+
+    def test_zero_sensors(self):
+        assert balanced_slot_sizes(0, 3) == [0, 0, 0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            balanced_slot_sizes(5, 0)
+        with pytest.raises(ValueError, match=">= 0"):
+            balanced_slot_sizes(-1, 3)
+
+
+class TestConcaveOptimal:
+    def count_fn(self, p=0.4):
+        return lambda k: 1 - (1 - p) ** k
+
+    @pytest.mark.parametrize("n", [1, 4, 7, 12])
+    def test_matches_dp_oracle(self, n):
+        fn = self.count_fn()
+        closed = concave_count_optimal_value(fn, n, 4)
+        dp_value, _ = exact_count_optimal(fn, n, 4)
+        assert closed == pytest.approx(dp_value)
+
+    @pytest.mark.parametrize("n", [2, 4, 6, 8])
+    def test_matches_enumeration(self, n):
+        problem = make_problem(n)
+        closed = concave_count_optimal_value(self.count_fn(), n, 4)
+        assert closed == pytest.approx(optimal_value(problem))
+
+    def test_dp_handles_nonconcave(self):
+        # A threshold utility (0 below 3, 1 at >= 3): the optimum bunches
+        # sensors rather than balancing.
+        step = lambda k: 1.0 if k >= 3 else 0.0
+        value, sizes = exact_count_optimal(step, 7, 3)
+        assert value == pytest.approx(2.0)  # two slots of 3, one of 1
+        assert sorted(sizes, reverse=True)[:2] == [4, 3] or sorted(
+            sizes, reverse=True
+        )[:2] == [3, 3]
+
+    def test_dp_sizes_sum(self):
+        fn = self.count_fn()
+        _, sizes = exact_count_optimal(fn, 9, 4)
+        assert sum(sizes) == 9
+
+
+class TestBalancedSchedule:
+    def test_matches_greedy_for_symmetric_utility(self):
+        problem = make_problem(10)
+        balanced = balanced_schedule(problem).period_utility(problem.utility)
+        greedy = greedy_schedule(problem).period_utility(problem.utility)
+        assert balanced == pytest.approx(greedy)
+
+    def test_is_feasible(self):
+        problem = make_problem(10)
+        balanced_schedule(problem).unroll(3).validate_feasible()
+
+    def test_rejects_dense_regime(self):
+        problem = SchedulingProblem(
+            num_sensors=4,
+            period=ChargingPeriod.from_ratio(0.5),
+            utility=HomogeneousDetectionUtility(range(4), p=0.4),
+        )
+        with pytest.raises(ValueError, match="rho >= 1"):
+            balanced_schedule(problem)
+
+
+class TestSingleTargetOptimal:
+    def test_greedy_is_exactly_optimal_here(self):
+        # Cross-check at n = 100 (far beyond enumeration): greedy meets
+        # the closed-form optimum in the Fig. 8(a) configuration.
+        problem = make_problem(100)
+        opt = single_target_optimal_value(problem)
+        greedy = greedy_schedule(problem).period_utility(problem.utility)
+        assert greedy == pytest.approx(opt)
+
+    def test_requires_homogeneous_utility(self):
+        problem = SchedulingProblem(
+            num_sensors=3,
+            period=ChargingPeriod.from_ratio(3.0),
+            utility=LogSumUtility({0: 1.0, 1: 2.0, 2: 3.0}),
+        )
+        with pytest.raises(TypeError, match="Homogeneous"):
+            single_target_optimal_value(problem)
+
+    def test_consistent_with_upper_bound(self):
+        from repro.core.bounds import single_target_upper_bound
+
+        problem = make_problem(10)
+        opt_avg = single_target_optimal_value(problem) / 4
+        bound = single_target_upper_bound(10, 4, 0.4)
+        assert opt_avg <= bound + 1e-12

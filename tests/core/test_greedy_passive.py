@@ -1,0 +1,163 @@
+"""Tests for the rho <= 1 passive-slot greedy (Sec. IV-B, Thm. 4.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.greedy import GreedyTrace
+from repro.core.greedy_passive import greedy_passive_schedule
+from repro.core.optimal import optimal_value
+from repro.core.problem import SchedulingProblem
+from repro.core.schedule import ScheduleMode
+from repro.energy.period import ChargingPeriod
+from repro.utility.detection import HomogeneousDetectionUtility
+
+from tests.conftest import random_coverage_utility, random_target_system
+
+
+def make_problem(n, inv_rho=3, utility=None, periods=1):
+    if utility is None:
+        utility = HomogeneousDetectionUtility(range(n), p=0.4)
+    return SchedulingProblem(
+        num_sensors=n,
+        period=ChargingPeriod.from_ratio(1.0 / inv_rho),
+        utility=utility,
+        num_periods=periods,
+    )
+
+
+class TestBasics:
+    def test_every_sensor_gets_passive_slot(self):
+        problem = make_problem(8)
+        sched = greedy_passive_schedule(problem)
+        assert sched.mode is ScheduleMode.PASSIVE_SLOT
+        assert sched.scheduled_sensors == frozenset(range(8))
+
+    def test_active_t_minus_1_slots(self):
+        problem = make_problem(8, inv_rho=3)  # T = 4
+        sched = greedy_passive_schedule(problem)
+        counts = {v: 0 for v in range(8)}
+        for s in sched.active_sets():
+            for v in s:
+                counts[v] += 1
+        assert all(c == 3 for c in counts.values())
+
+    def test_unroll_feasible(self):
+        problem = make_problem(8, periods=4)
+        greedy_passive_schedule(problem).unroll(4).validate_feasible()
+
+    def test_rejects_sparse_regime(self):
+        problem = SchedulingProblem(
+            num_sensors=4,
+            period=ChargingPeriod.from_ratio(3.0),
+            utility=HomogeneousDetectionUtility(range(4), p=0.4),
+        )
+        with pytest.raises(ValueError, match="rho <= 1"):
+            greedy_passive_schedule(problem)
+
+    def test_rho_one_accepted_by_both(self):
+        # rho = 1 is the boundary: both schemes apply and both give a
+        # feasible alternating schedule.
+        from repro.core.greedy import greedy_schedule
+
+        problem = SchedulingProblem(
+            num_sensors=4,
+            period=ChargingPeriod.from_ratio(1.0),
+            utility=HomogeneousDetectionUtility(range(4), p=0.4),
+        )
+        active = greedy_schedule(problem)
+        passive = greedy_passive_schedule(problem)
+        assert active.period_utility(problem.utility) == pytest.approx(
+            passive.period_utility(problem.utility)
+        )
+
+    def test_passive_slots_spread_evenly(self):
+        # Symmetric utility: the greedy rests sensors evenly across slots.
+        problem = make_problem(8, inv_rho=3)  # T = 4, 8 sensors
+        sched = greedy_passive_schedule(problem)
+        rest_counts = [0] * 4
+        for v, slot in sched.assignment.items():
+            rest_counts[slot] += 1
+        assert max(rest_counts) - min(rest_counts) <= 1
+
+    def test_zero_sensors(self):
+        problem = make_problem(0)
+        sched = greedy_passive_schedule(problem)
+        assert sched.scheduled_sensors == frozenset()
+
+
+class TestTrace:
+    def test_records_all_steps(self):
+        problem = make_problem(6)
+        trace = GreedyTrace()
+        greedy_passive_schedule(problem, trace=trace)
+        assert len(trace.steps) == 6
+
+    def test_total_after_matches_schedule(self):
+        problem = make_problem(6)
+        trace = GreedyTrace()
+        sched = greedy_passive_schedule(problem, trace=trace)
+        assert trace.steps[-1].total_after == pytest.approx(
+            sched.period_utility(problem.utility)
+        )
+
+    def test_losses_non_decreasing_for_symmetric_utility(self):
+        problem = make_problem(9)
+        trace = GreedyTrace()
+        greedy_passive_schedule(problem, trace=trace)
+        losses = [-s.gain for s in trace.steps]
+        for a, b in zip(losses, losses[1:]):
+            assert b >= a - 1e-12
+
+
+class TestLazyEqualsNaive:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_same_utility(self, seed):
+        rng = np.random.default_rng(seed)
+        utility = random_target_system(7, 3, rng)
+        problem = make_problem(7, inv_rho=2, utility=utility)
+        lazy = greedy_passive_schedule(problem, lazy=True)
+        naive = greedy_passive_schedule(problem, lazy=False)
+        assert lazy.period_utility(utility) == pytest.approx(
+            naive.period_utility(utility)
+        )
+
+    def test_identical_assignment_generic(self):
+        rng = np.random.default_rng(31)
+        utility = random_target_system(6, 2, rng)
+        problem = make_problem(6, inv_rho=2, utility=utility)
+        lazy = greedy_passive_schedule(problem, lazy=True)
+        naive = greedy_passive_schedule(problem, lazy=False)
+        assert dict(lazy.assignment) == dict(naive.assignment)
+
+
+class TestApproximationGuarantee:
+    """Thm. 4.4: the passive greedy also achieves >= OPT / 2."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_half_approximation(self, seed):
+        rng = np.random.default_rng(300 + seed)
+        utility = random_target_system(5, 3, rng)
+        problem = make_problem(5, inv_rho=2, utility=utility)
+        value = greedy_passive_schedule(problem).period_utility(utility)
+        opt = optimal_value(problem)
+        assert value >= 0.5 * opt - 1e-9
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_half_approximation_coverage(self, seed):
+        rng = np.random.default_rng(400 + seed)
+        utility = random_coverage_utility(5, 8, rng)
+        problem = make_problem(5, inv_rho=3, utility=utility)
+        value = greedy_passive_schedule(problem).period_utility(utility)
+        opt = optimal_value(problem)
+        assert value >= 0.5 * opt - 1e-9
+
+    def test_near_optimal_in_practice(self):
+        rng = np.random.default_rng(9)
+        ratios = []
+        for _ in range(8):
+            utility = random_target_system(5, 2, rng)
+            problem = make_problem(5, inv_rho=2, utility=utility)
+            value = greedy_passive_schedule(problem).period_utility(utility)
+            opt = optimal_value(problem)
+            ratios.append(value / opt if opt > 0 else 1.0)
+        assert np.mean(ratios) > 0.95

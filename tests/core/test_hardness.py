@@ -1,0 +1,111 @@
+"""Tests for the Subset-Sum reduction (Thm. 3.1)."""
+
+import math
+
+import pytest
+
+from repro.core.hardness import (
+    SubsetSumInstance,
+    decide_subset_sum_via_scheduling,
+    optimum_if_yes,
+    reduction_from_subset_sum,
+)
+
+
+class TestInstance:
+    def test_total_and_target(self):
+        inst = SubsetSumInstance((3, 5, 2))
+        assert inst.total == 10
+        assert inst.target == 5.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            SubsetSumInstance(())
+        with pytest.raises(ValueError, match="positive integers"):
+            SubsetSumInstance((3, 0))
+        with pytest.raises(ValueError, match="positive integers"):
+            SubsetSumInstance((3, -2))
+
+    def test_brute_force_yes(self):
+        assert SubsetSumInstance((3, 5, 2)).brute_force_decide()  # {3,2} vs {5}
+        assert SubsetSumInstance((1, 1)).brute_force_decide()
+        assert SubsetSumInstance((4, 2, 2)).brute_force_decide()
+
+    def test_brute_force_no(self):
+        assert not SubsetSumInstance((3, 5, 3)).brute_force_decide()  # odd total
+        assert not SubsetSumInstance((1, 2, 5)).brute_force_decide()
+        assert not SubsetSumInstance((10, 1, 1)).brute_force_decide()
+
+
+class TestReductionStructure:
+    def test_period_is_two_slots(self):
+        problem = reduction_from_subset_sum(SubsetSumInstance((1, 2, 3)))
+        assert problem.slots_per_period == 2
+        assert problem.rho == 1.0
+
+    def test_one_sensor_per_weight(self):
+        problem = reduction_from_subset_sum(SubsetSumInstance((1, 2, 3)))
+        assert problem.num_sensors == 3
+
+    def test_utility_is_log_of_weights(self):
+        problem = reduction_from_subset_sum(SubsetSumInstance((4, 6)))
+        assert problem.utility.value({0, 1}) == pytest.approx(math.log1p(10))
+
+    def test_optimum_if_yes_formula(self):
+        inst = SubsetSumInstance((4, 4))
+        assert optimum_if_yes(inst) == pytest.approx(2 * math.log1p(4.0))
+
+
+class TestDecisionEquivalence:
+    """The reduction decides Subset-Sum exactly (on small instances)."""
+
+    @pytest.mark.parametrize(
+        "weights",
+        [
+            (1, 1),
+            (3, 5, 2),
+            (4, 2, 2),
+            (2, 2, 2, 2),
+            (7, 3, 2, 2),
+            (6, 5, 4, 3, 2),
+        ],
+    )
+    def test_yes_instances(self, weights):
+        inst = SubsetSumInstance(weights)
+        assert inst.brute_force_decide()
+        assert decide_subset_sum_via_scheduling(inst)
+
+    @pytest.mark.parametrize(
+        "weights",
+        [
+            (1, 2),
+            (3, 5, 3),
+            (1, 2, 5),
+            (10, 1, 1),
+            (9, 4, 4),
+        ],
+    )
+    def test_no_instances(self, weights):
+        inst = SubsetSumInstance(weights)
+        assert not inst.brute_force_decide()
+        assert not decide_subset_sum_via_scheduling(inst)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_instances_agree_with_dp(self, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        weights = tuple(int(w) for w in rng.integers(1, 12, size=6))
+        inst = SubsetSumInstance(weights)
+        assert decide_subset_sum_via_scheduling(inst) == inst.brute_force_decide()
+
+    def test_yes_certificate_is_balanced_split(self):
+        from repro.core.optimal import optimal_schedule
+
+        inst = SubsetSumInstance((3, 5, 2))
+        problem = reduction_from_subset_sum(inst)
+        sched = optimal_schedule(problem)
+        slot_weights = [0.0, 0.0]
+        for sensor, slot in sched.assignment.items():
+            slot_weights[slot] += inst.weights[sensor]
+        assert slot_weights[0] == pytest.approx(slot_weights[1])

@@ -1,0 +1,118 @@
+"""Tests for the local-search polish."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import all_in_first_slot_schedule, random_schedule
+from repro.core.greedy import greedy_schedule
+from repro.core.local_search import (
+    LocalSearchReport,
+    greedy_with_local_search,
+    local_search,
+)
+from repro.core.optimal import optimal_value
+from repro.core.problem import SchedulingProblem
+from repro.energy.period import ChargingPeriod
+from repro.utility.detection import HomogeneousDetectionUtility
+
+from tests.conftest import random_target_system
+
+
+def make_problem(n=8, rho=3.0, utility=None):
+    if utility is None:
+        utility = HomogeneousDetectionUtility(range(n), p=0.4)
+    return SchedulingProblem(
+        num_sensors=n, period=ChargingPeriod.from_ratio(rho), utility=utility
+    )
+
+
+class TestImprovement:
+    def test_never_decreases(self):
+        for seed in range(5):
+            rng = np.random.default_rng(seed)
+            utility = random_target_system(8, 3, rng)
+            problem = make_problem(8, utility=utility)
+            start = random_schedule(problem, rng=seed)
+            before = start.period_utility(utility)
+            polished = local_search(problem, start)
+            after = polished.period_utility(utility)
+            assert after >= before - 1e-12
+
+    def test_fixes_pathological_start(self):
+        # Everything bunched in slot 0: local search must spread it out.
+        problem = make_problem(12)
+        start = all_in_first_slot_schedule(problem)
+        polished = local_search(problem, start)
+        before = start.period_utility(problem.utility)
+        after = polished.period_utility(problem.utility)
+        assert after > before
+        # For the symmetric utility it reaches the balanced optimum.
+        greedy = greedy_schedule(problem).period_utility(problem.utility)
+        assert after == pytest.approx(greedy)
+
+    def test_report_filled(self):
+        problem = make_problem(12)
+        report = LocalSearchReport(0, 0.0, 0.0)
+        local_search(
+            problem, all_in_first_slot_schedule(problem), report=report
+        )
+        assert report.moves > 0
+        assert report.improvement > 0
+
+    def test_local_optimum_is_fixed_point(self):
+        problem = make_problem(8)
+        first = local_search(problem, random_schedule(problem, rng=1))
+        report = LocalSearchReport(0, 0.0, 0.0)
+        local_search(problem, first, report=report)
+        assert report.moves == 0
+
+    def test_max_moves_respected(self):
+        problem = make_problem(12)
+        report = LocalSearchReport(0, 0.0, 0.0)
+        local_search(
+            problem,
+            all_in_first_slot_schedule(problem),
+            max_moves=1,
+            report=report,
+        )
+        assert report.moves == 1
+
+
+class TestPassiveMode:
+    def test_improves_dense_regime(self):
+        rng = np.random.default_rng(3)
+        utility = random_target_system(6, 3, rng)
+        problem = make_problem(6, rho=0.5, utility=utility)
+        start = all_in_first_slot_schedule(problem)  # everyone rests slot 0
+        polished = local_search(problem, start)
+        assert polished.period_utility(utility) >= start.period_utility(
+            utility
+        ) - 1e-12
+        polished.unroll(2).validate_feasible()
+
+
+class TestGreedyPlusLocalSearch:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_at_least_greedy_and_at_most_optimal(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        utility = random_target_system(6, 3, rng)
+        problem = make_problem(6, rho=2.0, utility=utility)
+        greedy = greedy_schedule(problem).period_utility(utility)
+        polished = greedy_with_local_search(problem).period_utility(utility)
+        opt = optimal_value(problem)
+        assert greedy - 1e-9 <= polished <= opt + 1e-9
+
+    def test_dense_regime_dispatch(self):
+        rng = np.random.default_rng(9)
+        utility = random_target_system(5, 2, rng)
+        problem = make_problem(5, rho=0.5, utility=utility)
+        polished = greedy_with_local_search(problem)
+        assert polished.mode.value == "passive"
+
+    def test_solver_front_end(self):
+        from repro.core.solver import solve
+
+        problem = make_problem(10)
+        result = solve(problem, method="greedy+ls")
+        assert "local_search_moves" in result.extras
+        result.schedule.validate_feasible()

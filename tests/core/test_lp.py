@@ -1,0 +1,185 @@
+"""Tests for the LP relaxation + rounding pipeline (Sec. IV-A-1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.greedy import greedy_schedule
+from repro.core.lp import (
+    _deactivate_to_feasibility,
+    _window_feasible,
+    count_utility_values,
+    lp_relaxation,
+    lp_schedule,
+)
+from repro.core.optimal import optimal_value
+from repro.core.problem import SchedulingProblem
+from repro.energy.period import ChargingPeriod
+from repro.utility.coverage_count import WeightedCoverageUtility
+from repro.utility.detection import DetectionUtility, HomogeneousDetectionUtility
+from repro.utility.logsum import LogSumUtility
+from repro.utility.target_system import TargetSystem
+
+from tests.conftest import random_target_system
+
+
+def make_problem(n, rho=3.0, utility=None, periods=1):
+    if utility is None:
+        utility = HomogeneousDetectionUtility(range(n), p=0.4)
+    return SchedulingProblem(
+        num_sensors=n,
+        period=ChargingPeriod.from_ratio(rho),
+        utility=utility,
+        num_periods=periods,
+    )
+
+
+class TestCountUtilityValues:
+    def test_homogeneous_detection(self):
+        fn = HomogeneousDetectionUtility(range(4), p=0.4)
+        values = count_utility_values(fn)
+        assert values == pytest.approx([1 - 0.6**k for k in range(5)])
+
+    def test_uniform_detection_utility(self):
+        fn = DetectionUtility({0: 0.3, 1: 0.3, 2: 0.3})
+        values = count_utility_values(fn)
+        assert values == pytest.approx([1 - 0.7**k for k in range(4)])
+
+    def test_non_uniform_detection_returns_none(self):
+        fn = DetectionUtility({0: 0.3, 1: 0.5})
+        assert count_utility_values(fn) is None
+
+    def test_uniform_logsum(self):
+        fn = LogSumUtility({0: 2.0, 1: 2.0})
+        values = count_utility_values(fn)
+        assert values[2] == pytest.approx(np.log1p(4.0))
+
+    def test_coverage_returns_none(self):
+        fn = WeightedCoverageUtility({0: {1}, 1: {2}})
+        assert count_utility_values(fn) is None
+
+
+class TestRelaxationBound:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_lp_upper_bounds_optimum(self, seed):
+        rng = np.random.default_rng(seed)
+        # Uniform-p per target so the tangent linearization is exact.
+        covers = []
+        for _ in range(2):
+            cover = {v for v in range(5) if rng.random() < 0.6} or {0}
+            covers.append(frozenset(cover))
+        utility = TargetSystem.homogeneous_detection(covers, p=0.4)
+        problem = make_problem(5, rho=2.0, utility=utility)
+        lp = lp_relaxation(problem)
+        opt = optimal_value(problem)
+        assert lp.objective >= opt - 1e-6
+
+    def test_lp_matches_optimum_when_integral(self):
+        # Symmetric instance where the LP optimum is achieved integrally:
+        # n divisible by T, homogeneous utility.
+        problem = make_problem(6, rho=2.0)
+        lp = lp_relaxation(problem)
+        opt = optimal_value(problem)
+        assert lp.objective == pytest.approx(opt, rel=1e-6)
+
+    def test_fractional_shape(self):
+        problem = make_problem(4, rho=3.0, periods=2)
+        lp = lp_relaxation(problem)
+        assert lp.fractional.shape == (4, 8)
+        assert (lp.fractional >= -1e-9).all()
+        assert (lp.fractional <= 1 + 1e-9).all()
+
+    def test_window_constraint_respected_fractionally(self):
+        problem = make_problem(4, rho=3.0, periods=3)
+        lp = lp_relaxation(problem)
+        T = problem.slots_per_period
+        x = lp.fractional
+        for v in range(4):
+            for start in range(x.shape[1] - T + 1):
+                assert x[v, start : start + T].sum() <= 1 + 1e-6
+
+    def test_non_count_utility_uses_coarse_bound(self):
+        utility = WeightedCoverageUtility({0: {1, 2}, 1: {2, 3}, 2: {4}})
+        problem = make_problem(3, rho=1.0, utility=utility)
+        lp = lp_relaxation(problem)
+        opt = optimal_value(problem)
+        assert lp.objective >= opt - 1e-6
+
+
+class TestRounding:
+    def test_schedule_always_feasible(self):
+        for seed in range(5):
+            problem = make_problem(6, rho=3.0, periods=3)
+            result = lp_schedule(problem, rng=seed)
+            assert result.schedule is not None
+            result.schedule.validate_feasible()
+
+    def test_objective_upper_bounds_rounded_value(self):
+        problem = make_problem(6, rho=3.0, periods=2)
+        result = lp_schedule(problem, rng=1)
+        value = result.schedule.total_utility(problem.utility)
+        assert value <= result.objective + 1e-6
+
+    def test_rounded_value_reasonable(self):
+        # Averaged over seeds, rounding keeps a solid fraction of the LP.
+        problem = make_problem(8, rho=3.0, periods=2)
+        values = []
+        for seed in range(10):
+            result = lp_schedule(problem, rng=seed)
+            values.append(result.schedule.total_utility(problem.utility))
+        assert np.mean(values) >= 0.5 * result.objective
+
+    def test_dense_regime_rounding(self):
+        problem = make_problem(4, rho=0.5, periods=2)
+        result = lp_schedule(problem, rng=2)
+        result.schedule.validate_feasible()
+        assert result.schedule.rho_at_most_one
+
+    def test_multi_target(self):
+        rng = np.random.default_rng(8)
+        utility = random_target_system(6, 3, rng)
+        problem = make_problem(6, rho=2.0, utility=utility)
+        result = lp_schedule(problem, rng=9)
+        result.schedule.validate_feasible()
+        assert result.objective > 0
+
+
+class TestRepairHelpers:
+    def test_window_feasible_accepts_spread(self):
+        assert _window_feasible([0, 4, 8], T=4, limit=1)
+
+    def test_window_feasible_rejects_bunched(self):
+        assert not _window_feasible([0, 2], T=4, limit=1)
+
+    def test_window_feasible_respects_limit(self):
+        assert _window_feasible([0, 1, 2], T=4, limit=3)
+        assert not _window_feasible([0, 1, 2, 3], T=4, limit=3)
+
+    def test_window_feasible_empty(self):
+        assert _window_feasible([], T=4, limit=1)
+
+    def test_deactivate_keeps_maximal_prefix(self):
+        kept, dropped = _deactivate_to_feasibility([0, 1, 2, 5, 9], T=4, limit=1)
+        assert kept == [0, 5, 9]
+        assert dropped == 2
+
+    def test_deactivate_noop_when_feasible(self):
+        kept, dropped = _deactivate_to_feasibility([1, 6], T=4, limit=1)
+        assert kept == [1, 6]
+        assert dropped == 0
+
+    def test_deactivate_result_is_feasible(self):
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            slots = sorted(rng.choice(30, size=10, replace=False).tolist())
+            kept, _ = _deactivate_to_feasibility(slots, T=5, limit=1)
+            assert _window_feasible(kept, T=5, limit=1)
+
+
+class TestAgainstGreedy:
+    def test_lp_bound_dominates_greedy(self):
+        rng = np.random.default_rng(10)
+        utility = random_target_system(8, 3, rng, p_low=0.4, p_high=0.4)
+        problem = make_problem(8, rho=2.0, utility=utility)
+        greedy = greedy_schedule(problem).period_utility(utility)
+        lp = lp_relaxation(problem)
+        assert lp.objective >= greedy - 1e-6

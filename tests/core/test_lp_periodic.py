@@ -1,0 +1,101 @@
+"""Tests for the periodic LP variant and categorical rounding."""
+
+import numpy as np
+import pytest
+
+from repro.core.lp import lp_periodic_schedule, lp_relaxation, lp_schedule
+from repro.core.problem import SchedulingProblem
+from repro.energy.period import ChargingPeriod
+from repro.utility.detection import HomogeneousDetectionUtility
+
+from tests.conftest import random_target_system
+
+
+def make_problem(n=8, rho=3.0, utility=None, periods=3):
+    if utility is None:
+        utility = HomogeneousDetectionUtility(range(n), p=0.4)
+    return SchedulingProblem(
+        num_sensors=n,
+        period=ChargingPeriod.from_ratio(rho),
+        utility=utility,
+        num_periods=periods,
+    )
+
+
+class TestPeriodicRelaxation:
+    def test_matches_full_horizon_objective(self):
+        # Stationary utility: periodic LP x alpha == full-horizon LP.
+        problem = make_problem(periods=4)
+        full = lp_relaxation(problem)
+        periodic = lp_relaxation(problem, periodic=True)
+        assert periodic.objective == pytest.approx(full.objective, rel=1e-6)
+
+    def test_fractional_shape_is_one_period(self):
+        problem = make_problem(periods=4)
+        periodic = lp_relaxation(problem, periodic=True)
+        assert periodic.fractional.shape == (8, 4)
+
+    def test_multi_target(self):
+        rng = np.random.default_rng(4)
+        utility = random_target_system(7, 3, rng, p_low=0.4, p_high=0.4)
+        problem = make_problem(n=7, rho=2.0, utility=utility, periods=3)
+        full = lp_relaxation(problem)
+        periodic = lp_relaxation(problem, periodic=True)
+        assert periodic.objective == pytest.approx(full.objective, rel=1e-6)
+
+    def test_single_period_noop(self):
+        problem = make_problem(periods=1)
+        a = lp_relaxation(problem)
+        b = lp_relaxation(problem, periodic=True)
+        assert a.objective == pytest.approx(b.objective)
+
+
+class TestCategoricalRounding:
+    def test_always_feasible_no_repair(self):
+        problem = make_problem(periods=5)
+        for seed in range(10):
+            result = lp_periodic_schedule(problem, rng=seed)
+            result.schedule.validate_feasible()
+            assert result.deactivated == 0
+
+    def test_value_bounded_by_objective(self):
+        problem = make_problem(periods=2)
+        result = lp_periodic_schedule(problem, rng=3)
+        value = result.schedule.total_utility(problem.utility)
+        assert value <= result.objective + 1e-6
+
+    def test_expected_value_matches_marginals(self):
+        # Over many seeds the rounded value approaches the LP optimum
+        # for this integral instance (n divisible by T).
+        problem = make_problem(n=8, periods=1)
+        values = [
+            lp_periodic_schedule(problem, rng=seed).schedule.total_utility(
+                problem.utility
+            )
+            for seed in range(30)
+        ]
+        assert np.mean(values) >= 0.8 * lp_relaxation(problem).objective
+
+    def test_rejects_dense_regime(self):
+        problem = make_problem(rho=0.5)
+        with pytest.raises(ValueError, match="rho >= 1"):
+            lp_periodic_schedule(problem)
+
+    def test_comparable_to_independent_rounding(self):
+        # Same relaxation quality; categorical needs no repair while
+        # independent rounding may drop activations.
+        problem = make_problem(n=10, periods=3)
+        categorical = [
+            lp_periodic_schedule(problem, rng=s).schedule.total_utility(
+                problem.utility
+            )
+            for s in range(8)
+        ]
+        independent = [
+            lp_schedule(problem, rng=s).schedule.total_utility(problem.utility)
+            for s in range(8)
+        ]
+        # Both land in the same ballpark of the LP bound.
+        bound = lp_relaxation(problem).objective
+        assert np.mean(categorical) >= 0.6 * bound
+        assert np.mean(independent) >= 0.6 * bound

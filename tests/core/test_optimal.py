@@ -1,0 +1,109 @@
+"""Tests for exact enumeration / branch-and-bound optima."""
+
+import numpy as np
+import pytest
+
+from repro.core.optimal import (
+    exhaustive_optimal_value,
+    optimal_schedule,
+    optimal_value,
+)
+from repro.core.problem import SchedulingProblem
+from repro.core.schedule import ScheduleMode
+from repro.energy.period import ChargingPeriod
+from repro.utility.detection import HomogeneousDetectionUtility
+
+from tests.conftest import random_coverage_utility, random_target_system
+
+
+def make_problem(n, rho=2.0, utility=None):
+    if utility is None:
+        utility = HomogeneousDetectionUtility(range(n), p=0.4)
+    return SchedulingProblem(
+        num_sensors=n,
+        period=ChargingPeriod.from_ratio(rho),
+        utility=utility,
+    )
+
+
+class TestSparseRegime:
+    def test_known_optimum_symmetric(self):
+        # 4 sensors, T = 3 (rho = 2): best split is 2/1/1.
+        problem = make_problem(4, rho=2.0)
+        value = optimal_value(problem)
+        u = problem.utility
+        expected = u.value_of_count(2) + 2 * u.value_of_count(1)
+        assert value == pytest.approx(expected)
+
+    def test_schedule_is_feasible_periodic(self):
+        problem = make_problem(5, rho=2.0)
+        sched = optimal_schedule(problem)
+        assert sched.mode is ScheduleMode.ACTIVE_SLOT
+        sched.unroll(3).validate_feasible()
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_pruned_matches_exhaustive(self, seed):
+        rng = np.random.default_rng(seed)
+        utility = random_target_system(5, 2, rng)
+        problem = make_problem(5, rho=2.0, utility=utility)
+        assert optimal_value(problem) == pytest.approx(
+            exhaustive_optimal_value(problem)
+        )
+
+    def test_single_slot_trivial(self):
+        # rho would need T=1... smallest is rho=1 -> T=2; with 1 sensor
+        # the optimum just places it anywhere.
+        problem = make_problem(1, rho=1.0)
+        assert optimal_value(problem) == pytest.approx(0.4)
+
+
+class TestDenseRegime:
+    def test_known_optimum_symmetric(self):
+        # 3 sensors, T = 3 (rho = 1/2): each rests one slot; best is to
+        # spread rests so each slot loses one sensor: 3 slots x U(2).
+        problem = make_problem(3, rho=0.5)
+        value = optimal_value(problem)
+        u = problem.utility
+        assert value == pytest.approx(3 * u.value_of_count(2))
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_pruned_matches_exhaustive(self, seed):
+        rng = np.random.default_rng(50 + seed)
+        utility = random_coverage_utility(4, 6, rng)
+        problem = make_problem(4, rho=0.5, utility=utility)
+        assert optimal_value(problem) == pytest.approx(
+            exhaustive_optimal_value(problem)
+        )
+
+    def test_schedule_mode(self):
+        problem = make_problem(3, rho=0.5)
+        assert optimal_schedule(problem).mode is ScheduleMode.PASSIVE_SLOT
+
+
+class TestSizeGuard:
+    def test_large_instance_rejected(self):
+        problem = make_problem(40, rho=3.0)
+        with pytest.raises(ValueError, match="too large"):
+            optimal_schedule(problem)
+
+    def test_limit_parameter(self):
+        problem = make_problem(6, rho=2.0)
+        with pytest.raises(ValueError, match="too large"):
+            optimal_schedule(problem, limit=10)
+
+    def test_exhaustive_guard(self):
+        problem = make_problem(30, rho=3.0)
+        with pytest.raises(ValueError, match="too large"):
+            exhaustive_optimal_value(problem)
+
+
+class TestOptimalDominatesGreedy:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_optimal_at_least_greedy(self, seed):
+        from repro.core.greedy import greedy_schedule
+
+        rng = np.random.default_rng(700 + seed)
+        utility = random_target_system(6, 3, rng)
+        problem = make_problem(6, rho=2.0, utility=utility)
+        greedy = greedy_schedule(problem).period_utility(utility)
+        assert optimal_value(problem) >= greedy - 1e-9

@@ -1,0 +1,59 @@
+"""Tests for the scheduling-problem specification."""
+
+import pytest
+
+from repro.core.problem import SchedulingProblem
+from repro.energy.period import ChargingPeriod
+from repro.utility.detection import HomogeneousDetectionUtility
+
+
+def make_problem(n=6, rho=3.0, periods=1) -> SchedulingProblem:
+    return SchedulingProblem(
+        num_sensors=n,
+        period=ChargingPeriod.from_ratio(rho),
+        utility=HomogeneousDetectionUtility(range(n), p=0.4),
+        num_periods=periods,
+    )
+
+
+class TestConstruction:
+    def test_defaults(self):
+        p = make_problem()
+        assert p.num_sensors == 6
+        assert p.num_periods == 1
+
+    def test_negative_sensors_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            make_problem(n=-1)
+
+    def test_zero_periods_rejected(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            make_problem(periods=0)
+
+
+class TestDerived:
+    def test_sensors_tuple(self):
+        assert make_problem(n=3).sensors == (0, 1, 2)
+
+    def test_sensor_set(self):
+        assert make_problem(n=3).sensor_set == frozenset({0, 1, 2})
+
+    def test_slots_per_period(self):
+        assert make_problem(rho=3.0).slots_per_period == 4
+        assert make_problem(rho=1.0 / 3.0).slots_per_period == 4
+
+    def test_total_slots(self):
+        assert make_problem(rho=3.0, periods=5).total_slots == 20
+
+    def test_regime_flag(self):
+        assert make_problem(rho=3.0).is_sparse_regime
+        assert make_problem(rho=1.0).is_sparse_regime
+        assert not make_problem(rho=0.5).is_sparse_regime
+
+    def test_with_num_periods(self):
+        p = make_problem(periods=1).with_num_periods(7)
+        assert p.num_periods == 7
+        assert p.num_sensors == 6
+
+    def test_str(self):
+        assert "n=6" in str(make_problem())

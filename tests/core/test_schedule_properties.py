@@ -1,0 +1,130 @@
+"""Hypothesis property tests for schedules and schedulers.
+
+Invariants checked on randomized instances:
+
+- any periodic schedule's unrolling passes the sliding-window check;
+- greedy and passive-greedy schedules are always feasible and total
+  utility is reproducible from the per-slot sets;
+- local search preserves feasibility and never reduces utility;
+- schedule serialization round-trips exactly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.greedy import greedy_schedule
+from repro.core.greedy_passive import greedy_passive_schedule
+from repro.core.local_search import local_search
+from repro.core.problem import SchedulingProblem
+from repro.core.schedule import PeriodicSchedule, ScheduleMode
+from repro.energy.period import ChargingPeriod
+from repro.io.serialization import schedule_from_dict, schedule_to_dict
+from repro.utility.detection import DetectionUtility
+
+from tests.conftest import random_target_system
+
+
+@st.composite
+def random_problem(draw):
+    n = draw(st.integers(min_value=0, max_value=8))
+    seed = draw(st.integers(0, 10_000))
+    sparse = draw(st.booleans())
+    if sparse:
+        rho = float(draw(st.sampled_from([1, 2, 3, 5])))
+    else:
+        rho = 1.0 / draw(st.sampled_from([2, 3, 4]))
+    rng = np.random.default_rng(seed)
+    if n == 0:
+        utility = DetectionUtility({})
+    else:
+        utility = random_target_system(n, draw(st.integers(1, 3)), rng)
+    return SchedulingProblem(
+        num_sensors=n,
+        period=ChargingPeriod.from_ratio(rho),
+        utility=utility,
+    )
+
+
+@st.composite
+def random_periodic_schedule(draw):
+    T = draw(st.integers(min_value=1, max_value=6))
+    n = draw(st.integers(min_value=0, max_value=10))
+    assignment = {
+        v: draw(st.integers(0, T - 1)) for v in range(n)
+    }
+    mode = draw(st.sampled_from(list(ScheduleMode)))
+    return PeriodicSchedule(slots_per_period=T, assignment=assignment, mode=mode)
+
+
+@settings(max_examples=100, deadline=None)
+@given(problem=random_problem(), alpha=st.integers(1, 4))
+def test_greedy_unrolled_always_feasible(problem, alpha):
+    if problem.is_sparse_regime:
+        schedule = greedy_schedule(problem)
+    else:
+        schedule = greedy_passive_schedule(problem)
+    schedule.unroll(alpha).validate_feasible()
+
+
+@settings(max_examples=100, deadline=None)
+@given(problem=random_problem())
+def test_greedy_total_matches_per_slot_sum(problem):
+    if problem.is_sparse_regime:
+        schedule = greedy_schedule(problem)
+    else:
+        schedule = greedy_passive_schedule(problem)
+    total = schedule.period_utility(problem.utility)
+    manual = sum(problem.utility.value(s) for s in schedule.active_sets())
+    assert total == pytest.approx(manual)
+
+
+@settings(max_examples=75, deadline=None)
+@given(sched=random_periodic_schedule(), alpha=st.integers(1, 3))
+def test_any_periodic_schedule_unrolls_feasibly(sched, alpha):
+    # One assigned slot per sensor per period can never violate the
+    # window constraint in its own mode.
+    sched.unroll(alpha).validate_feasible()
+
+
+@settings(max_examples=75, deadline=None)
+@given(sched=random_periodic_schedule())
+def test_schedule_serialization_roundtrip(sched):
+    restored = schedule_from_dict(schedule_to_dict(sched))
+    assert isinstance(restored, PeriodicSchedule)
+    assert dict(restored.assignment) == dict(sched.assignment)
+    assert restored.mode is sched.mode
+    assert restored.active_sets() == sched.active_sets()
+
+
+@settings(max_examples=50, deadline=None)
+@given(problem=random_problem(), seed=st.integers(0, 1000))
+def test_local_search_never_hurts_and_stays_feasible(problem, seed):
+    from repro.core.baselines import random_schedule
+
+    if problem.num_sensors == 0:
+        return
+    start = random_schedule(problem, rng=seed)
+    before = start.period_utility(problem.utility)
+    polished = local_search(problem, start)
+    after = polished.period_utility(problem.utility)
+    assert after >= before - 1e-9
+    polished.unroll(2).validate_feasible()
+
+
+@settings(max_examples=50, deadline=None)
+@given(problem=random_problem())
+def test_active_count_budget(problem):
+    """Each sensor's activations per period respect the regime budget."""
+    if problem.is_sparse_regime:
+        schedule = greedy_schedule(problem)
+        budget = 1
+    else:
+        schedule = greedy_passive_schedule(problem)
+        budget = problem.slots_per_period - 1
+    counts = {}
+    for s in schedule.active_sets():
+        for v in s:
+            counts[v] = counts.get(v, 0) + 1
+    assert all(c <= budget for c in counts.values())

@@ -1,0 +1,105 @@
+"""Tests for the unified solver front-end."""
+
+import numpy as np
+import pytest
+
+from repro.core.greedy import GreedyTrace
+from repro.core.problem import SchedulingProblem
+from repro.core.solver import METHODS, SolveResult, solve
+from repro.energy.period import ChargingPeriod
+from repro.utility.detection import HomogeneousDetectionUtility
+from repro.utility.target_system import TargetSystem
+
+from tests.conftest import random_target_system
+
+
+def make_problem(n=8, rho=3.0, utility=None, periods=2):
+    if utility is None:
+        utility = HomogeneousDetectionUtility(range(n), p=0.4)
+    return SchedulingProblem(
+        num_sensors=n,
+        period=ChargingPeriod.from_ratio(rho),
+        utility=utility,
+        num_periods=periods,
+    )
+
+
+class TestDispatch:
+    @pytest.mark.parametrize("method", [m for m in METHODS if m != "optimal"])
+    def test_every_method_returns_feasible_result(self, method):
+        result = solve(make_problem(), method=method, rng=1)
+        assert isinstance(result, SolveResult)
+        result.schedule.validate_feasible()
+        assert result.total_utility >= 0
+        assert result.solve_seconds >= 0
+
+    def test_optimal_on_small_instance(self):
+        result = solve(make_problem(n=5), method="optimal")
+        result.schedule.validate_feasible()
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError, match="unknown method"):
+            solve(make_problem(), method="magic")
+
+    def test_greedy_dispatches_on_regime(self):
+        sparse = solve(make_problem(rho=3.0), method="greedy")
+        dense = solve(make_problem(rho=0.5), method="greedy")
+        assert sparse.periodic.mode.value == "active"
+        assert dense.periodic.mode.value == "passive"
+
+    def test_trace_filled_for_greedy(self):
+        trace = GreedyTrace()
+        solve(make_problem(n=6), method="greedy", trace=trace)
+        assert len(trace.steps) == 6
+
+
+class TestMetrics:
+    def test_average_consistent_with_total(self):
+        result = solve(make_problem(periods=3), method="greedy")
+        assert result.average_slot_utility == pytest.approx(
+            result.total_utility / result.problem.total_slots
+        )
+
+    def test_per_target_metric_divides_by_targets(self):
+        rng = np.random.default_rng(1)
+        utility = random_target_system(8, 4, rng)
+        result = solve(make_problem(utility=utility), method="greedy")
+        assert result.average_utility_per_target == pytest.approx(
+            result.average_slot_utility / 4
+        )
+
+    def test_single_utility_counts_as_one_target(self):
+        result = solve(make_problem(), method="greedy")
+        assert result.average_utility_per_target == pytest.approx(
+            result.average_slot_utility
+        )
+
+    def test_lp_extras(self):
+        result = solve(make_problem(n=5, periods=1), method="lp", rng=3)
+        assert "lp_objective" in result.extras
+        assert result.extras["lp_objective"] >= result.total_utility - 1e-6
+
+    def test_periodic_methods_scale_with_periods(self):
+        one = solve(make_problem(periods=1), method="greedy")
+        three = solve(make_problem(periods=3), method="greedy")
+        assert three.total_utility == pytest.approx(3 * one.total_utility)
+
+
+class TestOrderings:
+    def test_greedy_beats_or_ties_baselines(self):
+        rng = np.random.default_rng(17)
+        utility = random_target_system(10, 4, rng)
+        problem = make_problem(n=10, utility=utility)
+        greedy = solve(problem, method="greedy").total_utility
+        for baseline in ("random", "round-robin", "all-first-slot"):
+            base = solve(problem, method=baseline, rng=5).total_utility
+            assert greedy >= base - 1e-9
+
+    def test_optimal_beats_or_ties_greedy(self):
+        rng = np.random.default_rng(23)
+        utility = random_target_system(6, 2, rng)
+        problem = make_problem(n=6, rho=2.0, utility=utility, periods=1)
+        greedy = solve(problem, method="greedy").total_utility
+        opt = solve(problem, method="optimal").total_utility
+        assert opt >= greedy - 1e-9
+        assert greedy >= 0.5 * opt - 1e-9

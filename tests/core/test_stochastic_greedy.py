@@ -1,0 +1,92 @@
+"""Tests for the stochastic (subsampled) greedy variant."""
+
+import numpy as np
+import pytest
+
+from repro.core.greedy import greedy_schedule
+from repro.core.problem import SchedulingProblem
+from repro.core.stochastic_greedy import stochastic_greedy_schedule
+from repro.energy.period import ChargingPeriod
+from repro.utility.detection import HomogeneousDetectionUtility
+
+from tests.conftest import random_target_system
+
+
+def make_problem(n, rho=3.0, utility=None):
+    if utility is None:
+        utility = HomogeneousDetectionUtility(range(n), p=0.4)
+    return SchedulingProblem(
+        num_sensors=n, period=ChargingPeriod.from_ratio(rho), utility=utility
+    )
+
+
+class TestBasics:
+    def test_all_sensors_assigned(self):
+        problem = make_problem(15)
+        sched = stochastic_greedy_schedule(problem, rng=1)
+        assert sched.scheduled_sensors == frozenset(range(15))
+
+    def test_feasible(self):
+        problem = make_problem(15)
+        stochastic_greedy_schedule(problem, rng=1).unroll(3).validate_feasible()
+
+    def test_seeded_reproducible(self):
+        problem = make_problem(12)
+        a = stochastic_greedy_schedule(problem, rng=9)
+        b = stochastic_greedy_schedule(problem, rng=9)
+        assert dict(a.assignment) == dict(b.assignment)
+
+    def test_rejects_dense_regime(self):
+        problem = make_problem(6, rho=0.5)
+        with pytest.raises(ValueError, match="rho >= 1"):
+            stochastic_greedy_schedule(problem)
+
+    def test_epsilon_validated(self):
+        problem = make_problem(6)
+        with pytest.raises(ValueError, match="epsilon"):
+            stochastic_greedy_schedule(problem, epsilon=0.0)
+        with pytest.raises(ValueError, match="epsilon"):
+            stochastic_greedy_schedule(problem, epsilon=1.0)
+
+    def test_zero_sensors(self):
+        problem = make_problem(0)
+        sched = stochastic_greedy_schedule(problem, rng=1)
+        assert sched.scheduled_sensors == frozenset()
+
+
+class TestQuality:
+    def test_close_to_exact_greedy_symmetric(self):
+        problem = make_problem(40)
+        exact = greedy_schedule(problem).period_utility(problem.utility)
+        approx = stochastic_greedy_schedule(
+            problem, epsilon=0.05, rng=2
+        ).period_utility(problem.utility)
+        assert approx >= 0.95 * exact
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_close_on_random_target_systems(self, seed):
+        rng = np.random.default_rng(seed)
+        utility = random_target_system(20, 5, rng)
+        problem = make_problem(20, utility=utility)
+        exact = greedy_schedule(problem).period_utility(utility)
+        approx = stochastic_greedy_schedule(
+            problem, epsilon=0.05, rng=seed
+        ).period_utility(utility)
+        assert approx >= 0.9 * exact
+
+    def test_smaller_epsilon_not_worse_on_average(self):
+        rng = np.random.default_rng(3)
+        utility = random_target_system(20, 5, rng)
+        problem = make_problem(20, utility=utility)
+
+        def mean_value(eps):
+            return np.mean(
+                [
+                    stochastic_greedy_schedule(
+                        problem, epsilon=eps, rng=s
+                    ).period_utility(utility)
+                    for s in range(10)
+                ]
+            )
+
+        assert mean_value(0.02) >= mean_value(0.5) - 1e-6

@@ -1,0 +1,125 @@
+"""Tests for the subregion arrangement (Fig. 3b)."""
+
+import math
+
+import pytest
+
+from repro.coverage.arrangement import (
+    compute_subregions,
+    count_subregions,
+    covered_area,
+    uncovered_area,
+)
+from repro.coverage.geometry import Disk, Point, Rectangle
+from repro.utility.area import AreaCoverageUtility
+
+
+class TestSingleDisk:
+    def test_area_converges_to_pi_r_squared(self):
+        region = Rectangle.square(20)
+        disk = Disk(Point(10, 10), 5.0)
+        cells = compute_subregions(region, [disk], resolution=400)
+        assert len(cells) == 1
+        assert cells[0].covered_by == frozenset({0})
+        assert cells[0].area == pytest.approx(math.pi * 25, rel=0.01)
+
+    def test_uncovered_area_complements(self):
+        region = Rectangle.square(20)
+        disk = Disk(Point(10, 10), 5.0)
+        covered = covered_area(region, [disk], resolution=400)
+        uncovered = uncovered_area(region, [disk], resolution=400)
+        assert covered + uncovered == pytest.approx(region.area)
+
+    def test_clipping_at_region_boundary(self):
+        region = Rectangle.square(10)
+        disk = Disk(Point(0, 0), 5.0)  # quarter disk inside
+        cells = compute_subregions(region, [disk], resolution=400)
+        assert cells[0].area == pytest.approx(math.pi * 25 / 4, rel=0.02)
+
+
+class TestTwoDisks:
+    def test_three_signature_classes(self):
+        region = Rectangle.square(30)
+        disks = [Disk(Point(12, 15), 5.0), Disk(Point(18, 15), 5.0)]
+        cells = compute_subregions(region, disks, resolution=300)
+        signatures = {cell.covered_by for cell in cells}
+        assert signatures == {
+            frozenset({0}),
+            frozenset({1}),
+            frozenset({0, 1}),
+        }
+
+    def test_lens_area_formula(self):
+        # Two unit-ish circles distance d apart: closed-form lens area.
+        r, d = 5.0, 6.0
+        region = Rectangle.square(30)
+        disks = [Disk(Point(12, 15), r), Disk(Point(18, 15), r)]
+        cells = compute_subregions(region, disks, resolution=500)
+        lens = next(c for c in cells if c.covered_by == frozenset({0, 1}))
+        expected = 2 * r * r * math.acos(d / (2 * r)) - (d / 2) * math.sqrt(
+            4 * r * r - d * d
+        )
+        assert lens.area == pytest.approx(expected, rel=0.02)
+
+    def test_disjoint_disks_no_overlap_class(self):
+        region = Rectangle.square(40)
+        disks = [Disk(Point(10, 20), 4.0), Disk(Point(30, 20), 4.0)]
+        cells = compute_subregions(region, disks, resolution=300)
+        signatures = {cell.covered_by for cell in cells}
+        assert frozenset({0, 1}) not in signatures
+
+    def test_count_subregions(self):
+        region = Rectangle.square(30)
+        disks = [Disk(Point(12, 15), 5.0), Disk(Point(18, 15), 5.0)]
+        assert count_subregions(region, disks, resolution=300) == 3
+
+
+class TestWeightsAndOptions:
+    def test_weights_applied_per_signature(self):
+        region = Rectangle.square(20)
+        disk = Disk(Point(10, 10), 5.0)
+        cells = compute_subregions(
+            region,
+            [disk],
+            resolution=100,
+            weights={frozenset({0}): 3.0},
+        )
+        assert cells[0].weight == 3.0
+
+    def test_default_weight(self):
+        region = Rectangle.square(20)
+        cells = compute_subregions(
+            region, [Disk(Point(10, 10), 5.0)], resolution=100, default_weight=2.0
+        )
+        assert cells[0].weight == 2.0
+
+    def test_include_uncovered(self):
+        region = Rectangle.square(20)
+        disk = Disk(Point(10, 10), 2.0)
+        cells = compute_subregions(
+            region, [disk], resolution=100, include_uncovered=True
+        )
+        signatures = {cell.covered_by for cell in cells}
+        assert frozenset() in signatures
+
+    def test_invalid_resolution(self):
+        with pytest.raises(ValueError, match="positive"):
+            compute_subregions(Rectangle.square(10), [], resolution=0)
+
+
+class TestIntegrationWithAreaUtility:
+    def test_total_weighted_area_equals_union(self):
+        region = Rectangle.square(30)
+        disks = [Disk(Point(12, 15), 5.0), Disk(Point(18, 15), 5.0)]
+        cells = compute_subregions(region, disks, resolution=300)
+        fn = AreaCoverageUtility(cells)
+        union = covered_area(region, disks, resolution=300)
+        assert fn.total_weighted_area == pytest.approx(union, rel=1e-9)
+        assert fn.value({0, 1}) == pytest.approx(union, rel=1e-9)
+
+    def test_single_sensor_value_is_its_disk_area(self):
+        region = Rectangle.square(30)
+        disks = [Disk(Point(12, 15), 5.0), Disk(Point(18, 15), 5.0)]
+        cells = compute_subregions(region, disks, resolution=400)
+        fn = AreaCoverageUtility(cells)
+        assert fn.value({0}) == pytest.approx(math.pi * 25, rel=0.02)

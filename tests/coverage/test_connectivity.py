@@ -1,0 +1,117 @@
+"""Tests for the communication-connectivity substrate."""
+
+import pytest
+
+from repro.coverage.connectivity import (
+    SINK,
+    communication_graph,
+    delivery_fraction,
+    is_connected_deployment,
+    min_range_for_connectivity,
+    reachable_from_sink,
+)
+from repro.coverage.deployment import Deployment, uniform_deployment
+from repro.coverage.geometry import Point, Rectangle
+
+
+def line_deployment(spacing=10.0, count=4) -> Deployment:
+    """Sensors in a line: 0 at x=10, 1 at x=20, ..."""
+    region = Rectangle.square(100)
+    sensors = tuple(Point(spacing * (i + 1), 50.0) for i in range(count))
+    return Deployment(region, sensors)
+
+
+SINK_POINT = Point(0.0, 50.0)
+
+
+class TestCommunicationGraph:
+    def test_chain_topology(self):
+        deployment = line_deployment()
+        graph = communication_graph(deployment, radio_range=10.0, sink=SINK_POINT)
+        assert graph.has_edge(SINK, 0)
+        assert graph.has_edge(0, 1)
+        assert graph.has_edge(1, 2)
+        assert not graph.has_edge(0, 2)
+
+    def test_range_grows_edges(self):
+        deployment = line_deployment()
+        short = communication_graph(deployment, 10.0)
+        long = communication_graph(deployment, 20.0)
+        assert long.number_of_edges() > short.number_of_edges()
+
+    def test_no_sink_without_position(self):
+        graph = communication_graph(line_deployment(), 10.0)
+        assert SINK not in graph
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError, match="positive"):
+            communication_graph(line_deployment(), 0.0)
+
+
+class TestReachability:
+    def test_full_chain_reaches(self):
+        graph = communication_graph(line_deployment(), 10.0, sink=SINK_POINT)
+        reachable = reachable_from_sink(graph, relays={0, 1, 2, 3})
+        assert reachable == frozenset({0, 1, 2, 3})
+
+    def test_broken_chain(self):
+        graph = communication_graph(line_deployment(), 10.0, sink=SINK_POINT)
+        # Node 1 asleep: 2 and 3 are cut off.
+        reachable = reachable_from_sink(graph, relays={0, 2, 3})
+        assert reachable == frozenset({0})
+
+    def test_requires_sink(self):
+        graph = communication_graph(line_deployment(), 10.0)
+        with pytest.raises(ValueError, match="sink"):
+            reachable_from_sink(graph, relays={0})
+
+
+class TestDeliveryFraction:
+    def test_all_delivered(self):
+        graph = communication_graph(line_deployment(), 10.0, sink=SINK_POINT)
+        assert delivery_fraction(graph, active={0, 1}) == 1.0
+
+    def test_partial_delivery(self):
+        graph = communication_graph(line_deployment(), 10.0, sink=SINK_POINT)
+        # Active {0, 2} with only themselves as relays: 2 is stranded.
+        assert delivery_fraction(graph, active={0, 2}) == pytest.approx(0.5)
+
+    def test_ready_relays_rescue(self):
+        graph = communication_graph(line_deployment(), 10.0, sink=SINK_POINT)
+        # Same active set, but READY node 1 relays (the paper's lifecycle).
+        fraction = delivery_fraction(graph, active={0, 2}, relays={0, 1, 2})
+        assert fraction == 1.0
+
+    def test_empty_active_set(self):
+        graph = communication_graph(line_deployment(), 10.0, sink=SINK_POINT)
+        assert delivery_fraction(graph, active=set()) == 1.0
+
+
+class TestMinRange:
+    def test_line_needs_spacing(self):
+        deployment = line_deployment(spacing=10.0)
+        needed = min_range_for_connectivity(
+            deployment, SINK_POINT, precision=0.05
+        )
+        assert needed == pytest.approx(10.0, abs=0.1)
+
+    def test_connected_check(self):
+        deployment = line_deployment(spacing=10.0)
+        assert is_connected_deployment(deployment, 10.0, SINK_POINT)
+        assert not is_connected_deployment(deployment, 9.0, SINK_POINT)
+
+    def test_random_deployment_connects_at_some_range(self):
+        deployment = uniform_deployment(num_sensors=30, rng=4)
+        sink = deployment.region.center
+        needed = min_range_for_connectivity(deployment, sink, precision=0.5)
+        assert 0 < needed < 150
+        assert is_connected_deployment(deployment, needed, sink)
+        assert not is_connected_deployment(deployment, needed - 1.0, sink)
+
+    def test_empty_deployment(self):
+        deployment = Deployment(Rectangle.square(10), ())
+        assert min_range_for_connectivity(deployment, Point(5, 5)) == 0.0
+
+    def test_precision_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            min_range_for_connectivity(line_deployment(), SINK_POINT, precision=0)

@@ -1,0 +1,93 @@
+"""Tests for the coverage relation a_ij and V(O_i)."""
+
+import numpy as np
+import pytest
+
+from repro.coverage.deployment import Deployment
+from repro.coverage.geometry import Point, Rectangle
+from repro.coverage.matrix import (
+    coverage_matrix,
+    coverage_sets,
+    detection_probabilities,
+    ensure_coverable,
+)
+from repro.coverage.sensing import DiskSensingModel, ProbabilisticSensingModel
+
+
+def hand_built_deployment() -> Deployment:
+    """3 sensors, 2 targets with known distances.
+
+    sensors: (0,0), (10,0), (20,0); targets: (1,0), (15,0).
+    With radius 6: target 0 covered by sensor 0; target 1 by sensors 1, 2.
+    """
+    region = Rectangle.square(30)
+    return Deployment(
+        region,
+        sensors=(Point(0, 0), Point(10, 0), Point(20, 0)),
+        targets=(Point(1, 0), Point(15, 0)),
+    )
+
+
+class TestCoverageSets:
+    def test_hand_built(self):
+        sets = coverage_sets(hand_built_deployment(), DiskSensingModel(radius=6.0))
+        assert sets[0] == frozenset({0})
+        assert sets[1] == frozenset({1, 2})
+
+    def test_huge_radius_covers_all(self):
+        sets = coverage_sets(hand_built_deployment(), DiskSensingModel(radius=100.0))
+        assert all(s == frozenset({0, 1, 2}) for s in sets)
+
+    def test_tiny_radius_covers_none(self):
+        sets = coverage_sets(hand_built_deployment(), DiskSensingModel(radius=0.5))
+        assert all(s == frozenset() for s in sets)
+
+    def test_no_targets(self):
+        d = hand_built_deployment().with_targets([])
+        assert coverage_sets(d, DiskSensingModel(radius=6.0)) == []
+
+
+class TestCoverageMatrix:
+    def test_matches_sets(self):
+        deployment = hand_built_deployment()
+        model = DiskSensingModel(radius=6.0)
+        a = coverage_matrix(deployment, model)
+        assert a.shape == (2, 3)
+        assert a.tolist() == [[1, 0, 0], [0, 1, 1]]
+
+    def test_dtype_small(self):
+        a = coverage_matrix(hand_built_deployment(), DiskSensingModel(radius=6.0))
+        assert a.dtype == np.int8
+
+
+class TestDetectionProbabilities:
+    def test_disk_model_constant(self):
+        maps = detection_probabilities(
+            hand_built_deployment(), DiskSensingModel(radius=6.0, p=0.4)
+        )
+        assert maps[0] == {0: 0.4}
+        assert maps[1] == {1: 0.4, 2: 0.4}
+
+    def test_probabilistic_model_decays(self):
+        maps = detection_probabilities(
+            hand_built_deployment(),
+            ProbabilisticSensingModel(radius=6.0, p0=0.9, beta=0.3),
+        )
+        # target 1 at distance 5 from both sensors 1 and 2.
+        assert maps[1][1] == pytest.approx(maps[1][2])
+        assert 0 < maps[1][1] < 0.9
+
+
+class TestEnsureCoverable:
+    def test_drops_uncovered_targets(self):
+        deployment = hand_built_deployment()
+        model = DiskSensingModel(radius=2.0)  # only target 0 coverable
+        cleaned = ensure_coverable(deployment, model)
+        assert cleaned.num_targets == 1
+        assert cleaned.targets[0] == Point(1, 0)
+
+    def test_noop_when_all_covered(self):
+        deployment = hand_built_deployment()
+        model = DiskSensingModel(radius=100.0)
+        cleaned = ensure_coverable(deployment, model)
+        assert cleaned is deployment

@@ -1,0 +1,70 @@
+"""Tests for sensing models."""
+
+import math
+
+import pytest
+
+from repro.coverage.geometry import Point
+from repro.coverage.sensing import DiskSensingModel, ProbabilisticSensingModel
+
+
+class TestDiskSensingModel:
+    def test_covers_within_radius(self):
+        model = DiskSensingModel(radius=10.0, p=0.4)
+        assert model.covers(Point(0, 0), Point(6, 8))  # distance exactly 10
+        assert not model.covers(Point(0, 0), Point(7, 8))
+
+    def test_detection_probability_constant_inside(self):
+        model = DiskSensingModel(radius=10.0, p=0.4)
+        assert model.detection_probability(Point(0, 0), Point(1, 1)) == 0.4
+        assert model.detection_probability(Point(0, 0), Point(9.99, 0)) == 0.4
+
+    def test_detection_probability_zero_outside(self):
+        model = DiskSensingModel(radius=10.0, p=0.4)
+        assert model.detection_probability(Point(0, 0), Point(20, 0)) == 0.0
+
+    def test_region_is_disk(self):
+        model = DiskSensingModel(radius=5.0)
+        disk = model.region(Point(2, 3))
+        assert disk.center == Point(2, 3)
+        assert disk.radius == 5.0
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            DiskSensingModel(radius=0.0)
+        with pytest.raises(ValueError, match="\\[0, 1\\]"):
+            DiskSensingModel(radius=1.0, p=1.5)
+
+
+class TestProbabilisticSensingModel:
+    def test_decays_with_distance(self):
+        model = ProbabilisticSensingModel(radius=10.0, p0=0.9, beta=0.5)
+        near = model.detection_probability(Point(0, 0), Point(1, 0))
+        far = model.detection_probability(Point(0, 0), Point(5, 0))
+        assert near > far > 0
+
+    def test_exact_decay_formula(self):
+        model = ProbabilisticSensingModel(radius=10.0, p0=0.9, beta=0.5)
+        p = model.detection_probability(Point(0, 0), Point(2, 0))
+        assert p == pytest.approx(0.9 * math.exp(-1.0))
+
+    def test_truncated_at_radius(self):
+        model = ProbabilisticSensingModel(radius=3.0, p0=0.9, beta=0.1)
+        assert model.detection_probability(Point(0, 0), Point(3.5, 0)) == 0.0
+
+    def test_zero_beta_is_constant(self):
+        model = ProbabilisticSensingModel(radius=5.0, p0=0.7, beta=0.0)
+        assert model.detection_probability(Point(0, 0), Point(4, 0)) == pytest.approx(0.7)
+
+    def test_covers_matches_radius(self):
+        model = ProbabilisticSensingModel(radius=5.0)
+        assert model.covers(Point(0, 0), Point(5, 0))
+        assert not model.covers(Point(0, 0), Point(5.1, 0))
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            ProbabilisticSensingModel(radius=-1.0)
+        with pytest.raises(ValueError, match="\\[0, 1\\]"):
+            ProbabilisticSensingModel(radius=1.0, p0=2.0)
+        with pytest.raises(ValueError, match="non-negative"):
+            ProbabilisticSensingModel(radius=1.0, beta=-0.5)

@@ -1,0 +1,101 @@
+"""Tests for the linear battery model."""
+
+import pytest
+
+from repro.energy.battery import Battery
+
+
+class TestConstruction:
+    def test_defaults_to_full(self):
+        b = Battery(10.0)
+        assert b.level == 10.0
+        assert b.is_full
+
+    def test_explicit_level(self):
+        b = Battery(10.0, level=3.0)
+        assert b.level == 3.0
+        assert not b.is_full and not b.is_empty
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError, match="positive"):
+            Battery(0.0)
+
+    def test_invalid_level(self):
+        with pytest.raises(ValueError, match="\\[0, 10.0\\]"):
+            Battery(10.0, level=11.0)
+        with pytest.raises(ValueError, match="\\[0, 10.0\\]"):
+            Battery(10.0, level=-1.0)
+
+
+class TestDischarge:
+    def test_partial(self):
+        b = Battery(10.0)
+        drained = b.discharge(4.0)
+        assert drained == 4.0
+        assert b.level == pytest.approx(6.0)
+
+    def test_clamps_at_zero(self):
+        b = Battery(10.0, level=3.0)
+        drained = b.discharge(5.0)
+        assert drained == pytest.approx(3.0)
+        assert b.is_empty
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Battery(10.0).discharge(-1.0)
+
+    def test_full_depletion_then_empty(self):
+        # The paper's model: energy can deplete to exactly zero.
+        b = Battery(1.0)
+        b.discharge(1.0)
+        assert b.is_empty
+        assert b.fraction == 0.0
+
+
+class TestCharge:
+    def test_partial(self):
+        b = Battery(10.0, level=2.0)
+        stored = b.charge(3.0)
+        assert stored == 3.0
+        assert b.level == pytest.approx(5.0)
+
+    def test_clamps_at_capacity(self):
+        b = Battery(10.0, level=9.0)
+        stored = b.charge(5.0)
+        assert stored == pytest.approx(1.0)
+        assert b.is_full
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Battery(10.0).charge(-1.0)
+
+
+class TestHelpers:
+    def test_fraction(self):
+        assert Battery(4.0, level=1.0).fraction == pytest.approx(0.25)
+
+    def test_set_level(self):
+        b = Battery(10.0)
+        b.set_level(2.5)
+        assert b.level == 2.5
+
+    def test_set_level_validates(self):
+        with pytest.raises(ValueError):
+            Battery(10.0).set_level(20.0)
+
+    def test_copy_is_independent(self):
+        a = Battery(10.0, level=5.0)
+        b = a.copy()
+        b.discharge(5.0)
+        assert a.level == 5.0
+
+    def test_float_accumulation_is_empty(self):
+        # Repeated thirds must still read as empty at the end (epsilon
+        # tolerance in is_empty); this is the rho <= 1 simulation path.
+        b = Battery(1.0)
+        for _ in range(3):
+            b.discharge(1.0 / 3.0)
+        assert b.is_empty
+
+    def test_repr_mentions_level(self):
+        assert "level=" in repr(Battery(2.0))

@@ -1,0 +1,95 @@
+"""Hypothesis property tests for the energy substrate."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.energy.battery import Battery
+from repro.energy.period import ChargingPeriod, normalize_ratio
+
+positive_floats = st.floats(
+    min_value=0.01, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+amounts = st.floats(
+    min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestBatteryProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(capacity=positive_floats, drains=st.lists(amounts, max_size=20))
+    def test_level_always_in_bounds(self, capacity, drains):
+        battery = Battery(capacity)
+        for amount in drains:
+            battery.discharge(amount)
+            assert 0.0 <= battery.level <= capacity
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        capacity=positive_floats,
+        operations=st.lists(
+            st.tuples(st.booleans(), amounts), max_size=30
+        ),
+    )
+    def test_energy_conservation(self, capacity, operations):
+        """level = capacity - drained + charged, exactly."""
+        battery = Battery(capacity)
+        total_drained = 0.0
+        total_charged = 0.0
+        for is_charge, amount in operations:
+            if is_charge:
+                total_charged += battery.charge(amount)
+            else:
+                total_drained += battery.discharge(amount)
+        assert battery.level == pytest.approx(
+            capacity - total_drained + total_charged, abs=1e-6 * capacity
+        )
+
+    @settings(max_examples=100, deadline=None)
+    @given(capacity=positive_floats, amount=amounts)
+    def test_discharge_returns_actual_drain(self, capacity, amount):
+        battery = Battery(capacity, level=capacity / 2)
+        before = battery.level
+        drained = battery.discharge(amount)
+        # Equality holds up to float cancellation at the battery's scale
+        # (before - after loses bits when amount << capacity).
+        assert drained == pytest.approx(
+            before - battery.level, abs=1e-9 * max(1.0, capacity)
+        )
+        assert drained <= amount + 1e-12
+
+
+class TestPeriodProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(rho_int=st.integers(1, 50), t_d=positive_floats)
+    def test_sparse_period_arithmetic(self, rho_int, t_d):
+        period = ChargingPeriod.from_ratio(float(rho_int), discharge_time=t_d)
+        assert period.slots_per_period == rho_int + 1
+        assert period.active_slots_per_period == 1
+        assert period.passive_slots_per_period == rho_int
+        assert period.slot_length == pytest.approx(t_d)
+        assert period.total_time == pytest.approx(t_d * (1 + rho_int))
+
+    @settings(max_examples=100, deadline=None)
+    @given(inv_rho=st.integers(1, 50), t_d=positive_floats)
+    def test_dense_period_arithmetic(self, inv_rho, t_d):
+        period = ChargingPeriod.from_ratio(1.0 / inv_rho, discharge_time=t_d)
+        assert period.slots_per_period == inv_rho + 1
+        assert period.active_slots_per_period == inv_rho
+        assert period.passive_slots_per_period == 1
+        # Slot normalizes to T_r in the dense regime.
+        assert period.slot_length == pytest.approx(period.recharge_time)
+
+    @settings(max_examples=100, deadline=None)
+    @given(rho_int=st.integers(1, 100))
+    def test_normalize_roundtrip(self, rho_int):
+        assert normalize_ratio(float(rho_int)) == float(rho_int)
+        assert normalize_ratio(1.0 / rho_int) == pytest.approx(1.0 / rho_int)
+
+    @settings(max_examples=100, deadline=None)
+    @given(rho_int=st.integers(1, 20), alpha=st.integers(1, 20))
+    def test_working_time_roundtrip(self, rho_int, alpha):
+        period = ChargingPeriod.from_ratio(float(rho_int), discharge_time=15.0)
+        working = alpha * period.total_time
+        assert period.periods_for_working_time(working) == alpha
+        assert period.slots_for_working_time(working) == alpha * (rho_int + 1)

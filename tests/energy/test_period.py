@@ -1,0 +1,110 @@
+"""Tests for charging-period arithmetic (Sec. II-B, Fig. 2)."""
+
+import pytest
+
+from repro.energy.period import ChargingPeriod, normalize_ratio
+
+
+class TestNormalizeRatio:
+    def test_integer_rho_passes(self):
+        assert normalize_ratio(3.0) == 3.0
+
+    def test_near_integer_snapped(self):
+        assert normalize_ratio(3.0000000001) == 3.0
+
+    def test_reciprocal_integer_passes(self):
+        assert normalize_ratio(0.25) == pytest.approx(0.25)
+
+    def test_rho_one_boundary(self):
+        assert normalize_ratio(1.0) == 1.0
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(ValueError, match="integer"):
+            normalize_ratio(2.5)
+
+    def test_non_reciprocal_rejected(self):
+        with pytest.raises(ValueError, match="integer"):
+            normalize_ratio(0.4)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            normalize_ratio(0.0)
+
+
+class TestPaperExample:
+    """The worked example of Sec. II-B: T_d=15, rho=3 -> T=60 min, L=720."""
+
+    def test_paper_sunny_values(self):
+        period = ChargingPeriod.paper_sunny()
+        assert period.discharge_time == 15.0
+        assert period.recharge_time == 45.0
+        assert period.rho == 3.0
+        assert period.total_time == 60.0
+        assert period.slots_per_period == 4
+        assert period.slot_length == 15.0
+
+    def test_twelve_hour_day(self):
+        period = ChargingPeriod.paper_sunny()
+        assert period.slots_for_working_time(720.0) == 48
+        assert period.periods_for_working_time(720.0) == 12
+
+
+class TestDerivedQuantities:
+    def test_from_rates(self):
+        # B = 30, mu_d = 2/min, mu_r = 2/3 per min -> T_d=15, T_r=45.
+        period = ChargingPeriod.from_rates(30.0, 2.0, 2.0 / 3.0)
+        assert period.discharge_time == pytest.approx(15.0)
+        assert period.recharge_time == pytest.approx(45.0)
+        assert period.rho == 3.0
+
+    def test_from_ratio_sparse(self):
+        period = ChargingPeriod.from_ratio(5.0)
+        assert period.slots_per_period == 6
+        assert period.active_slots_per_period == 1
+        assert period.passive_slots_per_period == 5
+
+    def test_from_ratio_dense(self):
+        period = ChargingPeriod.from_ratio(1.0 / 3.0, discharge_time=45.0)
+        assert period.rho == pytest.approx(1.0 / 3.0)
+        assert period.slots_per_period == 4
+        assert period.active_slots_per_period == 3
+        assert period.passive_slots_per_period == 1
+        assert period.slot_length == 15.0  # slot normalizes to T_r
+
+    def test_rho_one(self):
+        period = ChargingPeriod.from_ratio(1.0)
+        assert period.slots_per_period == 2
+        assert period.active_slots_per_period == 1
+        assert period.passive_slots_per_period == 1
+
+    def test_invalid_times_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            ChargingPeriod(discharge_time=0.0, recharge_time=45.0)
+        with pytest.raises(ValueError, match="positive"):
+            ChargingPeriod(discharge_time=15.0, recharge_time=-1.0)
+
+    def test_non_integral_ratio_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="integer"):
+            ChargingPeriod(discharge_time=15.0, recharge_time=40.0)
+
+    def test_from_rates_validates(self):
+        with pytest.raises(ValueError, match="positive"):
+            ChargingPeriod.from_rates(0.0, 1.0, 1.0)
+        with pytest.raises(ValueError, match="positive"):
+            ChargingPeriod.from_rates(1.0, 0.0, 1.0)
+
+
+class TestWorkingTime:
+    def test_rejects_fractional_slots(self):
+        period = ChargingPeriod.paper_sunny()
+        with pytest.raises(ValueError, match="whole number"):
+            period.slots_for_working_time(7.0)
+
+    def test_rejects_non_multiple_of_period(self):
+        # 45 min = 3 slots, not a multiple of T = 4 slots.
+        period = ChargingPeriod.paper_sunny()
+        with pytest.raises(ValueError, match="multiple of the period"):
+            period.slots_for_working_time(45.0)
+
+    def test_str_mentions_rho(self):
+        assert "rho=3" in str(ChargingPeriod.paper_sunny())

@@ -1,0 +1,56 @@
+"""Tests for the charging-profile catalogue."""
+
+import pytest
+
+from repro.energy.profiles import (
+    BRIGHT,
+    CLOUDY,
+    PAPER_SUNNY,
+    RAINY,
+    profile_by_name,
+    profile_for_weather,
+)
+
+
+class TestCatalogue:
+    def test_paper_sunny_matches_measurement(self):
+        # Sec. VI-A: T_r ~ 45 min, T_d = 15 min under sunny weather.
+        assert PAPER_SUNNY.period.discharge_time == 15.0
+        assert PAPER_SUNNY.period.recharge_time == 45.0
+        assert PAPER_SUNNY.rho == 3.0
+
+    def test_cloudy_slower_recharge(self):
+        assert CLOUDY.period.recharge_time > PAPER_SUNNY.period.recharge_time
+        assert CLOUDY.rho == 6.0
+
+    def test_rainy_slowest(self):
+        assert RAINY.period.recharge_time > CLOUDY.period.recharge_time
+
+    def test_discharge_time_weather_independent(self):
+        # T_d is a property of the mote, not the sky.
+        for profile in (PAPER_SUNNY, CLOUDY, RAINY):
+            assert profile.period.discharge_time == 15.0
+
+    def test_bright_is_dense_regime(self):
+        assert BRIGHT.rho < 1.0
+
+    def test_str_includes_weather(self):
+        assert "sunny" in str(PAPER_SUNNY)
+
+
+class TestLookups:
+    def test_by_name(self):
+        assert profile_by_name("paper-sunny") is PAPER_SUNNY
+        assert profile_by_name("cloudy") is CLOUDY
+
+    def test_by_name_unknown(self):
+        with pytest.raises(KeyError, match="available"):
+            profile_by_name("blizzard")
+
+    def test_for_weather(self):
+        assert profile_for_weather("sunny") is PAPER_SUNNY
+        assert profile_for_weather("rainy") is RAINY
+
+    def test_for_weather_unknown(self):
+        with pytest.raises(KeyError, match="available"):
+            profile_for_weather("hail")

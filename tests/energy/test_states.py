@@ -1,0 +1,91 @@
+"""Tests for the ACTIVE/PASSIVE/READY state machine (Sec. II-B)."""
+
+import pytest
+
+from repro.energy.states import IllegalTransition, NodeState, SensorStateMachine
+
+
+class TestLegalLifecycle:
+    def test_initial_ready(self):
+        sm = SensorStateMachine()
+        assert sm.state is NodeState.READY
+        assert sm.is_ready
+
+    def test_full_cycle(self):
+        sm = SensorStateMachine()
+        sm.activate()
+        assert sm.is_active
+        sm.deplete()
+        assert sm.is_passive
+        sm.fully_charged()
+        assert sm.is_ready
+
+    def test_park_with_energy(self):
+        sm = SensorStateMachine()
+        sm.activate()
+        sm.park()
+        assert sm.is_ready
+
+    def test_self_transition_noop(self):
+        sm = SensorStateMachine()
+        sm.transition(NodeState.READY)
+        assert sm.transitions == 0
+
+    def test_transition_count(self):
+        sm = SensorStateMachine()
+        sm.activate()
+        sm.deplete()
+        sm.fully_charged()
+        assert sm.transitions == 3
+
+
+class TestIllegalTransitions:
+    def test_ready_to_passive(self):
+        sm = SensorStateMachine()
+        with pytest.raises(IllegalTransition, match="ready -> passive"):
+            sm.transition(NodeState.PASSIVE)
+
+    def test_passive_to_active(self):
+        # The paper's full-charge rule: a depleted node cannot go
+        # straight back to sensing.
+        sm = SensorStateMachine(NodeState.PASSIVE)
+        with pytest.raises(IllegalTransition, match="passive -> active"):
+            sm.transition(NodeState.ACTIVE)
+
+    def test_activate_from_passive_raises(self):
+        sm = SensorStateMachine(NodeState.PASSIVE)
+        with pytest.raises(IllegalTransition):
+            sm.activate()
+
+    def test_deplete_from_ready_raises(self):
+        sm = SensorStateMachine()
+        with pytest.raises(IllegalTransition):
+            sm.deplete()
+
+    def test_park_from_passive_raises(self):
+        sm = SensorStateMachine(NodeState.PASSIVE)
+        with pytest.raises(IllegalTransition):
+            sm.park()
+
+    def test_fully_charged_from_active_raises(self):
+        sm = SensorStateMachine(NodeState.ACTIVE)
+        with pytest.raises(IllegalTransition):
+            sm.fully_charged()
+
+    def test_state_unchanged_after_failed_transition(self):
+        sm = SensorStateMachine()
+        with pytest.raises(IllegalTransition):
+            sm.transition(NodeState.PASSIVE)
+        assert sm.is_ready
+        assert sm.transitions == 0
+
+
+class TestPredicates:
+    def test_flags_exclusive(self):
+        for state in NodeState:
+            sm = SensorStateMachine(state)
+            flags = [sm.is_active, sm.is_passive, sm.is_ready]
+            assert sum(flags) == 1
+
+    def test_repr(self):
+        assert "active" in repr(SensorStateMachine(NodeState.ACTIVE))

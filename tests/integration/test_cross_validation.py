@@ -1,0 +1,145 @@
+"""Cross-validation of solvers, bounds and oracles against each other.
+
+Each component was unit-tested in isolation; these tests pin the
+*relationships* that must hold between them on shared instances:
+
+    greedy <= greedy+ls <= optimal <= LP bound <= per-slot ceiling
+
+plus the count-structure identities (balanced == greedy == DP optimum
+for symmetric concave utilities) and energy conservation through the
+simulator.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.curvature import curvature_guarantee
+from repro.core.bounds import lp_upper_bound, per_slot_ceiling_bound
+from repro.core.dp import single_target_optimal_value
+from repro.core.optimal import optimal_value
+from repro.core.problem import SchedulingProblem
+from repro.core.solver import solve
+from repro.energy.period import ChargingPeriod
+from repro.policies.schedule_policy import SchedulePolicy
+from repro.sim.engine import SimulationEngine
+from repro.sim.network import SensorNetwork
+from repro.utility.detection import HomogeneousDetectionUtility
+
+from tests.conftest import random_target_system
+
+
+def small_instance(seed, n=6, m=3, rho=2.0):
+    rng = np.random.default_rng(seed)
+    utility = random_target_system(n, m, rng, p_low=0.3, p_high=0.5)
+    return SchedulingProblem(
+        num_sensors=n, period=ChargingPeriod.from_ratio(rho), utility=utility
+    )
+
+
+class TestOrderingChain:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_full_chain(self, seed):
+        problem = small_instance(seed)
+        greedy = solve(problem, method="greedy").total_utility
+        polished = solve(problem, method="greedy+ls").total_utility
+        opt = optimal_value(problem)
+        lp = lp_upper_bound(problem)
+        ceiling = per_slot_ceiling_bound(problem)
+        assert greedy <= polished + 1e-9
+        assert polished <= opt + 1e-9
+        assert opt <= lp + 1e-6
+        assert lp <= ceiling + 1e-6
+        # And the two-sided guarantee around the greedy value.
+        assert greedy >= 0.5 * opt - 1e-9
+        assert greedy >= curvature_guarantee(problem.utility) * opt - 1e-9
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_chain_dense_regime(self, seed):
+        problem = small_instance(100 + seed, rho=0.5)
+        greedy = solve(problem, method="greedy").total_utility
+        polished = solve(problem, method="greedy+ls").total_utility
+        opt = optimal_value(problem)
+        assert greedy <= polished + 1e-9 <= opt + 2e-9
+        assert greedy >= 0.5 * opt - 1e-9
+
+
+class TestCountStructureIdentities:
+    @pytest.mark.parametrize("n", [8, 20, 50, 100])
+    def test_symmetric_concave_identities(self, n):
+        """balanced == greedy == DP closed form, all meeting the bound
+        when T | n."""
+        problem = SchedulingProblem(
+            num_sensors=n,
+            period=ChargingPeriod.paper_sunny(),
+            utility=HomogeneousDetectionUtility(range(n), p=0.4),
+        )
+        greedy = solve(problem, method="greedy").total_utility
+        balanced = solve(problem, method="balanced").total_utility
+        dp = single_target_optimal_value(problem)
+        assert greedy == pytest.approx(balanced)
+        assert greedy == pytest.approx(dp)
+
+    def test_dp_matches_branch_and_bound_where_both_reach(self):
+        problem = SchedulingProblem(
+            num_sensors=8,
+            period=ChargingPeriod.paper_sunny(),
+            utility=HomogeneousDetectionUtility(range(8), p=0.4),
+        )
+        assert single_target_optimal_value(problem) == pytest.approx(
+            optimal_value(problem)
+        )
+
+
+class TestEnergyConservation:
+    def test_whole_period_energy_balance(self):
+        """Over whole periods of the greedy schedule, energy drained
+        equals energy charged node-by-node (steady state)."""
+        n = 8
+        utility = HomogeneousDetectionUtility(range(n), p=0.4)
+        period = ChargingPeriod.paper_sunny()
+        problem = SchedulingProblem(n, period, utility, num_periods=5)
+        schedule = solve(problem, method="greedy").periodic
+        network = SensorNetwork(n, period, utility)
+        engine = SimulationEngine(
+            network, SchedulePolicy(schedule), keep_node_reports=True
+        )
+        result = engine.run(problem.total_slots)
+
+        drained = {v: 0.0 for v in range(n)}
+        charged = {v: 0.0 for v in range(n)}
+        for slot_reports in result.node_reports:
+            for r in slot_reports:
+                drained[r.node_id] += r.energy_drained
+                charged[r.node_id] += r.energy_charged
+        for v in range(n):
+            # Conservation: capacity_start - drained + charged = level_end.
+            final = network.nodes[v].battery.level
+            assert 1.0 - drained[v] + charged[v] == pytest.approx(final, abs=1e-9)
+            # 5 activations of a unit battery (one per period).
+            assert drained[v] == pytest.approx(5.0)
+            # Nodes activated in slot 0 are fully recharged by the end;
+            # later slots are mid-recharge by (slot/rho) of capacity.
+            slot = schedule.slot_of(v)
+            expected_final = 1.0 - slot / 3.0 if slot is not None else 1.0
+            assert final == pytest.approx(expected_final, abs=1e-9)
+
+    def test_sim_utility_never_exceeds_combinatorial(self):
+        """With stochastic charging, the simulator can only lose
+        activations relative to the planned schedule -- never gain."""
+        from repro.sim.random_model import RandomChargingModel
+
+        n = 10
+        utility = HomogeneousDetectionUtility(range(n), p=0.4)
+        period = ChargingPeriod.paper_sunny()
+        problem = SchedulingProblem(n, period, utility, num_periods=10)
+        planned = solve(problem, method="greedy")
+        for seed in range(5):
+            network = SensorNetwork(n, period, utility)
+            model = RandomChargingModel(
+                period, arrival_rate=1.0, mean_duration=5.0,
+                recharge_std=15.0, rng=seed,
+            )
+            result = SimulationEngine(
+                network, SchedulePolicy(planned.periodic), charging_model=model
+            ).run(problem.total_slots)
+            assert result.total_utility <= planned.total_utility + 1e-9

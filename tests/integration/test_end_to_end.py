@@ -1,0 +1,111 @@
+"""Cross-module integration tests: geometry -> utility -> scheduler -> sim."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ChargingPeriod,
+    DiskSensingModel,
+    SchedulingProblem,
+    TargetSystem,
+    coverage_sets,
+    solve,
+    uniform_deployment,
+)
+from repro.coverage.matrix import detection_probabilities, ensure_coverable
+from repro.policies import SchedulePolicy
+from repro.sim import PoissonEventProcess, SensorNetwork, SimulationEngine
+
+PERIOD = ChargingPeriod.paper_sunny()
+
+
+def build_scenario(seed=0, n=40, m=5, radius=30.0):
+    sensing = DiskSensingModel(radius=radius, p=0.4)
+    deployment = ensure_coverable(
+        uniform_deployment(num_sensors=n, num_targets=m, rng=seed), sensing
+    )
+    covers = coverage_sets(deployment, sensing)
+    utility = TargetSystem.homogeneous_detection(covers, p=0.4)
+    problem = SchedulingProblem(
+        num_sensors=deployment.num_sensors,
+        period=PERIOD,
+        utility=utility,
+        num_periods=6,
+    )
+    return deployment, sensing, utility, problem
+
+
+class TestGeometryToSchedule:
+    def test_full_pipeline_runs(self):
+        _, _, utility, problem = build_scenario()
+        result = solve(problem, method="greedy")
+        result.schedule.validate_feasible()
+        assert 0 < result.average_utility_per_target <= 1.0
+
+    def test_greedy_beats_random_on_geometric_instances(self):
+        wins = 0
+        for seed in range(5):
+            _, _, _, problem = build_scenario(seed=seed)
+            greedy = solve(problem, method="greedy").total_utility
+            rand = solve(problem, method="random", rng=seed).total_utility
+            assert greedy >= rand - 1e-9
+            wins += greedy > rand + 1e-9
+        assert wins >= 3  # strictly better most of the time
+
+    def test_more_sensors_help(self):
+        utilities = []
+        for n in (20, 60, 120):
+            _, _, _, problem = build_scenario(seed=3, n=n)
+            utilities.append(
+                solve(problem, method="greedy").average_utility_per_target
+            )
+        assert utilities[0] < utilities[1] <= utilities[2] + 1e-9
+
+
+class TestScheduleToSimulator:
+    def test_scheduled_utility_realized_in_simulation(self):
+        _, _, utility, problem = build_scenario(seed=1)
+        result = solve(problem, method="greedy")
+        network = SensorNetwork.from_problem(problem)
+        sim = SimulationEngine(network, SchedulePolicy(result.periodic)).run(
+            problem.total_slots
+        )
+        assert sim.refused_activations == 0
+        assert sim.total_utility == pytest.approx(result.total_utility)
+
+    def test_detection_rate_tracks_scheduled_utility(self):
+        """The paper's utility is 'probability of event detection'; the
+        empirical detection rate of long events must approach the
+        scheduled per-target average utility."""
+        deployment, sensing, utility, problem = build_scenario(seed=2, n=60)
+        result = solve(problem.with_num_periods(120), method="greedy")
+        probs = detection_probabilities(deployment, sensing)
+        events = PoissonEventProcess(
+            num_targets=deployment.num_targets,
+            arrival_rate=0.5,
+            mean_duration=1e-6,  # point events: detected in one slot or never
+            detection_probabilities=probs,
+            rng=7,
+        )
+        network = SensorNetwork.from_problem(problem)
+        sim = SimulationEngine(
+            network, SchedulePolicy(result.periodic), event_process=events
+        ).run(480)
+        assert sim.detection is not None
+        assert sim.detection.events_total > 200
+        # Point events are detected iff an active covering sensor fires
+        # during their slot: the rate estimates average per-target utility.
+        assert sim.detection.detection_rate == pytest.approx(
+            result.average_utility_per_target, abs=0.08
+        )
+
+
+class TestLpVsGreedyEndToEnd:
+    def test_lp_bound_brackets_greedy(self):
+        _, _, utility, problem = build_scenario(seed=4, n=12, m=3)
+        problem = problem.with_num_periods(1)
+        greedy = solve(problem, method="greedy")
+        lp = solve(problem, method="lp", rng=1)
+        assert greedy.total_utility <= lp.extras["lp_objective"] + 1e-6
+        # Greedy's 1/2 guarantee is against OPT <= LP bound.
+        assert greedy.total_utility >= 0.5 * lp.extras["lp_objective"] - 1e-6

@@ -1,0 +1,72 @@
+"""Hypothesis property tests at the engine level.
+
+Invariants over randomized deployments and schedules:
+
+- any periodic ACTIVE_SLOT schedule executes from a cold start with
+  zero refusals (the sparse regime's combinatorial feasibility implies
+  energy feasibility on fresh batteries);
+- the simulated total equals the combinatorial total for any such
+  schedule;
+- the engine's refusal accounting matches the node counters.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.schedule import PeriodicSchedule
+from repro.energy.period import ChargingPeriod
+from repro.policies.schedule_policy import SchedulePolicy
+from repro.sim.engine import SimulationEngine
+from repro.sim.network import SensorNetwork
+from repro.utility.detection import HomogeneousDetectionUtility
+
+
+@st.composite
+def sparse_setup(draw):
+    rho = float(draw(st.sampled_from([1, 2, 3, 5])))
+    period = ChargingPeriod.from_ratio(rho)
+    T = period.slots_per_period
+    n = draw(st.integers(min_value=0, max_value=10))
+    assignment = {v: draw(st.integers(0, T - 1)) for v in range(n)}
+    # Some sensors may be unscheduled.
+    keep = draw(st.frozensets(st.integers(0, max(n - 1, 0)), max_size=n))
+    assignment = {v: s for v, s in assignment.items() if v in keep or n == 0}
+    schedule = PeriodicSchedule(slots_per_period=T, assignment=assignment)
+    periods = draw(st.integers(1, 4))
+    return period, n, schedule, periods
+
+
+@settings(max_examples=80, deadline=None)
+@given(setup=sparse_setup())
+def test_sparse_schedules_execute_cleanly(setup):
+    period, n, schedule, periods = setup
+    utility = HomogeneousDetectionUtility(range(max(n, 1)), p=0.4)
+    network = SensorNetwork(n, period, utility)
+    engine = SimulationEngine(network, SchedulePolicy(schedule))
+    result = engine.run(periods * period.slots_per_period)
+    assert result.refused_activations == 0
+
+
+@settings(max_examples=80, deadline=None)
+@given(setup=sparse_setup())
+def test_simulated_total_matches_combinatorial(setup):
+    period, n, schedule, periods = setup
+    utility = HomogeneousDetectionUtility(range(max(n, 1)), p=0.4)
+    network = SensorNetwork(n, period, utility)
+    engine = SimulationEngine(network, SchedulePolicy(schedule))
+    result = engine.run(periods * period.slots_per_period)
+    expected = schedule.total_utility(utility, periods)
+    assert result.total_utility == pytest.approx(expected)
+
+
+@settings(max_examples=60, deadline=None)
+@given(setup=sparse_setup())
+def test_refusal_accounting_consistent(setup):
+    period, n, schedule, periods = setup
+    utility = HomogeneousDetectionUtility(range(max(n, 1)), p=0.4)
+    network = SensorNetwork(n, period, utility)
+    engine = SimulationEngine(network, SchedulePolicy(schedule))
+    result = engine.run(periods * period.slots_per_period)
+    assert result.refused_activations == network.total_refused_activations()
+    assert result.refused_activations == result.accumulator.total_refused()

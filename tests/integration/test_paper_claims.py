@@ -1,0 +1,197 @@
+"""The paper's quantitative claims, as executable checks.
+
+Each test cites the paper section it reproduces.  Where the paper's
+exact testbed conditions are unrecoverable (Sec. VI-B's measured
+0.983408764), we check the *shape*: orderings, bounds and asymptotics.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import (
+    ChargingPeriod,
+    HomogeneousDetectionUtility,
+    SchedulingProblem,
+    single_target_upper_bound,
+    solve,
+)
+from repro.analysis.stats import summarize_ratios
+from repro.core.optimal import optimal_value
+from repro.utility.target_system import TargetSystem
+
+from tests.conftest import random_target_system
+
+PERIOD = ChargingPeriod.paper_sunny()
+
+
+def single_target_problem(n, periods=1):
+    return SchedulingProblem(
+        num_sensors=n,
+        period=PERIOD,
+        utility=HomogeneousDetectionUtility(range(n), p=0.4),
+        num_periods=periods,
+    )
+
+
+class TestSectionII:
+    def test_paper_period_example(self):
+        """Sec. II-B: time-slot 15 min, rho = 3 -> T = 60 min, L = 720."""
+        assert PERIOD.total_time == 60.0
+        assert PERIOD.slots_for_working_time(720.0) == 48
+
+
+class TestSectionVIHeadline:
+    """Sec. VI-B: n = 100 solar sensors, p = 0.4, single target."""
+
+    def test_upper_bound_formula(self):
+        # U* = 1 - (1-p)^ceil(n/T).  (The printed 0.999380 corresponds to
+        # an effective per-slot count of ~14.5 rather than 25 -- the
+        # testbed's weather-limited duty cycle; the formula itself is
+        # exact and checked here.)
+        bound = single_target_upper_bound(100, 4, 0.4)
+        assert bound == pytest.approx(1 - 0.6**25)
+
+    def test_ideal_greedy_achieves_bound_at_n100(self):
+        problem = single_target_problem(100)
+        result = solve(problem, method="greedy")
+        assert result.average_slot_utility == pytest.approx(
+            single_target_upper_bound(100, 4, 0.4)
+        )
+
+    def test_greedy_high_utility_like_paper(self):
+        # The paper reports 0.9834 achieved vs 0.99938 bound: greedy is
+        # within a whisker of the optimum.  Ideal (no-weather) greedy
+        # must beat the measured testbed number.
+        problem = single_target_problem(100)
+        result = solve(problem, method="greedy")
+        assert result.average_slot_utility > 0.983408764
+
+    def test_effective_count_behind_paper_numbers(self):
+        # Reverse-engineering the printed pair: 1-0.6^k = 0.983408764
+        # gives k ~ 8, and 1-0.6^k = 0.999380 gives k ~ 14.5; both are
+        # below the ideal 25/slot, consistent with weather-limited duty.
+        k_measured = math.log(1 - 0.983408764) / math.log(0.6)
+        k_bound = math.log(1 - 0.999380) / math.log(0.6)
+        assert 7.5 < k_measured < 8.5
+        assert 14.0 < k_bound < 15.0
+
+
+class TestFigure8Shape:
+    """Fig. 8: average utility vs n for m = 1..4 targets."""
+
+    def test_m1_utility_increases_with_n(self):
+        values = [
+            solve(single_target_problem(n), method="greedy").average_slot_utility
+            for n in range(20, 101, 20)
+        ]
+        assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+        assert values[0] >= 0.92  # the paper's panel (a) floor
+
+    def test_m1_tracks_upper_bound(self):
+        for n in range(20, 101, 20):
+            value = solve(
+                single_target_problem(n), method="greedy"
+            ).average_slot_utility
+            bound = single_target_upper_bound(n, 4, 0.4)
+            assert value <= bound + 1e-12
+            assert value >= 0.97 * bound
+
+    @pytest.mark.parametrize("m", [2, 3, 4])
+    def test_multi_target_high_utility(self, m):
+        # Panels (b)-(d): all-cover targets, utility stays near 1.
+        n = 40
+        covers = [set(range(n))] * m
+        utility = TargetSystem.homogeneous_detection(covers, p=0.4)
+        problem = SchedulingProblem(num_sensors=n, period=PERIOD, utility=utility)
+        result = solve(problem, method="greedy")
+        assert result.average_utility_per_target >= 0.92
+
+
+class TestFigure9Shape:
+    """Fig. 9: utility vs #targets for n = 100..500; floors 0.69 / 0.78."""
+
+    @pytest.mark.parametrize(
+        "n,floor",
+        [(100, 0.69), (200, 0.69), (300, 0.78)],
+    )
+    def test_floors(self, n, floor):
+        rng = np.random.default_rng(n)
+        utility = random_target_system(
+            n, 20, rng, p_low=0.4, p_high=0.4, cover_prob=0.3
+        )
+        problem = SchedulingProblem(num_sensors=n, period=PERIOD, utility=utility)
+        result = solve(problem, method="greedy")
+        assert result.average_utility_per_target >= floor
+
+    def test_more_sensors_dominate(self):
+        rng_small = np.random.default_rng(1)
+        rng_big = np.random.default_rng(1)
+        small = random_target_system(
+            100, 20, rng_small, p_low=0.4, p_high=0.4, cover_prob=0.3
+        )
+        # Same targets, 3x the sensors at the same coverage density.
+        big = random_target_system(
+            300, 20, rng_big, p_low=0.4, p_high=0.4, cover_prob=0.3
+        )
+        small_result = solve(
+            SchedulingProblem(num_sensors=100, period=PERIOD, utility=small),
+            method="greedy",
+        )
+        big_result = solve(
+            SchedulingProblem(num_sensors=300, period=PERIOD, utility=big),
+            method="greedy",
+        )
+        assert (
+            big_result.average_utility_per_target
+            > small_result.average_utility_per_target
+        )
+
+    def test_always_above_half(self):
+        # "in either case, the average utility is no less than 0.5 which
+        # corroborates our theoretical analysis".
+        for seed in range(3):
+            rng = np.random.default_rng(seed)
+            utility = random_target_system(
+                100, 30, rng, p_low=0.4, p_high=0.4, cover_prob=0.3
+            )
+            problem = SchedulingProblem(
+                num_sensors=100, period=PERIOD, utility=utility
+            )
+            result = solve(problem, method="greedy")
+            assert result.average_utility_per_target >= 0.5
+
+
+class TestTheoremGuarantees:
+    def test_lemma41_ratio_across_many_instances(self):
+        achieved, optimal = [], []
+        for seed in range(15):
+            rng = np.random.default_rng(seed)
+            utility = random_target_system(6, 3, rng)
+            problem = SchedulingProblem(
+                num_sensors=6,
+                period=ChargingPeriod.from_ratio(2.0),
+                utility=utility,
+            )
+            achieved.append(solve(problem, method="greedy").total_utility)
+            optimal.append(optimal_value(problem))
+        summary = summarize_ratios(achieved, optimal)
+        assert summary.all_above_half
+        assert summary.mean_ratio > 0.9  # "performs better than the bound"
+
+    def test_theorem43_periodic_repetition(self):
+        """Thm. 4.3: alpha * (one-period greedy) == greedy over alpha T,
+        and it stays >= OPT_{alphaT} / 2 via alpha * OPT_T >= OPT_{alphaT}."""
+        rng = np.random.default_rng(5)
+        utility = random_target_system(6, 2, rng)
+        problem = SchedulingProblem(
+            num_sensors=6, period=ChargingPeriod.from_ratio(2.0), utility=utility
+        )
+        one = solve(problem, method="greedy").total_utility
+        for alpha in (2, 5):
+            repeated = solve(
+                problem.with_num_periods(alpha), method="greedy"
+            ).total_utility
+            assert repeated == pytest.approx(alpha * one)
+            assert repeated >= 0.5 * alpha * optimal_value(problem) - 1e-9

@@ -1,0 +1,79 @@
+"""Tests for the adaptive re-planning policy."""
+
+import pytest
+
+from repro.energy.period import ChargingPeriod
+from repro.policies.adaptive import AdaptiveReplanPolicy
+from repro.sim.engine import SimulationEngine
+from repro.sim.network import SensorNetwork
+from repro.sim.random_model import RandomChargingModel
+from repro.utility.detection import HomogeneousDetectionUtility
+
+SUNNY = ChargingPeriod.paper_sunny()  # rho = 3
+
+
+def make_network(n=8, period=SUNNY):
+    return SensorNetwork(n, period, HomogeneousDetectionUtility(range(n), p=0.4))
+
+
+class _HalfSpeedCharging(RandomChargingModel):
+    """Deterministic: recharge at half the nominal rate (cloudy step)."""
+
+    def __init__(self, period):
+        super().__init__(period, arrival_rate=1.0, mean_duration=10.0, rng=0)
+
+    def drain_scale(self, slot):
+        return 1.0
+
+    def charge_scale(self, slot):
+        return 0.5
+
+
+class TestStableConditions:
+    def test_behaves_like_greedy_when_stable(self):
+        net = make_network()
+        policy = AdaptiveReplanPolicy(replan_interval=8)
+        result = SimulationEngine(net, policy).run(32)
+        assert result.refused_activations == 0
+        assert policy.replans == 0  # estimate confirms rho = 3, no replan
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            AdaptiveReplanPolicy(replan_interval=0)
+
+    def test_reset(self):
+        policy = AdaptiveReplanPolicy()
+        policy.decide(0, make_network())
+        policy.reset()
+        assert policy.replans == 0
+        assert policy._schedule is None
+
+
+class TestWeatherShift:
+    def test_replans_when_charging_slows(self):
+        # Under half-speed charging the true rho becomes 6; the policy's
+        # estimator must pick that up and re-plan at a boundary.
+        net = make_network()
+        policy = AdaptiveReplanPolicy(replan_interval=8)
+        engine = SimulationEngine(net, policy, charging_model=_HalfSpeedCharging(SUNNY))
+        engine.run(64)
+        assert policy.replans >= 1
+        assert policy._planned_period is not None
+        assert policy._planned_period.rho == pytest.approx(6.0)
+
+    def test_fewer_refusals_than_static_after_shift(self):
+        from repro.policies.greedy_periodic import GreedyPeriodicPolicy
+
+        slots = 96
+        static_net = make_network()
+        static = SimulationEngine(
+            static_net, GreedyPeriodicPolicy(), charging_model=_HalfSpeedCharging(SUNNY)
+        ).run(slots)
+
+        adaptive_net = make_network()
+        adaptive_policy = AdaptiveReplanPolicy(replan_interval=8)
+        adaptive = SimulationEngine(
+            adaptive_net, adaptive_policy, charging_model=_HalfSpeedCharging(SUNNY)
+        ).run(slots)
+
+        assert adaptive.refused_activations < static.refused_activations

@@ -1,0 +1,73 @@
+"""Tests for the forecast-driven day-ahead planning policy."""
+
+import pytest
+
+from repro.energy.period import ChargingPeriod
+from repro.policies.forecast_policy import ForecastPlanningPolicy
+from repro.sim.engine import SimulationEngine
+from repro.sim.network import SensorNetwork
+from repro.solar.weather import MarkovWeatherProcess, WeatherCondition
+from repro.utility.detection import HomogeneousDetectionUtility
+
+SUNNY = ChargingPeriod.paper_sunny()
+
+
+def make_network(n=12):
+    return SensorNetwork(n, SUNNY, HomogeneousDetectionUtility(range(n), p=0.4))
+
+
+class TestPlanning:
+    def test_plans_once_per_day(self):
+        process = MarkovWeatherProcess(initial=WeatherCondition.SUNNY, rng=1)
+        policy = ForecastPlanningPolicy(process, slots_per_day=8)
+        net = make_network()
+        SimulationEngine(net, policy).run(24)  # 3 days of 8 slots
+        assert policy.plans_made == 3
+
+    def test_advances_weather_chain_daily(self):
+        process = MarkovWeatherProcess(initial=WeatherCondition.SUNNY, rng=1)
+        policy = ForecastPlanningPolicy(process, slots_per_day=8)
+        net = make_network()
+        start_state = process.current
+        SimulationEngine(net, policy).run(24)
+        # Two day boundaries crossed -> the chain stepped twice.
+        reference = MarkovWeatherProcess(initial=start_state, rng=1)
+        reference.step()
+        reference.step()
+        assert process.current == reference.current
+
+    def test_pessimistic_plan_has_no_refusals_under_sunny(self):
+        # Pessimistic from sunny plans for cloudy (rho 6): activations
+        # are sparser than needed but never refused.
+        process = MarkovWeatherProcess(initial=WeatherCondition.SUNNY, rng=1)
+        policy = ForecastPlanningPolicy(process, slots_per_day=48, posture="pessimistic")
+        net = make_network()
+        result = SimulationEngine(net, policy).run(48)
+        assert result.refused_activations == 0
+
+    def test_mode_posture_matches_current_weather_plan(self):
+        from repro.policies.greedy_periodic import GreedyPeriodicPolicy
+
+        process = MarkovWeatherProcess(initial=WeatherCondition.SUNNY, rng=1)
+        policy = ForecastPlanningPolicy(process, slots_per_day=48, posture="mode")
+        net = make_network()
+        forecast_result = SimulationEngine(net, policy).run(48)
+
+        net2 = make_network()
+        greedy_result = SimulationEngine(net2, GreedyPeriodicPolicy()).run(48)
+        # From sunny, mode forecast = sunny: same schedule economics.
+        assert forecast_result.total_utility == pytest.approx(
+            greedy_result.total_utility
+        )
+
+    def test_validation(self):
+        process = MarkovWeatherProcess(rng=1)
+        with pytest.raises(ValueError, match=">= 1"):
+            ForecastPlanningPolicy(process, slots_per_day=0)
+
+    def test_reset(self):
+        process = MarkovWeatherProcess(rng=1)
+        policy = ForecastPlanningPolicy(process, slots_per_day=8)
+        policy.decide(0, make_network())
+        policy.reset()
+        assert policy.plans_made == 0

@@ -1,0 +1,104 @@
+"""Tests for the heterogeneous-period extension (Sec. VIII)."""
+
+import pytest
+
+from repro.core.greedy import greedy_schedule
+from repro.core.problem import SchedulingProblem
+from repro.energy.period import ChargingPeriod
+from repro.policies.heterogeneous import (
+    HeterogeneousGreedyPolicy,
+    plan_heterogeneous,
+)
+from repro.sim.engine import SimulationEngine
+from repro.sim.network import SensorNetwork
+from repro.utility.detection import HomogeneousDetectionUtility
+
+SUNNY = ChargingPeriod.paper_sunny()  # T = 4
+
+
+class TestPlanner:
+    def test_identical_periods_match_algorithm1(self):
+        utility = HomogeneousDetectionUtility(range(8), p=0.4)
+        plan = plan_heterogeneous({v: 4 for v in range(8)}, utility)
+        problem = SchedulingProblem(num_sensors=8, period=SUNNY, utility=utility)
+        direct = greedy_schedule(problem)
+        assert plan.total_utility(utility) == pytest.approx(
+            direct.period_utility(utility)
+        )
+
+    def test_each_sensor_once_per_own_period(self):
+        utility = HomogeneousDetectionUtility(range(4), p=0.4)
+        periods = {0: 2, 1: 2, 2: 4, 3: 4}
+        plan = plan_heterogeneous(periods, utility)
+        assert plan.total_slots == 4  # lcm(2, 4)
+        for v, T_v in periods.items():
+            active_slots = [
+                t for t, s in enumerate(plan.active_sets) if v in s
+            ]
+            assert len(active_slots) == plan.total_slots // T_v
+            for a, b in zip(active_slots, active_slots[1:]):
+                assert b - a == T_v
+
+    def test_fast_sensors_activated_more(self):
+        utility = HomogeneousDetectionUtility(range(2), p=0.4)
+        plan = plan_heterogeneous({0: 1, 1: 4}, utility)
+        count_fast = sum(1 for s in plan.active_sets if 0 in s)
+        count_slow = sum(1 for s in plan.active_sets if 1 in s)
+        assert count_fast == 4 * count_slow
+
+    def test_empty_input(self):
+        plan = plan_heterogeneous({}, HomogeneousDetectionUtility(range(1), p=0.4))
+        assert plan.total_slots == 1
+
+    def test_period_validation(self):
+        utility = HomogeneousDetectionUtility(range(1), p=0.4)
+        with pytest.raises(ValueError, match="period 0"):
+            plan_heterogeneous({0: 0}, utility)
+
+    def test_hyperperiod_cap(self):
+        utility = HomogeneousDetectionUtility(range(3), p=0.4)
+        with pytest.raises(ValueError, match="hyperperiod"):
+            plan_heterogeneous({0: 97, 1: 89, 2: 83}, utility, hyperperiod_cap=1000)
+
+
+class TestPolicy:
+    def test_plan_lazy(self):
+        policy = HeterogeneousGreedyPolicy({0: 2})
+        assert policy.plan is None
+        net = SensorNetwork(
+            4, SUNNY, HomogeneousDetectionUtility(range(4), p=0.4)
+        )
+        policy.decide(0, net)
+        assert policy.plan is not None
+
+    def test_simulation_with_matching_node_periods(self):
+        # Node 0 recharges fast (rho = 1 -> period 2 slots); others are
+        # standard.  The network is built with the same heterogeneity, so
+        # the plan executes without refusals.
+        n = 4
+        utility = HomogeneousDetectionUtility(range(n), p=0.4)
+        fast = ChargingPeriod.from_ratio(1.0, discharge_time=15.0)
+        net = SensorNetwork(n, SUNNY, utility, node_periods={0: fast})
+        policy = HeterogeneousGreedyPolicy({0: 2})
+        result = SimulationEngine(net, policy).run(16)
+        assert result.refused_activations == 0
+        assert result.accumulator.activation_counts()[0] == 8
+
+    def test_mismatched_periods_cause_refusals(self):
+        # Claiming node 0 is fast when it is not gets its extra
+        # activations refused by the hardware layer.
+        n = 4
+        utility = HomogeneousDetectionUtility(range(n), p=0.4)
+        net = SensorNetwork(n, SUNNY, utility)
+        policy = HeterogeneousGreedyPolicy({0: 2})
+        result = SimulationEngine(net, policy).run(16)
+        assert result.refused_activations > 0
+
+    def test_reset(self):
+        policy = HeterogeneousGreedyPolicy()
+        net = SensorNetwork(
+            2, SUNNY, HomogeneousDetectionUtility(range(2), p=0.4)
+        )
+        policy.decide(0, net)
+        policy.reset()
+        assert policy.plan is None

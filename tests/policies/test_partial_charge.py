@@ -1,0 +1,86 @@
+"""Tests for the partial-charge extension policy (Sec. VIII)."""
+
+import pytest
+
+from repro.energy.period import ChargingPeriod
+from repro.policies.partial_charge import PartialChargeGreedyPolicy
+from repro.sim.engine import SimulationEngine
+from repro.sim.network import SensorNetwork
+from repro.utility.detection import HomogeneousDetectionUtility
+
+PERIOD = ChargingPeriod.paper_sunny()
+
+
+def make_network(n=8, ready_threshold=1.0):
+    return SensorNetwork(
+        n,
+        PERIOD,
+        HomogeneousDetectionUtility(range(n), p=0.4),
+        ready_threshold=ready_threshold,
+    )
+
+
+class TestBudget:
+    def test_budget_limits_activations(self):
+        net = make_network(8)
+        policy = PartialChargeGreedyPolicy()
+        chosen = policy.decide(0, net)
+        assert len(chosen) == 2  # ceil(8 / 4)
+
+    def test_budget_scale(self):
+        net = make_network(8)
+        policy = PartialChargeGreedyPolicy(budget_scale=2.0)
+        assert len(policy.decide(0, net)) == 4
+
+    def test_empty_when_nothing_ready(self):
+        net = make_network(2)
+        for node in net.nodes:
+            node.step(0, activate=True)  # drain everyone
+        policy = PartialChargeGreedyPolicy()
+        assert policy.decide(1, net) == frozenset()
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            PartialChargeGreedyPolicy(budget_scale=0.0)
+
+
+class TestGreedySelection:
+    def test_prefers_higher_marginal(self):
+        # Heterogeneous detection: the policy must pick the high-p sensor.
+        from repro.utility.detection import DetectionUtility
+
+        utility = DetectionUtility({0: 0.1, 1: 0.9, 2: 0.1, 3: 0.1})
+        net = SensorNetwork(4, PERIOD, utility)
+        policy = PartialChargeGreedyPolicy()
+        chosen = policy.decide(0, net)
+        assert 1 in chosen
+
+    def test_min_gain_stops_early(self):
+        from repro.utility.operations import CappedCardinalityUtility
+
+        # After cap sensors, every additional gain is zero.
+        utility = CappedCardinalityUtility(range(8), cap=1)
+        net = SensorNetwork(8, PERIOD, utility)
+        policy = PartialChargeGreedyPolicy()
+        chosen = policy.decide(0, net)
+        assert len(chosen) == 1
+
+
+class TestSimulatedRuns:
+    def test_sustainable_full_charge(self):
+        net = make_network(8)
+        result = SimulationEngine(net, PartialChargeGreedyPolicy()).run(40)
+        # Commands consult the ready set, so nothing is refused.
+        assert result.refused_activations == 0
+        assert result.total_utility > 0
+
+    def test_partial_threshold_activates_more_often(self):
+        full = SimulationEngine(
+            make_network(6, ready_threshold=1.0), PartialChargeGreedyPolicy()
+        ).run(48)
+        partial = SimulationEngine(
+            make_network(6, ready_threshold=0.5), PartialChargeGreedyPolicy()
+        ).run(48)
+        full_acts = sum(full.accumulator.activation_counts().values())
+        partial_acts = sum(partial.accumulator.activation_counts().values())
+        assert partial_acts >= full_acts

@@ -1,0 +1,52 @@
+"""Tests for verbatim schedule execution."""
+
+import pytest
+
+from repro.core.schedule import PeriodicSchedule, UnrolledSchedule
+from repro.energy.period import ChargingPeriod
+from repro.policies.schedule_policy import SchedulePolicy
+from repro.sim.network import SensorNetwork
+from repro.utility.detection import HomogeneousDetectionUtility
+
+PERIOD = ChargingPeriod.paper_sunny()
+
+
+def make_network(n=4):
+    return SensorNetwork(n, PERIOD, HomogeneousDetectionUtility(range(n), p=0.4))
+
+
+class TestPeriodicExecution:
+    def test_wraps_around(self):
+        sched = PeriodicSchedule(slots_per_period=4, assignment={0: 0, 1: 2})
+        policy = SchedulePolicy(sched)
+        net = make_network()
+        assert policy.decide(0, net) == frozenset({0})
+        assert policy.decide(2, net) == frozenset({1})
+        assert policy.decide(4, net) == frozenset({0})
+        assert policy.decide(6, net) == frozenset({1})
+
+    def test_empty_slots(self):
+        sched = PeriodicSchedule(slots_per_period=4, assignment={0: 0})
+        policy = SchedulePolicy(sched)
+        assert policy.decide(1, make_network()) == frozenset()
+
+
+class TestUnrolledExecution:
+    def test_reads_slot_by_slot(self):
+        sched = UnrolledSchedule(
+            slots_per_period=2,
+            active_sets=(frozenset({0}), frozenset({1})),
+        )
+        policy = SchedulePolicy(sched)
+        net = make_network()
+        assert policy.decide(0, net) == frozenset({0})
+        assert policy.decide(1, net) == frozenset({1})
+
+    def test_past_end_commands_nothing(self):
+        sched = UnrolledSchedule(
+            slots_per_period=2,
+            active_sets=(frozenset({0}), frozenset({1})),
+        )
+        policy = SchedulePolicy(sched)
+        assert policy.decide(2, make_network()) == frozenset()
+        assert policy.decide(99, make_network()) == frozenset()

@@ -1,0 +1,98 @@
+"""Tests for the Monte-Carlo batch runner."""
+
+import pytest
+
+from repro.energy.period import ChargingPeriod
+from repro.policies.greedy_periodic import GreedyPeriodicPolicy
+from repro.sim.batch import run_batch
+from repro.sim.events import PoissonEventProcess
+from repro.sim.network import SensorNetwork
+from repro.sim.random_model import RandomChargingModel
+from repro.utility.detection import HomogeneousDetectionUtility
+
+PERIOD = ChargingPeriod.paper_sunny()
+N = 8
+
+
+def network_factory(seed):
+    return SensorNetwork(
+        N, PERIOD, HomogeneousDetectionUtility(range(N), p=0.4)
+    )
+
+
+class TestRunBatch:
+    def test_replicate_count(self):
+        batch = run_batch(
+            network_factory,
+            lambda seed: GreedyPeriodicPolicy(),
+            num_slots=16,
+            seeds=range(4),
+        )
+        assert batch.num_replicates == 4
+        assert len(batch.results) == 4
+
+    def test_deterministic_setup_zero_variance(self):
+        batch = run_batch(
+            network_factory,
+            lambda seed: GreedyPeriodicPolicy(),
+            num_slots=16,
+            seeds=range(5),
+        )
+        assert batch.utility.std == pytest.approx(0.0)
+        assert batch.refused.mean == 0.0
+        assert batch.detection_rate is None
+
+    def test_stochastic_setup_has_variance(self):
+        batch = run_batch(
+            network_factory,
+            lambda seed: GreedyPeriodicPolicy(),
+            num_slots=40,
+            seeds=range(6),
+            charging_factory=lambda seed: RandomChargingModel(
+                PERIOD, 1.0, 3.0, recharge_std=20.0, rng=seed
+            ),
+        )
+        assert batch.utility.std > 0.0
+        # Stochastic charging can only lose utility vs the clean run.
+        assert batch.utility.mean < 0.8704 + 1e-9
+
+    def test_events_aggregated(self):
+        batch = run_batch(
+            network_factory,
+            lambda seed: GreedyPeriodicPolicy(),
+            num_slots=60,
+            seeds=range(3),
+            events_factory=lambda seed: PoissonEventProcess(
+                num_targets=1,
+                arrival_rate=0.5,
+                mean_duration=2.0,
+                detection_probabilities=[{v: 0.4 for v in range(N)}],
+                rng=seed,
+            ),
+        )
+        assert batch.detection_rate is not None
+        assert batch.detection_rate.mean > 0.8
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="seed"):
+            run_batch(
+                network_factory,
+                lambda seed: GreedyPeriodicPolicy(),
+                num_slots=4,
+                seeds=(),
+            )
+        with pytest.raises(ValueError, match=">= 0"):
+            run_batch(
+                network_factory,
+                lambda seed: GreedyPeriodicPolicy(),
+                num_slots=-1,
+            )
+
+    def test_str(self):
+        batch = run_batch(
+            network_factory,
+            lambda seed: GreedyPeriodicPolicy(),
+            num_slots=8,
+            seeds=range(2),
+        )
+        assert "BatchResult" in str(batch)

@@ -1,0 +1,55 @@
+"""Tests for the slotted clock."""
+
+import pytest
+
+from repro.sim.clock import SlottedClock
+
+
+class TestClock:
+    def test_initial_state(self):
+        clock = SlottedClock()
+        assert clock.slot == 0
+        assert clock.minute == 0.0
+        assert clock.period_index == 0
+
+    def test_advance(self):
+        clock = SlottedClock(slot_minutes=15.0, slots_per_period=4)
+        clock.advance()
+        assert clock.slot == 1
+        assert clock.minute == 15.0
+
+    def test_advance_many(self):
+        clock = SlottedClock(slot_minutes=15.0, slots_per_period=4)
+        clock.advance(9)
+        assert clock.slot == 9
+        assert clock.slot_in_period == 1
+        assert clock.period_index == 2
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError, match="cannot advance"):
+            SlottedClock().advance(-1)
+
+    def test_start_minute_offset(self):
+        clock = SlottedClock(slot_minutes=15.0, start_minute=420.0)
+        assert clock.minute == 420.0
+        clock.advance(4)
+        assert clock.minute == 480.0
+
+    def test_minute_of_slot(self):
+        clock = SlottedClock(slot_minutes=15.0, start_minute=60.0)
+        assert clock.minute_of_slot(4) == 120.0
+
+    def test_reset(self):
+        clock = SlottedClock()
+        clock.advance(10)
+        clock.reset()
+        assert clock.slot == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            SlottedClock(slot_minutes=0.0)
+        with pytest.raises(ValueError, match=">= 1"):
+            SlottedClock(slots_per_period=0)
+
+    def test_repr(self):
+        assert "slot=0" in repr(SlottedClock())

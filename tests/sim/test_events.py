@@ -1,0 +1,120 @@
+"""Tests for the Poisson event process (Sec. V)."""
+
+import numpy as np
+import pytest
+
+from repro.sim.events import Event, PoissonEventProcess
+
+
+class TestEvent:
+    def test_end(self):
+        assert Event(0, start=2.0, duration=3.0).end == 5.0
+
+    def test_overlaps_slot(self):
+        e = Event(0, start=2.5, duration=1.0)
+        assert e.overlaps_slot(2)
+        assert e.overlaps_slot(3)
+        assert not e.overlaps_slot(1)
+        assert not e.overlaps_slot(4)
+
+    def test_instantaneous_event(self):
+        e = Event(0, start=2.5, duration=0.0)
+        assert not e.overlaps_slot(2) or e.end > 2  # zero-length: no overlap
+        assert not e.overlaps_slot(3)
+
+
+def make_process(num_targets=2, rate=1.0, duration=1.0, p=0.4, rng=1):
+    detection = [
+        {s: p for s in range(4)} for _ in range(num_targets)
+    ]
+    return PoissonEventProcess(
+        num_targets=num_targets,
+        arrival_rate=rate,
+        mean_duration=duration,
+        detection_probabilities=detection,
+        rng=rng,
+    )
+
+
+class TestValidation:
+    def test_counts_checked(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            make_process(num_targets=-1)
+
+    def test_rate_checked(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            make_process(rate=-1.0)
+
+    def test_duration_checked(self):
+        with pytest.raises(ValueError, match="> 0"):
+            make_process(duration=0.0)
+
+    def test_map_count_checked(self):
+        with pytest.raises(ValueError, match="detection maps"):
+            PoissonEventProcess(3, 1.0, 1.0, [{}])
+
+
+class TestArrivals:
+    def test_mean_arrival_rate(self):
+        proc = make_process(num_targets=1, rate=2.0, rng=7)
+        total = sum(len(proc.generate_slot_arrivals(t)) for t in range(500))
+        assert 800 < total < 1200  # mean 1000
+
+    def test_zero_rate_no_events(self):
+        proc = make_process(rate=0.0)
+        for t in range(20):
+            proc.step(t, frozenset({0, 1}))
+        assert proc.outcome.events_total == 0
+
+    def test_arrivals_start_within_slot(self):
+        proc = make_process(rate=3.0, rng=3)
+        for event in proc.generate_slot_arrivals(5):
+            assert 5 <= event.start < 6
+
+
+class TestDetection:
+    def test_all_sensors_active_high_detection(self):
+        proc = make_process(rate=1.0, duration=2.0, p=0.4, rng=11)
+        for t in range(300):
+            proc.step(t, frozenset(range(4)))
+        # 4 sensors x p=0.4 per slot over ~2 slots: detection near 1.
+        assert proc.outcome.detection_rate > 0.9
+
+    def test_no_sensors_no_detection(self):
+        proc = make_process(rate=1.0, rng=11)
+        for t in range(100):
+            proc.step(t, frozenset())
+        assert proc.outcome.events_detected == 0
+        assert proc.outcome.detection_rate == 0.0
+
+    def test_per_target_bookkeeping(self):
+        proc = make_process(num_targets=2, rate=1.0, rng=5)
+        for t in range(200):
+            proc.step(t, frozenset(range(4)))
+        outcome = proc.outcome
+        assert (
+            outcome.per_target_total[0] + outcome.per_target_total[1]
+            == outcome.events_total
+        )
+        assert outcome.target_rate(0) > 0.5
+
+    def test_target_rate_empty(self):
+        proc = make_process()
+        assert proc.outcome.target_rate(0) == 0.0
+
+    def test_missed_events_returned(self):
+        proc = make_process(rate=2.0, duration=0.3, rng=9)
+        missed_total = 0
+        for t in range(100):
+            missed_total += len(proc.step(t, frozenset()))
+        # With nobody active everything that expired was missed.
+        assert missed_total == proc.outcome.events_total - len(proc._event_ids)
+
+    def test_detection_rate_monotone_in_active_set(self):
+        lazy_rates = []
+        for active_count in (0, 2, 4):
+            proc = make_process(rate=1.0, duration=1.0, rng=21)
+            for t in range(400):
+                proc.step(t, frozenset(range(active_count)))
+            lazy_rates.append(proc.outcome.detection_rate)
+        assert lazy_rates[0] < lazy_rates[1] < lazy_rates[2]

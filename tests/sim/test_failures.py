@@ -1,0 +1,142 @@
+"""Tests for failure injection."""
+
+import pytest
+
+from repro.core.greedy import greedy_schedule
+from repro.core.problem import SchedulingProblem
+from repro.energy.period import ChargingPeriod
+from repro.policies.schedule_policy import SchedulePolicy
+from repro.sim.engine import SimulationEngine
+from repro.sim.failures import FailureInjectedPolicy, FailurePlan
+from repro.sim.network import SensorNetwork
+from repro.utility.detection import HomogeneousDetectionUtility
+from repro.utility.target_system import TargetSystem
+
+PERIOD = ChargingPeriod.paper_sunny()
+
+
+def setup(n=8, periods=4, utility=None):
+    utility = utility or HomogeneousDetectionUtility(range(n), p=0.4)
+    problem = SchedulingProblem(
+        num_sensors=n, period=PERIOD, utility=utility, num_periods=periods
+    )
+    schedule = greedy_schedule(problem)
+    network = SensorNetwork(n, PERIOD, utility)
+    return problem, schedule, network
+
+
+class TestFailurePlan:
+    def test_death_is_permanent(self):
+        plan = FailurePlan(deaths={3: 5})
+        assert not plan.is_down(3, 4)
+        assert plan.is_down(3, 5)
+        assert plan.is_down(3, 500)
+
+    def test_outage_is_interval(self):
+        plan = FailurePlan(outages={1: [(2, 4)]})
+        assert not plan.is_down(1, 1)
+        assert plan.is_down(1, 2)
+        assert plan.is_down(1, 3)
+        assert not plan.is_down(1, 4)
+
+    def test_multiple_outages(self):
+        plan = FailurePlan(outages={1: [(0, 1), (5, 6)]})
+        assert plan.is_down(1, 0)
+        assert not plan.is_down(1, 3)
+        assert plan.is_down(1, 5)
+
+    def test_unlisted_node_healthy(self):
+        assert not FailurePlan().is_down(0, 100)
+
+    def test_random_deaths_seeded(self):
+        a = FailurePlan.random_deaths(50, 0.3, horizon=100, rng=1)
+        b = FailurePlan.random_deaths(50, 0.3, horizon=100, rng=1)
+        assert a.deaths == b.deaths
+        assert 5 <= len(a.deaths) <= 25  # ~15 expected
+
+    def test_random_deaths_validation(self):
+        with pytest.raises(ValueError, match="probability"):
+            FailurePlan.random_deaths(5, 1.5, 10)
+        with pytest.raises(ValueError, match="positive"):
+            FailurePlan.random_deaths(5, 0.5, 0)
+
+
+class TestFailureInjectedPolicy:
+    def test_dead_node_never_activates(self):
+        problem, schedule, network = setup()
+        policy = FailureInjectedPolicy(
+            SchedulePolicy(schedule), plan=FailurePlan(deaths={0: 0})
+        )
+        result = SimulationEngine(network, policy).run(problem.total_slots)
+        counts = result.accumulator.activation_counts()
+        assert 0 not in counts
+        assert policy.dropped_commands == problem.num_periods
+
+    def test_outage_suppresses_interval_only(self):
+        problem, schedule, network = setup()
+        victim_slot = schedule.slot_of(2)
+        plan = FailurePlan(outages={2: [(0, 4)]})  # first period only
+        policy = FailureInjectedPolicy(SchedulePolicy(schedule), plan=plan)
+        result = SimulationEngine(network, policy).run(problem.total_slots)
+        active_slots = [
+            r.slot for r in result.accumulator.records if 2 in r.active_set
+        ]
+        assert all(slot >= 4 for slot in active_slots)
+        assert len(active_slots) == problem.num_periods - 1
+
+    def test_command_loss_rate(self):
+        problem, schedule, network = setup(n=20, periods=30)
+        policy = FailureInjectedPolicy(
+            SchedulePolicy(schedule), command_loss=0.3, rng=5
+        )
+        result = SimulationEngine(network, policy).run(problem.total_slots)
+        total_commands = 20 * 30
+        # ~30% of commands lost.
+        assert 0.2 * total_commands < policy.dropped_commands < 0.4 * total_commands
+
+    def test_command_loss_validation(self):
+        with pytest.raises(ValueError, match="\\[0, 1\\]"):
+            FailureInjectedPolicy(SchedulePolicy, command_loss=1.5)
+
+    def test_reset_clears_counters(self):
+        problem, schedule, network = setup()
+        policy = FailureInjectedPolicy(
+            SchedulePolicy(schedule), plan=FailurePlan(deaths={0: 0})
+        )
+        SimulationEngine(network, policy).run(4)
+        policy.reset()
+        assert policy.dropped_commands == 0
+
+
+class TestGracefulDegradation:
+    def test_redundant_coverage_absorbs_failures(self):
+        """Submodular redundancy: killing 1 of 8 sensors covering a
+        target costs far less than 1/8 of the utility."""
+        n = 8
+        utility = TargetSystem.homogeneous_detection([set(range(n))], p=0.4)
+        problem, schedule, _ = setup(n=n, periods=10, utility=utility)
+
+        healthy_net = SensorNetwork(n, PERIOD, utility)
+        healthy = SimulationEngine(
+            healthy_net, SchedulePolicy(schedule)
+        ).run(problem.total_slots)
+
+        failed_net = SensorNetwork(n, PERIOD, utility)
+        policy = FailureInjectedPolicy(
+            SchedulePolicy(schedule), plan=FailurePlan(deaths={0: 0})
+        )
+        degraded = SimulationEngine(failed_net, policy).run(problem.total_slots)
+
+        loss = 1 - degraded.total_utility / healthy.total_utility
+        assert 0 < loss < 1.0 / n
+
+    def test_utility_monotone_in_death_count(self):
+        problem, schedule, _ = setup(n=12, periods=10)
+        utilities = []
+        for dead in (0, 3, 6):
+            network = SensorNetwork(12, PERIOD, problem.utility)
+            plan = FailurePlan(deaths={v: 0 for v in range(dead)})
+            policy = FailureInjectedPolicy(SchedulePolicy(schedule), plan=plan)
+            result = SimulationEngine(network, policy).run(problem.total_slots)
+            utilities.append(result.total_utility)
+        assert utilities[0] > utilities[1] > utilities[2]

@@ -1,0 +1,88 @@
+"""Tests for utility accounting and the paper's headline metrics."""
+
+import numpy as np
+import pytest
+
+from repro.sim.metrics import UtilityAccumulator
+from repro.utility.detection import HomogeneousDetectionUtility
+from repro.utility.target_system import TargetSystem
+
+SINGLE = HomogeneousDetectionUtility(range(4), p=0.4)
+MULTI = TargetSystem.homogeneous_detection([{0, 1}, {2, 3}], p=0.4)
+
+
+class TestRecording:
+    def test_record_evaluates_utility(self):
+        acc = UtilityAccumulator(SINGLE)
+        rec = acc.record(0, frozenset({0, 1}))
+        assert rec.utility == pytest.approx(1 - 0.6**2)
+
+    def test_per_target_values_for_target_system(self):
+        acc = UtilityAccumulator(MULTI)
+        rec = acc.record(0, frozenset({0, 2}))
+        assert rec.per_target is not None
+        assert rec.per_target.tolist() == pytest.approx([0.4, 0.4])
+        assert rec.utility == pytest.approx(0.8)
+
+    def test_no_per_target_for_plain_utility(self):
+        acc = UtilityAccumulator(SINGLE)
+        rec = acc.record(0, frozenset({0}))
+        assert rec.per_target is None
+
+    def test_refused_tracked(self):
+        acc = UtilityAccumulator(SINGLE)
+        acc.record(0, frozenset(), refused=2)
+        acc.record(1, frozenset(), refused=1)
+        assert acc.total_refused() == 3
+
+
+class TestAggregates:
+    def test_totals(self):
+        acc = UtilityAccumulator(SINGLE)
+        acc.record(0, frozenset({0}))
+        acc.record(1, frozenset({1, 2}))
+        expected = SINGLE.value({0}) + SINGLE.value({1, 2})
+        assert acc.total_utility == pytest.approx(expected)
+        assert acc.average_slot_utility == pytest.approx(expected / 2)
+        assert acc.num_slots == 2
+
+    def test_empty_average(self):
+        acc = UtilityAccumulator(SINGLE)
+        assert acc.average_slot_utility == 0.0
+        assert acc.average_utility_per_target == 0.0
+
+    def test_per_target_normalization(self):
+        acc = UtilityAccumulator(MULTI)
+        acc.record(0, frozenset({0, 1, 2, 3}))
+        assert acc.num_targets == 2
+        assert acc.average_utility_per_target == pytest.approx(
+            acc.average_slot_utility / 2
+        )
+
+    def test_per_slot_series(self):
+        acc = UtilityAccumulator(SINGLE)
+        acc.record(0, frozenset({0}))
+        acc.record(1, frozenset())
+        series = acc.per_slot_series()
+        assert series.shape == (2,)
+        assert series[1] == 0.0
+
+    def test_per_target_averages(self):
+        acc = UtilityAccumulator(MULTI)
+        acc.record(0, frozenset({0}))  # only target 0 served
+        acc.record(1, frozenset({2}))  # only target 1 served
+        averages = acc.per_target_averages()
+        assert averages is not None
+        assert averages.tolist() == pytest.approx([0.2, 0.2])
+
+    def test_per_target_averages_none_for_plain(self):
+        acc = UtilityAccumulator(SINGLE)
+        acc.record(0, frozenset({0}))
+        assert acc.per_target_averages() is None
+
+    def test_activation_counts(self):
+        acc = UtilityAccumulator(SINGLE)
+        acc.record(0, frozenset({0, 1}))
+        acc.record(1, frozenset({0}))
+        counts = acc.activation_counts()
+        assert counts == {0: 2, 1: 1}

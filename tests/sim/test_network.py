@@ -1,0 +1,89 @@
+"""Tests for the simulated sensor network container."""
+
+import pytest
+
+from repro.core.problem import SchedulingProblem
+from repro.energy.period import ChargingPeriod
+from repro.energy.states import NodeState
+from repro.sim.network import SensorNetwork
+from repro.utility.detection import HomogeneousDetectionUtility
+
+PERIOD = ChargingPeriod.paper_sunny()
+
+
+def make_network(n=5, **kwargs) -> SensorNetwork:
+    return SensorNetwork(
+        n, PERIOD, HomogeneousDetectionUtility(range(n), p=0.4), **kwargs
+    )
+
+
+class TestConstruction:
+    def test_node_ids(self):
+        net = make_network(4)
+        assert [node.node_id for node in net.nodes] == [0, 1, 2, 3]
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            make_network(-1)
+
+    def test_from_problem(self):
+        problem = SchedulingProblem(
+            num_sensors=6,
+            period=PERIOD,
+            utility=HomogeneousDetectionUtility(range(6), p=0.4),
+        )
+        net = SensorNetwork.from_problem(problem)
+        assert net.num_sensors == 6
+        assert net.period is problem.period
+
+    def test_clock_uses_period(self):
+        net = make_network()
+        assert net.clock.slot_minutes == PERIOD.slot_length
+        assert net.clock.slots_per_period == PERIOD.slots_per_period
+
+    def test_node_period_overrides(self):
+        other = ChargingPeriod.from_ratio(5.0, discharge_time=15.0)
+        net = make_network(3, node_periods={1: other})
+        assert net.nodes[1].period is other
+        assert net.nodes[0].period is PERIOD
+        # Override keeps the shared slot grid.
+        assert net.nodes[1].drain_per_slot == pytest.approx(1.0)
+        assert net.nodes[1].charge_per_slot == pytest.approx(1.0 / 5.0)
+
+
+class TestSnapshots:
+    def test_all_ready_initially(self):
+        net = make_network(4)
+        assert net.ready_sensors() == frozenset(range(4))
+        assert net.active_sensors() == frozenset()
+
+    def test_states_after_activation(self):
+        net = make_network(3)
+        net.nodes[0].step(0, activate=True)  # drains fully -> PASSIVE
+        states = net.states()
+        assert states[0] is NodeState.PASSIVE
+        assert states[1] is NodeState.READY
+        assert net.ready_sensors() == frozenset({1, 2})
+
+    def test_charge_fractions(self):
+        net = make_network(2)
+        net.nodes[0].step(0, activate=True)
+        fractions = net.charge_fractions()
+        assert fractions[0] == pytest.approx(0.0)
+        assert fractions[1] == pytest.approx(1.0)
+
+    def test_total_stored_energy(self):
+        net = make_network(3)
+        assert net.total_stored_energy() == pytest.approx(3.0)
+        net.nodes[0].step(0, activate=True)
+        assert net.total_stored_energy() == pytest.approx(2.0)
+
+    def test_refused_total(self):
+        net = make_network(2)
+        net.nodes[0].step(0, activate=True)
+        net.nodes[0].step(1, activate=True)  # refused
+        assert net.total_refused_activations() == 1
+
+    def test_node_accessor(self):
+        net = make_network(3)
+        assert net.node(2).node_id == 2

@@ -1,0 +1,160 @@
+"""Tests for the simulated node: battery + state machine through slots."""
+
+import pytest
+
+from repro.energy.period import ChargingPeriod
+from repro.energy.states import NodeState
+from repro.sim.node import SimulatedNode
+
+SPARSE = ChargingPeriod.from_ratio(3.0)  # T = 4 slots, slot = T_d
+DENSE = ChargingPeriod.from_ratio(1.0 / 3.0, discharge_time=45.0)  # T = 4, slot = T_r
+
+
+class TestDerivedRates:
+    def test_sparse_drains_in_one_slot(self):
+        node = SimulatedNode(0, SPARSE)
+        assert node.drain_per_slot == pytest.approx(1.0)
+        assert node.charge_per_slot == pytest.approx(1.0 / 3.0)
+
+    def test_dense_drains_in_three_slots(self):
+        node = SimulatedNode(0, DENSE)
+        assert node.drain_per_slot == pytest.approx(1.0 / 3.0)
+        assert node.charge_per_slot == pytest.approx(1.0)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError, match="ready_threshold"):
+            SimulatedNode(0, SPARSE, ready_threshold=0.0)
+        with pytest.raises(ValueError, match="ready_threshold"):
+            SimulatedNode(0, SPARSE, ready_threshold=1.5)
+
+
+class TestSparseCycle:
+    def test_full_activation_cycle(self):
+        """READY -> ACTIVE (1 slot) -> PASSIVE (3 slots) -> READY."""
+        node = SimulatedNode(0, SPARSE)
+        report = node.step(0, activate=True)
+        assert report.was_active
+        assert node.state is NodeState.PASSIVE
+        assert node.battery.is_empty
+
+        for slot in (1, 2):
+            node.step(slot, activate=False)
+            assert node.state is NodeState.PASSIVE
+        node.step(3, activate=False)
+        assert node.state is NodeState.READY
+        assert node.battery.is_full
+
+    def test_can_activate_again_after_period(self):
+        node = SimulatedNode(0, SPARSE)
+        node.step(0, activate=True)
+        for slot in (1, 2, 3):
+            node.step(slot, activate=False)
+        report = node.step(4, activate=True)
+        assert report.was_active
+        assert not report.refused_activation
+
+    def test_premature_activation_refused(self):
+        node = SimulatedNode(0, SPARSE)
+        node.step(0, activate=True)
+        report = node.step(1, activate=True)  # still recharging
+        assert report.refused_activation
+        assert not report.was_active
+        assert node.refused_activations == 1
+
+    def test_refused_node_still_recharges(self):
+        node = SimulatedNode(0, SPARSE)
+        node.step(0, activate=True)
+        report = node.step(1, activate=True)
+        assert report.energy_charged == pytest.approx(1.0 / 3.0)
+
+    def test_completed_activations_counted(self):
+        node = SimulatedNode(0, SPARSE)
+        node.step(0, activate=True)
+        assert node.completed_activations == 1
+
+
+class TestDenseCycle:
+    def test_three_active_one_passive(self):
+        node = SimulatedNode(0, DENSE)
+        for slot in range(3):
+            report = node.step(slot, activate=True)
+            assert report.was_active
+        assert node.state is NodeState.PASSIVE  # drained after 3 slots
+        node.step(3, activate=False)
+        assert node.state is NodeState.READY
+
+    def test_park_midway_keeps_charge(self):
+        node = SimulatedNode(0, DENSE)
+        node.step(0, activate=True)
+        report = node.step(1, activate=False)  # commanded off with charge left
+        assert not report.was_active
+        assert node.state is NodeState.READY
+        assert node.battery.fraction == pytest.approx(2.0 / 3.0)
+
+    def test_parked_node_holds_energy(self):
+        # READY does not recharge (paper: energy level unchanged in ready).
+        node = SimulatedNode(0, DENSE)
+        node.step(0, activate=True)
+        node.step(1, activate=False)
+        level = node.battery.level
+        node.step(2, activate=False)
+        assert node.battery.level == level
+
+
+class TestScales:
+    def test_drain_scale_slows_depletion(self):
+        node = SimulatedNode(0, SPARSE)
+        node.step(0, activate=True, drain_scale=0.5)
+        assert node.state is NodeState.ACTIVE
+        assert node.battery.fraction == pytest.approx(0.5)
+
+    def test_charge_scale_slows_recharge(self):
+        node = SimulatedNode(0, SPARSE)
+        node.step(0, activate=True)
+        node.step(1, activate=False, charge_scale=0.5)
+        assert node.battery.level == pytest.approx(1.0 / 6.0)
+
+    def test_zero_drain_scale_keeps_full(self):
+        node = SimulatedNode(0, SPARSE)
+        node.step(0, activate=True, drain_scale=0.0)
+        assert node.battery.is_full
+        assert node.state is NodeState.ACTIVE
+
+    def test_negative_scale_rejected(self):
+        node = SimulatedNode(0, SPARSE)
+        with pytest.raises(ValueError, match="non-negative"):
+            node.step(0, activate=True, drain_scale=-1.0)
+
+
+class TestPartialChargeExtension:
+    def test_ready_at_threshold(self):
+        node = SimulatedNode(0, SPARSE, ready_threshold=0.5)
+        node.step(0, activate=True)
+        node.step(1, activate=False)  # level 1/3 < 0.5
+        assert node.state is NodeState.PASSIVE
+        node.step(2, activate=False)  # level 2/3 >= 0.5
+        assert node.state is NodeState.READY
+
+    def test_partial_activation_drains_partial_charge(self):
+        node = SimulatedNode(0, SPARSE, ready_threshold=0.5)
+        node.step(0, activate=True)
+        node.step(1, activate=False)
+        node.step(2, activate=False)  # ready at 2/3
+        report = node.step(3, activate=True)
+        assert report.was_active
+        assert node.battery.is_empty  # 2/3 < one full slot drain
+        assert node.state is NodeState.PASSIVE
+
+
+class TestReport:
+    def test_report_fields(self):
+        node = SimulatedNode(7, SPARSE)
+        report = node.step(3, activate=True)
+        assert report.node_id == 7
+        assert report.slot == 3
+        assert report.energy_drained == pytest.approx(1.0)
+        assert report.state_after is NodeState.PASSIVE
+        assert report.level_after == pytest.approx(0.0)
+
+    def test_repr(self):
+        assert "soc=" in repr(SimulatedNode(0, SPARSE))

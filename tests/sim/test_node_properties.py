@@ -1,0 +1,108 @@
+"""Hypothesis property tests for the simulated node.
+
+Under *arbitrary* command sequences and drain/charge scales the node
+must maintain its physical invariants:
+
+- battery level stays in [0, capacity];
+- state and level stay consistent (PASSIVE => not full,
+  ACTIVE => not empty at slot start, READY at threshold);
+- refusals happen exactly when an activation command hits a
+  non-READY, non-ACTIVE node;
+- energy conservation: level = capacity - sum(drained) + sum(charged).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.energy.period import ChargingPeriod
+from repro.energy.states import NodeState
+from repro.sim.node import SimulatedNode
+
+periods = st.sampled_from(
+    [
+        ChargingPeriod.from_ratio(1.0),
+        ChargingPeriod.from_ratio(3.0),
+        ChargingPeriod.from_ratio(5.0),
+        ChargingPeriod.from_ratio(1.0 / 2.0),
+        ChargingPeriod.from_ratio(1.0 / 4.0),
+    ]
+)
+
+command_sequences = st.lists(
+    st.tuples(
+        st.booleans(),  # activate command
+        st.floats(min_value=0.0, max_value=2.0),  # drain scale
+        st.floats(min_value=0.0, max_value=2.0),  # charge scale
+    ),
+    max_size=40,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(period=periods, commands=command_sequences)
+def test_battery_bounds_always_hold(period, commands):
+    node = SimulatedNode(0, period)
+    for slot, (activate, drain, charge) in enumerate(commands):
+        node.step(slot, activate=activate, drain_scale=drain, charge_scale=charge)
+        assert 0.0 <= node.battery.level <= node.battery.capacity + 1e-12
+
+
+@settings(max_examples=200, deadline=None)
+@given(period=periods, commands=command_sequences)
+def test_state_level_consistency(period, commands):
+    node = SimulatedNode(0, period)
+    for slot, (activate, drain, charge) in enumerate(commands):
+        node.step(slot, activate=activate, drain_scale=drain, charge_scale=charge)
+        if node.state is NodeState.PASSIVE:
+            # Still recharging: below the ready threshold.
+            assert node.battery.fraction < node.ready_threshold + 1e-9
+        if node.state is NodeState.ACTIVE:
+            # An active node that hit empty would have dropped to PASSIVE.
+            assert not node.battery.is_empty
+
+
+@settings(max_examples=200, deadline=None)
+@given(period=periods, commands=command_sequences)
+def test_energy_conservation(period, commands):
+    node = SimulatedNode(0, period)
+    drained = 0.0
+    charged = 0.0
+    for slot, (activate, drain, charge) in enumerate(commands):
+        report = node.step(
+            slot, activate=activate, drain_scale=drain, charge_scale=charge
+        )
+        drained += report.energy_drained
+        charged += report.energy_charged
+    assert node.battery.level == pytest.approx(
+        node.battery.capacity - drained + charged, abs=1e-9
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(period=periods, commands=command_sequences)
+def test_refusals_only_from_passive(period, commands):
+    node = SimulatedNode(0, period)
+    for slot, (activate, drain, charge) in enumerate(commands):
+        was_passive = node.state is NodeState.PASSIVE
+        report = node.step(
+            slot, activate=activate, drain_scale=drain, charge_scale=charge
+        )
+        if report.refused_activation:
+            assert activate
+            assert was_passive
+
+
+@settings(max_examples=100, deadline=None)
+@given(period=periods, commands=command_sequences)
+def test_report_matches_node_counters(period, commands):
+    node = SimulatedNode(0, period)
+    refused = 0
+    for slot, (activate, drain, charge) in enumerate(commands):
+        report = node.step(
+            slot, activate=activate, drain_scale=drain, charge_scale=charge
+        )
+        refused += report.refused_activation
+        assert report.level_after == node.battery.level
+        assert report.state_after is node.state
+    assert node.refused_activations == refused

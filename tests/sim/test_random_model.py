@@ -1,0 +1,116 @@
+"""Tests for the Sec. V random charging model."""
+
+import numpy as np
+import pytest
+
+from repro.energy.period import ChargingPeriod
+from repro.sim.random_model import (
+    RandomChargingModel,
+    effective_ratio,
+    snapped_effective_period,
+)
+
+PERIOD = ChargingPeriod.paper_sunny()  # T_d = 15, T_r = 45, rho = 3
+
+
+class TestEffectiveRatio:
+    def test_saturated_equals_deterministic(self):
+        # u >= 1: the node senses continuously; rho' = rho.
+        assert effective_ratio(1.0, 1.0, PERIOD) == pytest.approx(3.0)
+        assert effective_ratio(2.0, 3.0, PERIOD) == pytest.approx(3.0)
+
+    def test_half_utilization_halves_ratio(self):
+        # u = 0.5 -> discharge takes twice as long -> rho' = rho / 2.
+        assert effective_ratio(0.5, 1.0, PERIOD) == pytest.approx(1.5)
+
+    def test_zero_rate_infinite(self):
+        assert effective_ratio(0.0, 1.0, PERIOD) == float("inf")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            effective_ratio(-1.0, 1.0, PERIOD)
+        with pytest.raises(ValueError):
+            effective_ratio(1.0, 0.0, PERIOD)
+
+
+class TestSnappedPeriod:
+    def test_snaps_to_integer(self):
+        # u = 0.7 -> rho' = 2.1 -> snapped to 2.
+        period = snapped_effective_period(0.7, 1.0, PERIOD)
+        assert period.rho == 2.0
+
+    def test_snaps_to_reciprocal(self):
+        # u = 0.1 -> rho' = 0.3 -> snapped to 1/3.
+        period = snapped_effective_period(0.1, 1.0, PERIOD)
+        assert period.rho == pytest.approx(1.0 / 3.0)
+
+    def test_zero_utilization_rejected(self):
+        with pytest.raises(ValueError, match="utilization"):
+            snapped_effective_period(0.0, 1.0, PERIOD)
+
+    def test_keeps_discharge_time(self):
+        period = snapped_effective_period(0.7, 1.0, PERIOD)
+        assert period.discharge_time == PERIOD.discharge_time
+
+
+class TestDrainScale:
+    def test_range(self):
+        model = RandomChargingModel(PERIOD, 0.5, 1.0, rng=1)
+        scales = [model.drain_scale(t) for t in range(500)]
+        assert all(0.0 <= s <= 1.0 for s in scales)
+
+    def test_mean_tracks_utilization(self):
+        model = RandomChargingModel(PERIOD, 0.3, 1.0, rng=2)
+        scales = [model.drain_scale(t) for t in range(4000)]
+        # Busy fraction for low utilization ~ lambda_a * lambda_d (with
+        # truncation losses), here 0.3.
+        assert 0.15 < np.mean(scales) < 0.35
+
+    def test_zero_arrivals_zero_drain(self):
+        model = RandomChargingModel(PERIOD, 0.0, 1.0, rng=3)
+        assert all(model.drain_scale(t) == 0.0 for t in range(50))
+
+    def test_heavy_load_saturates(self):
+        model = RandomChargingModel(PERIOD, 5.0, 5.0, rng=4)
+        scales = [model.drain_scale(t) for t in range(200)]
+        assert np.mean(scales) > 0.9
+
+
+class TestChargeScale:
+    def test_deterministic_without_std(self):
+        model = RandomChargingModel(PERIOD, 0.5, 1.0, recharge_std=0.0, rng=5)
+        assert all(model.charge_scale(t) == 1.0 for t in range(20))
+
+    def test_redrawn_once_per_period(self):
+        model = RandomChargingModel(PERIOD, 0.5, 1.0, recharge_std=10.0, rng=6)
+        within = {model.charge_scale(t) for t in range(4)}  # one period
+        assert len(within) == 1
+        next_period = model.charge_scale(4)
+        # A fresh draw (almost surely different).
+        assert next_period != within.pop()
+
+    def test_mean_near_one(self):
+        model = RandomChargingModel(PERIOD, 0.5, 1.0, recharge_std=5.0, rng=7)
+        scales = [model.charge_scale(t * 4) for t in range(2000)]
+        assert 0.9 < np.mean(scales) < 1.15
+
+    def test_positive_floor(self):
+        # Even with a huge std the sampled T_r is floored, so the scale
+        # stays bounded.
+        model = RandomChargingModel(PERIOD, 0.5, 1.0, recharge_std=1000.0, rng=8)
+        scales = [model.charge_scale(t * 4) for t in range(500)]
+        assert all(0 < s <= 10.0 for s in scales)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            RandomChargingModel(PERIOD, -0.1, 1.0)
+        with pytest.raises(ValueError, match="> 0"):
+            RandomChargingModel(PERIOD, 0.1, 0.0)
+        with pytest.raises(ValueError, match=">= 0"):
+            RandomChargingModel(PERIOD, 0.1, 1.0, recharge_std=-1.0)
+
+    def test_scales_tuple(self):
+        model = RandomChargingModel(PERIOD, 0.5, 1.0, recharge_std=2.0, rng=9)
+        drain, charge = model.scales(0)
+        assert 0 <= drain <= 1
+        assert charge > 0

@@ -1,0 +1,116 @@
+"""Tests for trace-driven charging and daylight gating."""
+
+import pytest
+
+from repro.core.greedy import greedy_schedule
+from repro.core.problem import SchedulingProblem
+from repro.energy.period import ChargingPeriod
+from repro.policies.schedule_policy import SchedulePolicy
+from repro.sim.engine import SimulationEngine
+from repro.sim.network import SensorNetwork
+from repro.sim.trace_driven import DaylightGatedPolicy, TraceDrivenChargingModel
+from repro.solar.trace import generate_node_trace
+from repro.utility.detection import HomogeneousDetectionUtility
+
+PERIOD = ChargingPeriod.paper_sunny()
+CAPACITY = 50.0
+
+
+@pytest.fixture(scope="module")
+def sunny_trace():
+    return generate_node_trace(5, days=1, battery_capacity=CAPACITY, rng=13)
+
+
+@pytest.fixture(scope="module")
+def model(sunny_trace):
+    return TraceDrivenChargingModel(PERIOD, sunny_trace, capacity=CAPACITY)
+
+
+class TestTraceDrivenModel:
+    def test_night_is_dark(self, model):
+        assert model.charge_scale(0) == 0.0  # midnight slot
+        assert not model.is_daylight_slot(0)
+
+    def test_midday_near_nominal(self, model):
+        noon_slot = int(12.5 * 60 / 15)
+        scale = model.charge_scale(noon_slot)
+        # The panel saturates at the nominal mu_r; the trace's duty
+        # cycle (charging ~3/4 of the time) brings the slot mean near
+        # but below 1.
+        assert 0.5 <= scale <= 1.1
+        assert model.is_daylight_slot(noon_slot)
+
+    def test_past_trace_end_is_dark(self, model):
+        assert model.charge_scale(10_000) == 0.0
+
+    def test_drain_unaffected(self, model):
+        assert model.drain_scale(3) == 1.0
+
+    def test_start_minute_offset(self, sunny_trace):
+        shifted = TraceDrivenChargingModel(
+            PERIOD, sunny_trace, capacity=CAPACITY, start_minute=7 * 60
+        )
+        # Slot 0 now maps to 07:00: daylight.
+        assert shifted.is_daylight_slot(0)
+
+    def test_validation(self, sunny_trace):
+        with pytest.raises(ValueError, match="capacity"):
+            TraceDrivenChargingModel(PERIOD, sunny_trace, capacity=0.0)
+        with pytest.raises(ValueError, match="start_minute"):
+            TraceDrivenChargingModel(
+                PERIOD, sunny_trace, capacity=1.0, start_minute=-1.0
+            )
+
+
+class TestEndToEndDiurnal:
+    def make_run(self, gated: bool, sunny_trace):
+        n = 8
+        utility = HomogeneousDetectionUtility(range(n), p=0.4)
+        problem = SchedulingProblem(n, PERIOD, utility, num_periods=24)
+        schedule = greedy_schedule(problem)
+        network = SensorNetwork(n, PERIOD, utility)
+        model = TraceDrivenChargingModel(
+            PERIOD, sunny_trace, capacity=CAPACITY
+        )
+        policy = SchedulePolicy(schedule)
+        if gated:
+            policy = DaylightGatedPolicy(policy, model, lookahead_slots=3)
+        engine = SimulationEngine(network, policy, charging_model=model)
+        # 24 h of 15-min slots.
+        return engine.run(96), policy
+
+    def test_ungated_schedule_starves_overnight(self, sunny_trace):
+        result, _ = self.make_run(gated=False, sunny_trace=sunny_trace)
+        assert result.refused_activations > 0
+
+    def test_gating_reduces_refusals(self, sunny_trace):
+        ungated, _ = self.make_run(gated=False, sunny_trace=sunny_trace)
+        gated, policy = self.make_run(gated=True, sunny_trace=sunny_trace)
+        assert policy.suppressed_slots > 0
+        assert gated.refused_activations < ungated.refused_activations
+
+    def test_gated_daytime_utility_comparable(self, sunny_trace):
+        # Gating sacrifices night slots (which starve anyway) without
+        # losing much total utility.
+        ungated, _ = self.make_run(gated=False, sunny_trace=sunny_trace)
+        gated, _ = self.make_run(gated=True, sunny_trace=sunny_trace)
+        assert gated.total_utility >= 0.7 * ungated.total_utility
+
+
+class TestDaylightGatedPolicy:
+    def test_lookahead_validation(self, model):
+        with pytest.raises(ValueError, match="lookahead"):
+            DaylightGatedPolicy(SchedulePolicy, model, lookahead_slots=-1)
+
+    def test_reset(self, model, sunny_trace):
+        n = 4
+        utility = HomogeneousDetectionUtility(range(n), p=0.4)
+        problem = SchedulingProblem(n, PERIOD, utility)
+        policy = DaylightGatedPolicy(
+            SchedulePolicy(greedy_schedule(problem)), model
+        )
+        network = SensorNetwork(n, PERIOD, utility)
+        policy.decide(0, network)  # night: suppressed
+        assert policy.suppressed_slots == 1
+        policy.reset()
+        assert policy.suppressed_slots == 0

@@ -1,0 +1,105 @@
+"""Tests for day-ahead harvest forecasting."""
+
+import numpy as np
+import pytest
+
+from repro.solar.forecast import (
+    expected_rho,
+    forecast_profile,
+    next_day_distribution,
+)
+from repro.solar.weather import MarkovWeatherProcess, WeatherCondition
+
+
+class TestDistribution:
+    def test_sums_to_one(self):
+        process = MarkovWeatherProcess(rng=1)
+        dist = next_day_distribution(process)
+        assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_conditions_on_today(self):
+        process = MarkovWeatherProcess(rng=1)
+        sunny = next_day_distribution(process, WeatherCondition.SUNNY)
+        rainy = next_day_distribution(process, WeatherCondition.RAINY)
+        assert sunny[WeatherCondition.SUNNY] > rainy[WeatherCondition.SUNNY]
+
+    def test_defaults_to_current_state(self):
+        process = MarkovWeatherProcess(initial=WeatherCondition.RAINY, rng=1)
+        assert next_day_distribution(process) == next_day_distribution(
+            process, WeatherCondition.RAINY
+        )
+
+    def test_matches_empirical_transitions(self):
+        process = MarkovWeatherProcess(initial=WeatherCondition.SUNNY, rng=7)
+        dist = next_day_distribution(process, WeatherCondition.SUNNY)
+        # Sample many one-step transitions from sunny.
+        hits = {c: 0 for c in WeatherCondition}
+        trials = 3000
+        for _ in range(trials):
+            chain = MarkovWeatherProcess(
+                initial=WeatherCondition.SUNNY,
+                rng=int(np.random.default_rng(hash(_) % 2**32).integers(2**31)),
+            )
+            hits[chain.step()] += 1
+        for condition, probability in dist.items():
+            assert hits[condition] / trials == pytest.approx(probability, abs=0.04)
+
+
+class TestExpectedRho:
+    def test_pure_sunny(self):
+        dist = {WeatherCondition.SUNNY: 1.0}
+        assert expected_rho(dist) == 3.0
+
+    def test_mixture(self):
+        dist = {
+            WeatherCondition.SUNNY: 0.5,
+            WeatherCondition.CLOUDY: 0.5,
+        }
+        assert expected_rho(dist) == pytest.approx(0.5 * 3 + 0.5 * 6)
+
+
+class TestForecastProfile:
+    def test_mode_posture(self):
+        process = MarkovWeatherProcess(initial=WeatherCondition.SUNNY, rng=1)
+        profile = forecast_profile(process, posture="mode")
+        assert profile.weather == "sunny"  # sunny is sticky
+
+    def test_pessimistic_posture_plans_slowest_plausible(self):
+        process = MarkovWeatherProcess(initial=WeatherCondition.RAINY, rng=1)
+        profile = forecast_profile(process, posture="pessimistic")
+        # From rainy, rainy stays plausible: plan for rho = 12.
+        assert profile.weather == "rainy"
+
+    def test_pessimistic_skips_implausible(self):
+        # From sunny the default chain gives rainy only 5% < 10%: the
+        # pessimistic plan is cloudy, not rainy.
+        process = MarkovWeatherProcess(initial=WeatherCondition.SUNNY, rng=1)
+        profile = forecast_profile(process, posture="pessimistic")
+        assert profile.weather == "cloudy"
+
+    def test_expected_posture_snaps_up(self):
+        process = MarkovWeatherProcess(initial=WeatherCondition.SUNNY, rng=1)
+        profile = forecast_profile(process, posture="expected")
+        expectation = expected_rho(next_day_distribution(process))
+        assert profile.rho >= expectation  # conservative rounding
+        assert profile.rho == float(int(profile.rho))  # integral
+
+    def test_unknown_posture(self):
+        process = MarkovWeatherProcess(rng=1)
+        with pytest.raises(ValueError, match="posture"):
+            forecast_profile(process, posture="yolo")
+
+    def test_forecast_profile_is_schedulable(self):
+        from repro.core.greedy import greedy_schedule
+        from repro.core.problem import SchedulingProblem
+        from repro.utility.detection import HomogeneousDetectionUtility
+
+        process = MarkovWeatherProcess(initial=WeatherCondition.CLOUDY, rng=1)
+        profile = forecast_profile(process, posture="expected")
+        problem = SchedulingProblem(
+            num_sensors=10,
+            period=profile.period,
+            utility=HomogeneousDetectionUtility(range(10), p=0.4),
+        )
+        schedule = greedy_schedule(problem)
+        schedule.unroll(2).validate_feasible()

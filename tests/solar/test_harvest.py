@@ -1,0 +1,130 @@
+"""Tests for the 2-hour harvest estimator."""
+
+import pytest
+
+from repro.energy.period import ChargingPeriod
+from repro.solar.harvest import HarvestEstimator, estimate_period_from_trace
+from repro.solar.trace import generate_node_trace
+from repro.solar.weather import WeatherCondition
+
+
+class TestObserve:
+    def test_window_expires_old_samples(self):
+        est = HarvestEstimator(window_minutes=60.0)
+        est.observe(0.0, 1.0)
+        est.observe(50.0, 1.0)
+        est.observe(100.0, 1.0)  # window [40, 100]: pushes the t=0 sample out
+        assert est.num_samples == 2
+
+    def test_out_of_order_rejected(self):
+        est = HarvestEstimator()
+        est.observe(10.0, 1.0)
+        with pytest.raises(ValueError, match="time-ordered"):
+            est.observe(5.0, 1.0)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            HarvestEstimator().observe(0.0, -1.0)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError, match="positive"):
+            HarvestEstimator(window_minutes=0.0)
+
+
+class TestEstimate:
+    def test_none_without_data(self):
+        assert HarvestEstimator().estimate() is None
+
+    def test_none_with_only_dark_samples(self):
+        est = HarvestEstimator()
+        for minute in range(10):
+            est.observe(float(minute), 0.0)
+        assert est.estimate() is None
+
+    def test_mean_rate(self):
+        est = HarvestEstimator()
+        for minute in range(10):
+            est.observe(float(minute), 2.0)
+        result = est.estimate()
+        assert result is not None
+        assert result.mean_rate == pytest.approx(2.0)
+        assert result.relative_std == pytest.approx(0.0)
+        assert result.is_stable
+
+    def test_unstable_detection(self):
+        est = HarvestEstimator()
+        rates = [1.0, 3.0] * 10  # wild swings
+        for minute, rate in enumerate(rates):
+            est.observe(float(minute), rate)
+        result = est.estimate()
+        assert result is not None
+        assert not result.is_stable
+
+    def test_dark_samples_excluded_from_mean(self):
+        est = HarvestEstimator()
+        est.observe(0.0, 0.0)
+        est.observe(1.0, 2.0)
+        est.observe(2.0, 0.0)
+        result = est.estimate()
+        assert result is not None
+        assert result.mean_rate == pytest.approx(2.0)
+
+    def test_estimated_recharge_time(self):
+        est = HarvestEstimator()
+        for minute in range(5):
+            est.observe(float(minute), 2.0)
+        # B = 90 at 2/min -> T_r = 45.
+        assert est.estimated_recharge_time(90.0) == pytest.approx(45.0)
+
+    def test_estimated_period_snaps_rho(self):
+        est = HarvestEstimator()
+        # Rate implies T_r = 46.5 -> rho = 3.1 -> snapped to 3.
+        for minute in range(5):
+            est.observe(float(minute), 90.0 / 46.5)
+        period = est.estimated_period(capacity=90.0, discharge_time=15.0)
+        assert period is not None
+        assert period.rho == 3.0
+
+    def test_estimated_period_dense_regime(self):
+        est = HarvestEstimator()
+        # T_r = 5.2 with T_d = 15 -> rho ~ 0.35 -> snapped to 1/3.
+        for minute in range(5):
+            est.observe(float(minute), 90.0 / 5.2)
+        period = est.estimated_period(capacity=90.0, discharge_time=15.0)
+        assert period is not None
+        assert period.rho == pytest.approx(1.0 / 3.0)
+
+    def test_estimated_period_none_without_data(self):
+        assert (
+            HarvestEstimator().estimated_period(90.0, 15.0) is None
+        )
+
+
+class TestTraceEstimation:
+    def test_sunny_trace_recovers_paper_rho(self):
+        trace = generate_node_trace(
+            node_id=5, days=1, battery_capacity=50.0, rng=11
+        )
+        period = estimate_period_from_trace(
+            trace, capacity=50.0, discharge_time=15.0
+        )
+        assert period is not None
+        assert period.rho == 3.0
+
+    def test_cloudy_trace_recovers_slower_rho(self):
+        trace = generate_node_trace(
+            node_id=5,
+            days=1,
+            weather=[WeatherCondition.CLOUDY],
+            battery_capacity=50.0,
+            rng=11,
+        )
+        period = estimate_period_from_trace(
+            trace, capacity=50.0, discharge_time=15.0
+        )
+        assert period is not None
+        assert period.rho == pytest.approx(6.0)
+
+    def test_type_checked(self):
+        with pytest.raises(TypeError, match="NodeTrace"):
+            estimate_period_from_trace("not-a-trace", 50.0, 15.0)

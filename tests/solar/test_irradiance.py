@@ -1,0 +1,85 @@
+"""Tests for the clear-sky diurnal irradiance model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.solar.irradiance import DiurnalIrradiance
+
+
+class TestShape:
+    def test_zero_at_night(self):
+        sky = DiurnalIrradiance()
+        assert sky.at(0) == 0.0  # midnight
+        assert sky.at(4 * 60) == 0.0  # 4 am
+        assert sky.at(22 * 60) == 0.0  # 10 pm
+
+    def test_zero_at_sunrise_and_sunset(self):
+        sky = DiurnalIrradiance()
+        assert sky.at(sky.sunrise_minute) == 0.0
+        assert sky.at(sky.sunset_minute) == 0.0
+
+    def test_peak_at_solar_noon(self):
+        sky = DiurnalIrradiance(peak=800.0)
+        noon = (sky.sunrise_minute + sky.sunset_minute) / 2
+        assert sky.at(noon) == pytest.approx(800.0)
+
+    def test_symmetric_about_noon(self):
+        sky = DiurnalIrradiance()
+        noon = (sky.sunrise_minute + sky.sunset_minute) / 2
+        assert sky.at(noon - 90) == pytest.approx(sky.at(noon + 90))
+
+    def test_monotone_morning(self):
+        sky = DiurnalIrradiance()
+        values = [sky.at(sky.sunrise_minute + m) for m in range(0, 300, 30)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_multi_day_wraps(self):
+        sky = DiurnalIrradiance()
+        noon = (sky.sunrise_minute + sky.sunset_minute) / 2
+        assert sky.at(noon + 24 * 60) == pytest.approx(sky.at(noon))
+        assert sky.at(noon + 3 * 24 * 60) == pytest.approx(sky.at(noon))
+
+
+class TestVectorized:
+    def test_sample_matches_at(self):
+        sky = DiurnalIrradiance()
+        minutes = np.arange(0, 24 * 60, 7.0)
+        sampled = sky.sample(minutes)
+        pointwise = np.array([sky.at(m) for m in minutes])
+        np.testing.assert_allclose(sampled, pointwise, atol=1e-9)
+
+    def test_sample_nonnegative(self):
+        sky = DiurnalIrradiance()
+        assert (sky.sample(np.arange(0, 3 * 24 * 60, 1.0)) >= 0).all()
+
+
+class TestEnergyAndHelpers:
+    def test_daily_energy_closed_form(self):
+        sky = DiurnalIrradiance(peak=1000.0)
+        expected = 1000.0 * sky.day_length * 2 / math.pi
+        assert sky.daily_energy() == pytest.approx(expected)
+
+    def test_daily_energy_matches_quadrature(self):
+        sky = DiurnalIrradiance()
+        minutes = np.arange(0, 24 * 60, 0.5)
+        quad = sky.sample(minutes).sum() * 0.5
+        assert quad == pytest.approx(sky.daily_energy(), rel=1e-3)
+
+    def test_is_daylight(self):
+        sky = DiurnalIrradiance()
+        assert sky.is_daylight(12 * 60)
+        assert not sky.is_daylight(2 * 60)
+
+    def test_day_length(self):
+        sky = DiurnalIrradiance(sunrise_minute=360, sunset_minute=1080)
+        assert sky.day_length == 720
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError, match="sunrise"):
+            DiurnalIrradiance(sunrise_minute=1000, sunset_minute=500)
+
+    def test_invalid_peak_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            DiurnalIrradiance(peak=0.0)

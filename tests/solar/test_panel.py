@@ -1,0 +1,92 @@
+"""Tests for the solar panel + charging-circuit model."""
+
+import pytest
+
+from repro.solar.panel import SolarPanel
+
+
+class TestChargePower:
+    def test_zero_below_turn_on(self):
+        panel = SolarPanel()
+        assert panel.charge_power(panel.turn_on_irradiance - 1) == 0.0
+        assert not panel.is_harvesting(panel.turn_on_irradiance - 1)
+
+    def test_linear_then_saturated(self):
+        panel = SolarPanel()
+        low = panel.charge_power(35.0)
+        assert 0 < low < panel.max_charge_power
+        assert panel.charge_power(1000.0) == panel.max_charge_power
+
+    def test_saturates_early_in_the_day(self):
+        # Saturation well below midday light is what flattens mu_r -- the
+        # Fig. 7 observation that T_r is constant across the day.
+        panel = SolarPanel()
+        saturation_irradiance = panel.max_charge_power / (
+            panel.panel_area * panel.efficiency
+        )
+        assert saturation_irradiance < 100.0
+
+    def test_negative_irradiance_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            SolarPanel().charge_power(-1.0)
+
+
+class TestVoltage:
+    def test_zero_when_dark(self):
+        assert SolarPanel().charging_voltage(0.0) == 0.0
+
+    def test_regulated_when_bright(self):
+        panel = SolarPanel()
+        assert panel.charging_voltage(500.0) == panel.regulated_voltage
+
+    def test_flat_across_daylight_range(self):
+        # Voltage varies < 10% from 2x turn-on to full sun.
+        panel = SolarPanel()
+        volts = [panel.charging_voltage(g) for g in (60, 100, 300, 600, 1000)]
+        assert max(volts) - min(volts) <= 0.1 * panel.regulated_voltage
+
+    def test_soft_start_below_regulation(self):
+        panel = SolarPanel()
+        just_on = panel.charging_voltage(panel.turn_on_irradiance)
+        assert 0.9 * panel.regulated_voltage <= just_on < panel.regulated_voltage
+
+
+class TestRates:
+    def test_recharge_rate_units(self):
+        panel = SolarPanel()
+        assert panel.recharge_rate(1000.0) == pytest.approx(
+            panel.max_charge_power * 60.0
+        )
+
+    def test_default_sizing_matches_paper_t_r(self):
+        # 50 J battery refills in ~45 min at saturation: the measured T_r.
+        panel = SolarPanel()
+        assert panel.time_to_full(50.0, 1000.0) == pytest.approx(45.0, rel=0.01)
+
+    def test_time_to_full_infinite_when_dark(self):
+        assert SolarPanel().time_to_full(50.0, 0.0) == float("inf")
+
+    def test_charge_current(self):
+        panel = SolarPanel()
+        current = panel.charge_current(1000.0)
+        assert current == pytest.approx(
+            panel.max_charge_power / panel.regulated_voltage
+        )
+
+
+class TestValidation:
+    def test_invalid_area(self):
+        with pytest.raises(ValueError, match="area"):
+            SolarPanel(panel_area=0.0)
+
+    def test_invalid_efficiency(self):
+        with pytest.raises(ValueError, match="efficiency"):
+            SolarPanel(efficiency=1.5)
+
+    def test_invalid_voltage(self):
+        with pytest.raises(ValueError, match="voltage"):
+            SolarPanel(regulated_voltage=-3.3)
+
+    def test_invalid_max_power(self):
+        with pytest.raises(ValueError, match="power"):
+            SolarPanel(max_charge_power=0.0)

@@ -1,0 +1,127 @@
+"""Tests for the synthetic testbed traces (the Fig. 7 substitute)."""
+
+import numpy as np
+import pytest
+
+from repro.solar.trace import generate_node_trace
+from repro.solar.weather import WeatherCondition
+
+
+@pytest.fixture(scope="module")
+def sunny_trace():
+    return generate_node_trace(node_id=5, days=3, battery_capacity=50.0, rng=42)
+
+
+class TestStructure:
+    def test_minute_resolution(self, sunny_trace):
+        assert len(sunny_trace.samples) == 3 * 24 * 60
+
+    def test_node_id_recorded(self, sunny_trace):
+        assert sunny_trace.node_id == 5
+
+    def test_weather_recorded(self, sunny_trace):
+        assert len(sunny_trace.weather_by_day) == 3
+        assert all(w is WeatherCondition.SUNNY for w in sunny_trace.weather_by_day)
+
+    def test_duration(self, sunny_trace):
+        assert sunny_trace.duration_minutes == pytest.approx(3 * 24 * 60 - 1)
+
+    def test_reproducible(self):
+        a = generate_node_trace(1, days=1, rng=7)
+        b = generate_node_trace(1, days=1, rng=7)
+        assert a.light_array().tolist() == b.light_array().tolist()
+
+    def test_invalid_days(self):
+        with pytest.raises(ValueError, match="positive"):
+            generate_node_trace(1, days=0)
+
+    def test_weather_length_checked(self):
+        with pytest.raises(ValueError, match="weather entries"):
+            generate_node_trace(1, days=2, weather=[WeatherCondition.SUNNY])
+
+
+class TestFig7Shape:
+    """The qualitative claims the paper draws from Fig. 7."""
+
+    def test_light_varies_significantly(self, sunny_trace):
+        # "within one day, the light strength varies significantly"
+        assert sunny_trace.daytime_light_variability() > 0.3
+
+    def test_voltage_stays_flat_while_harvesting(self, sunny_trace):
+        # "the charging voltage almost remains at the same level"
+        assert sunny_trace.daytime_voltage_stability() < 0.05
+
+    def test_voltage_much_more_stable_than_light(self, sunny_trace):
+        ratio = (
+            sunny_trace.daytime_voltage_stability()
+            / sunny_trace.daytime_light_variability()
+        )
+        assert ratio < 0.2
+
+    def test_light_zero_at_night(self, sunny_trace):
+        light = sunny_trace.light_array()
+        minutes = sunny_trace.minute_array() % (24 * 60)
+        night = light[(minutes < 4 * 60) | (minutes > 20 * 60)]
+        assert (night == 0).all()
+
+    def test_battery_cycles_during_day(self, sunny_trace):
+        # The duty cycle produces a recharge sawtooth: battery spans the
+        # full range during daylight.
+        levels = sunny_trace.battery_array()
+        assert levels.min() == pytest.approx(0.0, abs=1e-6)
+        assert levels.max() == pytest.approx(50.0, abs=1e-6)
+
+    def test_discharge_time_about_15_minutes(self, sunny_trace):
+        # Count consecutive active runs: should be ~15 min each.
+        active = np.array([s.is_active for s in sunny_trace.samples])
+        runs = []
+        run = 0
+        for flag in active:
+            if flag:
+                run += 1
+            elif run:
+                runs.append(run)
+                run = 0
+        assert runs, "the node must activate at least once"
+        assert 13 <= np.median(runs) <= 17
+
+    def test_charge_rate_stable_within_day(self, sunny_trace):
+        rates = np.array(
+            [s.charge_rate for s in sunny_trace.samples if s.charge_rate > 0]
+        )
+        assert rates.std() / rates.mean() < 0.15
+
+
+class TestWeatherEffect:
+    def test_cloudy_charges_slower(self):
+        sunny = generate_node_trace(1, days=1, rng=3)
+        cloudy = generate_node_trace(
+            1, days=1, weather=[WeatherCondition.CLOUDY], rng=3
+        )
+        sunny_rate = np.mean([s.charge_rate for s in sunny.samples if s.charge_rate > 0])
+        cloudy_rate = np.mean(
+            [s.charge_rate for s in cloudy.samples if s.charge_rate > 0]
+        )
+        assert cloudy_rate < 0.7 * sunny_rate
+
+    def test_rainy_darkest(self):
+        rainy = generate_node_trace(
+            1, days=1, weather=[WeatherCondition.RAINY], rng=3
+        )
+        sunny = generate_node_trace(1, days=1, rng=3)
+        assert rainy.light_array().max() < sunny.light_array().max()
+
+
+class TestCsvExport:
+    def test_header_and_rows(self, sunny_trace):
+        csv = sunny_trace.to_csv()
+        lines = csv.strip().split("\n")
+        assert lines[0] == "minute,light,voltage,battery_level,charge_rate,is_active"
+        assert len(lines) == len(sunny_trace.samples) + 1
+
+    def test_row_parses(self, sunny_trace):
+        csv = sunny_trace.to_csv()
+        first = csv.strip().split("\n")[1].split(",")
+        assert len(first) == 6
+        float(first[0])
+        assert first[5] in ("0", "1")

@@ -1,0 +1,133 @@
+"""Tests for weather conditions and the Markov weather process."""
+
+import numpy as np
+import pytest
+
+from repro.solar.weather import (
+    WEATHER_ATTENUATION,
+    MarkovWeatherProcess,
+    WeatherCondition,
+    WeatherParams,
+    attenuated_irradiance,
+)
+
+
+class TestWeatherParams:
+    def test_catalogue_complete(self):
+        assert set(WEATHER_ATTENUATION) == set(WeatherCondition)
+
+    def test_sunny_brightest(self):
+        sunny = WEATHER_ATTENUATION[WeatherCondition.SUNNY].mean_attenuation
+        cloudy = WEATHER_ATTENUATION[WeatherCondition.CLOUDY].mean_attenuation
+        rainy = WEATHER_ATTENUATION[WeatherCondition.RAINY].mean_attenuation
+        assert sunny > cloudy > rainy
+
+    def test_derating_ordering_matches_profiles(self):
+        # Deratings calibrate the trace generator to the profile
+        # catalogue: sunny T_r=45, cloudy 90, rainy 180 => 1, 1/2, 1/4.
+        assert WEATHER_ATTENUATION[WeatherCondition.SUNNY].charger_derating == 1.0
+        assert WEATHER_ATTENUATION[WeatherCondition.CLOUDY].charger_derating == 0.5
+        assert WEATHER_ATTENUATION[WeatherCondition.RAINY].charger_derating == 0.25
+
+    def test_invalid_attenuation(self):
+        with pytest.raises(ValueError, match="attenuation"):
+            WeatherParams(mean_attenuation=0.0, flicker=0.1)
+        with pytest.raises(ValueError, match="attenuation"):
+            WeatherParams(mean_attenuation=1.5, flicker=0.1)
+
+    def test_invalid_flicker(self):
+        with pytest.raises(ValueError, match="flicker"):
+            WeatherParams(mean_attenuation=0.5, flicker=-0.1)
+
+    def test_invalid_derating(self):
+        with pytest.raises(ValueError, match="derating"):
+            WeatherParams(mean_attenuation=0.5, flicker=0.1, charger_derating=0.0)
+
+
+class TestMarkovProcess:
+    def test_deterministic_with_seed(self):
+        a = MarkovWeatherProcess(rng=7).forecast(20)
+        b = MarkovWeatherProcess(rng=7).forecast(20)
+        assert a == b
+
+    def test_initial_state(self):
+        proc = MarkovWeatherProcess(initial=WeatherCondition.RAINY, rng=1)
+        assert proc.current is WeatherCondition.RAINY
+
+    def test_step_updates_current(self):
+        proc = MarkovWeatherProcess(rng=1)
+        nxt = proc.step()
+        assert proc.current is nxt
+
+    def test_forecast_length(self):
+        assert len(MarkovWeatherProcess(rng=1).forecast(10)) == 10
+
+    def test_negative_forecast_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            MarkovWeatherProcess(rng=1).forecast(-1)
+
+    def test_stationary_distribution_sums_to_one(self):
+        dist = MarkovWeatherProcess(rng=1).stationary_distribution()
+        assert dist.sum() == pytest.approx(1.0)
+        assert (dist > 0).all()
+
+    def test_stationary_matches_empirical(self):
+        proc = MarkovWeatherProcess(rng=123)
+        days = proc.forecast(4000)
+        empirical = np.array(
+            [
+                days.count(WeatherCondition.SUNNY),
+                days.count(WeatherCondition.CLOUDY),
+                days.count(WeatherCondition.RAINY),
+            ],
+            dtype=float,
+        )
+        empirical /= empirical.sum()
+        stationary = MarkovWeatherProcess(rng=1).stationary_distribution()
+        np.testing.assert_allclose(empirical, stationary, atol=0.05)
+
+    def test_sticky_default_matrix(self):
+        # Sunny days mostly stay sunny: the premise of per-day patterns.
+        proc = MarkovWeatherProcess(rng=99)
+        days = proc.forecast(2000)
+        same = sum(1 for a, b in zip(days, days[1:]) if a is b)
+        assert same / len(days) > 0.45
+
+    def test_custom_matrix_validated(self):
+        with pytest.raises(ValueError, match="3x3"):
+            MarkovWeatherProcess(transition_matrix=np.eye(2))
+        bad = np.full((3, 3), 0.5)
+        with pytest.raises(ValueError, match="sum to 1"):
+            MarkovWeatherProcess(transition_matrix=bad)
+
+    def test_absorbing_custom_matrix(self):
+        proc = MarkovWeatherProcess(
+            initial=WeatherCondition.SUNNY,
+            transition_matrix=np.eye(3),
+            rng=1,
+        )
+        assert all(c is WeatherCondition.SUNNY for c in proc.forecast(5))
+
+
+class TestAttenuatedIrradiance:
+    def test_within_physical_bounds(self):
+        rng = np.random.default_rng(5)
+        for _ in range(200):
+            value = attenuated_irradiance(800.0, WeatherCondition.RAINY, rng)
+            assert 0.0 <= value <= 800.0
+
+    def test_sunny_close_to_clear_sky(self):
+        rng = np.random.default_rng(5)
+        samples = [
+            attenuated_irradiance(1000.0, WeatherCondition.SUNNY, rng)
+            for _ in range(500)
+        ]
+        assert np.mean(samples) > 900.0
+
+    def test_rainy_much_darker(self):
+        rng = np.random.default_rng(5)
+        samples = [
+            attenuated_irradiance(1000.0, WeatherCondition.RAINY, rng)
+            for _ in range(500)
+        ]
+        assert np.mean(samples) < 300.0

@@ -1,0 +1,104 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestSolve:
+    def test_plain_output(self, capsys):
+        assert main(["solve", "--sensors", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "avg utility per slot" in out
+        assert "0.64" in out  # 1 - 0.6^2 with 8 sensors over 4 slots
+
+    def test_json_output(self, capsys):
+        assert main(["solve", "--sensors", "8", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["method"] == "greedy"
+        assert payload["schedule"]["kind"] == "periodic"
+        assert payload["average_slot_utility"] == pytest.approx(0.64)
+
+    def test_json_schedule_roundtrips(self, capsys):
+        from repro.io.serialization import schedule_from_dict
+
+        main(["solve", "--sensors", "6", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        schedule = schedule_from_dict(payload["schedule"])
+        assert schedule.scheduled_sensors == frozenset(range(6))
+
+    def test_lp_method(self, capsys):
+        assert main(["solve", "--sensors", "6", "--method", "lp"]) == 0
+        assert "lp_objective" in capsys.readouterr().out
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["solve", "--method", "sorcery"])
+
+
+class TestSimulate:
+    def test_greedy_plan_executes_cleanly(self, capsys):
+        assert main(["simulate", "--sensors", "8", "--periods", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "refused activations : 0" in out
+
+    def test_scheduled_equals_achieved(self, capsys):
+        main(["simulate", "--sensors", "8", "--periods", "2"])
+        out = capsys.readouterr().out
+        scheduled = next(
+            line for line in out.splitlines() if "scheduled" in line
+        ).split(":")[1]
+        achieved = next(
+            line for line in out.splitlines() if "achieved" in line
+        ).split(":")[1]
+        assert float(scheduled) == pytest.approx(float(achieved))
+
+
+class TestTrace:
+    def test_csv_output(self, capsys):
+        assert main(["trace", "--days", "1", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        lines = out.strip().splitlines()
+        assert lines[0].startswith("minute,light,voltage")
+        assert len(lines) == 24 * 60 + 1
+
+    def test_bad_weather_rejected(self, capsys):
+        assert main(["trace", "--weather", "meteor"]) == 2
+        assert "unknown weather" in capsys.readouterr().err
+
+
+class TestSweep:
+    def test_pivot_table(self, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--sensors",
+                    "10",
+                    "20",
+                    "--methods",
+                    "greedy",
+                    "random",
+                    "--repeats",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "greedy" in out and "random" in out
+        assert "10" in out and "20" in out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["solve"])
+        assert args.sensors == 20
+        assert args.rho == 3.0
+        assert args.method == "greedy"

@@ -1,0 +1,87 @@
+"""Tests for the programmatic figure-reproduction module."""
+
+import json
+
+import pytest
+
+from repro.experiments import (
+    FIGURES,
+    reproduce,
+    reproduce_fig7,
+    reproduce_fig8_panel,
+    reproduce_fig9,
+    reproduce_headline,
+)
+
+
+class TestFig7:
+    def test_summary_shape(self):
+        data = reproduce_fig7(nodes=(5,), days=1)
+        assert data["days"] == 1
+        assert len(data["nodes"]) == 1
+        row = data["nodes"][0]
+        assert row["light_rel_std"] > 0.3
+        assert row["voltage_rel_std"] < 0.05
+
+
+class TestFig8:
+    def test_single_target_matches_bound(self):
+        data = reproduce_fig8_panel(1, sensor_counts=(20, 40))
+        assert data["avg_utility"] == pytest.approx(data["upper_bound"])
+
+    def test_monotone_in_n(self):
+        data = reproduce_fig8_panel(2, sensor_counts=(20, 40, 60))
+        values = data["avg_utility"]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_invalid_targets(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            reproduce_fig8_panel(0)
+
+
+class TestFig9:
+    def test_small_grid(self):
+        data = reproduce_fig9(sensor_counts=(60,), target_counts=(5, 10))
+        row = data["avg_utility_per_target"]["60"]
+        assert len(row) == 2
+        assert all(0 < v <= 1 for v in row)
+
+
+class TestHeadline:
+    def test_pair(self):
+        data = reproduce_headline(num_sensors=40)
+        assert data["greedy_avg_utility"] == pytest.approx(data["upper_bound"])
+        assert data["paper_measured"] == pytest.approx(0.983408764)
+
+
+class TestDispatch:
+    def test_all_registered_names_resolve(self):
+        assert set(FIGURES) == {
+            "fig7",
+            "fig8a",
+            "fig8b",
+            "fig8c",
+            "fig8d",
+            "fig9",
+            "headline",
+        }
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown figure"):
+            reproduce("fig99")
+
+    def test_headline_json_serializable(self):
+        json.dumps(reproduce("headline"))
+
+    def test_cli_integration(self, capsys):
+        from repro.cli import main
+
+        assert main(["figure", "headline"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "greedy_avg_utility" in payload
+
+    def test_cli_unknown_figure(self, capsys):
+        from repro.cli import main
+
+        assert main(["figure", "nope"]) == 2
+        assert "unknown figure" in capsys.readouterr().err

@@ -1,0 +1,94 @@
+"""Tests for the weighted area-coverage utility (Eq. 2)."""
+
+import pytest
+
+from repro.utility.area import AreaCoverageUtility, Subregion
+from repro.utility.base import check_monotone, check_normalized, check_submodular
+
+
+def three_cell_fixture() -> AreaCoverageUtility:
+    """Two sensors with an overlap cell: areas 4 / 2 / 3, weights 1/2/1."""
+    return AreaCoverageUtility(
+        [
+            Subregion(covered_by=frozenset({0}), area=4.0, weight=1.0),
+            Subregion(covered_by=frozenset({0, 1}), area=2.0, weight=2.0),
+            Subregion(covered_by=frozenset({1}), area=3.0, weight=1.0),
+        ]
+    )
+
+
+class TestSubregion:
+    def test_weighted_area(self):
+        cell = Subregion(covered_by=frozenset({0}), area=3.0, weight=2.0)
+        assert cell.weighted_area == pytest.approx(6.0)
+
+    def test_negative_area_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Subregion(covered_by=frozenset({0}), area=-1.0)
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            Subregion(covered_by=frozenset({0}), area=1.0, weight=0.0)
+
+
+class TestAreaCoverageUtility:
+    def test_empty_set_is_zero(self):
+        assert three_cell_fixture().value(frozenset()) == 0.0
+
+    def test_single_sensor_covers_its_cells(self):
+        fn = three_cell_fixture()
+        # sensor 0 covers cells of weighted area 4 and 4.
+        assert fn.value({0}) == pytest.approx(4.0 + 4.0)
+
+    def test_both_sensors_cover_everything(self):
+        fn = three_cell_fixture()
+        assert fn.value({0, 1}) == pytest.approx(4.0 + 4.0 + 3.0)
+        assert fn.value({0, 1}) == pytest.approx(fn.total_weighted_area)
+
+    def test_overlap_not_double_counted(self):
+        fn = three_cell_fixture()
+        assert fn.value({0}) + fn.value({1}) > fn.value({0, 1})
+
+    def test_marginal_counts_only_new_cells(self):
+        fn = three_cell_fixture()
+        # Adding 1 to {0}: only the exclusive cell of 1 (area 3) is new.
+        assert fn.marginal(1, {0}) == pytest.approx(3.0)
+
+    def test_marginal_of_covered_sensor(self):
+        fn = three_cell_fixture()
+        assert fn.marginal(0, {0}) == 0.0
+
+    def test_uncoverable_cells_dropped(self):
+        fn = AreaCoverageUtility(
+            [
+                Subregion(covered_by=frozenset(), area=100.0),
+                Subregion(covered_by=frozenset({0}), area=1.0),
+            ]
+        )
+        assert fn.total_weighted_area == pytest.approx(1.0)
+        assert len(fn.subregions) == 1
+
+    def test_covered_cells_indices(self):
+        fn = three_cell_fixture()
+        assert fn.covered_cells({1}) == frozenset({1, 2})
+
+    def test_coverage_fraction(self):
+        fn = three_cell_fixture()
+        assert fn.coverage_fraction({0, 1}) == pytest.approx(1.0)
+        assert fn.coverage_fraction(frozenset()) == 0.0
+        assert fn.coverage_fraction({0}) == pytest.approx(8.0 / 11.0)
+
+    def test_coverage_fraction_empty_utility(self):
+        fn = AreaCoverageUtility([])
+        assert fn.coverage_fraction({0}) == 0.0
+
+    def test_properties_hold(self):
+        fn = three_cell_fixture()
+        assert check_normalized(fn)
+        assert check_monotone(fn)
+        assert check_submodular(fn)
+
+    def test_unknown_sensor_is_noop(self):
+        fn = three_cell_fixture()
+        assert fn.value({42}) == 0.0
+        assert fn.marginal(42, frozenset()) == 0.0

@@ -1,0 +1,144 @@
+"""Tests for the utility-function interface and property checkers."""
+
+import pytest
+
+from repro.utility.base import (
+    UtilityFunction,
+    as_sensor_set,
+    check_monotone,
+    check_normalized,
+    check_submodular,
+)
+from repro.utility.detection import DetectionUtility
+from repro.utility.operations import CappedCardinalityUtility
+
+
+class _SupermodularFunction(UtilityFunction):
+    """|S|^2: monotone, normalized, but NOT submodular (negative control)."""
+
+    def __init__(self, sensors):
+        self._ground = as_sensor_set(sensors)
+
+    @property
+    def ground_set(self):
+        return self._ground
+
+    def value(self, sensors):
+        return float(len(as_sensor_set(sensors) & self._ground) ** 2)
+
+
+class _NonMonotoneFunction(UtilityFunction):
+    """Cut-like: value drops when both sensors present (negative control)."""
+
+    @property
+    def ground_set(self):
+        return frozenset({0, 1})
+
+    def value(self, sensors):
+        s = as_sensor_set(sensors) & self.ground_set
+        if len(s) == 1:
+            return 1.0
+        return 0.0
+
+
+class _UnnormalizedFunction(UtilityFunction):
+    @property
+    def ground_set(self):
+        return frozenset({0})
+
+    def value(self, sensors):
+        return 1.0 + len(as_sensor_set(sensors) & self.ground_set)
+
+
+class TestAsSensorSet:
+    def test_list_coerced(self):
+        assert as_sensor_set([3, 1, 2]) == frozenset({1, 2, 3})
+
+    def test_frozenset_passthrough(self):
+        s = frozenset({1, 2})
+        assert as_sensor_set(s) is s
+
+    def test_duplicates_collapse(self):
+        assert as_sensor_set([1, 1, 1]) == frozenset({1})
+
+    def test_empty(self):
+        assert as_sensor_set([]) == frozenset()
+
+
+class TestDerivedOperations:
+    def test_marginal_matches_definition(self):
+        fn = DetectionUtility({0: 0.3, 1: 0.5, 2: 0.2})
+        base = frozenset({0})
+        expected = fn.value({0, 1}) - fn.value({0})
+        assert fn.marginal(1, base) == pytest.approx(expected)
+
+    def test_marginal_of_member_is_zero(self):
+        fn = DetectionUtility({0: 0.3, 1: 0.5})
+        assert fn.marginal(0, {0, 1}) == 0.0
+
+    def test_marginal_set(self):
+        fn = DetectionUtility({0: 0.3, 1: 0.5, 2: 0.2})
+        expected = fn.value({0, 1, 2}) - fn.value({0})
+        assert fn.marginal_set({1, 2}, {0}) == pytest.approx(expected)
+
+    def test_decrement_matches_definition(self):
+        fn = DetectionUtility({0: 0.3, 1: 0.5})
+        expected = fn.value({0, 1}) - fn.value({1})
+        assert fn.decrement(0, {0, 1}) == pytest.approx(expected)
+
+    def test_decrement_of_non_member_is_zero(self):
+        fn = DetectionUtility({0: 0.3, 1: 0.5})
+        assert fn.decrement(1, {0}) == 0.0
+
+    def test_callable_sugar(self):
+        fn = DetectionUtility({0: 0.4})
+        assert fn({0}) == fn.value({0})
+
+    def test_value_of_all(self):
+        fn = DetectionUtility({0: 0.5, 1: 0.5})
+        assert fn.value_of_all() == pytest.approx(0.75)
+
+    def test_restricted_intersects(self):
+        fn = DetectionUtility({0: 0.5, 1: 0.5, 2: 0.5})
+        restricted = fn.restricted({0, 1})
+        assert restricted.value({0, 1, 2}) == pytest.approx(fn.value({0, 1}))
+        assert restricted.ground_set == frozenset({0, 1})
+
+
+class TestCheckers:
+    def test_detection_passes_all_checks(self):
+        fn = DetectionUtility({0: 0.3, 1: 0.5, 2: 0.9})
+        assert check_normalized(fn)
+        assert check_monotone(fn)
+        assert check_submodular(fn)
+
+    def test_capped_cardinality_passes(self):
+        fn = CappedCardinalityUtility(range(5), cap=2)
+        assert check_normalized(fn)
+        assert check_monotone(fn)
+        assert check_submodular(fn)
+
+    def test_supermodular_fails_submodularity(self):
+        fn = _SupermodularFunction(range(4))
+        assert check_monotone(fn)
+        assert not check_submodular(fn)
+
+    def test_non_monotone_detected(self):
+        fn = _NonMonotoneFunction()
+        assert not check_monotone(fn)
+
+    def test_unnormalized_detected(self):
+        assert not check_normalized(_UnnormalizedFunction())
+
+    def test_exhaustive_check_rejects_large_ground_set(self):
+        fn = DetectionUtility({i: 0.1 for i in range(20)})
+        with pytest.raises(ValueError, match="exhaustive"):
+            check_monotone(fn)
+        with pytest.raises(ValueError, match="exhaustive"):
+            check_submodular(fn)
+
+    def test_explicit_subsets_allow_large_ground_set(self):
+        fn = DetectionUtility({i: 0.1 for i in range(20)})
+        subsets = [frozenset(), frozenset({0, 1}), frozenset(range(10))]
+        assert check_monotone(fn, subsets=subsets)
+        assert check_submodular(fn, subsets=subsets)

@@ -1,0 +1,116 @@
+"""Tests for the concave-of-modular utility family."""
+
+import math
+
+import pytest
+
+from repro.utility.base import check_monotone, check_normalized, check_submodular
+from repro.utility.concave import ConcaveOverModularUtility
+from repro.utility.detection import HomogeneousDetectionUtility
+from repro.utility.logsum import LogSumUtility
+
+WEIGHTS = {0: 1.0, 1: 2.0, 2: 0.5, 3: 3.0}
+
+
+class TestConstruction:
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            ConcaveOverModularUtility({0: -1.0}, math.sqrt)
+
+    def test_nonzero_at_origin_rejected(self):
+        with pytest.raises(ValueError, match="g\\(0\\)"):
+            ConcaveOverModularUtility(WEIGHTS, lambda x: x + 1.0)
+
+    def test_decreasing_transform_rejected(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            ConcaveOverModularUtility(WEIGHTS, lambda x: -x)
+
+    def test_convex_transform_rejected(self):
+        with pytest.raises(ValueError, match="concave"):
+            ConcaveOverModularUtility(WEIGHTS, lambda x: x * x)
+
+    def test_linear_transform_accepted(self):
+        # Linear is the concave boundary case (modular utility).
+        fn = ConcaveOverModularUtility(WEIGHTS, lambda x: 2.0 * x)
+        assert fn.value({0, 1}) == pytest.approx(6.0)
+
+    def test_empty_weights_fine(self):
+        fn = ConcaveOverModularUtility({}, math.sqrt)
+        assert fn.value({0}) == 0.0
+
+
+class TestValues:
+    def test_sqrt(self):
+        fn = ConcaveOverModularUtility.sqrt(WEIGHTS)
+        assert fn.value({0, 1}) == pytest.approx(math.sqrt(3.0))
+
+    def test_log1p_matches_logsum_utility(self):
+        fn = ConcaveOverModularUtility.log1p(WEIGHTS)
+        reference = LogSumUtility(WEIGHTS)
+        for subset in [frozenset(), {0}, {1, 3}, {0, 1, 2, 3}]:
+            assert fn.value(subset) == pytest.approx(reference.value(subset))
+
+    def test_capped(self):
+        fn = ConcaveOverModularUtility.capped(WEIGHTS, cap=2.5)
+        assert fn.value({0}) == pytest.approx(1.0)
+        assert fn.value({0, 1, 3}) == pytest.approx(2.5)
+
+    def test_capped_validation(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            ConcaveOverModularUtility.capped(WEIGHTS, cap=-1.0)
+
+    def test_saturating_matches_detection_on_unit_weights(self):
+        # 1 - exp(-rate * |S|) with rate = -ln(1-p) equals 1-(1-p)^|S|.
+        p = 0.4
+        rate = -math.log(1 - p)
+        fn = ConcaveOverModularUtility.saturating(
+            {v: 1.0 for v in range(5)}, rate=rate
+        )
+        reference = HomogeneousDetectionUtility(range(5), p=p)
+        for subset in [frozenset(), {0}, {1, 2, 3}]:
+            assert fn.value(subset) == pytest.approx(reference.value(subset))
+
+    def test_saturating_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            ConcaveOverModularUtility.saturating(WEIGHTS, rate=0.0)
+
+    def test_marginal_matches_definition(self):
+        fn = ConcaveOverModularUtility.sqrt(WEIGHTS)
+        direct = fn.value({0, 3}) - fn.value({0})
+        assert fn.marginal(3, {0}) == pytest.approx(direct)
+
+    def test_zero_weight_sensor_no_gain(self):
+        fn = ConcaveOverModularUtility.sqrt({0: 0.0, 1: 2.0})
+        assert fn.marginal(0, {1}) == 0.0
+
+
+class TestAxioms:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            ConcaveOverModularUtility.sqrt,
+            ConcaveOverModularUtility.log1p,
+            lambda w: ConcaveOverModularUtility.capped(w, cap=3.0),
+            lambda w: ConcaveOverModularUtility.saturating(w, rate=0.7),
+        ],
+    )
+    def test_submodular_family(self, factory):
+        fn = factory(WEIGHTS)
+        assert check_normalized(fn)
+        assert check_monotone(fn)
+        assert check_submodular(fn)
+
+    def test_schedulable(self):
+        from repro.core.greedy import greedy_schedule
+        from repro.core.optimal import optimal_value
+        from repro.core.problem import SchedulingProblem
+        from repro.energy.period import ChargingPeriod
+
+        fn = ConcaveOverModularUtility.sqrt(WEIGHTS)
+        problem = SchedulingProblem(
+            num_sensors=4,
+            period=ChargingPeriod.from_ratio(1.0),
+            utility=fn,
+        )
+        greedy = greedy_schedule(problem).period_utility(fn)
+        assert greedy >= 0.5 * optimal_value(problem) - 1e-9

@@ -1,0 +1,74 @@
+"""Tests for the (weighted) coverage-count utilities."""
+
+import pytest
+
+from repro.utility.base import check_monotone, check_normalized, check_submodular
+from repro.utility.coverage_count import CoverageCountUtility, WeightedCoverageUtility
+
+
+class TestCoverageCountUtility:
+    def test_counts_union(self):
+        fn = CoverageCountUtility({0: {10, 11}, 1: {11, 12}})
+        assert fn.value({0}) == 2.0
+        assert fn.value({0, 1}) == 3.0
+
+    def test_empty_is_zero(self):
+        fn = CoverageCountUtility({0: {10}})
+        assert fn.value(frozenset()) == 0.0
+
+    def test_sensor_with_no_elements(self):
+        fn = CoverageCountUtility({0: set(), 1: {5}})
+        assert fn.value({0}) == 0.0
+        assert fn.value({0, 1}) == 1.0
+
+    def test_properties(self):
+        fn = CoverageCountUtility({0: {1, 2}, 1: {2, 3}, 2: {4}})
+        assert check_normalized(fn)
+        assert check_monotone(fn)
+        assert check_submodular(fn)
+
+
+class TestWeightedCoverageUtility:
+    def test_weights_applied(self):
+        fn = WeightedCoverageUtility(
+            {0: {10}, 1: {10, 11}}, element_weights={10: 2.0, 11: 0.5}
+        )
+        assert fn.value({0}) == pytest.approx(2.0)
+        assert fn.value({1}) == pytest.approx(2.5)
+        assert fn.value({0, 1}) == pytest.approx(2.5)
+
+    def test_missing_weight_defaults_to_zero(self):
+        fn = WeightedCoverageUtility({0: {10, 11}}, element_weights={10: 1.0})
+        assert fn.value({0}) == pytest.approx(1.0)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            WeightedCoverageUtility({0: {10}}, element_weights={10: -1.0})
+
+    def test_marginal_counts_only_new_elements(self):
+        fn = WeightedCoverageUtility(
+            {0: {1, 2}, 1: {2, 3}}, element_weights={1: 1.0, 2: 10.0, 3: 5.0}
+        )
+        assert fn.marginal(1, {0}) == pytest.approx(5.0)
+
+    def test_covered_elements(self):
+        fn = WeightedCoverageUtility({0: {1, 2}, 1: {3}})
+        assert fn.covered_elements({0, 1}) == frozenset({1, 2, 3})
+
+    def test_elements_accessor(self):
+        fn = WeightedCoverageUtility({0: {1}, 1: {2}})
+        assert fn.elements == frozenset({1, 2})
+
+    def test_unknown_sensor_noop(self):
+        fn = WeightedCoverageUtility({0: {1}})
+        assert fn.value({5}) == 0.0
+        assert fn.marginal(5, frozenset()) == 0.0
+
+    def test_properties(self):
+        fn = WeightedCoverageUtility(
+            {0: {1, 2}, 1: {2, 3}, 2: {3, 4}},
+            element_weights={1: 0.5, 2: 2.0, 3: 1.0, 4: 3.0},
+        )
+        assert check_normalized(fn)
+        assert check_monotone(fn)
+        assert check_submodular(fn)

@@ -1,0 +1,127 @@
+"""Tests for the probabilistic detection utilities (Sec. II-C, VI-B)."""
+
+import math
+
+import pytest
+
+from repro.utility.detection import DetectionUtility, HomogeneousDetectionUtility
+
+
+class TestDetectionUtility:
+    def test_empty_set_is_zero(self):
+        fn = DetectionUtility({0: 0.4, 1: 0.4})
+        assert fn.value(frozenset()) == 0.0
+
+    def test_single_sensor(self):
+        fn = DetectionUtility({0: 0.4})
+        assert fn.value({0}) == pytest.approx(0.4)
+
+    def test_two_independent_sensors(self):
+        fn = DetectionUtility({0: 0.4, 1: 0.4})
+        assert fn.value({0, 1}) == pytest.approx(1 - 0.6 * 0.6)
+
+    def test_heterogeneous_probabilities(self):
+        fn = DetectionUtility({0: 0.2, 1: 0.5, 2: 0.9})
+        assert fn.value({0, 1, 2}) == pytest.approx(1 - 0.8 * 0.5 * 0.1)
+
+    def test_out_of_ground_sensors_ignored(self):
+        fn = DetectionUtility({0: 0.4})
+        assert fn.value({0, 99}) == pytest.approx(0.4)
+
+    def test_miss_probability(self):
+        fn = DetectionUtility({0: 0.4, 1: 0.25})
+        assert fn.miss_probability({0, 1}) == pytest.approx(0.6 * 0.75)
+
+    def test_marginal_closed_form_matches_definition(self):
+        fn = DetectionUtility({0: 0.4, 1: 0.3, 2: 0.7})
+        base = frozenset({0})
+        direct = fn.value({0, 2}) - fn.value({0})
+        assert fn.marginal(2, base) == pytest.approx(direct)
+
+    def test_marginal_of_unknown_sensor_is_zero(self):
+        fn = DetectionUtility({0: 0.4})
+        assert fn.marginal(5, frozenset()) == 0.0
+
+    def test_certain_detection(self):
+        fn = DetectionUtility({0: 1.0, 1: 0.4})
+        assert fn.value({0}) == pytest.approx(1.0)
+        assert fn.marginal(1, {0}) == pytest.approx(0.0)
+
+    def test_zero_probability_sensor_contributes_nothing(self):
+        fn = DetectionUtility({0: 0.0, 1: 0.4})
+        assert fn.value({0}) == 0.0
+        assert fn.value({0, 1}) == pytest.approx(0.4)
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError, match="\\[0, 1\\]"):
+            DetectionUtility({0: 1.5})
+        with pytest.raises(ValueError, match="\\[0, 1\\]"):
+            DetectionUtility({0: -0.1})
+
+    def test_probabilities_accessor_is_copy(self):
+        fn = DetectionUtility({0: 0.4})
+        probs = fn.probabilities
+        probs[0] = 0.9
+        assert fn.value({0}) == pytest.approx(0.4)
+
+    def test_ground_set(self):
+        fn = DetectionUtility({3: 0.1, 7: 0.2})
+        assert fn.ground_set == frozenset({3, 7})
+
+
+class TestHomogeneousDetectionUtility:
+    def test_matches_paper_formula(self):
+        # U(S) = 1 - (1-p)^|S| with p = 0.4 (Sec. VI-B).
+        fn = HomogeneousDetectionUtility(range(10), p=0.4)
+        for k in range(11):
+            assert fn.value(frozenset(range(k))) == pytest.approx(1 - 0.6**k)
+
+    def test_matches_general_detection_utility(self):
+        homo = HomogeneousDetectionUtility(range(6), p=0.4)
+        general = DetectionUtility({i: 0.4 for i in range(6)})
+        for subset in [frozenset(), {0}, {1, 2}, {0, 1, 2, 3, 4, 5}]:
+            assert homo.value(subset) == pytest.approx(general.value(subset))
+
+    def test_only_count_matters(self):
+        fn = HomogeneousDetectionUtility(range(10), p=0.4)
+        assert fn.value({0, 1, 2}) == pytest.approx(fn.value({7, 8, 9}))
+
+    def test_value_of_count(self):
+        fn = HomogeneousDetectionUtility(range(5), p=0.3)
+        assert fn.value_of_count(0) == 0.0
+        assert fn.value_of_count(3) == pytest.approx(1 - 0.7**3)
+
+    def test_value_of_count_rejects_negative(self):
+        fn = HomogeneousDetectionUtility(range(5), p=0.3)
+        with pytest.raises(ValueError, match="non-negative"):
+            fn.value_of_count(-1)
+
+    def test_p_one_is_step_function(self):
+        fn = HomogeneousDetectionUtility(range(3), p=1.0)
+        assert fn.value_of_count(0) == 0.0
+        assert fn.value_of_count(1) == 1.0
+        assert fn.value_of_count(3) == 1.0
+
+    def test_p_zero_is_constant_zero(self):
+        fn = HomogeneousDetectionUtility(range(3), p=0.0)
+        assert fn.value({0, 1, 2}) == 0.0
+
+    def test_marginal_diminishes(self):
+        fn = HomogeneousDetectionUtility(range(10), p=0.4)
+        gains = [fn.marginal(k, frozenset(range(k))) for k in range(10)]
+        for earlier, later in zip(gains, gains[1:]):
+            assert earlier > later
+
+    def test_out_of_ground_sensor_has_zero_marginal(self):
+        fn = HomogeneousDetectionUtility(range(3), p=0.4)
+        assert fn.marginal(99, frozenset()) == 0.0
+
+    def test_numerical_stability_tiny_p(self):
+        # expm1/log1p path keeps precision where (1-p)^k would lose it.
+        fn = HomogeneousDetectionUtility(range(1000), p=1e-12)
+        value = fn.value_of_count(1000)
+        assert value == pytest.approx(1000 * 1e-12, rel=1e-6)
+
+    def test_invalid_p_rejected(self):
+        with pytest.raises(ValueError, match="\\[0, 1\\]"):
+            HomogeneousDetectionUtility(range(3), p=2.0)

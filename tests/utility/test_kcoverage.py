@@ -1,0 +1,91 @@
+"""Tests for the k-coverage utilities."""
+
+import pytest
+
+from repro.utility.base import check_monotone, check_normalized, check_submodular
+from repro.utility.kcoverage import KCoverageUtility, k_coverage_system
+
+
+class TestKCoverageUtility:
+    def test_truncated_count(self):
+        fn = KCoverageUtility(range(5), k=2)
+        assert fn.value(frozenset()) == 0.0
+        assert fn.value({0}) == pytest.approx(0.5)
+        assert fn.value({0, 1}) == pytest.approx(1.0)
+        assert fn.value({0, 1, 2, 3}) == pytest.approx(1.0)
+
+    def test_k_one_is_plain_coverage(self):
+        fn = KCoverageUtility(range(3), k=1)
+        assert fn.value({0}) == 1.0
+        assert fn.value({0, 1}) == 1.0
+
+    def test_is_satisfied(self):
+        fn = KCoverageUtility(range(5), k=3)
+        assert not fn.is_satisfied({0, 1})
+        assert fn.is_satisfied({0, 1, 2})
+
+    def test_out_of_ground_ignored(self):
+        fn = KCoverageUtility({0, 1}, k=2)
+        assert fn.value({0, 9}) == pytest.approx(0.5)
+
+    def test_marginal_zero_after_saturation(self):
+        fn = KCoverageUtility(range(5), k=2)
+        assert fn.marginal(2, {0, 1}) == 0.0
+        assert fn.marginal(1, {0}) == pytest.approx(0.5)
+
+    def test_value_of_count_validation(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            KCoverageUtility(range(3), k=2).value_of_count(-1)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            KCoverageUtility(range(3), k=0)
+
+    def test_axioms(self):
+        fn = KCoverageUtility(range(5), k=3)
+        assert check_normalized(fn)
+        assert check_monotone(fn)
+        assert check_submodular(fn)
+
+
+class TestKCoverageSystem:
+    def test_shared_k(self):
+        system = k_coverage_system([{0, 1, 2}, {2, 3}], k=2)
+        assert system.num_targets == 2
+        assert system.value({0, 1, 2, 3}) == pytest.approx(2.0)
+        assert system.value({2}) == pytest.approx(0.5 + 0.5)
+
+    def test_per_target_k(self):
+        system = k_coverage_system([{0, 1, 2}, {2, 3}], k=[3, 1])
+        assert system.value({0, 2, 3}) == pytest.approx(2 / 3 + 1.0)
+
+    def test_k_length_checked(self):
+        with pytest.raises(ValueError, match="k values"):
+            k_coverage_system([{0}, {1}], k=[1])
+
+    def test_greedy_prefers_spreading_to_meet_k(self):
+        """Scheduling: with k=2 targets, the greedy must co-locate pairs
+        of covering sensors rather than maximally spreading singles."""
+        from repro.core.greedy import greedy_schedule
+        from repro.core.problem import SchedulingProblem
+        from repro.energy.period import ChargingPeriod
+
+        # Two disjoint targets, each covered by exactly 2 sensors; T = 2.
+        system = k_coverage_system([{0, 1}, {2, 3}], k=2)
+        problem = SchedulingProblem(
+            num_sensors=4,
+            period=ChargingPeriod.from_ratio(1.0),
+            utility=system,
+        )
+        schedule = greedy_schedule(problem)
+        # Optimal pairs each target's two sensors in the same slot:
+        # total = 2 slots x 1 satisfied target = 2.0.
+        assert schedule.period_utility(system) == pytest.approx(2.0)
+
+    def test_lp_recognizes_count_structure(self):
+        from repro.core.lp import count_utility_values
+        from repro.utility.kcoverage import KCoverageUtility
+
+        fn = KCoverageUtility(range(4), k=2)
+        values = count_utility_values(fn)
+        assert values == pytest.approx([0.0, 0.5, 1.0, 1.0, 1.0])

@@ -1,0 +1,59 @@
+"""Tests for the log-sum utility from the NP-hardness proof (Thm. 3.1)."""
+
+import math
+
+import pytest
+
+from repro.utility.base import check_monotone, check_normalized, check_submodular
+from repro.utility.logsum import LogSumUtility
+
+
+class TestLogSumUtility:
+    def test_empty_is_zero(self):
+        fn = LogSumUtility({0: 3.0, 1: 5.0})
+        assert fn.value(frozenset()) == 0.0
+
+    def test_value_formula(self):
+        fn = LogSumUtility({0: 3.0, 1: 5.0})
+        assert fn.value({0, 1}) == pytest.approx(math.log(9.0))
+
+    def test_total_weight(self):
+        fn = LogSumUtility({0: 3.0, 1: 5.0, 2: 2.0})
+        assert fn.total_weight({0, 2}) == pytest.approx(5.0)
+
+    def test_unknown_sensors_ignored(self):
+        fn = LogSumUtility({0: 3.0})
+        assert fn.value({0, 9}) == pytest.approx(math.log(4.0))
+
+    def test_marginal_matches_definition(self):
+        fn = LogSumUtility({0: 3.0, 1: 5.0})
+        direct = fn.value({0, 1}) - fn.value({0})
+        assert fn.marginal(1, {0}) == pytest.approx(direct)
+
+    def test_marginal_zero_weight(self):
+        fn = LogSumUtility({0: 3.0, 1: 0.0})
+        assert fn.marginal(1, {0}) == 0.0
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            LogSumUtility({0: -1.0})
+
+    def test_properties_hold(self):
+        fn = LogSumUtility({0: 1.0, 1: 4.0, 2: 9.0, 3: 2.0})
+        assert check_normalized(fn)
+        assert check_monotone(fn)
+        assert check_submodular(fn)
+
+    def test_concavity_drives_balanced_splits(self):
+        # The crux of Thm. 3.1: for total weight W, log(1+a)+log(1+W-a)
+        # is maximized at a = W/2.
+        fn = LogSumUtility({0: 4.0, 1: 4.0, 2: 8.0})
+        balanced = fn.value({0, 1}) + fn.value({2})  # 8 / 8
+        skewed = fn.value({0}) + fn.value({1, 2})  # 4 / 12
+        assert balanced > skewed
+
+    def test_weights_accessor_is_copy(self):
+        fn = LogSumUtility({0: 2.0})
+        w = fn.weights
+        w[0] = 100.0
+        assert fn.total_weight({0}) == pytest.approx(2.0)

@@ -1,0 +1,146 @@
+"""Tests for the multi-target utility system (Eq. 1, Sec. II-D)."""
+
+import numpy as np
+import pytest
+
+from repro.utility.base import check_monotone, check_normalized, check_submodular
+from repro.utility.detection import DetectionUtility, HomogeneousDetectionUtility
+from repro.utility.target_system import PerSlotUtility, TargetSystem
+
+
+def two_target_fixture() -> TargetSystem:
+    """Targets: 0 covered by {0,1}, 1 covered by {1,2}; p = 0.4 each."""
+    return TargetSystem.homogeneous_detection([{0, 1}, {1, 2}], p=0.4)
+
+
+class TestTargetSystemStructure:
+    def test_num_targets(self):
+        assert two_target_fixture().num_targets == 2
+
+    def test_coverage_sets(self):
+        ts = two_target_fixture()
+        assert ts.coverage_set(0) == frozenset({0, 1})
+        assert ts.coverage_set(1) == frozenset({1, 2})
+
+    def test_ground_set_union(self):
+        assert two_target_fixture().ground_set == frozenset({0, 1, 2})
+
+    def test_targets_of_sensor(self):
+        ts = two_target_fixture()
+        assert set(ts.targets_of(1)) == {0, 1}
+        assert set(ts.targets_of(0)) == {0}
+        assert ts.targets_of(99) == ()
+
+    def test_coverage_matrix(self):
+        ts = two_target_fixture()
+        a = ts.coverage_matrix(num_sensors=3)
+        assert a.shape == (2, 3)
+        assert a.tolist() == [[1, 1, 0], [0, 1, 1]]
+
+    def test_from_matrix_roundtrip(self):
+        a = np.array([[1, 0, 1], [0, 1, 0]])
+        utilities = [DetectionUtility({0: 0.4, 2: 0.4}), DetectionUtility({1: 0.4})]
+        ts = TargetSystem.from_matrix(a, utilities)
+        assert ts.coverage_set(0) == frozenset({0, 2})
+        assert ts.coverage_set(1) == frozenset({1})
+
+    def test_from_matrix_rejects_bad_shape(self):
+        with pytest.raises(ValueError, match="2-D"):
+            TargetSystem.from_matrix(np.zeros(3), [])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError, match="coverage sets"):
+            TargetSystem([{0}], [])
+
+    def test_uncoverable_targets(self):
+        ts = TargetSystem.homogeneous_detection([{0}, set()], p=0.4)
+        assert ts.uncoverable_targets() == frozenset({1})
+
+
+class TestTargetSystemValues:
+    def test_sum_over_targets(self):
+        ts = two_target_fixture()
+        active = frozenset({0, 1, 2})
+        expected = (1 - 0.6**2) * 2  # both targets covered by 2 sensors
+        assert ts.value(active) == pytest.approx(expected)
+
+    def test_intersection_applied_per_target(self):
+        ts = two_target_fixture()
+        # Sensor 0 only helps target 0.
+        assert ts.value({0}) == pytest.approx(0.4)
+        assert ts.target_value(1, {0}) == 0.0
+
+    def test_shared_sensor_counts_for_both(self):
+        ts = two_target_fixture()
+        assert ts.value({1}) == pytest.approx(0.8)
+
+    def test_per_target_values(self):
+        ts = two_target_fixture()
+        values = ts.per_target_values({0, 2})
+        assert values.shape == (2,)
+        assert values[0] == pytest.approx(0.4)
+        assert values[1] == pytest.approx(0.4)
+
+    def test_marginal_uses_inverted_index(self):
+        ts = two_target_fixture()
+        direct = ts.value({0, 1}) - ts.value({0})
+        assert ts.marginal(1, {0}) == pytest.approx(direct)
+
+    def test_marginal_of_member_zero(self):
+        ts = two_target_fixture()
+        assert ts.marginal(1, {1}) == 0.0
+
+    def test_empty_is_zero(self):
+        assert two_target_fixture().value(frozenset()) == 0.0
+
+    def test_properties_hold(self):
+        # Sum of restricted submodular functions is submodular -- the
+        # fact Algorithm 1's multi-target application relies on.
+        ts = TargetSystem.homogeneous_detection(
+            [{0, 1}, {1, 2}, {0, 2, 3}], p=0.35
+        )
+        assert check_normalized(ts)
+        assert check_monotone(ts)
+        assert check_submodular(ts)
+
+    def test_heterogeneous_target_utilities(self):
+        ts = TargetSystem(
+            [{0, 1}, {1}],
+            [DetectionUtility({0: 0.2, 1: 0.9}), DetectionUtility({1: 0.5})],
+        )
+        assert ts.value({1}) == pytest.approx((0.9) + (0.5))
+
+
+class TestPerSlotUtility:
+    def test_uniform(self):
+        fn = HomogeneousDetectionUtility(range(4), p=0.4)
+        per_slot = PerSlotUtility.uniform(fn, 3)
+        assert per_slot.num_slots == 3
+        assert per_slot.slot_fn(2) is fn
+
+    def test_uniform_rejects_nonpositive(self):
+        fn = HomogeneousDetectionUtility(range(4), p=0.4)
+        with pytest.raises(ValueError, match="positive"):
+            PerSlotUtility.uniform(fn, 0)
+
+    def test_with_slot_replaces_one(self):
+        a = HomogeneousDetectionUtility(range(4), p=0.4)
+        b = HomogeneousDetectionUtility(range(4), p=0.9)
+        per_slot = PerSlotUtility.uniform(a, 2).with_slot(1, b)
+        assert per_slot.slot_fn(0) is a
+        assert per_slot.slot_fn(1) is b
+
+    def test_total_over_assignment(self):
+        fn = HomogeneousDetectionUtility(range(4), p=0.5)
+        per_slot = PerSlotUtility.uniform(fn, 2)
+        total = per_slot.total({0: {0}, 1: {1, 2}})
+        assert total == pytest.approx(fn.value({0}) + fn.value({1, 2}))
+
+    def test_total_missing_slots_are_empty(self):
+        fn = HomogeneousDetectionUtility(range(4), p=0.5)
+        per_slot = PerSlotUtility.uniform(fn, 3)
+        assert per_slot.total({}) == 0.0
+
+    def test_empty_slots_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            PerSlotUtility([])
