@@ -10,7 +10,10 @@ than proportional utility.  This example quantifies that:
 2. run a month with increasing random node-death rates and with radio
    command loss, using the failure-injection layer;
 3. report achieved utility vs. the healthy run, alongside the naive
-   linear-degradation expectation.
+   linear-degradation expectation;
+4. close the loop: re-run the heaviest death scenarios through the
+   self-healing runtime (report-driven failure detection plus
+   cost-aware greedy schedule repair) and compare what each retains.
 
 Run:  python examples/failure_resilience.py
 """
@@ -26,7 +29,7 @@ from repro import (
 )
 from repro.analysis import format_table
 from repro.coverage.matrix import ensure_coverable
-from repro.policies import SchedulePolicy
+from repro.policies import SchedulePolicy, SelfHealingPolicy
 from repro.sim import SensorNetwork, SimulationEngine
 from repro.sim.failures import FailureInjectedPolicy, FailurePlan
 
@@ -108,6 +111,44 @@ def main() -> None:
     print(
         "\nutility retained > linear model everywhere: submodular coverage\n"
         "redundancy absorbs a disproportionate share of the failures."
+    )
+
+    # Closing the loop: the oblivious policy above keeps sending the
+    # original schedule to dead radios.  The self-healing runtime infers
+    # which nodes stopped answering from the report stream alone and
+    # re-plans the survivors with an incremental greedy repair.
+    rows = []
+    for death_rate in (0.20, 0.40):
+        plan = FailurePlan.random_deaths(
+            N, death_rate, horizon=horizon, rng=SEED
+        )
+        oblivious = run(
+            FailureInjectedPolicy(SchedulePolicy(planned.periodic), plan=plan)
+        )
+        healing = SelfHealingPolicy(
+            SchedulePolicy(planned.periodic), horizon=horizon
+        )
+        healed = run(FailureInjectedPolicy(healing, plan=plan))
+        rows.append(
+            [
+                f"{death_rate:.0%}",
+                len(plan.deaths),
+                oblivious.total_utility / healthy.total_utility,
+                healed.total_utility / healthy.total_utility,
+                healing.repairs_performed,
+            ]
+        )
+    print("\nself-healing runtime vs. oblivious baseline (node deaths):")
+    print(
+        format_table(
+            ["death rate", "nodes lost", "oblivious", "self-healing", "repairs"],
+            rows,
+            "{:.4f}",
+        )
+    )
+    print(
+        "\nthe self-healing runtime recovers part of what redundancy alone\n"
+        "cannot: survivors are re-phased to cover the holes the dead left."
     )
 
 

@@ -8,13 +8,17 @@ Subcommands:
                 and report achieved vs scheduled utility;
 - ``trace``     generate a synthetic testbed trace (the Fig. 7 data)
                 as CSV;
-- ``sweep``     run a parameter sweep and print the pivot table.
+- ``sweep``     run a parameter sweep and print the pivot table;
+- ``resume``    finish a ``simulate`` run from a crash-safe checkpoint.
 
 Examples::
 
     python -m repro.cli solve --sensors 20 --rho 3 --p 0.4
     python -m repro.cli solve --sensors 12 --method lp --json
     python -m repro.cli simulate --sensors 20 --periods 12
+    python -m repro.cli simulate --sensors 20 --periods 12 \\
+        --checkpoint run.ckpt --checkpoint-every 8
+    python -m repro.cli resume --checkpoint run.ckpt
     python -m repro.cli trace --days 2 --weather cloudy > trace.csv
     python -m repro.cli sweep --sensors 50 100 --targets 10 --methods greedy random
 """
@@ -31,6 +35,7 @@ from repro.analysis.sweep import SweepSpec, pivot, run_sweep
 from repro.core.problem import SchedulingProblem
 from repro.core.solver import METHODS, solve
 from repro.energy.period import ChargingPeriod
+from repro.io.checkpoint import load_checkpoint, save_checkpoint
 from repro.io.serialization import result_summary, schedule_to_dict
 from repro.policies.schedule_policy import SchedulePolicy
 from repro.sim.engine import SimulationEngine
@@ -70,19 +75,91 @@ def cmd_solve(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_simulate(args: argparse.Namespace) -> int:
+def _build_engine(config: dict):
+    """Rebuild the deterministic simulate pipeline from its instance
+    config (also used by ``resume``: identical config => identical
+    engine, the precondition for a faithful restore)."""
+    args = argparse.Namespace(**config)
     problem = _build_problem(args)
     planned = solve(problem, method=args.method, rng=args.seed)
     network = SensorNetwork.from_problem(problem)
     schedule = planned.periodic if planned.periodic is not None else planned.schedule
-    sim = SimulationEngine(network, SchedulePolicy(schedule)).run(
-        problem.total_slots
-    )
+    engine = SimulationEngine(network, SchedulePolicy(schedule))
+    return engine, planned, problem
+
+
+def _report_simulation(planned, sim) -> int:
     print(f"slots simulated     : {sim.num_slots}")
     print(f"scheduled avg/slot  : {planned.average_slot_utility:.6f}")
     print(f"achieved avg/slot   : {sim.average_slot_utility:.6f}")
     print(f"refused activations : {sim.refused_activations}")
     return 0 if sim.refused_activations == 0 else 1
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    config = {
+        "sensors": args.sensors,
+        "rho": args.rho,
+        "p": args.p,
+        "periods": args.periods,
+        "method": args.method,
+        "seed": args.seed,
+    }
+    engine, planned, problem = _build_engine(config)
+    total = problem.total_slots
+    stop = total if args.stop_after is None else min(args.stop_after, total)
+    chunk = args.checkpoint_every or stop or 1
+    sim = engine.run(0)
+    while engine.slots_done < stop:
+        sim = engine.advance(min(chunk, stop - engine.slots_done))
+        if args.checkpoint:
+            save_checkpoint(engine.checkpoint(), args.checkpoint, config=config)
+    if args.checkpoint and engine.slots_done < total:
+        # The resume hint below must never point at a file that was not
+        # written (e.g. --stop-after 0 skips the loop entirely).
+        save_checkpoint(engine.checkpoint(), args.checkpoint, config=config)
+    status = _report_simulation(planned, sim)
+    if engine.slots_done < total:
+        hint = (
+            f"; resume with: repro resume --checkpoint {args.checkpoint}"
+            if args.checkpoint
+            else ""
+        )
+        print(f"stopped after {engine.slots_done}/{total} slots{hint}")
+    return status
+
+
+def cmd_resume(args: argparse.Namespace) -> int:
+    try:
+        state, config = load_checkpoint(args.checkpoint)
+    except FileNotFoundError:
+        print(f"checkpoint not found: {args.checkpoint}", file=sys.stderr)
+        return 2
+    except (ValueError, json.JSONDecodeError) as exc:
+        print(f"cannot read checkpoint {args.checkpoint}: {exc}", file=sys.stderr)
+        return 2
+    if not config:
+        print(
+            "checkpoint has no rebuild config; was it written by "
+            "`repro simulate --checkpoint`?",
+            file=sys.stderr,
+        )
+        return 2
+    engine, planned, problem = _build_engine(config)
+    engine.restore(state)
+    total = problem.total_slots
+    remaining = total - engine.slots_done
+    print(f"resuming at slot {engine.slots_done}/{total}")
+    if remaining <= 0:
+        sim = engine.advance(0)
+        return _report_simulation(planned, sim)
+    chunk = args.checkpoint_every or remaining
+    sim = engine.advance(0)
+    while engine.slots_done < total:
+        sim = engine.advance(min(chunk, total - engine.slots_done))
+        if args.checkpoint_every:
+            save_checkpoint(engine.checkpoint(), args.checkpoint, config=config)
+    return _report_simulation(planned, sim)
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -178,7 +255,39 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_sim = sub.add_parser("simulate", help="execute the plan on simulated motes")
     add_instance_args(p_sim)
+    p_sim.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        help="write a crash-safe checkpoint (atomic rename) to PATH",
+    )
+    p_sim.add_argument(
+        "--checkpoint-every",
+        type=int,
+        metavar="N",
+        help="checkpoint every N slots (default: once at the end)",
+    )
+    p_sim.add_argument(
+        "--stop-after",
+        type=int,
+        metavar="N",
+        help="stop after N slots (with --checkpoint: simulate a crash "
+        "and finish later with `repro resume`)",
+    )
     p_sim.set_defaults(func=cmd_simulate)
+
+    p_resume = sub.add_parser(
+        "resume", help="finish a simulate run from its checkpoint"
+    )
+    p_resume.add_argument(
+        "--checkpoint", required=True, metavar="PATH", help="checkpoint file"
+    )
+    p_resume.add_argument(
+        "--checkpoint-every",
+        type=int,
+        metavar="N",
+        help="keep checkpointing every N slots while finishing",
+    )
+    p_resume.set_defaults(func=cmd_resume)
 
     p_trace = sub.add_parser("trace", help="synthetic testbed trace as CSV")
     p_trace.add_argument("--node", type=int, default=5)

@@ -21,6 +21,9 @@ Solvers (all operate on :class:`~repro.core.problem.SchedulingProblem`):
 - :mod:`~repro.core.bounds` -- optimum upper bounds, including the
   closed form ``U* = 1 - (1-p)^ceil(n/T)`` of Sec. VI-B.
 - :mod:`~repro.core.hardness` -- the Subset-Sum reduction of Thm. 3.1.
+- :func:`~repro.core.repair.greedy_repair` -- Algorithm 1 generalized
+  to a surviving sensor subset with per-sensor allowed slots, the
+  re-planning step of the self-healing runtime.
 """
 
 from repro.core.problem import SchedulingProblem
@@ -62,6 +65,7 @@ from repro.core.local_search import (
     local_search,
 )
 from repro.core.stochastic_greedy import stochastic_greedy_schedule
+from repro.core.repair import greedy_repair
 from repro.core.solver import SolveResult, solve
 
 __all__ = [
@@ -71,6 +75,7 @@ __all__ = [
     "InfeasibleScheduleError",
     "greedy_schedule",
     "GreedyTrace",
+    "greedy_repair",
     "greedy_passive_schedule",
     "lp_schedule",
     "lp_periodic_schedule",

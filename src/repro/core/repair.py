@@ -1,0 +1,162 @@
+"""Incremental schedule repair over a surviving node set.
+
+When nodes die mid-deployment the planned schedule keeps commanding
+ghosts: every slot that scheduled a dead sensor silently earns less
+utility than planned.  Re-running Algorithm 1 from scratch over the
+survivors is the right *combinatorial* answer -- greedy is fast and the
+1/2-approximation (Lemma 4.1) holds for whatever ground set it is given
+-- but a live network adds a constraint the offline planner never sees:
+each survivor is mid-cycle, and a node that activated two slots ago
+cannot honour a new activation until it has recharged.
+
+:func:`greedy_repair` is the lazy hill-climbing scheme of
+:mod:`repro.core.greedy` generalized to both realities: an explicit
+sensor subset (the survivors) and per-sensor *allowed slots* (the
+period slots the sensor can feasibly serve given its current charge).
+With every sensor allowed everywhere it reduces exactly to Algorithm 1
+restricted to the subset; the selected pairs use the same deterministic
+tie-breaking (higher gain, then lower sensor id, then lower slot), so
+repairs are reproducible.
+
+Greedy over a symmetric instance has many equivalent optima, and an
+arbitrary relabeling of the incumbent plan is a terrible repair: every
+sensor moved to an earlier phase forfeits one activation while it
+re-synchronizes, for zero steady-state benefit.  The ``prefer``
+argument breaks gain ties toward each sensor's incumbent slot (then
+toward later slots, which re-phase for free), so the repair is
+*incremental*: it only moves a sensor against its current phase when
+that strictly increases per-period utility.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.core.greedy import GreedyStep, GreedyTrace
+from repro.core.schedule import PeriodicSchedule, ScheduleMode
+from repro.utility.base import UtilityFunction
+
+
+def greedy_repair(
+    sensors: Iterable[int],
+    slots_per_period: int,
+    utility: UtilityFunction,
+    allowed_slots: Optional[Mapping[int, Sequence[int]]] = None,
+    prefer: Optional[Mapping[int, int]] = None,
+    trace: Optional[GreedyTrace] = None,
+) -> PeriodicSchedule:
+    """Re-plan one period over ``sensors`` with per-sensor slot constraints.
+
+    Parameters
+    ----------
+    sensors:
+        The surviving ground set (any ids; need not be contiguous).
+    slots_per_period:
+        ``T`` of the charging period (rho >= 1 regime: one active slot
+        per sensor per period).
+    utility:
+        The per-slot utility to hill-climb, evaluated with the same
+        marginal-gain machinery as Algorithm 1.
+    allowed_slots:
+        Optional map sensor -> slots it may be assigned.  Sensors absent
+        from the map may take any slot; an explicitly empty entry is an
+        error (a sensor that can never activate should be excluded from
+        ``sensors`` instead).
+    prefer:
+        Optional map sensor -> incumbent slot.  When marginal gains
+        tie, the incumbent slot wins, then any later slot (a later
+        phase shift costs nothing in transition), then the default
+        (sensor id, slot) order.  Sensors absent from the map are
+        unaffected.
+    trace:
+        Optional :class:`~repro.core.greedy.GreedyTrace` filled with the
+        placement history.
+
+    Returns
+    -------
+    A :class:`~repro.core.schedule.PeriodicSchedule` in ACTIVE_SLOT mode
+    assigning each surviving sensor one feasible slot.
+    """
+    if slots_per_period < 1:
+        raise ValueError(
+            f"slots_per_period must be >= 1, got {slots_per_period}"
+        )
+    T = slots_per_period
+    sensor_list = sorted(set(sensors))
+    allowed: Dict[int, Tuple[int, ...]] = {}
+    for v in sensor_list:
+        slots = (
+            tuple(range(T))
+            if allowed_slots is None or v not in allowed_slots
+            else tuple(sorted(set(allowed_slots[v])))
+        )
+        if not slots:
+            raise ValueError(
+                f"sensor {v} has no allowed slots; drop it from the repair "
+                "instead of constraining it to nothing"
+            )
+        for t in slots:
+            if not 0 <= t < T:
+                raise ValueError(
+                    f"allowed slot {t} for sensor {v} outside 0..{T - 1}"
+                )
+        allowed[v] = slots
+
+    remaining: Set[int] = set(sensor_list)
+    slot_sets: List[frozenset] = [frozenset() for _ in range(T)]
+    slot_version = [0] * T
+    assignment: Dict[int, int] = {}
+    steps: List[GreedyStep] = []
+    total = 0.0
+
+    def tie_rank(v: int, t: int) -> int:
+        # 0 = incumbent slot, 1 = later slot or no incumbent (free),
+        # 2 = earlier than incumbent (costs one missed activation).
+        if prefer is None or v not in prefer:
+            return 1
+        if t == prefer[v]:
+            return 0
+        return 1 if t > prefer[v] else 2
+
+    # Same CELF-style lazy evaluation as _run_lazy in core.greedy: a
+    # popped entry is exact iff its slot's version is current, because
+    # placements only change gains within their own slot and per-slot
+    # submodularity makes every stale gain an upper bound.
+    heap: List[Tuple[float, int, int, int, int]] = []
+    for v in sensor_list:
+        for t in allowed[v]:
+            gain = utility.marginal(v, slot_sets[t])
+            heapq.heappush(heap, (-gain, tie_rank(v, t), v, t, 0))
+
+    order = 0
+    while remaining and heap:
+        neg_gain, rank, sensor, slot, version = heapq.heappop(heap)
+        if sensor not in remaining:
+            continue
+        if version != slot_version[slot]:
+            gain = utility.marginal(sensor, slot_sets[slot])
+            heapq.heappush(
+                heap, (-gain, rank, sensor, slot, slot_version[slot])
+            )
+            continue
+        gain = -neg_gain
+        remaining.remove(sensor)
+        slot_sets[slot] = slot_sets[slot] | {sensor}
+        slot_version[slot] += 1
+        assignment[sensor] = slot
+        total += gain
+        steps.append(
+            GreedyStep(
+                order=order, sensor=sensor, slot=slot, gain=gain, total_after=total
+            )
+        )
+        order += 1
+
+    if trace is not None:
+        trace.steps = steps
+    return PeriodicSchedule(
+        slots_per_period=T,
+        assignment=assignment,
+        mode=ScheduleMode.ACTIVE_SLOT,
+    )

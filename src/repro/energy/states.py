@@ -50,9 +50,11 @@ _ALLOWED = {
 class SensorStateMachine:
     """Tracks one node's state and enforces the legal lifecycle."""
 
-    def __init__(self, initial: NodeState = NodeState.READY):
+    def __init__(self, initial: NodeState = NodeState.READY, transitions: int = 0):
+        if transitions < 0:
+            raise ValueError(f"transitions must be >= 0, got {transitions}")
         self._state = initial
-        self._transitions = 0
+        self._transitions = transitions
 
     @property
     def state(self) -> NodeState:

@@ -9,7 +9,11 @@ through plain JSON-compatible dicts:
   shipped to the base station;
 - utility functions for the serializable families (homogeneous /
   general detection, log-sum, weighted coverage, target systems);
-- solve-result summaries for experiment logs.
+- solve-result summaries for experiment logs;
+- crash-safe checkpoint files for long simulation runs
+  (:func:`~repro.io.checkpoint.save_checkpoint` /
+  :func:`~repro.io.checkpoint.load_checkpoint`, atomic
+  write-then-rename).
 """
 
 from repro.io.serialization import (
@@ -25,6 +29,7 @@ from repro.io.files import (
     save_sweep_csv,
     save_trace_csv,
 )
+from repro.io.checkpoint import load_checkpoint, save_checkpoint
 
 __all__ = [
     "schedule_to_dict",
@@ -36,4 +41,6 @@ __all__ = [
     "load_schedule",
     "save_sweep_csv",
     "save_trace_csv",
+    "save_checkpoint",
+    "load_checkpoint",
 ]

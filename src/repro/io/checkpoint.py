@@ -1,0 +1,79 @@
+"""Crash-safe checkpoint files: atomic write-then-rename JSON.
+
+A checkpoint written mid-run must never be half-written on disk -- a
+power cut during the write would otherwise destroy both the run *and*
+its recovery point.  :func:`save_checkpoint` therefore writes to a
+temporary file in the same directory, flushes and fsyncs it, and
+``os.replace``\\ s it over the target: on POSIX the rename is atomic, so
+readers observe either the old complete checkpoint or the new complete
+checkpoint, never a torn one.
+
+The payload wraps an engine state
+(:meth:`~repro.sim.engine.SimulationEngine.checkpoint`) together with a
+free-form ``config`` dict the caller uses to rebuild the engine
+identically before restoring (the CLI stores its instance arguments
+there, see ``repro.cli resume``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+PathLike = Union[str, Path]
+
+CHECKPOINT_KIND = "repro-checkpoint"
+CHECKPOINT_VERSION = 1
+
+
+def save_checkpoint(
+    engine_state: Dict[str, Any],
+    path: PathLike,
+    config: Optional[Dict[str, Any]] = None,
+) -> None:
+    """Atomically persist an engine state (plus rebuild config).
+
+    Creates parent directories.  The write goes to ``<path>.tmp`` and is
+    renamed over ``path`` only after a successful flush+fsync, so an
+    interrupted save leaves any previous checkpoint intact.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "kind": CHECKPOINT_KIND,
+        "version": CHECKPOINT_VERSION,
+        "engine": engine_state,
+        "config": config or {},
+    }
+    tmp = target.with_name(target.name + ".tmp")
+    with tmp.open("w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, target)
+
+
+def load_checkpoint(path: PathLike) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+    """Read a checkpoint; returns ``(engine_state, config)``.
+
+    Fails loudly on foreign or future-versioned files -- silently
+    resuming a run from the wrong state is worse than not resuming.
+    """
+    with Path(path).open() as handle:
+        payload = json.load(handle)
+    kind = payload.get("kind")
+    if kind != CHECKPOINT_KIND:
+        raise ValueError(
+            f"not a repro checkpoint (kind={kind!r}, expected "
+            f"{CHECKPOINT_KIND!r})"
+        )
+    version = payload.get("version")
+    if version != CHECKPOINT_VERSION:
+        raise ValueError(
+            f"unsupported checkpoint version {version!r} "
+            f"(supported: {CHECKPOINT_VERSION})"
+        )
+    return payload["engine"], payload.get("config", {})

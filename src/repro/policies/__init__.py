@@ -19,6 +19,9 @@ adaptive re-planning as the harvest estimate shifts:
   sensors.
 - :class:`~repro.policies.heterogeneous.HeterogeneousGreedyPolicy` --
   the Sec. VIII extension for per-node charging patterns.
+- :class:`~repro.policies.self_healing.SelfHealingPolicy` -- wraps any
+  planner with report-driven failure detection, budgeted command retry
+  and greedy schedule repair over the surviving nodes.
 """
 
 from repro.policies.base import ActivationPolicy
@@ -33,6 +36,7 @@ from repro.policies.threshold import (
     sustainable_threshold,
 )
 from repro.policies.forecast_policy import ForecastPlanningPolicy
+from repro.policies.self_healing import SelfHealingPolicy
 
 __all__ = [
     "ActivationPolicy",
@@ -45,4 +49,5 @@ __all__ = [
     "UtilityAwareThresholdPolicy",
     "sustainable_threshold",
     "ForecastPlanningPolicy",
+    "SelfHealingPolicy",
 ]

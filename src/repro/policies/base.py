@@ -37,3 +37,18 @@ class ActivationPolicy(ABC):
 
     def reset(self) -> None:  # noqa: B027 - optional hook, default no-op
         """Clear internal state before a fresh run; default no-op."""
+
+    def state_dict(self) -> dict:
+        """JSON-compatible snapshot of mutable state for checkpointing.
+
+        Stateless policies (and policies whose state is a deterministic
+        function of the network, like a lazily-planned schedule) can
+        keep the default empty dict; policies carrying RNG streams,
+        estimators or repair state must override both this and
+        :meth:`load_state_dict` or a resumed run will diverge from the
+        uninterrupted one.
+        """
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:  # noqa: B027 - optional hook
+        """Restore what :meth:`state_dict` captured; default no-op."""

@@ -1,0 +1,464 @@
+"""Closed-loop self-healing: detect failures from reports, retry, re-plan.
+
+The oblivious failure story (:mod:`repro.sim.failures`) measures how a
+schedule planned for a healthy network degrades; this policy closes the
+loop.  It wraps any planner and layers three recovery mechanisms on top
+of its commands, all driven purely by the per-slot report stream (never
+the injected :class:`~repro.sim.failures.FailurePlan`):
+
+1. **Detection** -- a :class:`~repro.sim.health.HealthMonitor` counts
+   consecutive missed reports per node (suspicion, then eviction) and
+   latches nodes that run active without being commanded (stuck
+   actuators).
+2. **Command retry** -- a commanded node that reports back *idle and
+   not refused* lost its activation command in transit; the command is
+   re-issued with budgeted exponential backoff (``max_retries`` per
+   lost command, delay doubling from ``retry_backoff``).  An off-phase
+   re-activation is not free under the full-charge rule: the node
+   recharges through its next scheduled slot and forfeits that
+   activation, so each re-issue is gated on its marginal utility *now*
+   exceeding the forfeited on-phase marginal discounted by the chance
+   the next command arrives at all -- estimated, like everything else
+   here, from the observed report stream (the fraction of issued
+   commands that vanished).  At low loss rates the gate suppresses
+   counterproductive retries; at high loss rates the on-phase future
+   is itself unreliable and retries fire.
+3. **Schedule repair** -- when the set of unusable nodes (DOWN or
+   ROGUE) changes, a candidate re-plan is computed at the next period
+   boundary with :func:`~repro.core.repair.greedy_repair` over the
+   survivors.  Re-phasing is not free: a survivor moved to an
+   *earlier* slot within the period cannot recharge in time and
+   forfeits exactly one activation, so the candidate is adopted only
+   when its steady-state improvement, amortized over the remaining
+   periods (``horizon``), exceeds that one-off transition cost
+   (estimated from the greedy trace's marginal gains, an upper bound
+   by submodularity).  Each survivor's *reported* charge state is
+   respected through the transition: during the first period after
+   the boundary, commands to survivors whose batteries cannot yet
+   serve their new slot are withheld rather than wasted as refusals,
+   and every survivor is back in phase one period later.  An adopted
+   schedule supersedes the inner plan from the boundary on.
+
+Repair applies in the sparse regime (rho >= 1, the paper's Algorithm 1
+setting); for rho < 1 the policy still detects, suppresses and retries
+but leaves the plan untouched.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Sequence, Set
+
+from repro.core.greedy import GreedyTrace
+from repro.core.repair import greedy_repair
+from repro.core.schedule import PeriodicSchedule
+from repro.policies.base import ActivationPolicy
+from repro.sim.health import HealthMonitor
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.network import SensorNetwork
+    from repro.sim.node import NodeSlotReport
+
+
+class SelfHealingPolicy(ActivationPolicy):
+    """Wraps a planner with report-driven failure recovery.
+
+    Parameters
+    ----------
+    inner:
+        The planning policy whose commands are being healed.
+    suspect_after / evict_after / rogue_after:
+        Detection thresholds, see :class:`~repro.sim.health.HealthMonitor`.
+    max_retries:
+        Re-issues budgeted per lost command; 0 disables retry.
+    retry_backoff:
+        Delay in slots before the first re-issue; doubles per retry.
+    repair:
+        Re-plan over survivors when the unusable set changes.  Disable
+        to measure the retry/suppression layers in isolation.
+    horizon:
+        Total working slots of the run, if known.  Used to amortize
+        the one-off transition cost of a re-plan over the periods it
+        will actually serve; ``None`` treats the run as open-ended
+        (any strict steady-state improvement is adopted).
+    """
+
+    def __init__(
+        self,
+        inner: ActivationPolicy,
+        suspect_after: int = 2,
+        evict_after: int = 6,
+        rogue_after: int = 2,
+        max_retries: int = 2,
+        retry_backoff: int = 1,
+        repair: bool = True,
+        horizon: Optional[int] = None,
+    ):
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if retry_backoff < 1:
+            raise ValueError(f"retry_backoff must be >= 1, got {retry_backoff}")
+        self.inner = inner
+        self.suspect_after = suspect_after
+        self.evict_after = evict_after
+        self.rogue_after = rogue_after
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        self.repair_enabled = repair
+        if horizon is not None and horizon < 0:
+            raise ValueError(f"horizon must be >= 0, got {horizon}")
+        self.horizon = horizon
+        self.monitor: Optional[HealthMonitor] = None
+        self._retry_queue: Dict[int, Set[int]] = {}  # due slot -> node ids
+        self._retry_counts: Dict[int, int] = {}  # node -> retries of current loss
+        self._repaired: Optional[PeriodicSchedule] = None
+        self._pending_repair = False
+        self._repair_boundary = 0  # slot the repaired schedule starts at
+        self._ready_at: Dict[int, int] = {}  # survivor -> earliest feasible slot
+        self._excluded: FrozenSet[int] = frozenset()
+        self._last_commands: FrozenSet[int] = frozenset()
+        self._last_active_slot: Dict[int, int] = {}  # node -> last active slot
+        self._commands_delivered = 0  # commands answered by active/refused
+        self._commands_lost = 0  # commands answered by idle-not-refused
+        self.retries_issued = 0
+        self.retries_declined = 0
+        self.commands_suppressed = 0
+        self.repairs_performed = 0
+        self.repairs_skipped = 0
+
+    # ------------------------------------------------------------------
+    # Decide
+    # ------------------------------------------------------------------
+
+    def decide(self, slot: int, network: "SensorNetwork") -> FrozenSet[int]:
+        if self.monitor is None:
+            self.monitor = HealthMonitor(
+                network.num_sensors,
+                suspect_after=self.suspect_after,
+                evict_after=self.evict_after,
+                rogue_after=self.rogue_after,
+            )
+        T = network.period.slots_per_period
+        if (
+            self._pending_repair
+            and self.repair_enabled
+            and slot % T == 0
+            and network.period.rho >= 1
+        ):
+            self._repair(network, slot)
+
+        if self._repaired is not None:
+            base = self._repaired.active_set(slot)
+            if slot < self._repair_boundary + T:
+                # Transition period: a survivor moved to an earlier slot
+                # is still recharging from its old phase; commanding it
+                # would only be refused, so hold off until it is ready.
+                base = frozenset(
+                    v for v in base if self._ready_at.get(v, 0) <= slot
+                )
+        else:
+            base = self.inner.decide(slot, network)
+
+        # DOWN nodes keep receiving their scheduled commands: a command
+        # to a truly dead radio costs nothing, and a node whose outage
+        # just ended resumes its phase one slot sooner than waiting for
+        # the monitor to see its next report (optimistic probing).  Only
+        # ROGUE nodes are suppressed -- they run on their own clock, and
+        # not commanding them keeps their anomalies visible.
+        rogue = self.monitor.rogue_nodes()
+        commands = set()
+        for v in base:
+            if v in rogue:
+                self.commands_suppressed += 1
+            else:
+                commands.add(v)
+        for v in self._retry_queue.pop(slot, ()):
+            if v in rogue or v in commands:
+                continue
+            if self._retry_profitable(v, commands, network):
+                commands.add(v)
+                self.retries_issued += 1
+            else:
+                self.retries_declined += 1
+        self._last_commands = frozenset(commands)
+        self.monitor.note_commands(slot, self._last_commands)
+        return self._last_commands
+
+    def _loss_estimate(self) -> float:
+        """Observed fraction of issued commands lost in transit."""
+        answered = self._commands_delivered + self._commands_lost
+        return self._commands_lost / answered if answered else 0.0
+
+    def _retry_profitable(
+        self, v: int, commands: Set[int], network: "SensorNetwork"
+    ) -> bool:
+        """Re-activating ``v`` off-phase now earns ``m_now`` but (under
+        the full-charge rule) leaves it recharging through its next
+        scheduled slot, forfeiting that on-phase marginal -- which only
+        materializes if the next command survives the channel."""
+        utility = network.utility
+        m_now = utility.marginal(v, frozenset(commands))
+        T = network.period.slots_per_period
+        p = self._current_phase(v, T)
+        if p is None:
+            return m_now > 1e-12
+        usable = self.monitor.usable_nodes()
+        cohort = frozenset(
+            u
+            for u, s in self._last_active_slot.items()
+            if u != v and u in usable and s % T == p
+        )
+        m_phase = utility.marginal(v, cohort)
+        arrival = 1.0 - self._loss_estimate()
+        return m_now > arrival * m_phase + 1e-12
+
+    # ------------------------------------------------------------------
+    # Observe
+    # ------------------------------------------------------------------
+
+    def observe(self, slot: int, reports: Sequence["NodeSlotReport"]) -> None:
+        self.inner.observe(slot, reports)
+        if self.monitor is None:  # observe before any decide: nothing to do
+            return
+        self.monitor.observe(slot, reports)
+
+        reported = {r.node_id: r for r in reports}
+        for r in reports:
+            if r.was_active:
+                self._last_active_slot[r.node_id] = slot
+        for v in self._last_commands:
+            report = reported.get(v)
+            if report is None:
+                continue  # no report: the monitor's miss counter handles it
+            if report.was_active:
+                self._commands_delivered += 1
+                self._retry_counts.pop(v, None)
+                continue
+            if report.refused_activation:
+                # The node heard us but had no charge; re-sending the
+                # same command would be refused again.
+                self._commands_delivered += 1
+                self._retry_counts.pop(v, None)
+                continue
+            # Alive, idle, not refused: the command was lost in transit.
+            self._commands_lost += 1
+            count = self._retry_counts.get(v, 0)
+            if count < self.max_retries:
+                delay = self.retry_backoff * (2 ** count)
+                self._retry_queue.setdefault(slot + delay, set()).add(v)
+                self._retry_counts[v] = count + 1
+            else:
+                self._retry_counts.pop(v, None)
+
+        if self.repair_enabled:
+            unusable = frozenset(
+                self.monitor.down_nodes() | self.monitor.rogue_nodes()
+            )
+            if unusable != self._excluded:
+                self._pending_repair = True
+
+    # ------------------------------------------------------------------
+    # Repair
+    # ------------------------------------------------------------------
+
+    def _earliest_feasible_slot(
+        self, network: "SensorNetwork", v: int, boundary: int
+    ) -> int:
+        """Earliest absolute slot this survivor can honour an activation,
+        derived from its last *reported* charge state."""
+        last = self.monitor.last_report(v)
+        if last is None:
+            return boundary
+        _, level, state = last
+        node = network.node(v)
+        target = node.ready_threshold * node.battery.capacity
+        if state == "ready":
+            return boundary
+        if state == "active":
+            # Will drain to empty, then needs a full recharge.
+            needed = target
+        else:  # passive: recharging from its reported level
+            needed = max(0.0, target - level)
+        slots = int(math.ceil(needed / node.charge_per_slot - 1e-9))
+        return boundary + max(slots, 0)
+
+    def _current_phase(self, v: int, T: int) -> Optional[int]:
+        """The slot-within-period node ``v`` currently activates at, as
+        observed from its reports; ``None`` if never seen active."""
+        last = self._last_active_slot.get(v)
+        return None if last is None else last % T
+
+    def _repair(self, network: "SensorNetwork", boundary: int) -> None:
+        T = network.period.slots_per_period
+        unusable = frozenset(
+            self.monitor.down_nodes() | self.monitor.rogue_nodes()
+        )
+        survivors = [
+            v for v in range(network.num_sensors) if v not in unusable
+        ]
+        # The plan actually in force: the adopted repair if there is
+        # one (a survivor absent from it earns nothing, e.g. a node
+        # whose outage ended after the last re-plan), else the phases
+        # observed from activations (still purely report-driven).
+        if self._repaired is not None:
+            phase = {
+                v: self._repaired.assignment.get(v) for v in survivors
+            }
+        else:
+            phase = {v: self._current_phase(v, T) for v in survivors}
+        incumbent = {v: p for v, p in phase.items() if p is not None}
+        trace = GreedyTrace()
+        candidate = greedy_repair(
+            survivors, T, network.utility, prefer=incumbent, trace=trace
+        )
+
+        # Steady-state utility per period the in-force plan will keep
+        # earning with only the survivors.
+        current_value = sum(
+            network.utility.value(
+                frozenset(v for v in survivors if phase[v] == t)
+            )
+            for t in range(T)
+        )
+        candidate_value = trace.total_utility
+
+        # A survivor whose new slot lands before it can recharge misses
+        # exactly one activation during the transition (the decide-time
+        # mask withholds the wasted command); its recorded greedy gain
+        # upper-bounds that loss (submodularity).
+        ready_at = {
+            v: self._earliest_feasible_slot(network, v, boundary)
+            for v in survivors
+        }
+        transition_cost = sum(
+            step.gain
+            for step in trace.steps
+            if boundary + step.slot < ready_at[step.sensor]
+        )
+        gain_per_period = candidate_value - current_value
+        if self.horizon is None:
+            adopt = gain_per_period > 1e-12
+        else:
+            remaining_periods = max(0, self.horizon - boundary) / T
+            adopt = (
+                gain_per_period * remaining_periods
+                > transition_cost + 1e-12
+            )
+
+        if adopt:
+            self._repaired = candidate
+            self._repair_boundary = boundary
+            self._ready_at = ready_at
+            self.repairs_performed += 1
+        else:
+            self.repairs_skipped += 1
+        self._excluded = unusable
+        self._pending_repair = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def reset(self) -> None:
+        self.inner.reset()
+        self.monitor = None
+        self._retry_queue = {}
+        self._retry_counts = {}
+        self._repaired = None
+        self._pending_repair = False
+        self._repair_boundary = 0
+        self._ready_at = {}
+        self._excluded = frozenset()
+        self._last_commands = frozenset()
+        self._last_active_slot = {}
+        self._commands_delivered = 0
+        self._commands_lost = 0
+        self.retries_issued = 0
+        self.retries_declined = 0
+        self.commands_suppressed = 0
+        self.repairs_performed = 0
+        self.repairs_skipped = 0
+
+    def state_dict(self) -> dict:
+        from repro.io.serialization import schedule_to_dict
+
+        return {
+            "monitor": (
+                None
+                if self.monitor is None
+                else {
+                    "num_sensors": self.monitor.num_sensors,
+                    "state": self.monitor.state_dict(),
+                }
+            ),
+            "retry_queue": {
+                str(due): sorted(nodes)
+                for due, nodes in self._retry_queue.items()
+            },
+            "retry_counts": {
+                str(v): c for v, c in self._retry_counts.items()
+            },
+            "repaired": (
+                None
+                if self._repaired is None
+                else schedule_to_dict(self._repaired)
+            ),
+            "pending_repair": self._pending_repair,
+            "repair_boundary": self._repair_boundary,
+            "ready_at": {str(v): s for v, s in self._ready_at.items()},
+            "excluded": sorted(self._excluded),
+            "last_commands": sorted(self._last_commands),
+            "last_active_slot": {
+                str(v): s for v, s in self._last_active_slot.items()
+            },
+            "commands_delivered": self._commands_delivered,
+            "commands_lost": self._commands_lost,
+            "retries_declined": self.retries_declined,
+            "retries_issued": self.retries_issued,
+            "commands_suppressed": self.commands_suppressed,
+            "repairs_performed": self.repairs_performed,
+            "repairs_skipped": self.repairs_skipped,
+            "inner": self.inner.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        from repro.io.serialization import schedule_from_dict
+
+        if state["monitor"] is None:
+            self.monitor = None
+        else:
+            self.monitor = HealthMonitor(
+                state["monitor"]["num_sensors"],
+                suspect_after=self.suspect_after,
+                evict_after=self.evict_after,
+                rogue_after=self.rogue_after,
+            )
+            self.monitor.load_state_dict(state["monitor"]["state"])
+        self._retry_queue = {
+            int(due): set(nodes)
+            for due, nodes in state["retry_queue"].items()
+        }
+        self._retry_counts = {
+            int(v): c for v, c in state["retry_counts"].items()
+        }
+        self._repaired = (
+            None
+            if state["repaired"] is None
+            else schedule_from_dict(state["repaired"])
+        )
+        self._pending_repair = state["pending_repair"]
+        self._repair_boundary = state["repair_boundary"]
+        self._ready_at = {int(v): s for v, s in state["ready_at"].items()}
+        self._excluded = frozenset(state["excluded"])
+        self._last_commands = frozenset(state["last_commands"])
+        self._last_active_slot = {
+            int(v): s for v, s in state["last_active_slot"].items()
+        }
+        self._commands_delivered = state["commands_delivered"]
+        self._commands_lost = state["commands_lost"]
+        self.retries_declined = state["retries_declined"]
+        self.retries_issued = state["retries_issued"]
+        self.commands_suppressed = state["commands_suppressed"]
+        self.repairs_performed = state["repairs_performed"]
+        self.repairs_skipped = state["repairs_skipped"]
+        self.inner.load_state_dict(state["inner"])

@@ -21,6 +21,10 @@ Components:
 - :class:`~repro.sim.random_model.RandomChargingModel` -- Sec. V's
   stochastic discharge/recharge times and the effective ratio rho'.
 - :mod:`~repro.sim.metrics` -- utility/detection metric containers.
+- :mod:`~repro.sim.failures` -- injectable fault models (deaths,
+  correlated outages, stuck actuators, command loss).
+- :class:`~repro.sim.health.HealthMonitor` -- report-driven liveness
+  inference (the base station's failure detector).
 """
 
 from repro.sim.clock import SlottedClock
@@ -31,6 +35,7 @@ from repro.sim.events import DetectionOutcome, Event, PoissonEventProcess
 from repro.sim.random_model import RandomChargingModel, effective_ratio
 from repro.sim.metrics import SlotRecord, UtilityAccumulator
 from repro.sim.failures import FailureInjectedPolicy, FailurePlan
+from repro.sim.health import HealthMonitor, HealthSnapshot, NodeHealth
 from repro.sim.trace_driven import DaylightGatedPolicy, TraceDrivenChargingModel
 from repro.sim.batch import BatchResult, run_batch
 
@@ -49,6 +54,9 @@ __all__ = [
     "UtilityAccumulator",
     "FailurePlan",
     "FailureInjectedPolicy",
+    "HealthMonitor",
+    "HealthSnapshot",
+    "NodeHealth",
     "TraceDrivenChargingModel",
     "DaylightGatedPolicy",
     "BatchResult",

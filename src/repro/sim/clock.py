@@ -74,6 +74,12 @@ class SlottedClock:
     def reset(self) -> None:
         self._slot = 0
 
+    def seek(self, slot: int) -> None:
+        """Jump to an absolute slot (checkpoint restore)."""
+        if slot < 0:
+            raise ValueError(f"cannot seek to negative slot {slot}")
+        self._slot = slot
+
     def __repr__(self) -> str:
         return (
             f"SlottedClock(slot={self._slot}, minute={self.minute:g}, "

@@ -8,19 +8,34 @@ the combinatorial claims of :mod:`repro.core` (feasibility of the
 greedy schedule, achieved average utility) are validated by running
 them here, where a node that is not actually fully charged will refuse
 its activation no matter what the schedule says.
+
+Long runs are crash-safe: :meth:`SimulationEngine.checkpoint` captures
+every piece of mutable runtime state -- clock, batteries, accumulator,
+RNG streams, policy state -- as a JSON-compatible dict, and
+:meth:`SimulationEngine.restore` puts an identically-constructed engine
+back into it, after which :meth:`SimulationEngine.advance` continues
+the run bit-for-bit where it left off (see :mod:`repro.io.checkpoint`
+for the atomic on-disk format).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
+import numpy as np
+
+from repro.energy.states import NodeState
 from repro.policies.base import ActivationPolicy
 from repro.sim.events import DetectionOutcome, PoissonEventProcess
-from repro.sim.metrics import UtilityAccumulator
+from repro.sim.metrics import SlotRecord, UtilityAccumulator
 from repro.sim.network import SensorNetwork
 from repro.sim.node import NodeSlotReport
 from repro.sim.random_model import RandomChargingModel
+
+#: Format tag/version of :meth:`SimulationEngine.checkpoint` payloads.
+ENGINE_STATE_KIND = "engine-state"
+ENGINE_STATE_VERSION = 1
 
 
 @dataclass
@@ -50,8 +65,6 @@ class SimulationResult:
         counts = self.accumulator.activation_counts()
         if not counts:
             return 0.0
-        import numpy as np
-
         values = np.array(list(counts.values()), dtype=float)
         if values.mean() == 0:
             return 0.0
@@ -59,7 +72,21 @@ class SimulationResult:
 
 
 class SimulationEngine:
-    """Couples network, policy and optional stochastic models."""
+    """Couples network, policy and optional stochastic models.
+
+    Parameters
+    ----------
+    network, policy, charging_model, event_process, keep_node_reports:
+        As before: the simulated hardware, the decision layer and the
+        optional Sec. V stochastic models.
+    sensing_filter:
+        Optional ``(node_id, slot) -> bool`` predicate; nodes for which
+        it returns False drain energy like any active node but their
+        readings are discarded -- they contribute nothing to utility or
+        event detection.  This is the hardware half of the stuck-active
+        fault model (pass
+        :meth:`~repro.sim.failures.FailurePlan.sensing_ok`).
+    """
 
     def __init__(
         self,
@@ -68,62 +95,255 @@ class SimulationEngine:
         charging_model: Optional[RandomChargingModel] = None,
         event_process: Optional[PoissonEventProcess] = None,
         keep_node_reports: bool = False,
+        sensing_filter: Optional[Callable[[int, int], bool]] = None,
     ):
         self.network = network
         self.policy = policy
         self.charging_model = charging_model
         self.event_process = event_process
         self.keep_node_reports = keep_node_reports
+        self.sensing_filter = sensing_filter
+        self._accumulator: Optional[UtilityAccumulator] = None
+        self._all_reports: List[List[NodeSlotReport]] = []
+        self._refused_total = 0
+        self._slots_done = 0
+
+    @property
+    def slots_done(self) -> int:
+        """Slots executed in the current accumulation (survives restore)."""
+        return self._slots_done
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
 
     def run(self, num_slots: int) -> SimulationResult:
-        """Execute the policy for ``num_slots`` slots from the current state."""
+        """Execute the policy for ``num_slots`` slots from the current
+        network state, accumulating into a *fresh* result."""
+        self._begin()
+        return self.advance(num_slots)
+
+    def advance(self, num_slots: int) -> SimulationResult:
+        """Execute ``num_slots`` more slots, *continuing* the current
+        accumulation, and return the cumulative result so far.
+
+        Unlike :meth:`run` this never resets the accumulator, so a run
+        executed as several ``advance`` calls -- or interrupted,
+        checkpointed and resumed in a new process -- produces exactly
+        the result an uninterrupted ``run`` would have.
+        """
         if num_slots < 0:
             raise ValueError(f"num_slots must be >= 0, got {num_slots}")
-        accumulator = UtilityAccumulator(self.network.utility)
-        all_reports: List[List[NodeSlotReport]] = []
-        refused_total = 0
-
+        if self._accumulator is None:
+            self._begin()
         for _ in range(num_slots):
-            slot = self.network.clock.slot
-            commands = self.policy.decide(slot, self.network)
-
-            charge_scale = 1.0
-            if self.charging_model is not None:
-                charge_scale = self.charging_model.charge_scale(slot)
-
-            reports: List[NodeSlotReport] = []
-            for node in self.network.nodes:
-                drain_scale = 1.0
-                if self.charging_model is not None and node.node_id in commands:
-                    drain_scale = self.charging_model.drain_scale(slot)
-                reports.append(
-                    node.step(
-                        slot,
-                        activate=node.node_id in commands,
-                        drain_scale=drain_scale,
-                        charge_scale=charge_scale,
-                    )
-                )
-
-            active_set = frozenset(r.node_id for r in reports if r.was_active)
-            refused = sum(1 for r in reports if r.refused_activation)
-            refused_total += refused
-            accumulator.record(slot, active_set, refused=refused)
-
-            if self.event_process is not None:
-                self.event_process.step(slot, active_set)
-
-            self.policy.observe(slot, reports)
-            if self.keep_node_reports:
-                all_reports.append(reports)
-            self.network.clock.advance()
-
+            self._step()
         return SimulationResult(
-            num_slots=num_slots,
-            accumulator=accumulator,
-            refused_activations=refused_total,
-            node_reports=all_reports,
+            num_slots=self._slots_done,
+            accumulator=self._accumulator,
+            refused_activations=self._refused_total,
+            node_reports=self._all_reports,
             detection=(
-                self.event_process.outcome if self.event_process is not None else None
+                self.event_process.outcome
+                if self.event_process is not None
+                else None
             ),
         )
+
+    def _begin(self) -> None:
+        self._accumulator = UtilityAccumulator(self.network.utility)
+        self._all_reports = []
+        self._refused_total = 0
+        self._slots_done = 0
+
+    def _step(self) -> None:
+        slot = self.network.clock.slot
+        commands = self.policy.decide(slot, self.network)
+
+        charge_scale = 1.0
+        if self.charging_model is not None:
+            charge_scale = self.charging_model.charge_scale(slot)
+
+        reports: List[NodeSlotReport] = []
+        for node in self.network.nodes:
+            drain_scale = 1.0
+            if self.charging_model is not None and node.node_id in commands:
+                drain_scale = self.charging_model.drain_scale(slot)
+            reports.append(
+                node.step(
+                    slot,
+                    activate=node.node_id in commands,
+                    drain_scale=drain_scale,
+                    charge_scale=charge_scale,
+                )
+            )
+
+        active_set = frozenset(r.node_id for r in reports if r.was_active)
+        if self.sensing_filter is not None:
+            # Stuck nodes burned the energy but their readings are junk.
+            active_set = frozenset(
+                v for v in active_set if self.sensing_filter(v, slot)
+            )
+        refused = sum(1 for r in reports if r.refused_activation)
+        self._refused_total += refused
+        self._accumulator.record(slot, active_set, refused=refused)
+
+        if self.event_process is not None:
+            self.event_process.step(slot, active_set)
+
+        self.policy.observe(slot, reports)
+        if self.keep_node_reports:
+            self._all_reports.append(reports)
+        self.network.clock.advance()
+        self._slots_done += 1
+
+    # ------------------------------------------------------------------
+    # Checkpoint / resume
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> Dict:
+        """Capture all mutable runtime state as a JSON-compatible dict.
+
+        The engine's *construction* (network topology, utility, policy
+        wiring, stochastic-model parameters) is deliberately not
+        captured -- the caller rebuilds an identical engine and then
+        calls :meth:`restore`, the same contract as
+        :func:`~repro.io.serialization.schedule_to_dict` shipping a
+        schedule without its solver.
+        """
+        return {
+            "kind": ENGINE_STATE_KIND,
+            "version": ENGINE_STATE_VERSION,
+            "clock_slot": self.network.clock.slot,
+            "nodes": [node.snapshot() for node in self.network.nodes],
+            "slots_done": self._slots_done,
+            "refused_total": self._refused_total,
+            "accumulator": (
+                None
+                if self._accumulator is None
+                else [_record_to_dict(r) for r in self._accumulator.records]
+            ),
+            "node_reports": (
+                [
+                    [_report_to_dict(r) for r in slot_reports]
+                    for slot_reports in self._all_reports
+                ]
+                if self.keep_node_reports
+                else None
+            ),
+            "charging_model": (
+                None
+                if self.charging_model is None
+                else self.charging_model.state_dict()
+            ),
+            "event_process": (
+                None
+                if self.event_process is None
+                else self.event_process.state_dict()
+            ),
+            "policy": self.policy.state_dict(),
+        }
+
+    def restore(self, state: Dict) -> None:
+        """Inverse of :meth:`checkpoint`, onto an identically-built engine."""
+        kind = state.get("kind")
+        if kind != ENGINE_STATE_KIND:
+            raise ValueError(
+                f"not an engine state (kind={kind!r}, "
+                f"expected {ENGINE_STATE_KIND!r})"
+            )
+        version = state.get("version")
+        if version != ENGINE_STATE_VERSION:
+            raise ValueError(
+                f"unsupported engine state version {version!r} "
+                f"(supported: {ENGINE_STATE_VERSION})"
+            )
+        if len(state["nodes"]) != self.network.num_sensors:
+            raise ValueError(
+                f"checkpoint holds {len(state['nodes'])} nodes but the "
+                f"network has {self.network.num_sensors}; rebuild the "
+                "engine with the original configuration before restoring"
+            )
+        self.network.clock.seek(state["clock_slot"])
+        for node, snap in zip(self.network.nodes, state["nodes"]):
+            node.restore_snapshot(snap)
+        self._slots_done = state["slots_done"]
+        self._refused_total = state["refused_total"]
+        if state["accumulator"] is None:
+            self._accumulator = None
+        else:
+            self._accumulator = UtilityAccumulator(self.network.utility)
+            self._accumulator.records = [
+                _record_from_dict(d) for d in state["accumulator"]
+            ]
+        reports = state.get("node_reports")
+        self._all_reports = (
+            []
+            if reports is None
+            else [
+                [_report_from_dict(r) for r in slot_reports]
+                for slot_reports in reports
+            ]
+        )
+        if self.charging_model is not None and state["charging_model"] is not None:
+            self.charging_model.load_state_dict(state["charging_model"])
+        if self.event_process is not None and state["event_process"] is not None:
+            self.event_process.load_state_dict(state["event_process"])
+        self.policy.load_state_dict(state["policy"])
+
+
+# ----------------------------------------------------------------------
+# Record / report (de)serialization helpers
+# ----------------------------------------------------------------------
+
+
+def _record_to_dict(record: SlotRecord) -> Dict:
+    return {
+        "slot": record.slot,
+        "active_set": sorted(record.active_set),
+        "utility": record.utility,
+        "per_target": (
+            None if record.per_target is None else record.per_target.tolist()
+        ),
+        "refused_activations": record.refused_activations,
+    }
+
+
+def _record_from_dict(data: Dict) -> SlotRecord:
+    return SlotRecord(
+        slot=data["slot"],
+        active_set=frozenset(data["active_set"]),
+        utility=data["utility"],
+        per_target=(
+            None
+            if data["per_target"] is None
+            else np.asarray(data["per_target"], dtype=float)
+        ),
+        refused_activations=data["refused_activations"],
+    )
+
+
+def _report_to_dict(report: NodeSlotReport) -> Dict:
+    return {
+        "node_id": report.node_id,
+        "slot": report.slot,
+        "was_active": report.was_active,
+        "refused_activation": report.refused_activation,
+        "energy_drained": report.energy_drained,
+        "energy_charged": report.energy_charged,
+        "state_after": report.state_after.value,
+        "level_after": report.level_after,
+    }
+
+
+def _report_from_dict(data: Dict) -> NodeSlotReport:
+    return NodeSlotReport(
+        node_id=data["node_id"],
+        slot=data["slot"],
+        was_active=data["was_active"],
+        refused_activation=data["refused_activation"],
+        energy_drained=data["energy_drained"],
+        energy_charged=data["energy_charged"],
+        state_after=NodeState(data["state_after"]),
+        level_after=data["level_after"],
+    )

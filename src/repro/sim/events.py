@@ -152,6 +152,9 @@ class PoissonEventProcess:
                     break
 
         # Expire events that ended by the end of this slot.
+        return self._expire(slot)
+
+    def _expire(self, slot: int) -> List[Event]:
         missed: List[Event] = []
         still_alive: Dict[int, Event] = {}
         for event_id, event in self._event_ids.items():
@@ -163,3 +166,64 @@ class PoissonEventProcess:
                 still_alive[event_id] = event
         self._event_ids = still_alive
         return missed
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Everything a resumed run needs: RNG, live events, tallies."""
+        return {
+            "rng_state": self._rng.bit_generator.state,
+            "next_event_id": self._next_event_id,
+            "events": {
+                str(event_id): {
+                    "target": event.target,
+                    "start": event.start,
+                    "duration": event.duration,
+                }
+                for event_id, event in self._event_ids.items()
+            },
+            "detected_flags": {
+                str(event_id): flag
+                for event_id, flag in self._detected_flags.items()
+            },
+            "outcome": {
+                "events_total": self.outcome.events_total,
+                "events_detected": self.outcome.events_detected,
+                "per_target_total": {
+                    str(t): c for t, c in self.outcome.per_target_total.items()
+                },
+                "per_target_detected": {
+                    str(t): c
+                    for t, c in self.outcome.per_target_detected.items()
+                },
+            },
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._rng.bit_generator.state = state["rng_state"]
+        self._next_event_id = state["next_event_id"]
+        self._event_ids = {
+            int(event_id): Event(
+                target=payload["target"],
+                start=payload["start"],
+                duration=payload["duration"],
+            )
+            for event_id, payload in state["events"].items()
+        }
+        self._detected_flags = {
+            int(event_id): flag
+            for event_id, flag in state["detected_flags"].items()
+        }
+        outcome = state["outcome"]
+        self.outcome = DetectionOutcome(
+            events_total=outcome["events_total"],
+            events_detected=outcome["events_detected"],
+            per_target_total={
+                int(t): c for t, c in outcome["per_target_total"].items()
+            },
+            per_target_detected={
+                int(t): c for t, c in outcome["per_target_detected"].items()
+            },
+        )

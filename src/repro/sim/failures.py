@@ -1,4 +1,4 @@
-"""Failure injection: node deaths, outages and command loss.
+"""Failure injection: node deaths, outages, stuck actuators and command loss.
 
 The paper's testbed implicitly tolerates real-world failures (motes
 crash, radio commands get lost); the reproduction makes them explicit
@@ -7,7 +7,15 @@ and injectable so robustness can be measured:
 - **permanent death**: a node stops responding at a given slot and
   never comes back (hardware failure, battery damage);
 - **transient outage**: a node ignores commands during an interval
-  (reboot, local interference);
+  (reboot, local interference); :meth:`FailurePlan.random_outages`
+  samples independent per-node outages and
+  :meth:`FailurePlan.regional_outage` takes out *every* node inside a
+  disk for the same interval (correlated, weather-style: a storm cell
+  or shadowing front covers a region, not a single mote);
+- **stuck-active**: from a given slot the node's actuator sticks ON --
+  it drains energy every slot it has charge but its readings are
+  garbage, contributing nothing to coverage (pass
+  :meth:`FailurePlan.sensing_ok` as the engine's ``sensing_filter``);
 - **command loss**: each activation command is independently lost with
   probability ``command_loss``.
 
@@ -15,22 +23,40 @@ Failures are applied as a policy wrapper
 (:class:`FailureInjectedPolicy`): commands to failed nodes are dropped
 before the hardware layer sees them, so a dead node simply never
 activates -- exactly how a lost radio command behaves on a real
-deployment.  The underlying policy is unaware, which lets experiments
-measure how gracefully a *schedule planned for a healthy network*
-degrades (the coverage redundancy of submodular utilities is the
-mitigation the paper's model implies).
+deployment.  Symmetrically, a down node's *report* never reaches the
+base station: the wrapper filters the per-slot report stream before
+forwarding it to the inner policy, which is what makes report-driven
+failure detection (:class:`~repro.sim.health.HealthMonitor`) honest --
+the inner policy only ever sees what a real radio would deliver, never
+the :class:`FailurePlan` itself.
+
+The wrapped policy may be oblivious (measuring how gracefully a
+schedule planned for a healthy network degrades -- the coverage
+redundancy of submodular utilities is the mitigation the paper's model
+implies) or reactive (a
+:class:`~repro.policies.self_healing.SelfHealingPolicy` that detects
+the losses and re-plans around them).
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.coverage.deployment import RngLike, make_rng
 from repro.policies.base import ActivationPolicy
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.network import SensorNetwork
+
+
+def _xy(position) -> Tuple[float, float]:
+    """Coerce a Point-like or (x, y) pair into plain coordinates."""
+    if hasattr(position, "x") and hasattr(position, "y"):
+        return float(position.x), float(position.y)
+    x, y = position
+    return float(x), float(y)
 
 
 @dataclass
@@ -41,8 +67,34 @@ class FailurePlan:
     deaths: Dict[int, int] = field(default_factory=dict)
     #: node id -> list of (start, end) outage intervals, end exclusive.
     outages: Dict[int, List[Tuple[int, int]]] = field(default_factory=dict)
+    #: node id -> slot from which its actuator sticks ON (drains, no sensing).
+    stuck_active: Dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for node_id, slot in self.deaths.items():
+            if slot < 0:
+                raise ValueError(
+                    f"death slot must be >= 0, got {slot} for node {node_id}"
+                )
+        for node_id, intervals in self.outages.items():
+            for start, end in intervals:
+                if start < 0:
+                    raise ValueError(
+                        f"outage start must be >= 0, got {start} for node {node_id}"
+                    )
+                if end <= start:
+                    raise ValueError(
+                        f"outage interval must satisfy start < end, got "
+                        f"({start}, {end}) for node {node_id}"
+                    )
+        for node_id, slot in self.stuck_active.items():
+            if slot < 0:
+                raise ValueError(
+                    f"stuck-active slot must be >= 0, got {slot} for node {node_id}"
+                )
 
     def is_down(self, node_id: int, slot: int) -> bool:
+        """True iff the node's radio is unreachable at ``slot``."""
         death = self.deaths.get(node_id)
         if death is not None and slot >= death:
             return True
@@ -50,6 +102,34 @@ class FailurePlan:
             if start <= slot < end:
                 return True
         return False
+
+    def is_stuck(self, node_id: int, slot: int) -> bool:
+        """True iff the node's actuator is stuck ON at ``slot``."""
+        stuck = self.stuck_active.get(node_id)
+        return stuck is not None and slot >= stuck
+
+    def sensing_ok(self, node_id: int, slot: int) -> bool:
+        """Engine ``sensing_filter``: stuck nodes produce garbage readings."""
+        return not self.is_stuck(node_id, slot)
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.deaths or self.outages or self.stuck_active)
+
+    def merged(self, other: "FailurePlan") -> "FailurePlan":
+        """Union of two scenarios (earliest death/stuck slot wins)."""
+        deaths = dict(self.deaths)
+        for node_id, slot in other.deaths.items():
+            deaths[node_id] = min(slot, deaths.get(node_id, slot))
+        outages: Dict[int, List[Tuple[int, int]]] = {
+            v: list(intervals) for v, intervals in self.outages.items()
+        }
+        for node_id, intervals in other.outages.items():
+            outages.setdefault(node_id, []).extend(intervals)
+        stuck = dict(self.stuck_active)
+        for node_id, slot in other.stuck_active.items():
+            stuck[node_id] = min(slot, stuck.get(node_id, slot))
+        return FailurePlan(deaths=deaths, outages=outages, stuck_active=stuck)
 
     @classmethod
     def random_deaths(
@@ -75,19 +155,92 @@ class FailurePlan:
         }
         return cls(deaths=deaths)
 
+    @classmethod
+    def random_outages(
+        cls,
+        num_sensors: int,
+        outage_probability: float,
+        horizon: int,
+        mean_duration: float = 4.0,
+        rng: RngLike = None,
+    ) -> "FailurePlan":
+        """Each node independently suffers one transient outage w.p.
+        ``outage_probability``: start uniform in the horizon, duration
+        exponential with mean ``mean_duration`` slots (at least 1)."""
+        if not 0.0 <= outage_probability <= 1.0:
+            raise ValueError(
+                f"outage probability must be in [0, 1], got {outage_probability}"
+            )
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        if mean_duration <= 0:
+            raise ValueError(
+                f"mean duration must be positive, got {mean_duration}"
+            )
+        generator = make_rng(rng)
+        outages: Dict[int, List[Tuple[int, int]]] = {}
+        for v in range(num_sensors):
+            if generator.random() >= outage_probability:
+                continue
+            start = int(generator.integers(horizon))
+            duration = max(1, round(float(generator.exponential(mean_duration))))
+            outages[v] = [(start, start + duration)]
+        return cls(outages=outages)
+
+    @classmethod
+    def regional_outage(
+        cls,
+        positions: Sequence,
+        center,
+        radius: float,
+        start: int,
+        end: int,
+    ) -> "FailurePlan":
+        """Correlated outage: every node within ``radius`` of ``center``
+        is down during ``[start, end)`` -- a storm cell or shadowing
+        front takes out a whole region at once, the failure mode
+        independent per-node models cannot express.
+
+        Parameters
+        ----------
+        positions:
+            Node positions indexed by node id -- ``Point``-likes with
+            ``.x``/``.y`` (e.g. ``Deployment.sensors``) or (x, y) pairs.
+        center, radius:
+            The affected disk.
+        start, end:
+            The outage interval in slots, end exclusive.
+        """
+        if radius < 0:
+            raise ValueError(f"radius must be >= 0, got {radius}")
+        cx, cy = _xy(center)
+        outages: Dict[int, List[Tuple[int, int]]] = {}
+        for node_id, position in enumerate(positions):
+            x, y = _xy(position)
+            if math.hypot(x - cx, y - cy) <= radius:
+                outages[node_id] = [(start, end)]
+        return cls(outages=outages)
+
 
 class FailureInjectedPolicy(ActivationPolicy):
-    """Wraps a policy, dropping commands per a failure scenario.
+    """Wraps a policy, dropping commands and reports per a failure scenario.
 
     Parameters
     ----------
     inner:
         The policy being subjected to failures.
     plan:
-        Deterministic deaths/outages.
+        Deterministic deaths/outages/stuck actuators.
     command_loss:
         Per-(node, slot) independent probability that an activation
         command is lost in transit.
+
+    Besides dropping commands to down nodes, the wrapper (a) forces
+    stuck-active nodes ON so they drain exactly as a jammed actuator
+    would, and (b) removes down nodes' reports before they reach the
+    inner policy -- a dead radio neither receives commands nor delivers
+    telemetry, so report-driven detection sees exactly what a real base
+    station would.
     """
 
     def __init__(
@@ -105,6 +258,9 @@ class FailureInjectedPolicy(ActivationPolicy):
         self.plan = plan or FailurePlan()
         self.command_loss = command_loss
         self._rng = make_rng(rng)
+        # Snapshot the freshly-seeded stream so reset() can rewind it:
+        # repeated runs of the same engine draw identical loss patterns.
+        self._initial_rng_state = self._rng.bit_generator.state
         self.dropped_commands = 0
 
     def decide(self, slot: int, network: "SensorNetwork") -> FrozenSet[int]:
@@ -118,11 +274,32 @@ class FailureInjectedPolicy(ActivationPolicy):
                 self.dropped_commands += 1
                 continue
             surviving.add(node_id)
+        # A stuck actuator runs regardless of what anyone commanded.
+        for node_id, stuck_slot in self.plan.stuck_active.items():
+            if slot >= stuck_slot and not self.plan.is_down(node_id, slot):
+                surviving.add(node_id)
         return frozenset(surviving)
 
     def observe(self, slot, reports) -> None:
+        if self.plan.deaths or self.plan.outages:
+            reports = [
+                r for r in reports if not self.plan.is_down(r.node_id, slot)
+            ]
         self.inner.observe(slot, reports)
 
     def reset(self) -> None:
         self.inner.reset()
+        self._rng.bit_generator.state = self._initial_rng_state
         self.dropped_commands = 0
+
+    def state_dict(self) -> dict:
+        return {
+            "rng_state": self._rng.bit_generator.state,
+            "dropped_commands": self.dropped_commands,
+            "inner": self.inner.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._rng.bit_generator.state = state["rng_state"]
+        self.dropped_commands = state["dropped_commands"]
+        self.inner.load_state_dict(state["inner"])

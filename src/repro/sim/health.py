@@ -1,0 +1,246 @@
+"""Report-driven liveness inference: the base station's failure detector.
+
+A real base station never sees a :class:`~repro.sim.failures.FailurePlan`;
+all it has is the per-slot telemetry stream.  On this testbed every
+healthy node reports every slot (the paper's periodic wake-ups), so a
+*missing* report is the detection signal:
+
+- a node that misses ``suspect_after`` consecutive reports becomes
+  SUSPECT (could be one garbled packet -- don't re-plan yet);
+- at ``evict_after`` consecutive misses it is declared DOWN and handed
+  to the repair layer (a transient outage that ends later will bring it
+  back: one fresh report restores ALIVE);
+- a node repeatedly *active -- or refusing an activation -- on slots it
+  was never commanded* is latched ROGUE (stuck actuator: it reports
+  fine, but its readings are garbage and it fires on its own clock, so
+  schedules should route around it).
+
+The thresholds trade detection latency against false evictions exactly
+like the suspicion timeouts of classic failure detectors; both are
+configurable per deployment.  :class:`HealthMonitor` is deliberately
+dumb and deterministic -- no oracle access, no randomness -- so its
+verdicts are reproducible and auditable against the injected plan in
+tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.node import NodeSlotReport
+
+
+class NodeHealth(Enum):
+    """The monitor's verdict on one node."""
+
+    ALIVE = "alive"
+    SUSPECT = "suspect"
+    DOWN = "down"
+
+
+@dataclass(frozen=True)
+class HealthSnapshot:
+    """One slot's aggregate verdict set (diagnostics / logging)."""
+
+    slot: int
+    alive: FrozenSet[int]
+    suspects: FrozenSet[int]
+    down: FrozenSet[int]
+    rogue: FrozenSet[int]
+
+
+class HealthMonitor:
+    """Infers node liveness purely from :class:`NodeSlotReport` streams.
+
+    Parameters
+    ----------
+    num_sensors:
+        Nodes ``0..n-1`` are tracked.
+    suspect_after:
+        Consecutive missed reports before a node turns SUSPECT.
+    evict_after:
+        Consecutive missed reports before a node is declared DOWN
+        (must be >= ``suspect_after``).
+    rogue_after:
+        Observations of a node active -- or refusing an activation --
+        *without having been commanded* before it is latched ROGUE.
+        The count is cumulative, not
+        consecutive: a stuck actuator duty-cycles on its own clock
+        (drain, recharge, fire again), so its anomalies are spread out
+        -- and a healthy node on this hardware is never active
+        uncommanded, so accumulating them has no false positives.
+        Latched means permanent: going quiet while recharging is not
+        healing.
+    """
+
+    def __init__(
+        self,
+        num_sensors: int,
+        suspect_after: int = 2,
+        evict_after: int = 6,
+        rogue_after: int = 2,
+    ):
+        if num_sensors < 0:
+            raise ValueError(f"num_sensors must be >= 0, got {num_sensors}")
+        if suspect_after < 1:
+            raise ValueError(f"suspect_after must be >= 1, got {suspect_after}")
+        if evict_after < suspect_after:
+            raise ValueError(
+                f"evict_after ({evict_after}) must be >= suspect_after "
+                f"({suspect_after})"
+            )
+        if rogue_after < 1:
+            raise ValueError(f"rogue_after must be >= 1, got {rogue_after}")
+        self.num_sensors = num_sensors
+        self.suspect_after = suspect_after
+        self.evict_after = evict_after
+        self.rogue_after = rogue_after
+        self._misses: Dict[int, int] = {v: 0 for v in range(num_sensors)}
+        self._rogue_streak: Dict[int, int] = {v: 0 for v in range(num_sensors)}
+        self._rogue: set = set()
+        self._last_commands: FrozenSet[int] = frozenset()
+        self._last_report_slot: Dict[int, Optional[int]] = {
+            v: None for v in range(num_sensors)
+        }
+        self._last_level: Dict[int, Optional[float]] = {
+            v: None for v in range(num_sensors)
+        }
+        self._last_state: Dict[int, Optional[str]] = {
+            v: None for v in range(num_sensors)
+        }
+        self.total_evictions = 0
+
+    # ------------------------------------------------------------------
+    # Feeding
+    # ------------------------------------------------------------------
+
+    def note_commands(self, slot: int, commanded: Iterable[int]) -> None:
+        """Record what was commanded this slot (for rogue detection)."""
+        self._last_commands = frozenset(commanded)
+
+    def observe(self, slot: int, reports: Sequence["NodeSlotReport"]) -> None:
+        """Digest one slot's (possibly incomplete) report stream."""
+        seen = set()
+        for report in reports:
+            v = report.node_id
+            if v not in self._misses:
+                continue  # unknown id: ignore rather than crash the loop
+            seen.add(v)
+            self._misses[v] = 0
+            self._last_report_slot[v] = slot
+            self._last_level[v] = report.level_after
+            self._last_state[v] = report.state_after.value
+            # Rogue signal: activity OR a refused activation on a slot we
+            # never commanded.  A stuck actuator re-locks to its command
+            # phase (its successful firings look scheduled), but its
+            # forced attempts while recharging surface as uncommanded
+            # refusals -- something a healthy node cannot produce, since
+            # refusal requires a command.
+            if (
+                report.was_active or report.refused_activation
+            ) and v not in self._last_commands:
+                self._rogue_streak[v] += 1
+                if self._rogue_streak[v] >= self.rogue_after:
+                    self._rogue.add(v)
+        for v in self._misses:
+            if v not in seen:
+                before = self.status(v)
+                self._misses[v] += 1
+                if before is not NodeHealth.DOWN and (
+                    self.status(v) is NodeHealth.DOWN
+                ):
+                    self.total_evictions += 1
+
+    # ------------------------------------------------------------------
+    # Verdicts
+    # ------------------------------------------------------------------
+
+    def status(self, node_id: int) -> NodeHealth:
+        misses = self._misses[node_id]
+        if misses >= self.evict_after:
+            return NodeHealth.DOWN
+        if misses >= self.suspect_after:
+            return NodeHealth.SUSPECT
+        return NodeHealth.ALIVE
+
+    def is_rogue(self, node_id: int) -> bool:
+        return node_id in self._rogue
+
+    def down_nodes(self) -> FrozenSet[int]:
+        return frozenset(
+            v for v in self._misses if self.status(v) is NodeHealth.DOWN
+        )
+
+    def suspect_nodes(self) -> FrozenSet[int]:
+        return frozenset(
+            v for v in self._misses if self.status(v) is NodeHealth.SUSPECT
+        )
+
+    def rogue_nodes(self) -> FrozenSet[int]:
+        return frozenset(self._rogue)
+
+    def usable_nodes(self) -> FrozenSet[int]:
+        """Nodes a repair should plan with: not DOWN and not ROGUE.
+
+        SUSPECT nodes stay in -- evicting on a single missed packet
+        would thrash the schedule on every command loss.
+        """
+        return frozenset(
+            v
+            for v in self._misses
+            if self.status(v) is not NodeHealth.DOWN and v not in self._rogue
+        )
+
+    def last_report(self, node_id: int):
+        """(slot, level_after, state_after value) of the freshest report,
+        or ``None`` if the node never reported."""
+        slot = self._last_report_slot[node_id]
+        if slot is None:
+            return None
+        return slot, self._last_level[node_id], self._last_state[node_id]
+
+    def snapshot(self, slot: int) -> HealthSnapshot:
+        return HealthSnapshot(
+            slot=slot,
+            alive=frozenset(
+                v for v in self._misses if self.status(v) is NodeHealth.ALIVE
+            ),
+            suspects=self.suspect_nodes(),
+            down=self.down_nodes(),
+            rogue=self.rogue_nodes(),
+        )
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "misses": {str(v): m for v, m in self._misses.items()},
+            "rogue_streak": {str(v): s for v, s in self._rogue_streak.items()},
+            "rogue": sorted(self._rogue),
+            "last_commands": sorted(self._last_commands),
+            "last_report_slot": {
+                str(v): s for v, s in self._last_report_slot.items()
+            },
+            "last_level": {str(v): x for v, x in self._last_level.items()},
+            "last_state": {str(v): s for v, s in self._last_state.items()},
+            "total_evictions": self.total_evictions,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._misses = {int(v): m for v, m in state["misses"].items()}
+        self._rogue_streak = {
+            int(v): s for v, s in state["rogue_streak"].items()
+        }
+        self._rogue = set(state["rogue"])
+        self._last_commands = frozenset(state["last_commands"])
+        self._last_report_slot = {
+            int(v): s for v, s in state["last_report_slot"].items()
+        }
+        self._last_level = {int(v): x for v, x in state["last_level"].items()}
+        self._last_state = {int(v): s for v, s in state["last_state"].items()}
+        self.total_evictions = state["total_evictions"]

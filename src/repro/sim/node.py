@@ -180,6 +180,25 @@ class SimulatedNode:
             level_after=self.battery.level,
         )
 
+    def snapshot(self) -> dict:
+        """JSON-compatible capture of all mutable state (checkpointing)."""
+        return {
+            "level": self.battery.level,
+            "state": self.machine.state.value,
+            "transitions": self.machine.transitions,
+            "refused_activations": self.refused_activations,
+            "completed_activations": self.completed_activations,
+        }
+
+    def restore_snapshot(self, snap: dict) -> None:
+        """Inverse of :meth:`snapshot`."""
+        self.battery.set_level(snap["level"])
+        self.machine = SensorStateMachine(
+            NodeState(snap["state"]), transitions=snap["transitions"]
+        )
+        self.refused_activations = snap["refused_activations"]
+        self.completed_activations = snap["completed_activations"]
+
     def force(self, level: float, state: NodeState) -> None:
         """Set battery level and state directly (warm starts, trace replay).
 

@@ -151,3 +151,22 @@ class RandomChargingModel:
     def scales(self, slot: int) -> Tuple[float, float]:
         """(drain_scale, charge_scale) for the slot."""
         return self.drain_scale(slot), self.charge_scale(slot)
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Everything a resumed run needs to draw identical scales."""
+        return {
+            "rng_state": self._rng.bit_generator.state,
+            "ongoing": list(self._ongoing),
+            "current_charge_scale": self._current_charge_scale,
+            "charge_scale_period": self._charge_scale_period,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._rng.bit_generator.state = state["rng_state"]
+        self._ongoing = list(state["ongoing"])
+        self._current_charge_scale = state["current_charge_scale"]
+        self._charge_scale_period = state["charge_scale_period"]

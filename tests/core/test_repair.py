@@ -1,0 +1,94 @@
+"""Tests for incremental greedy schedule repair."""
+
+import pytest
+
+from repro.core.greedy import GreedyTrace, greedy_schedule
+from repro.core.problem import SchedulingProblem
+from repro.core.repair import greedy_repair
+from repro.energy.period import ChargingPeriod
+from repro.utility.detection import HomogeneousDetectionUtility
+from repro.utility.target_system import TargetSystem
+
+PERIOD = ChargingPeriod.paper_sunny()
+T = PERIOD.slots_per_period
+
+
+class TestReductionToAlgorithm1:
+    def test_full_ground_set_matches_greedy_schedule(self):
+        n = 12
+        utility = HomogeneousDetectionUtility(range(n), p=0.4)
+        problem = SchedulingProblem(
+            num_sensors=n, period=PERIOD, utility=utility, num_periods=1
+        )
+        reference = greedy_schedule(problem)
+        repaired = greedy_repair(range(n), T, utility)
+        assert repaired.assignment == reference.assignment
+
+    def test_subset_only_schedules_survivors(self):
+        utility = HomogeneousDetectionUtility(range(10), p=0.4)
+        survivors = [0, 2, 4, 6, 8]
+        repaired = greedy_repair(survivors, T, utility)
+        assert sorted(repaired.assignment) == survivors
+
+
+class TestConstraints:
+    def test_allowed_slots_respected(self):
+        utility = HomogeneousDetectionUtility(range(6), p=0.4)
+        repaired = greedy_repair(
+            range(6), T, utility, allowed_slots={0: [3], 1: [2, 3]}
+        )
+        assert repaired.assignment[0] == 3
+        assert repaired.assignment[1] in (2, 3)
+
+    def test_empty_allowed_slots_is_an_error(self):
+        utility = HomogeneousDetectionUtility(range(2), p=0.4)
+        with pytest.raises(ValueError, match="no allowed slots"):
+            greedy_repair(range(2), T, utility, allowed_slots={0: []})
+
+    def test_out_of_range_slot_is_an_error(self):
+        utility = HomogeneousDetectionUtility(range(2), p=0.4)
+        with pytest.raises(ValueError, match="outside"):
+            greedy_repair(range(2), T, utility, allowed_slots={0: [T]})
+
+    def test_bad_period_is_an_error(self):
+        utility = HomogeneousDetectionUtility(range(2), p=0.4)
+        with pytest.raises(ValueError, match="slots_per_period"):
+            greedy_repair(range(2), 0, utility)
+
+
+class TestIncumbentPreference:
+    def test_prefer_keeps_incumbent_on_ties(self):
+        """A symmetric instance has many equivalent optima; with prefer,
+        the repair must return the incumbent assignment rather than an
+        arbitrary relabeling."""
+        n = 8
+        utility = HomogeneousDetectionUtility(range(n), p=0.4)
+        incumbent = greedy_repair(range(n), T, utility).assignment
+        # Any permutation of slot labels is utility-equivalent here.
+        rotated = {v: (t + 1) % T for v, t in incumbent.items()}
+        stabilized = greedy_repair(range(n), T, utility, prefer=rotated)
+        assert stabilized.assignment == rotated
+
+    def test_prefer_does_not_block_improvements(self):
+        """When the incumbent is genuinely suboptimal the repair must
+        still move sensors off their preferred slots."""
+        utility = TargetSystem.homogeneous_detection(
+            [{0, 1}, {2, 3}], 0.9
+        )
+        # Incumbent crams everyone into slot 0, leaving slots 1-3 empty.
+        bad = {v: 0 for v in range(4)}
+        repaired = greedy_repair(range(4), T, utility, prefer=bad)
+        trace = GreedyTrace()
+        best = greedy_repair(range(4), T, utility, trace=trace)
+        occupied = lambda a: sorted(set(a.values()))
+        assert len(occupied(repaired.assignment)) > 1
+
+    def test_trace_records_placements(self):
+        utility = HomogeneousDetectionUtility(range(5), p=0.4)
+        trace = GreedyTrace()
+        repaired = greedy_repair(range(5), T, utility, trace=trace)
+        assert len(trace.steps) == 5
+        assert trace.placements() == [
+            (s.sensor, s.slot) for s in trace.steps
+        ]
+        assert dict(trace.placements()) == repaired.assignment

@@ -1,0 +1,185 @@
+"""Tests for crash-safe checkpointing and engine resume fidelity."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.greedy import greedy_schedule
+from repro.core.problem import SchedulingProblem
+from repro.energy.period import ChargingPeriod
+from repro.io.checkpoint import (
+    CHECKPOINT_KIND,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.policies.schedule_policy import SchedulePolicy
+from repro.policies.self_healing import SelfHealingPolicy
+from repro.sim.engine import SimulationEngine
+from repro.sim.events import PoissonEventProcess
+from repro.sim.failures import FailureInjectedPolicy, FailurePlan
+from repro.sim.network import SensorNetwork
+from repro.sim.random_model import RandomChargingModel
+from repro.utility.target_system import TargetSystem
+
+PERIOD = ChargingPeriod.paper_sunny()
+N = 12
+L = 80
+UTILITY = TargetSystem.homogeneous_detection(
+    [set(range(0, 6)), set(range(4, 12))], 0.5
+)
+
+
+def build_engine():
+    """The full stack: random charging, Poisson events, failure
+    injection with command loss, self-healing policy."""
+    problem = SchedulingProblem(
+        num_sensors=N, period=PERIOD, utility=UTILITY, num_periods=L // 4
+    )
+    schedule = greedy_schedule(problem)
+    plan = FailurePlan.random_deaths(N, 0.25, horizon=L, rng=3)
+    policy = FailureInjectedPolicy(
+        SelfHealingPolicy(SchedulePolicy(schedule), horizon=L),
+        plan,
+        command_loss=0.1,
+        rng=11,
+    )
+    events = PoissonEventProcess(
+        2,
+        0.2,
+        3.0,
+        [{v: 0.5 for v in range(0, 6)}, {v: 0.5 for v in range(4, 12)}],
+        rng=5,
+    )
+    charging = RandomChargingModel(PERIOD, 0.05, 2.0, recharge_std=0.1, rng=9)
+    network = SensorNetwork(N, PERIOD, UTILITY)
+    return SimulationEngine(
+        network,
+        policy,
+        charging_model=charging,
+        event_process=events,
+        keep_node_reports=True,
+    )
+
+
+def results_identical(a, b):
+    ra, rb = a.accumulator.records, b.accumulator.records
+    if len(ra) != len(rb):
+        return False
+    for x, y in zip(ra, rb):
+        if (
+            x.slot != y.slot
+            or x.active_set != y.active_set
+            or x.utility != y.utility
+            or not np.array_equal(x.per_target, y.per_target)
+        ):
+            return False
+    return (
+        a.refused_activations == b.refused_activations
+        and a.node_reports == b.node_reports
+        and a.detection == b.detection
+    )
+
+
+class TestSaveLoad:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        save_checkpoint({"x": 1}, path, config={"seed": 7})
+        state, config = load_checkpoint(path)
+        assert state == {"x": 1}
+        assert config == {"seed": 7}
+
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        save_checkpoint({}, path)
+        assert not (tmp_path / "run.ckpt.tmp").exists()
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "run.ckpt"
+        save_checkpoint({}, path)
+        assert path.exists()
+
+    def test_overwrite_replaces_atomically(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        save_checkpoint({"gen": 1}, path)
+        save_checkpoint({"gen": 2}, path)
+        state, _ = load_checkpoint(path)
+        assert state == {"gen": 2}
+
+    def test_rejects_foreign_files(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"kind": "something-else"}))
+        with pytest.raises(ValueError, match="kind"):
+            load_checkpoint(path)
+
+    def test_rejects_future_versions(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        path.write_text(
+            json.dumps({"kind": CHECKPOINT_KIND, "version": 999, "engine": {}})
+        )
+        with pytest.raises(ValueError, match="version"):
+            load_checkpoint(path)
+
+
+class TestEngineResume:
+    def test_resumed_run_is_bit_for_bit_identical(self, tmp_path):
+        """A run killed mid-way and resumed from its checkpoint must
+        reproduce the uninterrupted run's SimulationResult exactly --
+        every slot record, report, RNG draw and detection outcome."""
+        uninterrupted = build_engine().run(L)
+
+        killed = build_engine()
+        killed.run(33)
+        path = tmp_path / "run.ckpt"
+        save_checkpoint(killed.checkpoint(), path)
+
+        state, _ = load_checkpoint(path)
+        resumed_engine = build_engine()
+        resumed_engine.restore(state)
+        resumed = resumed_engine.advance(L - 33)
+
+        assert resumed.num_slots == uninterrupted.num_slots
+        assert (
+            resumed.accumulator.total_utility
+            == uninterrupted.accumulator.total_utility
+        )
+        assert results_identical(uninterrupted, resumed)
+
+    def test_checkpoint_is_json_serializable(self):
+        engine = build_engine()
+        engine.run(10)
+        json.dumps(engine.checkpoint())  # must not raise
+
+    def test_restore_rejects_wrong_node_count(self):
+        engine = build_engine()
+        engine.run(4)
+        state = engine.checkpoint()
+        other = SimulationEngine(
+            SensorNetwork(N + 1, PERIOD, UTILITY),
+            SchedulePolicy(
+                greedy_schedule(
+                    SchedulingProblem(
+                        num_sensors=N + 1,
+                        period=PERIOD,
+                        utility=UTILITY,
+                        num_periods=2,
+                    )
+                )
+            ),
+        )
+        with pytest.raises(ValueError):
+            other.restore(state)
+
+    def test_restore_rejects_foreign_state(self):
+        engine = build_engine()
+        with pytest.raises(ValueError):
+            engine.restore({"kind": "not-an-engine-state"})
+
+    def test_checkpoint_at_zero_slots(self):
+        engine = build_engine()
+        engine.run(0)
+        state = engine.checkpoint()
+        fresh = build_engine()
+        fresh.restore(state)
+        resumed = fresh.advance(L)
+        assert results_identical(build_engine().run(L), resumed)

@@ -1,0 +1,204 @@
+"""Tests for the self-healing policy: detection, retry, repair.
+
+The load-bearing claims: self-healing strictly dominates the oblivious
+baseline under deaths / outages / stuck actuators / command loss, and
+its detection layer uses only the report stream (never the injected
+FailurePlan).
+"""
+
+import pytest
+
+from repro.core.greedy import greedy_schedule
+from repro.core.problem import SchedulingProblem
+from repro.energy.period import ChargingPeriod
+from repro.policies.schedule_policy import SchedulePolicy
+from repro.policies.self_healing import SelfHealingPolicy
+from repro.sim.engine import SimulationEngine
+from repro.sim.failures import FailureInjectedPolicy, FailurePlan
+from repro.sim.network import SensorNetwork
+from repro.utility.target_system import TargetSystem
+
+PERIOD = ChargingPeriod.paper_sunny()
+N = 20
+PERIODS = 30
+L = PERIODS * PERIOD.slots_per_period
+UTILITY = TargetSystem.homogeneous_detection(
+    [set(range(0, 10)), set(range(5, 15)), set(range(10, 20))], 0.4
+)
+
+
+def planned_schedule():
+    problem = SchedulingProblem(
+        num_sensors=N, period=PERIOD, utility=UTILITY, num_periods=PERIODS
+    )
+    return greedy_schedule(problem)
+
+
+def run(policy, plan=None):
+    network = SensorNetwork(N, PERIOD, UTILITY)
+    sensing = (
+        plan.sensing_ok if plan is not None and plan.stuck_active else None
+    )
+    engine = SimulationEngine(network, policy, sensing_filter=sensing)
+    return engine.run(L)
+
+
+def totals(plan=None, command_loss=0.0, rng=None, **healing_kwargs):
+    schedule = planned_schedule()
+    oblivious = run(
+        FailureInjectedPolicy(
+            SchedulePolicy(schedule), plan, command_loss=command_loss, rng=rng
+        ),
+        plan,
+    )
+    healing = SelfHealingPolicy(
+        SchedulePolicy(schedule), horizon=L, **healing_kwargs
+    )
+    healed = run(
+        FailureInjectedPolicy(healing, plan, command_loss=command_loss, rng=rng),
+        plan,
+    )
+    return (
+        oblivious.accumulator.total_utility,
+        healed.accumulator.total_utility,
+        healing,
+    )
+
+
+class TestDominance:
+    def test_dominates_under_heavy_deaths(self):
+        """The headline acceptance scenario: >= 20% of nodes die and the
+        self-healing runtime retains strictly more utility."""
+        plan = FailurePlan.random_deaths(N, 0.3, horizon=L, rng=7)
+        assert len(plan.deaths) >= N // 5
+        oblivious, healed, policy = totals(plan=plan)
+        assert healed > oblivious
+        assert policy.repairs_performed >= 1
+
+    def test_dominates_under_long_outages(self):
+        plan = FailurePlan(outages={v: [(8, 110)] for v in (3, 5, 10, 18, 19)})
+        oblivious, healed, policy = totals(plan=plan)
+        assert healed > oblivious
+        assert policy.repairs_performed >= 1
+
+    def test_dominates_under_stuck_actuators(self):
+        plan = FailurePlan(stuck_active={2: 10, 7: 10})
+        oblivious, healed, policy = totals(plan=plan)
+        assert healed > oblivious
+        assert policy.repairs_performed >= 1
+
+    def test_dominates_under_command_loss(self):
+        oblivious, healed, policy = totals(command_loss=0.25, rng=13)
+        assert healed > oblivious
+        assert policy.retries_issued > 0
+
+    def test_dominates_under_combined_failures(self):
+        plan = FailurePlan.random_deaths(N, 0.25, horizon=L, rng=7).merged(
+            FailurePlan(outages={8: [(10, 50)]}, stuck_active={4: 16})
+        )
+        oblivious, healed, _ = totals(plan=plan, command_loss=0.1, rng=3)
+        assert healed > oblivious
+
+    def test_no_failures_no_meddling(self):
+        """On a healthy network the wrapper must be a no-op: same
+        commands, same utility, no repairs, no retries."""
+        oblivious, healed, policy = totals()
+        assert healed == oblivious
+        assert policy.repairs_performed == 0
+        assert policy.retries_issued == 0
+
+
+class TestDetection:
+    def test_detects_deaths_from_reports_only(self):
+        """The monitor's verdicts must match the injected deaths without
+        ever reading the FailurePlan."""
+        plan = FailurePlan(deaths={3: 6, 11: 20})
+        _, _, policy = totals(plan=plan)
+        assert policy.monitor.down_nodes() == frozenset({3, 11})
+
+    def test_detects_stuck_nodes_as_rogue(self):
+        plan = FailurePlan(stuck_active={2: 10})
+        _, _, policy = totals(plan=plan)
+        assert policy.monitor.rogue_nodes() == frozenset({2})
+
+    def test_outage_recovery_restores_alive(self):
+        plan = FailurePlan(outages={5: [(8, 40)]})
+        _, _, policy = totals(plan=plan)
+        assert policy.monitor.down_nodes() == frozenset()
+
+    def test_policy_has_no_plan_reference(self):
+        """Structural honesty: neither the policy nor its monitor holds
+        a FailurePlan."""
+        policy = SelfHealingPolicy(SchedulePolicy(planned_schedule()))
+        assert not any(
+            isinstance(value, FailurePlan) for value in vars(policy).values()
+        )
+
+
+class TestCostAwareRepair:
+    def test_unprofitable_repairs_are_skipped(self):
+        """A death right before the end of the run cannot amortize a
+        re-plan; the policy must keep the incumbent schedule."""
+        plan = FailurePlan(deaths={0: L - 10})
+        oblivious, healed, policy = totals(plan=plan)
+        assert policy.repairs_performed == 0
+        assert policy.repairs_skipped >= 1
+        assert healed == oblivious
+
+    def test_repair_disabled_still_detects(self):
+        plan = FailurePlan.random_deaths(N, 0.3, horizon=L, rng=7)
+        _, _, policy = totals(plan=plan, repair=False)
+        assert policy.repairs_performed == 0
+        assert policy.monitor.down_nodes() != frozenset()
+
+
+class TestLifecycle:
+    def test_reset_restores_determinism(self):
+        schedule = planned_schedule()
+        plan = FailurePlan.random_deaths(N, 0.3, horizon=L, rng=7)
+        policy = SelfHealingPolicy(SchedulePolicy(schedule), horizon=L)
+        wrapper = FailureInjectedPolicy(policy, plan)
+        first = run(wrapper, plan).accumulator.total_utility
+        wrapper.reset()
+        second = run(wrapper, plan).accumulator.total_utility
+        assert first == second
+
+    def test_state_dict_round_trip_mid_run(self):
+        schedule = planned_schedule()
+        plan = FailurePlan.random_deaths(N, 0.3, horizon=L, rng=7)
+
+        def fresh():
+            policy = SelfHealingPolicy(SchedulePolicy(schedule), horizon=L)
+            return FailureInjectedPolicy(policy, plan), policy
+
+        wrapper_a, _ = fresh()
+        network_a = SensorNetwork(N, PERIOD, UTILITY)
+        engine_a = SimulationEngine(network_a, wrapper_a)
+        engine_a.run(L)
+
+        wrapper_b, _ = fresh()
+        network_b = SensorNetwork(N, PERIOD, UTILITY)
+        engine_b = SimulationEngine(network_b, wrapper_b)
+        engine_b.run(50)
+        state = engine_b.checkpoint()
+
+        wrapper_c, _ = fresh()
+        network_c = SensorNetwork(N, PERIOD, UTILITY)
+        engine_c = SimulationEngine(network_c, wrapper_c)
+        engine_c.restore(state)
+        resumed = engine_c.advance(L - 50)
+
+        full = engine_a.advance(0)
+        assert (
+            resumed.accumulator.total_utility
+            == full.accumulator.total_utility
+        )
+
+    def test_validation(self):
+        inner = SchedulePolicy(planned_schedule())
+        with pytest.raises(ValueError, match="max_retries"):
+            SelfHealingPolicy(inner, max_retries=-1)
+        with pytest.raises(ValueError, match="retry_backoff"):
+            SelfHealingPolicy(inner, retry_backoff=0)
+        with pytest.raises(ValueError, match="horizon"):
+            SelfHealingPolicy(inner, horizon=-5)

@@ -140,3 +140,109 @@ class TestGracefulDegradation:
             result = SimulationEngine(network, policy).run(problem.total_slots)
             utilities.append(result.total_utility)
         assert utilities[0] > utilities[1] > utilities[2]
+
+
+class TestPlanValidation:
+    def test_negative_death_slot_rejected(self):
+        with pytest.raises(ValueError, match="death slot"):
+            FailurePlan(deaths={1: -3})
+
+    def test_reversed_outage_interval_rejected(self):
+        with pytest.raises(ValueError, match="start < end"):
+            FailurePlan(outages={0: [(7, 7)]})
+        with pytest.raises(ValueError, match="start < end"):
+            FailurePlan(outages={0: [(9, 4)]})
+
+    def test_negative_outage_start_rejected(self):
+        with pytest.raises(ValueError, match="outage start"):
+            FailurePlan(outages={0: [(-1, 4)]})
+
+    def test_negative_stuck_slot_rejected(self):
+        with pytest.raises(ValueError, match="stuck-active"):
+            FailurePlan(stuck_active={0: -1})
+
+
+class TestExpandedFaultModels:
+    def test_random_outages_seeded_and_bounded(self):
+        a = FailurePlan.random_outages(40, 0.5, horizon=100, rng=2)
+        b = FailurePlan.random_outages(40, 0.5, horizon=100, rng=2)
+        assert a.outages == b.outages
+        assert 5 <= len(a.outages) <= 35  # ~20 expected
+        for intervals in a.outages.values():
+            for start, end in intervals:
+                assert 0 <= start < 100
+                assert end > start
+
+    def test_random_outages_validation(self):
+        with pytest.raises(ValueError, match="probability"):
+            FailurePlan.random_outages(5, -0.1, 10)
+        with pytest.raises(ValueError, match="horizon"):
+            FailurePlan.random_outages(5, 0.5, 0)
+        with pytest.raises(ValueError, match="duration"):
+            FailurePlan.random_outages(5, 0.5, 10, mean_duration=0)
+
+    def test_regional_outage_hits_disk_only(self):
+        positions = [(0, 0), (1, 0), (5, 5), (0.5, 0.5)]
+        plan = FailurePlan.regional_outage(
+            positions, center=(0, 0), radius=1.5, start=3, end=9
+        )
+        assert set(plan.outages) == {0, 1, 3}
+        assert plan.is_down(0, 3) and not plan.is_down(0, 9)
+        assert not plan.is_down(2, 5)
+
+    def test_regional_outage_accepts_point_likes(self):
+        class Point:
+            def __init__(self, x, y):
+                self.x, self.y = x, y
+
+        plan = FailurePlan.regional_outage(
+            [Point(0, 0), Point(3, 4)], center=Point(0, 0),
+            radius=1.0, start=0, end=2,
+        )
+        assert set(plan.outages) == {0}
+
+    def test_merged_unions_scenarios(self):
+        a = FailurePlan(deaths={0: 5}, outages={1: [(0, 2)]})
+        b = FailurePlan(deaths={0: 3}, stuck_active={2: 7})
+        merged = a.merged(b)
+        assert merged.deaths == {0: 3}  # earliest wins
+        assert merged.outages == {1: [(0, 2)]}
+        assert merged.stuck_active == {2: 7}
+
+    def test_stuck_node_drains_without_sensing(self):
+        """A stuck-active node burns charge on its own clock but its
+        garbage readings earn nothing once the sensing filter is on."""
+        problem, schedule, network = setup(n=8, periods=10)
+        plan = FailurePlan(stuck_active={0: 0})
+        policy = FailureInjectedPolicy(SchedulePolicy(schedule), plan=plan)
+        result = SimulationEngine(
+            network, policy, sensing_filter=plan.sensing_ok
+        ).run(problem.total_slots)
+        # Node 0 activates (drains) but never appears in a scoring set.
+        assert all(0 not in r.active_set for r in result.accumulator.records)
+        assert network.node(0).completed_activations > 0
+
+        healthy_net = SensorNetwork(8, PERIOD, problem.utility)
+        healthy = SimulationEngine(
+            healthy_net, SchedulePolicy(schedule)
+        ).run(problem.total_slots)
+        assert result.accumulator.total_utility < healthy.accumulator.total_utility
+
+
+class TestRngResetRegression:
+    def test_reset_rewinds_command_loss_stream(self):
+        """reset() must rewind the RNG so a re-run of the same engine
+        draws the identical loss pattern (the bug: counters were reset
+        but the stream kept advancing)."""
+        problem, schedule, _ = setup(n=20, periods=20)
+        policy = FailureInjectedPolicy(
+            SchedulePolicy(schedule), command_loss=0.3, rng=5
+        )
+        network_a = SensorNetwork(20, PERIOD, problem.utility)
+        first = SimulationEngine(network_a, policy).run(problem.total_slots)
+        first_sets = [r.active_set for r in first.accumulator.records]
+        policy.reset()
+        network_b = SensorNetwork(20, PERIOD, problem.utility)
+        second = SimulationEngine(network_b, policy).run(problem.total_slots)
+        second_sets = [r.active_set for r in second.accumulator.records]
+        assert first_sets == second_sets

@@ -1,0 +1,146 @@
+"""Tests for report-driven liveness inference (HealthMonitor)."""
+
+import pytest
+
+from repro.sim.health import HealthMonitor, NodeHealth
+from repro.sim.node import NodeSlotReport
+from repro.energy.states import NodeState
+
+
+def report(v, slot, active=False, refused=False, state=NodeState.READY, level=1.0):
+    return NodeSlotReport(
+        node_id=v,
+        slot=slot,
+        was_active=active,
+        refused_activation=refused,
+        energy_drained=0.0,
+        energy_charged=0.0,
+        state_after=state,
+        level_after=level,
+    )
+
+
+def all_reports(n, slot, except_for=()):
+    return [report(v, slot) for v in range(n) if v not in except_for]
+
+
+class TestMissCounting:
+    def test_all_reporting_stays_alive(self):
+        mon = HealthMonitor(4)
+        for slot in range(10):
+            mon.observe(slot, all_reports(4, slot))
+        assert mon.down_nodes() == frozenset()
+        assert mon.suspect_nodes() == frozenset()
+        assert mon.usable_nodes() == frozenset(range(4))
+
+    def test_alive_suspect_down_progression(self):
+        mon = HealthMonitor(3, suspect_after=2, evict_after=4)
+        for slot in range(4):
+            mon.observe(slot, all_reports(3, slot, except_for={1}))
+            if slot < 1:
+                assert mon.status(1) is NodeHealth.ALIVE
+            elif slot < 3:
+                assert mon.status(1) is NodeHealth.SUSPECT
+        assert mon.status(1) is NodeHealth.DOWN
+        assert mon.down_nodes() == frozenset({1})
+        assert mon.total_evictions == 1
+
+    def test_fresh_report_resets_misses(self):
+        mon = HealthMonitor(2, suspect_after=2, evict_after=4)
+        mon.observe(0, all_reports(2, 0, except_for={0}))
+        mon.observe(1, all_reports(2, 1, except_for={0}))
+        assert mon.status(0) is NodeHealth.SUSPECT
+        mon.observe(2, all_reports(2, 2))  # node 0 back (outage over)
+        assert mon.status(0) is NodeHealth.ALIVE
+
+    def test_down_node_recovers_on_report(self):
+        mon = HealthMonitor(2, suspect_after=1, evict_after=2)
+        for slot in range(3):
+            mon.observe(slot, all_reports(2, slot, except_for={1}))
+        assert mon.status(1) is NodeHealth.DOWN
+        mon.observe(3, all_reports(2, 3))
+        assert mon.status(1) is NodeHealth.ALIVE
+
+
+class TestRogueDetection:
+    def test_uncommanded_activity_latches_rogue(self):
+        mon = HealthMonitor(2, rogue_after=2)
+        mon.note_commands(0, frozenset())
+        mon.observe(0, [report(0, 0), report(1, 0, active=True)])
+        assert not mon.is_rogue(1)
+        # Anomalies are cumulative, not consecutive: quiet slots between
+        # them (the stuck node recharging) must not reset the count.
+        mon.note_commands(1, frozenset())
+        mon.observe(1, [report(0, 1), report(1, 1)])
+        mon.note_commands(2, frozenset())
+        mon.observe(2, [report(0, 2), report(1, 2, active=True)])
+        assert mon.is_rogue(1)
+        assert mon.rogue_nodes() == frozenset({1})
+        assert 1 not in mon.usable_nodes()
+
+    def test_commanded_activity_is_not_rogue(self):
+        mon = HealthMonitor(1, rogue_after=1)
+        mon.note_commands(0, frozenset({0}))
+        mon.observe(0, [report(0, 0, active=True)])
+        assert not mon.is_rogue(0)
+
+    def test_rogue_is_permanent(self):
+        mon = HealthMonitor(1, rogue_after=1)
+        mon.note_commands(0, frozenset())
+        mon.observe(0, [report(0, 0, active=True)])
+        assert mon.is_rogue(0)
+        for slot in range(1, 5):
+            mon.note_commands(slot, frozenset())
+            mon.observe(slot, [report(0, slot)])
+        assert mon.is_rogue(0)
+
+
+class TestBookkeeping:
+    def test_last_report_tracks_freshest(self):
+        mon = HealthMonitor(1)
+        assert mon.last_report(0) is None
+        mon.observe(3, [report(0, 3, state=NodeState.PASSIVE, level=0.25)])
+        assert mon.last_report(0) == (3, 0.25, "passive")
+
+    def test_snapshot_partitions_nodes(self):
+        mon = HealthMonitor(3, suspect_after=1, evict_after=2, rogue_after=1)
+        mon.note_commands(0, frozenset())
+        mon.observe(0, [report(0, 0), report(2, 0, active=True)])
+        mon.observe(1, [report(0, 1), report(2, 1)])
+        snap = mon.snapshot(1)
+        assert snap.alive == frozenset({0, 2})
+        assert snap.down == frozenset({1})
+        assert snap.rogue == frozenset({2})
+
+    def test_unknown_node_ids_ignored(self):
+        mon = HealthMonitor(1)
+        mon.observe(0, [report(99, 0)])
+        assert mon.usable_nodes() == frozenset({0})
+
+    def test_state_dict_round_trip(self):
+        mon = HealthMonitor(3, suspect_after=1, evict_after=2, rogue_after=1)
+        mon.note_commands(0, frozenset({0}))
+        mon.observe(0, [report(0, 0, active=True), report(2, 0, active=True)])
+        mon.observe(1, [report(0, 1)])
+        clone = HealthMonitor(3, suspect_after=1, evict_after=2, rogue_after=1)
+        clone.load_state_dict(mon.state_dict())
+        assert clone.down_nodes() == mon.down_nodes()
+        assert clone.rogue_nodes() == mon.rogue_nodes()
+        assert clone.last_report(0) == mon.last_report(0)
+        assert clone.total_evictions == mon.total_evictions
+        # and the clone keeps counting from where the original stopped
+        mon.observe(2, [report(0, 2)])
+        clone.observe(2, [report(0, 2)])
+        assert clone.down_nodes() == mon.down_nodes()
+
+
+class TestValidation:
+    def test_thresholds_validated(self):
+        with pytest.raises(ValueError, match="suspect_after"):
+            HealthMonitor(1, suspect_after=0)
+        with pytest.raises(ValueError, match="evict_after"):
+            HealthMonitor(1, suspect_after=3, evict_after=2)
+        with pytest.raises(ValueError, match="rogue_after"):
+            HealthMonitor(1, rogue_after=0)
+        with pytest.raises(ValueError, match="num_sensors"):
+            HealthMonitor(-1)

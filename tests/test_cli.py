@@ -56,6 +56,96 @@ class TestSimulate:
         assert float(scheduled) == pytest.approx(float(achieved))
 
 
+class TestCheckpointResume:
+    def test_interrupted_run_resumes_to_same_result(self, capsys, tmp_path):
+        """Kill a simulate run mid-way, resume from its checkpoint, and
+        require the same achieved utility as the uninterrupted run."""
+        ckpt = str(tmp_path / "run.ckpt")
+        args = ["--sensors", "12", "--periods", "8", "--seed", "4"]
+
+        assert main(["simulate", *args]) == 0
+        full = capsys.readouterr().out
+
+        assert (
+            main(
+                [
+                    "simulate",
+                    *args,
+                    "--checkpoint",
+                    ckpt,
+                    "--checkpoint-every",
+                    "5",
+                    "--stop-after",
+                    "13",
+                ]
+            )
+            == 0
+        )
+        interrupted = capsys.readouterr().out
+        assert "stopped after 13/32 slots" in interrupted
+
+        assert main(["resume", "--checkpoint", ckpt]) == 0
+        resumed = capsys.readouterr().out
+        assert "resuming at slot 13/32" in resumed
+
+        def achieved(out):
+            return next(
+                line for line in out.splitlines() if "achieved" in line
+            )
+
+        assert achieved(resumed) == achieved(full)
+
+    def test_resume_of_finished_run_reports_and_exits(self, capsys, tmp_path):
+        ckpt = str(tmp_path / "run.ckpt")
+        main(
+            [
+                "simulate",
+                "--sensors",
+                "8",
+                "--periods",
+                "2",
+                "--checkpoint",
+                ckpt,
+            ]
+        )
+        capsys.readouterr()
+        assert main(["resume", "--checkpoint", ckpt]) == 0
+        out = capsys.readouterr().out
+        assert "resuming at slot 8/8" in out
+
+    def test_stop_after_zero_still_writes_checkpoint(self, capsys, tmp_path):
+        """The resume hint must never point at a file that was not
+        written: --stop-after 0 skips the run loop entirely."""
+        ckpt = str(tmp_path / "zero.ckpt")
+        args = ["--sensors", "8", "--periods", "2"]
+        assert (
+            main(["simulate", *args, "--checkpoint", ckpt, "--stop-after", "0"])
+            == 0
+        )
+        assert "stopped after 0/8" in capsys.readouterr().out
+        assert main(["resume", "--checkpoint", ckpt]) == 0
+        assert "resuming at slot 0/8" in capsys.readouterr().out
+
+    def test_resume_missing_file_is_a_clean_error(self, capsys, tmp_path):
+        missing = str(tmp_path / "nope.ckpt")
+        assert main(["resume", "--checkpoint", missing]) == 2
+        assert "checkpoint not found" in capsys.readouterr().err
+
+    def test_resume_corrupt_file_is_a_clean_error(self, capsys, tmp_path):
+        path = tmp_path / "torn.ckpt"
+        path.write_text("not json at all")
+        assert main(["resume", "--checkpoint", str(path)]) == 2
+        assert "cannot read checkpoint" in capsys.readouterr().err
+
+    def test_resume_rejects_configless_checkpoint(self, capsys, tmp_path):
+        from repro.io.checkpoint import save_checkpoint
+
+        path = tmp_path / "bare.ckpt"
+        save_checkpoint({"kind": "engine-state"}, path)
+        assert main(["resume", "--checkpoint", str(path)]) == 2
+        assert "no rebuild config" in capsys.readouterr().err
+
+
 class TestTrace:
     def test_csv_output(self, capsys):
         assert main(["trace", "--days", "1", "--seed", "3"]) == 0
