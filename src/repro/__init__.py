@@ -23,6 +23,8 @@ implements the full system:
 - :mod:`repro.policies` -- online activation policies, including the
   adaptive re-planning policy and the paper's future-work extensions.
 - :mod:`repro.analysis` -- statistics and fixed-width report tables.
+- :mod:`repro.runtime` -- parallel solve execution (process worker
+  pool) and the content-addressed schedule cache.
 
 Quickstart::
 
@@ -72,6 +74,13 @@ from repro.solar import (
     SolarPanel,
     WeatherCondition,
     generate_node_trace,
+)
+from repro.runtime import (
+    CacheStats,
+    ScheduleCache,
+    solve_cached,
+    solve_fingerprint,
+    solve_many,
 )
 from repro.utility import (
     AreaCoverageUtility,
@@ -136,4 +145,10 @@ __all__ = [
     "WeatherCondition",
     "HarvestEstimator",
     "generate_node_trace",
+    # runtime
+    "ScheduleCache",
+    "CacheStats",
+    "solve_cached",
+    "solve_many",
+    "solve_fingerprint",
 ]

@@ -11,12 +11,24 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+)
 
 import numpy as np
 
 from repro.core.problem import SchedulingProblem
-from repro.core.solver import SolveResult, solve
+from repro.core.solver import SolveResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import cycle guard
+    from repro.runtime.cache import ScheduleCache
 from repro.coverage.deployment import uniform_deployment
 from repro.coverage.matrix import ensure_coverable
 from repro.coverage.sensing import DiskSensingModel
@@ -120,10 +132,21 @@ class SweepRecord:
 def run_sweep(
     spec: SweepSpec,
     workload_fn: Optional[WorkloadFn] = None,
+    jobs: Optional[int] = None,
+    cache: Optional["ScheduleCache"] = None,
+    timeout: Optional[float] = None,
 ) -> List[SweepRecord]:
     """Run every cell of the grid; returns one record per cell.
 
     ``workload_fn`` overrides the named workload in the spec.
+
+    Cells are solved through :func:`repro.runtime.executor.solve_many`:
+    ``jobs`` farms unique solves across worker processes, and ``cache``
+    (a :class:`~repro.runtime.cache.ScheduleCache`) deduplicates
+    identical ``(problem, method)`` cells -- e.g. a deterministic
+    method swept over many seeds of a seed-independent workload solves
+    once and fans out, instead of re-solving per pivot row.  Record
+    order and contents match the serial, uncached run exactly.
     """
     if workload_fn is None:
         try:
@@ -133,8 +156,11 @@ def run_sweep(
                 f"unknown workload {spec.workload!r}; "
                 f"available: {sorted(WORKLOADS)}"
             ) from None
-    records: List[SweepRecord] = []
-    for cell in spec.cells():
+    from repro.runtime.executor import solve_many
+
+    cells = list(spec.cells())
+    tasks = []
+    for cell in cells:
         utility = workload_fn(cell["n"], cell["m"], cell["p"], cell["seed"])
         problem = SchedulingProblem(
             num_sensors=cell["n"],
@@ -142,9 +168,12 @@ def run_sweep(
             utility=utility,
             num_periods=spec.num_periods,
         )
-        result = solve(problem, method=cell["method"], rng=cell["seed"])
-        records.append(SweepRecord(params=cell, result=result))
-    return records
+        tasks.append((problem, cell["method"], cell["seed"]))
+    results, _ = solve_many(tasks, jobs=jobs, cache=cache, timeout=timeout)
+    return [
+        SweepRecord(params=cell, result=result)
+        for cell, result in zip(cells, results)
+    ]
 
 
 def records_to_csv(records: Sequence[SweepRecord]) -> str:

@@ -9,7 +9,17 @@ Subcommands:
 - ``trace``     generate a synthetic testbed trace (the Fig. 7 data)
                 as CSV;
 - ``sweep``     run a parameter sweep and print the pivot table;
-- ``resume``    finish a ``simulate`` run from a crash-safe checkpoint.
+- ``resume``    finish a ``simulate`` run from a crash-safe checkpoint;
+- ``cache``     inspect or clear the persistent schedule cache;
+- ``figure``    reproduce a paper figure as JSON or SVG.
+
+``solve``, ``sweep`` and ``figure`` go through the
+:mod:`repro.runtime` subsystem: repeated solves of identical instances
+are served from a content-addressed cache (``$REPRO_CACHE_DIR`` or
+``~/.cache/repro/schedules``; disable per-invocation with
+``--no-cache``), and ``--jobs N`` farms independent solves across N
+worker processes.  Results are bit-for-bit identical for any ``--jobs``
+value and any cache temperature.
 
 Examples::
 
@@ -21,6 +31,9 @@ Examples::
     python -m repro.cli resume --checkpoint run.ckpt
     python -m repro.cli trace --days 2 --weather cloudy > trace.csv
     python -m repro.cli sweep --sensors 50 100 --targets 10 --methods greedy random
+    python -m repro.cli sweep --sensors 50 100 --repeats 10 --jobs 4
+    python -m repro.cli cache stats
+    python -m repro.cli cache clear
 """
 
 from __future__ import annotations
@@ -38,6 +51,8 @@ from repro.energy.period import ChargingPeriod
 from repro.io.checkpoint import load_checkpoint, save_checkpoint
 from repro.io.serialization import result_summary, schedule_to_dict
 from repro.policies.schedule_policy import SchedulePolicy
+from repro.runtime.cache import ScheduleCache, default_cache_dir
+from repro.runtime.executor import solve_cached
 from repro.sim.engine import SimulationEngine
 from repro.sim.network import SensorNetwork
 from repro.solar.trace import generate_node_trace
@@ -54,9 +69,18 @@ def _build_problem(args: argparse.Namespace) -> SchedulingProblem:
     )
 
 
+def _runtime_cache(args: argparse.Namespace) -> Optional[ScheduleCache]:
+    """The persistent schedule cache, unless ``--no-cache`` asked out."""
+    if getattr(args, "no_cache", False):
+        return None
+    return ScheduleCache(directory=default_cache_dir())
+
+
 def cmd_solve(args: argparse.Namespace) -> int:
     problem = _build_problem(args)
-    result = solve(problem, method=args.method, rng=args.seed)
+    result, _status = solve_cached(
+        problem, method=args.method, rng=args.seed, cache=_runtime_cache(args)
+    )
     if args.json:
         payload = result_summary(result)
         if result.periodic is not None:
@@ -192,7 +216,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         seeds=list(range(args.repeats)),
         workload=args.workload,
     )
-    records = run_sweep(spec)
+    cache = _runtime_cache(args)
+    records = run_sweep(spec, jobs=args.jobs, cache=cache)
     table = pivot(records, row_key="n", col_key="method")
     methods = sorted({r.params["method"] for r in records})
     rows = [
@@ -200,7 +225,27 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         for n in sorted(table)
     ]
     print(format_table(["n"] + methods, rows, "{:.4f}"))
+    if cache is not None:
+        # Diagnostics go to stderr so the pivot table on stdout stays
+        # byte-identical across cache temperatures and --jobs values.
+        print(f"cache: {cache.stats}", file=sys.stderr)
     return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    directory = args.dir or default_cache_dir()
+    cache = ScheduleCache(directory=directory)
+    if args.cache_command == "stats":
+        print(f"directory : {directory}")
+        print(f"entries   : {cache.disk_entries()}")
+        print(f"bytes     : {cache.disk_bytes()}")
+        return 0
+    if args.cache_command == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached schedules from {directory}")
+        return 0
+    print(f"unknown cache command {args.cache_command!r}", file=sys.stderr)
+    return 2
 
 
 def cmd_figure(args: argparse.Namespace) -> int:
@@ -212,7 +257,7 @@ def cmd_figure(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    data = reproduce(args.name)
+    data = reproduce(args.name, jobs=args.jobs)
     if args.svg:
         from pathlib import Path
 
@@ -248,8 +293,25 @@ def build_parser() -> argparse.ArgumentParser:
             "--method", choices=METHODS, default="greedy", help="solver method"
         )
 
+    def add_runtime_args(p: argparse.ArgumentParser, jobs: bool = True) -> None:
+        if jobs:
+            p.add_argument(
+                "--jobs",
+                type=int,
+                default=None,
+                metavar="N",
+                help="farm independent solves across N worker processes "
+                "(identical results for any N)",
+            )
+        p.add_argument(
+            "--no-cache",
+            action="store_true",
+            help="skip the persistent schedule cache for this invocation",
+        )
+
     p_solve = sub.add_parser("solve", help="plan a schedule and print it")
     add_instance_args(p_solve)
+    add_runtime_args(p_solve, jobs=False)
     p_solve.add_argument("--json", action="store_true", help="emit JSON")
     p_solve.set_defaults(func=cmd_solve)
 
@@ -310,7 +372,24 @@ def build_parser() -> argparse.ArgumentParser:
         default="bipartite",
         choices=["single-target", "geometric", "bipartite"],
     )
+    add_runtime_args(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or clear the persistent schedule cache"
+    )
+    p_cache.add_argument(
+        "cache_command",
+        choices=["stats", "clear"],
+        help="stats: show entry count and size; clear: drop every entry",
+    )
+    p_cache.add_argument(
+        "--dir",
+        metavar="PATH",
+        help="cache directory (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro/schedules)",
+    )
+    p_cache.set_defaults(func=cmd_cache)
 
     p_fig = sub.add_parser(
         "figure", help="reproduce a paper figure as JSON (fig7/fig8a-d/fig9/headline)"
@@ -318,6 +397,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("name", help="figure id, e.g. fig8a")
     p_fig.add_argument(
         "--svg", metavar="PATH", help="render as an SVG image instead of JSON"
+    )
+    p_fig.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="parallelize the figure's independent solves across N processes",
     )
     p_fig.set_defaults(func=cmd_figure)
     return parser

@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.core.bounds import single_target_upper_bound
 from repro.core.problem import SchedulingProblem
 from repro.core.solver import solve
+from repro.runtime.executor import solve_many
 from repro.coverage.deployment import uniform_deployment
 from repro.coverage.matrix import coverage_sets, ensure_coverable
 from repro.coverage.sensing import DiskSensingModel
@@ -57,35 +58,41 @@ def reproduce_fig8_panel(
     num_targets: int = 1,
     sensor_counts: Sequence[int] = (20, 40, 60, 80, 100),
     p: float = PAPER_P,
+    jobs: Optional[int] = None,
 ) -> Dict[str, List[float]]:
     """One Fig. 8 panel: greedy average utility and the closed-form bound.
 
     Multi-target panels use the paper's shared-coverage configuration
-    (every sensor covers every target).
+    (every sensor covers every target).  ``jobs`` farms the per-``n``
+    solves across worker processes (identical output for any value).
     """
     if num_targets < 1:
         raise ValueError(f"num_targets must be >= 1, got {num_targets}")
-    utilities: List[float] = []
-    bounds: List[float] = []
+    problems: List[SchedulingProblem] = []
     for n in sensor_counts:
         if num_targets == 1:
             utility = HomogeneousDetectionUtility(range(n), p=p)
         else:
             covers = [set(range(n))] * num_targets
             utility = TargetSystem.homogeneous_detection(covers, p=p)
-        problem = SchedulingProblem(
-            num_sensors=n, period=PAPER_PERIOD, utility=utility
+        problems.append(
+            SchedulingProblem(
+                num_sensors=n, period=PAPER_PERIOD, utility=utility
+            )
         )
-        result = solve(problem, method="greedy")
-        utilities.append(result.average_utility_per_target)
-        bounds.append(
-            single_target_upper_bound(n, problem.slots_per_period, p)
-        )
+    results, _ = solve_many(
+        [(problem, "greedy", None) for problem in problems], jobs=jobs
+    )
     return {
         "m": num_targets,
         "n": list(sensor_counts),
-        "avg_utility": utilities,
-        "upper_bound": bounds,
+        "avg_utility": [r.average_utility_per_target for r in results],
+        "upper_bound": [
+            single_target_upper_bound(
+                problem.num_sensors, problem.slots_per_period, p
+            )
+            for problem in problems
+        ],
     }
 
 
@@ -95,25 +102,37 @@ def reproduce_fig9(
     radius: float = 21.0,
     p: float = PAPER_P,
     seed: int = 1000,
+    jobs: Optional[int] = None,
 ) -> Dict[str, object]:
-    """Fig. 9: average utility per target over the (n, m) grid."""
-    table: Dict[int, List[float]] = {}
-    for n in sensor_counts:
-        row: List[float] = []
-        for m in target_counts:
-            sensing = DiskSensingModel(radius=radius, p=p)
-            deployment = ensure_coverable(
-                uniform_deployment(num_sensors=n, num_targets=m, rng=seed + n + m),
-                sensing,
+    """Fig. 9: average utility per target over the (n, m) grid.
+
+    The grid's cells are independent solves; ``jobs`` farms them across
+    worker processes without changing the output.
+    """
+    grid = [(n, m) for n in sensor_counts for m in target_counts]
+    tasks = []
+    for n, m in grid:
+        sensing = DiskSensingModel(radius=radius, p=p)
+        deployment = ensure_coverable(
+            uniform_deployment(num_sensors=n, num_targets=m, rng=seed + n + m),
+            sensing,
+        )
+        utility = TargetSystem.homogeneous_detection(
+            coverage_sets(deployment, sensing), p=p
+        )
+        tasks.append(
+            (
+                SchedulingProblem(
+                    num_sensors=n, period=PAPER_PERIOD, utility=utility
+                ),
+                "greedy",
+                None,
             )
-            utility = TargetSystem.homogeneous_detection(
-                coverage_sets(deployment, sensing), p=p
-            )
-            problem = SchedulingProblem(
-                num_sensors=n, period=PAPER_PERIOD, utility=utility
-            )
-            row.append(solve(problem, method="greedy").average_utility_per_target)
-        table[n] = row
+        )
+    results, _ = solve_many(tasks, jobs=jobs)
+    table: Dict[int, List[float]] = {n: [] for n in sensor_counts}
+    for (n, _m), result in zip(grid, results):
+        table[n].append(result.average_utility_per_target)
     return {
         "m": list(target_counts),
         "n": list(sensor_counts),
@@ -141,22 +160,26 @@ def reproduce_headline(num_sensors: int = 100, p: float = PAPER_P) -> Dict[str, 
 
 
 FIGURES = {
-    "fig7": reproduce_fig7,
-    "fig8a": lambda: reproduce_fig8_panel(1),
-    "fig8b": lambda: reproduce_fig8_panel(2),
-    "fig8c": lambda: reproduce_fig8_panel(3),
-    "fig8d": lambda: reproduce_fig8_panel(4),
-    "fig9": reproduce_fig9,
-    "headline": reproduce_headline,
+    "fig7": lambda jobs=None: reproduce_fig7(),
+    "fig8a": lambda jobs=None: reproduce_fig8_panel(1, jobs=jobs),
+    "fig8b": lambda jobs=None: reproduce_fig8_panel(2, jobs=jobs),
+    "fig8c": lambda jobs=None: reproduce_fig8_panel(3, jobs=jobs),
+    "fig8d": lambda jobs=None: reproduce_fig8_panel(4, jobs=jobs),
+    "fig9": lambda jobs=None: reproduce_fig9(jobs=jobs),
+    "headline": lambda jobs=None: reproduce_headline(),
 }
 
 
-def reproduce(figure: str) -> Dict[str, object]:
-    """Reproduce a figure by name (see :data:`FIGURES`)."""
+def reproduce(figure: str, jobs: Optional[int] = None) -> Dict[str, object]:
+    """Reproduce a figure by name (see :data:`FIGURES`).
+
+    ``jobs`` parallelizes the figures built from independent solves
+    (fig8a-d, fig9); figures without a solve grid ignore it.
+    """
     try:
         fn = FIGURES[figure]
     except KeyError:
         raise ValueError(
             f"unknown figure {figure!r}; available: {sorted(FIGURES)}"
         ) from None
-    return fn()
+    return fn(jobs=jobs)

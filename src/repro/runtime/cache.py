@@ -1,0 +1,315 @@
+"""Schedule cache: in-memory LRU over an atomic on-disk store.
+
+Identical :class:`~repro.core.problem.SchedulingProblem` instances are
+re-solved from scratch all over the repo -- across sweep pivot rows,
+across benchmark repetitions, across CLI invocations.  This module
+memoizes solves keyed by the content fingerprint of their inputs
+(:mod:`repro.runtime.fingerprint`):
+
+- a bounded in-memory LRU serves the hot set without touching disk;
+- an optional directory store persists entries across processes, using
+  the same write-tmp/flush/fsync/``os.replace`` discipline as
+  :mod:`repro.io.checkpoint`, so a crash mid-write can never leave a
+  torn entry for a later process to mis-read;
+- corrupt or foreign files are treated as misses (and removed), never
+  as errors -- a cache must degrade to "solve it again", not take the
+  run down;
+- hit/miss/store/eviction counters feed the ``repro cache stats``
+  subcommand and the per-task telemetry.
+
+Entries store the *serialized* solve result (via
+:mod:`repro.io.serialization`), not pickles: the on-disk format stays
+inspectable, diffable and safe to load from an untrusted directory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.core.problem import SchedulingProblem
+from repro.core.schedule import PeriodicSchedule, UnrolledSchedule
+from repro.core.solver import SolveResult
+from repro.io.serialization import schedule_from_dict, schedule_to_dict
+
+PathLike = Union[str, Path]
+
+ENTRY_KIND = "repro-schedule-cache"
+ENTRY_VERSION = 1
+
+#: Environment variable overriding the default on-disk store location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """The persistent store location: ``$REPRO_CACHE_DIR`` or
+    ``~/.cache/repro/schedules``."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro" / "schedules"
+
+
+@dataclass
+class CacheStats:
+    """Counters for one cache instance's lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+    disk_hits: int = 0  # subset of ``hits`` served from the directory store
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "disk_hits": self.disk_hits,
+            "hit_rate": self.hit_rate,
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"{self.hits} hits / {self.misses} misses "
+            f"({self.hit_rate:.0%} hit rate, {self.disk_hits} from disk, "
+            f"{self.evictions} evictions)"
+        )
+
+
+# ----------------------------------------------------------------------
+# SolveResult <-> JSON payload
+# ----------------------------------------------------------------------
+
+
+def result_to_payload(result: SolveResult) -> Dict[str, Any]:
+    """The cacheable portion of a solve result (problem excluded --
+    the key already pins it, and the caller supplies it on rehydration)."""
+    return {
+        "method": result.method,
+        "schedule": schedule_to_dict(result.schedule),
+        "periodic": (
+            schedule_to_dict(result.periodic)
+            if result.periodic is not None
+            else None
+        ),
+        "total_utility": result.total_utility,
+        "average_slot_utility": result.average_slot_utility,
+        "solve_seconds": result.solve_seconds,
+        "extras": dict(result.extras),
+    }
+
+
+def payload_to_result(
+    problem: SchedulingProblem, payload: Dict[str, Any]
+) -> SolveResult:
+    """Rehydrate a cached payload against the problem it was keyed by."""
+    schedule = schedule_from_dict(payload["schedule"])
+    if not isinstance(schedule, UnrolledSchedule):
+        raise ValueError("cached entry holds no unrolled schedule")
+    periodic = (
+        schedule_from_dict(payload["periodic"])
+        if payload.get("periodic") is not None
+        else None
+    )
+    if periodic is not None and not isinstance(periodic, PeriodicSchedule):
+        raise ValueError("cached periodic entry has the wrong kind")
+    return SolveResult(
+        method=payload["method"],
+        problem=problem,
+        schedule=schedule,
+        periodic=periodic,
+        total_utility=float(payload["total_utility"]),
+        average_slot_utility=float(payload["average_slot_utility"]),
+        solve_seconds=float(payload["solve_seconds"]),
+        extras={k: float(v) for k, v in payload.get("extras", {}).items()},
+    )
+
+
+# ----------------------------------------------------------------------
+# The cache proper
+# ----------------------------------------------------------------------
+
+
+class ScheduleCache:
+    """Bounded LRU of solve payloads with an optional directory store.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum in-memory entries; the least-recently-used entry is
+        evicted past this (it stays on disk if a directory is set).
+    directory:
+        Persistent store location; ``None`` keeps the cache purely
+        in-memory.  Entries are sharded by the first two key hex chars
+        to keep directories small at scale.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        directory: Optional[PathLike] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.directory = Path(directory) if directory is not None else None
+        self.stats = CacheStats()
+        self._memory: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+
+    # -- lookup --------------------------------------------------------
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The payload for ``key``, or ``None`` (counted as a miss)."""
+        payload = self._memory.get(key)
+        if payload is not None:
+            self._memory.move_to_end(key)
+            self.stats.hits += 1
+            return payload
+        payload = self._read_disk(key)
+        if payload is not None:
+            self.stats.hits += 1
+            self.stats.disk_hits += 1
+            self._insert_memory(key, payload)
+            return payload
+        self.stats.misses += 1
+        return None
+
+    def get_result(
+        self, key: str, problem: SchedulingProblem
+    ) -> Optional[SolveResult]:
+        """Like :meth:`get` but rehydrated into a :class:`SolveResult`."""
+        payload = self.get(key)
+        if payload is None:
+            return None
+        try:
+            return payload_to_result(problem, payload)
+        except (KeyError, ValueError, TypeError):
+            # A corrupt entry must read as a miss, not a crash; drop it
+            # so the re-solve's store replaces it with a good one.
+            self.stats.hits -= 1
+            self.stats.misses += 1
+            self._memory.pop(key, None)
+            self._remove_disk(key)
+            return None
+
+    # -- store ---------------------------------------------------------
+
+    def put(self, key: str, payload: Dict[str, Any]) -> None:
+        """Insert/refresh an entry (memory always, disk if configured)."""
+        self._insert_memory(key, payload)
+        self.stats.stores += 1
+        if self.directory is not None:
+            self._write_disk(key, payload)
+
+    def put_result(self, key: str, result: SolveResult) -> None:
+        self.put(key, result_to_payload(result))
+
+    # -- maintenance ---------------------------------------------------
+
+    def clear(self) -> int:
+        """Drop every entry (memory and disk); returns entries removed."""
+        removed = len(self._memory)
+        self._memory.clear()
+        if self.directory is not None and self.directory.exists():
+            for path in sorted(self.directory.glob("*/*.json")):
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def disk_entries(self) -> int:
+        """Entries currently in the directory store."""
+        if self.directory is None or not self.directory.exists():
+            return 0
+        return sum(1 for _ in self.directory.glob("*/*.json"))
+
+    def disk_bytes(self) -> int:
+        """Total bytes held by the directory store."""
+        if self.directory is None or not self.directory.exists():
+            return 0
+        return sum(p.stat().st_size for p in self.directory.glob("*/*.json"))
+
+    # -- internals -----------------------------------------------------
+
+    def _insert_memory(self, key: str, payload: Dict[str, Any]) -> None:
+        self._memory[key] = payload
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.capacity:
+            self._memory.popitem(last=False)
+            self.stats.evictions += 1
+
+    def _entry_path(self, key: str) -> Path:
+        assert self.directory is not None
+        return self.directory / key[:2] / f"{key}.json"
+
+    def _read_disk(self, key: str) -> Optional[Dict[str, Any]]:
+        if self.directory is None:
+            return None
+        path = self._entry_path(key)
+        try:
+            with path.open() as handle:
+                document = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, OSError):
+            # Torn/foreign file: a miss.  Remove it so it cannot keep
+            # masking the slot (the atomic writer never produces these;
+            # they come from outside interference).
+            path.unlink(missing_ok=True)
+            return None
+        if (
+            not isinstance(document, dict)
+            or document.get("kind") != ENTRY_KIND
+            or document.get("version") != ENTRY_VERSION
+            or document.get("key") != key
+        ):
+            path.unlink(missing_ok=True)
+            return None
+        payload = document.get("payload")
+        return payload if isinstance(payload, dict) else None
+
+    def _write_disk(self, key: str, payload: Dict[str, Any]) -> None:
+        path = self._entry_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        document = {
+            "kind": ENTRY_KIND,
+            "version": ENTRY_VERSION,
+            "key": key,
+            "payload": payload,
+        }
+        # Same crash-safety discipline as io.checkpoint: readers observe
+        # either no entry or a complete one, never a torn write.  The
+        # tmp name includes the pid so concurrent workers writing the
+        # same key cannot clobber each other's half-written files.
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        try:
+            with tmp.open("w") as handle:
+                json.dump(document, handle, indent=2)
+                handle.write("\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        except OSError:
+            # A read-only or full store must not fail the solve that
+            # produced the result; the memory tier still has it.
+            tmp.unlink(missing_ok=True)
+
+    def _remove_disk(self, key: str) -> None:
+        if self.directory is not None:
+            self._entry_path(key).unlink(missing_ok=True)

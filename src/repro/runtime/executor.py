@@ -1,0 +1,186 @@
+"""Cached, parallel solve execution: the runtime's front door.
+
+Two entry points:
+
+- :func:`solve_cached` -- one solve through the schedule cache;
+- :func:`solve_many` -- a list of ``(problem, method, seed)`` tasks,
+  deduplicated by content fingerprint, cache-checked in the parent,
+  and only the *unique misses* farmed to the worker pool.
+
+The ordering of concerns is what makes ``jobs=N`` and warm-vs-cold
+cache bit-for-bit equivalent to a plain serial loop of
+:func:`repro.core.solver.solve` calls:
+
+1. fingerprints are computed in the parent (deterministic, cheap);
+2. duplicate tasks collapse onto one representative solve -- for
+   deterministic methods a sweep's seed axis collapses entirely;
+3. cache hits are rehydrated from stored JSON payloads, which were
+   themselves produced by a solve of the *same fingerprint* -- identical
+   schedules by construction;
+4. misses are solved (in the pool or serially -- the solver is
+   deterministic either way) and their payloads fan back out to every
+   duplicate index in submission order.
+
+Solves whose inputs cannot be fingerprinted
+(:class:`~repro.runtime.fingerprint.UncacheableError`) bypass the cache
+but still run -- caching is an optimization, never an eligibility test.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.problem import SchedulingProblem
+from repro.core.solver import SolveResult, solve
+from repro.runtime.cache import (
+    ScheduleCache,
+    payload_to_result,
+    result_to_payload,
+)
+from repro.runtime.fingerprint import UncacheableError, solve_fingerprint
+from repro.runtime.pool import TaskTelemetry, run_tasks
+
+#: One unit of work: (problem, method, seed-or-None).
+SolveTask = Tuple[SchedulingProblem, str, Optional[int]]
+
+
+def solve_cached(
+    problem: SchedulingProblem,
+    method: str = "greedy",
+    rng: Union[int, None] = None,
+    cache: Optional[ScheduleCache] = None,
+) -> Tuple[SolveResult, str]:
+    """Solve through the cache; returns ``(result, cache_status)``.
+
+    ``cache_status`` is ``"hit"``, ``"miss"`` or ``"uncached"`` (inputs
+    that cannot be fingerprinted, or no cache supplied).
+    """
+    if cache is None:
+        return solve(problem, method=method, rng=rng), "uncached"
+    try:
+        key = solve_fingerprint(problem, method, rng)
+    except UncacheableError:
+        return solve(problem, method=method, rng=rng), "uncached"
+    cached = cache.get_result(key, problem)
+    if cached is not None:
+        return cached, "hit"
+    result = solve(problem, method=method, rng=rng)
+    cache.put_result(key, result)
+    return result, "miss"
+
+
+def _solve_task(task: SolveTask) -> Dict[str, Any]:
+    """Worker-side unit: solve and return the JSON payload.
+
+    Returning the serialized payload (rather than the ``SolveResult``)
+    keeps the bytes crossing the process boundary identical to the
+    bytes a cache entry holds -- so pooled, serial and cached paths all
+    rehydrate through the same code.
+    """
+    problem, method, seed = task
+    return result_to_payload(solve(problem, method=method, rng=seed))
+
+
+def solve_many(
+    tasks: Sequence[SolveTask],
+    jobs: Optional[int] = None,
+    cache: Optional[ScheduleCache] = None,
+    timeout: Optional[float] = None,
+) -> Tuple[List[SolveResult], List[TaskTelemetry]]:
+    """Solve every task; returns results and telemetry in task order.
+
+    Duplicate fingerprints are solved once; ``jobs`` farms the unique
+    cache misses across processes.  Results are identical to a serial
+    ``[solve(*t) for t in tasks]`` loop for any ``jobs`` and any cache
+    temperature.
+    """
+    tasks = list(tasks)
+    results: List[Optional[SolveResult]] = [None] * len(tasks)
+    telemetry: List[Optional[TaskTelemetry]] = [None] * len(tasks)
+
+    # Pass 1 (parent): fingerprint, dedup, consult the cache.
+    keys: List[Optional[str]] = [None] * len(tasks)
+    first_index: Dict[str, int] = {}
+    duplicates: Dict[int, List[int]] = {}
+    to_solve: List[int] = []
+    for index, (problem, method, seed) in enumerate(tasks):
+        start = time.perf_counter()
+        try:
+            key = solve_fingerprint(problem, method, seed)
+        except UncacheableError:
+            to_solve.append(index)
+            continue
+        keys[index] = key
+        representative = first_index.get(key)
+        if representative is not None:
+            duplicates.setdefault(representative, []).append(index)
+            continue
+        first_index[key] = index
+        if cache is not None:
+            cached = cache.get_result(key, problem)
+            if cached is not None:
+                results[index] = cached
+                telemetry[index] = TaskTelemetry(
+                    index=index,
+                    wall_seconds=time.perf_counter() - start,
+                    worker=_pid(),
+                    parallel=False,
+                    cache="hit",
+                )
+                continue
+        to_solve.append(index)
+
+    # Pass 2 (pool): only the unique, uncached work.
+    payloads, pool_telemetry = run_tasks(
+        _solve_task,
+        [tasks[i] for i in to_solve],
+        jobs=jobs,
+        timeout=timeout,
+    )
+    for position, index in enumerate(to_solve):
+        problem = tasks[index][0]
+        payload = payloads[position]
+        results[index] = payload_to_result(problem, payload)
+        record = pool_telemetry[position]
+        key = keys[index]
+        telemetry[index] = TaskTelemetry(
+            index=index,
+            wall_seconds=record.wall_seconds,
+            worker=record.worker,
+            parallel=record.parallel,
+            cache="uncached" if key is None else "miss",
+        )
+        if key is not None and cache is not None:
+            cache.put(key, payload)
+
+    # Pass 3 (parent): fan representatives back out to duplicates.
+    for representative, indices in duplicates.items():
+        source = results[representative]
+        assert source is not None
+        for index in indices:
+            start = time.perf_counter()
+            problem = tasks[index][0]
+            # Rehydrate per-index so duplicate results do not alias one
+            # mutable SolveResult (extras dicts are per-caller).
+            results[index] = payload_to_result(
+                problem, result_to_payload(source)
+            )
+            telemetry[index] = TaskTelemetry(
+                index=index,
+                wall_seconds=time.perf_counter() - start,
+                worker=_pid(),
+                parallel=False,
+                cache="hit",
+            )
+            if cache is not None:
+                cache.stats.hits += 1
+
+    assert all(r is not None for r in results)
+    return results, telemetry  # type: ignore[return-value]
+
+
+def _pid() -> int:
+    import os
+
+    return os.getpid()

@@ -1,0 +1,122 @@
+"""Content-addressed fingerprints of solver inputs (cache keys).
+
+A schedule cache is only sound if its key captures *every* input that
+can change the solver's output and *nothing* that cannot.  The key here
+is the SHA-256 of a canonical JSON document describing the
+``(problem, method, seed)`` triple:
+
+- the problem is serialized structurally -- sensor count, charging
+  period times, horizon, and the utility function through the
+  :mod:`repro.io.serialization` family encoders -- so two independently
+  constructed but identical instances hash the same;
+- canonical JSON (sorted keys, no whitespace, ``allow_nan=False``)
+  makes the byte stream deterministic across processes and Python
+  versions;
+- the RNG seed enters the key **only** for randomized methods
+  (``random``, ``balanced-random``, ``lp``, ``lp-periodic``): for the
+  deterministic methods two sweeps cells differing only in seed are the
+  same solve, and collapsing them is exactly the dedup the cache is
+  for.
+
+Anything that cannot be fingerprinted faithfully -- an exotic utility
+family with no serializer, a live ``numpy`` Generator whose hidden
+state we cannot capture -- raises :class:`UncacheableError`, and
+callers must fall back to solving directly.  Guessing a key for an
+input we cannot canonicalize would silently serve wrong schedules.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, Optional, Union
+
+from repro.core.problem import SchedulingProblem
+from repro.io.serialization import utility_to_dict
+
+#: Methods whose output depends on the RNG seed; the seed joins their key.
+RANDOMIZED_METHODS = frozenset(
+    {"random", "balanced-random", "lp", "lp-periodic"}
+)
+
+FINGERPRINT_KIND = "repro-solve-key"
+FINGERPRINT_VERSION = 1
+
+
+class UncacheableError(TypeError):
+    """The solve's inputs cannot be canonicalized into a sound cache key."""
+
+
+def canonical_json(payload: Any) -> str:
+    """Deterministic JSON: sorted keys, minimal separators, no NaN."""
+    return json.dumps(
+        payload,
+        sort_keys=True,
+        separators=(",", ":"),
+        allow_nan=False,
+    )
+
+
+def problem_to_dict(problem: SchedulingProblem) -> Dict[str, Any]:
+    """Structural description of a problem, or :class:`UncacheableError`.
+
+    Delegates the utility to the :mod:`repro.io.serialization` family
+    encoders; unknown utility families raise, because a key that
+    ignores part of the objective would collide across different
+    problems.
+    """
+    try:
+        utility = utility_to_dict(problem.utility)
+    except TypeError as error:
+        raise UncacheableError(
+            f"cannot fingerprint problem: {error}"
+        ) from error
+    return {
+        "num_sensors": problem.num_sensors,
+        "discharge_time": problem.period.discharge_time,
+        "recharge_time": problem.period.recharge_time,
+        "num_periods": problem.num_periods,
+        "utility": utility,
+    }
+
+
+def _normalize_seed(method: str, rng: Union[int, None, Any]) -> Optional[int]:
+    """The seed as it enters the key: ``None`` for deterministic methods.
+
+    Only plain integers (or ``None``) are fingerprintable -- a live
+    Generator carries hidden state the key cannot capture.
+    """
+    if method not in RANDOMIZED_METHODS:
+        return None
+    if rng is None:
+        raise UncacheableError(
+            f"method {method!r} is randomized; caching requires an "
+            "explicit integer seed (got None, which draws OS entropy)"
+        )
+    if isinstance(rng, bool) or not isinstance(rng, int):
+        raise UncacheableError(
+            f"method {method!r} is randomized; caching requires an "
+            f"integer seed, got {type(rng).__name__}"
+        )
+    return int(rng)
+
+
+def solve_fingerprint(
+    problem: SchedulingProblem,
+    method: str = "greedy",
+    rng: Union[int, None, Any] = None,
+) -> str:
+    """SHA-256 hex key identifying a ``solve(problem, method, rng)`` call.
+
+    Raises :class:`UncacheableError` when the inputs cannot be
+    canonicalized (see module docstring); callers should then solve
+    without the cache.
+    """
+    document = {
+        "kind": FINGERPRINT_KIND,
+        "version": FINGERPRINT_VERSION,
+        "problem": problem_to_dict(problem),
+        "method": method,
+        "seed": _normalize_seed(method, rng),
+    }
+    return hashlib.sha256(canonical_json(document).encode("utf-8")).hexdigest()

@@ -1,0 +1,193 @@
+"""Process worker pool: bounded fan-out with graceful serial fallback.
+
+The repo's workloads are embarrassingly parallel (independent seeds,
+independent sweep cells), so the farm is deliberately simple -- but the
+failure handling is not optional:
+
+- **bounded backpressure**: at most ``2 * jobs`` tasks are in flight,
+  so a million-cell sweep never materializes a million pickled futures;
+- **per-task timeouts**: a wedged worker (e.g. a pathological LP) stops
+  costing wall time; the pool is torn down and the remaining tasks run
+  serially in the parent;
+- **graceful degradation**: anything that makes the pool unusable --
+  unpicklable closures, a fork-bombed machine killing workers, a
+  missing ``multiprocessing`` primitive in exotic sandboxes -- downgrades
+  to the serial path instead of failing the run.  Parallelism is an
+  optimization, never a correctness dependency.
+
+Results are returned **in submission order** regardless of completion
+order, which is what makes ``jobs=N`` bit-for-bit equivalent to
+``jobs=1`` for deterministic task functions.  Each task also yields a
+:class:`TaskTelemetry` record (wall time, worker pid, how it ran) so
+callers can report where the time went.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class TaskTelemetry:
+    """How one task executed."""
+
+    index: int
+    wall_seconds: float
+    worker: int  # pid of the process that ran it
+    parallel: bool  # False when the serial path (or fallback) ran it
+    cache: str = "none"  # "hit" / "miss" / "uncached" / "none"
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "wall_seconds": self.wall_seconds,
+            "worker": self.worker,
+            "parallel": self.parallel,
+            "cache": self.cache,
+        }
+
+
+class TaskTimeoutError(TimeoutError):
+    """A pooled task exceeded its per-task timeout."""
+
+
+def _run_timed(fn: Callable[[Any], Any], item: Any) -> Tuple[Any, float, int]:
+    """Worker-side wrapper: result + wall time + pid travel together."""
+    start = time.perf_counter()
+    result = fn(item)
+    return result, time.perf_counter() - start, os.getpid()
+
+
+def _run_serial(
+    fn: Callable[[Any], Any],
+    items: Sequence[Any],
+    indices: Sequence[int],
+    results: List[Any],
+    telemetry: List[Optional[TaskTelemetry]],
+) -> None:
+    for index in indices:
+        start = time.perf_counter()
+        results[index] = fn(items[index])
+        telemetry[index] = TaskTelemetry(
+            index=index,
+            wall_seconds=time.perf_counter() - start,
+            worker=os.getpid(),
+            parallel=False,
+        )
+
+
+def run_tasks(
+    fn: Callable[[Any], Any],
+    items: Sequence[Any],
+    jobs: Optional[int] = None,
+    timeout: Optional[float] = None,
+) -> Tuple[List[Any], List[TaskTelemetry]]:
+    """Apply ``fn`` to every item, farming across ``jobs`` processes.
+
+    Returns ``(results, telemetry)`` with both lists in submission
+    order.  ``jobs`` of ``None``/``0``/``1`` runs serially in-process;
+    ``timeout`` bounds each task's wall time in the pool (a timeout
+    tears the pool down and finishes the remainder serially, so the
+    call still returns complete results).
+
+    Exceptions raised by ``fn`` itself propagate unchanged -- a wrong
+    task must fail loudly, only *pool infrastructure* failures degrade
+    to serial.
+    """
+    items = list(items)
+    results: List[Any] = [None] * len(items)
+    telemetry: List[Optional[TaskTelemetry]] = [None] * len(items)
+    workers = int(jobs or 1)
+    if workers <= 1 or len(items) <= 1:
+        _run_serial(fn, items, range(len(items)), results, telemetry)
+        return results, telemetry  # type: ignore[return-value]
+
+    pending_indices = list(range(len(items)))
+    max_in_flight = 2 * workers
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            in_flight: Dict[Any, int] = {}
+            next_up = 0
+            while next_up < len(items) or in_flight:
+                while next_up < len(items) and len(in_flight) < max_in_flight:
+                    future = pool.submit(_run_timed, fn, items[next_up])
+                    in_flight[future] = next_up
+                    next_up += 1
+                done, _ = wait(
+                    in_flight, timeout=timeout, return_when=FIRST_COMPLETED
+                )
+                if not done:
+                    raise TaskTimeoutError(
+                        f"task exceeded {timeout}s in the worker pool"
+                    )
+                for future in done:
+                    index = in_flight.pop(future)
+                    value, wall, pid = future.result()
+                    results[index] = value
+                    telemetry[index] = TaskTelemetry(
+                        index=index,
+                        wall_seconds=wall,
+                        worker=pid,
+                        parallel=True,
+                    )
+                    pending_indices.remove(index)
+    except Exception as error:
+        if _is_task_error(error):
+            raise
+        # Pool infrastructure failed (pickling, broken workers, task
+        # timeout, sandbox without sem_open, ...): finish the remaining
+        # tasks serially so the caller still gets complete results.
+        _run_serial(fn, items, list(pending_indices), results, telemetry)
+    return results, telemetry  # type: ignore[return-value]
+
+
+def _is_task_error(error: BaseException) -> bool:
+    """Did ``fn`` itself raise (propagate) vs the pool machinery (degrade)?
+
+    Misclassifying a user error as infrastructural is safe: the serial
+    fallback re-runs the task and raises the same error from the
+    parent.  Misclassifying the other way would turn a recoverable pool
+    failure into a crashed run, so the infrastructural set is generous:
+    broken pools, timeouts, pickling failures (lambdas/closures raise
+    PicklingError or AttributeError at submission), OS-level failures
+    and sandboxes lacking multiprocessing primitives.
+    """
+    import pickle
+    from concurrent.futures.process import BrokenProcessPool
+
+    if isinstance(
+        error,
+        (
+            BrokenProcessPool,
+            TaskTimeoutError,
+            pickle.PicklingError,
+            AttributeError,
+            OSError,
+            ImportError,
+        ),
+    ):
+        return False
+    if isinstance(error, TypeError) and "pickle" in str(error).lower():
+        return False
+    return True
+
+
+def summarize_telemetry(telemetry: Sequence[TaskTelemetry]) -> Dict[str, Any]:
+    """Roll a telemetry list up into the dict the CLI/benchmarks print."""
+    records = [t for t in telemetry if t is not None]
+    workers = sorted({t.worker for t in records})
+    cache_counts: Dict[str, int] = {}
+    for record in records:
+        cache_counts[record.cache] = cache_counts.get(record.cache, 0) + 1
+    return {
+        "tasks": len(records),
+        "parallel_tasks": sum(1 for t in records if t.parallel),
+        "serial_tasks": sum(1 for t in records if not t.parallel),
+        "workers": workers,
+        "task_seconds": sum(t.wall_seconds for t in records),
+        "cache": cache_counts,
+    }

@@ -13,6 +13,17 @@ from repro.utility.logsum import LogSumUtility
 from repro.utility.target_system import TargetSystem
 
 
+@pytest.fixture(autouse=True)
+def _isolated_schedule_cache(tmp_path, monkeypatch):
+    """Point the persistent schedule cache at a per-test directory.
+
+    CLI paths open the default on-disk cache; without this, tests would
+    write into (and read stale entries from) the developer's real
+    ``~/.cache/repro`` store.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "schedule-cache"))
+
+
 @pytest.fixture
 def rng():
     return np.random.default_rng(12345)

@@ -1,0 +1,145 @@
+"""Tests for the content-addressed solve fingerprints."""
+
+import numpy as np
+import pytest
+
+from repro.core.problem import SchedulingProblem
+from repro.energy.period import ChargingPeriod
+from repro.runtime.fingerprint import (
+    RANDOMIZED_METHODS,
+    UncacheableError,
+    canonical_json,
+    problem_to_dict,
+    solve_fingerprint,
+)
+from repro.utility.base import UtilityFunction
+from repro.utility.detection import HomogeneousDetectionUtility
+from repro.utility.target_system import TargetSystem
+
+PERIOD = ChargingPeriod.paper_sunny()
+
+
+def make_problem(n=10, p=0.4, periods=1):
+    return SchedulingProblem(
+        num_sensors=n,
+        period=PERIOD,
+        utility=HomogeneousDetectionUtility(range(n), p=p),
+        num_periods=periods,
+    )
+
+
+class TestCanonicalJson:
+    def test_key_order_does_not_matter(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json(
+            {"a": 2, "b": 1}
+        )
+
+    def test_no_nan(self):
+        with pytest.raises(ValueError):
+            canonical_json({"x": float("nan")})
+
+
+class TestFingerprintStability:
+    def test_identical_problems_hash_identically(self):
+        assert solve_fingerprint(make_problem()) == solve_fingerprint(
+            make_problem()
+        )
+
+    def test_structurally_equal_target_systems_hash_identically(self):
+        def build():
+            return SchedulingProblem(
+                num_sensors=6,
+                period=PERIOD,
+                utility=TargetSystem.homogeneous_detection(
+                    [{0, 1, 2}, {3, 4, 5}], 0.4
+                ),
+            )
+
+        assert solve_fingerprint(build()) == solve_fingerprint(build())
+
+    def test_is_a_sha256_hex_digest(self):
+        key = solve_fingerprint(make_problem())
+        assert len(key) == 64
+        assert set(key) <= set("0123456789abcdef")
+
+
+class TestFingerprintSensitivity:
+    def test_differs_on_sensor_count(self):
+        assert solve_fingerprint(make_problem(10)) != solve_fingerprint(
+            make_problem(11)
+        )
+
+    def test_differs_on_detection_probability(self):
+        assert solve_fingerprint(make_problem(p=0.4)) != solve_fingerprint(
+            make_problem(p=0.5)
+        )
+
+    def test_differs_on_horizon(self):
+        assert solve_fingerprint(
+            make_problem(periods=1)
+        ) != solve_fingerprint(make_problem(periods=2))
+
+    def test_differs_on_period(self):
+        slow = SchedulingProblem(
+            num_sensors=10,
+            period=ChargingPeriod.from_ratio(2.0),
+            utility=HomogeneousDetectionUtility(range(10), p=0.4),
+        )
+        assert solve_fingerprint(make_problem()) != solve_fingerprint(slow)
+
+    def test_differs_on_method(self):
+        problem = make_problem()
+        assert solve_fingerprint(problem, "greedy") != solve_fingerprint(
+            problem, "round-robin"
+        )
+
+
+class TestSeedHandling:
+    def test_deterministic_methods_ignore_the_seed(self):
+        problem = make_problem()
+        assert solve_fingerprint(
+            problem, "greedy", rng=0
+        ) == solve_fingerprint(problem, "greedy", rng=99)
+
+    def test_randomized_methods_key_on_the_seed(self):
+        problem = make_problem()
+        assert solve_fingerprint(
+            problem, "random", rng=0
+        ) != solve_fingerprint(problem, "random", rng=1)
+
+    def test_randomized_method_without_seed_is_uncacheable(self):
+        with pytest.raises(UncacheableError):
+            solve_fingerprint(make_problem(), "random", rng=None)
+
+    def test_live_generator_is_uncacheable(self):
+        with pytest.raises(UncacheableError):
+            solve_fingerprint(
+                make_problem(), "random", rng=np.random.default_rng(0)
+            )
+
+    def test_randomized_set_matches_solver_semantics(self):
+        assert "random" in RANDOMIZED_METHODS
+        assert "lp" in RANDOMIZED_METHODS
+        assert "greedy" not in RANDOMIZED_METHODS
+
+
+class _OpaqueUtility(UtilityFunction):
+    """A utility family the serializers do not know."""
+
+    def value(self, active_set):
+        return 0.0
+
+    @property
+    def ground_set(self):
+        return frozenset()
+
+
+class TestUncacheableProblems:
+    def test_unknown_utility_family_raises(self):
+        problem = SchedulingProblem(
+            num_sensors=0, period=PERIOD, utility=_OpaqueUtility()
+        )
+        with pytest.raises(UncacheableError):
+            problem_to_dict(problem)
+        with pytest.raises(UncacheableError):
+            solve_fingerprint(problem)

@@ -1,0 +1,105 @@
+"""Tests for the worker pool: ordering, fallback, timeouts, telemetry."""
+
+import os
+import time
+
+import pytest
+
+from repro.runtime.pool import (
+    TaskTelemetry,
+    run_tasks,
+    summarize_telemetry,
+)
+
+
+def square(x):
+    return x * x
+
+
+def sleepy_square(x):
+    time.sleep(0.3)
+    return x * x
+
+
+def explode(x):
+    raise RuntimeError(f"task {x} exploded")
+
+
+class TestSerialPath:
+    def test_results_in_order(self):
+        results, telemetry = run_tasks(square, [3, 1, 2])
+        assert results == [9, 1, 4]
+        assert [t.index for t in telemetry] == [0, 1, 2]
+        assert all(not t.parallel for t in telemetry)
+        assert all(t.worker == os.getpid() for t in telemetry)
+
+    def test_jobs_one_is_serial(self):
+        _results, telemetry = run_tasks(square, [1, 2], jobs=1)
+        assert all(not t.parallel for t in telemetry)
+
+    def test_single_item_stays_serial_even_with_jobs(self):
+        # Spinning a pool for one task is pure overhead.
+        _results, telemetry = run_tasks(square, [5], jobs=4)
+        assert all(not t.parallel for t in telemetry)
+
+    def test_empty_items(self):
+        results, telemetry = run_tasks(square, [], jobs=4)
+        assert results == []
+        assert telemetry == []
+
+    def test_task_error_propagates(self):
+        with pytest.raises(RuntimeError, match="exploded"):
+            run_tasks(explode, [1, 2])
+
+
+class TestParallelPath:
+    def test_results_match_serial_and_run_in_workers(self):
+        items = list(range(8))
+        serial, _ = run_tasks(square, items, jobs=1)
+        parallel, telemetry = run_tasks(square, items, jobs=2)
+        assert parallel == serial
+        assert all(t.parallel for t in telemetry)
+        assert all(t.worker != os.getpid() for t in telemetry)
+
+    def test_task_error_still_propagates(self):
+        with pytest.raises(RuntimeError, match="exploded"):
+            run_tasks(explode, [1, 2, 3], jobs=2)
+
+    def test_unpicklable_fn_degrades_to_serial(self):
+        results, telemetry = run_tasks(lambda x: x + 1, [1, 2, 3], jobs=2)
+        assert results == [2, 3, 4]
+        assert all(not t.parallel for t in telemetry)
+
+    def test_timeout_degrades_to_serial_with_complete_results(self):
+        results, telemetry = run_tasks(
+            sleepy_square, [2, 3], jobs=2, timeout=0.02
+        )
+        assert results == [4, 9]
+        # The fallback ran (at least) the unfinished tasks in-process.
+        assert any(not t.parallel for t in telemetry)
+
+
+class TestTelemetrySummary:
+    def test_rollup(self):
+        telemetry = [
+            TaskTelemetry(0, 0.5, 111, True, cache="miss"),
+            TaskTelemetry(1, 0.1, 222, True, cache="hit"),
+            TaskTelemetry(2, 0.2, 333, False, cache="hit"),
+        ]
+        summary = summarize_telemetry(telemetry)
+        assert summary["tasks"] == 3
+        assert summary["parallel_tasks"] == 2
+        assert summary["serial_tasks"] == 1
+        assert summary["workers"] == [111, 222, 333]
+        assert summary["task_seconds"] == pytest.approx(0.8)
+        assert summary["cache"] == {"miss": 1, "hit": 2}
+
+    def test_as_dict(self):
+        record = TaskTelemetry(4, 1.25, 99, True, cache="miss")
+        assert record.as_dict() == {
+            "index": 4,
+            "wall_seconds": 1.25,
+            "worker": 99,
+            "parallel": True,
+            "cache": "miss",
+        }

@@ -96,3 +96,40 @@ class TestRunBatch:
             seeds=range(2),
         )
         assert "BatchResult" in str(batch)
+
+
+def greedy_policy_factory(seed):
+    """Module-level so the worker pool can pickle it."""
+    return GreedyPeriodicPolicy()
+
+
+def stochastic_charging_factory(seed):
+    return RandomChargingModel(PERIOD, 1.0, 3.0, recharge_std=20.0, rng=seed)
+
+
+class TestRunBatchJobs:
+    def test_parallel_matches_serial(self):
+        kwargs = dict(
+            network_factory=network_factory,
+            policy_factory=greedy_policy_factory,
+            num_slots=24,
+            seeds=range(4),
+            charging_factory=stochastic_charging_factory,
+        )
+        serial = run_batch(**kwargs)
+        parallel = run_batch(jobs=2, **kwargs)
+        assert [r.average_slot_utility for r in parallel.results] == [
+            r.average_slot_utility for r in serial.results
+        ]
+        assert parallel.utility.mean == serial.utility.mean
+        assert parallel.utility.std == serial.utility.std
+
+    def test_telemetry_covers_every_replicate(self):
+        batch = run_batch(
+            network_factory,
+            greedy_policy_factory,
+            num_slots=8,
+            seeds=range(3),
+            jobs=2,
+        )
+        assert sorted(t.index for t in batch.telemetry) == [0, 1, 2]

@@ -182,6 +182,84 @@ class TestSweep:
         assert "10" in out and "20" in out
 
 
+class TestSweepRuntime:
+    ARGS = [
+        "sweep",
+        "--sensors",
+        "10",
+        "--methods",
+        "greedy",
+        "random",
+        "--repeats",
+        "3",
+    ]
+
+    def run_sweep_stdout(self, capsys, extra):
+        assert main(self.ARGS + extra) == 0
+        return capsys.readouterr().out
+
+    def test_jobs_output_matches_serial(self, capsys):
+        serial = self.run_sweep_stdout(capsys, ["--no-cache"])
+        parallel = self.run_sweep_stdout(capsys, ["--no-cache", "--jobs", "2"])
+        assert parallel == serial
+
+    def test_warm_cache_output_matches_cold(self, capsys):
+        cold = self.run_sweep_stdout(capsys, [])
+        warm = self.run_sweep_stdout(capsys, [])
+        assert warm == cold
+
+    def test_cache_diagnostics_on_stderr_not_stdout(self, capsys):
+        assert main(self.ARGS) == 0
+        captured = capsys.readouterr()
+        assert "cache:" in captured.err
+        assert "cache:" not in captured.out
+
+
+class TestCacheCommand:
+    def test_stats_on_empty_store(self, capsys, tmp_path):
+        assert main(["cache", "stats", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "entries   : 0" in out
+        assert str(tmp_path) in out
+
+    def test_solve_populates_store_and_stats_sees_it(self, capsys):
+        assert main(["solve", "--sensors", "8"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "entries   : 1" in out
+
+    def test_clear_empties_store(self, capsys):
+        main(["solve", "--sensors", "8"])
+        capsys.readouterr()
+        assert main(["cache", "clear"]) == 0
+        assert "removed" in capsys.readouterr().out
+        main(["cache", "stats"])
+        assert "entries   : 0" in capsys.readouterr().out
+
+    def test_no_cache_flag_skips_the_store(self, capsys):
+        assert main(["solve", "--sensors", "8", "--no-cache"]) == 0
+        capsys.readouterr()
+        main(["cache", "stats"])
+        assert "entries   : 0" in capsys.readouterr().out
+
+    def test_repeat_solve_json_is_byte_identical_warm(self, capsys):
+        assert main(["solve", "--sensors", "8", "--json"]) == 0
+        cold = capsys.readouterr().out
+        assert main(["solve", "--sensors", "8", "--json"]) == 0
+        warm = capsys.readouterr().out
+        assert warm == cold
+
+
+class TestFigureJobs:
+    def test_fig8a_jobs_matches_serial(self, capsys):
+        assert main(["figure", "fig8a"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["figure", "fig8a", "--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
@@ -192,3 +270,10 @@ class TestParser:
         assert args.sensors == 20
         assert args.rho == 3.0
         assert args.method == "greedy"
+
+    def test_runtime_flags_default_off(self):
+        sweep_args = build_parser().parse_args(["sweep"])
+        assert sweep_args.jobs is None
+        assert sweep_args.no_cache is False
+        cache_args = build_parser().parse_args(["cache", "stats"])
+        assert cache_args.cache_command == "stats"

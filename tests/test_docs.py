@@ -84,6 +84,8 @@ class TestReadmeCommands:
         for sub in subcommands:
             if sub == "figure":
                 parser.parse_args([sub, "headline"])
+            elif sub == "cache":
+                parser.parse_args([sub, "stats"])
             else:
                 parser.parse_args([sub])
 
