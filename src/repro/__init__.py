@@ -25,6 +25,9 @@ implements the full system:
 - :mod:`repro.analysis` -- statistics and fixed-width report tables.
 - :mod:`repro.runtime` -- parallel solve execution (process worker
   pool) and the content-addressed schedule cache.
+- :mod:`repro.obs` -- observability: process-wide metrics registry
+  with Prometheus/JSON exporters, deterministic span tracing and
+  schema-versioned structured events.
 
 Quickstart::
 

@@ -11,7 +11,17 @@ Subcommands:
 - ``sweep``     run a parameter sweep and print the pivot table;
 - ``resume``    finish a ``simulate`` run from a crash-safe checkpoint;
 - ``cache``     inspect or clear the persistent schedule cache;
+- ``metrics``   dump the in-process metrics registry (Prometheus/JSON);
 - ``figure``    reproduce a paper figure as JSON or SVG.
+
+Observability (:mod:`repro.obs`) is wired in everywhere: ``solve``,
+``simulate`` and ``sweep`` accept ``--trace-out PATH`` (span tree of
+where the wall time went, deterministic span IDs) and ``--events-out
+PATH`` (schema-versioned JSONL stream of engine slots, health verdicts,
+self-healing decisions and runtime task dispositions), and ``repro
+metrics`` exports the process's metric families in Prometheus text
+exposition or JSON snapshot form.  ``REPRO_OBS=0`` disables all
+recording without changing any result.
 
 ``solve``, ``sweep`` and ``figure`` go through the
 :mod:`repro.runtime` subsystem: repeated solves of identical instances
@@ -34,11 +44,15 @@ Examples::
     python -m repro.cli sweep --sensors 50 100 --repeats 10 --jobs 4
     python -m repro.cli cache stats
     python -m repro.cli cache clear
+    python -m repro.cli simulate --sensors 20 --periods 12 \\
+        --events-out run.jsonl --trace-out run-trace.json
+    python -m repro.cli metrics --format prometheus
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import sys
 from typing import List, Optional
@@ -50,6 +64,12 @@ from repro.core.solver import METHODS, solve
 from repro.energy.period import ChargingPeriod
 from repro.io.checkpoint import load_checkpoint, save_checkpoint
 from repro.io.serialization import result_summary, schedule_to_dict
+from repro.obs import events as obs_events
+from repro.obs import tracing
+from repro.obs.catalog import describe_standard_metrics
+from repro.obs.events import EventSink
+from repro.obs.export import to_json, to_prometheus
+from repro.obs.registry import get_registry
 from repro.policies.schedule_policy import SchedulePolicy
 from repro.runtime.cache import ScheduleCache, default_cache_dir
 from repro.runtime.executor import solve_cached
@@ -67,6 +87,32 @@ def _build_problem(args: argparse.Namespace) -> SchedulingProblem:
         utility=HomogeneousDetectionUtility(range(args.sensors), p=args.p),
         num_periods=args.periods,
     )
+
+
+@contextlib.contextmanager
+def _observed(args: argparse.Namespace):
+    """Install the event sink / tracer the obs flags ask for, and tear
+    them down (flushing the trace file) when the command finishes.
+
+    Commands without the flags (or with them unset) run unobserved at
+    zero cost; the previous sink/tracer is always restored, so nested
+    ``main()`` calls in tests cannot leak observers into each other.
+    """
+    events_out = getattr(args, "events_out", None)
+    trace_out = getattr(args, "trace_out", None)
+    sink = EventSink(events_out) if events_out else None
+    tracer = tracing.Tracer() if trace_out else None
+    previous_sink = obs_events.set_sink(sink) if sink else None
+    previous_tracer = tracing.activate(tracer) if tracer else None
+    try:
+        yield
+    finally:
+        if tracer is not None:
+            tracing.activate(previous_tracer)
+            tracer.write(trace_out)
+        if sink is not None:
+            obs_events.set_sink(previous_sink)
+            sink.close()
 
 
 def _runtime_cache(args: argparse.Namespace) -> Optional[ScheduleCache]:
@@ -232,6 +278,25 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _in_process_cache_counters() -> Optional[dict]:
+    """The registry's cache counters, if any cache was exercised in
+    this process (e.g. ``repro sweep`` followed by ``repro cache
+    stats`` through one ``main()``-embedding process); ``None`` when
+    the process has no cache traffic to report."""
+    registry = get_registry()
+    counters = {
+        "hits": registry.sample_value("repro_cache_lookups_total", result="hit"),
+        "misses": registry.sample_value(
+            "repro_cache_lookups_total", result="miss"
+        ),
+        "stores": registry.sample_value("repro_cache_stores_total"),
+        "evictions": registry.sample_value("repro_cache_evictions_total"),
+    }
+    if not any(counters.values()):
+        return None
+    return {key: int(value or 0) for key, value in counters.items()}
+
+
 def cmd_cache(args: argparse.Namespace) -> int:
     directory = args.dir or default_cache_dir()
     cache = ScheduleCache(directory=directory)
@@ -239,6 +304,14 @@ def cmd_cache(args: argparse.Namespace) -> int:
         print(f"directory : {directory}")
         print(f"entries   : {cache.disk_entries()}")
         print(f"bytes     : {cache.disk_bytes()}")
+        in_process = _in_process_cache_counters()
+        if in_process is not None:
+            print(
+                "in-process: "
+                f"{in_process['hits']} hits / {in_process['misses']} misses "
+                f"/ {in_process['stores']} stores "
+                f"/ {in_process['evictions']} evictions"
+            )
         return 0
     if args.cache_command == "clear":
         removed = cache.clear()
@@ -246,6 +319,19 @@ def cmd_cache(args: argparse.Namespace) -> int:
         return 0
     print(f"unknown cache command {args.cache_command!r}", file=sys.stderr)
     return 2
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    registry = get_registry()
+    # Pre-register the whole catalog so the exposition carries HELP and
+    # TYPE metadata for every standard family, traffic or not.
+    describe_standard_metrics(registry)
+    if args.format == "json":
+        json.dump(to_json(registry), sys.stdout, indent=2)
+        sys.stdout.write("\n")
+        return 0
+    sys.stdout.write(to_prometheus(registry))
+    return 0
 
 
 def cmd_figure(args: argparse.Namespace) -> int:
@@ -309,14 +395,30 @@ def build_parser() -> argparse.ArgumentParser:
             help="skip the persistent schedule cache for this invocation",
         )
 
+    def add_obs_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--trace-out",
+            metavar="PATH",
+            help="write the span tree (timed, nested, deterministic IDs) "
+            "as JSON to PATH",
+        )
+        p.add_argument(
+            "--events-out",
+            metavar="PATH",
+            help="append the structured JSONL event stream "
+            "(engine/health/policy/runtime) to PATH",
+        )
+
     p_solve = sub.add_parser("solve", help="plan a schedule and print it")
     add_instance_args(p_solve)
     add_runtime_args(p_solve, jobs=False)
+    add_obs_args(p_solve)
     p_solve.add_argument("--json", action="store_true", help="emit JSON")
     p_solve.set_defaults(func=cmd_solve)
 
     p_sim = sub.add_parser("simulate", help="execute the plan on simulated motes")
     add_instance_args(p_sim)
+    add_obs_args(p_sim)
     p_sim.add_argument(
         "--checkpoint",
         metavar="PATH",
@@ -373,6 +475,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["single-target", "geometric", "bipartite"],
     )
     add_runtime_args(p_sweep)
+    add_obs_args(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_cache = sub.add_parser(
@@ -390,6 +493,19 @@ def build_parser() -> argparse.ArgumentParser:
         "~/.cache/repro/schedules)",
     )
     p_cache.set_defaults(func=cmd_cache)
+
+    p_metrics = sub.add_parser(
+        "metrics",
+        help="dump the in-process metrics registry "
+        "(Prometheus text exposition or JSON snapshot)",
+    )
+    p_metrics.add_argument(
+        "--format",
+        choices=["prometheus", "json"],
+        default="prometheus",
+        help="output format (default: prometheus)",
+    )
+    p_metrics.set_defaults(func=cmd_metrics)
 
     p_fig = sub.add_parser(
         "figure", help="reproduce a paper figure as JSON (fig7/fig8a-d/fig9/headline)"
@@ -412,7 +528,8 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    with _observed(args):
+        return args.func(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

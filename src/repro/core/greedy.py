@@ -32,8 +32,13 @@ from typing import List, Optional, Sequence, Set, Tuple
 
 from repro.core.problem import SchedulingProblem
 from repro.core.schedule import PeriodicSchedule, ScheduleMode
+from repro.obs import tracing
+from repro.obs.registry import get_registry
 from repro.utility.base import UtilityFunction
 from repro.utility.target_system import PerSlotUtility
+
+#: Help text for the marginal-evaluation counter (shared by variants).
+_EVALS_HELP = "Marginal-utility evaluations by greedy variant (lazy/naive)"
 
 
 @dataclass(frozen=True)
@@ -117,10 +122,11 @@ def greedy_schedule(
             "use greedy_passive_schedule for rho <= 1"
         )
     functions = _slot_functions(problem, slot_utilities)
-    if lazy:
-        assignment, steps = _run_lazy(problem, functions)
-    else:
-        assignment, steps = _run_naive(problem, functions)
+    with tracing.span("greedy", variant="lazy" if lazy else "naive"):
+        if lazy:
+            assignment, steps = _run_lazy(problem, functions)
+        else:
+            assignment, steps = _run_naive(problem, functions)
     if trace is not None:
         trace.steps = steps
     return PeriodicSchedule(
@@ -141,11 +147,13 @@ def _run_naive(
     assignment: dict = {}
     steps: List[GreedyStep] = []
     total = 0.0
+    evaluations = 0
     for order in range(problem.num_sensors):
         best: Optional[Tuple[float, int, int]] = None
         for sensor in sorted(remaining):
             for slot in range(T):
                 gain = functions[slot].marginal(sensor, slot_sets[slot])
+                evaluations += 1
                 # Deterministic tie-break: higher gain, then lower sensor
                 # id, then lower slot id.
                 key = (gain, -sensor, -slot)
@@ -164,6 +172,9 @@ def _run_naive(
                 order=order, sensor=sensor, slot=slot, gain=gain, total_after=total
             )
         )
+    get_registry().counter(
+        "repro_greedy_marginal_evals_total", _EVALS_HELP, variant="naive"
+    ).inc(evaluations)
     return assignment, steps
 
 
@@ -190,10 +201,12 @@ def _run_lazy(
     steps: List[GreedyStep] = []
     total = 0.0
 
+    evaluations = 0
     heap: List[Tuple[float, int, int, int]] = []
     for sensor in problem.sensors:
         for slot in range(T):
             gain = functions[slot].marginal(sensor, slot_sets[slot])
+            evaluations += 1
             heapq.heappush(heap, (-gain, sensor, slot, 0))
 
     order = 0
@@ -203,6 +216,7 @@ def _run_lazy(
             continue
         if version != slot_version[slot]:
             gain = functions[slot].marginal(sensor, slot_sets[slot])
+            evaluations += 1
             heapq.heappush(heap, (-gain, sensor, slot, slot_version[slot]))
             continue
         gain = -neg_gain
@@ -217,4 +231,7 @@ def _run_lazy(
             )
         )
         order += 1
+    get_registry().counter(
+        "repro_greedy_marginal_evals_total", _EVALS_HELP, variant="lazy"
+    ).inc(evaluations)
     return assignment, steps

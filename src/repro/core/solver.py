@@ -25,6 +25,9 @@ from repro.core.optimal import optimal_schedule
 from repro.core.problem import SchedulingProblem
 from repro.core.schedule import PeriodicSchedule, UnrolledSchedule
 from repro.coverage.deployment import RngLike
+from repro.obs import events as obs_events
+from repro.obs import tracing
+from repro.obs.registry import get_registry
 
 #: Methods accepted by :func:`solve`.
 METHODS = (
@@ -100,51 +103,70 @@ def solve(
     periodic: Optional[PeriodicSchedule] = None
     extras: Dict[str, float] = {}
 
-    if method in ("greedy", "greedy-naive"):
-        lazy = method == "greedy"
-        if problem.is_sparse_regime:
-            periodic = greedy_schedule(problem, lazy=lazy, trace=trace)
-        else:
-            periodic = greedy_passive_schedule(problem, lazy=lazy, trace=trace)
-    elif method == "greedy+ls":
-        from repro.core.local_search import LocalSearchReport, greedy_with_local_search
+    with tracing.span("solve", method=method, sensors=problem.num_sensors):
+        if method in ("greedy", "greedy-naive"):
+            lazy = method == "greedy"
+            if problem.is_sparse_regime:
+                periodic = greedy_schedule(problem, lazy=lazy, trace=trace)
+            else:
+                periodic = greedy_passive_schedule(
+                    problem, lazy=lazy, trace=trace
+                )
+        elif method == "greedy+ls":
+            from repro.core.local_search import (
+                LocalSearchReport,
+                greedy_with_local_search,
+            )
 
-        ls_report = LocalSearchReport(0, 0.0, 0.0)
-        periodic = greedy_with_local_search(problem, report=ls_report)
-        extras["local_search_moves"] = float(ls_report.moves)
-        extras["local_search_improvement"] = ls_report.improvement
-    elif method == "balanced":
-        from repro.core.dp import balanced_schedule
+            ls_report = LocalSearchReport(0, 0.0, 0.0)
+            periodic = greedy_with_local_search(problem, report=ls_report)
+            extras["local_search_moves"] = float(ls_report.moves)
+            extras["local_search_improvement"] = ls_report.improvement
+        elif method == "balanced":
+            from repro.core.dp import balanced_schedule
 
-        periodic = balanced_schedule(problem)
-    elif method == "optimal":
-        periodic = optimal_schedule(problem)
-    elif method == "random":
-        periodic = random_schedule(problem, rng=rng)
-    elif method == "balanced-random":
-        periodic = balanced_random_schedule(problem, rng=rng)
-    elif method == "round-robin":
-        periodic = round_robin_schedule(problem)
-    elif method == "all-first-slot":
-        periodic = all_in_first_slot_schedule(problem)
+            periodic = balanced_schedule(problem)
+        elif method == "optimal":
+            periodic = optimal_schedule(problem)
+        elif method == "random":
+            periodic = random_schedule(problem, rng=rng)
+        elif method == "balanced-random":
+            periodic = balanced_random_schedule(problem, rng=rng)
+        elif method == "round-robin":
+            periodic = round_robin_schedule(problem)
+        elif method == "all-first-slot":
+            periodic = all_in_first_slot_schedule(problem)
 
-    if method in ("lp", "lp-periodic"):
-        if method == "lp-periodic":
-            from repro.core.lp import lp_periodic_schedule
+        if method in ("lp", "lp-periodic"):
+            if method == "lp-periodic":
+                from repro.core.lp import lp_periodic_schedule
 
-            lp_result = lp_periodic_schedule(problem, rng=rng)
-        else:
-            lp_result = lp_schedule(problem, rng=rng)
-        schedule = lp_result.schedule
-        assert schedule is not None
-        extras["lp_objective"] = lp_result.objective
-        extras["rounding_iterations"] = float(lp_result.rounding_iterations)
-        extras["deactivated"] = float(lp_result.deactivated)
-    elif method not in ("lp", "lp-periodic"):
-        assert periodic is not None
-        schedule = periodic.unroll(problem.num_periods)
+                lp_result = lp_periodic_schedule(problem, rng=rng)
+            else:
+                lp_result = lp_schedule(problem, rng=rng)
+            schedule = lp_result.schedule
+            assert schedule is not None
+            extras["lp_objective"] = lp_result.objective
+            extras["rounding_iterations"] = float(lp_result.rounding_iterations)
+            extras["deactivated"] = float(lp_result.deactivated)
+        elif method not in ("lp", "lp-periodic"):
+            assert periodic is not None
+            schedule = periodic.unroll(problem.num_periods)
 
     elapsed = time.perf_counter() - start
+    registry = get_registry()
+    registry.counter(
+        "repro_solve_total", "Completed solves by method", method=method
+    ).inc()
+    registry.histogram(
+        "repro_solve_seconds", "Solve wall time by method", method=method
+    ).observe(elapsed)
+    obs_events.emit(
+        "solve",
+        method=method,
+        sensors=problem.num_sensors,
+        seconds=elapsed,
+    )
     schedule.validate_feasible()
     total = schedule.total_utility(problem.utility)
     average = schedule.average_slot_utility(problem.utility)

@@ -1,0 +1,64 @@
+"""repro.obs -- unified observability: metrics, tracing, structured events.
+
+Every layer of the pipeline reports through this subsystem instead of
+ad-hoc prints and private counters:
+
+- :mod:`repro.obs.registry` -- a process-wide, thread-safe
+  :class:`MetricsRegistry` of :class:`Counter` / :class:`Gauge` /
+  :class:`Histogram` families (fixed exponential buckets, interpolated
+  p50/p95/p99);
+- :mod:`repro.obs.tracing` -- nested, attributed spans with
+  deterministic sequence IDs (``with tracing.span("solve", ...):``);
+- :mod:`repro.obs.events` -- a schema-versioned JSONL event sink the
+  engine, health monitor, self-healing policy and runtime emit into;
+- :mod:`repro.obs.export` -- Prometheus text exposition and JSON
+  snapshot exporters;
+- :mod:`repro.obs.catalog` -- the standard metric-name catalog
+  (mirrored in docs/OBSERVABILITY.md).
+
+Everything is pure stdlib and write-only with respect to results:
+``REPRO_OBS=0`` (or :meth:`MetricsRegistry.disable`) turns all
+recording off and the instrumented code produces bit-for-bit identical
+schedules and simulations.
+"""
+
+from repro.obs.catalog import STANDARD_METRICS, describe_standard_metrics
+from repro.obs.events import (
+    EVENT_SCHEMA_VERSION,
+    EventSink,
+    MemorySink,
+    read_events,
+)
+from repro.obs.export import to_json, to_prometheus
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    OBS_ENV,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    enabled,
+    get_registry,
+)
+from repro.obs.tracing import Span, Tracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "EVENT_SCHEMA_VERSION",
+    "EventSink",
+    "Gauge",
+    "Histogram",
+    "MemorySink",
+    "MetricsRegistry",
+    "OBS_ENV",
+    "STANDARD_METRICS",
+    "Span",
+    "Tracer",
+    "describe_standard_metrics",
+    "enabled",
+    "get_registry",
+    "read_events",
+    "to_json",
+    "to_prometheus",
+]

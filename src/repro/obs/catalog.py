@@ -1,0 +1,139 @@
+"""The metric name catalog: every series the instrumented layers emit.
+
+Kept in one place so (a) ``repro metrics`` can pre-register the whole
+catalog and emit ``# HELP``/``# TYPE`` metadata for every family even
+before traffic arrives, (b) docs/OBSERVABILITY.md has a single source
+of truth to mirror, and (c) renames are grep-able diffs, not scavenger
+hunts.  Label values are free-form; the label *names* listed here are
+the complete set each family uses.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.obs.registry import MetricsRegistry, get_registry
+
+#: (kind, name, label names, help) for every standard series.
+STANDARD_METRICS: Tuple[Tuple[str, str, Tuple[str, ...], str], ...] = (
+    # -- solver (core/solver.py, core/greedy.py) -----------------------
+    (
+        "counter",
+        "repro_solve_total",
+        ("method",),
+        "Completed solves by method",
+    ),
+    (
+        "histogram",
+        "repro_solve_seconds",
+        ("method",),
+        "Solve wall time by method",
+    ),
+    (
+        "counter",
+        "repro_greedy_marginal_evals_total",
+        ("variant",),
+        "Marginal-utility evaluations by greedy variant (lazy/naive)",
+    ),
+    # -- simulation engine (sim/engine.py) -----------------------------
+    (
+        "counter",
+        "repro_sim_slots_total",
+        (),
+        "Simulation slots executed",
+    ),
+    (
+        "histogram",
+        "repro_sim_slot_seconds",
+        (),
+        "Per-slot simulation step wall time",
+    ),
+    (
+        "counter",
+        "repro_sim_refusals_total",
+        (),
+        "Activations refused by undercharged nodes",
+    ),
+    (
+        "gauge",
+        "repro_sim_slot_utility",
+        (),
+        "Utility achieved in the most recent simulated slot",
+    ),
+    # -- health monitor (sim/health.py) --------------------------------
+    (
+        "counter",
+        "repro_health_transitions_total",
+        ("to",),
+        "Node verdict transitions by destination state "
+        "(alive/suspect/down/rogue)",
+    ),
+    # -- self-healing policy (policies/self_healing.py) ----------------
+    (
+        "counter",
+        "repro_selfheal_retries_total",
+        ("outcome",),
+        "Lost-command retries by outcome (issued/declined)",
+    ),
+    (
+        "counter",
+        "repro_selfheal_repairs_total",
+        ("outcome",),
+        "Schedule repairs by outcome (adopted/skipped)",
+    ),
+    (
+        "counter",
+        "repro_selfheal_suppressed_commands_total",
+        (),
+        "Commands suppressed to latched-rogue nodes",
+    ),
+    # -- schedule cache (runtime/cache.py) -----------------------------
+    (
+        "counter",
+        "repro_cache_lookups_total",
+        ("result",),
+        "Schedule cache lookups by result (hit/miss)",
+    ),
+    (
+        "counter",
+        "repro_cache_stores_total",
+        (),
+        "Schedule cache entries written",
+    ),
+    (
+        "counter",
+        "repro_cache_evictions_total",
+        (),
+        "In-memory LRU evictions",
+    ),
+    (
+        "counter",
+        "repro_cache_disk_hits_total",
+        (),
+        "Cache hits served from the directory store",
+    ),
+    # -- worker pool (runtime/pool.py) ---------------------------------
+    (
+        "counter",
+        "repro_pool_tasks_total",
+        ("mode",),
+        "Pool tasks completed by execution mode (parallel/serial)",
+    ),
+    (
+        "histogram",
+        "repro_pool_task_seconds",
+        (),
+        "Per-task wall time in the worker pool",
+    ),
+)
+
+
+def describe_standard_metrics(
+    registry: Optional[MetricsRegistry] = None,
+) -> MetricsRegistry:
+    """Pre-register every standard family (idempotent) so exporters
+    list the full catalog; returns the registry for chaining."""
+    registry = registry if registry is not None else get_registry()
+    for kind, name, _labels, help_text in STANDARD_METRICS:
+        registry.describe(kind, name, help_text)
+    return registry

@@ -1,0 +1,174 @@
+"""Structured events: one JSONL stream for everything that happened.
+
+Metrics aggregate; events narrate.  The engine's per-slot outcomes, the
+health monitor's verdict transitions, the self-healing policy's retry
+and repair decisions, and the runtime's per-task dispositions all emit
+here, so one ``repro simulate --events-out run.jsonl`` captures the
+whole causal story in slot order -- machine-readable, greppable,
+diffable.
+
+Records are schema-versioned dicts, one JSON object per line::
+
+    {"v": 1, "seq": 12, "kind": "health.transition", "slot": 30, ...}
+
+- ``v`` is :data:`EVENT_SCHEMA_VERSION`; consumers reject unknown
+  versions instead of mis-parsing;
+- ``seq`` is a monotonic per-sink sequence; there are no wall-clock
+  timestamps, so identical runs produce identically *ordered* streams
+  (only fields that are themselves measurements, e.g. ``seconds`` on
+  ``solve`` records, vary between runs);
+- ``kind`` namespaces the emitter (``engine.*``, ``health.*``,
+  ``policy.*``, ``runtime.*``, ``solve``).
+
+:class:`EventSink` appends each record in a single buffered write
+followed by a flush, under a lock -- concurrent emitters interleave
+whole lines, never fragments.  Instrumented code calls the module-level
+:func:`emit`, which is a no-op until a sink is installed
+(:func:`set_sink`), so the default cost is one ``None`` check.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.obs import registry as _registry
+
+#: Version stamped into every record's ``v`` field.
+EVENT_SCHEMA_VERSION = 1
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (set, frozenset)):
+        return sorted(value)
+    if isinstance(value, tuple):
+        return list(value)
+    if hasattr(value, "item"):  # numpy scalars
+        return value.item()
+    return str(value)
+
+
+class EventSink:
+    """Appends schema-versioned JSONL records to a file.
+
+    The file handle opens lazily on the first emit (so constructing a
+    sink for a path that is never written leaves no file) and appends,
+    so resumed runs extend their original stream.
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        self._handle = None
+        self._seq = 0
+
+    def emit(self, kind: str, **fields: Any) -> Dict[str, Any]:
+        """Append one record; returns the record dict as written."""
+        with self._lock:
+            record: Dict[str, Any] = {
+                "v": EVENT_SCHEMA_VERSION,
+                "seq": self._seq,
+                "kind": kind,
+            }
+            record.update(fields)
+            line = json.dumps(record, default=_jsonable)
+            if self._handle is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._handle = open(self.path, "a", encoding="utf-8")
+            # One write + flush per record: concurrent emitters (pool
+            # bookkeeping threads) interleave whole lines only.
+            self._handle.write(line + "\n")
+            self._handle.flush()
+            self._seq += 1
+            return record
+
+    def close(self) -> None:
+        """Flush and close the underlying file (idempotent)."""
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    def __enter__(self) -> "EventSink":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+class MemorySink:
+    """In-process sink for tests: records land in :attr:`records`."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._seq = 0
+        self.records: List[Dict[str, Any]] = []
+
+    def emit(self, kind: str, **fields: Any) -> Dict[str, Any]:
+        """Append one record to :attr:`records` and return it."""
+        with self._lock:
+            record: Dict[str, Any] = {
+                "v": EVENT_SCHEMA_VERSION,
+                "seq": self._seq,
+                "kind": kind,
+            }
+            # Round-trip through JSON so memory and file sinks observe
+            # byte-identical payload semantics.
+            record.update(json.loads(json.dumps(fields, default=_jsonable)))
+            self.records.append(record)
+            self._seq += 1
+            return record
+
+    def close(self) -> None:
+        """No-op (memory sinks hold no resources)."""
+
+
+def read_events(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Parse a JSONL event stream back into record dicts, rejecting
+    records whose schema version is unknown."""
+    records = []
+    with open(path, encoding="utf-8") as handle:
+        for number, line in enumerate(handle):
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if record.get("v") != EVENT_SCHEMA_VERSION:
+                raise ValueError(
+                    f"{path}:{number + 1}: unsupported event schema "
+                    f"version {record.get('v')!r} "
+                    f"(supported: {EVENT_SCHEMA_VERSION})"
+                )
+            records.append(record)
+    return records
+
+
+# ----------------------------------------------------------------------
+# The installed sink (module-level switchboard)
+# ----------------------------------------------------------------------
+
+_sink: Optional[Any] = None
+
+
+def set_sink(sink: Optional[Any]) -> Optional[Any]:
+    """Install ``sink`` as the process's event sink; returns the
+    previous one (restore it when done, as the CLI does)."""
+    global _sink
+    previous = _sink
+    _sink = sink
+    return previous
+
+
+def get_sink() -> Optional[Any]:
+    """The installed sink, or ``None``."""
+    return _sink
+
+
+def emit(kind: str, **fields: Any) -> None:
+    """Emit a record to the installed sink; a no-op when no sink is
+    installed or observability is disabled."""
+    if _sink is None or not _registry.enabled():
+        return
+    _sink.emit(kind, **fields)

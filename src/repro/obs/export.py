@@ -1,0 +1,93 @@
+"""Exporters: Prometheus text exposition and JSON snapshots.
+
+Both render a :class:`~repro.obs.registry.MetricsRegistry` snapshot
+(:meth:`~repro.obs.registry.MetricsRegistry.collect`); neither mutates
+it.  The Prometheus form follows the text exposition format version
+0.0.4 (``# HELP`` / ``# TYPE`` comments, ``name{label="value"} value``
+samples, histogram ``_bucket``/``_sum``/``_count`` expansion with
+cumulative ``le`` buckets), so the output scrapes directly or feeds
+``promtool check metrics``-style linters -- ``tools/check_prometheus.py``
+here validates it in CI.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.obs.registry import MetricsRegistry, get_registry
+
+
+def _fmt_value(value: Any) -> str:
+    """Prometheus sample-value formatting: integers bare, floats via
+    ``repr`` (shortest round-trip form)."""
+    number = float(value)
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _label_block(labels: Dict[str, str], extra: Optional[Dict[str, str]] = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    inner = ",".join(
+        f'{key}="{_escape_label(str(value))}"'
+        for key, value in sorted(merged.items())
+    )
+    return "{" + inner + "}"
+
+
+def to_prometheus(registry: Optional[MetricsRegistry] = None) -> str:
+    """Render the registry in Prometheus text exposition format."""
+    registry = registry if registry is not None else get_registry()
+    lines: List[str] = []
+    for family in registry.collect():
+        name, kind = family["name"], family["kind"]
+        help_text = family["help"] or name
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+        for sample in family["samples"]:
+            labels = sample["labels"]
+            if kind == "histogram":
+                for bucket in sample["buckets"]:
+                    le = (
+                        "+Inf"
+                        if bucket["le"] == "+Inf"
+                        else _fmt_value(bucket["le"])
+                    )
+                    lines.append(
+                        f"{name}_bucket"
+                        f"{_label_block(labels, {'le': le})}"
+                        f" {bucket['count']}"
+                    )
+                lines.append(
+                    f"{name}_sum{_label_block(labels)}"
+                    f" {_fmt_value(sample['sum'])}"
+                )
+                lines.append(
+                    f"{name}_count{_label_block(labels)} {sample['count']}"
+                )
+            else:
+                lines.append(
+                    f"{name}{_label_block(labels)}"
+                    f" {_fmt_value(sample['value'])}"
+                )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def to_json(registry: Optional[MetricsRegistry] = None) -> Dict[str, Any]:
+    """Render the registry as a JSON-compatible snapshot document."""
+    registry = registry if registry is not None else get_registry()
+    return {
+        "kind": "repro-metrics",
+        "version": 1,
+        "families": registry.collect(),
+    }

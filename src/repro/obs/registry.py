@@ -1,0 +1,462 @@
+"""Process-wide metrics: counters, gauges and bucketed histograms.
+
+One :class:`MetricsRegistry` instance (usually the process-wide default
+from :func:`get_registry`) holds every metric the instrumented layers
+emit -- solver timings, engine slot costs, cache hit ratios, pool task
+walls, self-healing verdicts.  Design constraints, in order:
+
+- **pure stdlib** -- importable everywhere, including worker processes
+  and minimal sandboxes; no third-party client library;
+- **thread-safe** -- the pool's parent-side bookkeeping and any future
+  serving layer may update metrics from several threads; a single
+  registry lock guards family creation and every sample mutation;
+- **never on the result path** -- metrics are write-only diagnostics.
+  Disabling them (``REPRO_OBS=0`` in the environment, or
+  :meth:`MetricsRegistry.disable`) swaps every lookup for a shared
+  no-op metric, so instrumented code runs identically with recording
+  on or off -- bit-for-bit identical schedules and simulations either
+  way, which tests pin;
+- **resettable** -- :meth:`MetricsRegistry.reset` zeroes every sample
+  in place (existing metric handles stay live), so test cases can
+  assert exact counts without process isolation.
+
+Metrics are identified by a Prometheus-style ``name`` plus an optional
+label set: ``registry.counter("repro_solve_total", "...", method="greedy")``
+returns the child for that exact label combination, creating family and
+child on first use.  Histograms use fixed exponential buckets (powers
+of four from one microsecond by default -- wall-time shaped) and
+estimate p50/p95/p99 by linear interpolation within the bucket that
+crosses the requested rank.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Environment variable: set to ``0`` to disable all observability
+#: (metrics, tracing and events) for the process.
+OBS_ENV = "REPRO_OBS"
+
+#: Default histogram buckets: exponential, powers of 4 from 1 microsecond
+#: to ~4.2 seconds -- the dynamic range of this repo's wall times.
+DEFAULT_BUCKETS: Tuple[float, ...] = tuple(1e-6 * 4**i for i in range(12))
+
+_enabled = os.environ.get(OBS_ENV, "1") != "0"
+
+
+def enabled() -> bool:
+    """Is observability recording currently on for this process?"""
+    return _enabled
+
+
+def _set_enabled(value: bool) -> None:
+    global _enabled
+    _enabled = value
+
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, Any]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+# ----------------------------------------------------------------------
+# Metric kinds
+# ----------------------------------------------------------------------
+
+
+class Counter:
+    """A monotonically increasing sample."""
+
+    kind = "counter"
+
+    def __init__(self, lock: threading.Lock):
+        self._lock = lock
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counters only go up, got inc({amount})")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        """The current total."""
+        return self._value
+
+    def _reset(self) -> None:
+        self._value = 0.0
+
+    def _snapshot(self) -> Dict[str, Any]:
+        return {"value": self._value}
+
+
+class Gauge:
+    """A sample that can go up and down (last-write-wins)."""
+
+    kind = "gauge"
+
+    def __init__(self, lock: threading.Lock):
+        self._lock = lock
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the gauge's value."""
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (may be negative) to the gauge."""
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Subtract ``amount`` from the gauge."""
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        """The current value."""
+        return self._value
+
+    def _reset(self) -> None:
+        self._value = 0.0
+
+    def _snapshot(self) -> Dict[str, Any]:
+        return {"value": self._value}
+
+
+class Histogram:
+    """Fixed-bucket histogram with interpolated percentile estimates.
+
+    ``buckets`` are ascending upper bounds; observations above the last
+    bound land in an implicit overflow (+Inf) bucket.  The class is
+    usable standalone (``Histogram()``) as a small streaming-percentile
+    utility -- :func:`repro.runtime.pool.summarize_telemetry` does this
+    -- as well as through a registry.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        lock: Optional[threading.RLock] = None,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ):
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(f"bucket bounds must be ascending: {bounds}")
+        self.bounds = bounds
+        # Re-entrant: collect() snapshots percentiles while already
+        # holding the shared registry lock.
+        self._lock = lock if lock is not None else threading.RLock()
+        self._counts = [0] * (len(bounds) + 1)  # +1: overflow bucket
+        self._sum = 0.0
+        self._count = 0
+        self._max = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        index = 0
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                break
+        else:
+            index = len(self.bounds)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+            if value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        """Total observations."""
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observed values."""
+        return self._sum
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (0 < q <= 1) by interpolating
+        linearly inside the bucket whose cumulative count crosses the
+        requested rank.  Returns 0.0 with no observations."""
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile must be in (0, 1], got {q}")
+        with self._lock:
+            total = self._count
+            if total == 0:
+                return 0.0
+            rank = q * total
+            cumulative = 0
+            for index, count in enumerate(self._counts):
+                if count == 0:
+                    cumulative += count
+                    continue
+                if cumulative + count >= rank:
+                    lower = self.bounds[index - 1] if index > 0 else 0.0
+                    upper = (
+                        self.bounds[index]
+                        if index < len(self.bounds)
+                        else self._max  # overflow: cap at the observed max
+                    )
+                    fraction = (rank - cumulative) / count
+                    return lower + (upper - lower) * fraction
+                cumulative += count
+        return self._max  # pragma: no cover - defensive
+
+    def percentiles(self) -> Dict[str, float]:
+        """The conventional p50/p95/p99 triple."""
+        return {
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+    def _reset(self) -> None:
+        self._counts = [0] * (len(self.bounds) + 1)
+        self._sum = 0.0
+        self._count = 0
+        self._max = 0.0
+
+    def _snapshot(self) -> Dict[str, Any]:
+        cumulative: List[int] = []
+        running = 0
+        for count in self._counts:
+            running += count
+            cumulative.append(running)
+        return {
+            "buckets": [
+                {"le": bound, "count": cum}
+                for bound, cum in zip(self.bounds, cumulative[:-1])
+            ]
+            + [{"le": "+Inf", "count": cumulative[-1]}],
+            "sum": self._sum,
+            "count": self._count,
+            **self.percentiles(),
+        }
+
+
+class _NullMetric:
+    """The shared no-op metric handed out while recording is disabled."""
+
+    kind = "null"
+    bounds: Tuple[float, ...] = DEFAULT_BUCKETS
+    value = 0.0
+    count = 0
+    sum = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """No-op."""
+
+    def dec(self, amount: float = 1.0) -> None:
+        """No-op."""
+
+    def set(self, value: float) -> None:
+        """No-op."""
+
+    def observe(self, value: float) -> None:
+        """No-op."""
+
+    def quantile(self, q: float) -> float:
+        """Always 0.0."""
+        return 0.0
+
+    def percentiles(self) -> Dict[str, float]:
+        """All zeros."""
+        return {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+
+_NULL_METRIC = _NullMetric()
+
+
+# ----------------------------------------------------------------------
+# Families and the registry
+# ----------------------------------------------------------------------
+
+
+class _Family:
+    """All children (label combinations) of one metric name."""
+
+    def __init__(self, kind: str, name: str, help_text: str):
+        self.kind = kind
+        self.name = name
+        self.help = help_text
+        self.children: "Dict[LabelKey, Any]" = {}
+
+
+class MetricsRegistry:
+    """A thread-safe collection of metric families.
+
+    Most code uses the process-wide default from :func:`get_registry`;
+    tests may instantiate private registries for isolation.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._families: Dict[str, _Family] = {}
+
+    # -- global switch -------------------------------------------------
+
+    @classmethod
+    def disable(cls) -> None:
+        """Turn all observability recording off for the process
+        (equivalent to running with ``REPRO_OBS=0``).  Metric handles
+        obtained *after* this call are shared no-ops."""
+        _set_enabled(False)
+
+    @classmethod
+    def enable(cls) -> None:
+        """Re-enable observability recording."""
+        _set_enabled(True)
+
+    # -- metric accessors ---------------------------------------------
+
+    def counter(self, name: str, help_text: str = "", **labels: Any) -> Counter:
+        """The counter child for ``name`` + ``labels`` (created on first
+        use; a shared no-op when recording is disabled)."""
+        return self._child("counter", Counter, name, help_text, labels)
+
+    def gauge(self, name: str, help_text: str = "", **labels: Any) -> Gauge:
+        """The gauge child for ``name`` + ``labels``."""
+        return self._child("gauge", Gauge, name, help_text, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        **labels: Any,
+    ) -> Histogram:
+        """The histogram child for ``name`` + ``labels``; ``buckets``
+        applies only on first creation of the child."""
+        if not _enabled:
+            return _NULL_METRIC  # type: ignore[return-value]
+        with self._lock:
+            family = self._family("histogram", name, help_text)
+            key = _label_key(labels)
+            child = family.children.get(key)
+            if child is None:
+                child = Histogram(lock=self._lock, buckets=buckets)
+                family.children[key] = child
+            return child
+
+    def describe(self, kind: str, name: str, help_text: str) -> None:
+        """Register an (empty) family so exporters list it even before
+        any sample exists -- the ``repro metrics`` catalog path."""
+        with self._lock:
+            self._family(kind, name, help_text)
+
+    # -- reading -------------------------------------------------------
+
+    def sample_value(self, name: str, **labels: Any) -> Optional[float]:
+        """The current value of an existing counter/gauge child, or
+        ``None`` if the family or child does not exist.  Never creates
+        metrics -- safe for diagnostics output."""
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                return None
+            child = family.children.get(_label_key(labels))
+            if child is None or not hasattr(child, "value"):
+                return None
+            return child.value
+
+    def collect(self) -> List[Dict[str, Any]]:
+        """Snapshot every family for the exporters: a list of dicts with
+        ``name``, ``kind``, ``help`` and per-child ``samples``."""
+        with self._lock:
+            out = []
+            for name in sorted(self._families):
+                family = self._families[name]
+                samples = []
+                for key in sorted(family.children):
+                    child = family.children[key]
+                    samples.append(
+                        {"labels": dict(key), **child._snapshot()}
+                    )
+                out.append(
+                    {
+                        "name": family.name,
+                        "kind": family.kind,
+                        "help": family.help,
+                        "samples": samples,
+                    }
+                )
+            return out
+
+    def family_names(self) -> List[str]:
+        """Registered family names, sorted."""
+        with self._lock:
+            return sorted(self._families)
+
+    # -- lifecycle -----------------------------------------------------
+
+    def reset(self) -> None:
+        """Zero every sample in place.  Existing metric handles remain
+        valid (they keep pointing at the same child objects), so code
+        that cached handles at construction keeps recording."""
+        with self._lock:
+            for family in self._families.values():
+                for child in family.children.values():
+                    child._reset()
+
+    def clear(self) -> None:
+        """Drop every family entirely (harsher than :meth:`reset`:
+        cached handles detach)."""
+        with self._lock:
+            self._families.clear()
+
+    # -- internals -----------------------------------------------------
+
+    def _family(self, kind: str, name: str, help_text: str) -> _Family:
+        family = self._families.get(name)
+        if family is None:
+            family = _Family(kind, name, help_text)
+            self._families[name] = family
+        elif family.kind != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {family.kind}, "
+                f"cannot re-register as {kind}"
+            )
+        if not family.help and help_text:
+            family.help = help_text
+        return family
+
+    def _child(
+        self,
+        kind: str,
+        factory: Any,
+        name: str,
+        help_text: str,
+        labels: Dict[str, Any],
+    ) -> Any:
+        if not _enabled:
+            return _NULL_METRIC
+        with self._lock:
+            family = self._family(kind, name, help_text)
+            key = _label_key(labels)
+            child = family.children.get(key)
+            if child is None:
+                child = factory(self._lock)
+                family.children[key] = child
+            return child
+
+
+_default_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry every instrumented layer uses."""
+    return _default_registry

@@ -1,0 +1,196 @@
+"""Span-based tracing: where did the wall time go, structurally.
+
+A :class:`Tracer` records a forest of named, timed spans::
+
+    tracer = Tracer()
+    with activated(tracer):
+        with span("solve", method="greedy"):
+            with span("greedy", variant="lazy"):
+                ...
+
+Instrumented code calls the module-level :func:`span` unconditionally;
+when no tracer is active (the default) it returns a shared no-op
+context manager, so tracing costs one attribute check per call site
+unless explicitly switched on (e.g. by the CLI's ``--trace-out``).
+
+Design points:
+
+- **deterministic span IDs**: each span's id is ``s<NNNNNN>`` from a
+  monotonic per-tracer sequence -- no wall-clock, no randomness -- so
+  two traces of the same run differ only in the recorded durations and
+  a structural diff (``to_dict(timings=False)``) is byte-stable;
+- **nestable across layers**: the active span stack is per-thread
+  (``threading.local``), so solver spans nest under engine spans nest
+  under CLI spans without any plumbing through call signatures;
+- **attributes** are plain key/value pairs captured at span start and
+  propagated into the exported tree.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.obs import registry as _registry
+
+#: Format tag/version of :meth:`Tracer.to_dict` documents.
+TRACE_KIND = "repro-trace"
+TRACE_VERSION = 1
+
+
+class Span:
+    """One timed, attributed node of the trace tree."""
+
+    __slots__ = ("span_id", "name", "attributes", "children", "_start", "duration")
+
+    def __init__(self, span_id: str, name: str, attributes: Dict[str, Any]):
+        self.span_id = span_id
+        self.name = name
+        self.attributes = attributes
+        self.children: List["Span"] = []
+        self._start = time.perf_counter()
+        self.duration = 0.0
+
+    def to_dict(self, timings: bool = True) -> Dict[str, Any]:
+        """The span subtree as JSON-compatible nesting; ``timings=False``
+        drops durations for byte-stable structural diffs."""
+        node: Dict[str, Any] = {
+            "id": self.span_id,
+            "name": self.name,
+            "attributes": {k: _jsonable(v) for k, v in self.attributes.items()},
+        }
+        if timings:
+            node["duration_seconds"] = self.duration
+        node["children"] = [c.to_dict(timings=timings) for c in self.children]
+        return node
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (set, frozenset)):
+        return sorted(value)
+    return str(value)
+
+
+class _SpanContext:
+    """The context manager :meth:`Tracer.span` returns."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self._span)
+        return self._span
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self._span.duration = time.perf_counter() - self._span._start
+        self._tracer._pop(self._span)
+
+
+class _NullSpanContext:
+    """Shared no-op context for call sites with no active tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info: Any) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpanContext()
+
+
+class Tracer:
+    """Collects a forest of spans with deterministic sequence IDs."""
+
+    def __init__(self) -> None:
+        self.roots: List[Span] = []
+        self._seq = 0
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    # -- recording -----------------------------------------------------
+
+    def span(self, name: str, **attributes: Any) -> _SpanContext:
+        """Open a span; use as ``with tracer.span("solve", method=m):``."""
+        with self._lock:
+            span_id = f"s{self._seq:06d}"
+            self._seq += 1
+        return _SpanContext(self, Span(span_id, name, attributes))
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _push(self, span: Span) -> None:
+        stack = self._stack()
+        span._start = time.perf_counter()  # re-arm: exclude queueing time
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            with self._lock:
+                self.roots.append(span)
+        stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:  # mismatched exits: recover, don't corrupt
+            stack.remove(span)
+
+    # -- export --------------------------------------------------------
+
+    def to_dict(self, timings: bool = True) -> Dict[str, Any]:
+        """The whole trace forest as a schema-tagged document."""
+        return {
+            "kind": TRACE_KIND,
+            "version": TRACE_VERSION,
+            "spans": [root.to_dict(timings=timings) for root in self.roots],
+        }
+
+    def write(self, path: Any, timings: bool = True) -> None:
+        """Serialize :meth:`to_dict` as indented JSON to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(timings=timings), handle, indent=2)
+            handle.write("\n")
+
+
+# ----------------------------------------------------------------------
+# The active tracer (module-level switchboard)
+# ----------------------------------------------------------------------
+
+_active: Optional[Tracer] = None
+
+
+def activate(tracer: Optional[Tracer]) -> Optional[Tracer]:
+    """Install ``tracer`` as the process's active tracer; returns the
+    previous one (restore it when done, as the CLI does)."""
+    global _active
+    previous = _active
+    _active = tracer
+    return previous
+
+
+def current() -> Optional[Tracer]:
+    """The active tracer, or ``None``."""
+    return _active
+
+
+def span(name: str, **attributes: Any):
+    """Open a span on the active tracer; a shared no-op context when no
+    tracer is active or observability is disabled."""
+    if _active is None or not _registry.enabled():
+        return _NULL_SPAN
+    return _active.span(name, **attributes)

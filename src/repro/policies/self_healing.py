@@ -52,8 +52,14 @@ from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Sequence, Set
 from repro.core.greedy import GreedyTrace
 from repro.core.repair import greedy_repair
 from repro.core.schedule import PeriodicSchedule
+from repro.obs import events as obs_events
+from repro.obs.registry import get_registry
 from repro.policies.base import ActivationPolicy
 from repro.sim.health import HealthMonitor
+
+_RETRIES_HELP = "Lost-command retries by outcome (issued/declined)"
+_REPAIRS_HELP = "Schedule repairs by outcome (adopted/skipped)"
+_SUPPRESSED_HELP = "Commands suppressed to latched-rogue nodes"
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.network import SensorNetwork
@@ -166,10 +172,15 @@ class SelfHealingPolicy(ActivationPolicy):
         # ROGUE nodes are suppressed -- they run on their own clock, and
         # not commanding them keeps their anomalies visible.
         rogue = self.monitor.rogue_nodes()
+        registry = get_registry()
         commands = set()
         for v in base:
             if v in rogue:
                 self.commands_suppressed += 1
+                registry.counter(
+                    "repro_selfheal_suppressed_commands_total",
+                    _SUPPRESSED_HELP,
+                ).inc()
             else:
                 commands.add(v)
         for v in self._retry_queue.pop(slot, ()):
@@ -178,8 +189,16 @@ class SelfHealingPolicy(ActivationPolicy):
             if self._retry_profitable(v, commands, network):
                 commands.add(v)
                 self.retries_issued += 1
+                outcome = "issued"
             else:
                 self.retries_declined += 1
+                outcome = "declined"
+            registry.counter(
+                "repro_selfheal_retries_total", _RETRIES_HELP, outcome=outcome
+            ).inc()
+            obs_events.emit(
+                "policy.retry", slot=slot, node=v, outcome=outcome
+            )
         self._last_commands = frozenset(commands)
         self.monitor.note_commands(slot, self._last_commands)
         return self._last_commands
@@ -352,6 +371,18 @@ class SelfHealingPolicy(ActivationPolicy):
             self.repairs_performed += 1
         else:
             self.repairs_skipped += 1
+        outcome = "adopted" if adopt else "skipped"
+        get_registry().counter(
+            "repro_selfheal_repairs_total", _REPAIRS_HELP, outcome=outcome
+        ).inc()
+        obs_events.emit(
+            "policy.repair",
+            slot=boundary,
+            outcome=outcome,
+            unusable=sorted(unusable),
+            gain_per_period=gain_per_period,
+            transition_cost=transition_cost,
+        )
         self._excluded = unusable
         self._pending_repair = False
 

@@ -35,6 +35,7 @@ from repro.core.problem import SchedulingProblem
 from repro.core.schedule import PeriodicSchedule, UnrolledSchedule
 from repro.core.solver import SolveResult
 from repro.io.serialization import schedule_from_dict, schedule_to_dict
+from repro.obs.registry import get_registry
 
 PathLike = Union[str, Path]
 
@@ -54,15 +55,67 @@ def default_cache_dir() -> Path:
     return Path.home() / ".cache" / "repro" / "schedules"
 
 
+#: CacheStats attribute -> (metric name, help, labels) on the shared
+#: registry.  Every *increase* of a stat is mirrored; the rare
+#: corrective decrement (a corrupt entry re-classified from hit to
+#: miss) is not, because registry counters are monotonic -- so the
+#: registry's lookup total can exceed ``CacheStats.lookups`` by the
+#: number of corrupt entries encountered.
+_STAT_MIRROR = {
+    "hits": (
+        "repro_cache_lookups_total",
+        "Schedule cache lookups by result (hit/miss)",
+        {"result": "hit"},
+    ),
+    "misses": (
+        "repro_cache_lookups_total",
+        "Schedule cache lookups by result (hit/miss)",
+        {"result": "miss"},
+    ),
+    "stores": (
+        "repro_cache_stores_total",
+        "Schedule cache entries written",
+        {},
+    ),
+    "evictions": (
+        "repro_cache_evictions_total",
+        "In-memory LRU evictions",
+        {},
+    ),
+    "disk_hits": (
+        "repro_cache_disk_hits_total",
+        "Cache hits served from the directory store",
+        {},
+    ),
+}
+
+
 @dataclass
 class CacheStats:
-    """Counters for one cache instance's lifetime."""
+    """Counters for one cache instance's lifetime.
+
+    The per-instance integers remain the public API; every increment is
+    also mirrored onto the process-wide
+    :class:`~repro.obs.registry.MetricsRegistry`, so ``repro metrics``
+    aggregates across every cache instance the process touched.
+    """
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
     evictions: int = 0
     disk_hits: int = 0  # subset of ``hits`` served from the directory store
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        mirror = _STAT_MIRROR.get(name)
+        if mirror is not None:
+            delta = value - getattr(self, name, 0)
+            if delta > 0:
+                metric_name, help_text, labels = mirror
+                get_registry().counter(
+                    metric_name, help_text, **labels
+                ).inc(delta)
+        object.__setattr__(self, name, value)
 
     @property
     def lookups(self) -> int:

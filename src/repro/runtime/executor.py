@@ -33,6 +33,8 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.problem import SchedulingProblem
 from repro.core.solver import SolveResult, solve
+from repro.obs import events as obs_events
+from repro.obs import tracing
 from repro.runtime.cache import (
     ScheduleCache,
     payload_to_result,
@@ -64,6 +66,7 @@ def solve_cached(
         return solve(problem, method=method, rng=rng), "uncached"
     cached = cache.get_result(key, problem)
     if cached is not None:
+        obs_events.emit("runtime.cache_hit", method=method, key=key)
         return cached, "hit"
     result = solve(problem, method=method, rng=rng)
     cache.put_result(key, result)
@@ -96,6 +99,16 @@ def solve_many(
     temperature.
     """
     tasks = list(tasks)
+    with tracing.span("solve_many", tasks=len(tasks), jobs=jobs or 1):
+        return _solve_many(tasks, jobs, cache, timeout)
+
+
+def _solve_many(
+    tasks: List[SolveTask],
+    jobs: Optional[int],
+    cache: Optional[ScheduleCache],
+    timeout: Optional[float],
+) -> Tuple[List[SolveResult], List[TaskTelemetry]]:
     results: List[Optional[SolveResult]] = [None] * len(tasks)
     telemetry: List[Optional[TaskTelemetry]] = [None] * len(tasks)
 
@@ -177,6 +190,16 @@ def solve_many(
                 cache.stats.hits += 1
 
     assert all(r is not None for r in results)
+    for index, (record, task) in enumerate(zip(telemetry, tasks)):
+        assert record is not None
+        obs_events.emit(
+            "runtime.task",
+            index=index,
+            method=task[1],
+            cache=record.cache,
+            parallel=record.parallel,
+            seconds=record.wall_seconds,
+        )
     return results, telemetry  # type: ignore[return-value]
 
 

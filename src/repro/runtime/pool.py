@@ -30,6 +30,24 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.obs.registry import Histogram, get_registry
+
+_TASKS_HELP = "Pool tasks completed by execution mode (parallel/serial)"
+_TASK_SECONDS_HELP = "Per-task wall time in the worker pool"
+
+
+def _observe_task(record: "TaskTelemetry") -> None:
+    """Mirror one task's telemetry onto the shared metrics registry."""
+    registry = get_registry()
+    registry.counter(
+        "repro_pool_tasks_total",
+        _TASKS_HELP,
+        mode="parallel" if record.parallel else "serial",
+    ).inc()
+    registry.histogram(
+        "repro_pool_task_seconds", _TASK_SECONDS_HELP
+    ).observe(record.wall_seconds)
+
 
 @dataclass
 class TaskTelemetry:
@@ -78,6 +96,7 @@ def _run_serial(
             worker=os.getpid(),
             parallel=False,
         )
+        _observe_task(telemetry[index])
 
 
 def run_tasks(
@@ -134,6 +153,7 @@ def run_tasks(
                         worker=pid,
                         parallel=True,
                     )
+                    _observe_task(telemetry[index])
                     pending_indices.remove(index)
     except Exception as error:
         if _is_task_error(error):
@@ -177,17 +197,27 @@ def _is_task_error(error: BaseException) -> bool:
 
 
 def summarize_telemetry(telemetry: Sequence[TaskTelemetry]) -> Dict[str, Any]:
-    """Roll a telemetry list up into the dict the CLI/benchmarks print."""
+    """Roll a telemetry list up into the dict the CLI/benchmarks print.
+
+    Besides the aggregate totals, the summary reports p50/p95 per-task
+    wall time (estimated through an :class:`~repro.obs.registry.Histogram`
+    with the standard exponential time buckets) so a single slow task
+    is visible next to the mean.
+    """
     records = [t for t in telemetry if t is not None]
     workers = sorted({t.worker for t in records})
     cache_counts: Dict[str, int] = {}
+    walls = Histogram()
     for record in records:
         cache_counts[record.cache] = cache_counts.get(record.cache, 0) + 1
+        walls.observe(record.wall_seconds)
     return {
         "tasks": len(records),
         "parallel_tasks": sum(1 for t in records if t.parallel),
         "serial_tasks": sum(1 for t in records if not t.parallel),
         "workers": workers,
         "task_seconds": sum(t.wall_seconds for t in records),
+        "p50_task_seconds": walls.quantile(0.50),
+        "p95_task_seconds": walls.quantile(0.95),
         "cache": cache_counts,
     }

@@ -20,12 +20,16 @@ for the atomic on-disk format).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
 from repro.energy.states import NodeState
+from repro.obs import events as obs_events
+from repro.obs import tracing
+from repro.obs.registry import get_registry
 from repro.policies.base import ActivationPolicy
 from repro.sim.events import DetectionOutcome, PoissonEventProcess
 from repro.sim.metrics import SlotRecord, UtilityAccumulator
@@ -107,6 +111,23 @@ class SimulationEngine:
         self._all_reports: List[List[NodeSlotReport]] = []
         self._refused_total = 0
         self._slots_done = 0
+        # Metric handles are resolved once; per-slot work is then a
+        # couple of lock-protected adds (or no-ops under REPRO_OBS=0).
+        registry = get_registry()
+        self._m_slots = registry.counter(
+            "repro_sim_slots_total", "Simulation slots executed"
+        )
+        self._m_slot_seconds = registry.histogram(
+            "repro_sim_slot_seconds", "Per-slot simulation step wall time"
+        )
+        self._m_refusals = registry.counter(
+            "repro_sim_refusals_total",
+            "Activations refused by undercharged nodes",
+        )
+        self._m_slot_utility = registry.gauge(
+            "repro_sim_slot_utility",
+            "Utility achieved in the most recent simulated slot",
+        )
 
     @property
     def slots_done(self) -> int:
@@ -136,8 +157,9 @@ class SimulationEngine:
             raise ValueError(f"num_slots must be >= 0, got {num_slots}")
         if self._accumulator is None:
             self._begin()
-        for _ in range(num_slots):
-            self._step()
+        with tracing.span("engine.advance", slots=num_slots):
+            for _ in range(num_slots):
+                self._step()
         return SimulationResult(
             num_slots=self._slots_done,
             accumulator=self._accumulator,
@@ -157,6 +179,7 @@ class SimulationEngine:
         self._slots_done = 0
 
     def _step(self) -> None:
+        step_start = time.perf_counter()
         slot = self.network.clock.slot
         commands = self.policy.decide(slot, self.network)
 
@@ -186,16 +209,29 @@ class SimulationEngine:
             )
         refused = sum(1 for r in reports if r.refused_activation)
         self._refused_total += refused
-        self._accumulator.record(slot, active_set, refused=refused)
+        record = self._accumulator.record(slot, active_set, refused=refused)
 
         if self.event_process is not None:
             self.event_process.step(slot, active_set)
 
+        obs_events.emit(
+            "engine.slot",
+            slot=slot,
+            commanded=sorted(commands),
+            active=sorted(active_set),
+            utility=record.utility,
+            refused=refused,
+        )
         self.policy.observe(slot, reports)
         if self.keep_node_reports:
             self._all_reports.append(reports)
         self.network.clock.advance()
         self._slots_done += 1
+        self._m_slots.inc()
+        if refused:
+            self._m_refusals.inc(refused)
+        self._m_slot_utility.set(record.utility)
+        self._m_slot_seconds.observe(time.perf_counter() - step_start)
 
     # ------------------------------------------------------------------
     # Checkpoint / resume

@@ -29,8 +29,15 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, Optional, Sequence
 
+from repro.obs import events as obs_events
+from repro.obs.registry import get_registry
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.node import NodeSlotReport
+
+_TRANSITIONS_HELP = (
+    "Node verdict transitions by destination state (alive/suspect/down/rogue)"
+)
 
 
 class NodeHealth(Enum):
@@ -122,14 +129,25 @@ class HealthMonitor:
         self._last_commands = frozenset(commanded)
 
     def observe(self, slot: int, reports: Sequence["NodeSlotReport"]) -> None:
-        """Digest one slot's (possibly incomplete) report stream."""
+        """Digest one slot's (possibly incomplete) report stream.
+
+        Verdict transitions (ALIVE/SUSPECT/DOWN changes and ROGUE
+        latches) are emitted as structured ``health.transition`` events
+        and counted on the shared metrics registry, so the base
+        station's inferences are machine-readable alongside the engine
+        and policy streams.
+        """
         seen = set()
         for report in reports:
             v = report.node_id
             if v not in self._misses:
                 continue  # unknown id: ignore rather than crash the loop
             seen.add(v)
+            before = self.status(v)
             self._misses[v] = 0
+            if before is not NodeHealth.ALIVE:
+                # One fresh report restores ALIVE from SUSPECT or DOWN.
+                self._note_transition(slot, v, before, NodeHealth.ALIVE)
             self._last_report_slot[v] = slot
             self._last_level[v] = report.level_after
             self._last_state[v] = report.state_after.value
@@ -143,16 +161,48 @@ class HealthMonitor:
                 report.was_active or report.refused_activation
             ) and v not in self._last_commands:
                 self._rogue_streak[v] += 1
-                if self._rogue_streak[v] >= self.rogue_after:
+                if self._rogue_streak[v] >= self.rogue_after and (
+                    v not in self._rogue
+                ):
                     self._rogue.add(v)
+                    self._note_rogue(slot, v)
         for v in self._misses:
             if v not in seen:
                 before = self.status(v)
                 self._misses[v] += 1
-                if before is not NodeHealth.DOWN and (
-                    self.status(v) is NodeHealth.DOWN
-                ):
+                after = self.status(v)
+                if before is not NodeHealth.DOWN and after is NodeHealth.DOWN:
                     self.total_evictions += 1
+                if after is not before:
+                    self._note_transition(slot, v, before, after)
+
+    def _note_transition(
+        self, slot: int, node: int, before: NodeHealth, after: NodeHealth
+    ) -> None:
+        """Record one verdict change on the event stream and registry."""
+        obs_events.emit(
+            "health.transition",
+            slot=slot,
+            node=node,
+            before=before.value,
+            after=after.value,
+        )
+        get_registry().counter(
+            "repro_health_transitions_total", _TRANSITIONS_HELP, to=after.value
+        ).inc()
+
+    def _note_rogue(self, slot: int, node: int) -> None:
+        """Record a (permanent) ROGUE latch."""
+        obs_events.emit(
+            "health.transition",
+            slot=slot,
+            node=node,
+            before=self.status(node).value,
+            after="rogue",
+        )
+        get_registry().counter(
+            "repro_health_transitions_total", _TRANSITIONS_HELP, to="rogue"
+        ).inc()
 
     # ------------------------------------------------------------------
     # Verdicts

@@ -1,0 +1,24 @@
+"""Shared fixtures: every obs test runs against clean global state.
+
+The registry, sink and tracer are process-wide switchboards; tests
+must not leak samples or installed sinks into each other (or into the
+rest of the suite).
+"""
+
+import pytest
+
+from repro.obs import events, tracing
+from repro.obs.registry import MetricsRegistry, get_registry
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    MetricsRegistry.enable()
+    get_registry().reset()
+    previous_sink = events.set_sink(None)
+    previous_tracer = tracing.activate(None)
+    yield
+    events.set_sink(previous_sink)
+    tracing.activate(previous_tracer)
+    MetricsRegistry.enable()
+    get_registry().reset()

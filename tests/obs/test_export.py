@@ -1,0 +1,99 @@
+"""Exporters: Prometheus text exposition (golden file) + JSON snapshot."""
+
+import json
+from pathlib import Path
+
+from repro.obs.export import to_json, to_prometheus
+from repro.obs.registry import MetricsRegistry
+
+GOLDEN = Path(__file__).parent / "golden_metrics.prom"
+
+
+def golden_registry():
+    """The fixed registry the golden file was rendered from."""
+    registry = MetricsRegistry()
+    registry.counter(
+        "repro_solve_total", "Completed solves by method", method="greedy"
+    ).inc(3)
+    registry.counter("repro_solve_total", method="random").inc()
+    registry.gauge(
+        "repro_sim_slot_utility",
+        "Utility achieved in the most recent simulated slot",
+    ).set(1.25)
+    histogram = registry.histogram(
+        "repro_sim_slot_seconds",
+        "Per-slot simulation step wall time",
+        buckets=(1.0, 2.0),
+    )
+    for value in (0.5, 1.5, 5.0):
+        histogram.observe(value)
+    return registry
+
+
+class TestPrometheus:
+    def test_matches_golden_file(self):
+        assert to_prometheus(golden_registry()) == GOLDEN.read_text()
+
+    def test_empty_registry_renders_empty(self):
+        assert to_prometheus(MetricsRegistry()) == ""
+
+    def test_described_family_renders_header_without_samples(self):
+        registry = MetricsRegistry()
+        registry.describe("counter", "repro_solve_total", "solves")
+        text = to_prometheus(registry)
+        assert "# HELP repro_solve_total solves\n" in text
+        assert "# TYPE repro_solve_total counter\n" in text
+        assert not any(
+            line.startswith("repro_solve_total ")
+            for line in text.splitlines()
+        )
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", "h", path='a"b\\c\nd').inc()
+        text = to_prometheus(registry)
+        assert 'x_total{path="a\\"b\\\\c\\nd"} 1' in text
+
+    def test_integral_floats_render_bare(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(2.0)
+        registry.gauge("h").set(2.5)
+        text = to_prometheus(registry)
+        assert "g 2\n" in text
+        assert "h 2.5\n" in text
+
+    def test_histogram_buckets_are_cumulative_and_end_at_inf(self):
+        text = to_prometheus(golden_registry())
+        lines = [
+            line
+            for line in text.splitlines()
+            if line.startswith("repro_sim_slot_seconds_bucket")
+        ]
+        counts = [int(line.rsplit(" ", 1)[1]) for line in lines]
+        assert counts == sorted(counts)
+        assert 'le="+Inf"' in lines[-1]
+
+
+class TestJson:
+    def test_snapshot_document_shape(self):
+        doc = to_json(golden_registry())
+        assert doc["kind"] == "repro-metrics"
+        assert doc["version"] == 1
+        names = [family["name"] for family in doc["families"]]
+        assert names == sorted(names)
+        assert "repro_solve_total" in names
+
+    def test_snapshot_is_json_serializable(self):
+        text = json.dumps(to_json(golden_registry()))
+        assert json.loads(text)["kind"] == "repro-metrics"
+
+    def test_histogram_samples_carry_percentiles(self):
+        doc = to_json(golden_registry())
+        family = next(
+            f
+            for f in doc["families"]
+            if f["name"] == "repro_sim_slot_seconds"
+        )
+        (sample,) = family["samples"]
+        assert {"p50", "p95", "p99"} <= set(sample)
+        assert sample["count"] == 3

@@ -1,0 +1,105 @@
+"""Histogram bucket assignment and percentile math on known inputs."""
+
+import pytest
+
+from repro.obs.registry import DEFAULT_BUCKETS, Histogram, MetricsRegistry
+
+
+class TestBuckets:
+    def test_default_buckets_are_powers_of_four_from_one_microsecond(self):
+        assert DEFAULT_BUCKETS[0] == pytest.approx(1e-6)
+        for lo, hi in zip(DEFAULT_BUCKETS, DEFAULT_BUCKETS[1:]):
+            assert hi == pytest.approx(4 * lo)
+
+    def test_assignment_is_le_upper_bound(self):
+        h = Histogram(buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 99.0):
+            h.observe(value)
+        # raw (non-cumulative) counts per bucket: <=1, <=2, <=4, +Inf
+        assert h._counts == [2, 2, 2, 1]
+        assert h.count == 7
+        assert h.sum == pytest.approx(0.5 + 1.0 + 1.5 + 2.0 + 3.0 + 4.0 + 99.0)
+
+    def test_snapshot_buckets_are_cumulative(self):
+        h = Histogram(buckets=(1.0, 2.0))
+        for value in (0.5, 1.5, 1.5, 5.0):
+            h.observe(value)
+        snapshot = h._snapshot()
+        assert snapshot["buckets"] == [
+            {"le": 1.0, "count": 1},
+            {"le": 2.0, "count": 3},
+            {"le": "+Inf", "count": 4},
+        ]
+        assert snapshot["count"] == 4
+
+    def test_bounds_must_be_ascending_and_nonempty(self):
+        with pytest.raises(ValueError, match="ascending"):
+            Histogram(buckets=(2.0, 1.0))
+        with pytest.raises(ValueError, match="at least one bucket"):
+            Histogram(buckets=())
+
+
+class TestQuantiles:
+    def test_uniform_within_one_bucket_interpolates_linearly(self):
+        h = Histogram(buckets=(10.0,))
+        for value in range(1, 11):  # 10 observations, all in [0, 10]
+            h.observe(value)
+        # rank q*10 falls in the only bucket: 0 + 10 * rank/10
+        assert h.quantile(0.5) == pytest.approx(5.0)
+        assert h.quantile(0.1) == pytest.approx(1.0)
+        assert h.quantile(1.0) == pytest.approx(10.0)
+
+    def test_interpolation_crosses_into_the_right_bucket(self):
+        h = Histogram(buckets=(1.0, 2.0))
+        h.observe(0.5)  # bucket (0, 1]
+        for _ in range(3):
+            h.observe(1.5)  # bucket (1, 2]
+        # q=0.25 -> rank 1 -> fully consumes the first bucket's count
+        assert h.quantile(0.25) == pytest.approx(1.0)
+        # q=1.0 -> rank 4 -> end of the second bucket
+        assert h.quantile(1.0) == pytest.approx(2.0)
+        # q=0.5 -> rank 2 -> 1/3 through the second bucket
+        assert h.quantile(0.5) == pytest.approx(1.0 + (2.0 - 1.0) / 3.0)
+
+    def test_overflow_bucket_caps_at_observed_max(self):
+        h = Histogram(buckets=(1.0,))
+        h.observe(5.0)
+        h.observe(7.0)
+        assert h.quantile(1.0) == pytest.approx(7.0)  # never +Inf
+        assert h.quantile(0.5) == pytest.approx(1.0 + (7.0 - 1.0) * 0.5)
+
+    def test_empty_histogram_estimates_zero(self):
+        h = Histogram()
+        assert h.quantile(0.5) == 0.0
+        assert h.percentiles() == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+    def test_quantile_domain_is_validated(self):
+        h = Histogram()
+        with pytest.raises(ValueError):
+            h.quantile(0.0)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_percentiles_are_monotone(self):
+        h = Histogram()
+        for i in range(200):
+            h.observe(0.0001 * (i + 1))
+        p = h.percentiles()
+        assert p["p50"] <= p["p95"] <= p["p99"]
+
+
+class TestRegistryIntegration:
+    def test_buckets_apply_on_first_creation_only(self):
+        registry = MetricsRegistry()
+        first = registry.histogram("seconds", buckets=(1.0, 2.0))
+        again = registry.histogram("seconds", buckets=(99.0,))
+        assert again is first
+        assert again.bounds == (1.0, 2.0)
+
+    def test_reset_clears_samples_and_max(self):
+        h = Histogram(buckets=(1.0,))
+        h.observe(42.0)
+        h._reset()
+        assert h.count == 0
+        assert h.sum == 0.0
+        assert h.quantile(1.0) == 0.0

@@ -1,0 +1,204 @@
+"""End-to-end observability: a real simulation narrates itself.
+
+A full self-healing run against an injected death must produce the
+engine / health / policy event streams in slot order, populate the
+shared registry, and -- with observability disabled -- produce
+bit-for-bit identical simulation results.
+"""
+
+import pytest
+
+from repro.core.greedy import greedy_schedule
+from repro.core.problem import SchedulingProblem
+from repro.energy.period import ChargingPeriod
+from repro.obs import events
+from repro.obs.catalog import STANDARD_METRICS, describe_standard_metrics
+from repro.obs.events import MemorySink
+from repro.obs.export import to_prometheus
+from repro.obs.registry import MetricsRegistry, get_registry
+from repro.policies.schedule_policy import SchedulePolicy
+from repro.policies.self_healing import SelfHealingPolicy
+from repro.runtime.cache import ScheduleCache
+from repro.runtime.pool import TaskTelemetry, summarize_telemetry
+from repro.sim.engine import SimulationEngine
+from repro.sim.failures import FailureInjectedPolicy, FailurePlan
+from repro.sim.network import SensorNetwork
+from repro.utility.target_system import TargetSystem
+
+PERIOD = ChargingPeriod.paper_sunny()
+N = 12
+PERIODS = 8
+L = PERIODS * PERIOD.slots_per_period
+UTILITY = TargetSystem.homogeneous_detection(
+    [set(range(0, 6)), set(range(3, 9)), set(range(6, 12))], 0.4
+)
+DEAD_NODE = 3
+
+
+def run_healing_sim():
+    """One deterministic self-healing run with a node death at slot 4."""
+    problem = SchedulingProblem(
+        num_sensors=N, period=PERIOD, utility=UTILITY, num_periods=PERIODS
+    )
+    schedule = greedy_schedule(problem)
+    plan = FailurePlan(deaths={DEAD_NODE: 4})
+    policy = FailureInjectedPolicy(
+        SelfHealingPolicy(SchedulePolicy(schedule), horizon=L), plan
+    )
+    engine = SimulationEngine(SensorNetwork(N, PERIOD, UTILITY), policy)
+    return engine.run(L)
+
+
+class TestEventNarrative:
+    @pytest.fixture(autouse=True)
+    def _run(self):
+        self.sink = MemorySink()
+        events.set_sink(self.sink)
+        try:
+            self.result = run_healing_sim()
+        finally:
+            events.set_sink(None)
+        self.records = self.sink.records
+
+    def test_engine_emits_every_slot_in_order(self):
+        slots = [
+            r["slot"] for r in self.records if r["kind"] == "engine.slot"
+        ]
+        assert slots == list(range(L))
+
+    def test_health_reports_the_injected_death(self):
+        transitions = [
+            r for r in self.records if r["kind"] == "health.transition"
+        ]
+        assert transitions, "a dying node must produce verdict transitions"
+        down = [r for r in transitions if r["after"] == "down"]
+        assert [r["node"] for r in down] == [DEAD_NODE]
+        # The verdict hardened through SUSPECT first.
+        assert any(
+            r["node"] == DEAD_NODE and r["after"] == "suspect"
+            for r in transitions
+        )
+
+    def test_policy_repair_event_follows_detection(self):
+        repairs = [r for r in self.records if r["kind"] == "policy.repair"]
+        assert repairs, "an eviction must trigger a repair decision"
+        down_seq = next(
+            r["seq"]
+            for r in self.records
+            if r["kind"] == "health.transition" and r["after"] == "down"
+        )
+        assert all(r["seq"] > down_seq for r in repairs)
+        assert repairs[0]["unusable"] == [DEAD_NODE]
+        assert repairs[0]["outcome"] in {"adopted", "skipped"}
+
+    def test_slot_carrying_events_are_in_slot_order(self):
+        slotted = [r["slot"] for r in self.records if "slot" in r]
+        assert slotted == sorted(slotted)
+
+    def test_within_a_slot_engine_precedes_health(self):
+        by_seq = {r["seq"]: r for r in self.records}
+        for record in self.records:
+            if record["kind"] != "health.transition":
+                continue
+            engine_seq = next(
+                r["seq"]
+                for r in self.records
+                if r["kind"] == "engine.slot"
+                and r["slot"] == record["slot"]
+            )
+            assert engine_seq < record["seq"]
+        assert by_seq  # sanity: the stream was non-empty
+
+    def test_registry_mirrors_the_run(self):
+        registry = get_registry()
+        assert registry.sample_value("repro_sim_slots_total") == L
+        assert (
+            registry.sample_value("repro_health_transitions_total", to="down")
+            == 1
+        )
+        repairs = sum(
+            registry.sample_value(
+                "repro_selfheal_repairs_total", outcome=outcome
+            )
+            or 0
+            for outcome in ("adopted", "skipped")
+        )
+        assert repairs >= 1
+        histogram = registry.histogram("repro_sim_slot_seconds")
+        assert histogram.count == L
+
+
+class TestDisabledParity:
+    def test_disabling_observability_changes_no_results(self):
+        baseline = run_healing_sim()
+        get_registry().reset()
+        MetricsRegistry.disable()
+        try:
+            dark = run_healing_sim()
+        finally:
+            MetricsRegistry.enable()
+        assert dark.total_utility == baseline.total_utility
+        assert dark.refused_activations == baseline.refused_activations
+        assert [r.utility for r in dark.accumulator.records] == [
+            r.utility for r in baseline.accumulator.records
+        ]
+        assert [r.active_set for r in dark.accumulator.records] == [
+            r.active_set for r in baseline.accumulator.records
+        ]
+        # And nothing was recorded while disabled.
+        assert get_registry().sample_value("repro_sim_slots_total") == 0
+
+
+class TestTelemetrySummary:
+    def test_summary_keeps_old_keys_and_adds_percentiles(self):
+        telemetry = [
+            TaskTelemetry(
+                index=i,
+                wall_seconds=0.001 * (i + 1),
+                worker=123,
+                parallel=False,
+                cache="miss",
+            )
+            for i in range(20)
+        ]
+        summary = summarize_telemetry(telemetry)
+        assert summary["tasks"] == 20
+        assert summary["serial_tasks"] == 20
+        assert summary["cache"] == {"miss": 20}
+        assert 0.0 < summary["p50_task_seconds"] <= summary["p95_task_seconds"]
+        # Estimates are bucket-bounded: the max (0.020s) lands in the
+        # (0.016384, 0.065536] exponential bucket.
+        assert summary["p95_task_seconds"] <= 0.065536
+
+
+class TestCacheMirroring:
+    def test_cache_stats_mirror_onto_the_registry(self):
+        registry = get_registry()
+        cache = ScheduleCache(capacity=2)
+        assert cache.get("aa" * 20) is None  # miss
+        cache.put("aa" * 20, {"x": 1})  # store
+        assert cache.get("aa" * 20) == {"x": 1}  # hit
+        cache.put("bb" * 20, {"x": 2})
+        cache.put("cc" * 20, {"x": 3})  # evicts aa
+        assert (
+            registry.sample_value("repro_cache_lookups_total", result="hit")
+            == 1
+        )
+        assert (
+            registry.sample_value("repro_cache_lookups_total", result="miss")
+            == 1
+        )
+        assert registry.sample_value("repro_cache_stores_total") == 3
+        assert registry.sample_value("repro_cache_evictions_total") == 1
+        # The per-instance integers remain the public API.
+        assert cache.stats.hits == 1
+        assert cache.stats.evictions == 1
+
+
+class TestCatalog:
+    def test_standard_metrics_pre_register_for_exposition(self):
+        registry = MetricsRegistry()
+        describe_standard_metrics(registry)
+        text = to_prometheus(registry)
+        for _, name, _, _ in STANDARD_METRICS:
+            assert f"# TYPE {name} " in text

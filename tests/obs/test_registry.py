@@ -1,0 +1,181 @@
+"""Registry semantics: families, labels, lifecycle, thread safety."""
+
+import threading
+
+import pytest
+
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    enabled,
+    get_registry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        registry = MetricsRegistry()
+        c = registry.counter("x_total", "help")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="counters only go up"):
+            registry.counter("x_total").inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = MetricsRegistry().gauge("depth", "help")
+        g.set(10)
+        g.inc(2)
+        g.dec(5)
+        assert g.value == 7.0
+
+
+class TestFamilies:
+    def test_same_labels_return_same_child(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x_total", method="greedy", run="1")
+        b = registry.counter("x_total", run="1", method="greedy")
+        assert a is b
+
+    def test_different_labels_are_independent(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", method="greedy").inc()
+        registry.counter("x_total", method="random").inc(3)
+        assert registry.sample_value("x_total", method="greedy") == 1
+        assert registry.sample_value("x_total", method="random") == 3
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x_total")
+
+    def test_help_text_fills_in_lazily(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total")  # no help yet
+        registry.counter("x_total", "the help")
+        (family,) = registry.collect()
+        assert family["help"] == "the help"
+
+    def test_describe_registers_empty_family(self):
+        registry = MetricsRegistry()
+        registry.describe("counter", "x_total", "described")
+        assert registry.family_names() == ["x_total"]
+        (family,) = registry.collect()
+        assert family["samples"] == []
+
+    def test_sample_value_never_creates(self):
+        registry = MetricsRegistry()
+        assert registry.sample_value("nope") is None
+        registry.counter("x_total", method="greedy")
+        assert registry.sample_value("x_total", method="other") is None
+        assert registry.family_names() == ["x_total"]
+
+
+class TestLifecycle:
+    def test_reset_zeroes_in_place_keeping_handles_live(self):
+        registry = MetricsRegistry()
+        handle = registry.counter("x_total")
+        handle.inc(5)
+        registry.reset()
+        assert registry.sample_value("x_total") == 0
+        handle.inc()  # the cached handle must still be wired in
+        assert registry.sample_value("x_total") == 1
+
+    def test_clear_drops_families(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total").inc()
+        registry.clear()
+        assert registry.family_names() == []
+
+
+class TestDisable:
+    def test_disabled_accessors_return_shared_noop(self):
+        registry = MetricsRegistry()
+        MetricsRegistry.disable()
+        try:
+            assert not enabled()
+            c = registry.counter("x_total")
+            g = registry.gauge("depth")
+            h = registry.histogram("seconds")
+            c.inc(10)
+            g.set(3)
+            h.observe(0.5)
+            assert c.value == 0.0
+            assert h.quantile(0.99) == 0.0
+        finally:
+            MetricsRegistry.enable()
+        # Nothing was recorded while disabled, and nothing was created.
+        assert registry.family_names() == []
+
+    def test_reenabled_registry_records_again(self):
+        registry = MetricsRegistry()
+        MetricsRegistry.disable()
+        registry.counter("x_total").inc()
+        MetricsRegistry.enable()
+        registry.counter("x_total").inc()
+        assert registry.sample_value("x_total") == 1
+
+
+class TestThreadSafety:
+    def test_concurrent_increments_are_exact(self):
+        registry = MetricsRegistry()
+        threads = 8
+        per_thread = 2000
+
+        def work():
+            counter = registry.counter("x_total", "help")
+            histogram = registry.histogram("seconds", "help")
+            for _ in range(per_thread):
+                counter.inc()
+                histogram.observe(0.001)
+
+        pool = [threading.Thread(target=work) for _ in range(threads)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        assert registry.sample_value("x_total") == threads * per_thread
+        histogram = registry.histogram("seconds")
+        assert histogram.count == threads * per_thread
+
+    def test_collect_while_mutating_does_not_deadlock(self):
+        registry = MetricsRegistry()
+        registry.histogram("seconds").observe(0.5)
+        stop = threading.Event()
+
+        def mutate():
+            h = registry.histogram("seconds")
+            while not stop.is_set():
+                h.observe(0.25)
+
+        t = threading.Thread(target=mutate)
+        t.start()
+        try:
+            for _ in range(50):
+                snapshot = registry.collect()
+                assert snapshot[0]["name"] == "seconds"
+        finally:
+            stop.set()
+            t.join()
+
+
+def test_default_registry_is_a_process_singleton():
+    assert get_registry() is get_registry()
+    assert isinstance(get_registry(), MetricsRegistry)
+
+
+def test_metric_classes_share_registry_lock():
+    registry = MetricsRegistry()
+    counter = registry.counter("x_total")
+    gauge = registry.gauge("depth")
+    assert isinstance(counter, Counter)
+    assert isinstance(gauge, Gauge)
+    assert counter._lock is gauge._lock

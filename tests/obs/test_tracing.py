@@ -1,0 +1,143 @@
+"""Span tracing: nesting, attributes, deterministic IDs, stability."""
+
+import json
+
+import pytest
+
+from repro.obs import tracing
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracing import TRACE_KIND, TRACE_VERSION, Tracer
+
+
+def build_trace(tracer):
+    """A fixed two-root span structure used by the stability tests."""
+    with tracer.span("solve", method="greedy", sensors=20):
+        with tracer.span("greedy", variant="lazy"):
+            pass
+        with tracer.span("greedy", variant="naive"):
+            pass
+    with tracer.span("engine.advance", slots=10):
+        pass
+
+
+class TestNesting:
+    def test_spans_nest_into_a_tree(self):
+        tracer = Tracer()
+        build_trace(tracer)
+        assert [root.name for root in tracer.roots] == [
+            "solve",
+            "engine.advance",
+        ]
+        solve = tracer.roots[0]
+        assert [child.name for child in solve.children] == [
+            "greedy",
+            "greedy",
+        ]
+        assert solve.children[0].children == []
+
+    def test_attributes_propagate_to_export(self):
+        tracer = Tracer()
+        build_trace(tracer)
+        doc = tracer.to_dict()
+        assert doc["spans"][0]["attributes"] == {
+            "method": "greedy",
+            "sensors": 20,
+        }
+        assert doc["spans"][0]["children"][0]["attributes"] == {
+            "variant": "lazy"
+        }
+
+    def test_set_attributes_export_as_sorted_lists(self):
+        tracer = Tracer()
+        with tracer.span("x", nodes=frozenset({3, 1, 2})):
+            pass
+        doc = tracer.to_dict()
+        assert doc["spans"][0]["attributes"]["nodes"] == [1, 2, 3]
+
+    def test_exception_still_closes_the_span(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise RuntimeError("boom")
+        with tracer.span("after"):  # the stack recovered
+            pass
+        assert [root.name for root in tracer.roots] == ["outer", "after"]
+        assert tracer.roots[0].duration >= 0.0
+
+
+class TestDeterminism:
+    def test_ids_are_a_monotonic_sequence(self):
+        tracer = Tracer()
+        build_trace(tracer)
+        doc = tracer.to_dict()
+        assert doc["spans"][0]["id"] == "s000000"
+        assert doc["spans"][0]["children"][0]["id"] == "s000001"
+        assert doc["spans"][1]["id"] == "s000003"
+
+    def test_structural_dict_is_byte_stable_across_runs(self):
+        docs = []
+        for _ in range(2):
+            tracer = Tracer()
+            build_trace(tracer)
+            docs.append(
+                json.dumps(tracer.to_dict(timings=False), sort_keys=True)
+            )
+        assert docs[0] == docs[1]
+
+    def test_timings_flag_controls_duration_field(self):
+        tracer = Tracer()
+        build_trace(tracer)
+        with_timings = tracer.to_dict()["spans"][0]
+        without = tracer.to_dict(timings=False)["spans"][0]
+        assert "duration_seconds" in with_timings
+        assert "duration_seconds" not in without
+
+    def test_document_is_schema_tagged(self):
+        doc = Tracer().to_dict()
+        assert doc["kind"] == TRACE_KIND
+        assert doc["version"] == TRACE_VERSION
+
+
+class TestModuleSwitchboard:
+    def test_span_is_noop_without_active_tracer(self):
+        assert tracing.current() is None
+        with tracing.span("ignored") as span:
+            assert span is None
+
+    def test_active_tracer_collects_module_level_spans(self):
+        tracer = Tracer()
+        previous = tracing.activate(tracer)
+        try:
+            with tracing.span("solve", method="greedy"):
+                pass
+        finally:
+            tracing.activate(previous)
+        assert [root.name for root in tracer.roots] == ["solve"]
+
+    def test_activate_returns_previous_for_restore(self):
+        first, second = Tracer(), Tracer()
+        assert tracing.activate(first) is None
+        assert tracing.activate(second) is first
+        assert tracing.activate(None) is second
+
+    def test_disabled_observability_suppresses_spans(self):
+        tracer = Tracer()
+        tracing.activate(tracer)
+        MetricsRegistry.disable()
+        try:
+            with tracing.span("ignored"):
+                pass
+        finally:
+            MetricsRegistry.enable()
+            tracing.activate(None)
+        assert tracer.roots == []
+
+
+def test_write_round_trips_through_json(tmp_path):
+    tracer = Tracer()
+    build_trace(tracer)
+    path = tmp_path / "trace.json"
+    tracer.write(path)
+    loaded = json.loads(path.read_text())
+    assert loaded == json.loads(json.dumps(tracer.to_dict()))

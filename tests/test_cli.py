@@ -277,3 +277,128 @@ class TestParser:
         assert sweep_args.no_cache is False
         cache_args = build_parser().parse_args(["cache", "stats"])
         assert cache_args.cache_command == "stats"
+
+
+class TestMetricsCommand:
+    def test_prometheus_exposition_lists_the_full_catalog(self, capsys):
+        from repro.obs.catalog import STANDARD_METRICS
+
+        assert main(["metrics"]) == 0
+        out = capsys.readouterr().out
+        for kind, name, _labels, _help in STANDARD_METRICS:
+            assert f"# TYPE {name} {kind}" in out
+
+    def test_json_format(self, capsys):
+        assert main(["metrics", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "repro-metrics"
+        assert any(
+            family["name"] == "repro_sim_slots_total"
+            for family in payload["families"]
+        )
+
+    def test_exposition_reflects_prior_traffic_in_process(self, capsys):
+        from repro.obs.registry import get_registry
+
+        get_registry().reset()
+        assert main(["solve", "--sensors", "8", "--no-cache"]) == 0
+        capsys.readouterr()
+        assert main(["metrics"]) == 0
+        out = capsys.readouterr().out
+        assert 'repro_solve_total{method="greedy"} 1' in out
+
+
+class TestObservabilityFlags:
+    def test_events_out_writes_slot_ordered_jsonl(self, capsys, tmp_path):
+        from repro.obs.events import read_events
+
+        path = tmp_path / "run.jsonl"
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--sensors",
+                    "8",
+                    "--periods",
+                    "2",
+                    "--events-out",
+                    str(path),
+                ]
+            )
+            == 0
+        )
+        records = read_events(path)
+        assert records, "an instrumented simulate must emit events"
+        slots = [r["slot"] for r in records if r["kind"] == "engine.slot"]
+        assert slots == sorted(slots)
+        assert len(slots) == 2 * 4  # two periods of T=4 slots
+
+    def test_trace_out_writes_schema_tagged_trace(self, capsys, tmp_path):
+        path = tmp_path / "trace.json"
+        assert (
+            main(["solve", "--sensors", "8", "--trace-out", str(path)]) == 0
+        )
+        doc = json.loads(path.read_text())
+        assert doc["kind"] == "repro-trace"
+        assert doc["spans"][0]["name"] == "solve"
+        assert doc["spans"][0]["id"] == "s000000"
+
+    def test_flags_leave_no_sink_installed_afterwards(self, capsys, tmp_path):
+        from repro.obs import events, tracing
+
+        main(
+            [
+                "simulate",
+                "--sensors",
+                "8",
+                "--periods",
+                "1",
+                "--events-out",
+                str(tmp_path / "e.jsonl"),
+                "--trace-out",
+                str(tmp_path / "t.json"),
+            ]
+        )
+        assert events.get_sink() is None
+        assert tracing.current() is None
+
+
+class TestCacheStatsObservability:
+    def test_in_process_counters_printed_when_cache_was_exercised(
+        self, capsys
+    ):
+        from repro.obs.registry import get_registry
+
+        get_registry().reset()
+        assert main(["solve", "--sensors", "8"]) == 0  # miss + store
+        assert main(["solve", "--sensors", "8"]) == 0  # disk hit
+        capsys.readouterr()
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert (
+            "in-process: 1 hits / 1 misses / 1 stores / 0 evictions" in out
+        )
+
+    def test_no_in_process_line_without_cache_traffic(self, capsys, tmp_path):
+        from repro.obs.registry import get_registry
+
+        get_registry().reset()
+        assert main(["cache", "stats", "--dir", str(tmp_path)]) == 0
+        assert "in-process" not in capsys.readouterr().out
+
+    def test_stats_with_missing_directory_is_clean(self, capsys, tmp_path):
+        missing = tmp_path / "never" / "created"
+        assert main(["cache", "stats", "--dir", str(missing)]) == 0
+        out = capsys.readouterr().out
+        assert "entries   : 0" in out
+        assert "bytes     : 0" in out
+
+    def test_stats_with_cache_dir_env_unset_uses_home_default(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        monkeypatch.setenv("HOME", str(tmp_path))
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert str(tmp_path) in out  # ~/.cache/repro/schedules
+        assert "entries   : 0" in out

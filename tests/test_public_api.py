@@ -17,6 +17,8 @@ SUBPACKAGES = [
     "repro.policies",
     "repro.analysis",
     "repro.io",
+    "repro.runtime",
+    "repro.obs",
 ]
 
 

@@ -1,0 +1,220 @@
+#!/usr/bin/env python3
+"""Lint Prometheus text exposition format (version 0.0.4).
+
+Validates the output of ``python -m repro.cli metrics`` (or any
+exposition file) the way ``promtool check metrics`` would, using only
+the stdlib so it runs in CI without extra dependencies:
+
+- every line is a ``# HELP``, a ``# TYPE`` or a well-formed sample;
+- metric and label names match the Prometheus grammar;
+- ``# TYPE`` appears at most once per family, before its samples;
+- sample values parse as floats (``+Inf``/``-Inf``/``NaN`` allowed);
+- histogram families expose ``_bucket``/``_sum``/``_count`` series,
+  bucket counts are cumulative and the last bucket is ``le="+Inf"``
+  with a count equal to the family's ``_count``.
+
+Usage::
+
+    python -m repro.cli metrics | python tools/check_prometheus.py
+    python tools/check_prometheus.py exposition.txt
+
+Exit status 0 when the input is valid, 1 otherwise (problems are
+listed on stderr).
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from typing import Dict, List, Optional, Tuple
+
+METRIC_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+LABEL_NAME = r"[a-zA-Z_][a-zA-Z0-9_]*"
+
+HELP_RE = re.compile(rf"^# HELP ({METRIC_NAME}) (.*)$")
+TYPE_RE = re.compile(
+    rf"^# TYPE ({METRIC_NAME}) (counter|gauge|histogram|summary|untyped)$"
+)
+SAMPLE_RE = re.compile(
+    rf"^({METRIC_NAME})(\{{.*\}})? ([^ ]+)( [0-9]+)?$"
+)
+LABEL_RE = re.compile(rf'^({LABEL_NAME})="((?:[^"\\]|\\.)*)"$')
+
+
+def _split_labels(block: str) -> Optional[List[Tuple[str, str]]]:
+    """Parse ``{a="x",b="y"}`` into pairs; ``None`` when malformed."""
+    inner = block[1:-1]
+    if not inner:
+        return []
+    pairs: List[Tuple[str, str]] = []
+    # Split on commas outside escaped quotes: scan character-wise.
+    current, in_quotes, escaped = [], False, False
+    parts: List[str] = []
+    for ch in inner:
+        if escaped:
+            current.append(ch)
+            escaped = False
+            continue
+        if ch == "\\":
+            current.append(ch)
+            escaped = True
+            continue
+        if ch == '"':
+            in_quotes = not in_quotes
+            current.append(ch)
+            continue
+        if ch == "," and not in_quotes:
+            parts.append("".join(current))
+            current = []
+            continue
+        current.append(ch)
+    if current:
+        parts.append("".join(current))
+    for part in parts:
+        match = LABEL_RE.match(part)
+        if match is None:
+            return None
+        pairs.append((match.group(1), match.group(2)))
+    return pairs
+
+
+def _parse_value(text: str) -> Optional[float]:
+    if text in ("+Inf", "Inf"):
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    if text in ("NaN", "nan"):
+        return float("nan")
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def _base_family(name: str, types: Dict[str, str]) -> str:
+    """Strip histogram/summary suffixes back to the declared family."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix) and name[: -len(suffix)] in types:
+            return name[: -len(suffix)]
+    return name
+
+
+def lint(text: str) -> List[str]:
+    """All format violations found in ``text`` (empty = valid)."""
+    problems: List[str] = []
+    types: Dict[str, str] = {}
+    sampled: set = set()
+    # histogram family -> list of (le, count) in order of appearance,
+    # and the _count sample for cross-checking.
+    buckets: Dict[str, List[Tuple[float, float]]] = {}
+    counts: Dict[str, float] = {}
+
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line:
+            problems.append(f"line {number}: empty line inside exposition")
+            continue
+        if line.startswith("#"):
+            if HELP_RE.match(line):
+                continue
+            type_match = TYPE_RE.match(line)
+            if type_match:
+                name = type_match.group(1)
+                if name in types:
+                    problems.append(
+                        f"line {number}: duplicate TYPE for {name}"
+                    )
+                if name in sampled:
+                    problems.append(
+                        f"line {number}: TYPE for {name} after its samples"
+                    )
+                types[name] = type_match.group(2)
+                continue
+            problems.append(f"line {number}: malformed comment {line!r}")
+            continue
+        sample = SAMPLE_RE.match(line)
+        if sample is None:
+            problems.append(f"line {number}: malformed sample {line!r}")
+            continue
+        name, label_block, value_text = sample.group(1, 2, 3)
+        labels = _split_labels(label_block) if label_block else []
+        if labels is None:
+            problems.append(
+                f"line {number}: malformed labels {label_block!r}"
+            )
+            continue
+        if len({k for k, _ in labels}) != len(labels):
+            problems.append(f"line {number}: duplicate label name")
+        value = _parse_value(value_text)
+        if value is None:
+            problems.append(
+                f"line {number}: unparsable value {value_text!r}"
+            )
+            continue
+        family = _base_family(name, types)
+        sampled.add(family)
+        kind = types.get(family)
+        if kind == "histogram":
+            if name == f"{family}_bucket":
+                le = dict(labels).get("le")
+                if le is None:
+                    problems.append(
+                        f"line {number}: histogram bucket without le label"
+                    )
+                    continue
+                le_value = _parse_value(le)
+                if le_value is None:
+                    problems.append(
+                        f"line {number}: unparsable le value {le!r}"
+                    )
+                    continue
+                buckets.setdefault(family, []).append((le_value, value))
+            elif name == f"{family}_count":
+                counts[family] = value
+
+    for family, series in buckets.items():
+        les = [le for le, _ in series]
+        values = [count for _, count in series]
+        if les != sorted(les):
+            problems.append(f"{family}: bucket le bounds not ascending")
+        if values != sorted(values):
+            problems.append(f"{family}: bucket counts not cumulative")
+        if not les or les[-1] != float("inf"):
+            problems.append(f"{family}: last bucket is not le=\"+Inf\"")
+        elif family in counts and values[-1] != counts[family]:
+            problems.append(
+                f"{family}: +Inf bucket ({values[-1]}) != _count "
+                f"({counts[family]})"
+            )
+
+    return problems
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "path",
+        nargs="?",
+        help="exposition file to lint (default: stdin)",
+    )
+    args = parser.parse_args(argv)
+    if args.path:
+        with open(args.path, encoding="utf-8") as handle:
+            text = handle.read()
+    else:
+        text = sys.stdin.read()
+    if not text.strip():
+        print("error: empty exposition", file=sys.stderr)
+        return 1
+    problems = lint(text.rstrip("\n"))
+    for problem in problems:
+        print(f"error: {problem}", file=sys.stderr)
+    if problems:
+        return 1
+    families = len(re.findall(r"^# TYPE ", text, flags=re.M))
+    print(f"ok: {families} families, exposition is valid")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
