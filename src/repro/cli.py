@@ -12,7 +12,8 @@ Subcommands:
 - ``resume``    finish a ``simulate`` run from a crash-safe checkpoint;
 - ``cache``     inspect or clear the persistent schedule cache;
 - ``metrics``   dump the in-process metrics registry (Prometheus/JSON);
-- ``figure``    reproduce a paper figure as JSON or SVG.
+- ``figure``    reproduce a paper figure as JSON or SVG;
+- ``serve``     run the HTTP solve/simulate service (docs/SERVING.md).
 
 Observability (:mod:`repro.obs`) is wired in everywhere: ``solve``,
 ``simulate`` and ``sweep`` accept ``--trace-out PATH`` (span tree of
@@ -47,6 +48,10 @@ Examples::
     python -m repro.cli simulate --sensors 20 --periods 12 \\
         --events-out run.jsonl --trace-out run-trace.json
     python -m repro.cli metrics --format prometheus
+    python -m repro.cli serve --port 8080 --jobs 4
+
+Every subcommand reports invalid input as a one-line ``error: ...`` on
+stderr and a nonzero exit status -- never a traceback.
 """
 
 from __future__ import annotations
@@ -362,6 +367,51 @@ def cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import time as time_module
+
+    from repro.serve.app import ServiceConfig, SolveService
+
+    if args.port < 0 or args.port > 65535:
+        print(f"error: invalid port {args.port}", file=sys.stderr)
+        return 2
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
+        batch_window=args.batch_window,
+        max_queue=args.max_queue,
+        max_batch=args.max_batch,
+        request_timeout=args.request_timeout,
+    )
+    service = SolveService(config)
+    service.start()
+    print(f"serving on {service.url}", flush=True)
+    print(
+        "endpoints: POST /v1/solve, POST /v1/simulate, "
+        "GET /metrics, GET /healthz",
+        flush=True,
+    )
+
+    # SIGTERM (systemd, docker stop, CI cleanup) drains like Ctrl-C.
+    def _terminate(signum, frame):
+        raise KeyboardInterrupt
+
+    previous = signal.signal(signal.SIGTERM, _terminate)
+    try:
+        while True:
+            time_module.sleep(0.5)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+        service.stop()
+        print("server stopped", flush=True)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -522,14 +572,76 @@ def build_parser() -> argparse.ArgumentParser:
         help="parallelize the figure's independent solves across N processes",
     )
     p_fig.set_defaults(func=cmd_figure)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the HTTP solve/simulate service (see docs/SERVING.md)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_serve.add_argument(
+        "--port", type=int, default=8080, help="bind port (0 = ephemeral)"
+    )
+    p_serve.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for each batch's unique solves",
+    )
+    p_serve.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="serve without the persistent schedule cache",
+    )
+    p_serve.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.02,
+        metavar="SECONDS",
+        help="how long to linger collecting a batch after the first "
+        "request arrives (default: 0.02)",
+    )
+    p_serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=256,
+        metavar="N",
+        help="in-flight request bound; beyond it requests get 429",
+    )
+    p_serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        metavar="N",
+        help="maximum requests per batch",
+    )
+    p_serve.add_argument(
+        "--request-timeout",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="per-request wall bound before a 503 (default: 60)",
+    )
+    p_serve.set_defaults(func=cmd_serve)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    with _observed(args):
-        return args.func(args)
+    try:
+        with _observed(args):
+            return args.func(args)
+    except (ValueError, OverflowError) as error:
+        # Invalid input must exit nonzero with one line on stderr --
+        # never a traceback (problem validation, ratio integrality,
+        # malformed documents all raise ValueError subclasses).
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        # Unwritable outputs, unbindable ports, unreadable inputs.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -125,6 +125,43 @@ STANDARD_METRICS: Tuple[Tuple[str, str, Tuple[str, ...], str], ...] = (
         (),
         "Per-task wall time in the worker pool",
     ),
+    # -- HTTP service (serve/handlers.py, serve/batcher.py) ------------
+    (
+        "counter",
+        "repro_server_requests_total",
+        ("endpoint", "status"),
+        "HTTP requests by endpoint and status code",
+    ),
+    (
+        "histogram",
+        "repro_server_request_seconds",
+        ("endpoint",),
+        "HTTP request wall time by endpoint",
+    ),
+    (
+        "gauge",
+        "repro_server_queue_depth",
+        (),
+        "Solve requests queued or being batched right now",
+    ),
+    (
+        "histogram",
+        "repro_server_batch_size",
+        (),
+        "Requests per executed batch",
+    ),
+    (
+        "counter",
+        "repro_server_coalesced_total",
+        (),
+        "Requests answered by another in-flight request's solve",
+    ),
+    (
+        "counter",
+        "repro_server_cache_fastpath_total",
+        (),
+        "Requests answered from the cache at admission time",
+    ),
 )
 
 

@@ -241,6 +241,44 @@ class ScheduleCache:
         self.stats.misses += 1
         return None
 
+    def peek(self, key: str) -> Optional[Dict[str, Any]]:
+        """Like :meth:`get` but absence does *not* count as a miss.
+
+        The serving layer's fast path probes the cache at admission
+        time to answer warm requests without occupying a batch slot; a
+        probe that comes up empty is followed by the batch's real
+        lookup, and counting both would double every miss.  A found
+        entry still counts as a (disk) hit -- it genuinely served a
+        request.
+        """
+        payload = self._memory.get(key)
+        if payload is not None:
+            self._memory.move_to_end(key)
+            self.stats.hits += 1
+            return payload
+        payload = self._read_disk(key)
+        if payload is not None:
+            self.stats.hits += 1
+            self.stats.disk_hits += 1
+            self._insert_memory(key, payload)
+            return payload
+        return None
+
+    def peek_result(
+        self, key: str, problem: SchedulingProblem
+    ) -> Optional[SolveResult]:
+        """:meth:`peek`, rehydrated; corrupt entries read as absent."""
+        payload = self.peek(key)
+        if payload is None:
+            return None
+        try:
+            return payload_to_result(problem, payload)
+        except (KeyError, ValueError, TypeError):
+            self.stats.hits -= 1
+            self._memory.pop(key, None)
+            self._remove_disk(key)
+            return None
+
     def get_result(
         self, key: str, problem: SchedulingProblem
     ) -> Optional[SolveResult]:

@@ -29,7 +29,16 @@ but still run -- caching is an optimization, never an eligibility test.
 from __future__ import annotations
 
 import time
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.core.problem import SchedulingProblem
 from repro.core.solver import SolveResult, solve
@@ -45,6 +54,12 @@ from repro.runtime.pool import TaskTelemetry, run_tasks
 
 #: One unit of work: (problem, method, seed-or-None).
 SolveTask = Tuple[SchedulingProblem, str, Optional[int]]
+
+#: Dedup-group callback: ``(fingerprint-or-None, member indices,
+#: disposition)`` where disposition is the representative's cache status
+#: ("hit"/"miss"/"uncached").  Groups with more than one member are the
+#: coalesced duplicates a serving layer wants to count.
+GroupCallback = Callable[[Optional[str], List[int], str], None]
 
 
 def solve_cached(
@@ -90,6 +105,8 @@ def solve_many(
     jobs: Optional[int] = None,
     cache: Optional[ScheduleCache] = None,
     timeout: Optional[float] = None,
+    on_group: Optional[GroupCallback] = None,
+    on_task: Optional[Callable[[TaskTelemetry], None]] = None,
 ) -> Tuple[List[SolveResult], List[TaskTelemetry]]:
     """Solve every task; returns results and telemetry in task order.
 
@@ -97,10 +114,16 @@ def solve_many(
     cache misses across processes.  Results are identical to a serial
     ``[solve(*t) for t in tasks]`` loop for any ``jobs`` and any cache
     temperature.
+
+    ``on_group`` is invoked once per dedup group after the batch
+    resolves (see :data:`GroupCallback`); ``on_task`` is forwarded to
+    the pool and fires as each unique solve completes -- both are how
+    the serving layer observes coalescing and live progress without
+    re-deriving the fingerprinting here.
     """
     tasks = list(tasks)
     with tracing.span("solve_many", tasks=len(tasks), jobs=jobs or 1):
-        return _solve_many(tasks, jobs, cache, timeout)
+        return _solve_many(tasks, jobs, cache, timeout, on_group, on_task)
 
 
 def _solve_many(
@@ -108,6 +131,8 @@ def _solve_many(
     jobs: Optional[int],
     cache: Optional[ScheduleCache],
     timeout: Optional[float],
+    on_group: Optional[GroupCallback] = None,
+    on_task: Optional[Callable[[TaskTelemetry], None]] = None,
 ) -> Tuple[List[SolveResult], List[TaskTelemetry]]:
     results: List[Optional[SolveResult]] = [None] * len(tasks)
     telemetry: List[Optional[TaskTelemetry]] = [None] * len(tasks)
@@ -150,6 +175,7 @@ def _solve_many(
         [tasks[i] for i in to_solve],
         jobs=jobs,
         timeout=timeout,
+        on_task=on_task,
     )
     for position, index in enumerate(to_solve):
         problem = tasks[index][0]
@@ -190,6 +216,15 @@ def _solve_many(
                 cache.stats.hits += 1
 
     assert all(r is not None for r in results)
+    if on_group is not None:
+        for key, representative in first_index.items():
+            indices = [representative] + duplicates.get(representative, [])
+            record = telemetry[representative]
+            assert record is not None
+            on_group(key, indices, record.cache)
+        for index, key in enumerate(keys):
+            if key is None:
+                on_group(None, [index], "uncached")
     for index, (record, task) in enumerate(zip(telemetry, tasks)):
         assert record is not None
         obs_events.emit(

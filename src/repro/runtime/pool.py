@@ -86,6 +86,7 @@ def _run_serial(
     indices: Sequence[int],
     results: List[Any],
     telemetry: List[Optional[TaskTelemetry]],
+    on_task: Optional[Callable[[TaskTelemetry], None]] = None,
 ) -> None:
     for index in indices:
         start = time.perf_counter()
@@ -97,6 +98,8 @@ def _run_serial(
             parallel=False,
         )
         _observe_task(telemetry[index])
+        if on_task is not None:
+            on_task(telemetry[index])
 
 
 def run_tasks(
@@ -104,6 +107,7 @@ def run_tasks(
     items: Sequence[Any],
     jobs: Optional[int] = None,
     timeout: Optional[float] = None,
+    on_task: Optional[Callable[[TaskTelemetry], None]] = None,
 ) -> Tuple[List[Any], List[TaskTelemetry]]:
     """Apply ``fn`` to every item, farming across ``jobs`` processes.
 
@@ -112,6 +116,10 @@ def run_tasks(
     ``timeout`` bounds each task's wall time in the pool (a timeout
     tears the pool down and finishes the remainder serially, so the
     call still returns complete results).
+
+    ``on_task`` (parent-side, may run on the pool's bookkeeping thread)
+    fires as each task completes, in completion -- not submission --
+    order; serving layers use it for liveness reporting.
 
     Exceptions raised by ``fn`` itself propagate unchanged -- a wrong
     task must fail loudly, only *pool infrastructure* failures degrade
@@ -122,7 +130,7 @@ def run_tasks(
     telemetry: List[Optional[TaskTelemetry]] = [None] * len(items)
     workers = int(jobs or 1)
     if workers <= 1 or len(items) <= 1:
-        _run_serial(fn, items, range(len(items)), results, telemetry)
+        _run_serial(fn, items, range(len(items)), results, telemetry, on_task)
         return results, telemetry  # type: ignore[return-value]
 
     pending_indices = list(range(len(items)))
@@ -154,6 +162,8 @@ def run_tasks(
                         parallel=True,
                     )
                     _observe_task(telemetry[index])
+                    if on_task is not None:
+                        on_task(telemetry[index])
                     pending_indices.remove(index)
     except Exception as error:
         if _is_task_error(error):
@@ -161,7 +171,7 @@ def run_tasks(
         # Pool infrastructure failed (pickling, broken workers, task
         # timeout, sandbox without sem_open, ...): finish the remaining
         # tasks serially so the caller still gets complete results.
-        _run_serial(fn, items, list(pending_indices), results, telemetry)
+        _run_serial(fn, items, list(pending_indices), results, telemetry, on_task)
     return results, telemetry  # type: ignore[return-value]
 
 

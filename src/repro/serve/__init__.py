@@ -1,0 +1,25 @@
+"""Network-facing service layer: HTTP solve/simulate with batching.
+
+``repro serve`` turns the one-shot CLI pipeline into a long-lived
+process: JSON problem instances arrive over HTTP, a request queue
+coalesces duplicate in-flight instances by their content fingerprint,
+and batches flow through :func:`repro.runtime.executor.solve_many` so
+the schedule cache and worker pool are shared across clients.
+
+Public surface:
+
+- :class:`~repro.serve.app.SolveService` / ``ServiceConfig`` -- the
+  embeddable server (tests run it in-process on an ephemeral port);
+- :class:`~repro.serve.batcher.SolveBatcher` -- the request queue;
+- :mod:`repro.serve.schemas` -- the wire formats and their validators.
+"""
+
+from repro.serve.app import ServiceConfig, SolveService
+from repro.serve.batcher import OverloadedError, SolveBatcher
+
+__all__ = [
+    "ServiceConfig",
+    "SolveService",
+    "SolveBatcher",
+    "OverloadedError",
+]

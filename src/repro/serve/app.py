@@ -1,0 +1,152 @@
+"""The service object: configuration, lifecycle, and the HTTP server.
+
+:class:`SolveService` owns the shared pieces -- one schedule cache, one
+:class:`~repro.serve.batcher.SolveBatcher`, one
+``ThreadingHTTPServer`` -- and exposes ``start``/``stop`` so it can run
+three ways:
+
+- ``repro serve`` (the CLI) starts it in the foreground;
+- tests embed it on an ephemeral port (``port=0``) and drive it with
+  plain ``urllib`` clients;
+- ``with SolveService(config) as service:`` scopes it to a block.
+
+``stop`` drains rather than kills: the listener stops accepting, the
+health endpoint flips to ``draining`` (503), queued requests finish,
+then the batcher joins.  In-flight clients get answers, new clients get
+told to go elsewhere -- the shutdown story a load balancer expects.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from http.server import ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from repro.obs.catalog import describe_standard_metrics
+from repro.runtime.cache import ScheduleCache, default_cache_dir
+from repro.serve.batcher import SolveBatcher
+from repro.serve.handlers import ServiceRequestHandler
+from repro.serve.schemas import DEFAULT_MAX_SENSORS, DEFAULT_MAX_SLOTS
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything tunable about one service instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 8080  # 0 = ephemeral (tests)
+    jobs: Optional[int] = None  # worker processes per batch
+    use_cache: bool = True
+    cache_dir: Optional[str] = None  # None = $REPRO_CACHE_DIR / default
+    batch_window: float = 0.02  # seconds to linger collecting a batch
+    max_batch: int = 64
+    max_queue: int = 256  # in-flight bound; beyond it -> 429
+    request_timeout: float = 60.0  # per-request wall bound -> 503
+    max_body_bytes: int = 1_000_000
+    max_sensors: int = DEFAULT_MAX_SENSORS
+    max_slots: int = DEFAULT_MAX_SLOTS
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that hands its handlers the service object."""
+
+    daemon_threads = True  # a wedged client must not block shutdown
+
+    def __init__(self, address: Tuple[str, int], service: "SolveService"):
+        self.service = service
+        super().__init__(address, ServiceRequestHandler)
+
+
+class SolveService:
+    """One running (or startable) solve/simulate service."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
+        self.config = config or ServiceConfig()
+        self.cache: Optional[ScheduleCache] = None
+        if self.config.use_cache:
+            directory = self.config.cache_dir or default_cache_dir()
+            self.cache = ScheduleCache(directory=directory)
+        self.batcher = SolveBatcher(
+            cache=self.cache,
+            jobs=self.config.jobs,
+            max_queue=self.config.max_queue,
+            batch_window=self.config.batch_window,
+            max_batch=self.config.max_batch,
+        )
+        self.draining = False
+        self._httpd: Optional[ServiceHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started_at = time.monotonic()
+        # Pre-register the catalog so the first /metrics scrape already
+        # lists every family with HELP/TYPE metadata.
+        describe_standard_metrics()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> "SolveService":
+        """Bind and serve in a background thread; returns self."""
+        if self._httpd is not None:
+            raise RuntimeError("service already started")
+        self._httpd = ServiceHTTPServer(
+            (self.config.host, self.config.port), self
+        )
+        self._started_at = time.monotonic()
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="repro-serve",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Foreground variant for the CLI: blocks until interrupted."""
+        if self._httpd is not None:
+            raise RuntimeError("service already started")
+        self._httpd = ServiceHTTPServer(
+            (self.config.host, self.config.port), self
+        )
+        self._started_at = time.monotonic()
+        try:
+            self._httpd.serve_forever(poll_interval=0.2)
+        finally:
+            self.stop()
+
+    def stop(self) -> None:
+        """Drain and shut down; idempotent."""
+        self.draining = True
+        httpd = self._httpd
+        if httpd is not None:
+            httpd.shutdown()
+            httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self.batcher.close()
+
+    def __enter__(self) -> "SolveService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port) -- resolves ephemeral port 0."""
+        if self._httpd is None:
+            raise RuntimeError("service not started")
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def uptime(self) -> float:
+        return time.monotonic() - self._started_at

@@ -1,0 +1,289 @@
+"""The request queue: admission control, micro-batching, coalescing.
+
+Every solve a handler thread needs goes through one
+:class:`SolveBatcher`.  The flow:
+
+1. **Admission** (caller's thread): if the cache already holds the
+   instance (:meth:`~repro.runtime.cache.ScheduleCache.peek_result`),
+   answer immediately -- warm traffic never pays batching latency.
+   Otherwise the request joins the queue, unless the number in flight
+   has reached ``max_queue`` -- then :class:`OverloadedError` is raised
+   *immediately* (the HTTP layer maps it to 429).  Load must be shed at
+   the door; a bounded wait here would just move the pile-up into the
+   socket backlog.
+2. **Batching** (worker thread): the worker collects everything that
+   arrives within ``batch_window`` seconds of the first pending request
+   (up to ``max_batch``) and hands the batch to
+   :func:`repro.runtime.executor.solve_many`, which fingerprints,
+   coalesces duplicate instances onto one solve, consults the schedule
+   cache, and farms unique misses across the worker pool.  N clients
+   posting the same instance in one window cost **one** solver
+   invocation.
+3. **Fan-out**: each request's future is resolved with its own
+   rehydrated result (no shared mutable state across responses).
+
+The batcher never reorders errors into results: a failed batch fails
+exactly the requests in it, with the original exception.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.problem import SchedulingProblem
+from repro.core.solver import SolveResult
+from repro.obs.registry import get_registry
+from repro.runtime.cache import ScheduleCache
+from repro.runtime.executor import SolveTask, solve_many
+from repro.runtime.fingerprint import UncacheableError, solve_fingerprint
+
+_QUEUE_HELP = "Solve requests queued or being batched right now"
+_BATCH_HELP = "Requests per executed batch"
+_COALESCED_HELP = "Requests answered by another in-flight request's solve"
+_FASTPATH_HELP = "Requests answered from the cache at admission time"
+
+
+class OverloadedError(RuntimeError):
+    """The request queue is full; the caller should shed this request."""
+
+
+class BatcherClosedError(RuntimeError):
+    """The batcher is draining/closed and accepts no new requests."""
+
+
+@dataclass
+class _Pending:
+    """One queued request and the slot its answer lands in."""
+
+    task: SolveTask
+    done: threading.Event = field(default_factory=threading.Event)
+    result: Optional[SolveResult] = None
+    cache_status: str = "miss"
+    coalesced: bool = False
+    error: Optional[BaseException] = None
+
+
+class SolveBatcher:
+    """Bounded, coalescing micro-batcher over ``solve_many``.
+
+    Parameters
+    ----------
+    cache:
+        Shared :class:`ScheduleCache` (``None`` disables caching and
+        the admission fast path).
+    jobs:
+        Worker processes for each batch's unique misses.
+    max_queue:
+        Maximum requests in flight (queued + being solved); admissions
+        beyond this raise :class:`OverloadedError`.
+    batch_window:
+        Seconds the worker waits after the first pending request for
+        more to arrive.  Zero batches whatever is already queued.
+    max_batch:
+        Hard cap on requests per batch.
+    """
+
+    def __init__(
+        self,
+        cache: Optional[ScheduleCache] = None,
+        jobs: Optional[int] = None,
+        max_queue: int = 256,
+        batch_window: float = 0.02,
+        max_batch: int = 64,
+    ) -> None:
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if batch_window < 0:
+            raise ValueError(
+                f"batch_window must be >= 0, got {batch_window}"
+            )
+        self.cache = cache
+        self.jobs = jobs
+        self.max_queue = max_queue
+        self.batch_window = batch_window
+        self.max_batch = max_batch
+
+        self._lock = threading.Lock()
+        self._arrived = threading.Condition(self._lock)
+        self._queue: List[_Pending] = []
+        self._in_flight = 0  # queued + currently being solved
+        self._closed = False
+        self._last_progress = time.monotonic()
+
+        registry = get_registry()
+        self._m_queue_depth = registry.gauge(
+            "repro_server_queue_depth", _QUEUE_HELP
+        )
+        self._m_batch_size = registry.histogram(
+            "repro_server_batch_size", _BATCH_HELP, buckets=_batch_buckets()
+        )
+        self._m_coalesced = registry.counter(
+            "repro_server_coalesced_total", _COALESCED_HELP
+        )
+        self._m_fastpath = registry.counter(
+            "repro_server_cache_fastpath_total", _FASTPATH_HELP
+        )
+
+        self._worker = threading.Thread(
+            target=self._run, name="solve-batcher", daemon=True
+        )
+        self._worker.start()
+
+    # -- caller side ---------------------------------------------------
+
+    def submit(
+        self,
+        problem: SchedulingProblem,
+        method: str = "greedy",
+        seed: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> Tuple[SolveResult, Dict[str, Any]]:
+        """Solve (through the batch pipeline) and block for the answer.
+
+        Returns ``(result, meta)`` where ``meta`` carries the cache
+        status and whether the request was coalesced onto another
+        in-flight solve.  Raises :class:`OverloadedError` when the
+        queue is full, :class:`BatcherClosedError` after :meth:`close`,
+        ``TimeoutError`` if no answer arrives within ``timeout``
+        seconds, and re-raises whatever the solver raised otherwise.
+        """
+        fast = self._admission_fast_path(problem, method, seed)
+        if fast is not None:
+            return fast
+        pending = _Pending(task=(problem, method, seed))
+        with self._lock:
+            if self._closed:
+                raise BatcherClosedError("batcher is closed")
+            if self._in_flight >= self.max_queue:
+                raise OverloadedError(
+                    f"queue full ({self._in_flight}/{self.max_queue} in flight)"
+                )
+            self._in_flight += 1
+            self._queue.append(pending)
+            self._m_queue_depth.set(self._in_flight)
+            self._arrived.notify()
+        try:
+            if not pending.done.wait(timeout):
+                raise TimeoutError(
+                    f"no answer within {timeout}s (queue depth "
+                    f"{self.queue_depth()})"
+                )
+        finally:
+            with self._lock:
+                self._in_flight -= 1
+                self._m_queue_depth.set(self._in_flight)
+        if pending.error is not None:
+            raise pending.error
+        assert pending.result is not None
+        return pending.result, {
+            "cache": pending.cache_status,
+            "coalesced": pending.coalesced,
+        }
+
+    def _admission_fast_path(
+        self, problem: SchedulingProblem, method: str, seed: Optional[int]
+    ) -> Optional[Tuple[SolveResult, Dict[str, Any]]]:
+        if self.cache is None:
+            return None
+        try:
+            key = solve_fingerprint(problem, method, seed)
+        except UncacheableError:
+            return None
+        result = self.cache.peek_result(key, problem)
+        if result is None:
+            return None
+        self._m_fastpath.inc()
+        return result, {"cache": "hit", "coalesced": False}
+
+    def queue_depth(self) -> int:
+        with self._lock:
+            return self._in_flight
+
+    def last_progress_age(self) -> float:
+        """Seconds since the pipeline last completed work (healthz)."""
+        with self._lock:
+            return time.monotonic() - self._last_progress
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop accepting work, drain what is queued, join the worker."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._arrived.notify_all()
+        self._worker.join(timeout)
+
+    # -- worker side ---------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            batch = self._collect_batch()
+            if batch is None:
+                return
+            self._execute(batch)
+
+    def _collect_batch(self) -> Optional[List[_Pending]]:
+        """Block for the first request, linger ``batch_window``, drain."""
+        with self._lock:
+            while not self._queue and not self._closed:
+                self._arrived.wait()
+            if not self._queue:
+                return None  # closed and drained
+        if self.batch_window > 0:
+            deadline = time.monotonic() + self.batch_window
+            with self._lock:
+                while (
+                    len(self._queue) < self.max_batch
+                    and not self._closed
+                    and (remaining := deadline - time.monotonic()) > 0
+                ):
+                    self._arrived.wait(remaining)
+        with self._lock:
+            batch = self._queue[: self.max_batch]
+            del self._queue[: len(batch)]
+        return batch
+
+    def _execute(self, batch: List[_Pending]) -> None:
+        self._m_batch_size.observe(len(batch))
+        coalesced_indices: set = set()
+
+        def on_group(key, indices, disposition):
+            # Members beyond the representative rode along for free.
+            for index in indices[1:]:
+                coalesced_indices.add(index)
+                self._m_coalesced.inc()
+
+        def on_task(record):
+            with self._lock:
+                self._last_progress = time.monotonic()
+
+        try:
+            results, telemetry = solve_many(
+                [p.task for p in batch],
+                jobs=self.jobs,
+                cache=self.cache,
+                on_group=on_group,
+                on_task=on_task,
+            )
+        except BaseException as error:
+            for pending in batch:
+                pending.error = error
+                pending.done.set()
+            return
+        with self._lock:
+            self._last_progress = time.monotonic()
+        for pending, result, record in zip(batch, results, telemetry):
+            pending.result = result
+            pending.cache_status = record.cache
+            pending.coalesced = record.index in coalesced_indices
+            pending.done.set()
+
+
+def _batch_buckets() -> Tuple[float, ...]:
+    """Batch-size shaped buckets: 1, 2, 4, ... 256 requests."""
+    return tuple(float(2**i) for i in range(9))

@@ -1,0 +1,267 @@
+"""HTTP request handling: routing, validation, status mapping, metrics.
+
+One :class:`ServiceRequestHandler` instance handles one connection
+(``ThreadingHTTPServer`` gives each its own thread).  The handler is
+deliberately thin: parse and validate at the door, delegate solving to
+the shared :class:`~repro.serve.batcher.SolveBatcher`, and map every
+failure mode to a structured JSON error:
+
+====================================  ======  =====================
+condition                             status  error code
+====================================  ======  =====================
+unknown path                          404     ``not-found``
+wrong HTTP method for the path        405     ``method-not-allowed``
+body exceeds ``max_body_bytes``       413     ``body-too-large``
+body is not valid JSON                400     ``bad-json``
+schema/semantic validation failure    400     (from ``WireError``)
+queue full                            429     ``overloaded``
+service draining                      503     ``shutting-down``
+solver/internal failure               500     ``internal``
+====================================  ======  =====================
+
+429 responses carry ``Retry-After: 1`` -- the queue turns over in
+batch-window time, so an immediate retry storm is the only wrong
+answer.  Every request increments
+``repro_server_requests_total{endpoint,status}`` and observes
+``repro_server_request_seconds{endpoint}``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.server import BaseHTTPRequestHandler
+from typing import Any, Dict, Optional, Tuple
+
+from repro.obs import events as obs_events
+from repro.obs.catalog import describe_standard_metrics
+from repro.obs.export import to_prometheus
+from repro.obs.registry import get_registry
+from repro.policies.schedule_policy import SchedulePolicy
+from repro.serve import schemas
+from repro.serve.batcher import BatcherClosedError, OverloadedError
+from repro.sim.engine import SimulationEngine
+from repro.sim.network import SensorNetwork
+
+_REQUESTS_HELP = "HTTP requests by endpoint and status code"
+_LATENCY_HELP = "HTTP request wall time by endpoint"
+
+
+class ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Routes ``/v1/solve``, ``/v1/simulate``, ``/metrics``, ``/healthz``."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve/1"
+
+    # The service object is attached by app.ServiceHTTPServer.
+    @property
+    def service(self):
+        return self.server.service  # type: ignore[attr-defined]
+
+    # -- routing -------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server convention)
+        if self.path == "/metrics":
+            self._timed("metrics", self._handle_metrics)
+        elif self.path == "/healthz":
+            self._timed("healthz", self._handle_healthz)
+        elif self.path in ("/v1/solve", "/v1/simulate"):
+            self._error("solve", 405, "method-not-allowed", "use POST")
+        else:
+            self._error("unknown", 404, "not-found", f"no route {self.path}")
+
+    def do_POST(self) -> None:  # noqa: N802
+        if self.path == "/v1/solve":
+            self._timed("solve", self._handle_solve)
+        elif self.path == "/v1/simulate":
+            self._timed("simulate", self._handle_simulate)
+        elif self.path in ("/metrics", "/healthz"):
+            self._error("metrics", 405, "method-not-allowed", "use GET")
+        else:
+            self._error("unknown", 404, "not-found", f"no route {self.path}")
+
+    # -- endpoints -----------------------------------------------------
+
+    def _handle_solve(self) -> Tuple[int, bytes]:
+        document, failure = self._read_json()
+        if failure is not None:
+            return failure
+        try:
+            problem, method, seed = schemas.parse_solve_request(
+                document, max_sensors=self.service.config.max_sensors
+            )
+        except schemas.WireError as error:
+            return self._error_response(400, error.code, error.message)
+        return self._solve_and_respond(problem, method, seed, simulate=None)
+
+    def _handle_simulate(self) -> Tuple[int, bytes]:
+        document, failure = self._read_json()
+        if failure is not None:
+            return failure
+        try:
+            problem, method, seed, slots = schemas.parse_simulate_request(
+                document,
+                max_sensors=self.service.config.max_sensors,
+                max_slots=self.service.config.max_slots,
+            )
+        except schemas.WireError as error:
+            return self._error_response(400, error.code, error.message)
+        return self._solve_and_respond(
+            problem,
+            method,
+            seed,
+            simulate=slots if slots is not None else problem.total_slots,
+        )
+
+    def _solve_and_respond(
+        self, problem, method, seed, simulate: Optional[int]
+    ) -> Tuple[int, bytes]:
+        service = self.service
+        if service.draining:
+            return self._error_response(
+                503, "shutting-down", "service is draining; retry elsewhere"
+            )
+        try:
+            planned, meta = service.batcher.submit(
+                problem,
+                method,
+                seed,
+                timeout=service.config.request_timeout,
+            )
+        except OverloadedError as error:
+            return self._error_response(429, "overloaded", str(error))
+        except BatcherClosedError:
+            return self._error_response(
+                503, "shutting-down", "service is draining; retry elsewhere"
+            )
+        except TimeoutError as error:
+            return self._error_response(503, "timeout", str(error))
+        except Exception as error:  # solver bug: fail this request only
+            return self._error_response(
+                500, "internal", f"{type(error).__name__}: {error}"
+            )
+        if simulate is None:
+            body = schemas.solve_response(
+                planned, meta["cache"], meta["coalesced"]
+            )
+            return 200, schemas.encode(body)
+        # Simulation is per-request work (the solve above was batched):
+        # execute the planned schedule on a fresh simulated network.
+        schedule = (
+            planned.periodic if planned.periodic is not None else planned.schedule
+        )
+        engine = SimulationEngine(
+            SensorNetwork.from_problem(problem), SchedulePolicy(schedule)
+        )
+        sim = engine.run(min(simulate, problem.total_slots))
+        body = schemas.simulate_response(
+            planned, sim, meta["cache"], meta["coalesced"]
+        )
+        return 200, schemas.encode(body)
+
+    def _handle_metrics(self) -> Tuple[int, bytes]:
+        registry = get_registry()
+        describe_standard_metrics(registry)
+        text = to_prometheus(registry)
+        return 200, text.encode("utf-8")
+
+    def _handle_healthz(self) -> Tuple[int, bytes]:
+        service = self.service
+        status = "draining" if service.draining else "ok"
+        body = {
+            "kind": "repro-health",
+            "version": schemas.WIRE_VERSION,
+            "status": status,
+            "uptime_seconds": round(service.uptime(), 3),
+            "queue_depth": service.batcher.queue_depth(),
+            "max_queue": service.batcher.max_queue,
+        }
+        return (503 if service.draining else 200), schemas.encode(body)
+
+    # -- plumbing ------------------------------------------------------
+
+    def _read_json(self) -> Tuple[Any, Optional[Tuple[int, bytes]]]:
+        """The parsed body, or ``(None, ready-made failure response)``."""
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            return None, self._error_response(
+                400, "bad-request", "unreadable Content-Length"
+            )
+        limit = self.service.config.max_body_bytes
+        if length > limit:
+            return None, self._error_response(
+                413,
+                "body-too-large",
+                f"body of {length} bytes exceeds the {limit} byte limit",
+            )
+        raw = self.rfile.read(length) if length else b""
+        try:
+            return json.loads(raw.decode("utf-8")), None
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            return None, self._error_response(
+                400, "bad-json", f"body is not valid JSON: {error}"
+            )
+
+    def _error_response(
+        self, status: int, code: str, message: str
+    ) -> Tuple[int, bytes]:
+        return status, schemas.encode(schemas.error_body(code, message))
+
+    def _timed(self, endpoint: str, handler) -> None:
+        start = time.perf_counter()
+        try:
+            status, payload = handler()
+        except Exception as error:  # last-resort guard: never hang a client
+            status, payload = self._error_response(
+                500, "internal", f"{type(error).__name__}: {error}"
+            )
+        self._send(endpoint, status, payload)
+        registry = get_registry()
+        registry.counter(
+            "repro_server_requests_total",
+            _REQUESTS_HELP,
+            endpoint=endpoint,
+            status=str(status),
+        ).inc()
+        registry.histogram(
+            "repro_server_request_seconds", _LATENCY_HELP, endpoint=endpoint
+        ).observe(time.perf_counter() - start)
+
+    def _error(
+        self, endpoint: str, status: int, code: str, message: str
+    ) -> None:
+        self._send(
+            endpoint, status, schemas.encode(schemas.error_body(code, message))
+        )
+        get_registry().counter(
+            "repro_server_requests_total",
+            _REQUESTS_HELP,
+            endpoint=endpoint,
+            status=str(status),
+        ).inc()
+
+    def _send(self, endpoint: str, status: int, payload: bytes) -> None:
+        content_type = (
+            "text/plain; version=0.0.4; charset=utf-8"
+            if endpoint == "metrics" and status == 200
+            else "application/json; charset=utf-8"
+        )
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(payload)))
+            if status == 429:
+                self.send_header("Retry-After", "1")
+            self.end_headers()
+            self.wfile.write(payload)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away; nothing left to tell it
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Route access logs to the structured event stream, not stderr."""
+        obs_events.emit(
+            "server.access",
+            client=self.client_address[0],
+            line=format % args,
+        )

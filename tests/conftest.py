@@ -96,3 +96,68 @@ def random_logsum_utility(
     return LogSumUtility(
         {v: float(rng.integers(1, 20)) for v in range(num_sensors)}
     )
+
+
+#: Every serializable utility family the solver accepts, by the kind
+#: names the property/differential suites sweep over.
+UTILITY_FAMILIES = (
+    "homogeneous-detection",
+    "detection",
+    "logsum",
+    "weighted-coverage",
+    "target-system",
+)
+
+#: Charge/discharge ratios that satisfy the integrality constraint
+#: (rho or 1/rho integral), spanning both regimes.
+RHO_CHOICES = (1.0 / 3.0, 0.5, 1.0, 2.0, 3.0)
+
+
+def random_utility(family: str, num_sensors: int, rng: np.random.Generator):
+    """A random instance of the named utility family (seeded)."""
+    if family == "homogeneous-detection":
+        return HomogeneousDetectionUtility(
+            range(num_sensors), p=float(rng.uniform(0.2, 0.7))
+        )
+    if family == "detection":
+        return DetectionUtility(
+            {v: float(rng.uniform(0.2, 0.7)) for v in range(num_sensors)}
+        )
+    if family == "logsum":
+        return random_logsum_utility(num_sensors, rng)
+    if family == "weighted-coverage":
+        return random_coverage_utility(
+            num_sensors, max(3, num_sensors), rng
+        )
+    if family == "target-system":
+        return random_target_system(
+            num_sensors, int(rng.integers(2, 5)), rng
+        )
+    raise ValueError(f"unknown utility family {family!r}")
+
+
+def random_problem(
+    seed: int,
+    num_sensors: int | None = None,
+    rho: float | None = None,
+    family: str | None = None,
+    num_periods: int | None = None,
+) -> SchedulingProblem:
+    """A fully random scheduling instance, deterministic in ``seed``.
+
+    Unpinned axes (size, ratio, utility family, horizon) are drawn from
+    the seeded generator, so a list of seeds is a reproducible workload.
+    """
+    rng = np.random.default_rng(seed)
+    n = num_sensors if num_sensors is not None else int(rng.integers(4, 9))
+    ratio = rho if rho is not None else float(rng.choice(RHO_CHOICES))
+    chosen = family if family is not None else str(rng.choice(UTILITY_FAMILIES))
+    periods = (
+        num_periods if num_periods is not None else int(rng.integers(1, 3))
+    )
+    return SchedulingProblem(
+        num_sensors=n,
+        period=ChargingPeriod.from_ratio(ratio),
+        utility=random_utility(chosen, n, rng),
+        num_periods=periods,
+    )

@@ -1,0 +1,190 @@
+"""Property-based correctness suite over seeded random instances.
+
+Three layers, all deterministic from literal seeds:
+
+1. **Utility axioms** -- every serializable utility family is
+   normalized, non-decreasing and submodular on sampled nested subset
+   pairs (the ``(X subset Y, v)`` triples of the paper's Sec. II-C
+   assumptions).
+2. **Approximation guarantee** -- greedy achieves at least half the
+   exact one-period optimum on enumerable instances (Thm. 4.1/4.3).
+3. **Mutation check** -- the same harness run against intentionally
+   broken utilities (supermodular, non-monotone, unnormalized) must
+   flag them.  If this layer fails, layer 1 is vacuous.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.optimal import optimal_value
+from repro.core.solver import solve
+from repro.utility.base import (
+    UtilityFunction,
+    as_sensor_set,
+    check_monotone,
+    check_normalized,
+    check_submodular,
+)
+
+from tests.conftest import (
+    RHO_CHOICES,
+    UTILITY_FAMILIES,
+    random_problem,
+    random_utility,
+)
+
+SEEDS = (0, 1, 2, 3, 4, 5)
+
+
+def sampled_subsets(ground, rng, count=12):
+    """Random nested subset pairs plus the two extremes.
+
+    ``check_monotone``/``check_submodular`` test every provided pair
+    with ``X subset Y`` and every extension sensor ``v``, so feeding
+    nested samples exercises exactly the paper's property triples
+    without enumerating all ``2^n`` subsets.
+    """
+    ground = sorted(ground)
+    subsets = [frozenset(), frozenset(ground)]
+    for _ in range(count):
+        outer = frozenset(v for v in ground if rng.random() < 0.6)
+        inner = frozenset(v for v in outer if rng.random() < 0.5)
+        subsets.append(inner)
+        subsets.append(outer)
+    return subsets
+
+
+def utility_violations(fn: UtilityFunction, rng, samples=12):
+    """Every axiom the function breaks on sampled subsets (empty = ok)."""
+    subsets = sampled_subsets(fn.ground_set, rng, samples)
+    broken = []
+    if not check_normalized(fn):
+        broken.append("not normalized")
+    if not check_monotone(fn, subsets):
+        broken.append("not monotone")
+    if not check_submodular(fn, subsets):
+        broken.append("not submodular")
+    return broken
+
+
+class TestUtilityAxioms:
+    @pytest.mark.parametrize("family", UTILITY_FAMILIES)
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_family_satisfies_axioms(self, family, seed):
+        rng = np.random.default_rng(1000 + seed)
+        fn = random_utility(family, num_sensors=7, rng=rng)
+        assert utility_violations(fn, rng) == []
+
+    @pytest.mark.parametrize("family", UTILITY_FAMILIES)
+    def test_restriction_preserves_axioms(self, family):
+        rng = np.random.default_rng(77)
+        fn = random_utility(family, num_sensors=7, rng=rng)
+        restricted = fn.restricted({0, 2, 4, 6})
+        assert utility_violations(restricted, rng) == []
+
+
+class TestGreedyApproximation:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_greedy_at_least_half_optimal(self, seed):
+        rng = np.random.default_rng(2000 + seed)
+        problem = random_problem(
+            seed=2000 + seed,
+            num_sensors=int(rng.integers(4, 7)),
+            num_periods=1,
+        )
+        greedy = solve(problem, method="greedy").total_utility
+        exact = optimal_value(problem)
+        assert greedy <= exact + 1e-9  # the optimum really is an optimum
+        assert greedy >= 0.5 * exact - 1e-9
+
+    @pytest.mark.parametrize("rho", RHO_CHOICES)
+    def test_guarantee_holds_in_both_regimes(self, rho):
+        for seed in SEEDS:
+            problem = random_problem(
+                seed=3000 + seed, num_sensors=5, rho=rho, num_periods=1
+            )
+            greedy = solve(problem, method="greedy").total_utility
+            exact = optimal_value(problem)
+            assert greedy >= 0.5 * exact - 1e-9, (
+                f"seed {3000 + seed}, rho {rho}: greedy {greedy} < "
+                f"half of optimal {exact}"
+            )
+
+
+# ----------------------------------------------------------------------
+# Mutation layer: the harness must reject what it should reject.
+# ----------------------------------------------------------------------
+
+
+class SupermodularUtility(UtilityFunction):
+    """``U(S) = |S|^2``: normalized and monotone but *not* submodular
+    (marginal gains grow with the base set)."""
+
+    def __init__(self, num_sensors: int):
+        self._ground = frozenset(range(num_sensors))
+
+    def value(self, sensors):
+        k = len(as_sensor_set(sensors) & self._ground)
+        return float(k * k)
+
+    @property
+    def ground_set(self):
+        return self._ground
+
+
+class NonMonotoneUtility(UtilityFunction):
+    """Peaks at one active sensor, then decays: normalized but not
+    non-decreasing."""
+
+    def __init__(self, num_sensors: int):
+        self._ground = frozenset(range(num_sensors))
+
+    def value(self, sensors):
+        k = len(as_sensor_set(sensors) & self._ground)
+        return max(0.0, 2.0 - k) if k else 0.0
+
+    @property
+    def ground_set(self):
+        return self._ground
+
+
+class UnnormalizedUtility(UtilityFunction):
+    """``U(empty) != 0``."""
+
+    def __init__(self, num_sensors: int):
+        self._ground = frozenset(range(num_sensors))
+
+    def value(self, sensors):
+        return 1.0 + len(as_sensor_set(sensors) & self._ground)
+
+    @property
+    def ground_set(self):
+        return self._ground
+
+
+class TestMutationDetection:
+    def test_supermodular_mutant_is_caught(self):
+        rng = np.random.default_rng(42)
+        broken = utility_violations(SupermodularUtility(7), rng)
+        assert "not submodular" in broken
+        assert "not monotone" not in broken  # it *is* monotone
+
+    def test_non_monotone_mutant_is_caught(self):
+        rng = np.random.default_rng(42)
+        assert "not monotone" in utility_violations(NonMonotoneUtility(7), rng)
+
+    def test_unnormalized_mutant_is_caught(self):
+        rng = np.random.default_rng(42)
+        assert "not normalized" in utility_violations(
+            UnnormalizedUtility(7), rng
+        )
+
+    def test_exhaustive_checkers_agree_on_mutants(self):
+        # The sampled harness and the exhaustive checkers must agree
+        # on small ground sets -- sampling is a speedup, not a weaker
+        # oracle.
+        assert not check_submodular(SupermodularUtility(5))
+        assert not check_monotone(NonMonotoneUtility(5))
+        assert check_monotone(SupermodularUtility(5))

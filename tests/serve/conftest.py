@@ -1,0 +1,105 @@
+"""Fixtures for the service tests: in-process servers + a tiny client.
+
+Servers bind an ephemeral port (``port=0``) and run in the test
+process, so registry assertions (dedup via the marginal-eval counter)
+can observe the handler threads directly.  The client is plain
+``urllib`` -- the service must be usable without any client library.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Optional, Tuple
+
+import pytest
+
+from repro.serve.app import ServiceConfig, SolveService
+
+
+class Client:
+    """Minimal JSON-over-HTTP client for one running service."""
+
+    def __init__(self, base_url: str):
+        self.base_url = base_url
+
+    def post(
+        self, path: str, body: Any, timeout: float = 30.0, raw: bytes = None
+    ) -> Tuple[int, Dict[str, Any], bytes]:
+        """POST ``body`` as JSON; returns (status, parsed body, raw bytes)."""
+        data = raw if raw is not None else json.dumps(body).encode("utf-8")
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=data,
+            headers={"Content-Type": "application/json"},
+        )
+        return self._issue(request, timeout)
+
+    def get(
+        self, path: str, timeout: float = 10.0
+    ) -> Tuple[int, Optional[Dict[str, Any]], bytes]:
+        return self._issue(
+            urllib.request.Request(self.base_url + path), timeout
+        )
+
+    def _issue(self, request, timeout):
+        try:
+            with urllib.request.urlopen(request, timeout=timeout) as reply:
+                payload = reply.read()
+                status = reply.status
+        except urllib.error.HTTPError as error:
+            payload = error.read()
+            status = error.code
+        try:
+            document = json.loads(payload)
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            document = None
+        return status, document, payload
+
+
+@pytest.fixture
+def make_service():
+    """Factory for configured in-process services; all stopped on exit."""
+    started = []
+
+    def factory(**overrides) -> Tuple[SolveService, Client]:
+        overrides.setdefault("port", 0)
+        overrides.setdefault("batch_window", 0.02)
+        service = SolveService(ServiceConfig(**overrides)).start()
+        started.append(service)
+        return service, Client(service.url)
+
+    yield factory
+    for service in started:
+        service.stop()
+
+
+@pytest.fixture
+def service_client(make_service):
+    """One default-configured service and its client."""
+    service, client = make_service()
+    return service, client
+
+
+def solve_body(
+    sensors: int = 8,
+    rho: float = 3.0,
+    p: float = 0.4,
+    periods: int = 1,
+    method: str = "greedy",
+    seed: Optional[int] = None,
+) -> Dict[str, Any]:
+    """The canonical test request (mirrors the CLI's default instance)."""
+    body: Dict[str, Any] = {
+        "problem": {
+            "num_sensors": sensors,
+            "rho": rho,
+            "num_periods": periods,
+            "utility": {"p": p},
+        },
+        "method": method,
+    }
+    if seed is not None:
+        body["seed"] = seed
+    return body

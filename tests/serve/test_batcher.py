@@ -1,0 +1,153 @@
+"""Unit tests for the request batcher: coalescing, backpressure, close."""
+
+import threading
+
+import pytest
+
+from repro.core.solver import solve
+from repro.obs.registry import get_registry
+from repro.runtime.cache import ScheduleCache
+from repro.serve import schemas
+from repro.serve.batcher import (
+    BatcherClosedError,
+    OverloadedError,
+    SolveBatcher,
+)
+
+
+def small_problem(sensors=6, rho=3.0, p=0.4):
+    return schemas.problem_from_wire(
+        {"num_sensors": sensors, "rho": rho, "utility": {"p": p}}
+    )
+
+
+@pytest.fixture
+def closing():
+    """Close every batcher the test created, even on failure."""
+    batchers = []
+    yield batchers.append
+    for batcher in batchers:
+        batcher.close()
+
+
+class TestSubmit:
+    def test_result_matches_direct_solve(self, closing):
+        batcher = SolveBatcher(cache=None, batch_window=0.0)
+        closing(batcher)
+        problem = small_problem()
+        result, meta = batcher.submit(problem, "greedy")
+        direct = solve(problem, method="greedy")
+        assert schemas.result_to_wire(result) == schemas.result_to_wire(
+            direct
+        )
+        assert meta["cache"] == "miss"  # solved fresh, nothing cached
+        assert meta["coalesced"] is False
+
+    def test_cache_miss_then_admission_fast_path(self, tmp_path, closing):
+        get_registry().reset()
+        cache = ScheduleCache(directory=tmp_path)
+        batcher = SolveBatcher(cache=cache, batch_window=0.0)
+        closing(batcher)
+        problem = small_problem()
+        _, first = batcher.submit(problem, "greedy")
+        _, second = batcher.submit(problem, "greedy")
+        assert first["cache"] == "miss"
+        assert second["cache"] == "hit"
+        assert (
+            get_registry().sample_value("repro_server_cache_fastpath_total")
+            == 1
+        )
+
+    def test_solver_errors_propagate(self, closing):
+        batcher = SolveBatcher(cache=None, batch_window=0.0)
+        closing(batcher)
+        with pytest.raises(ValueError, match="[Uu]nknown"):
+            batcher.submit(small_problem(), "no-such-method")
+        # The batcher survives a failed batch.
+        result, _ = batcher.submit(small_problem(), "greedy")
+        assert result.schedule
+
+
+class TestCoalescing:
+    def test_concurrent_duplicates_solved_once(self, closing):
+        get_registry().reset()
+        batcher = SolveBatcher(cache=None, batch_window=0.5)
+        closing(batcher)
+        problem = small_problem()
+        clients = 6
+        barrier = threading.Barrier(clients)
+        metas, errors = [], []
+
+        def client():
+            barrier.wait()
+            try:
+                result, meta = batcher.submit(problem, "greedy", timeout=30)
+            except BaseException as error:  # pragma: no cover - diagnostics
+                errors.append(error)
+            else:
+                metas.append((schemas.result_to_wire(result), meta))
+
+        threads = [threading.Thread(target=client) for _ in range(clients)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors
+        assert len(metas) == clients
+        wires = {schemas.canonical_json(wire) for wire, _ in metas}
+        assert len(wires) == 1  # everyone got the same answer
+        coalesced = sum(1 for _, meta in metas if meta["coalesced"])
+        assert coalesced == clients - 1
+        assert (
+            get_registry().sample_value("repro_server_coalesced_total")
+            == clients - 1
+        )
+
+
+class TestBackpressure:
+    def test_queue_full_raises_overloaded(self, closing):
+        batcher = SolveBatcher(cache=None, max_queue=1, batch_window=0.5)
+        closing(batcher)
+        admitted = threading.Event()
+        finished = []
+
+        def occupant():
+            admitted.set()
+            result, _ = batcher.submit(small_problem(), "greedy", timeout=30)
+            finished.append(result)
+
+        thread = threading.Thread(target=occupant)
+        thread.start()
+        admitted.wait(timeout=5)
+        # Wait until the occupant is actually counted in flight.
+        deadline = 50
+        while batcher.queue_depth() < 1 and deadline:
+            threading.Event().wait(0.01)
+            deadline -= 1
+        with pytest.raises(OverloadedError):
+            batcher.submit(small_problem(sensors=7), "greedy")
+        thread.join(timeout=30)
+        assert finished  # the occupant still got its answer
+
+    def test_submit_timeout(self, closing):
+        batcher = SolveBatcher(cache=None, batch_window=1.0)
+        closing(batcher)
+        with pytest.raises(TimeoutError):
+            batcher.submit(small_problem(), "greedy", timeout=0.05)
+
+
+class TestLifecycle:
+    def test_closed_batcher_rejects_new_work(self):
+        batcher = SolveBatcher(cache=None, batch_window=0.0)
+        batcher.close()
+        with pytest.raises(BatcherClosedError):
+            batcher.submit(small_problem(), "greedy")
+        batcher.close()  # idempotent
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"max_queue": 0}, {"max_batch": 0}, {"batch_window": -1.0}],
+    )
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            SolveBatcher(cache=None, **kwargs)

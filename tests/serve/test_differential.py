@@ -1,0 +1,66 @@
+"""Differential test: the service is a transport, not a second solver.
+
+Solving an instance through ``POST /v1/solve`` must produce a result
+object byte-identical (as canonical JSON) to serializing a direct
+in-process :func:`repro.core.solver.solve` of the same instance --
+across utility families, both charge regimes, and deterministic
+methods.  The wire result is wall-clock free by design, so this holds
+whether the service answered cold, from cache, or coalesced.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.solver import solve
+from repro.io.serialization import utility_to_dict
+from repro.runtime.fingerprint import canonical_json
+from repro.serve import schemas
+
+from tests.conftest import UTILITY_FAMILIES, random_utility
+
+CASES = [
+    (family, rho, method)
+    for family in UTILITY_FAMILIES
+    for rho in (1.0 / 3.0, 3.0)
+    for method in ("greedy", "round-robin")
+]
+
+
+def wire_body(family, rho, method, sensors=6, periods=2):
+    rng = np.random.default_rng(UTILITY_FAMILIES.index(family) + 1)
+    utility = random_utility(family, sensors, rng)
+    return {
+        "problem": {
+            "num_sensors": sensors,
+            "rho": rho,
+            "num_periods": periods,
+            "utility": utility_to_dict(utility),
+        },
+        "method": method,
+    }
+
+
+@pytest.mark.parametrize("family, rho, method", CASES)
+def test_service_result_is_byte_identical_to_direct_solve(
+    service_client, family, rho, method
+):
+    _, client = service_client
+    body = wire_body(family, rho, method)
+
+    status, parsed, _ = client.post("/v1/solve", body)
+    assert status == 200
+
+    problem = schemas.problem_from_wire(body["problem"])
+    direct = schemas.result_to_wire(solve(problem, method=method))
+    assert canonical_json(parsed["result"]) == canonical_json(direct)
+
+
+def test_cold_and_warm_service_results_are_byte_identical(service_client):
+    _, client = service_client
+    body = wire_body("detection", 3.0, "greedy")
+    _, cold, _ = client.post("/v1/solve", body)
+    _, warm, _ = client.post("/v1/solve", body)
+    assert warm["cache"] == "hit"
+    assert canonical_json(cold["result"]) == canonical_json(warm["result"])

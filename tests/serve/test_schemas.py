@@ -1,0 +1,143 @@
+"""Wire-schema validation: every malformed input has a stable error code."""
+
+import json
+
+import pytest
+
+from repro.core.solver import solve
+from repro.io.serialization import utility_to_dict
+from repro.runtime.fingerprint import canonical_json
+from repro.serve import schemas
+from repro.utility.detection import HomogeneousDetectionUtility
+
+
+def wire_problem(**overrides):
+    document = {
+        "num_sensors": 8,
+        "rho": 3.0,
+        "num_periods": 1,
+        "utility": {"p": 0.4},
+    }
+    document.update(overrides)
+    return document
+
+
+class TestProblemFromWire:
+    def test_shortcut_utility_matches_explicit_document(self):
+        shortcut = schemas.problem_from_wire(wire_problem())
+        explicit = schemas.problem_from_wire(
+            wire_problem(
+                utility=utility_to_dict(
+                    HomogeneousDetectionUtility(range(8), p=0.4)
+                )
+            )
+        )
+        assert shortcut.utility.value({0, 1}) == explicit.utility.value({0, 1})
+        assert shortcut.num_sensors == explicit.num_sensors
+
+    def test_discharge_recharge_alternative_to_rho(self):
+        problem = schemas.problem_from_wire(
+            wire_problem(rho=None, discharge_time=15.0, recharge_time=45.0)
+        )
+        assert problem.rho == 3.0
+        assert problem.slots_per_period == 4
+
+    def test_rho_below_one(self):
+        problem = schemas.problem_from_wire(wire_problem(rho=1 / 3))
+        assert not problem.is_sparse_regime
+
+    @pytest.mark.parametrize(
+        "mutation, code",
+        [
+            ({"num_sensors": None}, "invalid-problem"),
+            ({"num_sensors": "eight"}, "invalid-field"),
+            ({"num_sensors": -1}, "invalid-instance"),
+            ({"num_sensors": 10_000}, "instance-too-large"),
+            ({"rho": 2.5}, "invalid-instance"),
+            ({"rho": None}, "invalid-problem"),
+            ({"num_periods": 0}, "invalid-instance"),
+            ({"utility": None}, "invalid-problem"),
+            ({"utility": {"kind": "martian"}}, "invalid-utility"),
+            ({"utility": {"p": 1.5}}, "invalid-utility"),
+            ({"utility": {}}, "invalid-utility"),
+        ],
+    )
+    def test_invalid_documents_raise_coded_errors(self, mutation, code):
+        # A value of None in the mutation means "drop the field".
+        document = {
+            k: v
+            for k, v in wire_problem(**mutation).items()
+            if v is not None
+        }
+        with pytest.raises(schemas.WireError) as caught:
+            schemas.problem_from_wire(document)
+        assert caught.value.code == code
+
+    def test_both_rho_and_times_rejected(self):
+        with pytest.raises(schemas.WireError) as caught:
+            schemas.problem_from_wire(
+                wire_problem(discharge_time=15.0, recharge_time=45.0)
+            )
+        assert caught.value.code == "invalid-problem"
+
+
+class TestParseSolveRequest:
+    def test_happy_path_defaults(self):
+        problem, method, seed = schemas.parse_solve_request(
+            {"problem": wire_problem()}
+        )
+        assert method == "greedy"
+        assert seed is None
+        assert problem.num_sensors == 8
+
+    @pytest.mark.parametrize(
+        "body, code",
+        [
+            ([1, 2, 3], "invalid-request"),
+            ({}, "invalid-request"),
+            ({"problem": wire_problem(), "metohd": "greedy"}, "unknown-field"),
+            ({"problem": wire_problem(), "method": "sorcery"}, "invalid-method"),
+            ({"problem": wire_problem(), "seed": "zero"}, "invalid-field"),
+        ],
+    )
+    def test_malformed_requests(self, body, code):
+        with pytest.raises(schemas.WireError) as caught:
+            schemas.parse_solve_request(body)
+        assert caught.value.code == code
+
+
+class TestParseSimulateRequest:
+    def test_slots_default_is_full_horizon(self):
+        problem, _, _, slots = schemas.parse_simulate_request(
+            {"problem": wire_problem(num_periods=3)}
+        )
+        assert slots is None
+        assert problem.total_slots == 12
+
+    def test_slots_bound_enforced(self):
+        with pytest.raises(schemas.WireError) as caught:
+            schemas.parse_simulate_request(
+                {"problem": wire_problem(num_periods=1), "slots": 10**9}
+            )
+        assert caught.value.code == "instance-too-large"
+
+    def test_negative_slots_rejected(self):
+        with pytest.raises(schemas.WireError) as caught:
+            schemas.parse_simulate_request(
+                {"problem": wire_problem(), "slots": -1}
+            )
+        assert caught.value.code == "invalid-field"
+
+
+class TestResultToWire:
+    def test_is_deterministic_and_excludes_wall_clock(self):
+        problem = schemas.problem_from_wire(wire_problem())
+        first = schemas.result_to_wire(solve(problem))
+        second = schemas.result_to_wire(solve(problem))
+        assert "solve_seconds" not in first
+        assert canonical_json(first) == canonical_json(second)
+
+    def test_encode_is_canonical_json(self):
+        payload = schemas.encode({"b": 1, "a": 2})
+        assert payload == b'{"a":2,"b":1}\n'
+        json.loads(payload)

@@ -402,3 +402,75 @@ class TestCacheStatsObservability:
         out = capsys.readouterr().out
         assert str(tmp_path) in out  # ~/.cache/repro/schedules
         assert "entries   : 0" in out
+
+
+class TestInvalidInputAudit:
+    """Every subcommand must reject invalid input with a nonzero exit
+    and a one-line stderr message -- never a traceback.  This pins the
+    ``main()`` error contract across the whole surface."""
+
+    @pytest.mark.parametrize(
+        "argv, fragment",
+        [
+            (["solve", "--rho", "2.5"], "must be an integer"),
+            (["solve", "--sensors", "-3"], "num_sensors"),
+            (["simulate", "--rho", "2.5"], "must be an integer"),
+            (
+                ["resume", "--checkpoint", "/nonexistent/never.json"],
+                "checkpoint not found",
+            ),
+            (["trace", "--weather", "tornado"], "unknown weather"),
+            (
+                [
+                    "sweep",
+                    "--rhos",
+                    "2.5",
+                    "--sensors",
+                    "4",
+                    "--repeats",
+                    "1",
+                    "--methods",
+                    "greedy",
+                ],
+                "must be an integer",
+            ),
+            (["figure", "fig999"], "unknown figure"),
+            (["serve", "--port", "99999"], "invalid port"),
+            (["serve", "--max-queue", "0"], "max_queue"),
+            (["serve", "--max-batch", "0"], "max_batch"),
+        ],
+    )
+    def test_exits_nonzero_with_one_line_stderr(self, capsys, argv, fragment):
+        assert main(argv) == 2
+        captured = capsys.readouterr()
+        assert fragment in captured.err
+        assert "Traceback" not in captured.err
+        assert len(captured.err.strip().splitlines()) == 1
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["cache", "nuke"],
+            ["metrics", "--format", "xml"],
+            ["solve", "--method", "sorcery"],
+            ["no-such-command"],
+        ],
+    )
+    def test_argparse_rejections_exit_2_with_usage(self, capsys, argv):
+        with pytest.raises(SystemExit) as caught:
+            main(argv)
+        assert caught.value.code == 2
+        captured = capsys.readouterr()
+        assert "usage:" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_unwritable_events_out_is_reported(self, capsys, tmp_path):
+        # Parent "directory" is a regular file: the sink cannot create
+        # or open the stream no matter the process's privileges.
+        blocker = tmp_path / "blocker"
+        blocker.write_text("")
+        target = blocker / "events.jsonl"
+        assert main(["solve", "--events-out", str(target)]) == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error:")
+        assert "Traceback" not in captured.err

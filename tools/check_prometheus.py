@@ -105,10 +105,13 @@ def lint(text: str) -> List[str]:
     problems: List[str] = []
     types: Dict[str, str] = {}
     sampled: set = set()
-    # histogram family -> list of (le, count) in order of appearance,
-    # and the _count sample for cross-checking.
-    buckets: Dict[str, List[Tuple[float, float]]] = {}
-    counts: Dict[str, float] = {}
+    # histogram (family, label-set-minus-le) -> list of (le, count) in
+    # order of appearance, and the _count sample for cross-checking.
+    # Keying by the label set keeps the cumulative check per child: a
+    # family like solve_seconds{method=...} has one bucket ladder per
+    # method, not one shared ladder.
+    buckets: Dict[Tuple[str, Tuple], List[Tuple[float, float]]] = {}
+    counts: Dict[Tuple[str, Tuple], float] = {}
 
     for number, line in enumerate(text.splitlines(), start=1):
         if not line:
@@ -155,6 +158,7 @@ def lint(text: str) -> List[str]:
         sampled.add(family)
         kind = types.get(family)
         if kind == "histogram":
+            child = tuple(sorted((k, v) for k, v in labels if k != "le"))
             if name == f"{family}_bucket":
                 le = dict(labels).get("le")
                 if le is None:
@@ -168,23 +172,26 @@ def lint(text: str) -> List[str]:
                         f"line {number}: unparsable le value {le!r}"
                     )
                     continue
-                buckets.setdefault(family, []).append((le_value, value))
+                buckets.setdefault((family, child), []).append(
+                    (le_value, value)
+                )
             elif name == f"{family}_count":
-                counts[family] = value
+                counts[(family, child)] = value
 
-    for family, series in buckets.items():
+    for (family, child), series in buckets.items():
         les = [le for le, _ in series]
         values = [count for _, count in series]
+        where = f"{family}{dict(child) if child else ''}"
         if les != sorted(les):
-            problems.append(f"{family}: bucket le bounds not ascending")
+            problems.append(f"{where}: bucket le bounds not ascending")
         if values != sorted(values):
-            problems.append(f"{family}: bucket counts not cumulative")
+            problems.append(f"{where}: bucket counts not cumulative")
         if not les or les[-1] != float("inf"):
-            problems.append(f"{family}: last bucket is not le=\"+Inf\"")
-        elif family in counts and values[-1] != counts[family]:
+            problems.append(f"{where}: last bucket is not le=\"+Inf\"")
+        elif (family, child) in counts and values[-1] != counts[(family, child)]:
             problems.append(
-                f"{family}: +Inf bucket ({values[-1]}) != _count "
-                f"({counts[family]})"
+                f"{where}: +Inf bucket ({values[-1]}) != _count "
+                f"({counts[(family, child)]})"
             )
 
     return problems
