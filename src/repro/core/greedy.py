@@ -35,10 +35,11 @@ from repro.core.schedule import PeriodicSchedule, ScheduleMode
 from repro.obs import tracing
 from repro.obs.registry import get_registry
 from repro.utility.base import UtilityFunction
+from repro.utility.incremental import flush_ops, make_slot_evaluators
 from repro.utility.target_system import PerSlotUtility
 
 #: Help text for the marginal-evaluation counter (shared by variants).
-_EVALS_HELP = "Marginal-utility evaluations by greedy variant (lazy/naive)"
+_EVALS_HELP = "Marginal-utility evaluations by solver variant"
 
 
 @dataclass(frozen=True)
@@ -140,19 +141,29 @@ def _run_naive(
     problem: SchedulingProblem,
     functions: Sequence[UtilityFunction],
 ) -> Tuple[dict, List[GreedyStep]]:
-    """Literal Algorithm 1: full scan of remaining pairs each step."""
+    """Literal Algorithm 1: full scan of remaining pairs each step.
+
+    Candidates are sorted once up front and placed sensors skipped --
+    the visit order is identical to re-sorting the remaining set every
+    step, without the per-step O(n log n).  Marginal gains come from
+    per-slot incremental evaluators whose answers are bit-equal to
+    ``functions[slot].marginal`` on the running slot sets.
+    """
     T = problem.slots_per_period
-    remaining: Set[int] = set(problem.sensors)
-    slot_sets: List[frozenset] = [frozenset() for _ in range(T)]
+    candidates = sorted(problem.sensors)
+    placed: Set[int] = set()
+    evaluators = make_slot_evaluators(functions)
     assignment: dict = {}
     steps: List[GreedyStep] = []
     total = 0.0
     evaluations = 0
     for order in range(problem.num_sensors):
         best: Optional[Tuple[float, int, int]] = None
-        for sensor in sorted(remaining):
+        for sensor in candidates:
+            if sensor in placed:
+                continue
             for slot in range(T):
-                gain = functions[slot].marginal(sensor, slot_sets[slot])
+                gain = evaluators[slot].gain(sensor)
                 evaluations += 1
                 # Deterministic tie-break: higher gain, then lower sensor
                 # id, then lower slot id.
@@ -163,8 +174,8 @@ def _run_naive(
         assert best is not None
         sensor, slot = best_pair
         gain = best[0]
-        remaining.remove(sensor)
-        slot_sets[slot] = slot_sets[slot] | {sensor}
+        placed.add(sensor)
+        evaluators[slot].add(sensor)
         assignment[sensor] = slot
         total += gain
         steps.append(
@@ -175,6 +186,7 @@ def _run_naive(
     get_registry().counter(
         "repro_greedy_marginal_evals_total", _EVALS_HELP, variant="naive"
     ).inc(evaluations)
+    flush_ops(evaluators)
     return assignment, steps
 
 
@@ -195,7 +207,7 @@ def _run_lazy(
     """
     T = problem.slots_per_period
     remaining: Set[int] = set(problem.sensors)
-    slot_sets: List[frozenset] = [frozenset() for _ in range(T)]
+    evaluators = make_slot_evaluators(functions)
     slot_version = [0] * T
     assignment: dict = {}
     steps: List[GreedyStep] = []
@@ -205,7 +217,7 @@ def _run_lazy(
     heap: List[Tuple[float, int, int, int]] = []
     for sensor in problem.sensors:
         for slot in range(T):
-            gain = functions[slot].marginal(sensor, slot_sets[slot])
+            gain = evaluators[slot].gain(sensor)
             evaluations += 1
             heapq.heappush(heap, (-gain, sensor, slot, 0))
 
@@ -215,13 +227,13 @@ def _run_lazy(
         if sensor not in remaining:
             continue
         if version != slot_version[slot]:
-            gain = functions[slot].marginal(sensor, slot_sets[slot])
+            gain = evaluators[slot].gain(sensor)
             evaluations += 1
             heapq.heappush(heap, (-gain, sensor, slot, slot_version[slot]))
             continue
         gain = -neg_gain
         remaining.remove(sensor)
-        slot_sets[slot] = slot_sets[slot] | {sensor}
+        evaluators[slot].add(sensor)
         slot_version[slot] += 1
         assignment[sensor] = slot
         total += gain
@@ -234,4 +246,5 @@ def _run_lazy(
     get_registry().counter(
         "repro_greedy_marginal_evals_total", _EVALS_HELP, variant="lazy"
     ).inc(evaluations)
+    flush_ops(evaluators)
     return assignment, steps

@@ -20,10 +20,16 @@ from __future__ import annotations
 import heapq
 from typing import List, Optional, Sequence, Set, Tuple
 
-from repro.core.greedy import GreedyStep, GreedyTrace, _slot_functions
+from repro.core.greedy import _EVALS_HELP, GreedyStep, GreedyTrace, _slot_functions
 from repro.core.problem import SchedulingProblem
 from repro.core.schedule import PeriodicSchedule, ScheduleMode
+from repro.obs.registry import get_registry
 from repro.utility.base import UtilityFunction
+from repro.utility.incremental import (
+    IncrementalEvaluator,
+    flush_ops,
+    make_slot_evaluators,
+)
 from repro.utility.target_system import PerSlotUtility
 
 
@@ -62,13 +68,22 @@ def greedy_passive_schedule(
     )
 
 
-def _initial_slot_sets(problem: SchedulingProblem) -> List[frozenset]:
+def _initial_evaluators(
+    problem: SchedulingProblem,
+    functions: Sequence[UtilityFunction],
+) -> List[IncrementalEvaluator]:
+    """One evaluator per slot, all starting from the *same* everyone-on
+    frozenset (sharing the object keeps iteration order -- and hence
+    float accumulation -- identical to the legacy shared-set code)."""
     everyone = frozenset(problem.sensors)
-    return [everyone for _ in range(problem.slots_per_period)]
+    evaluators = make_slot_evaluators(functions)
+    for evaluator in evaluators:
+        evaluator.reset(everyone)
+    return evaluators
 
 
-def _total(functions: Sequence[UtilityFunction], slot_sets: Sequence[frozenset]) -> float:
-    return sum(fn.value(s) for fn, s in zip(functions, slot_sets))
+def _total(evaluators: Sequence[IncrementalEvaluator]) -> float:
+    return sum(evaluator.value() for evaluator in evaluators)
 
 
 def _run_naive(
@@ -77,16 +92,21 @@ def _run_naive(
 ) -> Tuple[dict, List[GreedyStep]]:
     """Literal Sec. IV-B: full scan for the cheapest removal each step."""
     T = problem.slots_per_period
-    remaining: Set[int] = set(problem.sensors)
-    slot_sets = _initial_slot_sets(problem)
+    candidates = sorted(problem.sensors)
+    placed: Set[int] = set()
+    evaluators = _initial_evaluators(problem, functions)
     assignment: dict = {}
     steps: List[GreedyStep] = []
-    total = _total(functions, slot_sets)
+    total = _total(evaluators)
+    evaluations = 0
     for order in range(problem.num_sensors):
         best: Optional[Tuple[float, int, int]] = None
-        for sensor in sorted(remaining):
+        for sensor in candidates:
+            if sensor in placed:
+                continue
             for slot in range(T):
-                loss = functions[slot].decrement(sensor, slot_sets[slot])
+                loss = evaluators[slot].loss(sensor)
+                evaluations += 1
                 # Min loss; ties by lower sensor id then lower slot id.
                 key = (loss, sensor, slot)
                 if best is None or key < best:
@@ -95,8 +115,8 @@ def _run_naive(
         assert best is not None
         sensor, slot = best_pair
         loss = best[0]
-        remaining.remove(sensor)
-        slot_sets[slot] = slot_sets[slot] - {sensor}
+        placed.add(sensor)
+        evaluators[slot].remove(sensor)
         assignment[sensor] = slot
         total -= loss
         steps.append(
@@ -104,6 +124,10 @@ def _run_naive(
                 order=order, sensor=sensor, slot=slot, gain=-loss, total_after=total
             )
         )
+    get_registry().counter(
+        "repro_greedy_marginal_evals_total", _EVALS_HELP, variant="passive-naive"
+    ).inc(evaluations)
+    flush_ops(evaluators)
     return assignment, steps
 
 
@@ -114,16 +138,18 @@ def _run_lazy(
     """Lazy min-heap variant; identical output to the naive scan."""
     T = problem.slots_per_period
     remaining: Set[int] = set(problem.sensors)
-    slot_sets = _initial_slot_sets(problem)
+    evaluators = _initial_evaluators(problem, functions)
     slot_version = [0] * T
     assignment: dict = {}
     steps: List[GreedyStep] = []
-    total = _total(functions, slot_sets)
+    total = _total(evaluators)
 
+    evaluations = 0
     heap: List[Tuple[float, int, int, int]] = []
     for sensor in problem.sensors:
         for slot in range(T):
-            loss = functions[slot].decrement(sensor, slot_sets[slot])
+            loss = evaluators[slot].loss(sensor)
+            evaluations += 1
             heapq.heappush(heap, (loss, sensor, slot, 0))
 
     order = 0
@@ -132,11 +158,12 @@ def _run_lazy(
         if sensor not in remaining:
             continue
         if version != slot_version[slot]:
-            fresh = functions[slot].decrement(sensor, slot_sets[slot])
+            fresh = evaluators[slot].loss(sensor)
+            evaluations += 1
             heapq.heappush(heap, (fresh, sensor, slot, slot_version[slot]))
             continue
         remaining.remove(sensor)
-        slot_sets[slot] = slot_sets[slot] - {sensor}
+        evaluators[slot].remove(sensor)
         slot_version[slot] += 1
         assignment[sensor] = slot
         total -= loss
@@ -146,4 +173,8 @@ def _run_lazy(
             )
         )
         order += 1
+    get_registry().counter(
+        "repro_greedy_marginal_evals_total", _EVALS_HELP, variant="passive-lazy"
+    ).inc(evaluations)
+    flush_ops(evaluators)
     return assignment, steps

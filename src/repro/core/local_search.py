@@ -20,7 +20,9 @@ from typing import List, Optional, Tuple
 
 from repro.core.problem import SchedulingProblem
 from repro.core.schedule import PeriodicSchedule, ScheduleMode
+from repro.obs.registry import get_registry
 from repro.utility.base import UtilityFunction
+from repro.utility.incremental import flush_ops, make_evaluator
 
 
 @dataclass
@@ -71,14 +73,17 @@ def local_search(
                 sets[t].add(v)
         return [frozenset(s) for s in sets]
 
-    slot_sets = build_slot_sets()
+    # One incremental evaluator per slot, rebased onto the exact initial
+    # slot-set objects (gain/loss answers are bit-equal to the
+    # utility.marginal/decrement calls they replace).
+    evaluators = [make_evaluator(utility) for _ in range(T)]
+    for t, slot_set in enumerate(build_slot_sets()):
+        evaluators[t].reset(slot_set)
 
-    def total() -> float:
-        return sum(utility.value(s) for s in slot_sets)
-
-    current = total()
+    current = sum(evaluator.value() for evaluator in evaluators)
     initial = current
     moves = 0
+    evaluations = 0
     improved = True
     while improved and moves < max_moves:
         improved = False
@@ -88,21 +93,25 @@ def local_search(
             if passive_mode:
                 # Moving the passive slot from `home` to `target`:
                 # sensor becomes active at `home`, inactive at `target`.
-                gain_home = utility.marginal(sensor, slot_sets[home])
+                gain_home = evaluators[home].gain(sensor)
+                evaluations += 1
                 for target in range(T):
                     if target == home:
                         continue
-                    loss_target = utility.decrement(sensor, slot_sets[target])
+                    loss_target = evaluators[target].loss(sensor)
+                    evaluations += 1
                     gain = gain_home - loss_target
                     if gain > best_gain:
                         best_gain = gain
                         best_move = (sensor, target)
             else:
-                loss_home = utility.decrement(sensor, slot_sets[home])
+                loss_home = evaluators[home].loss(sensor)
+                evaluations += 1
                 for target in range(T):
                     if target == home:
                         continue
-                    gain_target = utility.marginal(sensor, slot_sets[target])
+                    gain_target = evaluators[target].gain(sensor)
+                    evaluations += 1
                     gain = gain_target - loss_home
                     if gain > best_gain:
                         best_gain = gain
@@ -112,14 +121,21 @@ def local_search(
             home = assignment[sensor]
             assignment[sensor] = target
             if passive_mode:
-                slot_sets[home] = slot_sets[home] | {sensor}
-                slot_sets[target] = slot_sets[target] - {sensor}
+                evaluators[home].add(sensor)
+                evaluators[target].remove(sensor)
             else:
-                slot_sets[home] = slot_sets[home] - {sensor}
-                slot_sets[target] = slot_sets[target] | {sensor}
+                evaluators[home].remove(sensor)
+                evaluators[target].add(sensor)
             current += best_gain
             moves += 1
             improved = True
+
+    from repro.core.greedy import _EVALS_HELP
+
+    get_registry().counter(
+        "repro_greedy_marginal_evals_total", _EVALS_HELP, variant="local-search"
+    ).inc(evaluations)
+    flush_ops(evaluators)
 
     if report is not None:
         report.moves = moves

@@ -33,9 +33,11 @@ from __future__ import annotations
 import heapq
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
-from repro.core.greedy import GreedyStep, GreedyTrace
+from repro.core.greedy import _EVALS_HELP, GreedyStep, GreedyTrace
 from repro.core.schedule import PeriodicSchedule, ScheduleMode
+from repro.obs.registry import get_registry
 from repro.utility.base import UtilityFunction
+from repro.utility.incremental import flush_ops, make_evaluator
 
 
 def greedy_repair(
@@ -104,11 +106,12 @@ def greedy_repair(
         allowed[v] = slots
 
     remaining: Set[int] = set(sensor_list)
-    slot_sets: List[frozenset] = [frozenset() for _ in range(T)]
+    evaluators = [make_evaluator(utility) for _ in range(T)]
     slot_version = [0] * T
     assignment: Dict[int, int] = {}
     steps: List[GreedyStep] = []
     total = 0.0
+    evaluations = 0
 
     def tie_rank(v: int, t: int) -> int:
         # 0 = incumbent slot, 1 = later slot or no incumbent (free),
@@ -126,7 +129,8 @@ def greedy_repair(
     heap: List[Tuple[float, int, int, int, int]] = []
     for v in sensor_list:
         for t in allowed[v]:
-            gain = utility.marginal(v, slot_sets[t])
+            gain = evaluators[t].gain(v)
+            evaluations += 1
             heapq.heappush(heap, (-gain, tie_rank(v, t), v, t, 0))
 
     order = 0
@@ -135,14 +139,15 @@ def greedy_repair(
         if sensor not in remaining:
             continue
         if version != slot_version[slot]:
-            gain = utility.marginal(sensor, slot_sets[slot])
+            gain = evaluators[slot].gain(sensor)
+            evaluations += 1
             heapq.heappush(
                 heap, (-gain, rank, sensor, slot, slot_version[slot])
             )
             continue
         gain = -neg_gain
         remaining.remove(sensor)
-        slot_sets[slot] = slot_sets[slot] | {sensor}
+        evaluators[slot].add(sensor)
         slot_version[slot] += 1
         assignment[sensor] = slot
         total += gain
@@ -153,6 +158,10 @@ def greedy_repair(
         )
         order += 1
 
+    get_registry().counter(
+        "repro_greedy_marginal_evals_total", _EVALS_HELP, variant="repair"
+    ).inc(evaluations)
+    flush_ops(evaluators)
     if trace is not None:
         trace.steps = steps
     return PeriodicSchedule(

@@ -233,8 +233,30 @@ class UnrolledSchedule:
     # ------------------------------------------------------------------
 
     def total_utility(self, utility: UtilityFunction) -> float:
-        """``sum_t U(S_t)`` over the whole horizon."""
-        return sum(utility.value(s) for s in self.active_sets)
+        """``sum_t U(S_t)`` over the whole horizon.
+
+        Unrolled schedules repeat the *same* per-period frozenset
+        objects ``alpha`` times (see :meth:`PeriodicSchedule.unroll`),
+        so slot values are memoized by object identity within one call:
+        the same object always yields the same float, and the running
+        sum adds the identical values in the identical order as the
+        plain scan -- the result is bit-equal.  Disabled (with the
+        memo skipped entirely) when ``REPRO_INCREMENTAL=0``.
+        """
+        from repro.utility.incremental import incremental_enabled
+
+        if not incremental_enabled():
+            return sum(utility.value(s) for s in self.active_sets)
+        cache: Dict[int, float] = {}
+        total = 0.0
+        for s in self.active_sets:
+            key = id(s)
+            value = cache.get(key)
+            if value is None:
+                value = utility.value(s)
+                cache[key] = value
+            total += value
+        return total
 
     def average_slot_utility(self, utility: UtilityFunction) -> float:
         """Mean per-slot utility (0 for an empty schedule)."""

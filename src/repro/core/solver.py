@@ -169,7 +169,9 @@ def solve(
     )
     schedule.validate_feasible()
     total = schedule.total_utility(problem.utility)
-    average = schedule.average_slot_utility(problem.utility)
+    # average_slot_utility would re-evaluate every slot; derive it from
+    # the total instead (same division, bit-equal result).
+    average = total / schedule.total_slots if schedule.total_slots else 0.0
     return SolveResult(
         method=method,
         problem=problem,

@@ -32,6 +32,8 @@ import numpy as np
 from repro.core.problem import SchedulingProblem
 from repro.core.schedule import PeriodicSchedule, ScheduleMode
 from repro.coverage.deployment import RngLike, make_rng
+from repro.obs.registry import get_registry
+from repro.utility.incremental import flush_ops, make_evaluator
 
 
 def stochastic_greedy_schedule(
@@ -62,27 +64,39 @@ def stochastic_greedy_schedule(
 
     sample_size = max(1, math.ceil((n / max(T, 1)) * math.log(1.0 / epsilon)))
     remaining: List[int] = list(range(n))
-    slot_sets: List[frozenset] = [frozenset() for _ in range(T)]
+    # One incremental evaluator per slot; the batched gains() kernel
+    # scores a whole sample against a slot in one call, bit-equal to
+    # the per-pair utility.marginal scan it replaces.
+    evaluators = [make_evaluator(utility) for _ in range(T)]
     assignment: Dict[int, int] = {}
+    evaluations = 0
 
     while remaining:
         k = min(sample_size, len(remaining))
         idx = generator.choice(len(remaining), size=k, replace=False)
         sample = [remaining[i] for i in idx]
+        slot_gains = [evaluators[slot].gains(sample) for slot in range(T)]
+        evaluations += k * T
         best: Optional[Tuple[float, int, int]] = None
         best_pick = (sample[0], 0)
-        for sensor in sample:
+        for i, sensor in enumerate(sample):
             for slot in range(T):
-                gain = utility.marginal(sensor, slot_sets[slot])
+                gain = float(slot_gains[slot][i])
                 key = (gain, -sensor, -slot)
                 if best is None or key > best:
                     best = key
                     best_pick = (sensor, slot)
         sensor, slot = best_pick
         remaining.remove(sensor)
-        slot_sets[slot] = slot_sets[slot] | {sensor}
+        evaluators[slot].add(sensor)
         assignment[sensor] = slot
 
+    from repro.core.greedy import _EVALS_HELP
+
+    get_registry().counter(
+        "repro_greedy_marginal_evals_total", _EVALS_HELP, variant="stochastic"
+    ).inc(evaluations)
+    flush_ops(evaluators)
     return PeriodicSchedule(
         slots_per_period=T, assignment=assignment, mode=ScheduleMode.ACTIVE_SLOT
     )

@@ -33,7 +33,14 @@ STANDARD_METRICS: Tuple[Tuple[str, str, Tuple[str, ...], str], ...] = (
         "counter",
         "repro_greedy_marginal_evals_total",
         ("variant",),
-        "Marginal-utility evaluations by greedy variant (lazy/naive)",
+        "Marginal-utility evaluations by solver variant",
+    ),
+    # -- incremental utility kernels (utility/incremental.py) ----------
+    (
+        "counter",
+        "repro_utility_incremental_ops_total",
+        ("family", "op"),
+        "Incremental-evaluator operations by family and kind",
     ),
     # -- simulation engine (sim/engine.py) -----------------------------
     (
@@ -124,6 +131,13 @@ STANDARD_METRICS: Tuple[Tuple[str, str, Tuple[str, ...], str], ...] = (
         "repro_pool_task_seconds",
         (),
         "Per-task wall time in the worker pool",
+    ),
+    (
+        "counter",
+        "repro_pool_fallbacks_total",
+        ("reason",),
+        "Pool runs downgraded to serial execution by reason "
+        "(single-core/cheap-tasks)",
     ),
     # -- HTTP service (serve/handlers.py, serve/batcher.py) ------------
     (

@@ -107,6 +107,7 @@ def solve_many(
     timeout: Optional[float] = None,
     on_group: Optional[GroupCallback] = None,
     on_task: Optional[Callable[[TaskTelemetry], None]] = None,
+    auto_fallback: bool = True,
 ) -> Tuple[List[SolveResult], List[TaskTelemetry]]:
     """Solve every task; returns results and telemetry in task order.
 
@@ -123,7 +124,9 @@ def solve_many(
     """
     tasks = list(tasks)
     with tracing.span("solve_many", tasks=len(tasks), jobs=jobs or 1):
-        return _solve_many(tasks, jobs, cache, timeout, on_group, on_task)
+        return _solve_many(
+            tasks, jobs, cache, timeout, on_group, on_task, auto_fallback
+        )
 
 
 def _solve_many(
@@ -133,6 +136,7 @@ def _solve_many(
     timeout: Optional[float],
     on_group: Optional[GroupCallback] = None,
     on_task: Optional[Callable[[TaskTelemetry], None]] = None,
+    auto_fallback: bool = True,
 ) -> Tuple[List[SolveResult], List[TaskTelemetry]]:
     results: List[Optional[SolveResult]] = [None] * len(tasks)
     telemetry: List[Optional[TaskTelemetry]] = [None] * len(tasks)
@@ -176,6 +180,7 @@ def _solve_many(
         jobs=jobs,
         timeout=timeout,
         on_task=on_task,
+        auto_fallback=auto_fallback,
     )
     for position, index in enumerate(to_solve):
         problem = tasks[index][0]

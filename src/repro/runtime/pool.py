@@ -30,10 +30,31 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.obs import events as obs_events
 from repro.obs.registry import Histogram, get_registry
 
 _TASKS_HELP = "Pool tasks completed by execution mode (parallel/serial)"
 _TASK_SECONDS_HELP = "Per-task wall time in the worker pool"
+_FALLBACKS_HELP = (
+    "Pool runs downgraded to serial execution by reason "
+    "(single-core/cheap-tasks)"
+)
+
+#: Rough cost of standing up one pool worker (fork/spawn + imports).
+#: A parallel run only pays off when the serial work it displaces
+#: exceeds this per worker; measured ~0.1-0.3 s for this codebase's
+#: import graph, kept conservative so borderline runs stay parallel.
+SPAWN_COST_SECONDS = 0.05
+
+
+def _fall_back(reason: str, tasks: int, workers: int) -> None:
+    """Record one pool-to-serial downgrade (event + counter)."""
+    get_registry().counter(
+        "repro_pool_fallbacks_total", _FALLBACKS_HELP, reason=reason
+    ).inc()
+    obs_events.emit(
+        "pool.fallback", reason=reason, tasks=tasks, workers=workers
+    )
 
 
 def _observe_task(record: "TaskTelemetry") -> None:
@@ -108,6 +129,7 @@ def run_tasks(
     jobs: Optional[int] = None,
     timeout: Optional[float] = None,
     on_task: Optional[Callable[[TaskTelemetry], None]] = None,
+    auto_fallback: bool = True,
 ) -> Tuple[List[Any], List[TaskTelemetry]]:
     """Apply ``fn`` to every item, farming across ``jobs`` processes.
 
@@ -121,6 +143,13 @@ def run_tasks(
     fires as each task completes, in completion -- not submission --
     order; serving layers use it for liveness reporting.
 
+    ``auto_fallback`` (default on) declines the pool when it cannot
+    win: on a single-core machine, or when a serial probe of the first
+    task shows the whole batch costs less than spawning the workers
+    would.  Each downgrade emits a ``pool.fallback`` event and bumps
+    ``repro_pool_fallbacks_total``.  Pass ``auto_fallback=False`` to
+    force the pool regardless (tests pinning parallel execution do).
+
     Exceptions raised by ``fn`` itself propagate unchanged -- a wrong
     task must fail loudly, only *pool infrastructure* failures degrade
     to serial.
@@ -133,12 +162,32 @@ def run_tasks(
         _run_serial(fn, items, range(len(items)), results, telemetry, on_task)
         return results, telemetry  # type: ignore[return-value]
 
-    pending_indices = list(range(len(items)))
+    start_index = 0
+    if auto_fallback:
+        if (os.cpu_count() or 1) <= 1:
+            # Worker processes would time-share one core: pure overhead.
+            _fall_back("single-core", len(items), workers)
+            _run_serial(fn, items, range(len(items)), results, telemetry, on_task)
+            return results, telemetry  # type: ignore[return-value]
+        # Probe the first task serially; if the remaining work costs
+        # less than amortizing the worker spawns, stay serial.
+        _run_serial(fn, items, [0], results, telemetry, on_task)
+        start_index = 1
+        probe_wall = telemetry[0].wall_seconds  # type: ignore[union-attr]
+        rest = len(items) - 1
+        if probe_wall * rest < SPAWN_COST_SECONDS * min(workers, rest):
+            _fall_back("cheap-tasks", len(items), workers)
+            _run_serial(
+                fn, items, range(1, len(items)), results, telemetry, on_task
+            )
+            return results, telemetry  # type: ignore[return-value]
+
+    pending_indices = list(range(start_index, len(items)))
     max_in_flight = 2 * workers
     try:
         with ProcessPoolExecutor(max_workers=workers) as pool:
             in_flight: Dict[Any, int] = {}
-            next_up = 0
+            next_up = start_index
             while next_up < len(items) or in_flight:
                 while next_up < len(items) and len(in_flight) < max_in_flight:
                     future = pool.submit(_run_timed, fn, items[next_up])

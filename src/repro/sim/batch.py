@@ -91,6 +91,7 @@ def run_batch(
     events_factory: Optional[EventsFactory] = None,
     jobs: Optional[int] = None,
     timeout: Optional[float] = None,
+    auto_fallback: bool = True,
 ) -> BatchResult:
     """Run one replicate per seed and aggregate.
 
@@ -121,7 +122,11 @@ def run_batch(
         for seed in seeds
     ]
     results, telemetry = run_tasks(
-        _run_replicate, tasks, jobs=jobs, timeout=timeout
+        _run_replicate,
+        tasks,
+        jobs=jobs,
+        timeout=timeout,
+        auto_fallback=auto_fallback,
     )
 
     utilities = [r.average_slot_utility for r in results]

@@ -174,6 +174,11 @@ class SimulationEngine:
 
     def _begin(self) -> None:
         self._accumulator = UtilityAccumulator(self.network.utility)
+        if self.sensing_filter is not None:
+            # Filtered active sets are re-built per slot with a
+            # slot-dependent predicate; equal sets need not share one
+            # construction order, so the memo is not provably bit-exact.
+            self._accumulator.disable_memo()
         self._all_reports = []
         self._refused_total = 0
         self._slots_done = 0
@@ -309,6 +314,8 @@ class SimulationEngine:
             self._accumulator = None
         else:
             self._accumulator = UtilityAccumulator(self.network.utility)
+            if self.sensing_filter is not None:
+                self._accumulator.disable_memo()
             self._accumulator.records = [
                 _record_from_dict(d) for d in state["accumulator"]
             ]

@@ -15,6 +15,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence
 import numpy as np
 
 from repro.utility.base import UtilityFunction
+from repro.utility.incremental import SlotValueMemo, incremental_enabled
 from repro.utility.target_system import TargetSystem
 
 
@@ -36,6 +37,19 @@ class UtilityAccumulator:
     utility: UtilityFunction
     records: List[SlotRecord] = field(default_factory=list)
 
+    def __post_init__(self) -> None:
+        # Periodic schedules revisit the same active sets each cycle;
+        # memoize their evaluations (see SlotValueMemo for why this is
+        # exact for engine-built sets).  The engine disables the memo
+        # when a sensing_filter perturbs set construction.
+        self._memo: Optional[SlotValueMemo] = (
+            SlotValueMemo() if incremental_enabled() else None
+        )
+
+    def disable_memo(self) -> None:
+        """Turn off slot-value memoization (e.g. under a sensing filter)."""
+        self._memo = None
+
     @property
     def num_targets(self) -> int:
         if isinstance(self.utility, TargetSystem):
@@ -44,12 +58,20 @@ class UtilityAccumulator:
 
     def record(self, slot: int, active_set: FrozenSet[int], refused: int = 0) -> SlotRecord:
         """Evaluate the utility of the slot's active set and store it."""
-        per_target = None
-        if isinstance(self.utility, TargetSystem):
-            per_target = self.utility.per_target_values(active_set)
-            value = float(per_target.sum())
+        cached = self._memo.lookup(active_set) if self._memo is not None else None
+        if cached is not None:
+            value, per_target = cached
         else:
-            value = self.utility.value(active_set)
+            per_target = None
+            if isinstance(self.utility, TargetSystem):
+                per_target = self.utility.per_target_values(active_set)
+                value = float(per_target.sum())
+            else:
+                value = self.utility.value(active_set)
+            if self._memo is not None:
+                # per_target arrays are never mutated downstream, so the
+                # stored array object can be shared across slot records.
+                self._memo.store(active_set, (value, per_target))
         rec = SlotRecord(
             slot=slot,
             active_set=frozenset(active_set),

@@ -24,6 +24,10 @@ function with ``U(empty) = 0``.  This subpackage provides:
 - :class:`~repro.utility.target_system.TargetSystem` -- the multi-target
   objective ``sum_i U_i(S intersect V(O_i))`` (Eq. 1) together with the
   coverage relation ``a_ij``.
+- :mod:`~repro.utility.incremental` -- stateful marginal-gain
+  evaluators for every family, bit-for-bit equal to the from-scratch
+  ``marginal``/``decrement``/``value`` calls they replace (toggle with
+  ``REPRO_INCREMENTAL=0``).
 """
 
 from repro.utility.base import (
@@ -46,6 +50,14 @@ from repro.utility.operations import (
     residual,
 )
 from repro.utility.target_system import PerSlotUtility, TargetSystem
+from repro.utility.incremental import (
+    IncrementalEvaluator,
+    SlotValueMemo,
+    flush_ops,
+    incremental_enabled,
+    make_evaluator,
+    make_slot_evaluators,
+)
 
 __all__ = [
     "UtilityFunction",
@@ -68,4 +80,10 @@ __all__ = [
     "residual",
     "TargetSystem",
     "PerSlotUtility",
+    "IncrementalEvaluator",
+    "SlotValueMemo",
+    "flush_ops",
+    "incremental_enabled",
+    "make_evaluator",
+    "make_slot_evaluators",
 ]

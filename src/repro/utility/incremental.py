@@ -1,0 +1,719 @@
+"""Incremental marginal-gain evaluators for every shipped utility family.
+
+Every solver in :mod:`repro.core` and the per-slot accounting in
+:mod:`repro.sim` bottom out in :meth:`UtilityFunction.marginal`, which
+recomputes ``U(S | {v}) - U(S)`` from scratch: O(|S| * m) per query.
+The paper's structure (Sec. II-C: per-target sums of submodular
+utilities) makes each family *incrementally* updatable -- an evaluator
+that owns the running active set can answer ``gain(v)`` from a handful
+of cached scalars and only pays for a refresh when the set actually
+changes.
+
+The accumulation contract (bit-for-bit exactness)
+-------------------------------------------------
+
+The incremental path must produce the **same bits** as the from-scratch
+path, not merely close values, because the differential suite compares
+schedules and utilities exactly.  Floating-point addition and
+multiplication are not associative, and ``frozenset`` iteration order
+depends on the set's internal hash-table layout -- which itself depends
+on how the set was *constructed*, not only on its contents.  Three
+rules make exactness hold:
+
+1. **Identical set construction.**  The evaluator mutates its active
+   set with exactly the operations the legacy consumers used
+   (``S | {v}`` to add, ``S - {v}`` to remove, starting from the same
+   initial object).  Same operation sequence on the same objects =>
+   identical layout => identical iteration order.
+2. **Cached scalars are recomputed by the family's own code.**  A
+   cached quantity (the detection miss product, the log-sum total) is
+   never updated arithmetically (``miss *= 1-p`` would change the
+   rounding order); it is recomputed from scratch *by the same method
+   the legacy path calls*, over the same set object, whenever the set
+   mutates.  Queries between mutations then reuse the exact value the
+   legacy path would have recomputed per query.
+3. **Identical accumulation order in gains.**  ``gain(v)`` evaluates
+   the same expression, over the same containers in the same iteration
+   order, as the family's ``marginal``.  The numpy-batched kernel in
+   :class:`TargetSystemEvaluator` multiplies element-wise (IEEE-exact
+   per element) and then reduces **sequentially in Python** -- numpy's
+   pairwise summation would change the bits.
+
+:class:`TargetSystemEvaluator` refreshes *all* per-target children on
+every mutation, not only the targets of the mutated sensor: the legacy
+path evaluates children on a fresh ``S & V(O_i)`` at query time, and
+that intersection's layout can change whenever ``S`` changes (CPython
+iterates the smaller operand), even for targets the sensor does not
+cover.
+
+Set ``REPRO_INCREMENTAL=0`` to fall back to the from-scratch path: the
+base :class:`IncrementalEvaluator` delegates every query to the wrapped
+function over identically-built sets, which *is* the legacy behavior.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
+
+from repro.obs.registry import MetricsRegistry, get_registry
+from repro.utility.area import AreaCoverageUtility
+from repro.utility.base import SensorSet, UtilityFunction
+from repro.utility.coverage_count import WeightedCoverageUtility
+from repro.utility.detection import (
+    DetectionUtility,
+    HomogeneousDetectionUtility,
+)
+from repro.utility.logsum import LogSumUtility
+from repro.utility.target_system import TargetSystem
+
+#: Help text for the evaluator-operation counter (mirrored in obs/catalog.py).
+_OPS_HELP = "Incremental-evaluator operations by family and kind"
+
+_EMPTY: SensorSet = frozenset()
+
+
+def incremental_enabled() -> bool:
+    """Whether the incremental kernels are active (``REPRO_INCREMENTAL``).
+
+    Defaults to on; ``0`` / ``false`` / ``off`` select the from-scratch
+    escape hatch.  Read at evaluator-construction time, so the toggle
+    applies per solve/simulate call.
+    """
+    raw = os.environ.get("REPRO_INCREMENTAL", "1").strip().lower()
+    return raw not in ("0", "false", "off")
+
+
+class IncrementalEvaluator:
+    """Stateful marginal-gain evaluator over a running active set.
+
+    The base class is also the ``REPRO_INCREMENTAL=0`` escape hatch: it
+    caches nothing and delegates ``gain``/``loss``/``value`` to the
+    wrapped function over sets built by the exact operation sequence the
+    legacy consumers used -- i.e. it *is* the from-scratch path.
+
+    Subclasses override the ``_``-prefixed hooks to maintain cached
+    state; the public API (and the op accounting) lives here.
+    """
+
+    family = "recompute"
+
+    def __init__(self, fn: UtilityFunction):
+        self._fn = fn
+        self._active: SensorSet = _EMPTY
+        self._cached_value: Optional[float] = None
+        self._ops: Dict[str, int] = {}
+        self._rebuild()
+
+    # -- public API ----------------------------------------------------
+
+    @property
+    def fn(self) -> UtilityFunction:
+        return self._fn
+
+    @property
+    def active(self) -> SensorSet:
+        """The current active set (the exact object queries run against)."""
+        return self._active
+
+    def reset(self, active: SensorSet = _EMPTY) -> None:
+        """Rebase onto ``active`` *without copying it*.
+
+        Callers that need bit-exactness must pass the same frozenset
+        object the legacy path would have evaluated (e.g. the shared
+        ``everyone`` set the passive greedy starts every slot from).
+        """
+        self._count("reset")
+        self._active = active
+        self._cached_value = None
+        self._rebuild()
+
+    def add(self, sensor: int) -> None:
+        """Activate ``sensor`` (mirrors the legacy ``S | {v}`` update)."""
+        self._count("add")
+        before = self._active
+        self._active = before | {sensor}
+        self._cached_value = None
+        self._on_add(sensor, before)
+
+    def remove(self, sensor: int) -> None:
+        """Deactivate ``sensor`` (mirrors the legacy ``S - {v}`` update)."""
+        self._count("remove")
+        before = self._active
+        self._active = before - {sensor}
+        self._cached_value = None
+        self._on_remove(sensor, before)
+
+    def gain(self, sensor: int) -> float:
+        """``U(S | {v}) - U(S)`` -- bit-equal to ``fn.marginal(v, S)``."""
+        self._count("gain")
+        return self._gain(sensor)
+
+    def loss(self, sensor: int) -> float:
+        """``U(S) - U(S - {v})`` -- bit-equal to ``fn.decrement(v, S)``."""
+        self._count("loss")
+        return self._loss(sensor)
+
+    def value(self) -> float:
+        """``U(S)`` -- bit-equal to ``fn.value(S)``; cached until mutation."""
+        self._count("value")
+        return self._current_value()
+
+    def gains(self, candidates: Sequence[int]) -> np.ndarray:
+        """Batched ``gain`` over ``candidates`` as a float64 vector.
+
+        Element ``i`` is bit-equal to ``self.gain(candidates[i])``
+        (specializations use a vectorized kernel; see
+        :class:`TargetSystemEvaluator`).
+        """
+        self._ops["gain"] = self._ops.get("gain", 0) + len(candidates)
+        out = np.empty(len(candidates), dtype=np.float64)
+        for i, sensor in enumerate(candidates):
+            out[i] = self._gain(sensor)
+        return out
+
+    def snapshot(self) -> Tuple[Any, ...]:
+        """An O(cached-state) token that :meth:`restore` accepts."""
+        self._count("snapshot")
+        return (self._active, self._cached_value, self._state())
+
+    def restore(self, token: Tuple[Any, ...]) -> None:
+        """Rewind to a prior :meth:`snapshot` -- including the exact
+        active-set object, so post-restore queries are bit-identical to
+        the queries issued when the snapshot was taken."""
+        self._count("restore")
+        self._active, self._cached_value, state = token
+        self._load_state(state)
+
+    # -- op accounting -------------------------------------------------
+
+    def _count(self, op: str) -> None:
+        self._ops[op] = self._ops.get(op, 0) + 1
+
+    def drain_ops(self) -> Iterator[Tuple[str, Dict[str, int]]]:
+        """Yield ``(family, op-counts)`` and reset the local counters."""
+        ops, self._ops = self._ops, {}
+        if ops:
+            yield (self.family, ops)
+
+    # -- hooks (override in specializations) ---------------------------
+
+    def _rebuild(self) -> None:
+        """Recompute every cached scalar from ``self._active``."""
+
+    def _on_add(self, sensor: int, before: SensorSet) -> None:
+        self._rebuild()
+
+    def _on_remove(self, sensor: int, before: SensorSet) -> None:
+        self._rebuild()
+
+    def _gain(self, sensor: int) -> float:
+        return self._fn.marginal(sensor, self._active)
+
+    def _loss(self, sensor: int) -> float:
+        return self._fn.decrement(sensor, self._active)
+
+    def _compute_value(self) -> float:
+        return self._fn.value(self._active)
+
+    def _current_value(self) -> float:
+        if self._cached_value is None:
+            self._cached_value = self._compute_value()
+        return self._cached_value
+
+    def _state(self) -> Any:
+        return None
+
+    def _load_state(self, state: Any) -> None:
+        self._rebuild()
+
+
+class DetectionEvaluator(IncrementalEvaluator):
+    """Running miss-product cache for :class:`DetectionUtility`.
+
+    ``marginal`` in the legacy path is ``p_v * miss(S)`` with ``miss``
+    recomputed per query (O(|S|)); here ``miss`` is recomputed once per
+    mutation by the same method over the same set object, making every
+    ``gain`` O(1).
+    """
+
+    family = "detection"
+
+    def __init__(self, fn: DetectionUtility):
+        self._probs = fn._probabilities  # shared ref; the public property copies
+        super().__init__(fn)
+
+    def _rebuild(self) -> None:
+        self._miss = self._fn.miss_probability(self._active)
+
+    def _gain(self, sensor: int) -> float:
+        if sensor in self._active:
+            return 0.0
+        p = self._probs.get(sensor)
+        if p is None:
+            return 0.0
+        return p * self._miss
+
+    def _loss(self, sensor: int) -> float:
+        if sensor not in self._active:
+            return 0.0
+        return (1.0 - self._miss) - self._fn.value(self._active - {sensor})
+
+    def _compute_value(self) -> float:
+        return 1.0 - self._miss
+
+    def _state(self) -> Any:
+        return self._miss
+
+    def _load_state(self, state: Any) -> None:
+        self._miss = state
+
+
+class HomogeneousDetectionEvaluator(IncrementalEvaluator):
+    """Exact O(1) add/remove/gain for the count-based homogeneous family.
+
+    Only the integer ``|S & ground|`` matters, and integers carry no
+    rounding history, so the count can be maintained arithmetically.
+    """
+
+    family = "homogeneous-detection"
+
+    def __init__(self, fn: HomogeneousDetectionUtility):
+        self._ground = fn.ground_set
+        super().__init__(fn)
+
+    def _rebuild(self) -> None:
+        self._k = self._fn.count(self._active)
+
+    def _on_add(self, sensor: int, before: SensorSet) -> None:
+        if sensor in self._ground and sensor not in before:
+            self._k += 1
+
+    def _on_remove(self, sensor: int, before: SensorSet) -> None:
+        if sensor in self._ground and sensor in before:
+            self._k -= 1
+
+    def _gain(self, sensor: int) -> float:
+        if sensor in self._active or sensor not in self._ground:
+            return 0.0
+        fn = self._fn
+        return fn.value_of_count(self._k + 1) - fn.value_of_count(self._k)
+
+    def _loss(self, sensor: int) -> float:
+        if sensor not in self._active:
+            return 0.0
+        drop = 1 if sensor in self._ground else 0
+        fn = self._fn
+        return fn.value_of_count(self._k) - fn.value_of_count(self._k - drop)
+
+    def _compute_value(self) -> float:
+        return self._fn.value_of_count(self._k)
+
+    def _state(self) -> Any:
+        return self._k
+
+    def _load_state(self, state: Any) -> None:
+        self._k = state
+
+
+class LogSumEvaluator(IncrementalEvaluator):
+    """Running weight total for :class:`LogSumUtility`.
+
+    The total is recomputed per mutation over the set's own iteration
+    order (never ``+=``-updated -- rule 2 of the accumulation contract),
+    so ``gain`` drops from O(|S|) to O(1).
+    """
+
+    family = "logsum"
+
+    def __init__(self, fn: LogSumUtility):
+        self._weights = fn._weights  # shared ref; the public property copies
+        super().__init__(fn)
+
+    def _rebuild(self) -> None:
+        self._total = self._fn.total_weight(self._active)
+
+    def _gain(self, sensor: int) -> float:
+        if sensor in self._active:
+            return 0.0
+        w = self._weights.get(sensor)
+        if not w:
+            return 0.0
+        return math.log1p(self._total + w) - math.log1p(self._total)
+
+    def _loss(self, sensor: int) -> float:
+        if sensor not in self._active:
+            return 0.0
+        return math.log1p(self._total) - self._fn.value(self._active - {sensor})
+
+    def _compute_value(self) -> float:
+        return math.log1p(self._total)
+
+    def _state(self) -> Any:
+        return self._total
+
+    def _load_state(self, state: Any) -> None:
+        self._total = state
+
+
+class CoverageEvaluator(IncrementalEvaluator):
+    """Per-element cover counters for the (weighted) coverage family.
+
+    ``gain(v)`` sums the weights of elements of ``covers[v]`` whose
+    cover count is zero -- the same generator, over the same frozenset,
+    in the same order as the legacy ``marginal``, with the O(|S| * d)
+    ``covered_elements`` scan replaced by O(1) counter probes.  Counts
+    are integers, so maintaining them arithmetically is exact.
+    """
+
+    family = "coverage"
+
+    def __init__(self, fn: WeightedCoverageUtility):
+        self._covers = fn._covers
+        self._weights = fn._weights
+        super().__init__(fn)
+
+    def _rebuild(self) -> None:
+        counts: Dict[int, int] = {}
+        for v in self._active:
+            for e in self._covers.get(v, ()):
+                counts[e] = counts.get(e, 0) + 1
+        self._counts = counts
+
+    def _on_add(self, sensor: int, before: SensorSet) -> None:
+        if sensor in before:
+            return
+        cover = self._covers.get(sensor)
+        if cover is None:
+            return
+        counts = self._counts
+        for e in cover:
+            counts[e] = counts.get(e, 0) + 1
+
+    def _on_remove(self, sensor: int, before: SensorSet) -> None:
+        if sensor not in before:
+            return
+        cover = self._covers.get(sensor)
+        if cover is None:
+            return
+        counts = self._counts
+        for e in cover:
+            counts[e] -= 1
+
+    def _gain(self, sensor: int) -> float:
+        if sensor in self._active or sensor not in self._covers:
+            return 0.0
+        counts = self._counts
+        weights = self._weights
+        return sum(
+            weights[e] for e in self._covers[sensor] if not counts.get(e)
+        )
+
+    def _state(self) -> Any:
+        return dict(self._counts)
+
+    def _load_state(self, state: Any) -> None:
+        self._counts = dict(state)
+
+
+class AreaEvaluator(IncrementalEvaluator):
+    """Per-cell covered counts for :class:`AreaCoverageUtility` (Eq. 2)."""
+
+    family = "area"
+
+    def __init__(self, fn: AreaCoverageUtility):
+        self._cells_of = fn._cells_of_sensor
+        self._subregions = fn._subregions
+        super().__init__(fn)
+
+    def _rebuild(self) -> None:
+        counts = [0] * len(self._subregions)
+        for v in self._active:
+            for cid in self._cells_of.get(v, ()):
+                counts[cid] += 1
+        self._counts = counts
+
+    def _on_add(self, sensor: int, before: SensorSet) -> None:
+        if sensor in before:
+            return
+        counts = self._counts
+        for cid in self._cells_of.get(sensor, ()):
+            counts[cid] += 1
+
+    def _on_remove(self, sensor: int, before: SensorSet) -> None:
+        if sensor not in before:
+            return
+        counts = self._counts
+        for cid in self._cells_of.get(sensor, ()):
+            counts[cid] -= 1
+
+    def _gain(self, sensor: int) -> float:
+        if sensor in self._active or sensor not in self._cells_of:
+            return 0.0
+        counts = self._counts
+        subregions = self._subregions
+        return sum(
+            subregions[cid].weighted_area
+            for cid in self._cells_of[sensor]
+            if not counts[cid]
+        )
+
+    def _state(self) -> Any:
+        return list(self._counts)
+
+    def _load_state(self, state: Any) -> None:
+        self._counts = list(state)
+
+
+class TargetSystemEvaluator(IncrementalEvaluator):
+    """Composed per-target evaluators for :class:`TargetSystem` (Eq. 1).
+
+    Every mutation refreshes **all** children on the fresh
+    ``S & V(O_i)`` intersections (see the module docstring for why the
+    targets of the mutated sensor alone would not be bit-safe); a
+    ``gain`` then touches only the targets the candidate covers, each in
+    O(1) when the child is a :class:`DetectionEvaluator`.
+
+    When every child is a detection evaluator whose probability table
+    covers its target's sensors, :meth:`gains` switches to a numpy
+    kernel: per-sensor ``(target-ids, probs)`` arrays are gathered
+    against the maintained per-target miss vector, multiplied
+    element-wise (IEEE-exact), and reduced *sequentially in Python* to
+    preserve the legacy ``gain += term`` accumulation order.
+    """
+
+    family = "target-system"
+
+    def __init__(self, fn: TargetSystem):
+        self._coverage = fn._coverage
+        self._targets_of = fn._targets_of_sensor
+        self._num_targets = len(fn._coverage)
+        self._children: List[IncrementalEvaluator] = [
+            make_evaluator(child, incremental=True)
+            for child in fn._utilities
+        ]
+        self._build_fast_kernel()
+        super().__init__(fn)
+
+    def _build_fast_kernel(self) -> None:
+        self._fast: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        fast = all(
+            isinstance(c, DetectionEvaluator) for c in self._children
+        )
+        if fast:
+            for v, tids in self._targets_of.items():
+                probs = []
+                for tid in tids:
+                    p = self._children[tid]._probs.get(v)
+                    if p is None:
+                        fast = False
+                        break
+                    probs.append(p)
+                if not fast:
+                    break
+                self._fast[v] = (
+                    np.array(tids, dtype=np.intp),
+                    np.array(probs, dtype=np.float64),
+                )
+        self._fast_enabled = fast
+        self._miss_vec = (
+            np.empty(self._num_targets, dtype=np.float64) if fast else None
+        )
+
+    def _rebuild(self) -> None:
+        active = self._active
+        coverage = self._coverage
+        children = self._children
+        for tid in range(self._num_targets):
+            children[tid].reset(active & coverage[tid])
+        if self._fast_enabled:
+            miss_vec = self._miss_vec
+            for tid in range(self._num_targets):
+                miss_vec[tid] = children[tid]._miss  # type: ignore[attr-defined]
+
+    def _gain(self, sensor: int) -> float:
+        if sensor in self._active:
+            return 0.0
+        gain = 0.0
+        children = self._children
+        for tid in self._targets_of.get(sensor, ()):
+            gain += children[tid]._gain(sensor)
+        return gain
+
+    def _loss(self, sensor: int) -> float:
+        if sensor not in self._active:
+            return 0.0
+        return self._current_value() - self._fn.value(self._active - {sensor})
+
+    def _compute_value(self) -> float:
+        children = self._children
+        return sum(
+            children[i]._current_value() for i in range(self._num_targets)
+        )
+
+    def per_target_values(self) -> np.ndarray:
+        """Vector of per-target values -- bit-equal to
+        :meth:`TargetSystem.per_target_values` on the active set."""
+        children = self._children
+        return np.array(
+            [children[i]._current_value() for i in range(self._num_targets)]
+        )
+
+    def gains(self, candidates: Sequence[int]) -> np.ndarray:
+        if not self._fast_enabled:
+            return super().gains(candidates)
+        self._ops["gain"] = self._ops.get("gain", 0) + len(candidates)
+        out = np.empty(len(candidates), dtype=np.float64)
+        active = self._active
+        miss_vec = self._miss_vec
+        fast = self._fast
+        for i, sensor in enumerate(candidates):
+            if sensor in active:
+                out[i] = 0.0
+                continue
+            entry = fast.get(sensor)
+            if entry is None:
+                out[i] = 0.0
+                continue
+            tids, probs = entry
+            terms = probs * miss_vec[tids]
+            gain = 0.0
+            for term in terms.tolist():
+                gain += term
+            out[i] = gain
+        return out
+
+    def _state(self) -> Any:
+        return tuple(child.snapshot() for child in self._children)
+
+    def _load_state(self, state: Any) -> None:
+        children = self._children
+        for child, token in zip(children, state):
+            child.restore(token)
+        if self._fast_enabled:
+            miss_vec = self._miss_vec
+            for tid in range(self._num_targets):
+                miss_vec[tid] = children[tid]._miss  # type: ignore[attr-defined]
+
+    def drain_ops(self) -> Iterator[Tuple[str, Dict[str, int]]]:
+        yield from super().drain_ops()
+        for child in self._children:
+            yield from child.drain_ops()
+
+
+def make_evaluator(
+    fn: UtilityFunction, incremental: Optional[bool] = None
+) -> IncrementalEvaluator:
+    """Build the best evaluator for ``fn``.
+
+    ``incremental=None`` consults :func:`incremental_enabled`; ``False``
+    forces the from-scratch base evaluator (the escape hatch / the
+    differential-test reference); utilities without a specialization
+    (operations combinators, user-supplied functions) also get the base
+    evaluator -- correct for any :class:`UtilityFunction`.
+    """
+    if incremental is None:
+        incremental = incremental_enabled()
+    if not incremental:
+        return IncrementalEvaluator(fn)
+    if isinstance(fn, HomogeneousDetectionUtility):
+        return HomogeneousDetectionEvaluator(fn)
+    if isinstance(fn, DetectionUtility):
+        return DetectionEvaluator(fn)
+    if isinstance(fn, LogSumUtility):
+        return LogSumEvaluator(fn)
+    if isinstance(fn, WeightedCoverageUtility):  # includes CoverageCountUtility
+        return CoverageEvaluator(fn)
+    if isinstance(fn, AreaCoverageUtility):
+        return AreaEvaluator(fn)
+    if isinstance(fn, TargetSystem):
+        return TargetSystemEvaluator(fn)
+    return IncrementalEvaluator(fn)
+
+
+def make_slot_evaluators(
+    functions: Sequence[UtilityFunction],
+    incremental: Optional[bool] = None,
+) -> List[IncrementalEvaluator]:
+    """One evaluator per slot function (the shape the schedulers use)."""
+    return [make_evaluator(fn, incremental=incremental) for fn in functions]
+
+
+def flush_ops(
+    evaluators: Iterable[IncrementalEvaluator],
+    registry: Optional[MetricsRegistry] = None,
+) -> None:
+    """Drain evaluator op counts into ``repro_utility_incremental_ops_total``.
+
+    Aggregates locally first so a whole solve costs one registry
+    increment per (family, op) pair instead of one per operation.
+    """
+    totals: Dict[Tuple[str, str], int] = {}
+    for evaluator in evaluators:
+        for family, ops in evaluator.drain_ops():
+            for op, count in ops.items():
+                key = (family, op)
+                totals[key] = totals.get(key, 0) + count
+    if not totals:
+        return
+    registry = registry if registry is not None else get_registry()
+    for (family, op), count in sorted(totals.items()):
+        registry.counter(
+            "repro_utility_incremental_ops_total",
+            _OPS_HELP,
+            family=family,
+            op=op,
+        ).inc(count)
+
+
+class SlotValueMemo:
+    """Content-keyed memo of per-slot utility evaluations.
+
+    Periodic operation evaluates the *same* active sets over and over
+    (an unrolled schedule repeats its period ``alpha`` times; a
+    simulated network settles into its schedule's cycle).  The memo
+    keys on the active frozenset and returns the stored evaluation for
+    equal sets.
+
+    Bit-exactness caveat: two equal sets can in principle iterate in
+    different orders if they were built by different insertion
+    sequences.  The memo is therefore only installed where every key
+    comes from a single canonical construction site -- the simulation
+    engine builds every active set by filtering the node list in node
+    order, so equal sets there are always identically laid out and the
+    memo is exact.  (The engine disables it under a ``sensing_filter``,
+    whose derived sets do not share one construction order.)
+    """
+
+    def __init__(self, max_entries: int = 4096):
+        self._entries: Dict[SensorSet, Any] = {}
+        self._max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: SensorSet) -> Any:
+        found = self._entries.get(key)
+        if found is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return found
+
+    def store(self, key: SensorSet, value: Any) -> None:
+        if len(self._entries) < self._max_entries:
+            self._entries[key] = value

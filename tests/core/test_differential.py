@@ -6,17 +6,27 @@ submodularity makes the two *identical*, not merely close.  Any
 divergence -- on any size, charge ratio, or utility family -- is a bug
 in one of them, so the matrix below compares schedules bit-for-bit,
 not by utility tolerance.
+
+The same discipline applies to the incremental evaluators of
+:mod:`repro.utility.incremental`: the stateful kernels must be
+**bit-for-bit** interchangeable with the from-scratch path (the
+accumulation contract in that module's docstring), both per-query
+(random add/remove/snapshot-restore walks below) and end-to-end
+(whole solves under ``REPRO_INCREMENTAL=1`` vs ``0``).
 """
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.core.solver import solve
 from repro.io.serialization import schedule_to_dict
 from repro.runtime.fingerprint import canonical_json
+from repro.utility.area import AreaCoverageUtility, Subregion
+from repro.utility.incremental import make_evaluator
 
-from tests.conftest import UTILITY_FAMILIES, random_problem
+from tests.conftest import UTILITY_FAMILIES, random_problem, random_utility
 
 SIZES = (4, 6, 8)
 RHOS = (1.0 / 3.0, 1.0, 2.0, 3.0)
@@ -61,3 +71,124 @@ def test_lazy_equals_naive_on_fully_random_instances(seed):
     lazy = solve(problem, method="greedy")
     naive = solve(problem, method="greedy-naive")
     assert schedule_bytes(lazy) == schedule_bytes(naive)
+
+
+# ---------------------------------------------------------------------------
+# Incremental evaluators vs from-scratch recomputation
+# ---------------------------------------------------------------------------
+
+WALK_SENSORS = 10
+WALK_STEPS = 120
+
+
+def _random_area_utility(num_sensors, rng):
+    """Area coverage over ~3n cells of 1-3 covering sensors each."""
+    subregions = []
+    for _ in range(3 * num_sensors):
+        size = int(rng.integers(1, 4))
+        covered = frozenset(
+            int(v) for v in rng.choice(num_sensors, size=size, replace=False)
+        )
+        subregions.append(
+            Subregion(
+                covered_by=covered,
+                area=float(rng.uniform(0.5, 2.0)),
+                weight=float(rng.uniform(0.5, 1.5)),
+            )
+        )
+    return AreaCoverageUtility(subregions)
+
+
+#: The five ISSUE families plus area coverage (not in the solver-facing
+#: conftest matrix because AreaCoverageUtility has no problem builder).
+EVALUATOR_FAMILIES = UTILITY_FAMILIES + ("area",)
+
+
+def _utility_for(family, num_sensors, rng):
+    if family == "area":
+        return _random_area_utility(num_sensors, rng)
+    return random_utility(family, num_sensors, rng)
+
+
+def _probe(fast, slow, fn, num_sensors):
+    """Every query answered three ways must agree to the last bit."""
+    active = fast.active
+    assert slow.active == active
+    reference = fn.value(active)
+    assert fast.value() == reference
+    assert slow.value() == reference
+    candidates = list(range(num_sensors))
+    fast_gains = fast.gains(candidates)
+    slow_gains = slow.gains(candidates)
+    assert np.array_equal(fast_gains, slow_gains)
+    for i, v in enumerate(candidates):
+        marginal = fn.marginal(v, active)
+        assert fast.gain(v) == marginal
+        assert slow.gain(v) == marginal
+        assert fast_gains[i] == marginal
+        decrement = fn.decrement(v, active)
+        assert fast.loss(v) == decrement
+        assert slow.loss(v) == decrement
+
+
+@pytest.mark.parametrize("family", EVALUATOR_FAMILIES)
+@pytest.mark.parametrize("seed", (0, 1))
+def test_incremental_equals_recompute_on_random_walks(family, seed):
+    """Random add/remove/snapshot/restore walk, probed at every step.
+
+    The stateful evaluator ("fast") and the from-scratch base evaluator
+    ("slow") start from the same utility and must agree bit-for-bit
+    with each other and with the utility's own marginal/decrement/value
+    at every point of the walk.
+    """
+    walk_seed = 5000 + 97 * EVALUATOR_FAMILIES.index(family) + seed
+    rng = np.random.default_rng(walk_seed)
+    fn = _utility_for(family, WALK_SENSORS, rng)
+    fast = make_evaluator(fn, incremental=True)
+    slow = make_evaluator(fn, incremental=False)
+    assert type(fast) is not type(slow), (
+        f"{family}: no specialized evaluator dispatched"
+    )
+    snapshots = []
+    _probe(fast, slow, fn, WALK_SENSORS)
+    for _ in range(WALK_STEPS):
+        op = rng.choice(("add", "add", "remove", "snapshot", "restore"))
+        if op == "add":
+            candidate = int(rng.integers(WALK_SENSORS))
+            fast.add(candidate)
+            slow.add(candidate)
+        elif op == "remove" and fast.active:
+            member = sorted(fast.active)[
+                int(rng.integers(len(fast.active)))
+            ]
+            fast.remove(member)
+            slow.remove(member)
+        elif op == "snapshot":
+            snapshots.append((fast.snapshot(), slow.snapshot()))
+        elif op == "restore" and snapshots:
+            fast_token, slow_token = snapshots[
+                int(rng.integers(len(snapshots)))
+            ]
+            fast.restore(fast_token)
+            slow.restore(slow_token)
+        _probe(fast, slow, fn, WALK_SENSORS)
+
+
+SOLVE_METHODS = ("greedy", "greedy-naive", "greedy+ls")
+
+
+@pytest.mark.parametrize("family", UTILITY_FAMILIES)
+def test_solves_identical_with_incremental_on_and_off(family, monkeypatch):
+    """End-to-end: whole solves are bit-identical under both toggles."""
+    seed = 6000 + UTILITY_FAMILIES.index(family)
+    problem = random_problem(seed=seed, num_sensors=8, family=family)
+    footprints = {}
+    for flag in ("0", "1"):
+        monkeypatch.setenv("REPRO_INCREMENTAL", flag)
+        footprints[flag] = [
+            schedule_bytes(solve(problem, method=method))
+            for method in SOLVE_METHODS
+        ]
+    assert footprints["0"] == footprints["1"], (
+        f"family={family}: incremental toggle changed a solve"
+    )

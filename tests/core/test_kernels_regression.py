@@ -1,0 +1,89 @@
+"""Eval-count regression guard for the greedy kernels.
+
+Pins the number of marginal-utility evaluations the lazy greedy spends
+on a fixed 200-sensor weighted-coverage instance.  The count is fully
+deterministic (no randomness anywhere in the path), so a change that
+weakens the lazy pruning -- or accidentally reverts to per-step rescans
+-- shows up here as a hard failure long before it shows up as a
+wall-clock regression in ``benchmarks/bench_kernels.py``.
+
+Run by the CI ``kernels-smoke`` job alongside the quick benchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.problem import SchedulingProblem
+from repro.core.solver import solve
+from repro.energy.period import ChargingPeriod
+from repro.obs.registry import get_registry
+from repro.utility.coverage_count import WeightedCoverageUtility
+
+SENSORS = 200
+SEED = 42
+
+#: Measured on the pinned instance at the time the incremental kernels
+#: landed.  The lazy greedy may get *better* (fewer evaluations), never
+#: worse.
+LAZY_EVALS_BASELINE = 2006
+
+#: n * slots-per-period * placements: the naive greedy's fixed bill on
+#: this instance, for the pruning-ratio check below.
+NAIVE_EVALS = 80400
+
+
+def pinned_problem() -> SchedulingProblem:
+    rng = np.random.default_rng(SEED)
+    num_elements = 2 * SENSORS
+    covers = {
+        v: {
+            int(e)
+            for e in rng.choice(num_elements, size=8, replace=False)
+        }
+        for v in range(SENSORS)
+    }
+    weights = {
+        e: float(w)
+        for e, w in enumerate(rng.uniform(0.5, 2.0, size=num_elements))
+    }
+    return SchedulingProblem(
+        num_sensors=SENSORS,
+        period=ChargingPeriod.paper_sunny(),
+        utility=WeightedCoverageUtility(covers, weights),
+    )
+
+
+def lazy_evals() -> float:
+    registry = get_registry()
+    registry.reset()
+    solve(pinned_problem(), method="greedy")
+    count = registry.sample_value(
+        "repro_greedy_marginal_evals_total", variant="lazy"
+    )
+    assert count is not None, "lazy greedy did not record its evaluations"
+    return count
+
+
+class TestEvalCountRegression:
+    def test_lazy_eval_count_no_worse_than_baseline(self):
+        count = lazy_evals()
+        assert count <= LAZY_EVALS_BASELINE, (
+            f"lazy greedy spent {count:.0f} evaluations on the pinned "
+            f"instance (baseline {LAZY_EVALS_BASELINE}): pruning regressed"
+        )
+        # Sanity floor: a miscounting bug that under-reports would also
+        # sail under the baseline, so require a plausible magnitude
+        # (at least one evaluation per placed sensor-slot).
+        assert count >= SENSORS
+
+    def test_lazy_prunes_most_of_the_naive_bill(self):
+        assert lazy_evals() * 10 <= NAIVE_EVALS
+
+    @pytest.mark.parametrize("flag", ["0", "1"])
+    def test_eval_count_identical_under_both_toggles(self, monkeypatch, flag):
+        # Counter parity: the incremental path must bill exactly the
+        # evaluations the from-scratch path bills, per variant.
+        monkeypatch.setenv("REPRO_INCREMENTAL", flag)
+        assert lazy_evals() == LAZY_EVALS_BASELINE

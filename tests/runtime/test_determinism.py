@@ -73,12 +73,15 @@ class TestBatchDeterminism:
         assert batch_signature(serial) == batch_signature(parallel)
 
     def test_parallel_batch_actually_used_workers(self):
+        # auto_fallback would (correctly) decline the pool on 1-core
+        # machines; this test pins the parallel path.
         batch = run_batch(
             network_factory,
             policy_factory,
             num_slots=8,
             seeds=range(4),
             jobs=2,
+            auto_fallback=False,
         )
         assert len(batch.telemetry) == 4
         assert any(t.parallel for t in batch.telemetry)

@@ -5,6 +5,7 @@ import time
 
 import pytest
 
+from repro.obs.registry import get_registry
 from repro.runtime.pool import (
     TaskTelemetry,
     run_tasks,
@@ -54,9 +55,13 @@ class TestSerialPath:
 
 class TestParallelPath:
     def test_results_match_serial_and_run_in_workers(self):
+        # auto_fallback=False pins the pool path even on machines where
+        # the amortization guard would (correctly) decline it.
         items = list(range(8))
         serial, _ = run_tasks(square, items, jobs=1)
-        parallel, telemetry = run_tasks(square, items, jobs=2)
+        parallel, telemetry = run_tasks(
+            square, items, jobs=2, auto_fallback=False
+        )
         assert parallel == serial
         assert all(t.parallel for t in telemetry)
         assert all(t.worker != os.getpid() for t in telemetry)
@@ -77,6 +82,56 @@ class TestParallelPath:
         assert results == [4, 9]
         # The fallback ran (at least) the unfinished tasks in-process.
         assert any(not t.parallel for t in telemetry)
+
+
+class TestAutoFallback:
+    def test_single_core_machine_stays_serial(self, monkeypatch):
+        get_registry().reset()
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        results, telemetry = run_tasks(square, [1, 2, 3], jobs=4)
+        assert results == [1, 4, 9]
+        assert all(not t.parallel for t in telemetry)
+        assert (
+            get_registry().sample_value(
+                "repro_pool_fallbacks_total", reason="single-core"
+            )
+            == 1
+        )
+
+    def test_cheap_tasks_stay_serial(self, monkeypatch):
+        get_registry().reset()
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
+        # square costs microseconds: the serial probe shows the batch
+        # cannot amortize worker spawns, so no pool is created.
+        results, telemetry = run_tasks(square, [1, 2, 3, 4], jobs=2)
+        assert results == [1, 4, 9, 16]
+        assert all(not t.parallel for t in telemetry)
+        assert (
+            get_registry().sample_value(
+                "repro_pool_fallbacks_total", reason="cheap-tasks"
+            )
+            == 1
+        )
+
+    def test_expensive_tasks_still_pool(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
+        results, telemetry = run_tasks(sleepy_square, [2, 3], jobs=2)
+        assert results == [4, 9]
+        # Task 0 is the serial probe; the rest went to the pool.
+        assert not telemetry[0].parallel
+        assert telemetry[1].parallel
+
+    def test_opt_out_forces_pool(self, monkeypatch):
+        get_registry().reset()
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        _results, telemetry = run_tasks(
+            square, [1, 2, 3], jobs=2, auto_fallback=False
+        )
+        assert all(t.parallel for t in telemetry)
+        assert (
+            get_registry().sample_value("repro_pool_fallbacks_total")
+            is None
+        )
 
 
 class TestTelemetrySummary:

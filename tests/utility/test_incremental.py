@@ -1,0 +1,236 @@
+"""Unit tests for the incremental marginal-gain evaluators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.obs.registry import MetricsRegistry
+from repro.utility.area import AreaCoverageUtility, Subregion
+from repro.utility.coverage_count import (
+    CoverageCountUtility,
+    WeightedCoverageUtility,
+)
+from repro.utility.detection import (
+    DetectionUtility,
+    HomogeneousDetectionUtility,
+)
+from repro.utility.incremental import (
+    AreaEvaluator,
+    CoverageEvaluator,
+    DetectionEvaluator,
+    HomogeneousDetectionEvaluator,
+    IncrementalEvaluator,
+    LogSumEvaluator,
+    SlotValueMemo,
+    TargetSystemEvaluator,
+    flush_ops,
+    incremental_enabled,
+    make_evaluator,
+    make_slot_evaluators,
+)
+from repro.utility.logsum import LogSumUtility
+from repro.utility.operations import ScaledUtility
+from repro.utility.target_system import PerSlotUtility, TargetSystem
+
+from tests.conftest import random_target_system
+
+
+def detection_fn():
+    return DetectionUtility({v: 0.1 + 0.05 * v for v in range(8)})
+
+
+class TestToggle:
+    def test_default_is_on(self, monkeypatch):
+        monkeypatch.delenv("REPRO_INCREMENTAL", raising=False)
+        assert incremental_enabled()
+
+    @pytest.mark.parametrize("raw", ["0", "false", "off", " OFF ", "False"])
+    def test_off_spellings(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_INCREMENTAL", raw)
+        assert not incremental_enabled()
+
+    def test_other_values_stay_on(self, monkeypatch):
+        monkeypatch.setenv("REPRO_INCREMENTAL", "yes")
+        assert incremental_enabled()
+
+    def test_toggle_selects_base_evaluator(self, monkeypatch):
+        monkeypatch.setenv("REPRO_INCREMENTAL", "0")
+        evaluator = make_evaluator(detection_fn())
+        assert type(evaluator) is IncrementalEvaluator
+        monkeypatch.setenv("REPRO_INCREMENTAL", "1")
+        assert type(make_evaluator(detection_fn())) is DetectionEvaluator
+
+
+class TestDispatch:
+    def test_families(self):
+        rng = np.random.default_rng(3)
+        cases = [
+            (HomogeneousDetectionUtility(range(6), p=0.4),
+             HomogeneousDetectionEvaluator),
+            (detection_fn(), DetectionEvaluator),
+            (LogSumUtility({v: 1.0 + v for v in range(6)}), LogSumEvaluator),
+            (WeightedCoverageUtility({0: {1, 2}, 1: {2, 3}}),
+             CoverageEvaluator),
+            (CoverageCountUtility({0: {1, 2}, 1: {2, 3}}),
+             CoverageEvaluator),
+            (AreaCoverageUtility(
+                [Subregion(frozenset({0, 1}), area=2.0)]), AreaEvaluator),
+            (random_target_system(6, 3, rng), TargetSystemEvaluator),
+        ]
+        for fn, expected in cases:
+            assert type(make_evaluator(fn, incremental=True)) is expected
+
+    def test_unknown_family_gets_base(self):
+        fn = ScaledUtility(detection_fn(), 2.0)
+        assert type(make_evaluator(fn, incremental=True)) is (
+            IncrementalEvaluator
+        )
+
+    def test_forced_base(self):
+        assert type(make_evaluator(detection_fn(), incremental=False)) is (
+            IncrementalEvaluator
+        )
+
+    def test_slot_evaluators(self):
+        fns = [detection_fn(), detection_fn()]
+        evaluators = make_slot_evaluators(fns, incremental=True)
+        assert [type(e) for e in evaluators] == [DetectionEvaluator] * 2
+        assert evaluators[0] is not evaluators[1]
+
+    def test_per_slot_utility_evaluators(self):
+        per_slot = PerSlotUtility.uniform(detection_fn(), 3)
+        evaluators = per_slot.evaluators()
+        assert len(evaluators) == 3
+        assert all(isinstance(e, IncrementalEvaluator) for e in evaluators)
+
+
+class TestEvaluatorSemantics:
+    def test_gain_matches_marginal_as_set_grows(self):
+        fn = detection_fn()
+        evaluator = make_evaluator(fn, incremental=True)
+        active = frozenset()
+        for v in (3, 0, 5, 7):
+            for candidate in range(8):
+                assert evaluator.gain(candidate) == fn.marginal(
+                    candidate, active
+                )
+            evaluator.add(v)
+            active = active | {v}
+        assert evaluator.value() == fn.value(active)
+
+    def test_loss_matches_decrement(self):
+        fn = detection_fn()
+        evaluator = make_evaluator(fn, incremental=True)
+        active = frozenset(range(8))
+        evaluator.reset(active)
+        for v in range(8):
+            assert evaluator.loss(v) == fn.decrement(v, active)
+        evaluator.remove(2)
+        active = active - {2}
+        for v in range(8):
+            assert evaluator.loss(v) == fn.decrement(v, active)
+
+    def test_gain_of_member_and_stranger_is_zero(self):
+        fn = detection_fn()
+        evaluator = make_evaluator(fn, incremental=True)
+        evaluator.add(4)
+        assert evaluator.gain(4) == 0.0
+        assert evaluator.gain(999) == 0.0
+        assert evaluator.loss(999) == 0.0
+
+    def test_gains_batch_equals_scalar(self):
+        rng = np.random.default_rng(17)
+        system = random_target_system(12, 5, rng)
+        evaluator = make_evaluator(system, incremental=True)
+        for v in (1, 6, 9):
+            evaluator.add(v)
+        candidates = list(range(12))
+        batched = evaluator.gains(candidates)
+        assert batched.dtype == np.float64
+        assert batched.shape == (12,)
+        for i, v in enumerate(candidates):
+            assert batched[i] == evaluator.gain(v)
+
+    def test_snapshot_restore_is_bit_exact(self):
+        rng = np.random.default_rng(23)
+        system = random_target_system(10, 4, rng)
+        evaluator = make_evaluator(system, incremental=True)
+        evaluator.add(2)
+        evaluator.add(7)
+        token = evaluator.snapshot()
+        saved_active = evaluator.active
+        saved = [evaluator.gain(v) for v in range(10)]
+        saved_value = evaluator.value()
+        evaluator.add(4)
+        evaluator.remove(2)
+        evaluator.restore(token)
+        assert evaluator.active is saved_active
+        assert [evaluator.gain(v) for v in range(10)] == saved
+        assert evaluator.value() == saved_value
+
+    def test_reset_keeps_the_exact_object(self):
+        fn = detection_fn()
+        evaluator = make_evaluator(fn, incremental=True)
+        active = frozenset({1, 5})
+        evaluator.reset(active)
+        assert evaluator.active is active
+        assert evaluator.value() == fn.value(active)
+
+
+class TestOpsAccounting:
+    def test_flush_aggregates_and_resets(self):
+        registry = MetricsRegistry()
+        evaluator = make_evaluator(detection_fn(), incremental=True)
+        evaluator.add(1)
+        evaluator.gain(2)
+        evaluator.gain(3)
+        flush_ops([evaluator], registry=registry)
+        assert registry.sample_value(
+            "repro_utility_incremental_ops_total", family="detection", op="gain"
+        ) == 2
+        assert registry.sample_value(
+            "repro_utility_incremental_ops_total", family="detection", op="add"
+        ) == 1
+        # Drained: a second flush adds nothing.
+        flush_ops([evaluator], registry=registry)
+        assert registry.sample_value(
+            "repro_utility_incremental_ops_total", family="detection", op="gain"
+        ) == 2
+
+    def test_target_system_children_report_their_families(self):
+        registry = MetricsRegistry()
+        rng = np.random.default_rng(5)
+        evaluator = make_evaluator(random_target_system(8, 3, rng),
+                                   incremental=True)
+        evaluator.add(0)
+        flush_ops([evaluator], registry=registry)
+        assert registry.sample_value(
+            "repro_utility_incremental_ops_total",
+            family="target-system",
+            op="add",
+        ) == 1
+        # The per-mutation child refresh shows up as detection resets.
+        assert registry.sample_value(
+            "repro_utility_incremental_ops_total",
+            family="detection",
+            op="reset",
+        ) >= 3
+
+
+class TestSlotValueMemo:
+    def test_hits_and_misses(self):
+        memo = SlotValueMemo()
+        key = frozenset({1, 2})
+        assert memo.lookup(key) is None
+        memo.store(key, (3.5, None))
+        assert memo.lookup(key) == (3.5, None)
+        assert memo.misses == 1
+        assert memo.hits == 1
+        assert len(memo) == 1
+
+    def test_bounded(self):
+        memo = SlotValueMemo(max_entries=2)
+        for i in range(5):
+            memo.store(frozenset({i}), (float(i), None))
+        assert len(memo) == 2
