@@ -385,6 +385,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_queue=args.max_queue,
         max_batch=args.max_batch,
         request_timeout=args.request_timeout,
+        retry_attempts=args.retry_attempts,
+        breaker_threshold=args.breaker_threshold,
+        breaker_recovery=args.breaker_recovery,
+        degrade=not args.no_degrade,
+        degraded_max_sensors=args.degraded_max_sensors,
     )
     service = SolveService(config)
     service.start()
@@ -409,6 +414,41 @@ def cmd_serve(args: argparse.Namespace) -> int:
         signal.signal(signal.SIGTERM, previous)
         service.stop()
         print("server stopped", flush=True)
+    return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from repro.faults.chaos import run_chaos
+    from repro.faults.plan import FaultPlan
+
+    specs = args.fault or [
+        # A default storm that exercises every resilience layer:
+        # transient solve failures (retry), torn cache writes
+        # (checksums + quarantine), batcher stalls (deadlines).
+        "solve:error:p=0.3",
+        "cache.write:torn-write:p=0.5",
+        "batcher.batch:sleep:delay=0.05,p=0.2",
+    ]
+    plan = FaultPlan.from_cli_specs(specs, seed=args.seed)
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as scratch:
+        report = run_chaos(
+            plan,
+            requests=args.requests,
+            seed=args.seed,
+            jobs=args.jobs,
+            request_timeout=args.request_timeout,
+            cache_dir=args.cache_dir or scratch,
+        )
+    json.dump(report, sys.stdout, indent=2)
+    sys.stdout.write("\n")
+    if not report["passed"]:
+        print(
+            f"error: {len(report['violations'])} contract violations",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -622,7 +662,86 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="per-request wall bound before a 503 (default: 60)",
     )
+    p_serve.add_argument(
+        "--retry-attempts",
+        type=int,
+        default=3,
+        metavar="N",
+        help="solve attempts per batch on transient failure "
+        "(1 disables retries; default: 3)",
+    )
+    p_serve.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=5,
+        metavar="N",
+        help="consecutive infrastructure failures that open the "
+        "circuit breaker (default: 5)",
+    )
+    p_serve.add_argument(
+        "--breaker-recovery",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="seconds the breaker stays open before probing (default: 5)",
+    )
+    p_serve.add_argument(
+        "--no-degrade",
+        action="store_true",
+        help="disable degraded answers (stale cache / greedy fallback) "
+        "when the solve path is unhealthy",
+    )
+    p_serve.add_argument(
+        "--degraded-max-sensors",
+        type=int,
+        default=64,
+        metavar="N",
+        help="largest instance the greedy degraded fallback will solve "
+        "inline (default: 64)",
+    )
     p_serve.set_defaults(func=cmd_serve)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="chaos run: seeded faults against an embedded service "
+        "(see docs/ROBUSTNESS.md)",
+    )
+    p_chaos.add_argument(
+        "--fault",
+        action="append",
+        metavar="SITE:ACTION[:k=v,...]",
+        help="fault spec, repeatable (sites: pool.task, solve, "
+        "cache.read, cache.write, batcher.batch; actions: error, "
+        "crash, sleep, torn-write; keys: p, after, times, delay); "
+        "default: a mixed storm across solve, cache and batcher",
+    )
+    p_chaos.add_argument(
+        "--requests", type=int, default=40, help="requests to drive"
+    )
+    p_chaos.add_argument(
+        "--seed", type=int, default=0, help="mix + fault plan seed"
+    )
+    p_chaos.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes per batch (crash faults need >= 2)",
+    )
+    p_chaos.add_argument(
+        "--request-timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="per-request wall bound (default: 10)",
+    )
+    p_chaos.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="cache directory (default: a fresh temporary directory)",
+    )
+    p_chaos.set_defaults(func=cmd_chaos)
     return parser
 
 

@@ -1,0 +1,51 @@
+"""Chaos injection for the serving stack: deterministic, seeded faults.
+
+PR 1 gave the *simulation* a declarative failure model
+(:class:`~repro.sim.failures.FailurePlan`): node deaths, outages and
+stuck actuators, injected so robustness could be measured instead of
+assumed.  This package is the same idea for the *service*: worker
+crashes, cache I/O errors and torn writes, batcher stalls and slow
+solves, described by a :class:`~repro.faults.plan.FaultPlan` and fired
+by a process-wide :class:`~repro.faults.injector.FaultInjector` at hook
+points inside :mod:`repro.runtime.pool`,
+:mod:`repro.runtime.executor`, :mod:`repro.runtime.cache` and
+:mod:`repro.serve.batcher`.
+
+Everything is seeded and counted: the same plan against the same
+traffic fires the same faults, so a chaos run is a *test*, not a dice
+roll.  When no plan is installed every hook is one ``None`` check --
+production traffic pays nothing.
+
+Entry points:
+
+- :func:`~repro.faults.injector.install` /
+  :func:`~repro.faults.injector.uninstall` -- activate a plan for this
+  process (and, via the environment, for pool workers it spawns);
+- ``repro chaos`` -- the CLI harness
+  (:func:`~repro.faults.chaos.run_chaos`) that drives a fault-injected
+  service and differentially verifies every answer;
+- ``benchmarks/bench_chaos.py`` -- recovery latency and degraded-answer
+  rates under a standard plan.
+"""
+
+from repro.faults.injector import (
+    FaultInjector,
+    InjectedFaultError,
+    active_injector,
+    install,
+    maybe_hit,
+    uninstall,
+)
+from repro.faults.plan import FaultPlan, FaultSpec, parse_fault_spec
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFaultError",
+    "active_injector",
+    "install",
+    "maybe_hit",
+    "parse_fault_spec",
+    "uninstall",
+]

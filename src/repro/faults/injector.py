@@ -1,0 +1,185 @@
+"""The active fault injector: a process-wide, seeded chaos switchboard.
+
+Hook points in the serving stack call :func:`maybe_hit` with their site
+name.  With no injector installed that is one ``None`` check -- the
+production cost of the whole chaos subsystem.  With a plan installed
+(:func:`install`), each hit is counted and matched against the plan's
+specs under a lock, deterministically: spec ``i`` of a plan draws from
+``random.Random(seed * K + i)``, so the same plan over the same
+traffic fires the same faults in the same order.
+
+**Worker processes.**  ``install`` also exports the plan through
+``$REPRO_FAULT_PLAN``, and :func:`active_injector` lazily rebuilds an
+injector from that variable when none is installed in-process.  Forked
+pool workers inherit the parent's injector directly; spawned ones pick
+the plan up from the environment on their first hit.  Hit counters are
+per-process either way -- a "crash the 3rd task" spec means the third
+task *that worker* runs, which is exactly the non-determinism real
+worker crashes have; the *plan* (and therefore the test) stays seeded
+and reproducible at the level that matters: which faults exist and how
+often they fire.
+
+Every fire increments ``repro_faults_injected_total{site,action}`` and
+emits a ``faults.injected`` event in the process where it happened.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.obs import events as obs_events
+from repro.obs.registry import get_registry
+
+#: Environment variable carrying the installed plan to worker processes.
+FAULTS_ENV = "REPRO_FAULT_PLAN"
+
+_INJECTED_HELP = "Chaos faults fired by injection site and action"
+
+
+class InjectedFaultError(OSError):
+    """A chaos-injected I/O failure.
+
+    Subclasses ``OSError`` on purpose: the serving stack already treats
+    I/O errors as transient (cache reads degrade to misses, pool
+    failures degrade to serial, the executor retries), so an injected
+    fault exercises exactly the handling a real one would.
+    """
+
+
+class FaultInjector:
+    """Evaluates a :class:`FaultPlan` against hook-point hits."""
+
+    def __init__(self, plan: FaultPlan):
+        import random
+
+        self.plan = plan
+        self._lock = threading.Lock()
+        self._site_hits: Dict[str, int] = {}
+        self._fires: List[int] = [0] * len(plan.specs)
+        # One independent, seeded stream per spec: adding a spec to a
+        # plan never perturbs the firing pattern of the others.
+        self._rngs = [
+            random.Random(plan.seed * 1_000_003 + index)
+            for index in range(len(plan.specs))
+        ]
+
+    # -- bookkeeping ---------------------------------------------------
+
+    def site_hits(self, site: str) -> int:
+        with self._lock:
+            return self._site_hits.get(site, 0)
+
+    def fired(self) -> Dict[int, int]:
+        """Spec index -> fire count (for reports and tests)."""
+        with self._lock:
+            return {
+                index: count
+                for index, count in enumerate(self._fires)
+                if count
+            }
+
+    # -- the hook ------------------------------------------------------
+
+    def hit(self, site: str, **context: Any) -> Optional[FaultSpec]:
+        """Record one hit at ``site`` and apply the first matching fault.
+
+        ``error`` raises :class:`InjectedFaultError`; ``sleep`` stalls
+        inline; ``crash`` never returns (``os._exit``).  ``torn-write``
+        cannot be applied generically -- the spec is *returned* and the
+        cache's write path enacts it.  Returns the fired spec (or
+        ``None``), so callers can special-case actions they own.
+        """
+        fired: Optional[FaultSpec] = None
+        with self._lock:
+            count = self._site_hits.get(site, 0)
+            self._site_hits[site] = count + 1
+            for index, spec in enumerate(self.plan.specs):
+                if spec.site != site:
+                    continue
+                if count < spec.after:
+                    continue
+                if spec.times is not None and self._fires[index] >= spec.times:
+                    continue
+                if (
+                    spec.probability < 1.0
+                    and self._rngs[index].random() >= spec.probability
+                ):
+                    continue
+                self._fires[index] += 1
+                fired = spec
+                break
+        if fired is None:
+            return None
+        get_registry().counter(
+            "repro_faults_injected_total",
+            _INJECTED_HELP,
+            site=site,
+            action=fired.action,
+        ).inc()
+        obs_events.emit(
+            "faults.injected", site=site, action=fired.action, **context
+        )
+        if fired.action == "sleep":
+            time.sleep(fired.delay)
+            return fired
+        if fired.action == "crash":
+            # A real worker crash: no cleanup, no excuses.  Exit code
+            # picked to be recognizable in process tables.
+            os._exit(66)
+        if fired.action == "error":
+            raise InjectedFaultError(
+                f"injected fault at {site}"
+                + (f" ({context})" if context else "")
+            )
+        return fired  # torn-write: the caller enacts it
+
+
+# ----------------------------------------------------------------------
+# Process-wide switchboard (the obs.events set_sink pattern)
+# ----------------------------------------------------------------------
+
+_injector: Optional[FaultInjector] = None
+
+
+def install(plan: FaultPlan) -> FaultInjector:
+    """Activate ``plan`` for this process and its future pool workers;
+    returns the injector (restore with :func:`uninstall` when done)."""
+    global _injector
+    _injector = FaultInjector(plan)
+    os.environ[FAULTS_ENV] = plan.to_json()
+    return _injector
+
+
+def uninstall() -> None:
+    """Deactivate chaos injection for this process (idempotent)."""
+    global _injector
+    _injector = None
+    os.environ.pop(FAULTS_ENV, None)
+
+
+def active_injector() -> Optional[FaultInjector]:
+    """The installed injector, rebuilding lazily from the environment
+    in processes (spawned workers) that inherited only the variable."""
+    global _injector
+    if _injector is None:
+        serialized = os.environ.get(FAULTS_ENV)
+        if serialized:
+            try:
+                _injector = FaultInjector(FaultPlan.from_json(serialized))
+            except (ValueError, KeyError, TypeError):
+                # A malformed plan must not break real traffic; chaos
+                # is opt-in, never load-bearing.
+                return None
+    return _injector
+
+
+def maybe_hit(site: str, **context: Any) -> Optional[FaultSpec]:
+    """Hook-point entry: apply the active plan at ``site``, if any."""
+    injector = active_injector()
+    if injector is None:
+        return None
+    return injector.hit(site, **context)

@@ -176,6 +176,65 @@ STANDARD_METRICS: Tuple[Tuple[str, str, Tuple[str, ...], str], ...] = (
         (),
         "Requests answered from the cache at admission time",
     ),
+    # -- fault injection (faults/injector.py) --------------------------
+    (
+        "counter",
+        "repro_faults_injected_total",
+        ("site", "action"),
+        "Chaos faults fired by injection site and action",
+    ),
+    # -- retries (runtime/retry.py) ------------------------------------
+    (
+        "counter",
+        "repro_retry_attempts_total",
+        ("site",),
+        "Transient-failure retries attempted, by site",
+    ),
+    (
+        "counter",
+        "repro_retry_exhausted_total",
+        ("site",),
+        "Retry budgets exhausted (the error propagated), by site",
+    ),
+    # -- circuit breaker (serve/breaker.py) ----------------------------
+    (
+        "gauge",
+        "repro_breaker_state",
+        (),
+        "Circuit breaker state (0 closed, 1 open, 2 half-open)",
+    ),
+    (
+        "counter",
+        "repro_breaker_transitions_total",
+        ("from_state", "to_state"),
+        "Circuit breaker state transitions",
+    ),
+    # -- degradation + drain (serve/degrade.py, serve/batcher.py) ------
+    (
+        "counter",
+        "repro_server_degraded_total",
+        ("source",),
+        "Requests answered by a degraded fallback path, by source",
+    ),
+    (
+        "counter",
+        "repro_server_cancelled_total",
+        (),
+        "Requests cancelled after their submit timeout expired",
+    ),
+    (
+        "counter",
+        "repro_server_drain_incomplete_total",
+        ("component",),
+        "Requests resolved with BatcherClosedError at close, by component",
+    ),
+    # -- cache integrity (runtime/cache.py) ----------------------------
+    (
+        "counter",
+        "repro_cache_quarantined_total",
+        (),
+        "Corrupt cache entries moved into quarantine",
+    ),
 )
 
 

@@ -11,11 +11,26 @@ memoizes solves keyed by the content fingerprint of their inputs
   the same write-tmp/flush/fsync/``os.replace`` discipline as
   :mod:`repro.io.checkpoint`, so a crash mid-write can never leave a
   torn entry for a later process to mis-read;
-- corrupt or foreign files are treated as misses (and removed), never
-  as errors -- a cache must degrade to "solve it again", not take the
-  run down;
-- hit/miss/store/eviction counters feed the ``repro cache stats``
-  subcommand and the per-task telemetry.
+- every entry carries a SHA-256 **checksum** of its payload, verified
+  on read: even a file torn by outside interference (a non-atomic
+  writer, a kill -9 during direct mutation, bad storage) is detected
+  before it can be served;
+- corrupt files are **quarantined** (moved into ``quarantine/`` inside
+  the store), never deleted in place: unlinking on read raced
+  concurrent writers re-installing the entry, and destroying the bytes
+  destroyed the evidence.  Stale-format/foreign files are still simply
+  removed.  Either way a bad entry reads as a miss, never an error --
+  a cache must degrade to "solve it again", not take the run down;
+- writers to the same entry are serialized by an advisory file lock
+  (:mod:`repro.runtime.locks`, ``fcntl``/``msvcrt``); a contended
+  write is *skipped* (someone else is persisting this key right now).
+  Reads stay lock-free -- atomic rename + checksum already make them
+  safe -- so multi-process read throughput never queues;
+- chaos hooks (:mod:`repro.faults`) can inject read/write I/O errors
+  and torn writes at this layer, and the handling above is what the
+  kill-9 torture test in ``tests/runtime/test_cache_torture.py`` pins;
+- hit/miss/store/eviction/quarantine counters feed the ``repro cache
+  stats`` subcommand and the per-task telemetry.
 
 Entries store the *serialized* solve result (via
 :mod:`repro.io.serialization`), not pickles: the on-disk format stays
@@ -24,6 +39,7 @@ inspectable, diffable and safe to load from an untrusted directory.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from collections import OrderedDict
@@ -34,13 +50,27 @@ from typing import Any, Dict, Optional, Union
 from repro.core.problem import SchedulingProblem
 from repro.core.schedule import PeriodicSchedule, UnrolledSchedule
 from repro.core.solver import SolveResult
+from repro.faults.injector import maybe_hit
 from repro.io.serialization import schedule_from_dict, schedule_to_dict
+from repro.obs import events as obs_events
 from repro.obs.registry import get_registry
+from repro.runtime.fingerprint import canonical_json
+from repro.runtime.locks import FileLock
 
 PathLike = Union[str, Path]
 
 ENTRY_KIND = "repro-schedule-cache"
-ENTRY_VERSION = 1
+#: Version 2 added the payload checksum; v1 entries (no checksum) read
+#: as stale-format files and are discarded, not quarantined.
+ENTRY_VERSION = 2
+
+#: Subdirectory corrupt entries are moved into (forensics + no races).
+QUARANTINE_DIR = "quarantine"
+
+
+def payload_checksum(payload: Dict[str, Any]) -> str:
+    """SHA-256 over the canonical JSON of a payload (order-insensitive)."""
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
 
 #: Environment variable overriding the default on-disk store location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -87,6 +117,11 @@ _STAT_MIRROR = {
         "Cache hits served from the directory store",
         {},
     ),
+    "quarantined": (
+        "repro_cache_quarantined_total",
+        "Corrupt cache entries moved into quarantine",
+        {},
+    ),
 }
 
 
@@ -105,6 +140,7 @@ class CacheStats:
     stores: int = 0
     evictions: int = 0
     disk_hits: int = 0  # subset of ``hits`` served from the directory store
+    quarantined: int = 0  # corrupt entries moved aside on read
 
     def __setattr__(self, name: str, value: Any) -> None:
         mirror = _STAT_MIRROR.get(name)
@@ -132,6 +168,7 @@ class CacheStats:
             "stores": self.stores,
             "evictions": self.evictions,
             "disk_hits": self.disk_hits,
+            "quarantined": self.quarantined,
             "hit_rate": self.hit_rate,
         }
 
@@ -312,13 +349,21 @@ class ScheduleCache:
     # -- maintenance ---------------------------------------------------
 
     def clear(self) -> int:
-        """Drop every entry (memory and disk); returns entries removed."""
+        """Drop every entry (memory and disk); returns entries removed.
+
+        Lock files and quarantined entries are swept too, but only live
+        entries count toward the return value.
+        """
         removed = len(self._memory)
         self._memory.clear()
         if self.directory is not None and self.directory.exists():
             for path in sorted(self.directory.glob("*/*.json")):
                 path.unlink(missing_ok=True)
                 removed += 1
+            for path in self.directory.glob("*/*.lock"):
+                path.unlink(missing_ok=True)
+            for path in (self.directory / QUARANTINE_DIR).glob("*"):
+                path.unlink(missing_ok=True)
         return removed
 
     def __len__(self) -> int:
@@ -336,6 +381,12 @@ class ScheduleCache:
             return 0
         return sum(p.stat().st_size for p in self.directory.glob("*/*.json"))
 
+    def quarantined_entries(self) -> int:
+        """Corrupt entries currently sitting in the quarantine area."""
+        if self.directory is None:
+            return 0
+        return sum(1 for _ in (self.directory / QUARANTINE_DIR).glob("*"))
+
     # -- internals -----------------------------------------------------
 
     def _insert_memory(self, key: str, payload: Dict[str, Any]) -> None:
@@ -349,20 +400,29 @@ class ScheduleCache:
         assert self.directory is not None
         return self.directory / key[:2] / f"{key}.json"
 
+    def _lock_path(self, key: str) -> Path:
+        assert self.directory is not None
+        return self.directory / key[:2] / f"{key}.lock"
+
     def _read_disk(self, key: str) -> Optional[Dict[str, Any]]:
         if self.directory is None:
             return None
         path = self._entry_path(key)
         try:
-            with path.open() as handle:
-                document = json.load(handle)
+            maybe_hit("cache.read", key=key)
+            raw = path.read_text()
         except FileNotFoundError:
             return None
-        except (json.JSONDecodeError, OSError):
-            # Torn/foreign file: a miss.  Remove it so it cannot keep
-            # masking the slot (the atomic writer never produces these;
-            # they come from outside interference).
-            path.unlink(missing_ok=True)
+        except OSError:
+            # Transient read failure (real or injected): a miss.  The
+            # entry is left in place -- the *file* is not the problem.
+            return None
+        try:
+            document = json.loads(raw)
+        except json.JSONDecodeError:
+            # Torn bytes: some non-atomic writer died mid-write, or the
+            # storage lied.  Quarantine, never serve, never delete.
+            self._quarantine(path)
             return None
         if (
             not isinstance(document, dict)
@@ -370,36 +430,97 @@ class ScheduleCache:
             or document.get("version") != ENTRY_VERSION
             or document.get("key") != key
         ):
+            # Well-formed JSON of the wrong shape: a stale format
+            # version or a foreign file.  Not evidence of corruption;
+            # just discard so it stops masking the slot.
             path.unlink(missing_ok=True)
             return None
         payload = document.get("payload")
-        return payload if isinstance(payload, dict) else None
+        if not isinstance(payload, dict):
+            self._quarantine(path)
+            return None
+        if document.get("checksum") != payload_checksum(payload):
+            self._quarantine(path)
+            return None
+        return payload
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry into the quarantine area (atomic).
+
+        Moving instead of unlinking keeps the bytes for post-mortems
+        and -- more importantly -- makes the corrupt-entry race benign:
+        if a concurrent writer re-installs a good entry between our
+        read and this move, quarantine relocates one fresh entry (a
+        re-solve refills it) instead of silently destroying it.
+        """
+        assert self.directory is not None
+        target_dir = self.directory / QUARANTINE_DIR
+        try:
+            target_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target_dir / f"{path.name}.{os.getpid()}")
+        except FileNotFoundError:
+            return  # a concurrent reader already moved it
+        except OSError:
+            # Cannot quarantine (read-only store?): fall back to unlink
+            # so the bad entry at least stops masking the slot.
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                return
+            return
+        self.stats.quarantined += 1
+        obs_events.emit("cache.quarantined", entry=path.name)
 
     def _write_disk(self, key: str, payload: Dict[str, Any]) -> None:
         path = self._entry_path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        document = {
-            "kind": ENTRY_KIND,
-            "version": ENTRY_VERSION,
-            "key": key,
-            "payload": payload,
-        }
-        # Same crash-safety discipline as io.checkpoint: readers observe
-        # either no entry or a complete one, never a torn write.  The
-        # tmp name includes the pid so concurrent workers writing the
-        # same key cannot clobber each other's half-written files.
-        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
         try:
-            with tmp.open("w") as handle:
-                json.dump(document, handle, indent=2)
-                handle.write("\n")
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(tmp, path)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fired = maybe_hit("cache.write", key=key)
+            document = {
+                "kind": ENTRY_KIND,
+                "version": ENTRY_VERSION,
+                "key": key,
+                "checksum": payload_checksum(payload),
+                "payload": payload,
+            }
+            data = json.dumps(document, indent=2) + "\n"
+            if fired is not None and fired.action == "torn-write":
+                # Chaos: behave like a crashed non-atomic writer --
+                # half the bytes, straight onto the final path.  The
+                # checksum/quarantine read path must absorb this.
+                with path.open("w") as handle:
+                    handle.write(data[: max(1, len(data) // 2)])
+                return
+            # Advisory per-entry lock: writers of the *same* key are
+            # serialized; a contended write is skipped outright --
+            # whoever holds the lock is persisting an equivalent entry,
+            # and the memory tier already has ours.
+            lock = FileLock(self._lock_path(key), blocking=False)
+            if not lock.acquire():
+                return
+            try:
+                # Same crash-safety discipline as io.checkpoint:
+                # readers observe either no entry or a complete one,
+                # never a torn write.  The tmp name includes the pid so
+                # concurrent workers writing the same key cannot
+                # clobber each other's half-written files.
+                tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+                try:
+                    with tmp.open("w") as handle:
+                        handle.write(data)
+                        handle.flush()
+                        os.fsync(handle.fileno())
+                    os.replace(tmp, path)
+                except OSError:
+                    tmp.unlink(missing_ok=True)
+                    raise
+            finally:
+                lock.release()
         except OSError:
-            # A read-only or full store must not fail the solve that
-            # produced the result; the memory tier still has it.
-            tmp.unlink(missing_ok=True)
+            # A read-only or full store (or an injected write fault)
+            # must not fail the solve that produced the result; the
+            # memory tier still has it.
+            return
 
     def _remove_disk(self, key: str) -> None:
         if self.directory is not None:

@@ -42,6 +42,7 @@ from typing import (
 
 from repro.core.problem import SchedulingProblem
 from repro.core.solver import SolveResult, solve
+from repro.faults.injector import maybe_hit
 from repro.obs import events as obs_events
 from repro.obs import tracing
 from repro.runtime.cache import (
@@ -51,6 +52,14 @@ from repro.runtime.cache import (
 )
 from repro.runtime.fingerprint import UncacheableError, solve_fingerprint
 from repro.runtime.pool import TaskTelemetry, run_tasks
+from repro.runtime.retry import (
+    DeadlineExceededError,
+    RetryPolicy,
+    is_retryable,
+    record_exhausted,
+    record_retry,
+    remaining_budget,
+)
 
 #: One unit of work: (problem, method, seed-or-None).
 SolveTask = Tuple[SchedulingProblem, str, Optional[int]]
@@ -97,6 +106,10 @@ def _solve_task(task: SolveTask) -> Dict[str, Any]:
     rehydrate through the same code.
     """
     problem, method, seed = task
+    # Chaos hook: fires wherever the solve actually runs -- a pool
+    # worker or the serial in-process path -- so "slow solve" and
+    # transient solve-side I/O faults exercise both execution modes.
+    maybe_hit("solve", method=method)
     return result_to_payload(solve(problem, method=method, rng=seed))
 
 
@@ -108,6 +121,8 @@ def solve_many(
     on_group: Optional[GroupCallback] = None,
     on_task: Optional[Callable[[TaskTelemetry], None]] = None,
     auto_fallback: bool = True,
+    retry: Optional[RetryPolicy] = None,
+    deadline: Optional[float] = None,
 ) -> Tuple[List[SolveResult], List[TaskTelemetry]]:
     """Solve every task; returns results and telemetry in task order.
 
@@ -121,11 +136,22 @@ def solve_many(
     the pool and fires as each unique solve completes -- both are how
     the serving layer observes coalescing and live progress without
     re-deriving the fingerprinting here.
+
+    ``retry`` re-runs the *unsolved remainder* after a transient
+    infrastructure failure (:func:`repro.runtime.retry.is_retryable`:
+    broken pools, task timeouts, injected I/O faults) with exponential
+    backoff + seeded jitter; deterministic solver errors are never
+    retried.  ``deadline`` (absolute ``time.monotonic()``) bounds the
+    whole call including backoff sleeps -- a retry that cannot finish
+    inside the budget is not attempted, and
+    :class:`~repro.runtime.retry.DeadlineExceededError` propagates
+    immediately.
     """
     tasks = list(tasks)
     with tracing.span("solve_many", tasks=len(tasks), jobs=jobs or 1):
         return _solve_many(
-            tasks, jobs, cache, timeout, on_group, on_task, auto_fallback
+            tasks, jobs, cache, timeout, on_group, on_task, auto_fallback,
+            retry, deadline,
         )
 
 
@@ -137,6 +163,8 @@ def _solve_many(
     on_group: Optional[GroupCallback] = None,
     on_task: Optional[Callable[[TaskTelemetry], None]] = None,
     auto_fallback: bool = True,
+    retry: Optional[RetryPolicy] = None,
+    deadline: Optional[float] = None,
 ) -> Tuple[List[SolveResult], List[TaskTelemetry]]:
     results: List[Optional[SolveResult]] = [None] * len(tasks)
     telemetry: List[Optional[TaskTelemetry]] = [None] * len(tasks)
@@ -173,14 +201,16 @@ def _solve_many(
                 continue
         to_solve.append(index)
 
-    # Pass 2 (pool): only the unique, uncached work.
-    payloads, pool_telemetry = run_tasks(
-        _solve_task,
+    # Pass 2 (pool): only the unique, uncached work, under the retry
+    # policy -- each attempt re-runs whatever is still unsolved.
+    payloads, pool_telemetry = _run_with_retry(
         [tasks[i] for i in to_solve],
         jobs=jobs,
         timeout=timeout,
         on_task=on_task,
         auto_fallback=auto_fallback,
+        retry=retry,
+        deadline=deadline,
     )
     for position, index in enumerate(to_solve):
         problem = tasks[index][0]
@@ -241,6 +271,67 @@ def _solve_many(
             seconds=record.wall_seconds,
         )
     return results, telemetry  # type: ignore[return-value]
+
+
+def _run_with_retry(
+    tasks: List[SolveTask],
+    jobs: Optional[int],
+    timeout: Optional[float],
+    on_task: Optional[Callable[[TaskTelemetry], None]],
+    auto_fallback: bool,
+    retry: Optional[RetryPolicy],
+    deadline: Optional[float],
+) -> Tuple[List[Dict[str, Any]], List[TaskTelemetry]]:
+    """``run_tasks`` under the retry policy and deadline.
+
+    Only tier-2 failures (transient infrastructure:
+    :func:`~repro.runtime.retry.is_retryable`) are retried, with the
+    policy's backoff between attempts.  Three invariants:
+
+    - a deterministic task error propagates on the first attempt;
+    - :class:`DeadlineExceededError` is never retried, and a backoff
+      sleep that would cross the deadline is not taken -- the transient
+      error surfaces instead, annotated as deadline-bounded;
+    - the jitter stream is seeded per call, so identical chaos runs
+      back off identically.
+    """
+    attempts = retry.max_attempts if retry is not None else 1
+    rng = retry.rng() if retry is not None else None
+    attempt = 0
+    while True:
+        try:
+            return run_tasks(
+                _solve_task,
+                tasks,
+                jobs=jobs,
+                timeout=timeout,
+                on_task=on_task,
+                auto_fallback=auto_fallback,
+                deadline=deadline,
+            )
+        except DeadlineExceededError:
+            raise
+        except Exception as error:
+            if retry is None or not is_retryable(error):
+                raise
+            attempt += 1
+            if attempt >= attempts:
+                record_exhausted("executor", error)
+                raise
+            delay = retry.backoff(attempt - 1, rng)
+            if deadline is not None:
+                # remaining_budget raises if the budget is already gone;
+                # otherwise refuse a sleep that would cross it.
+                remaining = remaining_budget(deadline)
+                if remaining is not None and delay >= remaining:
+                    record_exhausted("executor", error)
+                    raise DeadlineExceededError(
+                        f"no budget for retry {attempt} "
+                        f"(backoff {delay:.3f}s, remaining {remaining:.3f}s)"
+                    ) from error
+            record_retry("executor", attempt, error)
+            if delay > 0:
+                time.sleep(delay)
 
 
 def _pid() -> int:

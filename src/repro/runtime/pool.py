@@ -30,8 +30,10 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.faults.injector import maybe_hit
 from repro.obs import events as obs_events
 from repro.obs.registry import Histogram, get_registry
+from repro.runtime.retry import DeadlineExceededError, remaining_budget
 
 _TASKS_HELP = "Pool tasks completed by execution mode (parallel/serial)"
 _TASK_SECONDS_HELP = "Per-task wall time in the worker pool"
@@ -96,6 +98,10 @@ class TaskTimeoutError(TimeoutError):
 
 def _run_timed(fn: Callable[[Any], Any], item: Any) -> Tuple[Any, float, int]:
     """Worker-side wrapper: result + wall time + pid travel together."""
+    # Chaos hook: this wrapper only ever runs inside a pool worker, so
+    # it is the one place a "crash"/"hang the worker" fault can fire
+    # without taking the parent down (docs/ROBUSTNESS.md).
+    maybe_hit("pool.task")
     start = time.perf_counter()
     result = fn(item)
     return result, time.perf_counter() - start, os.getpid()
@@ -108,8 +114,10 @@ def _run_serial(
     results: List[Any],
     telemetry: List[Optional[TaskTelemetry]],
     on_task: Optional[Callable[[TaskTelemetry], None]] = None,
+    deadline: Optional[float] = None,
 ) -> None:
     for index in indices:
+        remaining_budget(deadline)  # raises DeadlineExceededError when spent
         start = time.perf_counter()
         results[index] = fn(items[index])
         telemetry[index] = TaskTelemetry(
@@ -130,6 +138,7 @@ def run_tasks(
     timeout: Optional[float] = None,
     on_task: Optional[Callable[[TaskTelemetry], None]] = None,
     auto_fallback: bool = True,
+    deadline: Optional[float] = None,
 ) -> Tuple[List[Any], List[TaskTelemetry]]:
     """Apply ``fn`` to every item, farming across ``jobs`` processes.
 
@@ -138,6 +147,15 @@ def run_tasks(
     ``timeout`` bounds each task's wall time in the pool (a timeout
     tears the pool down and finishes the remainder serially, so the
     call still returns complete results).
+
+    ``deadline`` is an absolute ``time.monotonic()`` bound on the whole
+    call: once it passes, the run raises
+    :class:`~repro.runtime.retry.DeadlineExceededError` -- from the
+    serial loop between tasks, or from the pool path with work still in
+    flight (the pool is abandoned, not joined: a wedged worker must not
+    hold the caller's answer hostage).  Unlike a per-task ``timeout``,
+    blowing the deadline never falls back to serial -- nobody is
+    waiting for those results anymore.
 
     ``on_task`` (parent-side, may run on the pool's bookkeeping thread)
     fires as each task completes, in completion -- not submission --
@@ -159,7 +177,9 @@ def run_tasks(
     telemetry: List[Optional[TaskTelemetry]] = [None] * len(items)
     workers = int(jobs or 1)
     if workers <= 1 or len(items) <= 1:
-        _run_serial(fn, items, range(len(items)), results, telemetry, on_task)
+        _run_serial(
+            fn, items, range(len(items)), results, telemetry, on_task, deadline
+        )
         return results, telemetry  # type: ignore[return-value]
 
     start_index = 0
@@ -167,61 +187,95 @@ def run_tasks(
         if (os.cpu_count() or 1) <= 1:
             # Worker processes would time-share one core: pure overhead.
             _fall_back("single-core", len(items), workers)
-            _run_serial(fn, items, range(len(items)), results, telemetry, on_task)
+            _run_serial(
+                fn, items, range(len(items)), results, telemetry, on_task, deadline
+            )
             return results, telemetry  # type: ignore[return-value]
         # Probe the first task serially; if the remaining work costs
         # less than amortizing the worker spawns, stay serial.
-        _run_serial(fn, items, [0], results, telemetry, on_task)
+        _run_serial(fn, items, [0], results, telemetry, on_task, deadline)
         start_index = 1
         probe_wall = telemetry[0].wall_seconds  # type: ignore[union-attr]
         rest = len(items) - 1
         if probe_wall * rest < SPAWN_COST_SECONDS * min(workers, rest):
             _fall_back("cheap-tasks", len(items), workers)
             _run_serial(
-                fn, items, range(1, len(items)), results, telemetry, on_task
+                fn, items, range(1, len(items)), results, telemetry,
+                on_task, deadline,
             )
             return results, telemetry  # type: ignore[return-value]
 
     pending_indices = list(range(start_index, len(items)))
     max_in_flight = 2 * workers
+    pool: Optional[ProcessPoolExecutor] = None
     try:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            in_flight: Dict[Any, int] = {}
-            next_up = start_index
-            while next_up < len(items) or in_flight:
-                while next_up < len(items) and len(in_flight) < max_in_flight:
-                    future = pool.submit(_run_timed, fn, items[next_up])
-                    in_flight[future] = next_up
-                    next_up += 1
-                done, _ = wait(
-                    in_flight, timeout=timeout, return_when=FIRST_COMPLETED
+        pool = ProcessPoolExecutor(max_workers=workers)
+        in_flight: Dict[Any, int] = {}
+        next_up = start_index
+        while next_up < len(items) or in_flight:
+            while next_up < len(items) and len(in_flight) < max_in_flight:
+                future = pool.submit(_run_timed, fn, items[next_up])
+                in_flight[future] = next_up
+                next_up += 1
+            wait_timeout = timeout
+            remaining = remaining_budget(deadline)  # raises once spent
+            if remaining is not None:
+                wait_timeout = (
+                    remaining
+                    if wait_timeout is None
+                    else min(wait_timeout, remaining)
                 )
-                if not done:
-                    raise TaskTimeoutError(
-                        f"task exceeded {timeout}s in the worker pool"
+            done, _ = wait(
+                in_flight, timeout=wait_timeout, return_when=FIRST_COMPLETED
+            )
+            if not done:
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise DeadlineExceededError(
+                        f"deadline exceeded with {len(in_flight)} "
+                        "tasks in flight"
                     )
-                for future in done:
-                    index = in_flight.pop(future)
-                    value, wall, pid = future.result()
-                    results[index] = value
-                    telemetry[index] = TaskTelemetry(
-                        index=index,
-                        wall_seconds=wall,
-                        worker=pid,
-                        parallel=True,
-                    )
-                    _observe_task(telemetry[index])
-                    if on_task is not None:
-                        on_task(telemetry[index])
-                    pending_indices.remove(index)
+                raise TaskTimeoutError(
+                    f"task exceeded {timeout}s in the worker pool"
+                )
+            for future in done:
+                index = in_flight.pop(future)
+                value, wall, pid = future.result()
+                results[index] = value
+                telemetry[index] = TaskTelemetry(
+                    index=index,
+                    wall_seconds=wall,
+                    worker=pid,
+                    parallel=True,
+                )
+                _observe_task(telemetry[index])
+                if on_task is not None:
+                    on_task(telemetry[index])
+                pending_indices.remove(index)
+        pool.shutdown(wait=True)
     except Exception as error:
-        if _is_task_error(error):
+        # Whatever went wrong, never *join* the failed pool: a wedged
+        # worker would block this thread indefinitely.  Abandon it
+        # (cancel queued work, reap workers asynchronously) and move on.
+        if pool is not None:
+            _abandon_pool(pool)
+        if isinstance(error, DeadlineExceededError) or _is_task_error(error):
             raise
         # Pool infrastructure failed (pickling, broken workers, task
         # timeout, sandbox without sem_open, ...): finish the remaining
         # tasks serially so the caller still gets complete results.
-        _run_serial(fn, items, list(pending_indices), results, telemetry, on_task)
+        _run_serial(
+            fn, items, list(pending_indices), results, telemetry,
+            on_task, deadline,
+        )
     return results, telemetry  # type: ignore[return-value]
+
+
+def _abandon_pool(pool: ProcessPoolExecutor) -> None:
+    """Shut a failed pool down without waiting on its workers."""
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # pragma: no cover - best-effort teardown
+        pass
 
 
 def _is_task_error(error: BaseException) -> bool:

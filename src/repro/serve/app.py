@@ -26,7 +26,9 @@ from typing import Optional, Tuple
 
 from repro.obs.catalog import describe_standard_metrics
 from repro.runtime.cache import ScheduleCache, default_cache_dir
+from repro.runtime.retry import RetryPolicy
 from repro.serve.batcher import SolveBatcher
+from repro.serve.breaker import CircuitBreaker
 from repro.serve.handlers import ServiceRequestHandler
 from repro.serve.schemas import DEFAULT_MAX_SENSORS, DEFAULT_MAX_SLOTS
 
@@ -47,6 +49,12 @@ class ServiceConfig:
     max_body_bytes: int = 1_000_000
     max_sensors: int = DEFAULT_MAX_SENSORS
     max_slots: int = DEFAULT_MAX_SLOTS
+    # -- resilience ----------------------------------------------------
+    retry_attempts: int = 3  # per-batch solve attempts (1 = no retry)
+    breaker_threshold: int = 5  # consecutive failures that trip it
+    breaker_recovery: float = 5.0  # seconds open before probing
+    degrade: bool = True  # serve degraded answers when the breaker opens
+    degraded_max_sensors: int = 64  # greedy-fallback instance bound
 
 
 class ServiceHTTPServer(ThreadingHTTPServer):
@@ -68,12 +76,22 @@ class SolveService:
         if self.config.use_cache:
             directory = self.config.cache_dir or default_cache_dir()
             self.cache = ScheduleCache(directory=directory)
+        retry = (
+            RetryPolicy(max_attempts=self.config.retry_attempts)
+            if self.config.retry_attempts > 1
+            else None
+        )
         self.batcher = SolveBatcher(
             cache=self.cache,
             jobs=self.config.jobs,
             max_queue=self.config.max_queue,
             batch_window=self.config.batch_window,
             max_batch=self.config.max_batch,
+            retry=retry,
+        )
+        self.breaker = CircuitBreaker(
+            threshold=self.config.breaker_threshold,
+            recovery_time=self.config.breaker_recovery,
         )
         self.draining = False
         self._httpd: Optional[ServiceHTTPServer] = None

@@ -24,6 +24,23 @@ Every solve a handler thread needs goes through one
 
 The batcher never reorders errors into results: a failed batch fails
 exactly the requests in it, with the original exception.
+
+Failure discipline (the robustness contract):
+
+- a request that *times out* in :meth:`SolveBatcher.submit` is
+  **cancelled**: pulled from the queue if still there, skipped by
+  ``_execute`` if already collected -- its solve is never performed on
+  behalf of a client that stopped listening;
+- each request's remaining deadline rides down into
+  :func:`~repro.runtime.executor.solve_many` (a batch is bounded by
+  its *tightest* member), so pool waits and retry backoffs can never
+  outlive the client;
+- :meth:`close` resolves any request still unanswered after the drain
+  window with :class:`BatcherClosedError` -- a leaked ``_Pending``
+  would otherwise block its handler thread forever -- and reports the
+  leak (``repro_server_drain_incomplete_total`` +
+  ``serve.drain_incomplete``) instead of pretending the drain was
+  clean.
 """
 
 from __future__ import annotations
@@ -35,15 +52,20 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.problem import SchedulingProblem
 from repro.core.solver import SolveResult
+from repro.faults.injector import maybe_hit
+from repro.obs import events as obs_events
 from repro.obs.registry import get_registry
 from repro.runtime.cache import ScheduleCache
 from repro.runtime.executor import SolveTask, solve_many
 from repro.runtime.fingerprint import UncacheableError, solve_fingerprint
+from repro.runtime.retry import RetryPolicy
 
 _QUEUE_HELP = "Solve requests queued or being batched right now"
 _BATCH_HELP = "Requests per executed batch"
 _COALESCED_HELP = "Requests answered by another in-flight request's solve"
 _FASTPATH_HELP = "Requests answered from the cache at admission time"
+_CANCELLED_HELP = "Requests cancelled after their submit timeout expired"
+_DRAIN_HELP = "Requests resolved with BatcherClosedError at close, by component"
 
 
 class OverloadedError(RuntimeError):
@@ -64,6 +86,10 @@ class _Pending:
     cache_status: str = "miss"
     coalesced: bool = False
     error: Optional[BaseException] = None
+    #: Absolute ``time.monotonic()`` budget end (None = unbounded).
+    deadline: Optional[float] = None
+    #: The submitter timed out and left; do not solve on its behalf.
+    cancelled: bool = False
 
 
 class SolveBatcher:
@@ -84,6 +110,9 @@ class SolveBatcher:
         more to arrive.  Zero batches whatever is already queued.
     max_batch:
         Hard cap on requests per batch.
+    retry:
+        :class:`~repro.runtime.retry.RetryPolicy` applied per batch
+        inside ``solve_many`` (``None`` disables retries).
     """
 
     def __init__(
@@ -93,6 +122,7 @@ class SolveBatcher:
         max_queue: int = 256,
         batch_window: float = 0.02,
         max_batch: int = 64,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         if max_queue < 1:
             raise ValueError(f"max_queue must be >= 1, got {max_queue}")
@@ -107,10 +137,12 @@ class SolveBatcher:
         self.max_queue = max_queue
         self.batch_window = batch_window
         self.max_batch = max_batch
+        self.retry = retry
 
         self._lock = threading.Lock()
         self._arrived = threading.Condition(self._lock)
         self._queue: List[_Pending] = []
+        self._current_batch: List[_Pending] = []  # being solved right now
         self._in_flight = 0  # queued + currently being solved
         self._closed = False
         self._last_progress = time.monotonic()
@@ -127,6 +159,9 @@ class SolveBatcher:
         )
         self._m_fastpath = registry.counter(
             "repro_server_cache_fastpath_total", _FASTPATH_HELP
+        )
+        self._m_cancelled = registry.counter(
+            "repro_server_cancelled_total", _CANCELLED_HELP
         )
 
         self._worker = threading.Thread(
@@ -155,7 +190,12 @@ class SolveBatcher:
         fast = self._admission_fast_path(problem, method, seed)
         if fast is not None:
             return fast
-        pending = _Pending(task=(problem, method, seed))
+        pending = _Pending(
+            task=(problem, method, seed),
+            deadline=(
+                time.monotonic() + timeout if timeout is not None else None
+            ),
+        )
         with self._lock:
             if self._closed:
                 raise BatcherClosedError("batcher is closed")
@@ -169,6 +209,22 @@ class SolveBatcher:
             self._arrived.notify()
         try:
             if not pending.done.wait(timeout):
+                # Cancel, don't leak: a timed-out request must not be
+                # solved on behalf of a client that stopped listening.
+                # Pull it from the queue if uncollected; flag it so
+                # ``_execute`` skips it if a batch already holds it.
+                with self._lock:
+                    pending.cancelled = True
+                    try:
+                        self._queue.remove(pending)
+                    except ValueError:
+                        pass  # already collected into a batch
+                self._m_cancelled.inc()
+                obs_events.emit(
+                    "serve.request_cancelled",
+                    timeout=timeout,
+                    queue_depth=self.queue_depth(),
+                )
                 raise TimeoutError(
                     f"no answer within {timeout}s (queue depth "
                     f"{self.queue_depth()})"
@@ -209,14 +265,48 @@ class SolveBatcher:
         with self._lock:
             return time.monotonic() - self._last_progress
 
-    def close(self, timeout: float = 5.0) -> None:
-        """Stop accepting work, drain what is queued, join the worker."""
+    def close(self, timeout: float = 5.0) -> int:
+        """Stop accepting work, drain what is queued, join the worker.
+
+        Returns the number of requests that could *not* be drained
+        within ``timeout`` seconds.  Those are not abandoned silently:
+        each is resolved with :class:`BatcherClosedError` (so its
+        handler thread wakes up and answers 503 instead of hanging on
+        a leaked event), counted in
+        ``repro_server_drain_incomplete_total`` and reported via a
+        ``serve.drain_incomplete`` event.
+        """
         with self._lock:
-            if self._closed:
-                return
+            if self._closed and not self._worker.is_alive():
+                return 0
             self._closed = True
             self._arrived.notify_all()
         self._worker.join(timeout)
+        leaked = 0
+        with self._lock:
+            stranded = self._queue + self._current_batch
+            self._queue = []
+        for pending in stranded:
+            if pending.done.is_set():
+                continue
+            pending.error = BatcherClosedError(
+                "batcher closed before this request was answered"
+            )
+            pending.done.set()
+            leaked += 1
+        if leaked or self._worker.is_alive():
+            get_registry().counter(
+                "repro_server_drain_incomplete_total",
+                _DRAIN_HELP,
+                component="batcher",
+            ).inc(max(leaked, 1))
+            obs_events.emit(
+                "serve.drain_incomplete",
+                component="batcher",
+                leaked=leaked,
+                worker_alive=self._worker.is_alive(),
+            )
+        return leaked
 
     # -- worker side ---------------------------------------------------
 
@@ -249,7 +339,26 @@ class SolveBatcher:
         return batch
 
     def _execute(self, batch: List[_Pending]) -> None:
+        # Skip members whose submitter already timed out and left --
+        # solving them would burn pool time nobody is waiting on.
+        with self._lock:
+            batch = [p for p in batch if not p.cancelled]
+            self._current_batch = batch
+        if not batch:
+            return
+        try:
+            self._execute_live(batch)
+        finally:
+            with self._lock:
+                self._current_batch = []
+
+    def _execute_live(self, batch: List[_Pending]) -> None:
         self._m_batch_size.observe(len(batch))
+        # The batch is bounded by its *tightest* member's deadline:
+        # retries and pool waits below must never outlive the first
+        # client that would stop listening.
+        member_deadlines = [p.deadline for p in batch if p.deadline is not None]
+        deadline = min(member_deadlines) if member_deadlines else None
         coalesced_indices: set = set()
 
         def on_group(key, indices, disposition):
@@ -263,12 +372,19 @@ class SolveBatcher:
                 self._last_progress = time.monotonic()
 
         try:
+            # Chaos hook: "batcher.batch" faults (stalls via sleep,
+            # injected errors) land inside the try so an injected
+            # error fails this batch's requests, never the worker
+            # thread itself.
+            maybe_hit("batcher.batch", size=len(batch))
             results, telemetry = solve_many(
                 [p.task for p in batch],
                 jobs=self.jobs,
                 cache=self.cache,
                 on_group=on_group,
                 on_task=on_task,
+                retry=self.retry,
+                deadline=deadline,
             )
         except BaseException as error:
             for pending in batch:

@@ -1,0 +1,189 @@
+"""Circuit breaker: stop hammering a failing backend, probe, recover.
+
+The serving stack's solve path can fail for infrastructure reasons --
+a broken worker pool, a wedged batch, injected chaos faults.  Retrying
+each request individually (``runtime.retry``) handles *transient*
+blips; the breaker handles *sustained* failure, where every retry is a
+fresh way to waste the client's deadline.  The state machine is the
+classic three-state one:
+
+- **closed** (healthy): requests flow; consecutive infrastructure
+  failures are counted, successes reset the count.  ``threshold``
+  consecutive failures trip the breaker.
+- **open** (tripped): requests are refused up front
+  (:meth:`CircuitBreaker.allow` is ``False``) and the serving layer
+  answers from its degraded path instead
+  (:mod:`repro.serve.degrade`).  After ``recovery_time`` seconds the
+  breaker moves to half-open.
+- **half-open** (probing): a bounded number of probe requests are let
+  through.  One success closes the breaker; one failure re-opens it
+  and restarts the recovery clock.
+
+Only *infrastructure* failures count (the handler records them for
+timeouts, deadline exhaustion and :func:`repro.runtime.retry.is_retryable`
+errors) -- a client posting an unsolvable instance must never trip the
+breaker for everyone else.
+
+State is exported as ``repro_breaker_state`` (0 closed / 1 open /
+2 half-open) and every transition increments
+``repro_breaker_transitions_total{from_state,to_state}``.  The clock is
+injectable so tests can step time instead of sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from repro.obs import events as obs_events
+from repro.obs.registry import get_registry
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+#: Gauge encoding of the state (stable for dashboards).
+STATE_CODES = {CLOSED: 0, OPEN: 1, HALF_OPEN: 2}
+
+_STATE_HELP = "Circuit breaker state (0 closed, 1 open, 2 half-open)"
+_TRANSITIONS_HELP = "Circuit breaker state transitions"
+
+
+class BreakerOpenError(RuntimeError):
+    """The breaker is open; the solve path is presumed unhealthy."""
+
+
+class CircuitBreaker:
+    """Thread-safe three-state circuit breaker.
+
+    Parameters
+    ----------
+    threshold:
+        Consecutive infrastructure failures (while closed) that trip
+        the breaker.
+    recovery_time:
+        Seconds the breaker stays open before probing.
+    half_open_max:
+        Concurrent probe requests admitted while half-open.
+    clock:
+        Monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        threshold: int = 5,
+        recovery_time: float = 5.0,
+        half_open_max: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        if recovery_time < 0:
+            raise ValueError(
+                f"recovery_time must be >= 0, got {recovery_time}"
+            )
+        if half_open_max < 1:
+            raise ValueError(
+                f"half_open_max must be >= 1, got {half_open_max}"
+            )
+        self.threshold = threshold
+        self.recovery_time = recovery_time
+        self.half_open_max = half_open_max
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0  # consecutive, while closed
+        self._opened_at = 0.0
+        self._probes = 0  # in-flight, while half-open
+        registry = get_registry()
+        self._m_state = registry.gauge("repro_breaker_state", _STATE_HELP)
+        self._m_state.set(STATE_CODES[CLOSED])
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_probe_locked()
+            return self._state
+
+    # -- the request path ----------------------------------------------
+
+    def allow(self) -> bool:
+        """May a request try the real solve path right now?
+
+        Open -> ``False`` (serve degraded).  Half-open -> ``True`` for
+        up to ``half_open_max`` concurrent probes, ``False`` beyond.
+        Closed -> ``True``.  A ``True`` answer *admits* the caller: it
+        must follow up with :meth:`record_success` or
+        :meth:`record_failure`.
+        """
+        with self._lock:
+            self._maybe_probe_locked()
+            if self._state == CLOSED:
+                return True
+            if self._state == HALF_OPEN and self._probes < self.half_open_max:
+                self._probes += 1
+                return True
+            return False
+
+    def record_success(self) -> None:
+        """The admitted request succeeded."""
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._transition_locked(CLOSED)
+            self._failures = 0
+            self._probes = 0
+
+    def record_neutral(self) -> None:
+        """The admitted request ended without a health signal.
+
+        Load shedding (429) and drain refusals say nothing about the
+        solve path; this just releases a half-open probe slot so
+        neutral outcomes cannot starve probing.
+        """
+        with self._lock:
+            if self._probes > 0:
+                self._probes -= 1
+
+    def record_failure(self) -> None:
+        """The admitted request failed for infrastructure reasons."""
+        with self._lock:
+            if self._state == HALF_OPEN:
+                # The probe failed: back to open, restart the clock.
+                self._transition_locked(OPEN)
+                return
+            if self._state != CLOSED:
+                return
+            self._failures += 1
+            if self._failures >= self.threshold:
+                self._transition_locked(OPEN)
+
+    # -- internals -----------------------------------------------------
+
+    def _maybe_probe_locked(self) -> None:
+        if (
+            self._state == OPEN
+            and self._clock() - self._opened_at >= self.recovery_time
+        ):
+            self._transition_locked(HALF_OPEN)
+
+    def _transition_locked(self, new_state: str) -> None:
+        old_state, self._state = self._state, new_state
+        if new_state == OPEN:
+            self._opened_at = self._clock()
+        if new_state in (OPEN, CLOSED):
+            self._probes = 0
+        if new_state == CLOSED:
+            self._failures = 0
+        self._m_state.set(STATE_CODES[new_state])
+        get_registry().counter(
+            "repro_breaker_transitions_total",
+            _TRANSITIONS_HELP,
+            from_state=old_state,
+            to_state=new_state,
+        ).inc()
+        obs_events.emit(
+            "serve.breaker", from_state=old_state, to_state=new_state
+        )

@@ -1,0 +1,105 @@
+"""Graceful degradation: a best-effort answer when the solve path is down.
+
+When the circuit breaker is open (or a request's real solve failed and
+retrying is pointless), the service still owes the client *something*
+better than a bare 503.  Two fallbacks, in preference order:
+
+1. **Stale cache** -- if the exact instance was ever solved, its cache
+   entry is a *correct* answer (solves are deterministic; entries are
+   checksummed), merely possibly old.  Served with
+   ``degraded_source="stale-cache"``.
+2. **Serial greedy** -- for instances up to
+   ``ServiceConfig.degraded_max_sensors`` sensors, run the greedy
+   solver inline in the handler thread.  Greedy is the one method with
+   a hard polynomial bound, so this cannot wedge a thread the way an
+   exact solve could.  The answer may come from a *different* method
+   than requested -- that is the degradation, and the response says so
+   (``"degraded": true``, ``degraded_source="greedy-fallback"``).
+
+If neither applies the caller falls through to a structured 503; the
+client learns the service is unhealthy rather than waiting out a
+doomed retry loop.
+
+Every degraded answer increments
+``repro_server_degraded_total{source}`` and emits a
+``serve.degraded`` event -- silent degradation would poison any
+benchmark run against the service.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.problem import SchedulingProblem
+from repro.core.solver import SolveResult, solve
+from repro.obs import events as obs_events
+from repro.obs.registry import get_registry
+from repro.runtime.cache import ScheduleCache
+from repro.runtime.fingerprint import UncacheableError, solve_fingerprint
+
+STALE_CACHE = "stale-cache"
+GREEDY_FALLBACK = "greedy-fallback"
+
+_DEGRADED_HELP = "Requests answered by a degraded fallback path, by source"
+
+
+def degraded_answer(
+    problem: SchedulingProblem,
+    method: str,
+    seed: Optional[int],
+    cache: Optional[ScheduleCache],
+    max_sensors: int,
+) -> Optional[Tuple[SolveResult, Dict[str, Any]]]:
+    """A degraded ``(result, meta)`` for the request, or ``None``.
+
+    ``meta`` mirrors the batcher's (``cache``/``coalesced``) plus
+    ``degraded_source``.  ``max_sensors`` bounds the greedy fallback;
+    instances above it get no degraded answer (the caller 503s).
+    """
+    stale = _stale_cache_answer(problem, method, seed, cache)
+    if stale is not None:
+        _record(STALE_CACHE, problem, method)
+        return stale
+    if problem.num_sensors <= max_sensors:
+        result = solve(problem, method="greedy", rng=seed)
+        _record(GREEDY_FALLBACK, problem, method)
+        return result, {
+            "cache": "uncached",
+            "coalesced": False,
+            "degraded_source": GREEDY_FALLBACK,
+        }
+    return None
+
+
+def _stale_cache_answer(
+    problem: SchedulingProblem,
+    method: str,
+    seed: Optional[int],
+    cache: Optional[ScheduleCache],
+) -> Optional[Tuple[SolveResult, Dict[str, Any]]]:
+    if cache is None:
+        return None
+    try:
+        key = solve_fingerprint(problem, method, seed)
+    except UncacheableError:
+        return None
+    result = cache.peek_result(key, problem)
+    if result is None:
+        return None
+    return result, {
+        "cache": "hit",
+        "coalesced": False,
+        "degraded_source": STALE_CACHE,
+    }
+
+
+def _record(source: str, problem: SchedulingProblem, method: str) -> None:
+    get_registry().counter(
+        "repro_server_degraded_total", _DEGRADED_HELP, source=source
+    ).inc()
+    obs_events.emit(
+        "serve.degraded",
+        source=source,
+        method=method,
+        num_sensors=problem.num_sensors,
+    )

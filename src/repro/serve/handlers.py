@@ -16,8 +16,19 @@ body is not valid JSON                400     ``bad-json``
 schema/semantic validation failure    400     (from ``WireError``)
 queue full                            429     ``overloaded``
 service draining                      503     ``shutting-down``
+request/deadline timeout              503     ``timeout``
+transient infra failure (retries up)  503     ``transient-failure``
+circuit breaker open, no fallback     503     ``degraded-unavailable``
 solver/internal failure               500     ``internal``
 ====================================  ======  =====================
+
+Timeouts, deadline exhaustion and retry-exhausted transient errors
+feed the service's :class:`~repro.serve.breaker.CircuitBreaker`; when
+it opens, solve traffic is answered from the degraded path
+(:mod:`repro.serve.degrade` -- stale cache or bounded serial greedy,
+the response flagged ``"degraded": true``) and only falls through to
+a structured 503 when no fallback applies.  Validation errors and
+deterministic solver failures never trip the breaker.
 
 429 responses carry ``Retry-After: 1`` -- the queue turns over in
 batch-window time, so an immediate retry storm is the only wrong
@@ -38,7 +49,8 @@ from repro.obs.catalog import describe_standard_metrics
 from repro.obs.export import to_prometheus
 from repro.obs.registry import get_registry
 from repro.policies.schedule_policy import SchedulePolicy
-from repro.serve import schemas
+from repro.runtime.retry import is_retryable
+from repro.serve import degrade, schemas
 from repro.serve.batcher import BatcherClosedError, OverloadedError
 from repro.sim.engine import SimulationEngine
 from repro.sim.network import SensorNetwork
@@ -121,6 +133,18 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             return self._error_response(
                 503, "shutting-down", "service is draining; retry elsewhere"
             )
+        breaker = service.breaker
+        if not breaker.allow():
+            # Tripped: do not queue doomed work; answer degraded.
+            return self._degraded_response(
+                problem,
+                method,
+                seed,
+                simulate,
+                "degraded-unavailable",
+                "solve path unhealthy (circuit breaker open) and no "
+                "degraded answer is available",
+            )
         try:
             planned, meta = service.batcher.submit(
                 problem,
@@ -129,20 +153,71 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 timeout=service.config.request_timeout,
             )
         except OverloadedError as error:
+            # Load shedding, not backend failure: no breaker signal.
+            breaker.record_neutral()
             return self._error_response(429, "overloaded", str(error))
         except BatcherClosedError:
+            breaker.record_neutral()
             return self._error_response(
                 503, "shutting-down", "service is draining; retry elsewhere"
             )
         except TimeoutError as error:
-            return self._error_response(503, "timeout", str(error))
-        except Exception as error:  # solver bug: fail this request only
+            # Covers DeadlineExceededError too: the solve path failed
+            # to answer inside the client's budget.
+            breaker.record_failure()
+            return self._degraded_response(
+                problem, method, seed, simulate, "timeout", str(error)
+            )
+        except Exception as error:
+            if is_retryable(error):
+                # Transient infrastructure failure that survived the
+                # retry budget: feed the breaker, try the fallback.
+                breaker.record_failure()
+                return self._degraded_response(
+                    problem,
+                    method,
+                    seed,
+                    simulate,
+                    "transient-failure",
+                    f"{type(error).__name__}: {error}",
+                )
+            # Deterministic solver bug: fail this request only; it
+            # says nothing about the health of the serving path.
+            breaker.record_neutral()
             return self._error_response(
                 500, "internal", f"{type(error).__name__}: {error}"
             )
+        breaker.record_success()
+        return self._respond(problem, planned, meta, simulate)
+
+    def _degraded_response(
+        self, problem, method, seed, simulate, code: str, message: str
+    ) -> Tuple[int, bytes]:
+        """A degraded 200 if a fallback applies, else a structured 503."""
+        service = self.service
+        if service.config.degrade:
+            answer = degrade.degraded_answer(
+                problem,
+                method,
+                seed,
+                service.cache,
+                service.config.degraded_max_sensors,
+            )
+            if answer is not None:
+                planned, meta = answer
+                return self._respond(problem, planned, meta, simulate)
+        return self._error_response(503, code, message)
+
+    def _respond(
+        self, problem, planned, meta: Dict[str, Any], simulate: Optional[int]
+    ) -> Tuple[int, bytes]:
+        degraded_source = meta.get("degraded_source")
         if simulate is None:
             body = schemas.solve_response(
-                planned, meta["cache"], meta["coalesced"]
+                planned,
+                meta["cache"],
+                meta["coalesced"],
+                degraded_source=degraded_source,
             )
             return 200, schemas.encode(body)
         # Simulation is per-request work (the solve above was batched):
@@ -155,7 +230,11 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         )
         sim = engine.run(min(simulate, problem.total_slots))
         body = schemas.simulate_response(
-            planned, sim, meta["cache"], meta["coalesced"]
+            planned,
+            sim,
+            meta["cache"],
+            meta["coalesced"],
+            degraded_source=degraded_source,
         )
         return 200, schemas.encode(body)
 
@@ -175,6 +254,7 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             "uptime_seconds": round(service.uptime(), 3),
             "queue_depth": service.batcher.queue_depth(),
             "max_queue": service.batcher.max_queue,
+            "breaker": service.breaker.state,
         }
         return (503 if service.draining else 200), schemas.encode(body)
 

@@ -284,15 +284,22 @@ def result_to_wire(result: SolveResult) -> Dict[str, Any]:
 
 
 def solve_response(
-    result: SolveResult, cache_status: str, coalesced: bool
+    result: SolveResult,
+    cache_status: str,
+    coalesced: bool,
+    degraded_source: Optional[str] = None,
 ) -> Dict[str, Any]:
-    return {
+    body = {
         "kind": SOLVE_RESPONSE_KIND,
         "version": WIRE_VERSION,
         "result": result_to_wire(result),
         "cache": cache_status,
         "coalesced": coalesced,
+        "degraded": degraded_source is not None,
     }
+    if degraded_source is not None:
+        body["degraded_source"] = degraded_source
+    return body
 
 
 def simulate_response(
@@ -300,8 +307,9 @@ def simulate_response(
     sim: SimulationResult,
     cache_status: str,
     coalesced: bool,
+    degraded_source: Optional[str] = None,
 ) -> Dict[str, Any]:
-    return {
+    body = {
         "kind": SIMULATE_RESPONSE_KIND,
         "version": WIRE_VERSION,
         "result": {
@@ -313,7 +321,11 @@ def simulate_response(
         },
         "cache": cache_status,
         "coalesced": coalesced,
+        "degraded": degraded_source is not None,
     }
+    if degraded_source is not None:
+        body["degraded_source"] = degraded_source
+    return body
 
 
 def error_body(code: str, message: str) -> Dict[str, Any]:

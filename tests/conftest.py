@@ -24,6 +24,17 @@ def _isolated_schedule_cache(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "schedule-cache"))
 
 
+@pytest.fixture(autouse=True)
+def _no_leaked_faults():
+    """Chaos must never leak across tests: a plan left installed (or a
+    stray $REPRO_FAULT_PLAN) would inject faults into unrelated suites."""
+    from repro.faults import injector
+
+    injector.uninstall()
+    yield
+    injector.uninstall()
+
+
 @pytest.fixture
 def rng():
     return np.random.default_rng(12345)

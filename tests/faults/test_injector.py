@@ -1,0 +1,164 @@
+"""Injector semantics: determinism, firing discipline, the switchboard."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.faults import injector
+from repro.faults.injector import (
+    FAULTS_ENV,
+    FaultInjector,
+    InjectedFaultError,
+    active_injector,
+    maybe_hit,
+)
+from repro.faults.plan import FaultPlan, FaultSpec
+
+
+def plan_of(*specs: FaultSpec, seed: int = 0) -> FaultPlan:
+    return FaultPlan(specs=tuple(specs), seed=seed)
+
+
+class TestFiringDiscipline:
+    def test_error_action_raises_oserror_subclass(self):
+        fi = FaultInjector(plan_of(FaultSpec(site="solve", action="error")))
+        with pytest.raises(InjectedFaultError) as exc_info:
+            fi.hit("solve")
+        assert isinstance(exc_info.value, OSError)
+
+    def test_other_sites_unaffected(self):
+        fi = FaultInjector(plan_of(FaultSpec(site="solve", action="error")))
+        assert fi.hit("cache.read") is None
+
+    def test_after_skips_initial_hits(self):
+        fi = FaultInjector(
+            plan_of(FaultSpec(site="cache.read", action="error", after=2))
+        )
+        assert fi.hit("cache.read") is None
+        assert fi.hit("cache.read") is None
+        with pytest.raises(InjectedFaultError):
+            fi.hit("cache.read")
+
+    def test_times_caps_fires(self):
+        fi = FaultInjector(
+            plan_of(FaultSpec(site="cache.read", action="error", times=1))
+        )
+        with pytest.raises(InjectedFaultError):
+            fi.hit("cache.read")
+        assert fi.hit("cache.read") is None
+        assert fi.fired() == {0: 1}
+
+    def test_probability_stream_is_seeded(self):
+        def fire_pattern(seed: int) -> list:
+            fi = FaultInjector(
+                plan_of(
+                    FaultSpec(
+                        site="cache.read", action="error", probability=0.5
+                    ),
+                    seed=seed,
+                )
+            )
+            pattern = []
+            for _ in range(20):
+                try:
+                    fi.hit("cache.read")
+                    pattern.append(False)
+                except InjectedFaultError:
+                    pattern.append(True)
+            return pattern
+
+        assert fire_pattern(3) == fire_pattern(3)
+        assert any(fire_pattern(3))
+        assert not all(fire_pattern(3))
+
+    def test_torn_write_is_returned_not_raised(self):
+        fi = FaultInjector(
+            plan_of(FaultSpec(site="cache.write", action="torn-write"))
+        )
+        fired = fi.hit("cache.write")
+        assert fired is not None and fired.action == "torn-write"
+
+    def test_sleep_stalls_then_continues(self):
+        import time
+
+        fi = FaultInjector(
+            plan_of(
+                FaultSpec(site="solve", action="sleep", delay=0.05, times=1)
+            )
+        )
+        start = time.perf_counter()
+        fired = fi.hit("solve")
+        assert fired is not None and fired.action == "sleep"
+        assert time.perf_counter() - start >= 0.04
+
+    def test_site_hit_counters(self):
+        fi = FaultInjector(plan_of())
+        fi.hit("solve")
+        fi.hit("solve")
+        assert fi.site_hits("solve") == 2
+        assert fi.site_hits("cache.read") == 0
+
+
+class TestSwitchboard:
+    def test_no_injector_means_no_op(self):
+        injector.uninstall()
+        assert maybe_hit("solve") is None
+
+    def test_install_exports_environment(self):
+        plan = plan_of(FaultSpec(site="solve", action="error"), seed=5)
+        try:
+            injector.install(plan)
+            assert FAULTS_ENV in os.environ
+            assert FaultPlan.from_json(os.environ[FAULTS_ENV]) == plan
+            with pytest.raises(InjectedFaultError):
+                maybe_hit("solve")
+        finally:
+            injector.uninstall()
+        assert FAULTS_ENV not in os.environ
+        assert maybe_hit("solve") is None
+
+    def test_spawned_worker_rebuilds_from_environment(self):
+        plan = plan_of(FaultSpec(site="solve", action="error"))
+        os.environ[FAULTS_ENV] = plan.to_json()
+        try:
+            # Simulates a spawned pool worker: env set, no in-process
+            # injector installed yet.
+            rebuilt = active_injector()
+            assert rebuilt is not None
+            assert rebuilt.plan == plan
+        finally:
+            injector.uninstall()
+
+    def test_malformed_environment_plan_is_ignored(self):
+        os.environ[FAULTS_ENV] = "{not json"
+        try:
+            assert active_injector() is None
+            assert maybe_hit("solve") is None
+        finally:
+            injector.uninstall()
+
+    def test_fires_are_counted_in_metrics(self):
+        from repro.obs.registry import get_registry
+
+        plan = plan_of(FaultSpec(site="cache.read", action="error"))
+        registry = get_registry()
+        before = (
+            registry.sample_value(
+                "repro_faults_injected_total",
+                site="cache.read",
+                action="error",
+            )
+            or 0.0
+        )
+        try:
+            injector.install(plan)
+            with pytest.raises(InjectedFaultError):
+                maybe_hit("cache.read")
+        finally:
+            injector.uninstall()
+        after = registry.sample_value(
+            "repro_faults_injected_total", site="cache.read", action="error"
+        )
+        assert after == before + 1

@@ -1,0 +1,118 @@
+"""Fault plan construction, validation, serialization, CLI parsing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.plan import (
+    ACTIONS,
+    SITES,
+    FaultPlan,
+    FaultSpec,
+    parse_fault_spec,
+)
+
+
+class TestFaultSpecValidation:
+    def test_every_site_accepts_error(self):
+        for site in SITES:
+            assert FaultSpec(site=site, action="error").site == site
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            FaultSpec(site="nonsense", action="error")
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault action"):
+            FaultSpec(site="solve", action="explode")
+
+    def test_crash_only_at_worker_sites(self):
+        FaultSpec(site="pool.task", action="crash")  # allowed
+        for site in SITES:
+            if site == "pool.task":
+                continue
+            with pytest.raises(ValueError, match="crash"):
+                FaultSpec(site=site, action="crash")
+
+    def test_torn_write_only_at_cache_write(self):
+        FaultSpec(site="cache.write", action="torn-write")  # allowed
+        with pytest.raises(ValueError, match="torn-write"):
+            FaultSpec(site="cache.read", action="torn-write")
+
+    def test_probability_bounds(self):
+        with pytest.raises(ValueError, match="probability"):
+            FaultSpec(site="solve", action="error", probability=1.5)
+        with pytest.raises(ValueError, match="probability"):
+            FaultSpec(site="solve", action="error", probability=-0.1)
+
+    def test_sleep_needs_delay(self):
+        with pytest.raises(ValueError, match="delay"):
+            FaultSpec(site="solve", action="sleep")
+
+    def test_times_must_be_positive(self):
+        with pytest.raises(ValueError, match="times"):
+            FaultSpec(site="solve", action="error", times=0)
+
+
+class TestFaultPlanSerialization:
+    def test_round_trip(self):
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(site="solve", action="error", probability=0.25),
+                FaultSpec(site="pool.task", action="crash", after=2, times=1),
+            ),
+            seed=42,
+        )
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_rejects_foreign_documents(self):
+        with pytest.raises(ValueError, match="not a fault plan"):
+            FaultPlan.from_dict({"kind": "something-else"})
+        with pytest.raises(ValueError, match="version"):
+            FaultPlan.from_dict({"kind": "repro-fault-plan", "version": 99})
+
+    def test_rejects_unknown_spec_fields(self):
+        with pytest.raises(ValueError, match="unknown fault spec fields"):
+            FaultSpec.from_dict({"site": "solve", "action": "error", "x": 1})
+
+
+class TestCliParsing:
+    def test_minimal_spec(self):
+        spec = parse_fault_spec("cache.read:error")
+        assert spec.site == "cache.read"
+        assert spec.action == "error"
+        assert spec.probability == 1.0
+
+    def test_full_spec(self):
+        spec = parse_fault_spec("solve:sleep:delay=0.5,p=0.1,after=3,times=2")
+        assert spec.delay == 0.5
+        assert spec.probability == 0.1
+        assert spec.after == 3
+        assert spec.times == 2
+
+    def test_bad_shapes_rejected(self):
+        for text in ("solve", "solve:error:bogus=1", "solve:error:p="):
+            with pytest.raises(ValueError):
+                parse_fault_spec(text)
+
+    def test_bad_value_type_rejected(self):
+        with pytest.raises(ValueError, match="not a valid"):
+            parse_fault_spec("solve:error:after=soon")
+
+    def test_from_cli_specs(self):
+        plan = FaultPlan.from_cli_specs(
+            ["solve:error:p=0.5", "cache.write:torn-write"], seed=7
+        )
+        assert len(plan) == 2
+        assert plan.seed == 7
+
+    def test_every_documented_action_parses_somewhere(self):
+        examples = {
+            "error": "solve:error",
+            "crash": "pool.task:crash",
+            "sleep": "solve:sleep:delay=0.1",
+            "torn-write": "cache.write:torn-write",
+        }
+        assert set(examples) == set(ACTIONS)
+        for text in examples.values():
+            parse_fault_spec(text)

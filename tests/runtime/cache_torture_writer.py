@@ -1,0 +1,40 @@
+"""Subprocess helper for the cache kill-9 torture test.
+
+Writes cache entries in a tight loop until killed.  Keys cycle over a
+small set so kills land on re-writes of existing entries (the torn
+case that matters); payloads are a deterministic function of the key
+so the parent can verify any entry it reads back.
+
+Run as: ``python cache_torture_writer.py <cache-dir>``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import sys
+
+from repro.runtime.cache import ScheduleCache
+
+KEYSPACE = 24
+
+
+def key_for(slot: int) -> str:
+    return hashlib.sha256(f"torture-{slot}".encode()).hexdigest()
+
+
+def payload_for(key: str) -> dict:
+    # Big enough that a mid-write kill can plausibly truncate it.
+    return {"key": key, "blob": key * 40}
+
+
+def main() -> None:
+    cache = ScheduleCache(directory=sys.argv[1], capacity=4)
+    i = 0
+    while True:
+        key = key_for(i % KEYSPACE)
+        cache.put(key, payload_for(key))
+        i += 1
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,132 @@
+"""Crash-safety torture: kill -9 a cache writer, readers stay correct.
+
+Satellite of the robustness PR.  The directory store's write
+discipline (pid-suffixed tmp file + fsync + atomic rename, entries
+checksummed, corrupt files quarantined) must guarantee one property
+under arbitrary writer death: **a reader either sees a complete,
+checksum-valid entry or no entry at all** -- never torn bytes, never a
+payload that differs from what the writer computed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.faults import injector
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.runtime.cache import ScheduleCache, payload_checksum
+
+sys.path.insert(0, str(Path(__file__).parent))
+from cache_torture_writer import KEYSPACE, key_for, payload_for  # noqa: E402
+
+
+@pytest.mark.slow
+def test_kill9_writer_leaves_only_valid_entries(tmp_path):
+    cache_dir = tmp_path / "store"
+    writer = Path(__file__).parent / "cache_torture_writer.py"
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+
+    rounds = 6
+    for round_index in range(rounds):
+        process = subprocess.Popen(
+            [sys.executable, str(writer), str(cache_dir)], env=env
+        )
+        # Interpreter start-up dominates the first moments: wait until
+        # the writer has demonstrably written something, then let it
+        # run a phase-shifted bit longer and kill -9 mid-write.
+        give_up = time.monotonic() + 20.0
+        while not list(cache_dir.glob("*/*.json")):
+            assert time.monotonic() < give_up, "writer never produced output"
+            assert process.poll() is None, "writer exited prematurely"
+            time.sleep(0.01)
+        time.sleep(0.01 + 0.013 * round_index)
+        os.kill(process.pid, signal.SIGKILL)
+        process.wait(timeout=10)
+        assert process.returncode == -signal.SIGKILL
+
+        # A fresh reader after every kill: every entry it can see must
+        # be complete and correct; anything else must read as absent.
+        reader = ScheduleCache(directory=cache_dir)
+        for slot in range(KEYSPACE):
+            key = key_for(slot)
+            payload = reader.get(key)
+            assert payload is None or payload == payload_for(key)
+
+    # The writer must actually have persisted work (otherwise the test
+    # exercised nothing).
+    survivors = sorted(cache_dir.glob("*/*.json"))
+    assert survivors, "no cache entries survived any round"
+
+    # Every surviving file is complete JSON with a matching checksum --
+    # the atomic-rename discipline means kill -9 never publishes a
+    # partial file to a final path.
+    for path in survivors:
+        document = json.loads(path.read_text())
+        assert document["checksum"] == payload_checksum(document["payload"])
+
+    # Leftover tmp files from killed writers are invisible to readers
+    # (never matched by the entry glob) -- assert the naming keeps it so.
+    for leftover in cache_dir.glob("*/*.tmp"):
+        assert not leftover.name.endswith(".json")
+
+
+def test_torn_write_fault_is_quarantined_not_served(tmp_path):
+    """The chaos-injected torn write: a non-atomic half-file on the
+    final path.  Readers must quarantine it and report a miss."""
+    cache_dir = tmp_path / "store"
+    key = key_for(0)
+    injector.install(
+        FaultPlan(
+            specs=(
+                FaultSpec(site="cache.write", action="torn-write", times=1),
+            )
+        )
+    )
+    try:
+        writer = ScheduleCache(directory=cache_dir)
+        writer.put(key, payload_for(key))
+    finally:
+        injector.uninstall()
+
+    # The torn file is on disk at the entry path.
+    entry = next(cache_dir.glob("*/*.json"))
+    with pytest.raises(json.JSONDecodeError):
+        json.loads(entry.read_text())
+
+    reader = ScheduleCache(directory=cache_dir)
+    assert reader.get(key) is None
+    assert reader.stats.quarantined == 1
+    assert reader.quarantined_entries() == 1
+    assert not list(cache_dir.glob("*/*.json"))  # moved, not unlinked
+
+    # A good re-write re-installs the slot; the quarantined bytes stay.
+    writer2 = ScheduleCache(directory=cache_dir)
+    writer2.put(key, payload_for(key))
+    assert reader.get(key) == payload_for(key)
+    assert reader.quarantined_entries() == 1
+
+
+def test_checksum_mismatch_is_quarantined(tmp_path):
+    """Bit-rot (valid JSON, wrong checksum) must also read as absent."""
+    cache_dir = tmp_path / "store"
+    key = key_for(1)
+    writer = ScheduleCache(directory=cache_dir)
+    writer.put(key, payload_for(key))
+    entry = next(cache_dir.glob("*/*.json"))
+    document = json.loads(entry.read_text())
+    document["payload"]["blob"] = "tampered"
+    entry.write_text(json.dumps(document))
+
+    reader = ScheduleCache(directory=cache_dir)
+    assert reader.get(key) is None
+    assert reader.quarantined_entries() == 1

@@ -1,0 +1,106 @@
+"""Worker-death recovery: a real SIGKILL mid-batch must not lose work.
+
+Satellite of the robustness PR: the pool's contract is that a batch
+submitted to ``solve_many`` completes with correct results even if a
+worker process is hard-killed (SIGKILL -- no atexit, no cleanup, the
+way the OOM killer or a node failure would) while the batch is in
+flight.  Recovery is the serial fallback inside
+:func:`repro.runtime.pool.run_tasks` plus, for spawned-too-late
+failures, the executor's retry policy.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+import pytest
+
+from repro.core.problem import SchedulingProblem
+from repro.energy.period import ChargingPeriod
+from repro.faults import injector
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.runtime.executor import solve_many
+from repro.runtime.retry import RetryPolicy
+from repro.utility.detection import HomogeneousDetectionUtility
+
+
+def problem(sensors: int) -> SchedulingProblem:
+    return SchedulingProblem(
+        num_sensors=sensors,
+        period=ChargingPeriod.from_ratio(3.0),
+        utility=HomogeneousDetectionUtility(range(sensors), p=0.4),
+    )
+
+
+def tasks(n: int = 6):
+    # Distinct sizes: no fingerprint dedup, every task really solves.
+    return [(problem(3 + i), "greedy", None) for i in range(n)]
+
+
+@pytest.mark.slow
+def test_sigkill_mid_batch_recovers_with_correct_results():
+    clean, _ = solve_many(tasks())
+    expected = [r.total_utility for r in clean]
+
+    # Slow each solve down (in the workers, via the env-propagated
+    # plan) so the kill lands while most of the batch is in flight.
+    injector.install(
+        FaultPlan(
+            specs=(FaultSpec(site="solve", action="sleep", delay=0.2),)
+        )
+    )
+    killed = []
+
+    def kill_first_worker(record):
+        # First completed *parallel* task tells us a live worker pid;
+        # SIGKILL it once, while its siblings still hold queued tasks.
+        if (
+            not killed
+            and record.parallel
+            and record.worker != os.getpid()
+        ):
+            killed.append(record.worker)
+            os.kill(record.worker, signal.SIGKILL)
+
+    try:
+        results, telemetry = solve_many(
+            tasks(),
+            jobs=2,
+            on_task=kill_first_worker,
+            retry=RetryPolicy(max_attempts=3, base_delay=0.01),
+            # Force the pool: the single-core heuristic would otherwise
+            # keep everything serial on constrained CI machines.
+            auto_fallback=False,
+        )
+    finally:
+        injector.uninstall()
+
+    assert killed, "test never observed a parallel worker to kill"
+    assert [r.total_utility for r in results] == expected
+    assert len(telemetry) == len(expected)
+    assert all(record is not None for record in telemetry)
+
+
+@pytest.mark.slow
+def test_injected_worker_crash_recovers():
+    """The chaos-plan variant: ``pool.task:crash`` hard-exits a worker
+    (``os._exit`` -- same abruptness as SIGKILL, seeded and portable)."""
+    clean, _ = solve_many(tasks())
+    expected = [r.total_utility for r in clean]
+
+    injector.install(
+        FaultPlan(
+            specs=(FaultSpec(site="pool.task", action="crash", times=1),)
+        )
+    )
+    try:
+        results, _ = solve_many(
+            tasks(),
+            jobs=2,
+            retry=RetryPolicy(max_attempts=3, base_delay=0.01),
+            auto_fallback=False,
+        )
+    finally:
+        injector.uninstall()
+    assert [r.total_utility for r in results] == expected

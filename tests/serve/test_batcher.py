@@ -1,12 +1,16 @@
 """Unit tests for the request batcher: coalescing, backpressure, close."""
 
 import threading
+import time
 
 import pytest
 
 from repro.core.solver import solve
+from repro.faults import injector
+from repro.faults.plan import FaultPlan, FaultSpec
 from repro.obs.registry import get_registry
 from repro.runtime.cache import ScheduleCache
+from repro.runtime.fingerprint import solve_fingerprint
 from repro.serve import schemas
 from repro.serve.batcher import (
     BatcherClosedError,
@@ -134,6 +138,124 @@ class TestBackpressure:
         closing(batcher)
         with pytest.raises(TimeoutError):
             batcher.submit(small_problem(), "greedy", timeout=0.05)
+
+
+class TestCancellation:
+    def test_timed_out_request_is_cancelled_not_solved(
+        self, tmp_path, closing
+    ):
+        """A submit that times out must never be solved on the client's
+        behalf: it is pulled from the queue (or skipped by ``_execute``)
+        and nothing lands in the cache for it."""
+        get_registry().reset()
+        cache = ScheduleCache(directory=tmp_path)
+        batcher = SolveBatcher(cache=cache, batch_window=0.4)
+        closing(batcher)
+        problem = small_problem()
+        with pytest.raises(TimeoutError):
+            # Times out while the worker is still lingering in the
+            # batch-collection window.
+            batcher.submit(problem, "greedy", timeout=0.05)
+        assert (
+            get_registry().sample_value("repro_server_cancelled_total") == 1
+        )
+        # Give the worker time to run the (now empty) batch, then
+        # prove the cancelled request was never solved: no cache entry.
+        deadline = time.monotonic() + 5.0
+        while batcher.queue_depth() and time.monotonic() < deadline:
+            time.sleep(0.01)
+        time.sleep(0.5)
+        key = solve_fingerprint(problem, "greedy", None)
+        assert cache.peek_result(key, problem) is None
+
+    def test_cancelled_member_does_not_fail_the_batch(self, closing):
+        """Live members of a batch still get answers when another
+        member's submitter timed out and left."""
+        batcher = SolveBatcher(cache=None, batch_window=0.3)
+        closing(batcher)
+        survivor = []
+
+        def patient_client():
+            result, _ = batcher.submit(
+                small_problem(sensors=7), "greedy", timeout=30
+            )
+            survivor.append(result)
+
+        thread = threading.Thread(target=patient_client)
+        thread.start()
+        with pytest.raises(TimeoutError):
+            batcher.submit(small_problem(sensors=5), "greedy", timeout=0.05)
+        thread.join(timeout=30)
+        assert survivor and survivor[0].schedule
+
+
+class TestDrain:
+    def test_close_resolves_stranded_requests(self, closing):
+        """Satellite: a stalled worker must not strand handler threads.
+
+        With the batch worker wedged (injected ``batcher.batch`` sleep),
+        ``close`` with a short drain window resolves the in-flight
+        request with :class:`BatcherClosedError`, reports the leak in
+        its return value and in
+        ``repro_server_drain_incomplete_total``.
+        """
+        get_registry().reset()
+        batcher = SolveBatcher(cache=None, batch_window=0.0)
+        closing(batcher)
+        injector.install(
+            FaultPlan(
+                specs=(
+                    FaultSpec(
+                        site="batcher.batch",
+                        action="sleep",
+                        delay=2.0,
+                        times=1,
+                    ),
+                )
+            )
+        )
+        outcome = []
+
+        def stranded_client():
+            try:
+                batcher.submit(small_problem(), "greedy", timeout=30)
+            except BaseException as error:
+                outcome.append(error)
+            else:  # pragma: no cover - would mean the drain leaked
+                outcome.append(None)
+
+        try:
+            thread = threading.Thread(target=stranded_client)
+            thread.start()
+            # Wait until the batch is actually being executed (the
+            # worker is inside the injected stall).
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                with batcher._lock:
+                    if batcher._current_batch:
+                        break
+                time.sleep(0.01)
+            leaked = batcher.close(timeout=0.2)
+        finally:
+            injector.uninstall()
+        assert leaked >= 1
+        thread.join(timeout=30)
+        assert outcome and isinstance(outcome[0], BatcherClosedError)
+        assert (
+            get_registry().sample_value(
+                "repro_server_drain_incomplete_total", component="batcher"
+            )
+            >= 1
+        )
+        with pytest.raises(BatcherClosedError):
+            batcher.submit(small_problem(), "greedy")
+
+    def test_clean_close_reports_zero_leaked(self):
+        batcher = SolveBatcher(cache=None, batch_window=0.0)
+        result, _ = batcher.submit(small_problem(), "greedy")
+        assert result.schedule
+        assert batcher.close() == 0
+        assert batcher.close() == 0  # idempotent
 
 
 class TestLifecycle:
