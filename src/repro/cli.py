@@ -13,7 +13,9 @@ Subcommands:
 - ``cache``     inspect or clear the persistent schedule cache;
 - ``metrics``   dump the in-process metrics registry (Prometheus/JSON);
 - ``figure``    reproduce a paper figure as JSON or SVG;
-- ``serve``     run the HTTP solve/simulate service (docs/SERVING.md).
+- ``serve``     run the HTTP solve/simulate service (docs/SERVING.md);
+- ``session``   replay a captured session delta log offline
+                (docs/SESSIONS.md).
 
 Observability (:mod:`repro.obs`) is wired in everywhere: ``solve``,
 ``simulate`` and ``sweep`` accept ``--trace-out PATH`` (span tree of
@@ -49,6 +51,7 @@ Examples::
         --events-out run.jsonl --trace-out run-trace.json
     python -m repro.cli metrics --format prometheus
     python -m repro.cli serve --port 8080 --jobs 4
+    python -m repro.cli session replay --log deltas.jsonl --json
 
 Every subcommand reports invalid input as a one-line ``error: ...`` on
 stderr and a nonzero exit status -- never a traceback.
@@ -390,15 +393,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
         breaker_recovery=args.breaker_recovery,
         degrade=not args.no_degrade,
         degraded_max_sensors=args.degraded_max_sensors,
+        sessions=not args.no_sessions,
+        max_sessions=args.max_sessions,
+        session_ttl=args.session_ttl,
+        session_checkpoint_dir=args.session_checkpoint_dir,
     )
     service = SolveService(config)
     service.start()
     print(f"serving on {service.url}", flush=True)
-    print(
-        "endpoints: POST /v1/solve, POST /v1/simulate, "
-        "GET /metrics, GET /healthz",
-        flush=True,
-    )
+    endpoints = "POST /v1/solve, POST /v1/simulate, GET /metrics, GET /healthz"
+    if config.sessions:
+        endpoints += ", POST /v1/session (+ /delta, /schedule, DELETE)"
+    print(f"endpoints: {endpoints}", flush=True)
 
     # SIGTERM (systemd, docker stop, CI cleanup) drains like Ctrl-C.
     def _terminate(signum, frame):
@@ -449,6 +455,42 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+    return 0
+
+
+def cmd_session_replay(args: argparse.Namespace) -> int:
+    from repro.sessions.replay import replay_log
+    from repro.sessions.session import SessionError
+
+    try:
+        report = replay_log(args.log, cache=_runtime_cache(args))
+    except SessionError as error:
+        # Not a ValueError subclass (the HTTP layer needs the split),
+        # but to the CLI a log whose deltas cannot commit is invalid
+        # input all the same: one line, exit 2, no traceback.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        json.dump(report.to_dict(), sys.stdout, indent=2)
+        sys.stdout.write("\n")
+        return 0
+    print(
+        f"session: {report.num_sensors} sensors, "
+        f"{report.slots_per_period} slots/period, "
+        f"method={report.method}, consistency={report.consistency}"
+    )
+    print(f"initial period utility: {report.initial_utility:.6f}")
+    for step in report.steps:
+        print(
+            f"  #{step.seq} {step.kind}: resolve={step.resolve} "
+            f"moves={step.moves} utility={step.period_utility:.6f} "
+            f"({step.seconds * 1000.0:.2f} ms)"
+        )
+    print(
+        f"final period utility: {report.final_utility:.6f} "
+        f"({len(report.steps)} deltas, "
+        f"{report.warm_fraction:.0%} warm)"
+    )
     return 0
 
 
@@ -699,6 +741,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="largest instance the greedy degraded fallback will solve "
         "inline (default: 64)",
     )
+    p_serve.add_argument(
+        "--no-sessions",
+        action="store_true",
+        help="do not mount the /v1/session routes (docs/SESSIONS.md)",
+    )
+    p_serve.add_argument(
+        "--max-sessions",
+        type=int,
+        default=64,
+        metavar="N",
+        help="live-session bound; admission past it evicts the idle "
+        "LRU session or answers 429 (default: 64)",
+    )
+    p_serve.add_argument(
+        "--session-ttl",
+        type=float,
+        default=600.0,
+        metavar="SECONDS",
+        help="idle seconds before a session is evicted (default: 600)",
+    )
+    p_serve.add_argument(
+        "--session-checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="persist session checkpoints here so a restarted server "
+        "re-adopts live sessions (default: no persistence)",
+    )
     p_serve.set_defaults(func=cmd_serve)
 
     p_chaos = sub.add_parser(
@@ -742,6 +811,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="cache directory (default: a fresh temporary directory)",
     )
     p_chaos.set_defaults(func=cmd_chaos)
+
+    p_session = sub.add_parser(
+        "session",
+        help="session tooling: replay a captured delta log offline "
+        "(see docs/SESSIONS.md)",
+    )
+    session_sub = p_session.add_subparsers(dest="session_command", required=True)
+    p_replay = session_sub.add_parser(
+        "replay",
+        help="apply a JSONL delta log through a fresh in-process session",
+    )
+    p_replay.add_argument(
+        "--log",
+        required=True,
+        metavar="PATH",
+        help="JSONL delta log: one session-create record, then "
+        "session-delta records",
+    )
+    p_replay.add_argument(
+        "--json", action="store_true", help="emit the replay report as JSON"
+    )
+    p_replay.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="skip the persistent schedule cache for this invocation",
+    )
+    p_replay.set_defaults(func=cmd_session_replay)
     return parser
 
 

@@ -44,6 +44,7 @@ def local_search(
     max_moves: int = 10_000,
     tolerance: float = 1e-12,
     report: Optional[LocalSearchReport] = None,
+    deadline: Optional[float] = None,
 ) -> PeriodicSchedule:
     """Best-improvement local search over single-sensor reassignments.
 
@@ -55,8 +56,13 @@ def local_search(
     Terminates when no move improves by more than ``tolerance``, or
     after ``max_moves`` moves (a safety bound -- each move strictly
     increases a bounded objective, so termination is guaranteed anyway
-    for any fixed tolerance > 0).
+    for any fixed tolerance > 0).  ``deadline`` is an absolute
+    ``time.monotonic()`` budget end checked once per sweep: warm-start
+    callers (:mod:`repro.sessions`) propagate the HTTP request deadline
+    here so a polish pass can never outlive its client
+    (:class:`~repro.runtime.retry.DeadlineExceededError`).
     """
+    from repro.runtime.retry import remaining_budget
     utility = problem.utility
     T = schedule.slots_per_period
     assignment = dict(schedule.assignment)
@@ -86,6 +92,7 @@ def local_search(
     evaluations = 0
     improved = True
     while improved and moves < max_moves:
+        remaining_budget(deadline)
         improved = False
         best_gain = tolerance
         best_move: Optional[Tuple[int, int]] = None

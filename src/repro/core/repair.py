@@ -31,13 +31,15 @@ that strictly increases per-period utility.
 from __future__ import annotations
 
 import heapq
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.core.greedy import _EVALS_HELP, GreedyStep, GreedyTrace
 from repro.core.schedule import PeriodicSchedule, ScheduleMode
 from repro.obs.registry import get_registry
+from repro.runtime.retry import remaining_budget
 from repro.utility.base import UtilityFunction
-from repro.utility.incremental import flush_ops, make_evaluator
+from repro.utility.incremental import IncrementalEvaluator, flush_ops, make_evaluator
 
 
 def greedy_repair(
@@ -169,3 +171,150 @@ def greedy_repair(
         assignment=assignment,
         mode=ScheduleMode.ACTIVE_SLOT,
     )
+
+
+@dataclass
+class ScopedRepairReport:
+    """What a :func:`scoped_repair` pass did."""
+
+    moves: int = 0
+    rounds: int = 0
+    evaluations: int = 0
+    utility_gain: float = 0.0
+    dirty_history: List[int] = field(default_factory=list)
+
+
+def scoped_repair(
+    assignment: Dict[int, int],
+    evaluators: Sequence[IncrementalEvaluator],
+    live: Iterable[int],
+    dirty_slots: Iterable[int],
+    max_rounds: int = 64,
+    tolerance: float = 1e-12,
+    deadline: Optional[float] = None,
+    report: Optional[ScopedRepairReport] = None,
+) -> int:
+    """Delta-scoped best-move repair around a set of *dirty* slots.
+
+    The warm-start entry point for long-lived sessions
+    (:mod:`repro.sessions`): after a small edit -- one sensor failed,
+    one recovered, one weight shifted -- only the touched slots can
+    have profitable incoming moves, so restricting the search to them
+    (and cascading to any slot a move vacates) does the useful part of
+    a full :func:`~repro.core.local_search.local_search` sweep in
+    O(|live|) per round instead of O(|live| * T) per sweep.
+
+    ``assignment`` and ``evaluators`` are mutated in place: the
+    evaluators must already reflect ``assignment``'s slot sets (one
+    evaluator per slot, ACTIVE_SLOT semantics).  Every live sensor must
+    be assigned -- place recovered/new sensors with
+    :func:`best_slot_for` first.
+
+    Each round pops one dirty slot ``t`` and finds the single best move
+    of a live sensor into ``t`` (gain at ``t`` minus the loss at its
+    current home).  An improving move re-dirties both slots; the loop
+    ends when no dirty slot has an improving move, after ``max_rounds``
+    rounds (a safety bound; each move strictly increases a bounded
+    objective), or when ``deadline`` (absolute ``time.monotonic()``)
+    expires -- the caller's rollback contract makes a mid-repair
+    :class:`~repro.runtime.retry.DeadlineExceededError` safe.
+
+    Returns the number of moves applied.
+    """
+    T = len(evaluators)
+    if max_rounds < 0:
+        raise ValueError(f"max_rounds must be >= 0, got {max_rounds}")
+    live_sensors = sorted(set(live))
+    for v in live_sensors:
+        if v not in assignment:
+            raise ValueError(
+                f"live sensor {v} has no assigned slot; place it with "
+                "best_slot_for before scoped_repair"
+            )
+    queue: List[int] = []
+    queued: Set[int] = set()
+
+    def enqueue(slot: int) -> None:
+        if 0 <= slot < T and slot not in queued:
+            queue.append(slot)
+            queued.add(slot)
+
+    for slot in dirty_slots:
+        enqueue(slot)
+
+    moves = 0
+    rounds = 0
+    evaluations = 0
+    total_gain = 0.0
+    while queue and rounds < max_rounds:
+        remaining_budget(deadline)
+        rounds += 1
+        target = queue.pop(0)
+        queued.discard(target)
+        if report is not None:
+            report.dirty_history.append(target)
+        best_gain = tolerance
+        best_sensor: Optional[int] = None
+        target_gain = evaluators[target].gain
+        for sensor in live_sensors:
+            home = assignment[sensor]
+            if home == target:
+                continue
+            incoming = target_gain(sensor)
+            evaluations += 1
+            # Monotone utilities have loss >= 0, so a move whose raw
+            # incoming gain does not beat the incumbent can never win
+            # -- skip the (more expensive) loss query entirely.
+            if incoming <= best_gain:
+                continue
+            gain = incoming - evaluators[home].loss(sensor)
+            evaluations += 1
+            if gain > best_gain:
+                best_gain = gain
+                best_sensor = sensor
+        if best_sensor is None:
+            continue
+        home = assignment[best_sensor]
+        evaluators[home].remove(best_sensor)
+        evaluators[target].add(best_sensor)
+        assignment[best_sensor] = target
+        total_gain += best_gain
+        moves += 1
+        # The vacated slot may now profitably pull a sensor in, and the
+        # filled slot's gains all changed: both are dirty again.
+        enqueue(home)
+        enqueue(target)
+
+    get_registry().counter(
+        "repro_greedy_marginal_evals_total", _EVALS_HELP, variant="scoped-repair"
+    ).inc(evaluations)
+    if report is not None:
+        report.moves = moves
+        report.rounds = rounds
+        report.evaluations += evaluations
+        report.utility_gain = total_gain
+    return moves
+
+
+def best_slot_for(
+    sensor: int,
+    evaluators: Sequence[IncrementalEvaluator],
+    prefer: Optional[int] = None,
+) -> int:
+    """The slot where ``sensor`` currently adds the most utility.
+
+    Gain ties break toward ``prefer`` (a recovered sensor's old phase
+    costs nothing to keep), then toward the lower slot id -- the same
+    deterministic order the greedy scheme uses.
+    """
+    if not evaluators:
+        raise ValueError("no slots to place into")
+    best_slot = 0
+    best_key: Optional[Tuple[float, int, int]] = None
+    for slot, evaluator in enumerate(evaluators):
+        gain = evaluator.gain(sensor)
+        key = (gain, 1 if slot == prefer else 0, -slot)
+        if best_key is None or key > best_key:
+            best_key = key
+            best_slot = slot
+    return best_slot

@@ -235,6 +235,55 @@ STANDARD_METRICS: Tuple[Tuple[str, str, Tuple[str, ...], str], ...] = (
         (),
         "Corrupt cache entries moved into quarantine",
     ),
+    # -- sessions (sessions/session.py, sessions/store.py) -------------
+    (
+        "gauge",
+        "repro_session_active",
+        (),
+        "Live sessions in the store",
+    ),
+    (
+        "counter",
+        "repro_session_created_total",
+        (),
+        "Sessions created (including checkpoint restores)",
+    ),
+    (
+        "counter",
+        "repro_session_deltas_total",
+        ("kind", "outcome"),
+        "Session deltas by kind and outcome",
+    ),
+    (
+        "histogram",
+        "repro_session_resolve_seconds",
+        ("mode",),
+        "Session re-solve wall time by resolve mode",
+    ),
+    (
+        "counter",
+        "repro_session_evictions_total",
+        ("reason",),
+        "Session evictions by reason",
+    ),
+    (
+        "counter",
+        "repro_session_rollbacks_total",
+        (),
+        "Session delta rollbacks (state restored after a failure)",
+    ),
+    (
+        "counter",
+        "repro_session_checkpoints_total",
+        (),
+        "Session checkpoints written",
+    ),
+    (
+        "counter",
+        "repro_session_cache_hits_total",
+        ("source",),
+        "Session re-solves answered from a cache (memo/global)",
+    ),
 )
 
 

@@ -42,6 +42,9 @@ RANDOMIZED_METHODS = frozenset(
 FINGERPRINT_KIND = "repro-solve-key"
 FINGERPRINT_VERSION = 1
 
+LINEAGE_KIND = "repro-session-lineage"
+LINEAGE_VERSION = 1
+
 
 class UncacheableError(TypeError):
     """The solve's inputs cannot be canonicalized into a sound cache key."""
@@ -105,18 +108,84 @@ def solve_fingerprint(
     problem: SchedulingProblem,
     method: str = "greedy",
     rng: Union[int, None, Any] = None,
+    problem_document: Union[Dict[str, Any], None] = None,
 ) -> str:
     """SHA-256 hex key identifying a ``solve(problem, method, rng)`` call.
 
     Raises :class:`UncacheableError` when the inputs cannot be
     canonicalized (see module docstring); callers should then solve
     without the cache.
+
+    ``problem_document`` lets a long-lived caller (a session hashing
+    its state after every delta) pass a memoized
+    :func:`problem_to_dict` result instead of re-serializing the
+    instance each time; the key is identical either way.
     """
     document = {
         "kind": FINGERPRINT_KIND,
         "version": FINGERPRINT_VERSION,
-        "problem": problem_to_dict(problem),
+        "problem": (
+            problem_to_dict(problem)
+            if problem_document is None
+            else problem_document
+        ),
         "method": method,
         "seed": _normalize_seed(method, rng),
+    }
+    return hashlib.sha256(canonical_json(document).encode("utf-8")).hexdigest()
+
+
+def session_fingerprint(
+    problem: SchedulingProblem,
+    method: str = "greedy",
+    rng: Union[int, None, Any] = None,
+    failed: Any = (),
+    problem_document: Union[Dict[str, Any], None] = None,
+) -> str:
+    """Key for a *session state*: a solve key plus the failed-sensor set.
+
+    A session with no failed sensors hashes to the plain
+    :func:`solve_fingerprint` -- which is exactly what lets sessions
+    reuse the global schedule cache: the state's answer and the
+    one-shot solve's answer are the same artifact.  Any failures join
+    the document (sorted, so the set's construction history cannot
+    perturb the key).  ``problem_document`` is the same memoization
+    hook :func:`solve_fingerprint` takes.
+    """
+    failed_list = sorted(failed)
+    if not failed_list:
+        return solve_fingerprint(
+            problem, method, rng, problem_document=problem_document
+        )
+    document = {
+        "kind": FINGERPRINT_KIND,
+        "version": FINGERPRINT_VERSION,
+        "problem": (
+            problem_to_dict(problem)
+            if problem_document is None
+            else problem_document
+        ),
+        "method": method,
+        "seed": _normalize_seed(method, rng),
+        "failed": failed_list,
+    }
+    return hashlib.sha256(canonical_json(document).encode("utf-8")).hexdigest()
+
+
+def chain_fingerprint(parent: str, delta_document: Any) -> str:
+    """Lineage link: the child key of ``parent`` after ``delta_document``.
+
+    Sessions thread this through every applied delta, so two sessions
+    that started from the same instance and applied the same delta
+    chain share every prefix of their lineage -- the property the
+    per-session memo and any future shared delta cache key off.  The
+    delta document must be canonical-JSON serializable (wire deltas
+    are by construction).
+    """
+    document = {
+        "kind": LINEAGE_KIND,
+        "version": LINEAGE_VERSION,
+        "parent": parent,
+        "delta": delta_document,
     }
     return hashlib.sha256(canonical_json(document).encode("utf-8")).hexdigest()

@@ -31,6 +31,7 @@ from repro.serve.batcher import SolveBatcher
 from repro.serve.breaker import CircuitBreaker
 from repro.serve.handlers import ServiceRequestHandler
 from repro.serve.schemas import DEFAULT_MAX_SENSORS, DEFAULT_MAX_SLOTS
+from repro.sessions.store import SessionStore
 
 
 @dataclass(frozen=True)
@@ -55,6 +56,11 @@ class ServiceConfig:
     breaker_recovery: float = 5.0  # seconds open before probing
     degrade: bool = True  # serve degraded answers when the breaker opens
     degraded_max_sensors: int = 64  # greedy-fallback instance bound
+    # -- sessions ------------------------------------------------------
+    sessions: bool = True  # mount /v1/session
+    max_sessions: int = 64  # live-session bound; beyond it -> 429
+    session_ttl: float = 600.0  # idle seconds before eviction
+    session_checkpoint_dir: Optional[str] = None  # None = no persistence
 
 
 class ServiceHTTPServer(ThreadingHTTPServer):
@@ -93,9 +99,19 @@ class SolveService:
             threshold=self.config.breaker_threshold,
             recovery_time=self.config.breaker_recovery,
         )
+        self.sessions: Optional[SessionStore] = None
+        if self.config.sessions:
+            self.sessions = SessionStore(
+                capacity=self.config.max_sessions,
+                ttl=self.config.session_ttl,
+                checkpoint_dir=self.config.session_checkpoint_dir,
+                cache=self.cache,
+            )
         self.draining = False
         self._httpd: Optional[ServiceHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
+        self._sweeper: Optional[threading.Thread] = None
+        self._sweeper_stop = threading.Event()
         self._started_at = time.monotonic()
         # Pre-register the catalog so the first /metrics scrape already
         # lists every family with HELP/TYPE metadata.
@@ -118,6 +134,7 @@ class SolveService:
             daemon=True,
         )
         self._thread.start()
+        self._start_sweeper()
         return self
 
     def serve_forever(self) -> None:
@@ -128,6 +145,7 @@ class SolveService:
             (self.config.host, self.config.port), self
         )
         self._started_at = time.monotonic()
+        self._start_sweeper()
         try:
             self._httpd.serve_forever(poll_interval=0.2)
         finally:
@@ -144,7 +162,31 @@ class SolveService:
         if self._thread is not None:
             self._thread.join(timeout=5.0)
             self._thread = None
+        self._sweeper_stop.set()
+        if self._sweeper is not None:
+            self._sweeper.join(timeout=5.0)
+            self._sweeper = None
+        if self.sessions is not None:
+            self.sessions.close()
         self.batcher.close()
+
+    def _start_sweeper(self) -> None:
+        """TTL sweeps on a timer (idle sessions die without traffic)."""
+        if self.sessions is None or self._sweeper is not None:
+            return
+        interval = max(0.5, min(self.config.session_ttl / 4.0, 30.0))
+        store = self.sessions
+        stop = self._sweeper_stop
+        stop.clear()
+
+        def run() -> None:
+            while not stop.wait(interval):
+                store.sweep()
+
+        self._sweeper = threading.Thread(
+            target=run, name="repro-session-sweeper", daemon=True
+        )
+        self._sweeper.start()
 
     def __enter__(self) -> "SolveService":
         return self.start()

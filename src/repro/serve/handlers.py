@@ -14,13 +14,32 @@ wrong HTTP method for the path        405     ``method-not-allowed``
 body exceeds ``max_body_bytes``       413     ``body-too-large``
 body is not valid JSON                400     ``bad-json``
 schema/semantic validation failure    400     (from ``WireError``)
+malformed/unsupported delta           400     (from ``DeltaError``)
+unknown session id                    404     ``unknown-session``
+session evicted mid-request           409     ``session-evicted``
+session evicted (TTL/capacity/DELETE) 410     ``session-gone``
 queue full                            429     ``overloaded``
+session store full, none idle         429     ``too-many-sessions``
 service draining                      503     ``shutting-down``
 request/deadline timeout              503     ``timeout``
 transient infra failure (retries up)  503     ``transient-failure``
 circuit breaker open, no fallback     503     ``degraded-unavailable``
 solver/internal failure               500     ``internal``
+session state corrupt (rolled back)   500     ``session-state``
 ====================================  ======  =====================
+
+Session routes (``/v1/session...``, bare ``/session...`` accepted)
+follow the same resilience contract as one-shot solves, scoped to
+what each request actually needs: a *warm* delta never touches the
+guarded cold-solve path, so it bypasses the circuit breaker entirely;
+a delta that needs a cold re-solve (structural, or any delta of an
+``exact`` session) is breaker-admitted like a solve, and when the
+breaker is open the session answers from the warm-repair fallback
+with ``"degraded": true`` -- or a structured 503 when only a cold
+answer would do.  The per-request deadline propagates into the
+warm-repair/re-plan inner loops, and a delta that dies for any reason
+(deadline included) is rolled back: the session stays at its
+pre-delta state.
 
 Timeouts, deadline exhaustion and retry-exhausted transient errors
 feed the service's :class:`~repro.serve.breaker.CircuitBreaker`; when
@@ -40,6 +59,7 @@ answer.  Every request increments
 from __future__ import annotations
 
 import json
+import re
 import time
 from http.server import BaseHTTPRequestHandler
 from typing import Any, Dict, Optional, Tuple
@@ -52,8 +72,26 @@ from repro.policies.schedule_policy import SchedulePolicy
 from repro.runtime.retry import is_retryable
 from repro.serve import degrade, schemas
 from repro.serve.batcher import BatcherClosedError, OverloadedError
+from repro.sessions.deltas import DeltaError, apply_delta
+from repro.sessions.session import (
+    ColdResolveUnavailableError,
+    SessionClosedError,
+    SessionStateError,
+)
+from repro.sessions.store import (
+    SessionGoneError,
+    SessionNotFoundError,
+    StoreFullError,
+)
 from repro.sim.engine import SimulationEngine
 from repro.sim.network import SensorNetwork
+
+#: ``/v1/session``, ``/v1/session/{id}``, ``/v1/session/{id}/delta``,
+#: ``/v1/session/{id}/schedule`` -- with or without the ``/v1`` prefix.
+_SESSION_ROUTE = re.compile(
+    r"^(?:/v1)?/session(?:/(?P<id>[A-Za-z0-9_-]+)"
+    r"(?:/(?P<action>delta|schedule))?)?$"
+)
 
 _REQUESTS_HELP = "HTTP requests by endpoint and status code"
 _LATENCY_HELP = "HTTP request wall time by endpoint"
@@ -73,22 +111,71 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     # -- routing -------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 (http.server convention)
+        session = _SESSION_ROUTE.match(self.path)
         if self.path == "/metrics":
             self._timed("metrics", self._handle_metrics)
         elif self.path == "/healthz":
             self._timed("healthz", self._handle_healthz)
         elif self.path in ("/v1/solve", "/v1/simulate"):
             self._error("solve", 405, "method-not-allowed", "use POST")
+        elif session is not None:
+            if session.group("id") and session.group("action") == "schedule":
+                self._timed(
+                    "session-schedule",
+                    lambda: self._handle_session_schedule(session.group("id")),
+                )
+            else:
+                self._error(
+                    "session",
+                    405,
+                    "method-not-allowed",
+                    "GET /session/{id}/schedule (POST creates, "
+                    "POST .../delta mutates, DELETE evicts)",
+                )
         else:
             self._error("unknown", 404, "not-found", f"no route {self.path}")
 
     def do_POST(self) -> None:  # noqa: N802
+        session = _SESSION_ROUTE.match(self.path)
         if self.path == "/v1/solve":
             self._timed("solve", self._handle_solve)
         elif self.path == "/v1/simulate":
             self._timed("simulate", self._handle_simulate)
         elif self.path in ("/metrics", "/healthz"):
             self._error("metrics", 405, "method-not-allowed", "use GET")
+        elif session is not None:
+            session_id = session.group("id")
+            action = session.group("action")
+            if session_id is None:
+                self._timed("session", self._handle_session_create)
+            elif action == "delta":
+                self._timed(
+                    "session-delta",
+                    lambda: self._handle_session_delta(session_id),
+                )
+            else:
+                self._error(
+                    "session",
+                    405,
+                    "method-not-allowed",
+                    "POST /session or POST /session/{id}/delta",
+                )
+        else:
+            self._error("unknown", 404, "not-found", f"no route {self.path}")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        session = _SESSION_ROUTE.match(self.path)
+        if session is not None and session.group("id") and not session.group(
+            "action"
+        ):
+            self._timed(
+                "session-delete",
+                lambda: self._handle_session_delete(session.group("id")),
+            )
+        elif session is not None:
+            self._error(
+                "session", 405, "method-not-allowed", "DELETE /session/{id}"
+            )
         else:
             self._error("unknown", 404, "not-found", f"no route {self.path}")
 
@@ -238,6 +325,264 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         )
         return 200, schemas.encode(body)
 
+    # -- sessions ------------------------------------------------------
+
+    def _sessions_or_error(self):
+        """The store, or a ready-made failure response."""
+        service = self.service
+        if service.sessions is None:
+            return None, self._error_response(
+                404, "not-found", "sessions are disabled on this service"
+            )
+        if service.draining:
+            return None, self._error_response(
+                503, "shutting-down", "service is draining; retry elsewhere"
+            )
+        return service.sessions, None
+
+    def _handle_session_create(self) -> Tuple[int, bytes]:
+        document, failure = self._read_json()
+        if failure is not None:
+            return failure
+        try:
+            problem, method, seed, consistency = schemas.parse_session_create(
+                document, max_sensors=self.service.config.max_sensors
+            )
+        except schemas.WireError as error:
+            return self._error_response(400, error.code, error.message)
+        store, failure = self._sessions_or_error()
+        if failure is not None:
+            return failure
+        service = self.service
+        breaker = service.breaker
+
+        # The initial solve is ordinary solve traffic: it flows through
+        # the batcher (cache fast path, coalescing with identical
+        # one-shot requests) under the breaker, with the same degraded
+        # fallback.  Only the *deltas* bypass the batcher -- they are
+        # session-affine and never coalescible.
+        degraded_source: Optional[str] = None
+        incumbent: Optional[Dict[int, int]] = None
+        if not breaker.allow():
+            planned = self._degraded_plan(problem, method, seed)
+            if planned is None:
+                return self._error_response(
+                    503,
+                    "degraded-unavailable",
+                    "solve path unhealthy (circuit breaker open) and no "
+                    "degraded incumbent is available",
+                )
+            incumbent, degraded_source = planned
+        else:
+            try:
+                result, meta = service.batcher.submit(
+                    problem,
+                    method,
+                    seed,
+                    timeout=service.config.request_timeout,
+                )
+            except OverloadedError as error:
+                breaker.record_neutral()
+                return self._error_response(429, "overloaded", str(error))
+            except BatcherClosedError:
+                breaker.record_neutral()
+                return self._error_response(
+                    503, "shutting-down", "service is draining; retry elsewhere"
+                )
+            except TimeoutError as error:
+                breaker.record_failure()
+                planned = self._degraded_plan(problem, method, seed)
+                if planned is None:
+                    return self._error_response(503, "timeout", str(error))
+                incumbent, degraded_source = planned
+            except Exception as error:
+                if is_retryable(error):
+                    breaker.record_failure()
+                    planned = self._degraded_plan(problem, method, seed)
+                    if planned is None:
+                        return self._error_response(
+                            503,
+                            "transient-failure",
+                            f"{type(error).__name__}: {error}",
+                        )
+                    incumbent, degraded_source = planned
+                else:
+                    breaker.record_neutral()
+                    return self._error_response(
+                        500, "internal", f"{type(error).__name__}: {error}"
+                    )
+            else:
+                breaker.record_success()
+                if result.periodic is None:
+                    return self._error_response(
+                        500,
+                        "internal",
+                        f"method {method!r} produced no periodic schedule",
+                    )
+                incumbent = dict(result.periodic.assignment)
+
+        try:
+            session = store.create(
+                problem,
+                method=method,
+                seed=seed,
+                consistency=consistency,
+                incumbent_assignment=incumbent,
+            )
+        except StoreFullError as error:
+            return self._error_response(429, "too-many-sessions", str(error))
+        body = schemas.session_response(
+            session, degraded_source=degraded_source
+        )
+        return 200, schemas.encode(body)
+
+    def _degraded_plan(
+        self, problem, method, seed
+    ) -> Optional[Tuple[Dict[int, int], str]]:
+        """A degraded incumbent assignment, or None if no fallback."""
+        service = self.service
+        if not service.config.degrade:
+            return None
+        answer = degrade.degraded_answer(
+            problem,
+            method,
+            seed,
+            service.cache,
+            service.config.degraded_max_sensors,
+        )
+        if answer is None:
+            return None
+        planned, meta = answer
+        if planned.periodic is None:
+            return None
+        return dict(planned.periodic.assignment), meta.get(
+            "degraded_source", "degraded"
+        )
+
+    def _handle_session_delta(self, session_id: str) -> Tuple[int, bytes]:
+        document, failure = self._read_json()
+        if failure is not None:
+            return failure
+        try:
+            delta = schemas.parse_session_delta(document)
+        except schemas.WireError as error:
+            return self._error_response(400, error.code, error.message)
+        store, failure = self._sessions_or_error()
+        if failure is not None:
+            return failure
+        service = self.service
+        breaker = service.breaker
+        deadline = time.monotonic() + service.config.request_timeout
+        try:
+            with store.checkout(session_id) as session:
+                # Probe (pure) whether this delta needs the guarded
+                # cold path; warm repairs bypass the breaker entirely.
+                try:
+                    structural = apply_delta(
+                        session.problem, session.failed, delta
+                    ).structural
+                except DeltaError as error:
+                    return self._error_response(400, error.code, error.message)
+                needs_cold = structural or session.consistency == "exact"
+                if needs_cold and not breaker.allow():
+                    if not service.config.degrade:
+                        return self._error_response(
+                            503,
+                            "degraded-unavailable",
+                            "cold re-solve path unhealthy (circuit breaker "
+                            "open) and degraded answers are disabled",
+                        )
+                    try:
+                        outcome = session.apply(
+                            delta, deadline=deadline, allow_cold=False
+                        )
+                    except ColdResolveUnavailableError as error:
+                        return self._error_response(
+                            503, error.code, error.message
+                        )
+                    body = schemas.session_delta_response(session, outcome)
+                    return 200, schemas.encode(body)
+                try:
+                    outcome = session.apply(delta, deadline=deadline)
+                except DeltaError as error:
+                    if needs_cold:
+                        breaker.record_neutral()
+                    return self._error_response(400, error.code, error.message)
+                except TimeoutError as error:
+                    # DeadlineExceededError included: the session rolled
+                    # back, so the client retries against unchanged state.
+                    if needs_cold:
+                        breaker.record_failure()
+                    return self._error_response(
+                        503,
+                        "timeout",
+                        f"delta rolled back: {error}",
+                    )
+                except SessionStateError as error:
+                    if needs_cold:
+                        breaker.record_neutral()
+                    return self._error_response(
+                        500, error.code, f"delta rolled back: {error.message}"
+                    )
+                except SessionClosedError:
+                    raise
+                except Exception as error:
+                    if needs_cold:
+                        if is_retryable(error):
+                            breaker.record_failure()
+                        else:
+                            breaker.record_neutral()
+                    if is_retryable(error):
+                        return self._error_response(
+                            503,
+                            "transient-failure",
+                            f"delta rolled back: "
+                            f"{type(error).__name__}: {error}",
+                        )
+                    return self._error_response(
+                        500, "internal", f"{type(error).__name__}: {error}"
+                    )
+                if needs_cold:
+                    breaker.record_success()
+                body = schemas.session_delta_response(session, outcome)
+                return 200, schemas.encode(body)
+        except SessionNotFoundError as error:
+            return self._error_response(404, "unknown-session", error.message)
+        except SessionGoneError as error:
+            return self._error_response(410, "session-gone", error.message)
+        except SessionClosedError as error:
+            # Evicted while the delta was in flight: state rolled back,
+            # resources released on our way out of the checkout.
+            return self._error_response(409, error.code, error.message)
+
+    def _handle_session_schedule(self, session_id: str) -> Tuple[int, bytes]:
+        store, failure = self._sessions_or_error()
+        if failure is not None:
+            return failure
+        try:
+            with store.checkout(session_id) as session:
+                body = schemas.session_schedule_response(session)
+                return 200, schemas.encode(body)
+        except SessionNotFoundError as error:
+            return self._error_response(404, "unknown-session", error.message)
+        except SessionGoneError as error:
+            return self._error_response(410, "session-gone", error.message)
+        except SessionClosedError as error:
+            return self._error_response(409, error.code, error.message)
+
+    def _handle_session_delete(self, session_id: str) -> Tuple[int, bytes]:
+        store, failure = self._sessions_or_error()
+        if failure is not None:
+            return failure
+        try:
+            store.delete(session_id)
+        except SessionNotFoundError as error:
+            return self._error_response(404, "unknown-session", error.message)
+        except SessionGoneError as error:
+            return self._error_response(410, "session-gone", error.message)
+        body = schemas.session_deleted_response(session_id)
+        return 200, schemas.encode(body)
+
     def _handle_metrics(self) -> Tuple[int, bytes]:
         registry = get_registry()
         describe_standard_metrics(registry)
@@ -255,6 +600,9 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             "queue_depth": service.batcher.queue_depth(),
             "max_queue": service.batcher.max_queue,
             "breaker": service.breaker.state,
+            "sessions": (
+                len(service.sessions) if service.sessions is not None else 0
+            ),
         }
         return (503 if service.draining else 200), schemas.encode(body)
 

@@ -40,7 +40,11 @@ Error body (any non-2xx)::
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sessions.deltas import Delta
+    from repro.sessions.session import DeltaOutcome, Session
 
 from repro.core.problem import SchedulingProblem
 from repro.core.solver import METHODS, SolveResult
@@ -52,6 +56,10 @@ from repro.utility.detection import HomogeneousDetectionUtility
 
 SOLVE_RESPONSE_KIND = "repro-solve-response"
 SIMULATE_RESPONSE_KIND = "repro-simulate-response"
+SESSION_RESPONSE_KIND = "repro-session-response"
+SESSION_DELTA_RESPONSE_KIND = "repro-session-delta-response"
+SESSION_SCHEDULE_RESPONSE_KIND = "repro-session-schedule-response"
+SESSION_DELETED_KIND = "repro-session-deleted"
 ERROR_KIND = "repro-error"
 WIRE_VERSION = 1
 
@@ -254,6 +262,92 @@ def parse_simulate_request(
     return problem, method, seed, slots
 
 
+def parse_session_create(
+    document: Any, max_sensors: int = DEFAULT_MAX_SENSORS
+) -> Tuple[SchedulingProblem, str, Optional[int], str]:
+    """Validate ``POST /v1/session`` into ``(problem, method, seed,
+    consistency)``.
+
+    Session methods are a subset of the solver's: the warm-start
+    machinery must be able to re-plan an arbitrary live subset, which
+    the randomized/LP methods cannot.  Sessions also require the
+    sparse regime (rho >= 1) -- a dense instance gets a structured
+    ``unsupported-instance`` instead of an incumbent it could never
+    repair.
+    """
+    from repro.sessions.session import CONSISTENCY_MODES, SESSION_METHODS
+
+    _require(
+        isinstance(document, dict),
+        "invalid-request",
+        f"request body must be a JSON object, got {type(document).__name__}",
+    )
+    unknown = set(document) - {"problem", "method", "seed", "consistency"}
+    _require(
+        not unknown,
+        "unknown-field",
+        f"unknown request fields: {sorted(unknown)}",
+    )
+    _require(
+        "problem" in document,
+        "invalid-request",
+        "request needs a 'problem' object",
+    )
+    problem = problem_from_wire(document["problem"], max_sensors=max_sensors)
+    method = document.get("method", "greedy")
+    _require(
+        isinstance(method, str) and method in SESSION_METHODS,
+        "unsupported-method",
+        f"sessions support methods {list(SESSION_METHODS)}, got {method!r}",
+    )
+    consistency = document.get("consistency", "warm")
+    _require(
+        isinstance(consistency, str) and consistency in CONSISTENCY_MODES,
+        "invalid-field",
+        f"'consistency' must be one of {list(CONSISTENCY_MODES)}, "
+        f"got {consistency!r}",
+    )
+    _require(
+        problem.is_sparse_regime,
+        "unsupported-instance",
+        f"sessions repair sparse-regime (rho >= 1) schedules; "
+        f"got rho={problem.rho:g}",
+    )
+    seed = _get_int(document, "seed")
+    return problem, method, seed, consistency
+
+
+def parse_session_delta(document: Any) -> "Delta":
+    """Validate ``POST /v1/session/{id}/delta`` into a ``Delta``.
+
+    Delta-grammar failures surface as :class:`WireError` with the
+    :class:`~repro.sessions.deltas.DeltaError` code passed through
+    (``invalid-delta`` / ``unknown-delta`` / ``unsupported-delta``).
+    """
+    from repro.sessions.deltas import DeltaError, delta_from_dict
+
+    _require(
+        isinstance(document, dict),
+        "invalid-request",
+        f"request body must be a JSON object, got {type(document).__name__}",
+    )
+    unknown = set(document) - {"delta"}
+    _require(
+        not unknown,
+        "unknown-field",
+        f"unknown request fields: {sorted(unknown)}",
+    )
+    _require(
+        "delta" in document,
+        "invalid-request",
+        "request needs a 'delta' object",
+    )
+    try:
+        return delta_from_dict(document["delta"])
+    except DeltaError as error:
+        raise WireError(error.code, error.message) from error
+
+
 # ----------------------------------------------------------------------
 # Responses
 # ----------------------------------------------------------------------
@@ -326,6 +420,101 @@ def simulate_response(
     if degraded_source is not None:
         body["degraded_source"] = degraded_source
     return body
+
+
+def session_to_wire(session: "Session") -> Dict[str, Any]:
+    """The session envelope every session response carries."""
+    problem = session.problem
+    return {
+        "id": session.session_id,
+        "seq": session.seq,
+        "method": session.method,
+        "consistency": session.consistency,
+        "num_sensors": problem.num_sensors,
+        "rho": problem.rho,
+        "slots_per_period": problem.slots_per_period,
+        "num_periods": problem.num_periods,
+        "failed": sorted(session.failed),
+        "live_sensors": len(session.live_sensors()),
+        "fingerprint": session.state_fingerprint,
+        "lineage": session.lineage[-1] if session.lineage else None,
+    }
+
+
+def session_result_to_wire(session: "Session") -> Dict[str, Any]:
+    """The deterministic schedule payload of a session answer.
+
+    Utilities are *periodic*: the per-period value of the incumbent
+    assignment, its per-slot average, and the ``num_periods``
+    extrapolation -- the natural quantities for a schedule that is
+    live and mutable rather than unrolled once.
+    """
+    utility = session.period_utility()
+    slots = session.slots_per_period
+    return {
+        "period_utility": utility,
+        "average_slot_utility": utility / slots,
+        "total_utility": utility * session.problem.num_periods,
+        "schedule": schedule_to_dict(session.schedule()),
+    }
+
+
+def session_response(
+    session: "Session", degraded_source: Optional[str] = None
+) -> Dict[str, Any]:
+    """``POST /v1/session`` (creation) body."""
+    body = {
+        "kind": SESSION_RESPONSE_KIND,
+        "version": WIRE_VERSION,
+        "session": session_to_wire(session),
+        "result": session_result_to_wire(session),
+        "degraded": degraded_source is not None,
+    }
+    if degraded_source is not None:
+        body["degraded_source"] = degraded_source
+    return body
+
+
+def session_delta_response(
+    session: "Session", outcome: "DeltaOutcome"
+) -> Dict[str, Any]:
+    """``POST /v1/session/{id}/delta`` body."""
+    body = {
+        "kind": SESSION_DELTA_RESPONSE_KIND,
+        "version": WIRE_VERSION,
+        "session": session_to_wire(session),
+        "delta": {
+            "seq": outcome.seq,
+            "kind": outcome.kind,
+            "resolve": outcome.resolve,
+            "moves": outcome.moves,
+            "structural": outcome.structural,
+        },
+        "result": session_result_to_wire(session),
+        "degraded": outcome.degraded,
+    }
+    if outcome.degraded:
+        body["degraded_source"] = "warm-repair"
+    return body
+
+
+def session_schedule_response(session: "Session") -> Dict[str, Any]:
+    """``GET /v1/session/{id}/schedule`` body."""
+    return {
+        "kind": SESSION_SCHEDULE_RESPONSE_KIND,
+        "version": WIRE_VERSION,
+        "session": session_to_wire(session),
+        "result": session_result_to_wire(session),
+    }
+
+
+def session_deleted_response(session_id: str) -> Dict[str, Any]:
+    """``DELETE /v1/session/{id}`` body."""
+    return {
+        "kind": SESSION_DELETED_KIND,
+        "version": WIRE_VERSION,
+        "id": session_id,
+    }
 
 
 def error_body(code: str, message: str) -> Dict[str, Any]:

@@ -1,0 +1,69 @@
+"""Long-lived scheduling sessions: delta streams over a live schedule.
+
+The paper's deployment is online -- sensors fail, weather shifts
+``rho``, target weights drift -- but :func:`repro.core.solver.solve`
+is one-shot.  This package makes the schedule a *mutable, repairable
+object*:
+
+- :mod:`repro.sessions.deltas` -- the typed edit grammar and its pure
+  application semantics;
+- :mod:`repro.sessions.session` -- :class:`Session`: incumbent
+  assignment + live per-slot incremental evaluators, warm-start
+  re-solve (:func:`repro.core.repair.scoped_repair`), transactional
+  rollback, fingerprint lineage, and the asserted-equivalent
+  ``full_resolve`` escape hatch;
+- :mod:`repro.sessions.store` -- the bounded, TTL-evicting,
+  checkpointing :class:`SessionStore` the HTTP service mounts at
+  ``/v1/session``;
+- :mod:`repro.sessions.replay` -- deterministic replay of a JSONL
+  delta log (``repro session replay``).
+
+See docs/SESSIONS.md for the lifecycle, delta grammar, and the
+warm-vs-exact consistency contract.
+"""
+
+from repro.sessions.deltas import (
+    DELTA_KINDS,
+    Delta,
+    DeltaError,
+    apply_delta,
+    delta_from_dict,
+)
+from repro.sessions.session import (
+    CONSISTENCY_MODES,
+    SESSION_METHODS,
+    ColdResolveUnavailableError,
+    DeltaOutcome,
+    Session,
+    SessionClosedError,
+    SessionError,
+    SessionStateError,
+    period_utility_of,
+)
+from repro.sessions.store import (
+    SessionGoneError,
+    SessionNotFoundError,
+    SessionStore,
+    StoreFullError,
+)
+
+__all__ = [
+    "DELTA_KINDS",
+    "Delta",
+    "DeltaError",
+    "apply_delta",
+    "delta_from_dict",
+    "CONSISTENCY_MODES",
+    "SESSION_METHODS",
+    "ColdResolveUnavailableError",
+    "DeltaOutcome",
+    "Session",
+    "SessionClosedError",
+    "SessionError",
+    "SessionStateError",
+    "period_utility_of",
+    "SessionGoneError",
+    "SessionNotFoundError",
+    "SessionStore",
+    "StoreFullError",
+]

@@ -1,0 +1,500 @@
+"""The session delta grammar: typed edits to a live scheduling instance.
+
+The paper's deployment setting is online -- sensors fail and recover,
+weather changes the harvest rate (and with it ``rho = T_r / T_d``),
+targets gain or lose importance -- yet a solver call is a one-shot
+function.  A :class:`Delta` is the unit of change a long-lived
+:class:`~repro.sessions.session.Session` accepts between solves::
+
+    {"kind": "sensor-failed",   "sensor": 3}
+    {"kind": "sensor-recovered","sensor": 3}
+    {"kind": "sensor-added",    "p": 0.4}            # family-specific params
+    {"kind": "rho-change",      "rho": 4}
+    {"kind": "harvest-shift",   "factor": 1.5}       # scales T_r (weather)
+    {"kind": "weight-change",   "sensor": 3, "value": 0.7}
+    {"kind": "target-weight-change", "element": 2, "value": 5.0}
+
+Application is a *pure* function (:func:`apply_delta`): given the
+current problem and failed-sensor set it returns a
+:class:`DeltaEffect` describing the successor state and what the
+warm-start machinery must do about it -- which slots became *dirty*,
+which sensors need placing or dropping, and whether the edit is
+*structural* (it changed ``T``, so the incumbent assignment is
+meaningless and only a cold re-solve makes sense).  Keeping
+application pure is what makes session rollback and the differential
+delta-walk suite trivial: the same chain of documents always produces
+the same chain of states.
+
+Utility edits go through the :mod:`repro.io.serialization` documents:
+the current utility is serialized, the document is mutated, and the
+family constructor re-validates on the way back in -- so a delta can
+never build a utility state that could not have arrived over the wire.
+
+Failures raise :class:`DeltaError` with a stable machine-readable
+``code``:
+
+- ``invalid-delta`` -- malformed or semantically impossible (unknown
+  sensor, failing an already-failed sensor, non-integral ``rho``...);
+- ``unknown-delta`` -- unrecognized ``kind``;
+- ``unsupported-delta`` -- recognized but not applicable to this
+  session (a ``rho`` crossing into the dense regime, a family without
+  the edited parameter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Optional, Set, Tuple
+
+from repro.core.problem import SchedulingProblem
+from repro.energy.period import ChargingPeriod
+from repro.io.serialization import utility_from_dict, utility_to_dict
+
+#: Every delta kind the grammar accepts, in documentation order.
+DELTA_KINDS: Tuple[str, ...] = (
+    "sensor-failed",
+    "sensor-recovered",
+    "sensor-added",
+    "rho-change",
+    "harvest-shift",
+    "weight-change",
+    "target-weight-change",
+)
+
+#: Wire fields each kind accepts (beyond "kind"); everything else is
+#: rejected so typos fail loudly instead of silently no-opping.
+_FIELDS: Dict[str, FrozenSet[str]] = {
+    "sensor-failed": frozenset({"sensor"}),
+    "sensor-recovered": frozenset({"sensor"}),
+    "sensor-added": frozenset({"p", "weight", "covers"}),
+    "rho-change": frozenset({"rho"}),
+    "harvest-shift": frozenset({"factor"}),
+    "weight-change": frozenset({"sensor", "value"}),
+    "target-weight-change": frozenset({"element", "value"}),
+}
+
+
+class DeltaError(ValueError):
+    """A delta failed validation or application; ``code`` is stable."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+
+def _fail(code: str, message: str) -> None:
+    raise DeltaError(code, message)
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One validated edit.  Unused fields stay ``None``."""
+
+    kind: str
+    sensor: Optional[int] = None
+    value: Optional[float] = None
+    factor: Optional[float] = None
+    rho: Optional[float] = None
+    element: Optional[int] = None
+    p: Optional[float] = None
+    weight: Optional[float] = None
+    covers: Optional[Tuple[int, ...]] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical wire document (only the fields that are set)."""
+        document: Dict[str, Any] = {"kind": self.kind}
+        for name in ("sensor", "value", "factor", "rho", "element", "p", "weight"):
+            value = getattr(self, name)
+            if value is not None:
+                document[name] = value
+        if self.covers is not None:
+            document["covers"] = list(self.covers)
+        return document
+
+
+@dataclass(frozen=True)
+class DeltaEffect:
+    """What applying a delta does to session state.
+
+    Attributes
+    ----------
+    problem:
+        The successor instance (may be the same object when only the
+        failed set changed).
+    failed:
+        The successor failed-sensor set.
+    structural:
+        ``T`` changed -- the incumbent assignment cannot be repaired,
+        only replaced by a cold re-solve.
+    utility_changed:
+        The utility function object was rebuilt; live evaluators must
+        be re-based onto the new function before any warm repair.
+    dirty_slots:
+        Slots whose membership or gains the delta perturbed; the warm
+        path seeds :func:`~repro.core.repair.scoped_repair` with them.
+    drop_sensors:
+        Sensors to remove from the incumbent assignment (failures).
+    place_sensors:
+        Live sensors with no slot yet (recoveries, additions); place
+        with :func:`~repro.core.repair.best_slot_for` before repairing.
+    """
+
+    problem: SchedulingProblem
+    failed: FrozenSet[int]
+    structural: bool = False
+    utility_changed: bool = False
+    dirty_slots: Tuple[int, ...] = ()
+    drop_sensors: Tuple[int, ...] = ()
+    place_sensors: Tuple[int, ...] = ()
+
+
+# ----------------------------------------------------------------------
+# Wire parsing
+# ----------------------------------------------------------------------
+
+
+def _wire_int(document: Dict[str, Any], field: str) -> Optional[int]:
+    value = document.get(field)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, int):
+        _fail("invalid-delta", f"{field!r} must be an integer, got {value!r}")
+    return value
+
+
+def _wire_number(document: Dict[str, Any], field: str) -> Optional[float]:
+    value = document.get(field)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        _fail("invalid-delta", f"{field!r} must be a number, got {value!r}")
+    return float(value)
+
+
+def delta_from_dict(document: Any) -> Delta:
+    """Validate a wire document into a :class:`Delta`.
+
+    Shape-only validation: whether the delta *applies* to the current
+    session state (sensor exists, family has weights, ...) is decided
+    by :func:`apply_delta`, which sees that state.
+    """
+    if not isinstance(document, dict):
+        _fail(
+            "invalid-delta",
+            f"delta must be an object, got {type(document).__name__}",
+        )
+    kind = document.get("kind")
+    if kind not in _FIELDS:
+        _fail(
+            "unknown-delta",
+            f"unknown delta kind {kind!r}; choose from {list(DELTA_KINDS)}",
+        )
+    unknown = set(document) - _FIELDS[kind] - {"kind"}
+    if unknown:
+        _fail(
+            "invalid-delta",
+            f"{kind} does not accept fields {sorted(unknown)}",
+        )
+
+    sensor = _wire_int(document, "sensor")
+    element = _wire_int(document, "element")
+    value = _wire_number(document, "value")
+    factor = _wire_number(document, "factor")
+    rho = _wire_number(document, "rho")
+    p = _wire_number(document, "p")
+    weight = _wire_number(document, "weight")
+    covers: Optional[Tuple[int, ...]] = None
+    if "covers" in document:
+        raw = document["covers"]
+        if not isinstance(raw, list) or any(
+            isinstance(e, bool) or not isinstance(e, int) for e in raw
+        ):
+            _fail(
+                "invalid-delta",
+                f"'covers' must be a list of element ids, got {raw!r}",
+            )
+        covers = tuple(sorted(set(raw)))
+
+    if kind in ("sensor-failed", "sensor-recovered") and sensor is None:
+        _fail("invalid-delta", f"{kind} needs a 'sensor' id")
+    if kind == "rho-change" and rho is None:
+        _fail("invalid-delta", "rho-change needs 'rho'")
+    if kind == "harvest-shift":
+        if factor is None:
+            _fail("invalid-delta", "harvest-shift needs 'factor'")
+        if factor <= 0:
+            _fail("invalid-delta", f"'factor' must be > 0, got {factor}")
+    if kind == "weight-change" and value is None:
+        _fail("invalid-delta", "weight-change needs 'value'")
+    if kind == "target-weight-change" and (element is None or value is None):
+        _fail("invalid-delta", "target-weight-change needs 'element' and 'value'")
+    if kind == "sensor-added" and sum(
+        x is not None for x in (p, weight, covers)
+    ) > 1:
+        _fail(
+            "invalid-delta",
+            "sensor-added takes at most one of 'p', 'weight', 'covers'",
+        )
+
+    return Delta(
+        kind=kind,
+        sensor=sensor,
+        value=value,
+        factor=factor,
+        rho=rho,
+        element=element,
+        p=p,
+        weight=weight,
+        covers=covers,
+    )
+
+
+# ----------------------------------------------------------------------
+# Application (pure)
+# ----------------------------------------------------------------------
+
+
+def _with_utility(problem: SchedulingProblem, utility_doc: Dict[str, Any],
+                  num_sensors: Optional[int] = None) -> SchedulingProblem:
+    """Rebuild the problem around a mutated utility document."""
+    try:
+        utility = utility_from_dict(utility_doc)
+    except (KeyError, TypeError, ValueError) as error:
+        raise DeltaError(
+            "invalid-delta", f"edit produces an invalid utility: {error}"
+        ) from error
+    return SchedulingProblem(
+        num_sensors=(
+            problem.num_sensors if num_sensors is None else num_sensors
+        ),
+        period=problem.period,
+        utility=utility,
+        num_periods=problem.num_periods,
+    )
+
+
+def _with_period(
+    problem: SchedulingProblem, period: ChargingPeriod
+) -> SchedulingProblem:
+    return SchedulingProblem(
+        num_sensors=problem.num_sensors,
+        period=period,
+        utility=problem.utility,
+        num_periods=problem.num_periods,
+    )
+
+
+def _require_sparse(period: ChargingPeriod, what: str) -> None:
+    if period.rho < 1:
+        _fail(
+            "unsupported-delta",
+            f"{what} crosses into the dense regime (rho < 1); sessions "
+            "only repair sparse-regime (rho >= 1) schedules -- open a "
+            "new session for the dense instance",
+        )
+
+
+def _all_slots(problem: SchedulingProblem) -> Tuple[int, ...]:
+    return tuple(range(problem.slots_per_period))
+
+
+def apply_delta(
+    problem: SchedulingProblem,
+    failed: Set[int],
+    delta: Delta,
+) -> DeltaEffect:
+    """Pure successor-state computation; raises :class:`DeltaError`.
+
+    Neither argument is mutated.  Utility edits round-trip through the
+    :mod:`repro.io.serialization` documents so the family constructors
+    re-validate every parameter.
+    """
+    kind = delta.kind
+    n = problem.num_sensors
+
+    if kind == "sensor-failed":
+        v = delta.sensor
+        if not 0 <= v < n:
+            _fail("invalid-delta", f"sensor {v} outside 0..{n - 1}")
+        if v in failed:
+            _fail("invalid-delta", f"sensor {v} is already failed")
+        return DeltaEffect(
+            problem=problem,
+            failed=frozenset(failed | {v}),
+            drop_sensors=(v,),
+            # The home slot just lost a member; scoped_repair discovers
+            # it from the assignment (the session passes it in).
+        )
+
+    if kind == "sensor-recovered":
+        v = delta.sensor
+        if v not in failed:
+            _fail("invalid-delta", f"sensor {v} is not failed")
+        return DeltaEffect(
+            problem=problem,
+            failed=frozenset(failed - {v}),
+            place_sensors=(v,),
+        )
+
+    if kind == "sensor-added":
+        new_id = n
+        doc = utility_to_dict(problem.utility)
+        family = doc["kind"]
+        if family == "homogeneous-detection":
+            if delta.p is not None or delta.weight is not None or delta.covers:
+                _fail(
+                    "invalid-delta",
+                    "homogeneous-detection sensors share the global p; "
+                    "sensor-added takes no parameters for this family",
+                )
+            doc["sensors"] = sorted(doc["sensors"]) + [new_id]
+        elif family == "detection":
+            if delta.p is None:
+                _fail(
+                    "invalid-delta",
+                    "sensor-added on a detection utility needs 'p'",
+                )
+            doc["probabilities"][str(new_id)] = delta.p
+        elif family == "logsum":
+            if delta.weight is None:
+                _fail(
+                    "invalid-delta",
+                    "sensor-added on a logsum utility needs 'weight'",
+                )
+            doc["weights"][str(new_id)] = delta.weight
+        elif family == "weighted-coverage":
+            if delta.covers is None:
+                _fail(
+                    "invalid-delta",
+                    "sensor-added on a weighted-coverage utility needs "
+                    "'covers' (the element ids the sensor covers)",
+                )
+            known = set(doc["element_weights"])
+            missing = [e for e in delta.covers if str(e) not in known]
+            if missing:
+                _fail(
+                    "invalid-delta",
+                    f"'covers' names unknown elements {missing}; new "
+                    "elements are not introducible by sensor-added",
+                )
+            doc["covers"][str(new_id)] = sorted(delta.covers)
+        else:
+            _fail(
+                "unsupported-delta",
+                f"sensor-added is not supported for the {family} family "
+                "(per-target contributions cannot be inferred)",
+            )
+        return DeltaEffect(
+            problem=_with_utility(problem, doc, num_sensors=n + 1),
+            failed=frozenset(failed),
+            utility_changed=True,
+            place_sensors=(new_id,),
+        )
+
+    if kind == "rho-change":
+        try:
+            period = ChargingPeriod.from_ratio(
+                delta.rho, discharge_time=problem.period.discharge_time
+            )
+        except ValueError as error:
+            raise DeltaError("invalid-delta", str(error)) from error
+        _require_sparse(period, f"rho-change to {delta.rho:g}")
+        if period.slots_per_period == problem.slots_per_period:
+            return DeltaEffect(problem=problem, failed=frozenset(failed))
+        return DeltaEffect(
+            problem=_with_period(problem, period),
+            failed=frozenset(failed),
+            structural=True,
+        )
+
+    if kind == "harvest-shift":
+        old = problem.period
+        try:
+            period = ChargingPeriod(
+                discharge_time=old.discharge_time,
+                recharge_time=old.recharge_time * delta.factor,
+            )
+        except ValueError as error:
+            raise DeltaError(
+                "invalid-delta",
+                f"harvest-shift by {delta.factor:g} leaves a non-integral "
+                f"rho ({error}); pick a factor that keeps T_r/T_d integral",
+            ) from error
+        _require_sparse(period, f"harvest-shift by {delta.factor:g}")
+        if period.slots_per_period == problem.slots_per_period:
+            return DeltaEffect(problem=problem, failed=frozenset(failed))
+        return DeltaEffect(
+            problem=_with_period(problem, period),
+            failed=frozenset(failed),
+            structural=True,
+        )
+
+    if kind == "weight-change":
+        doc = utility_to_dict(problem.utility)
+        family = doc["kind"]
+        if family == "homogeneous-detection":
+            if delta.sensor is not None:
+                _fail(
+                    "unsupported-delta",
+                    "homogeneous-detection has one global p; omit 'sensor' "
+                    "to change it for everyone",
+                )
+            doc["p"] = delta.value
+        elif family == "detection":
+            if delta.sensor is None:
+                _fail("invalid-delta", "detection weight-change needs 'sensor'")
+            key = str(delta.sensor)
+            if key not in doc["probabilities"]:
+                _fail(
+                    "invalid-delta",
+                    f"sensor {delta.sensor} has no detection probability",
+                )
+            doc["probabilities"][key] = delta.value
+        elif family == "logsum":
+            if delta.sensor is None:
+                _fail("invalid-delta", "logsum weight-change needs 'sensor'")
+            key = str(delta.sensor)
+            if key not in doc["weights"]:
+                _fail(
+                    "invalid-delta", f"sensor {delta.sensor} has no weight"
+                )
+            doc["weights"][key] = delta.value
+        else:
+            _fail(
+                "unsupported-delta",
+                f"weight-change is not supported for the {family} family "
+                "(use target-weight-change for element weights)",
+            )
+        return DeltaEffect(
+            problem=_with_utility(problem, doc),
+            failed=frozenset(failed),
+            utility_changed=True,
+            # A weight edit moves gains in every slot; T is small, so
+            # dirtying them all keeps the repair exact and still O(n*T).
+            dirty_slots=_all_slots(problem),
+        )
+
+    if kind == "target-weight-change":
+        doc = utility_to_dict(problem.utility)
+        family = doc["kind"]
+        if family != "weighted-coverage":
+            _fail(
+                "unsupported-delta",
+                f"target-weight-change edits weighted-coverage element "
+                f"weights; the {family} family has none",
+            )
+        key = str(delta.element)
+        if key not in doc["element_weights"]:
+            _fail(
+                "invalid-delta", f"element {delta.element} has no weight"
+            )
+        doc["element_weights"][key] = delta.value
+        return DeltaEffect(
+            problem=_with_utility(problem, doc),
+            failed=frozenset(failed),
+            utility_changed=True,
+            dirty_slots=_all_slots(problem),
+        )
+
+    raise DeltaError("unknown-delta", f"unknown delta kind {kind!r}")

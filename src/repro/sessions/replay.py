@@ -1,0 +1,187 @@
+"""Deterministic replay of a session delta log (``repro session replay``).
+
+A delta log is JSONL: the first record creates the session, every
+following record applies one delta, in order::
+
+    {"kind": "session-create", "problem": {...}, "method": "greedy",
+     "consistency": "warm"}
+    {"kind": "session-delta", "delta": {"kind": "sensor-failed", "sensor": 3}}
+    {"kind": "session-delta", "delta": {"kind": "sensor-recovered", "sensor": 3}}
+
+The ``problem`` document is the same wire format ``POST /v1/solve``
+accepts (:func:`repro.serve.schemas.problem_from_wire`), so a captured
+service request replays unchanged.  Replay is the offline twin of the
+HTTP delta endpoint: same :class:`~repro.sessions.session.Session`
+machinery, same resolve modes, no network -- which makes a seeded log
+a CI smoke test for the whole subsystem (see the ``sessions-smoke``
+job).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.sessions.deltas import delta_from_dict
+from repro.sessions.session import Session
+
+PathLike = Union[str, Path]
+
+
+@dataclass
+class ReplayStep:
+    """One committed delta during replay."""
+
+    seq: int
+    kind: str
+    resolve: str
+    moves: int
+    seconds: float
+    period_utility: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seq": self.seq,
+            "kind": self.kind,
+            "resolve": self.resolve,
+            "moves": self.moves,
+            "seconds": self.seconds,
+            "period_utility": self.period_utility,
+        }
+
+
+@dataclass
+class ReplayReport:
+    """Everything a replay run produced."""
+
+    num_sensors: int
+    slots_per_period: int
+    method: str
+    consistency: str
+    initial_utility: float
+    steps: List[ReplayStep] = field(default_factory=list)
+
+    @property
+    def final_utility(self) -> float:
+        return (
+            self.steps[-1].period_utility
+            if self.steps
+            else self.initial_utility
+        )
+
+    @property
+    def warm_fraction(self) -> float:
+        if not self.steps:
+            return 1.0
+        warm = sum(1 for s in self.steps if s.resolve in ("warm", "none"))
+        return warm / len(self.steps)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": "repro-session-replay",
+            "version": 1,
+            "num_sensors": self.num_sensors,
+            "slots_per_period": self.slots_per_period,
+            "method": self.method,
+            "consistency": self.consistency,
+            "initial_utility": self.initial_utility,
+            "final_utility": self.final_utility,
+            "warm_fraction": self.warm_fraction,
+            "steps": [step.to_dict() for step in self.steps],
+        }
+
+
+def load_delta_log(
+    path: PathLike,
+) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
+    """Parse a log into ``(create_record, delta_records)``; fail loudly."""
+    records: List[Dict[str, Any]] = []
+    with Path(path).open() as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(
+                    f"{path}:{lineno}: not valid JSON: {error}"
+                ) from error
+            if not isinstance(record, dict):
+                raise ValueError(
+                    f"{path}:{lineno}: record must be an object"
+                )
+            records.append(record)
+    if not records:
+        raise ValueError(f"{path}: empty delta log")
+    head, tail = records[0], records[1:]
+    if head.get("kind") != "session-create":
+        raise ValueError(
+            f"{path}:1: first record must have kind 'session-create', "
+            f"got {head.get('kind')!r}"
+        )
+    for offset, record in enumerate(tail, start=2):
+        if record.get("kind") != "session-delta":
+            raise ValueError(
+                f"{path}:{offset}: expected kind 'session-delta', "
+                f"got {record.get('kind')!r}"
+            )
+        if "delta" not in record:
+            raise ValueError(f"{path}:{offset}: missing 'delta' object")
+    return head, tail
+
+
+def replay_log(
+    path: PathLike,
+    cache=None,
+    deadline: Optional[float] = None,
+) -> ReplayReport:
+    """Replay a delta log through a fresh in-process session.
+
+    Raises ``ValueError`` for malformed logs and lets
+    :class:`~repro.sessions.deltas.DeltaError` /
+    :class:`~repro.sessions.session.SessionError` propagate -- the CLI
+    maps all of them to its exit-2 invalid-input contract.
+    """
+    # Imported here: pulling the serve package in at module import
+    # would drag the HTTP stack into every `import repro.sessions`.
+    from repro.serve.schemas import WireError, problem_from_wire
+
+    create, delta_records = load_delta_log(path)
+    if "problem" not in create:
+        raise ValueError("session-create record needs a 'problem' object")
+    try:
+        problem = problem_from_wire(create["problem"])
+    except WireError as error:
+        raise ValueError(f"invalid problem in delta log: {error}") from error
+    session = Session(
+        problem=problem,
+        method=create.get("method", "greedy"),
+        seed=create.get("seed"),
+        session_id="replay",
+        consistency=create.get("consistency", "warm"),
+        cache=cache,
+    )
+    report = ReplayReport(
+        num_sensors=problem.num_sensors,
+        slots_per_period=problem.slots_per_period,
+        method=session.method,
+        consistency=session.consistency,
+        initial_utility=session.period_utility(),
+    )
+    for record in delta_records:
+        delta = delta_from_dict(record["delta"])
+        outcome = session.apply(delta, deadline=deadline)
+        report.steps.append(
+            ReplayStep(
+                seq=outcome.seq,
+                kind=outcome.kind,
+                resolve=outcome.resolve,
+                moves=outcome.moves,
+                seconds=outcome.seconds,
+                period_utility=outcome.period_utility,
+            )
+        )
+    return report

@@ -1,0 +1,331 @@
+"""The bounded, TTL-evicting, crash-safe session store.
+
+Sessions hold real resources -- per-slot incremental evaluators over
+potentially thousands of sensors -- so the store is where the serving
+layer's capacity discipline lives:
+
+- **bounded**: at most ``capacity`` live sessions; creating one more
+  first evicts the least-recently-used *idle* session, and if every
+  session is mid-request, refuses (:class:`StoreFullError` -> 429).
+- **TTL**: sessions idle past ``ttl`` seconds are evicted by
+  :meth:`sweep` (the service runs it on a timer and at admission).
+- **deterministic release**: a checkout refcount tracks in-flight
+  handlers.  ``delete`` always *closes* the session immediately (the
+  in-flight delta observes the flag and rolls back with a structured
+  409), but the evaluators are only freed when the last holder exits
+  -- an evicted session is never operated on after its resources are
+  freed, and never freed under an active request.
+- **tombstones**: a bounded memory of evicted ids so clients get an
+  honest 410 ("existed, gone: " + reason) instead of a 404.
+- **crash safety**: every committed delta checkpoints the session
+  through :func:`repro.io.checkpoint.save_checkpoint` (atomic
+  write-then-rename); a store built over the same directory re-adopts
+  every checkpointed session, and eviction unlinks the file so deleted
+  sessions stay deleted.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+import time
+import uuid
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional
+
+from repro.io.checkpoint import load_checkpoint, save_checkpoint
+from repro.obs import events as obs_events
+from repro.obs.registry import get_registry
+from repro.sessions.session import Session
+
+_ACTIVE_HELP = "Live sessions in the store"
+_CREATED_HELP = "Sessions created (including checkpoint restores)"
+_EVICTIONS_HELP = "Session evictions by reason"
+_CHECKPOINTS_HELP = "Session checkpoints written"
+
+#: Evicted ids remembered for honest 410s; beyond this the oldest
+#: tombstones decay back into 404s (an acceptable trade for a bound).
+MAX_TOMBSTONES = 1024
+
+
+class SessionNotFoundError(KeyError):
+    """No session with that id (never existed, or tombstone decayed)."""
+
+    def __init__(self, session_id: str):
+        super().__init__(session_id)
+        self.session_id = session_id
+        self.message = f"no session {session_id!r}"
+
+
+class SessionGoneError(KeyError):
+    """The session existed and was evicted; ``reason`` says why."""
+
+    def __init__(self, session_id: str, reason: str):
+        super().__init__(session_id)
+        self.session_id = session_id
+        self.reason = reason
+        self.message = f"session {session_id!r} is gone (evicted: {reason})"
+
+
+class StoreFullError(RuntimeError):
+    """Capacity reached and every resident session is mid-request."""
+
+
+class _Entry:
+    __slots__ = ("session", "lock", "last_used", "holders", "pending_release")
+
+    def __init__(self, session: Session, now: float):
+        self.session = session
+        self.lock = threading.Lock()
+        self.last_used = now
+        self.holders = 0
+        self.pending_release = False
+
+
+class SessionStore:
+    """Thread-safe registry of live :class:`Session` objects."""
+
+    def __init__(
+        self,
+        capacity: int = 64,
+        ttl: float = 600.0,
+        checkpoint_dir: Optional[str] = None,
+        cache=None,
+        clock=time.monotonic,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if ttl <= 0:
+            raise ValueError(f"ttl must be > 0, got {ttl}")
+        self.capacity = capacity
+        self.ttl = ttl
+        self.cache = cache
+        self.clock = clock
+        self.checkpoint_dir = (
+            Path(checkpoint_dir) if checkpoint_dir is not None else None
+        )
+        self._lock = threading.Lock()
+        self._entries: Dict[str, _Entry] = {}
+        self._tombstones: Dict[str, str] = {}
+        self._tombstone_order: List[str] = []
+        if self.checkpoint_dir is not None:
+            self._restore_checkpoints()
+
+    # -- creation ------------------------------------------------------
+
+    def create(
+        self,
+        problem,
+        method: str = "greedy",
+        seed: Optional[int] = None,
+        consistency: str = "warm",
+        incumbent_assignment=None,
+    ) -> Session:
+        """Admit a new session (evicting an idle LRU one if full)."""
+        self.sweep()
+        session_id = uuid.uuid4().hex
+        session = Session(
+            problem=problem,
+            method=method,
+            seed=seed,
+            session_id=session_id,
+            consistency=consistency,
+            cache=self.cache,
+            incumbent_assignment=incumbent_assignment,
+            on_commit=self._checkpoint,
+        )
+        with self._lock:
+            while len(self._entries) >= self.capacity:
+                victim = self._idle_lru_locked()
+                if victim is None:
+                    raise StoreFullError(
+                        f"all {self.capacity} sessions are mid-request; "
+                        "retry shortly"
+                    )
+                self._evict_locked(victim, "capacity")
+            self._entries[session_id] = _Entry(session, self.clock())
+            self._set_active_gauge_locked()
+        get_registry().counter(
+            "repro_session_created_total", _CREATED_HELP
+        ).inc()
+        self._checkpoint(session)
+        return session
+
+    # -- access --------------------------------------------------------
+
+    @contextlib.contextmanager
+    def checkout(self, session_id: str) -> Iterator[Session]:
+        """Exclusive access to one session for the span of a request.
+
+        Raises :class:`SessionNotFoundError` / :class:`SessionGoneError`
+        up front.  If the session is deleted *while checked out*, the
+        session's own closed flag makes the in-flight apply raise (the
+        handler maps it to 409) and the exit path performs the deferred
+        resource release once no holder remains.
+        """
+        with self._lock:
+            entry = self._entries.get(session_id)
+            if entry is None:
+                self._raise_missing_locked(session_id)
+            entry.holders += 1
+            entry.last_used = self.clock()
+        try:
+            with entry.lock:
+                yield entry.session
+        finally:
+            release = False
+            with self._lock:
+                entry.holders -= 1
+                entry.last_used = self.clock()
+                if entry.pending_release and entry.holders == 0:
+                    entry.pending_release = False
+                    release = True
+            if release:
+                entry.session.release()
+
+    def get_unchecked(self, session_id: str) -> Session:
+        """Peek without holding (introspection only -- healthz, tests)."""
+        with self._lock:
+            entry = self._entries.get(session_id)
+            if entry is None:
+                self._raise_missing_locked(session_id)
+            return entry.session
+
+    def ids(self) -> List[str]:
+        with self._lock:
+            return sorted(self._entries)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    # -- eviction ------------------------------------------------------
+
+    def delete(self, session_id: str, reason: str = "delete") -> None:
+        """Evict now.  In-flight deltas fail (409) and never commit;
+        resources free immediately if idle, else on last holder exit."""
+        with self._lock:
+            entry = self._entries.get(session_id)
+            if entry is None:
+                self._raise_missing_locked(session_id)
+            self._evict_locked(session_id, reason)
+
+    def sweep(self) -> int:
+        """Evict every idle session whose TTL expired; returns count."""
+        now = self.clock()
+        evicted = 0
+        with self._lock:
+            expired = [
+                session_id
+                for session_id, entry in self._entries.items()
+                if entry.holders == 0 and now - entry.last_used > self.ttl
+            ]
+            for session_id in expired:
+                self._evict_locked(session_id, "ttl")
+                evicted += 1
+        return evicted
+
+    def close(self) -> None:
+        """Evict everything (service shutdown).  Checkpoints are kept:
+        a restarted store over the same directory re-adopts them."""
+        with self._lock:
+            for session_id in list(self._entries):
+                self._evict_locked(
+                    session_id, "shutdown", unlink_checkpoint=False
+                )
+
+    # -- internals (store lock held) -----------------------------------
+
+    def _raise_missing_locked(self, session_id: str) -> None:
+        reason = self._tombstones.get(session_id)
+        if reason is not None and reason != "shutdown":
+            raise SessionGoneError(session_id, reason)
+        raise SessionNotFoundError(session_id)
+
+    def _idle_lru_locked(self) -> Optional[str]:
+        idle = [
+            (entry.last_used, session_id)
+            for session_id, entry in self._entries.items()
+            if entry.holders == 0
+        ]
+        if not idle:
+            return None
+        return min(idle)[1]
+
+    def _evict_locked(
+        self, session_id: str, reason: str, unlink_checkpoint: bool = True
+    ) -> None:
+        entry = self._entries.pop(session_id)
+        entry.session.close()
+        if entry.holders == 0:
+            entry.session.release()
+        else:
+            entry.pending_release = True
+        self._tombstones[session_id] = reason
+        self._tombstone_order.append(session_id)
+        if len(self._tombstone_order) > MAX_TOMBSTONES:
+            decayed = self._tombstone_order.pop(0)
+            self._tombstones.pop(decayed, None)
+        if unlink_checkpoint and self.checkpoint_dir is not None:
+            try:
+                self._checkpoint_path(session_id).unlink()
+            except OSError:
+                pass
+        self._set_active_gauge_locked()
+        get_registry().counter(
+            "repro_session_evictions_total", _EVICTIONS_HELP, reason=reason
+        ).inc()
+        obs_events.emit("session.evicted", id=session_id, reason=reason)
+
+    def _set_active_gauge_locked(self) -> None:
+        get_registry().gauge("repro_session_active", _ACTIVE_HELP).set(
+            len(self._entries)
+        )
+
+    # -- checkpointing -------------------------------------------------
+
+    def _checkpoint_path(self, session_id: str) -> Path:
+        assert self.checkpoint_dir is not None
+        return self.checkpoint_dir / f"{session_id}.json"
+
+    def _checkpoint(self, session: Session) -> None:
+        if self.checkpoint_dir is None:
+            return
+        save_checkpoint(
+            session.to_state(),
+            self._checkpoint_path(session.session_id),
+            config={"kind": "repro-session", "id": session.session_id},
+        )
+        get_registry().counter(
+            "repro_session_checkpoints_total", _CHECKPOINTS_HELP
+        ).inc()
+
+    def _restore_checkpoints(self) -> None:
+        directory = self.checkpoint_dir
+        if directory is None or not directory.is_dir():
+            return
+        now = self.clock()
+        for path in sorted(directory.glob("*.json")):
+            try:
+                state, config = load_checkpoint(path)
+                if config.get("kind") != "repro-session":
+                    continue
+                session = Session.from_state(
+                    state, cache=self.cache, on_commit=self._checkpoint
+                )
+            except Exception as error:
+                # A checkpoint that cannot be re-adopted must not take
+                # the service down with it; it is left on disk for
+                # inspection.
+                obs_events.emit(
+                    "session.restore_failed", path=str(path), error=str(error)
+                )
+                continue
+            with self._lock:
+                if len(self._entries) >= self.capacity:
+                    break
+                self._entries[session.session_id] = _Entry(session, now)
+                self._set_active_gauge_locked()
+            get_registry().counter(
+                "repro_session_created_total", _CREATED_HELP
+            ).inc()

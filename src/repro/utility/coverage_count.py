@@ -89,6 +89,19 @@ class WeightedCoverageUtility(UtilityFunction):
             self._weights[e] for e in self._covers[sensor] if e not in already
         )
 
+    def decrement(self, sensor: int, base: Iterable[int]) -> float:
+        # Direct sum over the uniquely-covered elements of ``sensor``,
+        # in ``covers[sensor]`` iteration order -- the same generator
+        # shape as ``marginal``, so CoverageEvaluator can reproduce it
+        # bit-for-bit from its counters.
+        base_set = as_sensor_set(base)
+        if sensor not in base_set or sensor not in self._ground:
+            return 0.0
+        others = self.covered_elements(base_set - {sensor})
+        return sum(
+            self._weights[e] for e in self._covers[sensor] if e not in others
+        )
+
 
 class CoverageCountUtility(WeightedCoverageUtility):
     """Unweighted coverage count: ``U(S) = |covered elements|``."""

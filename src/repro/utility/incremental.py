@@ -421,6 +421,20 @@ class CoverageEvaluator(IncrementalEvaluator):
             weights[e] for e in self._covers[sensor] if not counts.get(e)
         )
 
+    def _loss(self, sensor: int) -> float:
+        # An element vanishes from the cover exactly when this sensor
+        # is its *only* active coverer (count == 1).  Same frozenset,
+        # same order, same summation shape as
+        # ``WeightedCoverageUtility.decrement`` -- bit-equal, but O(d)
+        # instead of the O(|S| * d) covered-elements rescan.
+        if sensor not in self._active or sensor not in self._covers:
+            return 0.0
+        counts = self._counts
+        weights = self._weights
+        return sum(
+            weights[e] for e in self._covers[sensor] if counts[e] == 1
+        )
+
     def _state(self) -> Any:
         return dict(self._counts)
 

@@ -43,6 +43,14 @@ class Client:
             urllib.request.Request(self.base_url + path), timeout
         )
 
+    def delete(
+        self, path: str, timeout: float = 10.0
+    ) -> Tuple[int, Optional[Dict[str, Any]], bytes]:
+        return self._issue(
+            urllib.request.Request(self.base_url + path, method="DELETE"),
+            timeout,
+        )
+
     def _issue(self, request, timeout):
         try:
             with urllib.request.urlopen(request, timeout=timeout) as reply:

@@ -1,0 +1,260 @@
+"""Unit tests for the delta wire format and pure application."""
+
+import pytest
+
+from repro.core.problem import SchedulingProblem
+from repro.energy.period import ChargingPeriod
+from repro.sessions.deltas import (
+    DELTA_KINDS,
+    DeltaError,
+    apply_delta,
+    delta_from_dict,
+)
+from repro.utility.coverage_count import WeightedCoverageUtility
+from repro.utility.detection import (
+    DetectionUtility,
+    HomogeneousDetectionUtility,
+)
+from repro.utility.logsum import LogSumUtility
+from repro.utility.target_system import TargetSystem
+
+
+def homogeneous_problem(n=8, rho=3.0, p=0.4):
+    return SchedulingProblem(
+        num_sensors=n,
+        period=ChargingPeriod.from_ratio(rho),
+        utility=HomogeneousDetectionUtility(range(n), p=p),
+    )
+
+
+class TestWireFormat:
+    def test_every_kind_roundtrips(self):
+        documents = [
+            {"kind": "sensor-failed", "sensor": 3},
+            {"kind": "sensor-recovered", "sensor": 3},
+            {"kind": "sensor-added", "p": 0.5},
+            {"kind": "rho-change", "rho": 4},
+            {"kind": "harvest-shift", "factor": 1.5},
+            {"kind": "weight-change", "sensor": 2, "value": 0.7},
+            {"kind": "target-weight-change", "element": 1, "value": 5.0},
+        ]
+        assert {d["kind"] for d in documents} == set(DELTA_KINDS)
+        for document in documents:
+            delta = delta_from_dict(document)
+            assert delta_from_dict(delta.to_dict()) == delta
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(DeltaError) as info:
+            delta_from_dict({"kind": "sensor-teleported"})
+        assert info.value.code == "unknown-delta"
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(DeltaError) as info:
+            delta_from_dict({"kind": "sensor-failed", "sensr": 3})
+        assert info.value.code == "invalid-delta"
+
+    def test_missing_required_field_rejected(self):
+        for document in (
+            {"kind": "sensor-failed"},
+            {"kind": "rho-change"},
+            {"kind": "harvest-shift"},
+            {"kind": "weight-change"},
+            {"kind": "target-weight-change", "value": 1.0},
+        ):
+            with pytest.raises(DeltaError):
+                delta_from_dict(document)
+
+    def test_non_object_rejected(self):
+        with pytest.raises(DeltaError):
+            delta_from_dict(["sensor-failed", 3])
+
+    def test_sensor_added_params_are_exclusive(self):
+        with pytest.raises(DeltaError):
+            delta_from_dict({"kind": "sensor-added", "p": 0.4, "weight": 1.0})
+
+
+class TestApplyIsPure:
+    def test_inputs_untouched(self):
+        problem = homogeneous_problem()
+        failed = frozenset({1})
+        delta = delta_from_dict({"kind": "sensor-failed", "sensor": 2})
+        effect = apply_delta(problem, failed, delta)
+        assert failed == frozenset({1})
+        assert problem.num_sensors == 8
+        assert effect.failed == frozenset({1, 2})
+        assert effect.problem is not problem or effect.problem is problem
+
+
+class TestFailRecover:
+    def test_fail_drops_and_dirties(self):
+        problem = homogeneous_problem()
+        delta = delta_from_dict({"kind": "sensor-failed", "sensor": 5})
+        effect = apply_delta(problem, frozenset(), delta)
+        assert effect.drop_sensors == (5,)
+        assert not effect.structural
+        assert 5 in effect.failed
+
+    def test_fail_twice_rejected(self):
+        problem = homogeneous_problem()
+        delta = delta_from_dict({"kind": "sensor-failed", "sensor": 5})
+        with pytest.raises(DeltaError):
+            apply_delta(problem, frozenset({5}), delta)
+
+    def test_fail_out_of_range_rejected(self):
+        problem = homogeneous_problem(n=4)
+        delta = delta_from_dict({"kind": "sensor-failed", "sensor": 4})
+        with pytest.raises(DeltaError):
+            apply_delta(problem, frozenset(), delta)
+
+    def test_recover_requires_failed(self):
+        problem = homogeneous_problem()
+        delta = delta_from_dict({"kind": "sensor-recovered", "sensor": 5})
+        with pytest.raises(DeltaError):
+            apply_delta(problem, frozenset(), delta)
+        effect = apply_delta(problem, frozenset({5}), delta)
+        assert effect.place_sensors == (5,)
+        assert 5 not in effect.failed
+
+
+class TestSensorAdded:
+    def test_homogeneous_grows_ground_set(self):
+        problem = homogeneous_problem(n=6)
+        delta = delta_from_dict({"kind": "sensor-added"})
+        effect = apply_delta(problem, frozenset(), delta)
+        assert effect.problem.num_sensors == 7
+        assert effect.place_sensors == (6,)
+        assert effect.utility_changed
+
+    def test_detection_needs_p(self):
+        problem = SchedulingProblem(
+            num_sensors=3,
+            period=ChargingPeriod.from_ratio(2.0),
+            utility=DetectionUtility({0: 0.3, 1: 0.5, 2: 0.2}),
+        )
+        with pytest.raises(DeltaError):
+            apply_delta(
+                problem, frozenset(), delta_from_dict({"kind": "sensor-added"})
+            )
+        effect = apply_delta(
+            problem,
+            frozenset(),
+            delta_from_dict({"kind": "sensor-added", "p": 0.9}),
+        )
+        assert effect.problem.num_sensors == 4
+
+    def test_target_system_unsupported(self):
+        inner = [HomogeneousDetectionUtility(range(4), p=0.4)]
+        problem = SchedulingProblem(
+            num_sensors=4,
+            period=ChargingPeriod.from_ratio(2.0),
+            utility=TargetSystem([{0, 1, 2, 3}], inner),
+        )
+        with pytest.raises(DeltaError) as info:
+            apply_delta(
+                problem, frozenset(), delta_from_dict({"kind": "sensor-added"})
+            )
+        assert info.value.code == "unsupported-delta"
+
+
+class TestStructural:
+    def test_rho_change_same_T_is_noop(self):
+        problem = homogeneous_problem(rho=3.0)
+        delta = delta_from_dict({"kind": "rho-change", "rho": 3})
+        effect = apply_delta(problem, frozenset(), delta)
+        assert not effect.structural
+        assert effect.problem.slots_per_period == 4
+
+    def test_rho_change_new_T_is_structural(self):
+        problem = homogeneous_problem(rho=3.0)
+        delta = delta_from_dict({"kind": "rho-change", "rho": 5})
+        effect = apply_delta(problem, frozenset(), delta)
+        assert effect.structural
+        assert effect.problem.slots_per_period == 6
+
+    def test_rho_below_one_rejected(self):
+        problem = homogeneous_problem(rho=3.0)
+        delta = delta_from_dict({"kind": "rho-change", "rho": 0.5})
+        with pytest.raises(DeltaError) as info:
+            apply_delta(problem, frozenset(), delta)
+        assert info.value.code == "unsupported-delta"
+
+    def test_harvest_shift_scales_recharge(self):
+        problem = homogeneous_problem(rho=3.0)
+        delta = delta_from_dict(
+            {"kind": "harvest-shift", "factor": 4.0 / 3.0}
+        )
+        effect = apply_delta(problem, frozenset(), delta)
+        assert effect.structural
+        assert effect.problem.rho == pytest.approx(4.0)
+
+    def test_harvest_shift_non_integral_rejected(self):
+        problem = homogeneous_problem(rho=3.0)
+        delta = delta_from_dict({"kind": "harvest-shift", "factor": 1.1})
+        with pytest.raises(DeltaError):
+            apply_delta(problem, frozenset(), delta)
+
+
+class TestWeightChanges:
+    def test_homogeneous_global_p(self):
+        problem = homogeneous_problem(p=0.4)
+        delta = delta_from_dict({"kind": "weight-change", "value": 0.6})
+        effect = apply_delta(problem, frozenset(), delta)
+        assert effect.problem.utility.p == pytest.approx(0.6)
+        assert effect.utility_changed
+        assert not effect.structural
+
+    def test_homogeneous_per_sensor_rejected(self):
+        problem = homogeneous_problem()
+        delta = delta_from_dict(
+            {"kind": "weight-change", "sensor": 1, "value": 0.6}
+        )
+        with pytest.raises(DeltaError):
+            apply_delta(problem, frozenset(), delta)
+
+    def test_detection_per_sensor(self):
+        problem = SchedulingProblem(
+            num_sensors=3,
+            period=ChargingPeriod.from_ratio(2.0),
+            utility=DetectionUtility({0: 0.3, 1: 0.5, 2: 0.2}),
+        )
+        delta = delta_from_dict(
+            {"kind": "weight-change", "sensor": 1, "value": 0.9}
+        )
+        effect = apply_delta(problem, frozenset(), delta)
+        assert effect.problem.utility.probabilities[1] == pytest.approx(0.9)
+
+    def test_logsum_per_sensor(self):
+        problem = SchedulingProblem(
+            num_sensors=3,
+            period=ChargingPeriod.from_ratio(2.0),
+            utility=LogSumUtility({0: 1.0, 1: 2.0, 2: 3.0}),
+        )
+        delta = delta_from_dict(
+            {"kind": "weight-change", "sensor": 2, "value": 5.0}
+        )
+        effect = apply_delta(problem, frozenset(), delta)
+        assert effect.problem.utility.weights[2] == pytest.approx(5.0)
+
+    def test_target_weight_change(self):
+        problem = SchedulingProblem(
+            num_sensors=3,
+            period=ChargingPeriod.from_ratio(2.0),
+            utility=WeightedCoverageUtility(
+                {0: {10, 11}, 1: {11}, 2: {12}},
+                element_weights={10: 1.0, 11: 2.0, 12: 3.0},
+            ),
+        )
+        delta = delta_from_dict(
+            {"kind": "target-weight-change", "element": 11, "value": 9.0}
+        )
+        effect = apply_delta(problem, frozenset(), delta)
+        assert effect.problem.utility.element_weight(11) == pytest.approx(9.0)
+
+    def test_target_weight_change_needs_weighted_coverage(self):
+        problem = homogeneous_problem()
+        delta = delta_from_dict(
+            {"kind": "target-weight-change", "element": 1, "value": 2.0}
+        )
+        with pytest.raises(DeltaError) as info:
+            apply_delta(problem, frozenset(), delta)
+        assert info.value.code == "unsupported-delta"

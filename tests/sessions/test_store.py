@@ -1,0 +1,191 @@
+"""Store semantics: bounds, TTL, deterministic release, tombstones,
+crash-safe checkpoint adoption."""
+
+import pytest
+
+from repro.core.problem import SchedulingProblem
+from repro.energy.period import ChargingPeriod
+from repro.sessions import (
+    SessionClosedError,
+    SessionGoneError,
+    SessionNotFoundError,
+    SessionStore,
+    StoreFullError,
+    delta_from_dict,
+)
+from repro.utility.detection import HomogeneousDetectionUtility
+
+
+def make_problem(n=8):
+    return SchedulingProblem(
+        num_sensors=n,
+        period=ChargingPeriod.from_ratio(3.0),
+        utility=HomogeneousDetectionUtility(range(n), p=0.4),
+    )
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestLookup:
+    def test_unknown_id_raises_not_found(self):
+        store = SessionStore()
+        with pytest.raises(SessionNotFoundError):
+            with store.checkout("nope"):
+                pass
+
+    def test_deleted_id_raises_gone_with_reason(self):
+        store = SessionStore()
+        session = store.create(make_problem())
+        store.delete(session.session_id)
+        with pytest.raises(SessionGoneError) as info:
+            store.get_unchecked(session.session_id)
+        assert info.value.reason == "delete"
+
+    def test_checkout_yields_the_session(self):
+        store = SessionStore()
+        created = store.create(make_problem())
+        with store.checkout(created.session_id) as session:
+            assert session is created
+
+
+class TestCapacity:
+    def test_full_store_evicts_idle_lru(self):
+        clock = FakeClock()
+        store = SessionStore(capacity=2, clock=clock)
+        first = store.create(make_problem())
+        clock.now = 1.0
+        second = store.create(make_problem())
+        clock.now = 2.0
+        with store.checkout(second.session_id):
+            pass  # second is now the most recently used
+        clock.now = 3.0
+        store.create(make_problem())
+        assert first.session_id not in store.ids()
+        assert second.session_id in store.ids()
+        with pytest.raises(SessionGoneError) as info:
+            store.get_unchecked(first.session_id)
+        assert info.value.reason == "capacity"
+
+    def test_all_held_refuses_with_store_full(self):
+        store = SessionStore(capacity=1)
+        session = store.create(make_problem())
+        with store.checkout(session.session_id):
+            with pytest.raises(StoreFullError):
+                store.create(make_problem())
+        # Idle again: admission evicts instead of refusing.
+        replacement = store.create(make_problem())
+        assert store.ids() == [replacement.session_id]
+
+
+class TestTTL:
+    def test_sweep_evicts_expired_idle_sessions(self):
+        clock = FakeClock()
+        store = SessionStore(ttl=10.0, clock=clock)
+        session = store.create(make_problem())
+        clock.now = 5.0
+        assert store.sweep() == 0
+        clock.now = 11.0
+        assert store.sweep() == 1
+        with pytest.raises(SessionGoneError) as info:
+            store.get_unchecked(session.session_id)
+        assert info.value.reason == "ttl"
+
+    def test_checkout_refreshes_the_clock(self):
+        clock = FakeClock()
+        store = SessionStore(ttl=10.0, clock=clock)
+        session = store.create(make_problem())
+        clock.now = 8.0
+        with store.checkout(session.session_id):
+            pass
+        clock.now = 15.0  # 7s after last touch, 15s after creation
+        assert store.sweep() == 0
+        assert session.session_id in store.ids()
+
+
+class TestDeterministicRelease:
+    def test_mid_delta_delete_fails_inflight_and_defers_release(self):
+        store = SessionStore()
+        created = store.create(make_problem())
+        with store.checkout(created.session_id) as session:
+            store.delete(created.session_id, reason="operator")
+            # The in-flight apply observes the closed flag, rolls back
+            # and raises -- it never commits into freed state.
+            with pytest.raises(SessionClosedError):
+                session.apply(
+                    delta_from_dict({"kind": "sensor-failed", "sensor": 1})
+                )
+            # Resources are NOT freed while this holder is inside.
+            assert not session.released
+        # Last holder left: the deferred release ran.
+        assert created.released
+
+    def test_idle_delete_releases_immediately(self):
+        store = SessionStore()
+        session = store.create(make_problem())
+        store.delete(session.session_id)
+        assert session.released
+
+    def test_delete_unknown_raises(self):
+        store = SessionStore()
+        with pytest.raises(SessionNotFoundError):
+            store.delete("nope")
+
+
+class TestCheckpoints:
+    def test_restart_readopts_live_sessions(self, tmp_path):
+        directory = str(tmp_path / "ckpt")
+        store = SessionStore(checkpoint_dir=directory)
+        session = store.create(make_problem())
+        session_id = session.session_id
+        with store.checkout(session_id) as held:
+            held.apply(delta_from_dict({"kind": "sensor-failed", "sensor": 2}))
+        expected = dict(session.assignment)
+        store.close()  # shutdown keeps checkpoints
+
+        reborn = SessionStore(checkpoint_dir=directory)
+        assert reborn.ids() == [session_id]
+        adopted = reborn.get_unchecked(session_id)
+        assert adopted.assignment == expected
+        assert adopted.failed == {2}
+        assert adopted.seq == 1
+
+    def test_shutdown_tombstone_reads_as_not_found(self, tmp_path):
+        # A restarted service re-adopts shutdown sessions; the old
+        # store must not claim they are gone.
+        store = SessionStore(checkpoint_dir=str(tmp_path))
+        session = store.create(make_problem())
+        store.close()
+        with pytest.raises(SessionNotFoundError):
+            store.get_unchecked(session.session_id)
+
+    def test_delete_unlinks_the_checkpoint(self, tmp_path):
+        directory = tmp_path / "ckpt"
+        store = SessionStore(checkpoint_dir=str(directory))
+        session = store.create(make_problem())
+        assert list(directory.glob("*.json"))
+        store.delete(session.session_id)
+        assert not list(directory.glob("*.json"))
+        reborn = SessionStore(checkpoint_dir=str(directory))
+        assert len(reborn) == 0
+
+    def test_corrupt_checkpoint_is_skipped(self, tmp_path):
+        directory = tmp_path / "ckpt"
+        store = SessionStore(checkpoint_dir=str(directory))
+        store.create(make_problem())
+        (directory / "garbage.json").write_text("{not json")
+        reborn = SessionStore(checkpoint_dir=str(directory))
+        assert len(reborn) == 1  # the good one, not the garbage
+
+
+class TestValidation:
+    def test_rejects_bad_capacity_and_ttl(self):
+        with pytest.raises(ValueError):
+            SessionStore(capacity=0)
+        with pytest.raises(ValueError):
+            SessionStore(ttl=0.0)

@@ -1,6 +1,7 @@
 """Tests for the command-line interface."""
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -474,3 +475,69 @@ class TestInvalidInputAudit:
         captured = capsys.readouterr()
         assert captured.err.startswith("error:")
         assert "Traceback" not in captured.err
+
+
+class TestSessionReplay:
+    LOG = str(
+        Path(__file__).resolve().parent.parent
+        / "examples"
+        / "data"
+        / "session_deltas.jsonl"
+    )
+
+    def write_log(self, tmp_path, lines):
+        path = tmp_path / "deltas.jsonl"
+        path.write_text("\n".join(json.dumps(line) for line in lines) + "\n")
+        return str(path)
+
+    def test_seeded_log_replays(self, capsys):
+        assert main(["session", "replay", "--log", self.LOG, "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "consistency=warm" in out
+        assert "final period utility" in out
+        assert "resolve=cold" in out  # the log includes structural deltas
+
+    def test_json_report(self, capsys):
+        assert (
+            main(["session", "replay", "--log", self.LOG, "--no-cache", "--json"])
+            == 0
+        )
+        report = json.loads(capsys.readouterr().out)
+        assert report["kind"] == "repro-session-replay"
+        assert len(report["steps"]) == 9
+        assert 0.0 < report["warm_fraction"] < 1.0
+        assert report["final_utility"] == report["steps"][-1]["period_utility"]
+
+    def test_malformed_log_exits_2(self, capsys, tmp_path):
+        path = self.write_log(tmp_path, [{"kind": "bogus"}])
+        assert main(["session", "replay", "--log", path]) == 2
+        captured = capsys.readouterr()
+        assert "session-create" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_invalid_delta_in_log_exits_2(self, capsys, tmp_path):
+        path = self.write_log(
+            tmp_path,
+            [
+                {
+                    "kind": "session-create",
+                    "problem": {
+                        "num_sensors": 6,
+                        "rho": 3,
+                        "utility": {"p": 0.4},
+                    },
+                },
+                {
+                    "kind": "session-delta",
+                    "delta": {"kind": "sensor-failed", "sensor": 99},
+                },
+            ],
+        )
+        assert main(["session", "replay", "--log", path]) == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error:")
+        assert "Traceback" not in captured.err
+
+    def test_missing_log_exits_2(self, capsys):
+        assert main(["session", "replay", "--log", "/nonexistent.jsonl"]) == 2
+        assert capsys.readouterr().err.startswith("error:")

@@ -11,6 +11,8 @@ DOCS = [
     ROOT / "DESIGN.md",
     ROOT / "EXPERIMENTS.md",
     ROOT / "docs" / "PAPER_MAP.md",
+    ROOT / "docs" / "SERVING.md",
+    ROOT / "docs" / "SESSIONS.md",
 ]
 
 
@@ -86,6 +88,8 @@ class TestReadmeCommands:
                 parser.parse_args([sub, "headline"])
             elif sub == "cache":
                 parser.parse_args([sub, "stats"])
+            elif sub == "session":
+                parser.parse_args([sub, "replay", "--log", "x.jsonl"])
             else:
                 parser.parse_args([sub])
 

@@ -13,10 +13,19 @@ the stdlib so it runs in CI without extra dependencies:
   bucket counts are cumulative and the last bucket is ``le="+Inf"``
   with a count equal to the family's ``_count``.
 
+With ``--catalog`` the exposition is additionally cross-checked
+against the repo's standard metric catalog
+(:data:`repro.obs.catalog.STANDARD_METRICS`): every catalog family
+must appear with the declared type, every sample's label names must be
+exactly the declared set, and any ``repro_``-prefixed family missing
+from the catalog is flagged -- so new metric families (e.g. the
+``repro_session_*`` group) cannot ship half-registered.
+
 Usage::
 
     python -m repro.cli metrics | python tools/check_prometheus.py
     python tools/check_prometheus.py exposition.txt
+    python -m repro.cli metrics | python tools/check_prometheus.py --catalog
 
 Exit status 0 when the input is valid, 1 otherwise (problems are
 listed on stderr).
@@ -197,12 +206,85 @@ def lint(text: str) -> List[str]:
     return problems
 
 
+def lint_catalog(text: str) -> List[str]:
+    """Cross-check an exposition against the standard metric catalog.
+
+    Format violations are :func:`lint`'s job; this only checks catalog
+    agreement, so callers can run both and get distinct messages.
+    """
+    try:
+        from repro.obs.catalog import STANDARD_METRICS
+    except ImportError:
+        import pathlib
+
+        sys.path.insert(
+            0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+        )
+        from repro.obs.catalog import STANDARD_METRICS
+
+    declared = {
+        name: (kind, frozenset(labels))
+        for kind, name, labels, _ in STANDARD_METRICS
+    }
+    problems: List[str] = []
+    types: Dict[str, str] = {}
+    seen_labels: Dict[str, set] = {}
+    for line in text.splitlines():
+        if line.startswith("#"):
+            type_match = TYPE_RE.match(line)
+            if type_match:
+                types[type_match.group(1)] = type_match.group(2)
+            continue
+        sample = SAMPLE_RE.match(line)
+        if sample is None:
+            continue  # lint() reports the malformed line
+        name, label_block = sample.group(1, 2)
+        labels = _split_labels(label_block) if label_block else []
+        if labels is None:
+            continue
+        family = _base_family(name, types)
+        names = frozenset(k for k, _ in labels)
+        if name == f"{family}_bucket":
+            names -= {"le"}
+        seen_labels.setdefault(family, set()).add(names)
+
+    for family in sorted(types):
+        if family.startswith("repro_") and family not in declared:
+            problems.append(
+                f"{family}: exposed but not in the standard catalog "
+                "(add it to repro.obs.catalog.STANDARD_METRICS)"
+            )
+    for name in sorted(declared):
+        kind, labels = declared[name]
+        exposed_type = types.get(name)
+        if exposed_type is None:
+            problems.append(f"{name}: catalog family missing from exposition")
+            continue
+        if exposed_type != kind:
+            problems.append(
+                f"{name}: exposed as {exposed_type}, catalog declares {kind}"
+            )
+        for seen in sorted(seen_labels.get(name, ()), key=sorted):
+            if seen != labels:
+                problems.append(
+                    f"{name}: sample labels {sorted(seen)} != catalog "
+                    f"labels {sorted(labels)}"
+                )
+    return problems
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "path",
         nargs="?",
         help="exposition file to lint (default: stdin)",
+    )
+    parser.add_argument(
+        "--catalog",
+        action="store_true",
+        help="also cross-check families/types/labels against "
+        "repro.obs.catalog.STANDARD_METRICS",
     )
     args = parser.parse_args(argv)
     if args.path:
@@ -214,12 +296,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("error: empty exposition", file=sys.stderr)
         return 1
     problems = lint(text.rstrip("\n"))
+    if args.catalog:
+        problems += lint_catalog(text.rstrip("\n"))
     for problem in problems:
         print(f"error: {problem}", file=sys.stderr)
     if problems:
         return 1
     families = len(re.findall(r"^# TYPE ", text, flags=re.M))
-    print(f"ok: {families} families, exposition is valid")
+    suffix = " and matches the catalog" if args.catalog else ""
+    print(f"ok: {families} families, exposition is valid{suffix}")
     return 0
 
 
