@@ -1,0 +1,42 @@
+"""Sharded multi-worker serving: router, supervisor, shared cache tier.
+
+The single-process :class:`~repro.serve.app.SolveService` tops out at
+what one core can solve.  This package scales it *horizontally* without
+touching the solve path: N worker processes each run an unmodified
+``SolveService`` on its own port, a **router** process owns the public
+address and forwards every request to the worker that owns its shard,
+and a **supervisor** keeps the workers alive (health checks, bounded
+respawn-with-backoff, drain on SIGTERM).
+
+The shard key is the content-addressed **solve fingerprint**
+(:mod:`repro.runtime.fingerprint`): identical instances land on the
+same worker, so in-memory cache hits and request coalescing keep
+working across the fleet, and sessions stay sticky to the shard that
+holds their live evaluator state.  The workers share one crash-safe
+on-disk :class:`~repro.runtime.cache.ScheduleCache` directory as the
+cross-worker tier, so work done on one shard is visible to all.
+
+Entry points:
+
+- ``repro serve --workers N`` -- boot a cluster in the foreground;
+- :class:`~repro.cluster.service.ClusterService` -- embed one (tests);
+- ``repro loadgen`` / :mod:`repro.cluster.loadgen` -- drive open-loop
+  load at a target rps and report p50/p95/p99 against an SLO.
+"""
+
+from repro.cluster.hashring import HashRing
+from repro.cluster.loadgen import LoadgenConfig, run_loadgen
+from repro.cluster.router import Router
+from repro.cluster.service import ClusterConfig, ClusterService
+from repro.cluster.supervisor import Supervisor, WorkerHandle
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterService",
+    "HashRing",
+    "LoadgenConfig",
+    "Router",
+    "Supervisor",
+    "WorkerHandle",
+    "run_loadgen",
+]

@@ -1,0 +1,208 @@
+"""Open-loop load generation against a serve/cluster endpoint.
+
+Closed-loop clients (fire, wait, fire) measure a *flattering* latency:
+when the server slows down, a closed loop slows its arrival rate with
+it, hiding the queueing the real world would see.  This harness is
+**open-loop**: every request has a precomputed send time on a fixed
+rps schedule, client threads sleep until each slot and fire regardless
+of how the previous request fared -- so a server falling behind
+accumulates genuine queueing delay in the measurements, coordinated
+omission included (late sends are tracked and reported).
+
+Traffic shapes match the benchmark suite's two regimes:
+
+- ``duplicate``: every request is the same instance -- the best case
+  for coalescing and the shared cache tier (one solve, N answers);
+- ``distinct``: every request is a different instance -- zero cache
+  help, pure solve throughput, the sharding win;
+- ``mixed``: a seeded blend (80/20 duplicate-leaning zipf-ish draw
+  over a small instance pool), the realistic middle.
+
+The report (``kind: repro-loadgen-report``) carries achieved rps,
+p50/p95/p99/max latency, per-status counts, send lateness, and -- when
+an SLO is given -- a pass/fail verdict ``repro loadgen`` turns into
+its exit code.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+#: Instance-size pool for distinct/mixed traffic: small enough to
+#: solve in milliseconds, varied enough to defeat every cache layer.
+_DISTINCT_SENSORS = (6, 8, 10, 12, 14, 16, 18, 20)
+
+REPORT_KIND = "repro-loadgen-report"
+
+
+@dataclass(frozen=True)
+class LoadgenConfig:
+    """One load run's shape."""
+
+    url: str  # base endpoint, e.g. http://127.0.0.1:8080
+    rps: float = 50.0  # open-loop arrival rate
+    duration: float = 5.0  # seconds of schedule (requests = rps*duration)
+    clients: int = 8  # sender threads
+    mode: str = "duplicate"  # duplicate | distinct | mixed
+    endpoint: str = "/v1/solve"
+    seed: int = 0  # body-mix determinism
+    timeout: float = 10.0  # per-request client timeout
+    slo_p95: Optional[float] = None  # seconds; None = report only
+    slo_error_rate: float = 0.01  # tolerated non-200 fraction under SLO
+
+    def __post_init__(self) -> None:
+        if self.rps <= 0:
+            raise ValueError(f"rps must be > 0, got {self.rps}")
+        if self.duration <= 0:
+            raise ValueError(f"duration must be > 0, got {self.duration}")
+        if self.clients < 1:
+            raise ValueError(f"clients must be >= 1, got {self.clients}")
+        if self.mode not in ("duplicate", "distinct", "mixed"):
+            raise ValueError(
+                f"mode must be duplicate|distinct|mixed, got {self.mode!r}"
+            )
+
+
+def request_body(mode: str, index: int, seed: int) -> bytes:
+    """The ``index``-th request body for a traffic mode (deterministic)."""
+    if mode == "duplicate":
+        sensors, p = 12, 0.35
+    elif mode == "distinct":
+        # Vary both the size and the utility parameter: every index is
+        # a genuinely different instance with a different fingerprint.
+        sensors = _DISTINCT_SENSORS[index % len(_DISTINCT_SENSORS)]
+        p = 0.05 + (index % 89) / 100.0
+    else:  # mixed: seeded 80/20 duplicate-vs-distinct draw
+        rng = random.Random(seed * 1_000_003 + index)
+        if rng.random() < 0.8:
+            sensors, p = 12, 0.35
+        else:
+            sensors = rng.choice(_DISTINCT_SENSORS)
+            p = 0.05 + rng.randrange(89) / 100.0
+    body = {
+        "problem": {
+            "num_sensors": sensors,
+            "rho": 3.0,
+            "utility": {"p": round(p, 2)},
+        }
+    }
+    return json.dumps(body, sort_keys=True).encode("utf-8")
+
+
+def quantile(values: List[float], q: float) -> float:
+    """Nearest-rank quantile (no interpolation; robust at small n)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, max(0, int(q * len(ordered))))
+    return ordered[index]
+
+
+def run_loadgen(config: LoadgenConfig) -> Dict[str, Any]:
+    """Drive the schedule; returns the report document."""
+    total = max(1, int(config.rps * config.duration))
+    interval = 1.0 / config.rps
+    bodies = [
+        request_body(config.mode, index, config.seed)
+        for index in range(total)
+    ]
+    url = config.url.rstrip("/") + config.endpoint
+
+    lock = threading.Lock()
+    latencies: List[float] = []
+    lateness: List[float] = []
+    statuses: Dict[str, int] = {}
+    next_index = [0]
+    epoch = time.monotonic() + 0.05  # small runway before slot zero
+
+    def record(status: str, latency: float, late: float) -> None:
+        with lock:
+            statuses[status] = statuses.get(status, 0) + 1
+            if latency >= 0:
+                latencies.append(latency)
+            lateness.append(late)
+
+    def sender() -> None:
+        while True:
+            with lock:
+                index = next_index[0]
+                if index >= total:
+                    return
+                next_index[0] += 1
+            send_at = epoch + index * interval
+            delay = send_at - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            late = max(0.0, time.monotonic() - send_at)
+            request = urllib.request.Request(
+                url,
+                data=bodies[index],
+                headers={"Content-Type": "application/json"},
+            )
+            started = time.monotonic()
+            try:
+                with urllib.request.urlopen(
+                    request, timeout=config.timeout
+                ) as response:
+                    response.read()
+                    record(
+                        str(response.status),
+                        time.monotonic() - started,
+                        late,
+                    )
+            except urllib.error.HTTPError as error:
+                error.read()
+                record(str(error.code), time.monotonic() - started, late)
+            except (urllib.error.URLError, OSError, TimeoutError):
+                record("error", -1.0, late)
+
+    threads = [
+        threading.Thread(target=sender, name=f"loadgen-{i}", daemon=True)
+        for i in range(config.clients)
+    ]
+    started_at = time.monotonic()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.monotonic() - started_at
+
+    completed = sum(statuses.values())
+    ok = statuses.get("200", 0)
+    error_rate = 1.0 - (ok / completed) if completed else 1.0
+    p95 = quantile(latencies, 0.95)
+    report: Dict[str, Any] = {
+        "kind": REPORT_KIND,
+        "version": 1,
+        "url": url,
+        "mode": config.mode,
+        "requests": total,
+        "clients": config.clients,
+        "rps_target": config.rps,
+        "rps_achieved": round(completed / wall, 2) if wall > 0 else 0.0,
+        "wall_seconds": round(wall, 3),
+        "statuses": dict(sorted(statuses.items())),
+        "error_rate": round(error_rate, 4),
+        "latency": {
+            "p50": round(quantile(latencies, 0.50), 4),
+            "p95": round(p95, 4),
+            "p99": round(quantile(latencies, 0.99), 4),
+            "max": round(max(latencies), 4) if latencies else 0.0,
+        },
+        "send_lateness_p95": round(quantile(lateness, 0.95), 4),
+    }
+    if config.slo_p95 is not None:
+        met = p95 <= config.slo_p95 and error_rate <= config.slo_error_rate
+        report["slo"] = {
+            "p95_target": config.slo_p95,
+            "error_rate_target": config.slo_error_rate,
+            "met": met,
+        }
+    return report

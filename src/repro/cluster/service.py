@@ -1,0 +1,167 @@
+"""ClusterService: supervisor + router under one lifecycle.
+
+The cluster analogue of :class:`~repro.serve.app.SolveService`, with
+the same three consumption modes: ``repro serve --workers N`` runs it
+in the foreground, tests embed it on an ephemeral router port, and
+``with ClusterService(config) as cluster:`` scopes it to a block.
+
+Startup order matters: workers first (so the router never races an
+empty fleet), router last.  Shutdown reverses it -- the router stops
+accepting (new clients get structured 503s elsewhere), then the
+supervisor drains the workers, which finish in-flight requests and
+checkpoint their sessions.
+
+Shared state lives on disk, deliberately: one cache directory for the
+cross-worker tier, one checkpoint directory with a per-shard
+subdirectory each (a respawned ``worker-3`` re-adopts exactly
+``worker-3``'s sessions -- the ring pins a session's lineage to its
+shard, so handing its checkpoints to any other worker would break
+stickiness).
+"""
+
+from __future__ import annotations
+
+import tempfile
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+from repro.cluster.router import Router, RouterHTTPServer
+from repro.cluster.supervisor import Supervisor
+from repro.runtime.cache import default_cache_dir
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Everything tunable about one cluster."""
+
+    workers: int = 2
+    host: str = "127.0.0.1"
+    port: int = 8080  # router port; 0 = ephemeral (tests)
+    runtime_dir: Optional[str] = None  # port files, configs, logs; None = tmp
+    cache_dir: Optional[str] = None  # shared tier; None = default store
+    checkpoint_dir: Optional[str] = None  # session persistence; None = off
+    request_timeout: float = 60.0  # router budget per request
+    max_restarts: int = 5  # per worker, inside restart_window
+    restart_window: float = 60.0
+    start_timeout: float = 30.0  # whole-fleet readiness bound
+    #: Overrides merged into every worker's ServiceConfig (tests lower
+    #: queue bounds, disable sessions, shrink batch windows, ...).
+    service: Dict[str, Any] = field(default_factory=dict)
+
+
+class ClusterService:
+    """One running (or startable) sharded serving cluster."""
+
+    def __init__(self, config: Optional[ClusterConfig] = None) -> None:
+        self.config = config or ClusterConfig()
+        self._tmpdir: Optional[tempfile.TemporaryDirectory] = None
+        if self.config.runtime_dir is not None:
+            self.runtime_dir = Path(self.config.runtime_dir)
+        else:
+            self._tmpdir = tempfile.TemporaryDirectory(prefix="repro-cluster-")
+            self.runtime_dir = Path(self._tmpdir.name)
+        cache_dir = self.config.cache_dir or str(default_cache_dir())
+        self.supervisor = Supervisor(
+            runtime_dir=self.runtime_dir,
+            workers=self.config.workers,
+            service=self._service_for(cache_dir),
+            max_restarts=self.config.max_restarts,
+            restart_window=self.config.restart_window,
+            start_timeout=self.config.start_timeout,
+        )
+        self.router = Router(
+            self.supervisor, request_timeout=self.config.request_timeout
+        )
+        self._httpd: Optional[RouterHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    def _service_for(self, cache_dir: str) -> Dict[str, Any]:
+        """The worker ServiceConfig document (shard fields filled later).
+
+        Per-shard values (checkpoint subdir, cache label) cannot live
+        in one shared document -- the supervisor patches them per
+        worker via the ``{shard}`` placeholder.
+        """
+        service: Dict[str, Any] = {
+            "port": 0,  # ephemeral: respawns never fight over a socket
+            "host": self.config.host,
+            "cache_dir": cache_dir,
+            "cache_label": "{shard}",
+            "request_timeout": self.config.request_timeout,
+        }
+        if self.config.checkpoint_dir is not None:
+            service["session_checkpoint_dir"] = str(
+                Path(self.config.checkpoint_dir) / "{shard}"
+            )
+        service.update(self.config.service)
+        return service
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> "ClusterService":
+        """Spawn the fleet, wait healthy, then open the router socket."""
+        if self._httpd is not None:
+            raise RuntimeError("cluster already started")
+        self.supervisor.start(wait=True)
+        self._httpd = RouterHTTPServer(
+            (self.config.host, self.config.port), self.router
+        )
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="repro-router",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Foreground variant for the CLI: blocks until interrupted."""
+        if self._httpd is not None:
+            raise RuntimeError("cluster already started")
+        self.supervisor.start(wait=True)
+        self._httpd = RouterHTTPServer(
+            (self.config.host, self.config.port), self.router
+        )
+        try:
+            self._httpd.serve_forever(poll_interval=0.2)
+        finally:
+            self.stop()
+
+    def stop(self) -> None:
+        """Drain: router first, then the workers; idempotent."""
+        self.router.draining = True
+        httpd = self._httpd
+        if httpd is not None:
+            httpd.shutdown()
+            httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self.supervisor.stop()
+        if self._tmpdir is not None:
+            self._tmpdir.cleanup()
+            self._tmpdir = None
+
+    def __enter__(self) -> "ClusterService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The router's bound (host, port) -- resolves ephemeral port 0."""
+        if self._httpd is None:
+            raise RuntimeError("cluster not started")
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"

@@ -1,0 +1,389 @@
+"""The supervisor: spawn workers, watch them, respawn with backoff.
+
+One :class:`Supervisor` owns N worker subprocesses (each a
+:mod:`repro.cluster.worker` running an unmodified ``SolveService``).
+Its job is the boring half of availability:
+
+- **spawn**: write each worker's config document, launch
+  ``python -m repro.cluster.worker``, and wait until the worker has
+  published its port file and answers ``/healthz``;
+- **watch**: a monitor thread polls for exits.  A worker that exits
+  while the cluster is running is a crash (clean exits only happen
+  during drain), so it is respawned -- after a backoff delay from the
+  shared :class:`~repro.runtime.retry.RetryPolicy` schedule, and only
+  while its restart budget (``max_restarts`` within
+  ``restart_window`` seconds) lasts.  A worker that burns the budget
+  is marked ``failed`` and left down: a crash loop is a bug to
+  surface, not to hide behind infinite respawns;
+- **drain**: SIGTERM to every worker, bounded wait, SIGKILL
+  stragglers.  Workers drain their own in-flight requests and
+  checkpoint sessions before exiting (see the worker module).
+
+Worker state is exported as ``repro_cluster_workers{state}`` gauges
+and ``repro_cluster_restarts_total{worker}`` counters; the router's
+aggregate ``/healthz`` reads the same data through
+:meth:`Supervisor.describe`.
+
+Respawned workers keep their shard identity: same shard name, same
+session checkpoint directory, same shared cache directory -- so a
+replacement re-adopts checkpointed sessions and the warm disk tier.
+Only the port changes (workers bind ephemerally), which the router
+absorbs by re-reading port files per forward.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+import repro
+from repro.cluster.worker import read_port_file
+from repro.obs import events as obs_events
+from repro.obs.registry import get_registry
+from repro.runtime.retry import RetryPolicy
+
+#: Every state a worker can be in (the gauge exports all of them, so
+#: dashboards see explicit zeros instead of absent series).
+WORKER_STATES = ("starting", "up", "restarting", "failed", "stopped")
+
+_WORKERS_HELP = "Cluster workers by lifecycle state"
+_RESTARTS_HELP = "Worker respawns by shard"
+
+
+class WorkerHandle:
+    """One shard's process and lifecycle bookkeeping (supervisor-owned)."""
+
+    def __init__(self, shard: str, config_path: Path, port_file: Path):
+        self.shard = shard
+        self.config_path = config_path
+        self.port_file = port_file
+        self.process: Optional[subprocess.Popen] = None
+        self.state = "starting"
+        self.restarts = 0
+        self.restart_times: List[float] = []
+        self.respawn_at: Optional[float] = None  # backoff expiry
+
+    def address(self) -> Optional[Tuple[str, int]]:
+        """The live worker's (host, port), or ``None`` while down.
+
+        The port file is only trusted when its pid matches the process
+        we are currently running: after a crash the old file lingers
+        until the replacement rewrites it, and routing to the dead
+        port would turn one crash into a connection-refused storm.
+        """
+        process = self.process
+        if process is None or process.poll() is not None:
+            return None
+        try:
+            document = read_port_file(self.port_file)
+        except ValueError:
+            return None
+        if document.get("pid") != process.pid:
+            return None
+        return str(document.get("host", "127.0.0.1")), document["port"]
+
+
+class Supervisor:
+    """Keeps N worker processes alive under a bounded restart policy."""
+
+    def __init__(
+        self,
+        runtime_dir: Path,
+        workers: int,
+        service: Dict[str, Any],
+        max_restarts: int = 5,
+        restart_window: float = 60.0,
+        start_timeout: float = 30.0,
+        retry: Optional[RetryPolicy] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.runtime_dir = Path(runtime_dir)
+        self.workers = workers
+        self.service = dict(service)
+        self.max_restarts = max_restarts
+        self.restart_window = restart_window
+        self.start_timeout = start_timeout
+        # The retry schedule doubles as the respawn backoff: a worker
+        # that keeps dying waits longer each time within the window.
+        self.retry = retry or RetryPolicy(
+            max_attempts=max(2, max_restarts + 1),
+            base_delay=0.2,
+            max_delay=5.0,
+        )
+        self._rng = self.retry.rng()
+        self._lock = threading.RLock()
+        self._stopping = False
+        self._monitor: Optional[threading.Thread] = None
+        self.handles: List[WorkerHandle] = []
+        for index in range(workers):
+            shard = f"worker-{index}"
+            self.handles.append(
+                WorkerHandle(
+                    shard,
+                    config_path=self.runtime_dir / f"{shard}.config.json",
+                    port_file=self.runtime_dir / f"{shard}.port.json",
+                )
+            )
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self, wait: bool = True) -> "Supervisor":
+        """Spawn every worker (optionally wait healthy), start watching."""
+        self.runtime_dir.mkdir(parents=True, exist_ok=True)
+        with self._lock:
+            self._stopping = False
+            for handle in self.handles:
+                self._spawn(handle)
+        if wait:
+            deadline = time.monotonic() + self.start_timeout
+            for handle in self.handles:
+                self._wait_ready(handle, deadline)
+        self._monitor = threading.Thread(
+            target=self._watch, name="repro-supervisor", daemon=True
+        )
+        self._monitor.start()
+        self._update_gauge()
+        return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Drain: SIGTERM all, bounded wait, SIGKILL stragglers."""
+        with self._lock:
+            self._stopping = True
+            processes = [
+                handle.process
+                for handle in self.handles
+                if handle.process is not None
+                and handle.process.poll() is None
+            ]
+            for process in processes:
+                try:
+                    process.send_signal(signal.SIGTERM)
+                except OSError:
+                    pass
+        deadline = time.monotonic() + timeout
+        for process in processes:
+            remaining = max(0.1, deadline - time.monotonic())
+            try:
+                process.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait(timeout=5.0)
+        if self._monitor is not None:
+            self._monitor.join(timeout=5.0)
+            self._monitor = None
+        with self._lock:
+            for handle in self.handles:
+                handle.state = "stopped"
+        self._update_gauge()
+
+    # -- introspection -------------------------------------------------
+
+    def address(self, shard: str) -> Optional[Tuple[str, int]]:
+        """The live (host, port) for ``shard``, or ``None`` while down."""
+        return self._handle(shard).address()
+
+    def shards(self) -> List[str]:
+        return [handle.shard for handle in self.handles]
+
+    def describe(self) -> List[Dict[str, Any]]:
+        """Per-worker state for the aggregate health endpoint."""
+        with self._lock:
+            return [
+                {
+                    "shard": handle.shard,
+                    "state": handle.state,
+                    "restarts": handle.restarts,
+                    "pid": (
+                        handle.process.pid
+                        if handle.process is not None
+                        and handle.process.poll() is None
+                        else None
+                    ),
+                }
+                for handle in self.handles
+            ]
+
+    def kill(self, shard: str, sig: int = signal.SIGKILL) -> None:
+        """Kill one worker (tests and chaos drills)."""
+        handle = self._handle(shard)
+        process = handle.process
+        if process is not None and process.poll() is None:
+            process.send_signal(sig)
+
+    def _handle(self, shard: str) -> WorkerHandle:
+        for handle in self.handles:
+            if handle.shard == shard:
+                return handle
+        raise KeyError(f"unknown shard {shard!r}")
+
+    # -- internals -----------------------------------------------------
+
+    def _spawn(self, handle: WorkerHandle) -> None:
+        handle.port_file.unlink(missing_ok=True)
+        # Per-shard fields (cache label, checkpoint subdir) are written
+        # with a "{shard}" placeholder in the shared service document;
+        # each worker gets its own substituted copy.  Respawns reuse
+        # the same shard name, so they land on the same checkpoints.
+        service = {
+            key: (
+                value.replace("{shard}", handle.shard)
+                if isinstance(value, str)
+                else value
+            )
+            for key, value in self.service.items()
+        }
+        document = {
+            "kind": "repro-worker-config",
+            "shard": handle.shard,
+            "port_file": str(handle.port_file),
+            "service": service,
+        }
+        handle.config_path.write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n"
+        )
+        env = dict(os.environ)
+        # The worker must import repro exactly as we did, wherever the
+        # supervisor itself was launched from.
+        src_root = str(Path(repro.__file__).resolve().parents[1])
+        existing = env.get("PYTHONPATH", "")
+        env["PYTHONPATH"] = (
+            src_root + os.pathsep + existing if existing else src_root
+        )
+        log_path = self.runtime_dir / f"{handle.shard}.log"
+        with log_path.open("ab") as log:
+            handle.process = subprocess.Popen(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro.cluster.worker",
+                    "--config",
+                    str(handle.config_path),
+                ],
+                stdout=log,
+                stderr=subprocess.STDOUT,
+                env=env,
+            )
+        handle.state = "starting"
+        obs_events.emit(
+            "cluster.spawn", shard=handle.shard, pid=handle.process.pid
+        )
+
+    def _wait_ready(self, handle: WorkerHandle, deadline: float) -> None:
+        """Block until ``handle`` answers /healthz (or raise)."""
+        while time.monotonic() < deadline:
+            process = handle.process
+            if process is None or process.poll() is not None:
+                raise RuntimeError(
+                    f"worker {handle.shard} exited during startup "
+                    f"(code {None if process is None else process.returncode}); "
+                    f"see {self.runtime_dir / (handle.shard + '.log')}"
+                )
+            address = handle.address()
+            if address is not None and self._healthy(address):
+                with self._lock:
+                    handle.state = "up"
+                self._update_gauge()
+                return
+            time.sleep(0.05)
+        raise TimeoutError(
+            f"worker {handle.shard} not healthy within "
+            f"{self.start_timeout:.0f}s"
+        )
+
+    @staticmethod
+    def _healthy(address: Tuple[str, int]) -> bool:
+        host, port = address
+        try:
+            with urllib.request.urlopen(
+                f"http://{host}:{port}/healthz", timeout=2.0
+            ) as response:
+                return response.status == 200
+        except (urllib.error.URLError, OSError):
+            return False
+
+    def _watch(self) -> None:
+        """The monitor loop: notice exits, schedule + execute respawns."""
+        while True:
+            with self._lock:
+                if self._stopping:
+                    return
+                now = time.monotonic()
+                for handle in self.handles:
+                    self._check(handle, now)
+            time.sleep(0.25)
+
+    def _check(self, handle: WorkerHandle, now: float) -> None:
+        """One monitor pass over one worker (lock held)."""
+        if handle.state == "failed":
+            return
+        process = handle.process
+        if process is not None and process.poll() is None:
+            if handle.state == "starting":
+                address = handle.address()
+                if address is not None:
+                    handle.state = "up"
+                    self._update_gauge()
+            return
+        # The process is gone and we are not draining: that is a crash.
+        if handle.state != "restarting":
+            returncode = None if process is None else process.returncode
+            handle.state = "restarting"
+            handle.restart_times = [
+                stamp
+                for stamp in handle.restart_times
+                if now - stamp < self.restart_window
+            ]
+            if len(handle.restart_times) >= self.max_restarts:
+                handle.state = "failed"
+                obs_events.emit(
+                    "cluster.worker_failed",
+                    shard=handle.shard,
+                    restarts=handle.restarts,
+                )
+                self._update_gauge()
+                return
+            handle.restart_times.append(now)
+            handle.restarts += 1
+            attempt = min(
+                len(handle.restart_times), self.retry.max_attempts - 1
+            )
+            delay = self.retry.backoff(attempt, self._rng)
+            handle.respawn_at = now + delay
+            get_registry().counter(
+                "repro_cluster_restarts_total",
+                _RESTARTS_HELP,
+                worker=handle.shard,
+            ).inc()
+            obs_events.emit(
+                "cluster.worker_crashed",
+                shard=handle.shard,
+                returncode=returncode,
+                respawn_delay=round(delay, 3),
+            )
+            self._update_gauge()
+            return
+        # Waiting out the backoff; respawn once it expires.
+        if handle.respawn_at is not None and now >= handle.respawn_at:
+            handle.respawn_at = None
+            self._spawn(handle)
+            self._update_gauge()
+
+    def _update_gauge(self) -> None:
+        registry = get_registry()
+        counts = {state: 0 for state in WORKER_STATES}
+        for handle in self.handles:
+            counts[handle.state] = counts.get(handle.state, 0) + 1
+        for state, count in counts.items():
+            registry.gauge(
+                "repro_cluster_workers", _WORKERS_HELP, state=state
+            ).set(count)

@@ -1,0 +1,139 @@
+"""The worker process: one unmodified SolveService behind the router.
+
+Runnable as ``python -m repro.cluster.worker --config <json>``.  The
+supervisor writes the config file, spawns this module, and discovers
+the bound port from the **port file** the worker publishes -- workers
+bind ephemeral ports (``port=0``) so respawns never race a half-closed
+socket, and the port file (written atomically: tmp + rename) is the
+rendezvous.  Its document::
+
+    {"kind": "repro-worker-port", "shard": "worker-0",
+     "pid": 1234, "host": "127.0.0.1", "port": 40123}
+
+Lifecycle: build the :class:`~repro.serve.app.ServiceConfig` from the
+config document, start the service, publish the port, then block until
+SIGTERM/SIGINT -- on which the service drains (in-flight requests
+finish, sessions checkpoint, cache stats flush) and the process exits
+0.  Anything harsher (SIGKILL, a crash) is the supervisor's problem:
+it notices the exit and respawns; the session checkpoint directory and
+the shared cache directory survive on disk, so the replacement worker
+re-adopts both.
+
+A chaos plan installed in the parent before spawning reaches workers
+through ``$REPRO_FAULT_PLAN`` (see :mod:`repro.faults.injector`) --
+no cluster-specific plumbing needed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import sys
+import threading
+from pathlib import Path
+from typing import Any, Dict
+
+from repro.serve.app import ServiceConfig, SolveService
+
+PORT_FILE_KIND = "repro-worker-port"
+
+#: ServiceConfig fields a cluster config document may set; anything
+#: else in the document is a spelling mistake worth failing loudly on.
+_CONFIG_FIELDS = frozenset(ServiceConfig.__dataclass_fields__)
+
+
+def build_config(document: Dict[str, Any]) -> ServiceConfig:
+    """A :class:`ServiceConfig` from a worker config document."""
+    service = document.get("service", {})
+    if not isinstance(service, dict):
+        raise ValueError("worker config 'service' must be an object")
+    unknown = set(service) - _CONFIG_FIELDS
+    if unknown:
+        raise ValueError(f"unknown service config fields: {sorted(unknown)}")
+    return ServiceConfig(**service)
+
+
+def write_port_file(
+    path: Path, shard: str, host: str, port: int
+) -> None:
+    """Publish the bound address atomically (readers never see a torn
+    file, and a respawned worker's rewrite is a clean replace)."""
+    document = {
+        "kind": PORT_FILE_KIND,
+        "shard": shard,
+        "pid": os.getpid(),
+        "host": host,
+        "port": port,
+    }
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    tmp.write_text(json.dumps(document, sort_keys=True) + "\n")
+    os.replace(tmp, path)
+
+
+def read_port_file(path: Path) -> Dict[str, Any]:
+    """The port document, or :class:`ValueError` if absent/torn/foreign."""
+    try:
+        document = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise ValueError(f"port file {path} unreadable: {error}") from error
+    if (
+        not isinstance(document, dict)
+        or document.get("kind") != PORT_FILE_KIND
+        or not isinstance(document.get("port"), int)
+    ):
+        raise ValueError(f"port file {path} is not a worker port document")
+    return document
+
+
+def run_worker(config_path: str) -> int:
+    """The worker main: serve until SIGTERM, drain, exit 0."""
+    document = json.loads(Path(config_path).read_text())
+    if not isinstance(document, dict):
+        raise ValueError("worker config must be a JSON object")
+    shard = document.get("shard")
+    if not isinstance(shard, str) or not shard:
+        raise ValueError("worker config needs a 'shard' name")
+    port_file = document.get("port_file")
+    if not isinstance(port_file, str) or not port_file:
+        raise ValueError("worker config needs a 'port_file' path")
+
+    service = SolveService(build_config(document))
+    stop = threading.Event()
+
+    def on_signal(signum: int, frame: Any) -> None:
+        stop.set()
+
+    signal.signal(signal.SIGTERM, on_signal)
+    signal.signal(signal.SIGINT, on_signal)
+
+    service.start()
+    try:
+        host, port = service.address
+        write_port_file(Path(port_file), shard, host, port)
+        print(
+            f"worker {shard} serving on http://{host}:{port}",
+            flush=True,
+        )
+        stop.wait()
+    finally:
+        service.stop()
+    print(f"worker {shard} stopped", flush=True)
+    return 0
+
+
+def main(argv: Any = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-cluster-worker",
+        description="one solve-service shard under a cluster supervisor",
+    )
+    parser.add_argument(
+        "--config", required=True, help="path to the worker config JSON"
+    )
+    arguments = parser.parse_args(argv)
+    return run_worker(arguments.config)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,9 +30,10 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 SITES: Dict[str, str] = {
     "pool.task": "worker-side task wrapper in runtime/pool.py",
     "solve": "per-solve in runtime/executor.py (worker or serial)",
-    "cache.read": "directory-store read in runtime/cache.py",
-    "cache.write": "directory-store write in runtime/cache.py",
+    "cache.read": "directory-store read in runtime/backend.py",
+    "cache.write": "directory-store write in runtime/backend.py",
     "batcher.batch": "batch execution in serve/batcher.py",
+    "router.forward": "router-to-worker hop in cluster/router.py",
 }
 
 #: What can go wrong at a site.

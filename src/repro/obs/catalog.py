@@ -284,6 +284,44 @@ STANDARD_METRICS: Tuple[Tuple[str, str, Tuple[str, ...], str], ...] = (
         ("source",),
         "Session re-solves answered from a cache (memo/global)",
     ),
+    # -- shared cache tier (runtime/cache.py, runtime/backend.py) ------
+    (
+        "counter",
+        "repro_cache_cross_hits_total",
+        (),
+        "Backend hits on entries written by another process",
+    ),
+    # -- cluster (cluster/supervisor.py, cluster/router.py) ------------
+    (
+        "gauge",
+        "repro_cluster_workers",
+        ("state",),
+        "Cluster workers by lifecycle state",
+    ),
+    (
+        "counter",
+        "repro_cluster_restarts_total",
+        ("worker",),
+        "Worker respawns by shard",
+    ),
+    (
+        "counter",
+        "repro_router_requests_total",
+        ("endpoint", "status"),
+        "Router requests by endpoint and status code",
+    ),
+    (
+        "histogram",
+        "repro_router_forward_seconds",
+        ("worker",),
+        "Router-to-worker forward wall time",
+    ),
+    (
+        "counter",
+        "repro_router_forward_errors_total",
+        ("worker", "kind"),
+        "Failed forwards by worker and failure kind",
+    ),
 )
 
 

@@ -1,0 +1,311 @@
+"""Pluggable persistence backends for the schedule cache.
+
+:class:`~repro.runtime.cache.ScheduleCache` layers a process-local LRU
+over a *backend* -- the tier shared between processes.  This module
+defines the :class:`CacheBackend` protocol that tier must satisfy and
+the one production implementation, :class:`DirectoryBackend`: the
+crash-safe, file-locked, checksum-verified directory store that PR 6
+hardened (torn writes quarantined, contended writers skipped, reads
+lock-free).
+
+Splitting the backend out of the cache buys two things:
+
+- **shared tiers are swappable**: a remote backend (redis, memcached,
+  an object store) slots in behind the same five methods without the
+  LRU, stats, or serving layers noticing -- the cluster's shard
+  workers all point their backends at one directory today and could
+  point at one network endpoint tomorrow;
+- **writer identity is explicit**: every stored entry records which
+  backend instance (``label``) wrote it, so a reader can tell a hit on
+  its *own* earlier work from a hit on an entry some other process
+  contributed -- the "cross-worker hit" signal that proves a shared
+  cache tier is actually shared (see ``CacheStats.cross_hits``).
+
+Entries remain version-2 documents; ``writer`` is an optional field
+outside the payload checksum, so stores written by older code read
+back fine (their writer is simply unknown).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional, Protocol, Tuple, Union
+
+from repro.faults.injector import maybe_hit
+from repro.obs import events as obs_events
+from repro.runtime.fingerprint import canonical_json
+from repro.runtime.locks import FileLock
+
+PathLike = Union[str, Path]
+
+ENTRY_KIND = "repro-schedule-cache"
+#: Version 2 added the payload checksum; v1 entries (no checksum) read
+#: as stale-format files and are discarded, not quarantined.
+ENTRY_VERSION = 2
+
+#: Subdirectory corrupt entries are moved into (forensics + no races).
+QUARANTINE_DIR = "quarantine"
+
+#: Subdirectory per-process stats sidecars live in (see
+#: :mod:`repro.runtime.cache`); backends skip it when counting entries.
+STATS_DIR = "stats"
+
+
+def payload_checksum(payload: Dict[str, Any]) -> str:
+    """SHA-256 over the canonical JSON of a payload (order-insensitive)."""
+    import hashlib
+
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+class CacheBackend(Protocol):
+    """What a shared cache tier must provide.
+
+    Implementations must make :meth:`load` safe against concurrent
+    :meth:`store` calls from other processes -- a reader may see the
+    old entry or the new one, never torn bytes -- and must treat every
+    failure as a miss or a skipped write, never an exception that
+    takes the caller's solve down.
+    """
+
+    #: Writer identity recorded on stored entries (one per instance).
+    label: str
+
+    def load(self, key: str) -> Optional[Tuple[Dict[str, Any], Optional[str]]]:
+        """The ``(payload, writer_label)`` for ``key``, or ``None``."""
+        ...
+
+    def store(self, key: str, payload: Dict[str, Any]) -> bool:
+        """Persist ``payload`` under ``key``; ``False`` if skipped."""
+        ...
+
+    def remove(self, key: str) -> None:
+        """Drop ``key`` if present (corrupt-entry eviction)."""
+        ...
+
+    def clear(self) -> int:
+        """Drop every entry; returns how many were removed."""
+        ...
+
+    def entries(self) -> int:
+        """Entries currently held."""
+        ...
+
+
+class DirectoryBackend:
+    """The on-disk store: atomic writes, checksums, quarantine, locks.
+
+    Parameters
+    ----------
+    directory:
+        Store root.  Entries are sharded by the first two key hex
+        chars to keep directories small at scale.
+    label:
+        Writer identity stamped on entries this instance stores;
+        defaults to a pid-unique token.
+    on_quarantine:
+        Callback fired once per entry moved into quarantine (the
+        owning cache counts it on its stats).
+    """
+
+    def __init__(
+        self,
+        directory: PathLike,
+        label: Optional[str] = None,
+        on_quarantine: Optional[Callable[[], None]] = None,
+    ) -> None:
+        self.directory = Path(directory)
+        self.label = label if label is not None else default_writer_label()
+        self.on_quarantine = on_quarantine
+
+    # -- CacheBackend --------------------------------------------------
+
+    def load(self, key: str) -> Optional[Tuple[Dict[str, Any], Optional[str]]]:
+        """Read ``key``; corrupt entries are quarantined and read as
+        absent, transient I/O failures read as absent too."""
+        path = self._entry_path(key)
+        try:
+            maybe_hit("cache.read", key=key)
+            raw = path.read_text()
+        except FileNotFoundError:
+            return None
+        except OSError:
+            # Transient read failure (real or injected): a miss.  The
+            # entry is left in place -- the *file* is not the problem.
+            return None
+        try:
+            document = json.loads(raw)
+        except json.JSONDecodeError:
+            # Torn bytes: some non-atomic writer died mid-write, or the
+            # storage lied.  Quarantine, never serve, never delete.
+            self._quarantine(path)
+            return None
+        if (
+            not isinstance(document, dict)
+            or document.get("kind") != ENTRY_KIND
+            or document.get("version") != ENTRY_VERSION
+            or document.get("key") != key
+        ):
+            # Well-formed JSON of the wrong shape: a stale format
+            # version or a foreign file.  Not evidence of corruption;
+            # just discard so it stops masking the slot.
+            path.unlink(missing_ok=True)
+            return None
+        payload = document.get("payload")
+        if not isinstance(payload, dict):
+            self._quarantine(path)
+            return None
+        if document.get("checksum") != payload_checksum(payload):
+            self._quarantine(path)
+            return None
+        writer = document.get("writer")
+        return payload, writer if isinstance(writer, str) else None
+
+    def store(self, key: str, payload: Dict[str, Any]) -> bool:
+        """Write ``key`` with the checkpoint discipline (tmp + fsync +
+        rename under a non-blocking per-entry lock); ``False`` when the
+        write was skipped (contended lock) or failed (full/read-only
+        store) -- never an exception."""
+        path = self._entry_path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fired = maybe_hit("cache.write", key=key)
+            document = {
+                "kind": ENTRY_KIND,
+                "version": ENTRY_VERSION,
+                "key": key,
+                "writer": self.label,
+                "checksum": payload_checksum(payload),
+                "payload": payload,
+            }
+            data = json.dumps(document, indent=2) + "\n"
+            if fired is not None and fired.action == "torn-write":
+                # Chaos: behave like a crashed non-atomic writer --
+                # half the bytes, straight onto the final path.  The
+                # checksum/quarantine read path must absorb this.
+                with path.open("w") as handle:
+                    handle.write(data[: max(1, len(data) // 2)])
+                return True
+            # Advisory per-entry lock: writers of the *same* key are
+            # serialized; a contended write is skipped outright --
+            # whoever holds the lock is persisting an equivalent entry,
+            # and the caller's memory tier already has ours.
+            lock = FileLock(self._lock_path(key), blocking=False)
+            if not lock.acquire():
+                return False
+            try:
+                # Same crash-safety discipline as io.checkpoint:
+                # readers observe either no entry or a complete one,
+                # never a torn write.  The tmp name includes the pid so
+                # concurrent workers writing the same key cannot
+                # clobber each other's half-written files.
+                tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+                try:
+                    with tmp.open("w") as handle:
+                        handle.write(data)
+                        handle.flush()
+                        os.fsync(handle.fileno())
+                    os.replace(tmp, path)
+                except OSError:
+                    tmp.unlink(missing_ok=True)
+                    raise
+            finally:
+                lock.release()
+        except OSError:
+            # A read-only or full store (or an injected write fault)
+            # must not fail the solve that produced the result; the
+            # caller's memory tier still has it.
+            return False
+        return True
+
+    def remove(self, key: str) -> None:
+        """Unlink ``key``'s entry (used to evict corrupt payloads)."""
+        self._entry_path(key).unlink(missing_ok=True)
+
+    def clear(self) -> int:
+        """Drop every entry, lock file and quarantined file; returns
+        live entries removed."""
+        removed = 0
+        if not self.directory.exists():
+            return removed
+        for path in sorted(self.directory.glob("*/*.json")):
+            if path.parent.name in (QUARANTINE_DIR, STATS_DIR):
+                continue
+            path.unlink(missing_ok=True)
+            removed += 1
+        for path in self.directory.glob("*/*.lock"):
+            path.unlink(missing_ok=True)
+        for path in (self.directory / QUARANTINE_DIR).glob("*"):
+            path.unlink(missing_ok=True)
+        return removed
+
+    def entries(self) -> int:
+        """Live entries currently in the store."""
+        if not self.directory.exists():
+            return 0
+        return sum(
+            1
+            for path in self.directory.glob("*/*.json")
+            if path.parent.name not in (QUARANTINE_DIR, STATS_DIR)
+        )
+
+    # -- extras (directory-tier specific) ------------------------------
+
+    def size_bytes(self) -> int:
+        """Total bytes held by live entries."""
+        if not self.directory.exists():
+            return 0
+        return sum(
+            p.stat().st_size
+            for p in self.directory.glob("*/*.json")
+            if p.parent.name not in (QUARANTINE_DIR, STATS_DIR)
+        )
+
+    def quarantined(self) -> int:
+        """Corrupt entries currently sitting in the quarantine area."""
+        return sum(1 for _ in (self.directory / QUARANTINE_DIR).glob("*"))
+
+    # -- internals -----------------------------------------------------
+
+    def _entry_path(self, key: str) -> Path:
+        return self.directory / key[:2] / f"{key}.json"
+
+    def _lock_path(self, key: str) -> Path:
+        return self.directory / key[:2] / f"{key}.lock"
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry into the quarantine area (atomic).
+
+        Moving instead of unlinking keeps the bytes for post-mortems
+        and -- more importantly -- makes the corrupt-entry race benign:
+        if a concurrent writer re-installs a good entry between our
+        read and this move, quarantine relocates one fresh entry (a
+        re-solve refills it) instead of silently destroying it.
+        """
+        target_dir = self.directory / QUARANTINE_DIR
+        try:
+            target_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target_dir / f"{path.name}.{os.getpid()}")
+        except FileNotFoundError:
+            return  # a concurrent reader already moved it
+        except OSError:
+            # Cannot quarantine (read-only store?): fall back to unlink
+            # so the bad entry at least stops masking the slot.
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                return
+            return
+        if self.on_quarantine is not None:
+            self.on_quarantine()
+        obs_events.emit("cache.quarantined", entry=path.name)
+
+
+def default_writer_label() -> str:
+    """A process-unique writer identity: pid plus a random token, so a
+    recycled pid (a respawned worker) still reads as a new writer."""
+    import uuid
+
+    return f"pid{os.getpid()}-{uuid.uuid4().hex[:6]}"

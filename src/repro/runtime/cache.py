@@ -1,36 +1,30 @@
-"""Schedule cache: in-memory LRU over an atomic on-disk store.
+"""Schedule cache: in-memory LRU over a pluggable shared backend.
 
 Identical :class:`~repro.core.problem.SchedulingProblem` instances are
 re-solved from scratch all over the repo -- across sweep pivot rows,
-across benchmark repetitions, across CLI invocations.  This module
-memoizes solves keyed by the content fingerprint of their inputs
-(:mod:`repro.runtime.fingerprint`):
+across benchmark repetitions, across CLI invocations, across the
+cluster's shard workers.  This module memoizes solves keyed by the
+content fingerprint of their inputs (:mod:`repro.runtime.fingerprint`):
 
-- a bounded in-memory LRU serves the hot set without touching disk;
-- an optional directory store persists entries across processes, using
-  the same write-tmp/flush/fsync/``os.replace`` discipline as
-  :mod:`repro.io.checkpoint`, so a crash mid-write can never leave a
-  torn entry for a later process to mis-read;
-- every entry carries a SHA-256 **checksum** of its payload, verified
-  on read: even a file torn by outside interference (a non-atomic
-  writer, a kill -9 during direct mutation, bad storage) is detected
-  before it can be served;
-- corrupt files are **quarantined** (moved into ``quarantine/`` inside
-  the store), never deleted in place: unlinking on read raced
-  concurrent writers re-installing the entry, and destroying the bytes
-  destroyed the evidence.  Stale-format/foreign files are still simply
-  removed.  Either way a bad entry reads as a miss, never an error --
-  a cache must degrade to "solve it again", not take the run down;
-- writers to the same entry are serialized by an advisory file lock
-  (:mod:`repro.runtime.locks`, ``fcntl``/``msvcrt``); a contended
-  write is *skipped* (someone else is persisting this key right now).
-  Reads stay lock-free -- atomic rename + checksum already make them
-  safe -- so multi-process read throughput never queues;
-- chaos hooks (:mod:`repro.faults`) can inject read/write I/O errors
-  and torn writes at this layer, and the handling above is what the
-  kill-9 torture test in ``tests/runtime/test_cache_torture.py`` pins;
-- hit/miss/store/eviction/quarantine counters feed the ``repro cache
-  stats`` subcommand and the per-task telemetry.
+- a bounded in-memory LRU serves the hot set without touching the
+  backend;
+- the shared tier is a :class:`~repro.runtime.backend.CacheBackend`;
+  the production one (:class:`~repro.runtime.backend.DirectoryBackend`)
+  persists entries across processes with the write-tmp/fsync/rename
+  discipline of :mod:`repro.io.checkpoint`, SHA-256 payload checksums
+  verified on read, quarantine for corrupt files, and advisory
+  per-entry write locks -- crash-safe and multi-process-safe, pinned
+  by the kill -9 torture test in ``tests/runtime/test_cache_torture.py``;
+- every stored entry records its **writer label**, so a hit on an
+  entry some *other* process wrote is counted separately
+  (``stats.cross_hits``) -- the signal that a shared tier is actually
+  being shared across cluster workers;
+- counters are mirrored onto the process metrics registry *and*
+  periodically flushed to an atomic **stats sidecar** file inside the
+  store (``stats/<label>.json``), so ``repro cache stats`` can
+  aggregate hit/miss/store/eviction counts across every process that
+  ever touched the directory -- not just the one asking
+  (:func:`aggregate_sidecar_stats`).
 
 Entries store the *serialized* solve result (via
 :mod:`repro.io.serialization`), not pickles: the on-disk format stays
@@ -39,41 +33,57 @@ inspectable, diffable and safe to load from an untrusted directory.
 
 from __future__ import annotations
 
-import hashlib
+import atexit
 import json
 import os
+import weakref
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
 from repro.core.problem import SchedulingProblem
 from repro.core.schedule import PeriodicSchedule, UnrolledSchedule
 from repro.core.solver import SolveResult
-from repro.faults.injector import maybe_hit
 from repro.io.serialization import schedule_from_dict, schedule_to_dict
-from repro.obs import events as obs_events
 from repro.obs.registry import get_registry
-from repro.runtime.fingerprint import canonical_json
-from repro.runtime.locks import FileLock
+from repro.runtime.backend import (
+    ENTRY_KIND,
+    ENTRY_VERSION,
+    QUARANTINE_DIR,
+    STATS_DIR,
+    CacheBackend,
+    DirectoryBackend,
+    default_writer_label,
+    payload_checksum,
+)
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "CacheStats",
+    "ENTRY_KIND",
+    "ENTRY_VERSION",
+    "QUARANTINE_DIR",
+    "STATS_DIR",
+    "ScheduleCache",
+    "aggregate_sidecar_stats",
+    "default_cache_dir",
+    "payload_checksum",
+    "payload_to_result",
+    "result_to_payload",
+]
 
 PathLike = Union[str, Path]
 
-ENTRY_KIND = "repro-schedule-cache"
-#: Version 2 added the payload checksum; v1 entries (no checksum) read
-#: as stale-format files and are discarded, not quarantined.
-ENTRY_VERSION = 2
-
-#: Subdirectory corrupt entries are moved into (forensics + no races).
-QUARANTINE_DIR = "quarantine"
-
-
-def payload_checksum(payload: Dict[str, Any]) -> str:
-    """SHA-256 over the canonical JSON of a payload (order-insensitive)."""
-    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
-
 #: Environment variable overriding the default on-disk store location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Lookups between automatic sidecar flushes (stores always flush: they
+#: already paid for disk I/O, one more tiny file is noise).
+SIDECAR_FLUSH_EVERY = 64
+
+SIDECAR_KIND = "repro-cache-stats"
+SIDECAR_VERSION = 1
 
 
 def default_cache_dir() -> Path:
@@ -117,12 +127,28 @@ _STAT_MIRROR = {
         "Cache hits served from the directory store",
         {},
     ),
+    "cross_hits": (
+        "repro_cache_cross_hits_total",
+        "Backend hits on entries written by another process",
+        {},
+    ),
     "quarantined": (
         "repro_cache_quarantined_total",
         "Corrupt cache entries moved into quarantine",
         {},
     ),
 }
+
+#: The fields a stats sidecar carries (and aggregation sums).
+_SIDECAR_FIELDS = (
+    "hits",
+    "misses",
+    "stores",
+    "evictions",
+    "disk_hits",
+    "cross_hits",
+    "quarantined",
+)
 
 
 @dataclass
@@ -139,7 +165,8 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     evictions: int = 0
-    disk_hits: int = 0  # subset of ``hits`` served from the directory store
+    disk_hits: int = 0  # subset of ``hits`` served from the backend
+    cross_hits: int = 0  # subset of ``disk_hits`` written by another process
     quarantined: int = 0  # corrupt entries moved aside on read
 
     def __setattr__(self, name: str, value: Any) -> None:
@@ -168,6 +195,7 @@ class CacheStats:
             "stores": self.stores,
             "evictions": self.evictions,
             "disk_hits": self.disk_hits,
+            "cross_hits": self.cross_hits,
             "quarantined": self.quarantined,
             "hit_rate": self.hit_rate,
         }
@@ -233,32 +261,77 @@ def payload_to_result(
 # The cache proper
 # ----------------------------------------------------------------------
 
+#: Live caches with sidecars, flushed once more at interpreter exit so
+#: short CLI invocations never lose their final partial window.
+_SIDECAR_CACHES: "weakref.WeakSet[ScheduleCache]" = weakref.WeakSet()
+_ATEXIT_REGISTERED = False
+
+
+def _flush_all_sidecars() -> None:
+    for cache in list(_SIDECAR_CACHES):
+        cache.flush_stats_sidecar()
+
 
 class ScheduleCache:
-    """Bounded LRU of solve payloads with an optional directory store.
+    """Bounded LRU of solve payloads over an optional shared backend.
 
     Parameters
     ----------
     capacity:
         Maximum in-memory entries; the least-recently-used entry is
-        evicted past this (it stays on disk if a directory is set).
+        evicted past this (it stays in the backend if one is set).
     directory:
-        Persistent store location; ``None`` keeps the cache purely
-        in-memory.  Entries are sharded by the first two key hex chars
-        to keep directories small at scale.
+        Persistent store location (builds a
+        :class:`~repro.runtime.backend.DirectoryBackend`); ``None``
+        keeps the cache purely in-memory unless ``backend`` is given.
+    backend:
+        An explicit :class:`~repro.runtime.backend.CacheBackend`
+        (overrides ``directory``).
+    writer_label:
+        Identity stamped on stored entries and on the stats sidecar;
+        defaults to a pid-unique token.  Cluster workers pass a
+        shard-tagged label so ``repro cache stats`` can tell them
+        apart.
     """
 
     def __init__(
         self,
         capacity: int = 256,
         directory: Optional[PathLike] = None,
+        backend: Optional[CacheBackend] = None,
+        writer_label: Optional[str] = None,
     ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
-        self.directory = Path(directory) if directory is not None else None
         self.stats = CacheStats()
+        self.writer_label = (
+            writer_label if writer_label is not None else default_writer_label()
+        )
+        if backend is not None:
+            self.backend: Optional[CacheBackend] = backend
+        elif directory is not None:
+            self.backend = DirectoryBackend(
+                directory, label=self.writer_label, on_quarantine=self._count_quarantine
+            )
+        else:
+            self.backend = None
         self._memory: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._sidecar_marker = 0
+        if self._stats_dir() is not None:
+            global _ATEXIT_REGISTERED
+            _SIDECAR_CACHES.add(self)
+            if not _ATEXIT_REGISTERED:
+                atexit.register(_flush_all_sidecars)
+                _ATEXIT_REGISTERED = True
+
+    @property
+    def directory(self) -> Optional[Path]:
+        """The directory-store root, when the backend is directory-backed."""
+        backend = self.backend
+        if isinstance(backend, DirectoryBackend):
+            return backend.directory
+        return None
 
     # -- lookup --------------------------------------------------------
 
@@ -268,14 +341,15 @@ class ScheduleCache:
         if payload is not None:
             self._memory.move_to_end(key)
             self.stats.hits += 1
+            self._maybe_flush_sidecar()
             return payload
-        payload = self._read_disk(key)
+        payload = self._load_backend(key)
         if payload is not None:
-            self.stats.hits += 1
-            self.stats.disk_hits += 1
             self._insert_memory(key, payload)
+            self._maybe_flush_sidecar()
             return payload
         self.stats.misses += 1
+        self._maybe_flush_sidecar()
         return None
 
     def peek(self, key: str) -> Optional[Dict[str, Any]]:
@@ -292,12 +366,12 @@ class ScheduleCache:
         if payload is not None:
             self._memory.move_to_end(key)
             self.stats.hits += 1
+            self._maybe_flush_sidecar()
             return payload
-        payload = self._read_disk(key)
+        payload = self._load_backend(key)
         if payload is not None:
-            self.stats.hits += 1
-            self.stats.disk_hits += 1
             self._insert_memory(key, payload)
+            self._maybe_flush_sidecar()
             return payload
         return None
 
@@ -313,7 +387,8 @@ class ScheduleCache:
         except (KeyError, ValueError, TypeError):
             self.stats.hits -= 1
             self._memory.pop(key, None)
-            self._remove_disk(key)
+            if self.backend is not None:
+                self.backend.remove(key)
             return None
 
     def get_result(
@@ -331,17 +406,19 @@ class ScheduleCache:
             self.stats.hits -= 1
             self.stats.misses += 1
             self._memory.pop(key, None)
-            self._remove_disk(key)
+            if self.backend is not None:
+                self.backend.remove(key)
             return None
 
     # -- store ---------------------------------------------------------
 
     def put(self, key: str, payload: Dict[str, Any]) -> None:
-        """Insert/refresh an entry (memory always, disk if configured)."""
+        """Insert/refresh an entry (memory always, backend if set)."""
         self._insert_memory(key, payload)
         self.stats.stores += 1
-        if self.directory is not None:
-            self._write_disk(key, payload)
+        if self.backend is not None:
+            self.backend.store(key, payload)
+        self.flush_stats_sidecar()
 
     def put_result(self, key: str, result: SolveResult) -> None:
         self.put(key, result_to_payload(result))
@@ -349,20 +426,18 @@ class ScheduleCache:
     # -- maintenance ---------------------------------------------------
 
     def clear(self) -> int:
-        """Drop every entry (memory and disk); returns entries removed.
+        """Drop every entry (memory and backend); returns entries removed.
 
-        Lock files and quarantined entries are swept too, but only live
-        entries count toward the return value.
+        Lock files, quarantined entries and stats sidecars are swept
+        too, but only live entries count toward the return value.
         """
         removed = len(self._memory)
         self._memory.clear()
-        if self.directory is not None and self.directory.exists():
-            for path in sorted(self.directory.glob("*/*.json")):
-                path.unlink(missing_ok=True)
-                removed += 1
-            for path in self.directory.glob("*/*.lock"):
-                path.unlink(missing_ok=True)
-            for path in (self.directory / QUARANTINE_DIR).glob("*"):
+        if self.backend is not None:
+            removed += self.backend.clear()
+        stats_dir = self._stats_dir()
+        if stats_dir is not None and stats_dir.exists():
+            for path in stats_dir.glob("*"):
                 path.unlink(missing_ok=True)
         return removed
 
@@ -370,24 +445,90 @@ class ScheduleCache:
         return len(self._memory)
 
     def disk_entries(self) -> int:
-        """Entries currently in the directory store."""
-        if self.directory is None or not self.directory.exists():
-            return 0
-        return sum(1 for _ in self.directory.glob("*/*.json"))
+        """Entries currently in the backend store."""
+        return self.backend.entries() if self.backend is not None else 0
 
     def disk_bytes(self) -> int:
         """Total bytes held by the directory store."""
-        if self.directory is None or not self.directory.exists():
-            return 0
-        return sum(p.stat().st_size for p in self.directory.glob("*/*.json"))
+        backend = self.backend
+        if isinstance(backend, DirectoryBackend):
+            return backend.size_bytes()
+        return 0
 
     def quarantined_entries(self) -> int:
         """Corrupt entries currently sitting in the quarantine area."""
-        if self.directory is None:
-            return 0
-        return sum(1 for _ in (self.directory / QUARANTINE_DIR).glob("*"))
+        backend = self.backend
+        if isinstance(backend, DirectoryBackend):
+            return backend.quarantined()
+        return 0
+
+    # -- cross-process stats sidecar -----------------------------------
+
+    def flush_stats_sidecar(self) -> bool:
+        """Write this instance's counters to ``stats/<label>.json``
+        atomically (tmp + rename); ``False`` when there is nowhere to
+        write or the write failed.  Safe to call at any time; the file
+        always holds lifetime totals, so re-flushing is idempotent."""
+        stats_dir = self._stats_dir()
+        if stats_dir is None:
+            return False
+        document = {
+            "kind": SIDECAR_KIND,
+            "version": SIDECAR_VERSION,
+            "label": self.writer_label,
+            "pid": os.getpid(),
+            "stats": {
+                field: getattr(self.stats, field)
+                for field in _SIDECAR_FIELDS
+            },
+        }
+        # ``.stats`` (not ``.json``) keeps sidecars invisible to every
+        # glob that enumerates cache *entries*.
+        path = stats_dir / f"{self.writer_label}.stats"
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        try:
+            stats_dir.mkdir(parents=True, exist_ok=True)
+            tmp.write_text(json.dumps(document, sort_keys=True) + "\n")
+            os.replace(tmp, path)
+        except OSError:
+            # Monitoring must never fail the work it monitors.
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+            return False
+        self._sidecar_marker = self.stats.lookups
+        return True
+
+    def _stats_dir(self) -> Optional[Path]:
+        directory = self.directory
+        if directory is None:
+            return None
+        return directory / STATS_DIR
+
+    def _maybe_flush_sidecar(self) -> None:
+        if self._stats_dir() is None:
+            return
+        if self.stats.lookups - self._sidecar_marker >= SIDECAR_FLUSH_EVERY:
+            self.flush_stats_sidecar()
+
+    def _count_quarantine(self) -> None:
+        self.stats.quarantined += 1
 
     # -- internals -----------------------------------------------------
+
+    def _load_backend(self, key: str) -> Optional[Dict[str, Any]]:
+        if self.backend is None:
+            return None
+        loaded = self.backend.load(key)
+        if loaded is None:
+            return None
+        payload, writer = loaded
+        self.stats.hits += 1
+        self.stats.disk_hits += 1
+        if writer is not None and writer != self.writer_label:
+            self.stats.cross_hits += 1
+        return payload
 
     def _insert_memory(self, key: str, payload: Dict[str, Any]) -> None:
         self._memory[key] = payload
@@ -396,132 +537,45 @@ class ScheduleCache:
             self._memory.popitem(last=False)
             self.stats.evictions += 1
 
-    def _entry_path(self, key: str) -> Path:
-        assert self.directory is not None
-        return self.directory / key[:2] / f"{key}.json"
 
-    def _lock_path(self, key: str) -> Path:
-        assert self.directory is not None
-        return self.directory / key[:2] / f"{key}.lock"
+# ----------------------------------------------------------------------
+# Cross-process aggregation
+# ----------------------------------------------------------------------
 
-    def _read_disk(self, key: str) -> Optional[Dict[str, Any]]:
-        if self.directory is None:
-            return None
-        path = self._entry_path(key)
+
+def aggregate_sidecar_stats(directory: PathLike) -> Optional[Dict[str, Any]]:
+    """Sum every stats sidecar under ``directory``; ``None`` when the
+    store has no sidecars (nothing cross-process to report).
+
+    Each sidecar holds one writer's lifetime totals, and writer labels
+    are process-unique, so a plain sum over files is exact -- no
+    double counting, no deltas to reconcile.  Unparseable sidecars
+    (a writer killed mid-rename cannot exist thanks to the atomic
+    write, but foreign files can) are skipped, not fatal.
+    """
+    stats_dir = Path(directory) / STATS_DIR
+    if not stats_dir.is_dir():
+        return None
+    totals = {field: 0 for field in _SIDECAR_FIELDS}
+    writers = 0
+    for path in sorted(stats_dir.glob("*.stats")):
         try:
-            maybe_hit("cache.read", key=key)
-            raw = path.read_text()
-        except FileNotFoundError:
-            return None
-        except OSError:
-            # Transient read failure (real or injected): a miss.  The
-            # entry is left in place -- the *file* is not the problem.
-            return None
-        try:
-            document = json.loads(raw)
-        except json.JSONDecodeError:
-            # Torn bytes: some non-atomic writer died mid-write, or the
-            # storage lied.  Quarantine, never serve, never delete.
-            self._quarantine(path)
-            return None
+            document = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
         if (
             not isinstance(document, dict)
-            or document.get("kind") != ENTRY_KIND
-            or document.get("version") != ENTRY_VERSION
-            or document.get("key") != key
+            or document.get("kind") != SIDECAR_KIND
+            or not isinstance(document.get("stats"), dict)
         ):
-            # Well-formed JSON of the wrong shape: a stale format
-            # version or a foreign file.  Not evidence of corruption;
-            # just discard so it stops masking the slot.
-            path.unlink(missing_ok=True)
-            return None
-        payload = document.get("payload")
-        if not isinstance(payload, dict):
-            self._quarantine(path)
-            return None
-        if document.get("checksum") != payload_checksum(payload):
-            self._quarantine(path)
-            return None
-        return payload
-
-    def _quarantine(self, path: Path) -> None:
-        """Move a corrupt entry into the quarantine area (atomic).
-
-        Moving instead of unlinking keeps the bytes for post-mortems
-        and -- more importantly -- makes the corrupt-entry race benign:
-        if a concurrent writer re-installs a good entry between our
-        read and this move, quarantine relocates one fresh entry (a
-        re-solve refills it) instead of silently destroying it.
-        """
-        assert self.directory is not None
-        target_dir = self.directory / QUARANTINE_DIR
-        try:
-            target_dir.mkdir(parents=True, exist_ok=True)
-            os.replace(path, target_dir / f"{path.name}.{os.getpid()}")
-        except FileNotFoundError:
-            return  # a concurrent reader already moved it
-        except OSError:
-            # Cannot quarantine (read-only store?): fall back to unlink
-            # so the bad entry at least stops masking the slot.
-            try:
-                path.unlink(missing_ok=True)
-            except OSError:
-                return
-            return
-        self.stats.quarantined += 1
-        obs_events.emit("cache.quarantined", entry=path.name)
-
-    def _write_disk(self, key: str, payload: Dict[str, Any]) -> None:
-        path = self._entry_path(key)
-        try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            fired = maybe_hit("cache.write", key=key)
-            document = {
-                "kind": ENTRY_KIND,
-                "version": ENTRY_VERSION,
-                "key": key,
-                "checksum": payload_checksum(payload),
-                "payload": payload,
-            }
-            data = json.dumps(document, indent=2) + "\n"
-            if fired is not None and fired.action == "torn-write":
-                # Chaos: behave like a crashed non-atomic writer --
-                # half the bytes, straight onto the final path.  The
-                # checksum/quarantine read path must absorb this.
-                with path.open("w") as handle:
-                    handle.write(data[: max(1, len(data) // 2)])
-                return
-            # Advisory per-entry lock: writers of the *same* key are
-            # serialized; a contended write is skipped outright --
-            # whoever holds the lock is persisting an equivalent entry,
-            # and the memory tier already has ours.
-            lock = FileLock(self._lock_path(key), blocking=False)
-            if not lock.acquire():
-                return
-            try:
-                # Same crash-safety discipline as io.checkpoint:
-                # readers observe either no entry or a complete one,
-                # never a torn write.  The tmp name includes the pid so
-                # concurrent workers writing the same key cannot
-                # clobber each other's half-written files.
-                tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
-                try:
-                    with tmp.open("w") as handle:
-                        handle.write(data)
-                        handle.flush()
-                        os.fsync(handle.fileno())
-                    os.replace(tmp, path)
-                except OSError:
-                    tmp.unlink(missing_ok=True)
-                    raise
-            finally:
-                lock.release()
-        except OSError:
-            # A read-only or full store (or an injected write fault)
-            # must not fail the solve that produced the result; the
-            # memory tier still has it.
-            return
-
-    def _remove_disk(self, key: str) -> None:
-        if self.directory is not None:
-            self._entry_path(key).unlink(missing_ok=True)
+            continue
+        writers += 1
+        for field in _SIDECAR_FIELDS:
+            value = document["stats"].get(field, 0)
+            if isinstance(value, int) and value >= 0:
+                totals[field] += value
+    if writers == 0:
+        return None
+    totals["writers"] = writers
+    totals["lookups"] = totals["hits"] + totals["misses"]
+    return totals

@@ -43,6 +43,7 @@ class ServiceConfig:
     jobs: Optional[int] = None  # worker processes per batch
     use_cache: bool = True
     cache_dir: Optional[str] = None  # None = $REPRO_CACHE_DIR / default
+    cache_label: Optional[str] = None  # writer identity; None = pid-unique
     batch_window: float = 0.02  # seconds to linger collecting a batch
     max_batch: int = 64
     max_queue: int = 256  # in-flight bound; beyond it -> 429
@@ -81,7 +82,9 @@ class SolveService:
         self.cache: Optional[ScheduleCache] = None
         if self.config.use_cache:
             directory = self.config.cache_dir or default_cache_dir()
-            self.cache = ScheduleCache(directory=directory)
+            self.cache = ScheduleCache(
+                directory=directory, writer_label=self.config.cache_label
+            )
         retry = (
             RetryPolicy(max_attempts=self.config.retry_attempts)
             if self.config.retry_attempts > 1
@@ -169,6 +172,10 @@ class SolveService:
         if self.sessions is not None:
             self.sessions.close()
         self.batcher.close()
+        if self.cache is not None:
+            # Make this process's counters visible to `repro cache
+            # stats` aggregation even if the interpreter lives on.
+            self.cache.flush_stats_sidecar()
 
     def _start_sweeper(self) -> None:
         """TTL sweeps on a timer (idle sessions die without traffic)."""

@@ -1,0 +1,53 @@
+"""Fixtures for the cluster tests: real multi-process fleets.
+
+Booting a cluster spawns worker *subprocesses* (a real ``python -m
+repro.cluster.worker`` each), so these fixtures are deliberately
+stingy: tests that only need routing logic use the in-process stubs in
+``test_router_unit.py``, and the end-to-end module shares one
+module-scoped cluster for everything that does not kill workers.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.cluster.service import ClusterConfig, ClusterService
+from tests.serve.conftest import Client
+
+
+@pytest.fixture
+def make_cluster(tmp_path):
+    """Factory for embedded clusters; all stopped (and drained) on exit."""
+    started = []
+
+    def factory(**overrides):
+        index = len(started)
+        overrides.setdefault("workers", 2)
+        overrides.setdefault("port", 0)
+        overrides.setdefault("runtime_dir", str(tmp_path / f"run-{index}"))
+        overrides.setdefault("cache_dir", str(tmp_path / f"cache-{index}"))
+        overrides.setdefault("request_timeout", 30.0)
+        service = dict(overrides.pop("service", {}))
+        service.setdefault("batch_window", 0.005)
+        cluster = ClusterService(
+            ClusterConfig(service=service, **overrides)
+        ).start()
+        started.append(cluster)
+        return cluster, Client(cluster.url)
+
+    yield factory
+    for cluster in started:
+        cluster.stop()
+
+
+def wait_for(predicate, timeout: float = 20.0, interval: float = 0.1):
+    """Poll ``predicate`` until truthy; returns its value or fails."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(interval)
+    raise AssertionError(f"condition not met within {timeout:.0f}s")

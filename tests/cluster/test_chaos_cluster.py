@@ -1,0 +1,54 @@
+"""Cluster chaos runs: kill a worker mid-storm, demand a clean report.
+
+These are deliberately small storms (the CLI drives bigger ones in the
+``scale-smoke`` CI job); what matters here is the *shape* of the
+contract -- the killed worker comes back, every response is structurally
+valid, and the report says so in a machine-checkable way.
+"""
+
+from repro.faults.chaos import REPORT_KIND, run_cluster_chaos
+from repro.faults.plan import FaultPlan
+
+
+class TestClusterChaos:
+    def test_clean_storm_with_worker_kill_passes(self, tmp_path):
+        report = run_cluster_chaos(
+            FaultPlan.from_cli_specs([]),
+            workers=2,
+            requests=12,
+            seed=7,
+            cache_dir=str(tmp_path / "cache"),
+            runtime_dir=str(tmp_path / "run"),
+        )
+        assert report["kind"] == REPORT_KIND
+        assert report["passed"] is True
+        assert report["violations"] == []
+        assert report["requests"] == 12
+
+        cluster = report["cluster"]
+        assert cluster["workers"] == 2
+        assert cluster["killed"] in ("worker-0", "worker-1")
+        # The respawn is the contract: the killed shard came back.
+        assert cluster["restarts"][cluster["killed"]] >= 1
+
+        outcomes = report["outcomes"]
+        answered = sum(
+            count for key, count in outcomes.items() if key != "errors"
+        )
+        assert answered + len(outcomes["errors"]) == 12
+
+    def test_faulty_storm_still_structurally_clean(self, tmp_path):
+        """Injected worker faults surface as structured errors, never
+        as violations: the contract is about response *shape*, not
+        success."""
+        report = run_cluster_chaos(
+            FaultPlan.from_cli_specs(["solve:error:p=0.3"]),
+            workers=2,
+            requests=12,
+            seed=11,
+            cache_dir=str(tmp_path / "cache"),
+            runtime_dir=str(tmp_path / "run"),
+            kill_worker=False,
+        )
+        assert report["passed"] is True, report["violations"]
+        assert report["cluster"]["killed"] is None

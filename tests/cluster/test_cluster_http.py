@@ -1,0 +1,249 @@
+"""End-to-end cluster tests: router + real worker processes over HTTP.
+
+One module-scoped cluster serves every non-destructive check (worker
+subprocesses are the expensive part); the crash-recovery tests boot
+their own throwaway fleets because they SIGKILL workers mid-test.
+"""
+
+import json
+import signal
+import time
+
+import pytest
+
+from repro.cluster.router import CLUSTER_HEALTH_KIND
+from repro.cluster.service import ClusterConfig, ClusterService
+from tests.cluster.conftest import wait_for
+from tests.serve.conftest import Client, solve_body
+
+
+def fail(sensor):
+    return {"delta": {"kind": "sensor-failed", "sensor": sensor}}
+
+
+def post_retrying(client, path, body, tries=40, pause=0.5):
+    """POST, retrying structured 503s the way a real client would.
+
+    A forward that dies mid-flight against a freshly killed worker is
+    surfaced as a 503 on purpose (the router must not replay a session
+    mutation that *may* have applied); the client owns retrying at its
+    own seq.  Any non-503 answer is final.
+    """
+    for _ in range(tries):
+        status, parsed, _ = client.post(path, body, timeout=60.0)
+        if status != 503:
+            return status, parsed
+        time.sleep(pause)
+    return status, parsed
+
+
+def create_session(client, n=10):
+    status, body, _ = client.post(
+        "/v1/session",
+        {"problem": {"num_sensors": n, "rho": 3, "utility": {"p": 0.4}}},
+    )
+    assert status == 200, body
+    return body["session"]["id"]
+
+
+@pytest.fixture(scope="module")
+def cluster(tmp_path_factory):
+    root = tmp_path_factory.mktemp("cluster-e2e")
+    service = ClusterService(
+        ClusterConfig(
+            workers=2,
+            port=0,
+            runtime_dir=str(root / "run"),
+            cache_dir=str(root / "cache"),
+            checkpoint_dir=str(root / "ckpt"),
+            request_timeout=30.0,
+            service={"batch_window": 0.005},
+        )
+    ).start()
+    yield service, Client(service.url)
+    service.stop()
+
+
+class TestSolvePath:
+    def test_solve_roundtrips_through_a_worker(self, cluster):
+        _, client = cluster
+        status, body, _ = client.post("/v1/solve", solve_body())
+        assert status == 200, body
+        assert body["result"]["total_utility"] > 0
+
+    def test_repeats_are_answer_stable(self, cluster):
+        """Identical instances route to one worker and answer
+        identically -- the router relays worker bytes verbatim, so the
+        differential guarantee survives the extra hop."""
+        _, client = cluster
+        status, first, _ = client.post("/v1/solve", solve_body(sensors=9))
+        assert status == 200
+        status, second, _ = client.post("/v1/solve", solve_body(sensors=9))
+        assert status == 200
+        assert first["result"] == second["result"]
+
+    def test_invalid_body_yields_worker_structured_400(self, cluster):
+        _, client = cluster
+        status, body, _ = client.post(
+            "/v1/solve", None, raw=b"not json at all"
+        )
+        assert status == 400
+        assert body["error"]["code"]
+
+    def test_unknown_route_is_forwarded_not_crashed(self, cluster):
+        _, client = cluster
+        status, body, _ = client.post("/v1/zorp", {"problem": {}})
+        assert status == 404
+
+    def test_distinct_instances_hit_both_workers(self, cluster):
+        service, client = cluster
+        owners = set()
+        for sensors in range(2, 26):
+            raw = json.dumps(solve_body(sensors=sensors)).encode()
+            owners.add(service.router.shard_for_body("/v1/solve", raw))
+        assert owners == {"worker-0", "worker-1"}
+
+
+class TestAggregateHealth:
+    def test_healthz_reports_the_whole_fleet(self, cluster):
+        _, client = cluster
+        status, body, _ = client.get("/healthz")
+        assert status == 200
+        assert body["kind"] == CLUSTER_HEALTH_KIND
+        assert body["status"] == "ok"
+        assert len(body["workers"]) == 2
+        for worker in body["workers"]:
+            assert worker["state"] == "up"
+            assert worker["status"] == "ok"
+            assert worker["pid"] is not None
+        assert body["router"]["uptime_seconds"] > 0
+
+    def test_metrics_exposes_router_and_cluster_families(self, cluster):
+        _, client = cluster
+        status, _, raw = client.get("/metrics")
+        assert status == 200
+        text = raw.decode()
+        assert "repro_router_requests_total" in text
+        assert 'repro_cluster_workers{state="up"} 2' in text
+
+
+class TestSessionStickiness:
+    def test_lifecycle_stays_on_one_shard(self, cluster):
+        service, client = cluster
+        session_id = create_session(client)
+        shard = service.router.session_shard(session_id)
+        assert shard in ("worker-0", "worker-1")
+
+        status, body, _ = client.post(
+            f"/v1/session/{session_id}/delta", fail(3)
+        )
+        assert status == 200, body
+        assert body["session"]["seq"] == 1
+        # Still pinned to the same shard after a mutation.
+        assert service.router.session_shard(session_id) == shard
+
+        status, body, _ = client.get(f"/v1/session/{session_id}/schedule")
+        assert status == 200
+        assert body["session"]["failed"] == [3]
+
+        status, _, _ = client.delete(f"/v1/session/{session_id}")
+        assert status == 200
+        # Delete evicts the routing entry too.
+        assert service.router.session_shard(session_id) is None
+
+    def test_unknown_session_fans_out_to_404(self, cluster):
+        _, client = cluster
+        status, body, _ = client.post("/v1/session/deadbeef/delta", fail(0))
+        assert status == 404
+        assert body["error"]["code"] == "unknown-session"
+
+    def test_forgotten_session_found_again_by_fanout(self, cluster):
+        """A router that lost its table (restart) rediscovers a live
+        session by asking every shard."""
+        service, client = cluster
+        session_id = create_session(client)
+        owner = service.router.session_shard(session_id)
+        service.router.forget_session(session_id)
+
+        status, body, _ = client.get(f"/v1/session/{session_id}/schedule")
+        assert status == 200
+        assert service.router.session_shard(session_id) == owner
+
+
+class TestCrashRecovery:
+    def test_checkpointed_session_survives_worker_sigkill(
+        self, make_cluster, tmp_path
+    ):
+        """SIGKILL the owning worker mid-session: the supervisor
+        respawns it, the replacement re-adopts the checkpoint, and the
+        delta stream continues at the right seq."""
+        service, client = make_cluster(
+            checkpoint_dir=str(tmp_path / "ckpt")
+        )
+        session_id = create_session(client)
+        status, body, _ = client.post(
+            f"/v1/session/{session_id}/delta", fail(2)
+        )
+        assert status == 200 and body["session"]["seq"] == 1
+
+        shard = service.router.session_shard(session_id)
+        service.supervisor.kill(shard, signal.SIGKILL)
+
+        # The router absorbs never-delivered forwards itself; a hop
+        # that dies mid-flight surfaces as a 503 the client retries.
+        status, body = post_retrying(
+            client, f"/v1/session/{session_id}/delta", fail(4)
+        )
+        assert status == 200, body
+        assert body["session"]["seq"] == 2
+        assert body["session"]["failed"] == [2, 4]
+        assert service.supervisor.describe()[
+            int(shard.rsplit("-", 1)[1])
+        ]["restarts"] >= 1
+
+    def test_uncheckpointed_session_dies_as_structured_410(
+        self, make_cluster
+    ):
+        """Without checkpointing the state is honestly gone: the router
+        answers 410 session-gone, never a wrong answer or a lying 404."""
+        service, client = make_cluster(checkpoint_dir=None)
+        session_id = create_session(client)
+        shard = service.router.session_shard(session_id)
+        service.supervisor.kill(shard, signal.SIGKILL)
+
+        status, body = post_retrying(
+            client, f"/v1/session/{session_id}/delta", fail(1)
+        )
+        assert status == 410, body
+        assert body["error"]["code"] == "session-gone"
+        assert "recreate" in body["error"]["message"]
+        # The poisoned table entry is dropped with it.
+        assert service.router.session_shard(session_id) is None
+
+    def test_solves_keep_answering_through_the_crash(self, make_cluster):
+        service, client = make_cluster()
+        status, before, _ = client.post("/v1/solve", solve_body(sensors=7))
+        assert status == 200
+        shard = service.router.shard_for_body(
+            "/v1/solve", json.dumps(solve_body(sensors=7)).encode()
+        )
+        service.supervisor.kill(shard, signal.SIGKILL)
+        status, after = post_retrying(client, "/v1/solve", solve_body(sensors=7))
+        assert status == 200, after
+        assert after["result"] == before["result"]
+        wait_for(
+            lambda: service.supervisor.address(shard) is not None,
+            timeout=30.0,
+        )
+
+
+class TestDraining:
+    def test_draining_router_sheds_with_structured_503(self, make_cluster):
+        service, client = make_cluster(workers=1)
+        service.router.draining = True
+        status, body, _ = client.post("/v1/solve", solve_body())
+        assert status == 503
+        assert body["error"]["code"] == "shutting-down"
+        status, body, _ = client.get("/healthz")
+        assert status == 503
+        assert body["status"] == "draining"

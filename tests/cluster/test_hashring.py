@@ -1,0 +1,82 @@
+"""The consistent hash ring: determinism, balance, minimal movement."""
+
+import pytest
+
+from repro.cluster.hashring import DEFAULT_REPLICAS, HashRing
+
+KEYS = [f"key-{i:05d}" for i in range(2000)]
+
+
+class TestConstruction:
+    def test_empty_shard_list_rejected(self):
+        with pytest.raises(ValueError, match="at least one shard"):
+            HashRing([])
+
+    def test_duplicate_shards_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            HashRing(["a", "b", "a"])
+
+    def test_nonpositive_replicas_rejected(self):
+        with pytest.raises(ValueError, match="replicas"):
+            HashRing(["a"], replicas=0)
+
+    def test_len_and_contains(self):
+        ring = HashRing(["worker-0", "worker-1", "worker-2"])
+        assert len(ring) == 3
+        assert "worker-1" in ring
+        assert "worker-9" not in ring
+        assert ring.shards == ["worker-0", "worker-1", "worker-2"]
+
+
+class TestRouting:
+    def test_pure_function_of_shard_set(self):
+        """Two independently built rings agree on every key -- the
+        property that lets routers derive placement with no shared
+        state."""
+        one = HashRing(["worker-0", "worker-1", "worker-2"])
+        two = HashRing(["worker-2", "worker-0", "worker-1"])  # any order
+        for key in KEYS[:500]:
+            assert one.route(key) == two.route(key)
+
+    def test_single_shard_owns_everything(self):
+        ring = HashRing(["only"])
+        assert all(ring.route(key) == "only" for key in KEYS[:50])
+
+    def test_routes_are_members(self):
+        ring = HashRing(["worker-0", "worker-1"])
+        assert set(ring.distribution(KEYS)) == {"worker-0", "worker-1"}
+
+    def test_distribution_is_roughly_balanced(self):
+        """At 64 virtual nodes the arc shares stay within a small
+        constant factor -- no shard starves, none owns the ring."""
+        ring = HashRing([f"worker-{i}" for i in range(4)])
+        counts = ring.distribution(KEYS)
+        assert sum(counts.values()) == len(KEYS)
+        assert min(counts.values()) > 0
+        assert max(counts.values()) / min(counts.values()) < 3.0
+
+    def test_removing_a_shard_only_moves_its_keys(self):
+        """Consistency proper: keys owned by surviving shards do not
+        reshuffle when one shard leaves."""
+        before = HashRing(["worker-0", "worker-1", "worker-2", "worker-3"])
+        after = HashRing(["worker-0", "worker-1", "worker-2"])
+        moved = 0
+        for key in KEYS:
+            owner = before.route(key)
+            if owner == "worker-3":
+                moved += 1
+                assert after.route(key) != "worker-3"
+            else:
+                assert after.route(key) == owner
+        assert moved > 0  # the removed shard did own something
+
+    def test_replica_count_changes_placement_smoothness(self):
+        sparse = HashRing(["a", "b"], replicas=1)
+        dense = HashRing(["a", "b"], replicas=DEFAULT_REPLICAS)
+        sparse_counts = sparse.distribution(KEYS)
+        dense_counts = dense.distribution(KEYS)
+        # More virtual nodes -> tighter balance (strict on this keyset).
+        def spread(counts):
+            return max(counts.values()) - min(counts.values())
+
+        assert spread(dense_counts) <= spread(sparse_counts)

@@ -1,0 +1,134 @@
+"""The open-loop load generator: traffic shapes, quantiles, reports."""
+
+import json
+
+import pytest
+
+from repro.cluster.loadgen import (
+    LoadgenConfig,
+    quantile,
+    request_body,
+    run_loadgen,
+)
+from repro.serve.app import ServiceConfig, SolveService
+
+
+class TestConfigValidation:
+    def test_rps_must_be_positive(self):
+        with pytest.raises(ValueError, match="rps"):
+            LoadgenConfig(url="http://x", rps=0)
+
+    def test_duration_must_be_positive(self):
+        with pytest.raises(ValueError, match="duration"):
+            LoadgenConfig(url="http://x", duration=0)
+
+    def test_clients_must_be_positive(self):
+        with pytest.raises(ValueError, match="clients"):
+            LoadgenConfig(url="http://x", clients=0)
+
+    def test_mode_must_be_known(self):
+        with pytest.raises(ValueError, match="mode"):
+            LoadgenConfig(url="http://x", mode="zipf")
+
+
+class TestRequestBody:
+    def test_duplicate_mode_is_one_instance(self):
+        bodies = {request_body("duplicate", i, seed=0) for i in range(20)}
+        assert len(bodies) == 1
+
+    def test_distinct_mode_varies_every_index(self):
+        bodies = [request_body("distinct", i, seed=0) for i in range(50)]
+        assert len(set(bodies)) == 50
+
+    def test_mixed_mode_is_duplicate_leaning(self):
+        duplicate = request_body("duplicate", 0, seed=0)
+        bodies = [request_body("mixed", i, seed=0) for i in range(200)]
+        share = sum(1 for body in bodies if body == duplicate) / len(bodies)
+        assert 0.6 < share < 0.95
+
+    def test_bodies_are_deterministic_and_parseable(self):
+        for mode in ("duplicate", "distinct", "mixed"):
+            first = request_body(mode, 7, seed=3)
+            assert first == request_body(mode, 7, seed=3)
+            document = json.loads(first)
+            assert document["problem"]["num_sensors"] >= 2
+
+
+class TestQuantile:
+    def test_empty_returns_zero(self):
+        assert quantile([], 0.95) == 0.0
+
+    def test_nearest_rank_on_known_values(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]
+        assert quantile(values, 0.50) == 6.0
+        assert quantile(values, 0.95) == 10.0
+        assert quantile(values, 0.0) == 1.0
+
+    def test_order_independent(self):
+        assert quantile([3.0, 1.0, 2.0], 0.5) == quantile(
+            [1.0, 2.0, 3.0], 0.5
+        )
+
+
+class TestRunLoadgen:
+    @pytest.fixture(scope="class")
+    def service(self):
+        service = SolveService(
+            ServiceConfig(port=0, batch_window=0.005, use_cache=False)
+        ).start()
+        yield service
+        service.stop()
+
+    def test_report_shape_and_all_200(self, service):
+        report = run_loadgen(
+            LoadgenConfig(
+                url=service.url,
+                rps=30,
+                duration=0.5,
+                clients=4,
+                mode="duplicate",
+            )
+        )
+        assert report["kind"] == "repro-loadgen-report"
+        assert report["requests"] == 15
+        assert report["statuses"] == {"200": 15}
+        assert report["error_rate"] == 0.0
+        assert report["rps_achieved"] > 0
+        latency = report["latency"]
+        assert 0 < latency["p50"] <= latency["p95"] <= latency["max"]
+        assert "slo" not in report  # none was asked for
+
+    def test_slo_verdict_pass_and_fail(self, service):
+        passing = run_loadgen(
+            LoadgenConfig(
+                url=service.url,
+                rps=20,
+                duration=0.4,
+                clients=4,
+                slo_p95=30.0,
+            )
+        )
+        assert passing["slo"]["met"] is True
+        failing = run_loadgen(
+            LoadgenConfig(
+                url=service.url,
+                rps=20,
+                duration=0.4,
+                clients=4,
+                slo_p95=1e-9,
+            )
+        )
+        assert failing["slo"]["met"] is False
+
+    def test_unreachable_target_counts_errors_not_crashes(self):
+        report = run_loadgen(
+            LoadgenConfig(
+                url="http://127.0.0.1:9",  # discard port: refused
+                rps=20,
+                duration=0.25,
+                clients=2,
+                timeout=1.0,
+            )
+        )
+        assert report["statuses"].get("error", 0) == report["requests"]
+        assert report["error_rate"] == 1.0

@@ -1,0 +1,90 @@
+"""The supervisor against real worker subprocesses: spawn, respawn, budget."""
+
+import signal
+
+import pytest
+
+from repro.cluster.supervisor import Supervisor
+from tests.cluster.conftest import wait_for
+
+#: Keep workers featherweight: no cache, no batching to speak of.
+SERVICE = {"port": 0, "use_cache": False, "batch_window": 0.005}
+
+
+@pytest.fixture
+def make_supervisor(tmp_path):
+    started = []
+
+    def factory(**overrides):
+        overrides.setdefault("workers", 1)
+        overrides.setdefault("service", SERVICE)
+        overrides.setdefault("start_timeout", 30.0)
+        supervisor = Supervisor(runtime_dir=tmp_path, **overrides)
+        started.append(supervisor)
+        return supervisor
+
+    yield factory
+    for supervisor in started:
+        supervisor.stop()
+
+
+class TestLifecycle:
+    def test_spawn_wait_healthy_then_drain(self, make_supervisor):
+        supervisor = make_supervisor().start(wait=True)
+        (entry,) = supervisor.describe()
+        assert entry["shard"] == "worker-0"
+        assert entry["state"] == "up"
+        assert entry["restarts"] == 0
+        assert entry["pid"] is not None
+        address = supervisor.address("worker-0")
+        assert address is not None and address[1] > 0
+
+        supervisor.stop()
+        (entry,) = supervisor.describe()
+        assert entry["state"] == "stopped"
+        assert entry["pid"] is None
+
+    def test_worker_count_validated(self, tmp_path):
+        with pytest.raises(ValueError, match="workers"):
+            Supervisor(runtime_dir=tmp_path, workers=0, service=SERVICE)
+
+    def test_unknown_shard_raises(self, make_supervisor):
+        supervisor = make_supervisor()
+        with pytest.raises(KeyError):
+            supervisor.address("worker-404")
+
+
+class TestRespawn:
+    def test_sigkill_is_respawned_with_a_fresh_pid(self, make_supervisor):
+        supervisor = make_supervisor().start(wait=True)
+        (before,) = supervisor.describe()
+        supervisor.kill("worker-0", signal.SIGKILL)
+
+        def respawned():
+            (entry,) = supervisor.describe()
+            return (
+                entry["state"] == "up"
+                and entry["restarts"] >= 1
+                and entry["pid"] is not None
+                and entry["pid"] != before["pid"]
+            )
+
+        wait_for(respawned)
+        # The replacement re-published a trustworthy port file.
+        assert supervisor.address("worker-0") is not None
+
+    def test_crash_loop_burns_the_budget_and_parks_failed(
+        self, make_supervisor
+    ):
+        """With a zero restart budget the first crash marks the worker
+        ``failed`` and leaves it down -- crash loops surface as state,
+        not as infinite respawn churn."""
+        supervisor = make_supervisor(max_restarts=0).start(wait=True)
+        supervisor.kill("worker-0", signal.SIGKILL)
+
+        def parked():
+            (entry,) = supervisor.describe()
+            return entry["state"] == "failed"
+
+        wait_for(parked, timeout=10.0)
+        assert supervisor.address("worker-0") is None

@@ -1,0 +1,80 @@
+"""Worker plumbing: the port-file rendezvous and config validation.
+
+No subprocesses here -- the process-level lifecycle is exercised
+through the supervisor and end-to-end tests.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.cluster.worker import (
+    PORT_FILE_KIND,
+    build_config,
+    read_port_file,
+    write_port_file,
+)
+from repro.serve.app import ServiceConfig
+
+
+class TestPortFile:
+    def test_write_read_roundtrip(self, tmp_path):
+        path = tmp_path / "worker-0.port.json"
+        write_port_file(path, "worker-0", "127.0.0.1", 40123)
+        document = read_port_file(path)
+        assert document["kind"] == PORT_FILE_KIND
+        assert document["shard"] == "worker-0"
+        assert document["host"] == "127.0.0.1"
+        assert document["port"] == 40123
+        assert document["pid"] == os.getpid()
+
+    def test_write_leaves_no_tmp_litter(self, tmp_path):
+        path = tmp_path / "w.port.json"
+        write_port_file(path, "w", "127.0.0.1", 1)
+        assert [p.name for p in tmp_path.iterdir()] == ["w.port.json"]
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ValueError, match="unreadable"):
+            read_port_file(tmp_path / "absent.json")
+
+    def test_torn_file_raises(self, tmp_path):
+        path = tmp_path / "torn.json"
+        path.write_text('{"kind": "repro-worker-port", "po')
+        with pytest.raises(ValueError, match="unreadable"):
+            read_port_file(path)
+
+    def test_foreign_document_raises(self, tmp_path):
+        path = tmp_path / "foreign.json"
+        path.write_text(json.dumps({"kind": "something-else", "port": 1}))
+        with pytest.raises(ValueError, match="not a worker port document"):
+            read_port_file(path)
+
+    def test_nonint_port_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(
+            json.dumps({"kind": PORT_FILE_KIND, "port": "40123"})
+        )
+        with pytest.raises(ValueError):
+            read_port_file(path)
+
+
+class TestBuildConfig:
+    def test_service_fields_pass_through(self):
+        config = build_config(
+            {"service": {"port": 0, "batch_window": 0.01, "jobs": 1}}
+        )
+        assert isinstance(config, ServiceConfig)
+        assert config.port == 0
+        assert config.batch_window == 0.01
+
+    def test_empty_service_uses_defaults(self):
+        assert build_config({}) == ServiceConfig()
+
+    def test_unknown_field_fails_loudly(self):
+        with pytest.raises(ValueError, match="unknown service config"):
+            build_config({"service": {"batch_windoww": 0.01}})
+
+    def test_non_object_service_rejected(self):
+        with pytest.raises(ValueError, match="must be an object"):
+            build_config({"service": [1, 2]})

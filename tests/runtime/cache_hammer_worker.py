@@ -1,0 +1,76 @@
+"""Subprocess helper for the multi-process cache hammer test.
+
+Drives a mixed put/get load over a small shared keyspace against one
+cache directory, with a tiny in-memory capacity so most hits come off
+the shared disk tier (where other processes' writes are visible).
+Every payload read back is verified against the deterministic content
+its key implies; a mismatch would mean torn bytes leaked through the
+checksum layer.
+
+Run as: ``python cache_hammer_worker.py <dir> <label> <iters> <seed>``.
+Prints a JSON summary on stdout; exits 0 always (failures are the
+parent's call to make).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+import sys
+
+from repro.runtime.cache import ScheduleCache
+
+KEYSPACE = 16
+
+SUMMARY_FIELDS = (
+    "hits",
+    "misses",
+    "stores",
+    "evictions",
+    "disk_hits",
+    "cross_hits",
+    "quarantined",
+)
+
+
+def key_for(slot: int) -> str:
+    return hashlib.sha256(f"hammer-{slot}".encode()).hexdigest()
+
+
+def payload_for(key: str) -> dict:
+    return {"key": key, "blob": key * 24}
+
+
+def main() -> int:
+    directory, label, iterations, seed = sys.argv[1:5]
+    cache = ScheduleCache(
+        directory=directory, capacity=4, writer_label=label
+    )
+    rng = random.Random(int(seed))
+    corrupt = 0
+    for _ in range(int(iterations)):
+        key = key_for(rng.randrange(KEYSPACE))
+        if rng.random() < 0.5:
+            cache.put(key, payload_for(key))
+        else:
+            payload = cache.get(key)
+            if payload is not None and payload != payload_for(key):
+                corrupt += 1
+    print(
+        json.dumps(
+            {
+                "label": label,
+                "corrupt": corrupt,
+                "stats": {
+                    field: getattr(cache.stats, field)
+                    for field in SUMMARY_FIELDS
+                },
+            }
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,143 @@
+"""Cross-process cache accounting: stats sidecars and aggregation."""
+
+import json
+
+from repro.runtime.cache import (
+    SIDECAR_FLUSH_EVERY,
+    STATS_DIR,
+    ScheduleCache,
+    aggregate_sidecar_stats,
+)
+
+
+def payload(key):
+    return {"key": key, "blob": key * 8}
+
+
+class TestSidecarWrites:
+    def test_put_flushes_a_sidecar(self, tmp_path):
+        cache = ScheduleCache(directory=tmp_path, writer_label="w0")
+        cache.put("k1", payload("k1"))
+        sidecar = tmp_path / STATS_DIR / "w0.stats"
+        assert sidecar.exists()
+        document = json.loads(sidecar.read_text())
+        assert document["kind"] == "repro-cache-stats"
+        assert document["label"] == "w0"
+        assert document["stats"]["stores"] == 1
+
+    def test_sidecars_use_stats_extension_not_json(self, tmp_path):
+        """Entry enumeration globs ``*.json``; sidecars must never be
+        mistaken for cache entries."""
+        cache = ScheduleCache(directory=tmp_path, writer_label="w0")
+        cache.put("k1", payload("k1"))
+        stats_dir = tmp_path / STATS_DIR
+        assert list(stats_dir.glob("*.json")) == []
+        assert len(list(stats_dir.glob("*.stats"))) == 1
+
+    def test_sidecar_holds_lifetime_totals(self, tmp_path):
+        cache = ScheduleCache(directory=tmp_path, writer_label="w0")
+        cache.put("k1", payload("k1"))
+        cache.get("k1")  # memory hit
+        cache.get("missing")  # miss
+        assert cache.flush_stats_sidecar()
+        document = json.loads(
+            (tmp_path / STATS_DIR / "w0.stats").read_text()
+        )
+        assert document["stats"] == {
+            "hits": 1,
+            "misses": 1,
+            "stores": 1,
+            "evictions": 0,
+            "disk_hits": 0,
+            "cross_hits": 0,
+            "quarantined": 0,
+        }
+
+    def test_lookups_flush_periodically(self, tmp_path):
+        cache = ScheduleCache(directory=tmp_path, writer_label="w0")
+        for index in range(SIDECAR_FLUSH_EVERY):
+            cache.get(f"missing-{index}")
+        document = json.loads(
+            (tmp_path / STATS_DIR / "w0.stats").read_text()
+        )
+        assert document["stats"]["misses"] == SIDECAR_FLUSH_EVERY
+
+    def test_memory_only_cache_has_no_sidecar(self):
+        cache = ScheduleCache()
+        cache.put("k1", payload("k1"))
+        assert cache.flush_stats_sidecar() is False
+
+    def test_clear_sweeps_sidecars_too(self, tmp_path):
+        cache = ScheduleCache(directory=tmp_path, writer_label="w0")
+        cache.put("k1", payload("k1"))
+        cache.clear()
+        assert list((tmp_path / STATS_DIR).glob("*")) == []
+        assert aggregate_sidecar_stats(tmp_path) is None
+
+
+class TestCrossWriterHits:
+    def test_foreign_entry_hit_counts_as_cross_hit(self, tmp_path):
+        writer = ScheduleCache(directory=tmp_path, writer_label="shard-a")
+        writer.put("k1", payload("k1"))
+        reader = ScheduleCache(directory=tmp_path, writer_label="shard-b")
+        assert reader.get("k1") == payload("k1")
+        assert reader.stats.disk_hits == 1
+        assert reader.stats.cross_hits == 1
+
+    def test_own_entry_hit_is_not_cross(self, tmp_path):
+        first = ScheduleCache(directory=tmp_path, writer_label="shard-a")
+        first.put("k1", payload("k1"))
+        # Same label, fresh process-equivalent: e.g. a respawned worker.
+        second = ScheduleCache(directory=tmp_path, writer_label="shard-a")
+        assert second.get("k1") == payload("k1")
+        assert second.stats.disk_hits == 1
+        assert second.stats.cross_hits == 0
+
+    def test_memory_hits_never_count_as_cross(self, tmp_path):
+        cache = ScheduleCache(directory=tmp_path, writer_label="shard-a")
+        cache.put("k1", payload("k1"))
+        cache.get("k1")
+        assert cache.stats.cross_hits == 0
+
+
+class TestAggregation:
+    def test_sums_across_writers(self, tmp_path):
+        a = ScheduleCache(directory=tmp_path, writer_label="shard-a")
+        b = ScheduleCache(directory=tmp_path, writer_label="shard-b")
+        a.put("k1", payload("k1"))
+        a.put("k2", payload("k2"))
+        assert b.get("k1") is not None  # cross hit
+        b.get("missing")
+        a.flush_stats_sidecar()
+        b.flush_stats_sidecar()
+
+        totals = aggregate_sidecar_stats(tmp_path)
+        assert totals["writers"] == 2
+        assert totals["stores"] == 2
+        assert totals["hits"] == 1
+        assert totals["misses"] == 1
+        assert totals["lookups"] == 2
+        assert totals["cross_hits"] == 1
+
+    def test_no_store_returns_none(self, tmp_path):
+        assert aggregate_sidecar_stats(tmp_path / "never-created") is None
+
+    def test_foreign_files_are_skipped_not_fatal(self, tmp_path):
+        cache = ScheduleCache(directory=tmp_path, writer_label="w0")
+        cache.put("k1", payload("k1"))
+        stats_dir = tmp_path / STATS_DIR
+        (stats_dir / "junk.stats").write_text("not json {")
+        (stats_dir / "other.stats").write_text(
+            json.dumps({"kind": "something-else", "stats": {"hits": 99}})
+        )
+        totals = aggregate_sidecar_stats(tmp_path)
+        assert totals["writers"] == 1
+        assert totals["stores"] == 1
+
+    def test_reflush_is_idempotent(self, tmp_path):
+        cache = ScheduleCache(directory=tmp_path, writer_label="w0")
+        cache.put("k1", payload("k1"))
+        before = aggregate_sidecar_stats(tmp_path)
+        cache.flush_stats_sidecar()
+        cache.flush_stats_sidecar()
+        assert aggregate_sidecar_stats(tmp_path) == before

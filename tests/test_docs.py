@@ -13,6 +13,7 @@ DOCS = [
     ROOT / "docs" / "PAPER_MAP.md",
     ROOT / "docs" / "SERVING.md",
     ROOT / "docs" / "SESSIONS.md",
+    ROOT / "docs" / "SCALING.md",
 ]
 
 

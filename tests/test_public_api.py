@@ -19,6 +19,7 @@ SUBPACKAGES = [
     "repro.io",
     "repro.runtime",
     "repro.obs",
+    "repro.cluster",
 ]
 
 
