@@ -176,6 +176,44 @@ STANDARD_METRICS: Tuple[Tuple[str, str, Tuple[str, ...], str], ...] = (
         (),
         "Requests answered from the cache at admission time",
     ),
+    # -- batched solving (batched/greedy.py, runtime/executor.py) ------
+    (
+        "counter",
+        "repro_batched_batches_total",
+        ("family",),
+        "Batched-greedy batches executed by family",
+    ),
+    (
+        "counter",
+        "repro_batched_instances_total",
+        ("family",),
+        "Instances solved through the batched kernels by family",
+    ),
+    (
+        "counter",
+        "repro_batched_kernel_invocations_total",
+        ("family",),
+        "Vectorized kernel passes issued by family",
+    ),
+    (
+        "histogram",
+        "repro_batched_batch_size",
+        (),
+        "Instances per executed batch",
+    ),
+    (
+        "counter",
+        "repro_batched_fallback_total",
+        ("reason",),
+        "Batched-routing fallbacks to the serial path by reason "
+        "(rho/family/method/singleton/disabled/forced-pool)",
+    ),
+    (
+        "counter",
+        "repro_server_batched_total",
+        (),
+        "Service solves answered through the batched kernel path",
+    ),
     # -- fault injection (faults/injector.py) --------------------------
     (
         "counter",

@@ -40,11 +40,15 @@ from typing import (
     Union,
 )
 
+from repro.batched import batched_enabled
+from repro.batched.batch import batchable, family_of
+from repro.batched.greedy import solve_batch
 from repro.core.problem import SchedulingProblem
 from repro.core.solver import SolveResult, solve
 from repro.faults.injector import maybe_hit
 from repro.obs import events as obs_events
 from repro.obs import tracing
+from repro.obs.registry import get_registry
 from repro.runtime.cache import (
     ScheduleCache,
     payload_to_result,
@@ -63,6 +67,11 @@ from repro.runtime.retry import (
 
 #: One unit of work: (problem, method, seed-or-None).
 SolveTask = Tuple[SchedulingProblem, str, Optional[int]]
+
+_BATCH_FALLBACK_HELP = (
+    "Batched-routing fallbacks to the serial path by reason "
+    "(rho/family/method/singleton/disabled/forced-pool)"
+)
 
 #: Dedup-group callback: ``(fingerprint-or-None, member indices,
 #: disposition)`` where disposition is the representative's cache status
@@ -201,9 +210,10 @@ def _solve_many(
                 continue
         to_solve.append(index)
 
-    # Pass 2 (pool): only the unique, uncached work, under the retry
-    # policy -- each attempt re-runs whatever is still unsolved.
-    payloads, pool_telemetry = _run_with_retry(
+    # Pass 2: only the unique, uncached work, under the retry policy --
+    # same-shape greedy groups ride the batched kernels, the remainder
+    # goes to the worker pool.
+    payloads, pool_telemetry = _execute_unique(
         [tasks[i] for i in to_solve],
         jobs=jobs,
         timeout=timeout,
@@ -224,6 +234,7 @@ def _solve_many(
             worker=record.worker,
             parallel=record.parallel,
             cache="uncached" if key is None else "miss",
+            batched=record.batched,
         )
         if key is not None and cache is not None:
             cache.put(key, payload)
@@ -273,7 +284,89 @@ def _solve_many(
     return results, telemetry  # type: ignore[return-value]
 
 
-def _run_with_retry(
+def _batch_fallback(reason: str) -> None:
+    get_registry().counter(
+        "repro_batched_fallback_total", _BATCH_FALLBACK_HELP, reason=reason
+    ).inc()
+
+
+def _plan_batches(
+    tasks: List[SolveTask], auto_fallback: bool
+) -> Tuple[List[List[int]], List[int]]:
+    """Split unique work into batched groups and serial positions.
+
+    Batched routing engages only when the toggle is on *and*
+    ``auto_fallback`` is -- ``auto_fallback=False`` means "force the
+    worker pool regardless" (tests pinning parallel execution rely on
+    it), which the batch kernels must respect just as the pool's own
+    serial downgrade does.  Eligible greedy tasks are grouped by
+    ``(family, slots_per_period)``; groups need at least two members to
+    beat a plain serial solve, so singletons fall back with their own
+    reason label.
+    """
+    if not auto_fallback or not batched_enabled():
+        if tasks:
+            _batch_fallback("forced-pool" if not auto_fallback else "disabled")
+        return [], list(range(len(tasks)))
+    groups: Dict[Tuple[Optional[str], int], List[int]] = {}
+    serial: List[int] = []
+    for position, (problem, method, _seed) in enumerate(tasks):
+        if method != "greedy":
+            _batch_fallback("method")
+            serial.append(position)
+            continue
+        ok, reason = batchable(problem)
+        if not ok:
+            _batch_fallback(reason)
+            serial.append(position)
+            continue
+        key = (family_of(problem), problem.slots_per_period)
+        groups.setdefault(key, []).append(position)
+    batched: List[List[int]] = []
+    for members in groups.values():
+        if len(members) >= 2:
+            batched.append(members)
+        else:
+            _batch_fallback("singleton")
+            serial.extend(members)
+    serial.sort()
+    return batched, serial
+
+
+def _run_batched_group(
+    group_tasks: List[SolveTask],
+    on_task: Optional[Callable[[TaskTelemetry], None]],
+    deadline: Optional[float],
+) -> Tuple[List[Dict[str, Any]], List[TaskTelemetry]]:
+    """Solve one same-shape group through the batch kernels.
+
+    The chaos hook fires once per member (the same ``solve`` site the
+    serial path hits), so injected faults and their retries behave
+    identically under batched routing.
+    """
+    remaining_budget(deadline)  # raises DeadlineExceededError when spent
+    start = time.perf_counter()
+    for _problem, method, _seed in group_tasks:
+        maybe_hit("solve", method=method)
+    results = solve_batch([t[0] for t in group_tasks], method="greedy")
+    share = (time.perf_counter() - start) / len(group_tasks)
+    payloads = [result_to_payload(result) for result in results]
+    telemetry = []
+    for position in range(len(group_tasks)):
+        record = TaskTelemetry(
+            index=position,
+            wall_seconds=share,
+            worker=_pid(),
+            parallel=False,
+            batched=True,
+        )
+        telemetry.append(record)
+        if on_task is not None:
+            on_task(record)
+    return payloads, telemetry
+
+
+def _execute_unique(
     tasks: List[SolveTask],
     jobs: Optional[int],
     timeout: Optional[float],
@@ -282,7 +375,59 @@ def _run_with_retry(
     retry: Optional[RetryPolicy],
     deadline: Optional[float],
 ) -> Tuple[List[Dict[str, Any]], List[TaskTelemetry]]:
-    """``run_tasks`` under the retry policy and deadline.
+    """Run the unique misses: batched groups first, pool for the rest.
+
+    Both execution styles run under the same retry loop, so a transient
+    failure inside a batch kernel group is retried exactly as a pool
+    failure would be.
+    """
+    batched_groups, serial_positions = _plan_batches(tasks, auto_fallback)
+    payloads: List[Optional[Dict[str, Any]]] = [None] * len(tasks)
+    telemetry: List[Optional[TaskTelemetry]] = [None] * len(tasks)
+    for group in batched_groups:
+        group_tasks = [tasks[position] for position in group]
+        group_payloads, group_records = _run_with_retry(
+            lambda tasks_=group_tasks: _run_batched_group(
+                tasks_, on_task, deadline
+            ),
+            retry=retry,
+            deadline=deadline,
+        )
+        for position, payload, record in zip(
+            group, group_payloads, group_records
+        ):
+            payloads[position] = payload
+            telemetry[position] = record
+    if serial_positions:
+        remainder = [tasks[position] for position in serial_positions]
+        pool_payloads, pool_records = _run_with_retry(
+            lambda: run_tasks(
+                _solve_task,
+                remainder,
+                jobs=jobs,
+                timeout=timeout,
+                on_task=on_task,
+                auto_fallback=auto_fallback,
+                deadline=deadline,
+            ),
+            retry=retry,
+            deadline=deadline,
+        )
+        for position, payload, record in zip(
+            serial_positions, pool_payloads, pool_records
+        ):
+            payloads[position] = payload
+            telemetry[position] = record
+    assert all(r is not None for r in telemetry)
+    return payloads, telemetry  # type: ignore[return-value]
+
+
+def _run_with_retry(
+    runner: Callable[[], Tuple[List[Dict[str, Any]], List[TaskTelemetry]]],
+    retry: Optional[RetryPolicy],
+    deadline: Optional[float],
+) -> Tuple[List[Dict[str, Any]], List[TaskTelemetry]]:
+    """Run ``runner`` under the retry policy and deadline.
 
     Only tier-2 failures (transient infrastructure:
     :func:`~repro.runtime.retry.is_retryable`) are retried, with the
@@ -300,15 +445,7 @@ def _run_with_retry(
     attempt = 0
     while True:
         try:
-            return run_tasks(
-                _solve_task,
-                tasks,
-                jobs=jobs,
-                timeout=timeout,
-                on_task=on_task,
-                auto_fallback=auto_fallback,
-                deadline=deadline,
-            )
+            return runner()
         except DeadlineExceededError:
             raise
         except Exception as error:

@@ -81,6 +81,7 @@ class TaskTelemetry:
     worker: int  # pid of the process that ran it
     parallel: bool  # False when the serial path (or fallback) ran it
     cache: str = "none"  # "hit" / "miss" / "uncached" / "none"
+    batched: bool = False  # True when a batch kernel group solved it
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -89,6 +90,7 @@ class TaskTelemetry:
             "worker": self.worker,
             "parallel": self.parallel,
             "cache": self.cache,
+            "batched": self.batched,
         }
 
 

@@ -66,6 +66,7 @@ _COALESCED_HELP = "Requests answered by another in-flight request's solve"
 _FASTPATH_HELP = "Requests answered from the cache at admission time"
 _CANCELLED_HELP = "Requests cancelled after their submit timeout expired"
 _DRAIN_HELP = "Requests resolved with BatcherClosedError at close, by component"
+_BATCHED_HELP = "Service solves answered through the batched kernel path"
 
 
 class OverloadedError(RuntimeError):
@@ -162,6 +163,9 @@ class SolveBatcher:
         )
         self._m_cancelled = registry.counter(
             "repro_server_cancelled_total", _CANCELLED_HELP
+        )
+        self._m_batched = registry.counter(
+            "repro_server_batched_total", _BATCHED_HELP
         )
 
         self._worker = threading.Thread(
@@ -397,6 +401,8 @@ class SolveBatcher:
             pending.result = result
             pending.cache_status = record.cache
             pending.coalesced = record.index in coalesced_indices
+            if record.batched:
+                self._m_batched.inc()
             pending.done.set()
 
 

@@ -7,6 +7,7 @@ import pytest
 
 from repro.core.problem import SchedulingProblem
 from repro.energy.period import ChargingPeriod
+from repro.utility.area import AreaCoverageUtility, Subregion
 from repro.utility.coverage_count import WeightedCoverageUtility
 from repro.utility.detection import DetectionUtility, HomogeneousDetectionUtility
 from repro.utility.logsum import LogSumUtility
@@ -145,6 +146,90 @@ def random_utility(family: str, num_sensors: int, rng: np.random.Generator):
             num_sensors, int(rng.integers(2, 5)), rng
         )
     raise ValueError(f"unknown utility family {family!r}")
+
+
+def random_area_utility(
+    num_sensors: int, rng: np.random.Generator
+) -> AreaCoverageUtility:
+    """Area coverage over ~3n cells of 1-3 covering sensors each."""
+    if num_sensors == 0:
+        return AreaCoverageUtility(())
+    subregions = []
+    for _ in range(3 * num_sensors):
+        size = int(rng.integers(1, min(4, num_sensors + 1)))
+        covered = frozenset(
+            int(v) for v in rng.choice(num_sensors, size=size, replace=False)
+        )
+        subregions.append(
+            Subregion(
+                covered_by=covered,
+                area=float(rng.uniform(0.5, 2.0)),
+                weight=float(rng.uniform(0.5, 1.5)),
+            )
+        )
+    return AreaCoverageUtility(subregions)
+
+
+def random_area_problem(
+    seed: int,
+    num_sensors: int | None = None,
+    rho: float | None = None,
+    num_periods: int | None = None,
+) -> SchedulingProblem:
+    """An area-coverage scheduling instance, deterministic in ``seed``.
+
+    Area coverage lives outside :data:`UTILITY_FAMILIES` (it has no
+    wire-format builder), so the batched-kernel suites reach it through
+    this dedicated generator instead of :func:`random_problem`.
+    """
+    rng = np.random.default_rng(seed)
+    n = num_sensors if num_sensors is not None else int(rng.integers(4, 9))
+    ratio = rho if rho is not None else float(rng.choice(RHO_CHOICES))
+    periods = (
+        num_periods if num_periods is not None else int(rng.integers(1, 3))
+    )
+    return SchedulingProblem(
+        num_sensors=n,
+        period=ChargingPeriod.from_ratio(ratio),
+        utility=random_area_utility(n, rng),
+        num_periods=periods,
+    )
+
+
+#: The batched-kernel families: the five wire families plus area
+#: coverage, which only the dedicated generator above can build.
+BATCH_FAMILIES = UTILITY_FAMILIES + ("area",)
+
+
+def random_batch_problems(
+    seed: int,
+    family: str,
+    sizes: "list[int] | tuple[int, ...]",
+    rho: float = 3.0,
+) -> "list[SchedulingProblem]":
+    """Same-family, same-``T`` instances with (possibly ragged) sizes.
+
+    Exactly the shape :class:`repro.batched.batch.InstanceBatch`
+    accepts: one utility family, one charge ratio (hence one
+    ``slots_per_period``), arbitrary per-member sensor counts.  Note the
+    target-system generator cannot build ``num_sensors == 0`` instances
+    (its target-count draw requires at least one sensor); use sizes
+    >= 1 for that family.
+    """
+    problems = []
+    for offset, n in enumerate(sizes):
+        member_seed = 100_000 * seed + 211 * offset + 7
+        if family == "area":
+            problems.append(
+                random_area_problem(member_seed, num_sensors=n, rho=rho)
+            )
+        else:
+            problems.append(
+                random_problem(
+                    seed=member_seed, num_sensors=n, rho=rho, family=family
+                )
+            )
+    return problems
 
 
 def random_problem(

@@ -6,6 +6,7 @@ import pytest
 from repro.core.baselines import (
     all_in_first_slot_schedule,
     balanced_random_schedule,
+    high_energy_first_schedule,
     random_schedule,
     round_robin_schedule,
 )
@@ -13,7 +14,10 @@ from repro.core.greedy import greedy_schedule
 from repro.core.problem import SchedulingProblem
 from repro.core.schedule import ScheduleMode
 from repro.energy.period import ChargingPeriod
-from repro.utility.detection import HomogeneousDetectionUtility
+from repro.utility.detection import (
+    DetectionUtility,
+    HomogeneousDetectionUtility,
+)
 
 
 def make_problem(n=12, rho=3.0):
@@ -32,6 +36,7 @@ class TestFeasibilityAndMode:
             lambda p: balanced_random_schedule(p, rng=1),
             round_robin_schedule,
             all_in_first_slot_schedule,
+            high_energy_first_schedule,
         ],
     )
     def test_all_sensors_assigned_and_feasible(self, factory):
@@ -110,3 +115,30 @@ class TestAllFirstSlot:
         sets = sched.active_sets()
         assert sets[0] == frozenset()
         assert sets[1] == problem.sensor_set
+
+
+class TestHighEnergyFirst:
+    def test_reduces_to_round_robin_when_symmetric(self):
+        # Identical sensors tie on singleton value, so the visiting
+        # order is 0..n-1 and each takes the emptiest earliest slot:
+        # exactly sensor i -> slot i mod T.
+        problem = make_problem(n=9, rho=3.0)  # T = 4
+        hef = high_energy_first_schedule(problem)
+        rr = round_robin_schedule(problem)
+        assert dict(hef.assignment) == dict(rr.assignment)
+
+    def test_visits_strongest_sensors_first(self):
+        # p: sensor 1 and 3 tie at the top (lower id first), then 2, 0.
+        # Each claims the first still-empty slot, so the placement order
+        # reads directly off the assignment.
+        problem = SchedulingProblem(
+            num_sensors=4,
+            period=ChargingPeriod.from_ratio(3.0),  # T = 4
+            utility=DetectionUtility({0: 0.2, 1: 0.9, 2: 0.5, 3: 0.9}),
+        )
+        hef = high_energy_first_schedule(problem)
+        assert dict(hef.assignment) == {1: 0, 3: 1, 2: 2, 0: 3}
+
+    def test_rejects_dense_regime(self):
+        with pytest.raises(ValueError, match="sparse regime"):
+            high_energy_first_schedule(make_problem(rho=0.5))

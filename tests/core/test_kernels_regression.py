@@ -1,13 +1,20 @@
-"""Eval-count regression guard for the greedy kernels.
+"""Eval-count regression guards for the greedy kernels.
 
-Pins the number of marginal-utility evaluations the lazy greedy spends
-on a fixed 200-sensor weighted-coverage instance.  The count is fully
-deterministic (no randomness anywhere in the path), so a change that
-weakens the lazy pruning -- or accidentally reverts to per-step rescans
--- shows up here as a hard failure long before it shows up as a
-wall-clock regression in ``benchmarks/bench_kernels.py``.
+Pins two fully deterministic counts (no randomness anywhere in either
+path), so structural regressions show up as hard failures long before
+they show up as wall-clock noise in the benchmarks:
 
-Run by the CI ``kernels-smoke`` job alongside the quick benchmark.
+- the marginal-utility evaluations the lazy greedy spends on a fixed
+  200-sensor weighted-coverage instance -- a change that weakens the
+  lazy pruning (or reverts to per-step rescans) fails here;
+- the vectorized kernel passes the batched greedy issues on a fixed
+  uniform batch -- exactly ``n`` passes (one initial + one per
+  non-final round), *independent of the batch width*.  A change that
+  de-vectorizes the driver (per-instance or per-sensor passes) fails
+  here.
+
+Run by the CI ``kernels-smoke`` and ``batched-smoke`` jobs alongside
+the quick benchmarks.
 """
 
 from __future__ import annotations
@@ -15,6 +22,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.batched.greedy import solve_batch
 from repro.core.problem import SchedulingProblem
 from repro.core.solver import solve
 from repro.energy.period import ChargingPeriod
@@ -79,11 +87,88 @@ class TestEvalCountRegression:
         assert count >= SENSORS
 
     def test_lazy_prunes_most_of_the_naive_bill(self):
-        assert lazy_evals() * 10 <= NAIVE_EVALS
+        count = lazy_evals()
+        assert count * 10 <= NAIVE_EVALS, (
+            f"lazy greedy spent {count:.0f} evaluations -- no longer a "
+            f"10x saving over the naive bill of {NAIVE_EVALS}"
+        )
 
     @pytest.mark.parametrize("flag", ["0", "1"])
     def test_eval_count_identical_under_both_toggles(self, monkeypatch, flag):
         # Counter parity: the incremental path must bill exactly the
         # evaluations the from-scratch path bills, per variant.
         monkeypatch.setenv("REPRO_INCREMENTAL", flag)
-        assert lazy_evals() == LAZY_EVALS_BASELINE
+        count = lazy_evals()
+        assert count == LAZY_EVALS_BASELINE, (
+            f"REPRO_INCREMENTAL={flag}: {count:.0f} evaluations vs the "
+            f"pinned {LAZY_EVALS_BASELINE}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Batched greedy: kernel passes grow with n, never with the batch width
+# ---------------------------------------------------------------------------
+
+BATCHED_SENSORS = 12
+BATCHED_INSTANCES = 8
+
+#: One initial pass plus one column pass per non-final round: ``n``
+#: passes for a uniform ``n``-sensor batch, whatever its width.
+BATCHED_INVOCATIONS_BASELINE = BATCHED_SENSORS
+
+
+def pinned_batch(instances: int):
+    problems = []
+    for member in range(instances):
+        rng = np.random.default_rng(1000 + member)
+        num_elements = 2 * BATCHED_SENSORS
+        covers = {
+            v: {
+                int(e)
+                for e in rng.choice(num_elements, size=4, replace=False)
+            }
+            for v in range(BATCHED_SENSORS)
+        }
+        weights = {
+            e: float(w)
+            for e, w in enumerate(
+                rng.uniform(0.5, 2.0, size=num_elements)
+            )
+        }
+        problems.append(
+            SchedulingProblem(
+                num_sensors=BATCHED_SENSORS,
+                period=ChargingPeriod.paper_sunny(),
+                utility=WeightedCoverageUtility(covers, weights),
+            )
+        )
+    return problems
+
+
+def batched_invocations(instances: int) -> float:
+    registry = get_registry()
+    registry.reset()
+    solve_batch(pinned_batch(instances))
+    count = registry.sample_value(
+        "repro_batched_kernel_invocations_total", family="coverage"
+    )
+    assert count, "batched greedy did not record its kernel passes"
+    return count
+
+
+class TestBatchedInvocationRegression:
+    def test_invocation_count_pinned(self):
+        count = batched_invocations(BATCHED_INSTANCES)
+        assert count == BATCHED_INVOCATIONS_BASELINE, (
+            f"batched greedy issued {count:.0f} kernel passes on the "
+            f"pinned {BATCHED_INSTANCES}x{BATCHED_SENSORS} batch "
+            f"(pinned {BATCHED_INVOCATIONS_BASELINE}): the driver "
+            f"de-vectorized"
+        )
+
+    def test_invocations_independent_of_batch_width(self):
+        # Doubling the width must not change the pass count: passes
+        # scale with n (rounds), each pass covering every instance.
+        assert batched_invocations(2 * BATCHED_INSTANCES) == (
+            BATCHED_INVOCATIONS_BASELINE
+        )

@@ -157,4 +157,9 @@ class TestTelemetrySummary:
             "worker": 99,
             "parallel": True,
             "cache": "miss",
+            "batched": False,
         }
+
+    def test_as_dict_batched(self):
+        record = TaskTelemetry(0, 0.5, 7, False, cache="miss", batched=True)
+        assert record.as_dict()["batched"] is True

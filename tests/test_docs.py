@@ -11,6 +11,7 @@ DOCS = [
     ROOT / "DESIGN.md",
     ROOT / "EXPERIMENTS.md",
     ROOT / "docs" / "PAPER_MAP.md",
+    ROOT / "docs" / "PERFORMANCE.md",
     ROOT / "docs" / "SERVING.md",
     ROOT / "docs" / "SESSIONS.md",
     ROOT / "docs" / "SCALING.md",
