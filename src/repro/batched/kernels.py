@@ -263,6 +263,16 @@ class LogSumKernel(BatchKernel):
             [self._fns[i].total_weight(_EMPTY)] * self.T
             for i in range(self.N)
         ]
+        # Weight palettes: log1p is evaluated once per *distinct*
+        # weight and gathered back.  Equal weights share one IEEE add
+        # ``total + w`` (identical bits), so the gathered column equals
+        # the per-element one bit-for-bit.
+        self._uniq: List[np.ndarray] = []
+        self._inverse: List[np.ndarray] = []
+        for i in range(self.N):
+            uniq, inverse = np.unique(self._w[i], return_inverse=True)
+            self._uniq.append(uniq)
+            self._inverse.append(inverse.reshape(-1))
 
     def _on_apply(self, index: int, slot: int) -> None:
         self._total[index][slot] = self._fns[index].total_weight(
@@ -270,16 +280,17 @@ class LogSumKernel(BatchKernel):
         )
 
     def _column_for(self, index: int, total: float) -> np.ndarray:
-        sums = total + self._w[index]
+        uniq = self._uniq[index]
+        sums = total + uniq
         base = math.log1p(total)
         col = np.fromiter(
             (math.log1p(x) for x in sums.tolist()),
             dtype=np.float64,
-            count=self.n_max,
+            count=len(uniq),
         )
         # w == 0.0 (missing weight / padding) gives log1p(total) - base
         # == x - x == +0.0, the serial early-return value.
-        return col - base
+        return (col - base)[self._inverse[index]]
 
     def _initial(self) -> np.ndarray:
         out = np.empty((self.N, self.n_max), dtype=np.float64)

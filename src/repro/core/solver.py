@@ -15,6 +15,7 @@ from typing import Dict, Optional
 from repro.core.baselines import (
     all_in_first_slot_schedule,
     balanced_random_schedule,
+    high_energy_first_schedule,
     random_schedule,
     round_robin_schedule,
 )
@@ -42,6 +43,7 @@ METHODS = (
     "balanced-random",
     "round-robin",
     "all-first-slot",
+    "hef",
 )
 
 
@@ -136,6 +138,8 @@ def solve(
             periodic = round_robin_schedule(problem)
         elif method == "all-first-slot":
             periodic = all_in_first_slot_schedule(problem)
+        elif method == "hef":
+            periodic = high_energy_first_schedule(problem)
 
         if method in ("lp", "lp-periodic"):
             if method == "lp-periodic":

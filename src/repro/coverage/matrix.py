@@ -10,6 +10,13 @@ indicator
 
 and the per-target sensor sets ``V(O_i)`` used everywhere in the
 scheduling layer.
+
+At fleet scale the all-pairs loop is the bottleneck (``O(n * m)``
+``covers`` calls), so every helper here routes through the uniform-grid
+index of :mod:`repro.coverage.spatial` when ``REPRO_SPATIAL`` allows it
+-- bit-identical results by the index's ascending-id contract, with
+``REPRO_SPATIAL=verify`` cross-checking every query against brute
+force.
 """
 
 from __future__ import annotations
@@ -20,13 +27,24 @@ import numpy as np
 
 from repro.coverage.deployment import Deployment
 from repro.coverage.sensing import SensingModel
+from repro.coverage.spatial import index_for, spatial_mode, verify_covering
 
 
 def coverage_sets(
     deployment: Deployment, model: SensingModel
 ) -> List[FrozenSet[int]]:
     """``V(O_i)`` for every target: sensors whose region contains it."""
-    sets: List[FrozenSet[int]] = []
+    index = index_for(deployment.sensors, model)
+    if index is not None:
+        verify = spatial_mode() == "verify"
+        sets: List[FrozenSet[int]] = []
+        for target in deployment.targets:
+            covering = index.covering_sensors(target)
+            if verify:
+                covering = verify_covering(index, target, covering)
+            sets.append(covering)
+        return sets
+    sets = []
     for target in deployment.targets:
         covering = frozenset(
             j
@@ -58,6 +76,12 @@ def detection_probabilities(
     give distance-dependent values.  Feed each map into
     :class:`~repro.utility.detection.DetectionUtility`.
     """
+    index = index_for(deployment.sensors, model)
+    if index is not None:
+        # Positive detection probability implies coverage distance for
+        # both built-in models, so the candidate superset is valid here
+        # too; ascending-id insertion keeps the dicts bit-identical.
+        return [index.detection_map(target) for target in deployment.targets]
     maps: List[dict] = []
     for target in deployment.targets:
         probs = {}

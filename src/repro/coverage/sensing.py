@@ -37,6 +37,20 @@ class SensingModel(ABC):
     def region(self, sensor: Point) -> Disk:
         """The monitored region ``R(v)`` as a disk."""
 
+    def max_radius(self) -> float | None:
+        """Upper bound on any sensor's reach, or ``None`` if unbounded.
+
+        The reach bound a :class:`~repro.coverage.spatial.
+        SpatialGridIndex` sizes its cells from: ``covers(s, p)`` must be
+        False whenever ``p`` is farther than this from ``s`` (plus the
+        models' ``1e-12`` boundary tolerance).  Both built-in models are
+        disk-truncated, so the default reads their ``radius``; exotic
+        models without a finite bound return ``None``, which disables
+        spatial indexing for them.
+        """
+        radius = getattr(self, "radius", None)
+        return float(radius) if radius is not None else None
+
 
 @dataclass(frozen=True)
 class DiskSensingModel(SensingModel):

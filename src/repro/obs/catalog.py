@@ -67,6 +67,62 @@ STANDARD_METRICS: Tuple[Tuple[str, str, Tuple[str, ...], str], ...] = (
         (),
         "Utility achieved in the most recent simulated slot",
     ),
+    # -- spatial coverage index (coverage/spatial.py) -------------------
+    (
+        "counter",
+        "repro_spatial_index_builds_total",
+        (),
+        "Spatial grid indexes constructed",
+    ),
+    (
+        "counter",
+        "repro_spatial_queries_total",
+        (),
+        "Point queries answered by the index",
+    ),
+    (
+        "counter",
+        "repro_spatial_candidates_total",
+        (),
+        "Candidate sensors examined by indexed queries",
+    ),
+    (
+        "counter",
+        "repro_spatial_pruned_total",
+        (),
+        "Sensors skipped by indexed queries vs. brute force",
+    ),
+    (
+        "counter",
+        "repro_spatial_verified_total",
+        (),
+        "Point queries cross-checked against brute force",
+    ),
+    # -- sharded simulation (sim/sharded.py) ----------------------------
+    (
+        "gauge",
+        "repro_sim_shard_count",
+        (),
+        "Shards in the most recent sharded simulation",
+    ),
+    (
+        "counter",
+        "repro_sim_shard_slots_total",
+        (),
+        "Shard-slots executed by sharded simulations",
+    ),
+    (
+        "histogram",
+        "repro_sim_shard_merge_seconds",
+        (),
+        "Wall time merging per-shard slot records",
+    ),
+    (
+        "counter",
+        "repro_sim_shard_checkpoints_total",
+        (),
+        "Per-shard partition snapshots written",
+    ),
     # -- health monitor (sim/health.py) --------------------------------
     (
         "counter",

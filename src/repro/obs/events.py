@@ -166,6 +166,16 @@ def get_sink() -> Optional[Any]:
     return _sink
 
 
+def sink_active() -> bool:
+    """Whether :func:`emit` would actually record right now.
+
+    Hot loops whose event *fields* are expensive to build (e.g. sorting
+    a 10^5-sensor active set every slot) check this before constructing
+    them; :func:`emit` itself stays safe to call unconditionally.
+    """
+    return _sink is not None and _registry.enabled()
+
+
 def emit(kind: str, **fields: Any) -> None:
     """Emit a record to the installed sink; a no-op when no sink is
     installed or observability is disabled."""

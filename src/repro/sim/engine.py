@@ -90,6 +90,18 @@ class SimulationEngine:
         event detection.  This is the hardware half of the stuck-active
         fault model (pass
         :meth:`~repro.sim.failures.FailurePlan.sensing_ok`).
+    vectorized:
+        ``None`` (default) auto-selects the struct-of-arrays fast path
+        when nothing needs per-node reports: no ``charging_model`` (its
+        per-node RNG draws fix the scalar call order), no
+        ``keep_node_reports``, and a policy whose ``observe`` is the
+        base no-op.  ``False`` forces scalar object stepping (the
+        differential reference); ``True`` asserts eligibility.  Both
+        paths are bit-identical -- the fast path performs the same
+        float64 ops per node (see :mod:`repro.sim.soa`) and builds the
+        active set in the same ascending-id order, and a
+        ``sensing_filter`` is applied *after* the activity mask is
+        computed, exactly like the scalar path.
     """
 
     def __init__(
@@ -100,6 +112,7 @@ class SimulationEngine:
         event_process: Optional[PoissonEventProcess] = None,
         keep_node_reports: bool = False,
         sensing_filter: Optional[Callable[[int, int], bool]] = None,
+        vectorized: Optional[bool] = None,
     ):
         self.network = network
         self.policy = policy
@@ -107,6 +120,20 @@ class SimulationEngine:
         self.event_process = event_process
         self.keep_node_reports = keep_node_reports
         self.sensing_filter = sensing_filter
+        eligible = (
+            charging_model is None
+            and not keep_node_reports
+            and type(policy).observe is ActivationPolicy.observe
+        )
+        if vectorized is None:
+            self._vectorized = eligible
+        elif vectorized and not eligible:
+            raise ValueError(
+                "vectorized stepping needs no charging model, no node "
+                "reports and a policy without an observe() override"
+            )
+        else:
+            self._vectorized = bool(vectorized)
         self._accumulator: Optional[UtilityAccumulator] = None
         self._all_reports: List[List[NodeSlotReport]] = []
         self._refused_total = 0
@@ -188,46 +215,60 @@ class SimulationEngine:
         slot = self.network.clock.slot
         commands = self.policy.decide(slot, self.network)
 
-        charge_scale = 1.0
-        if self.charging_model is not None:
-            charge_scale = self.charging_model.charge_scale(slot)
+        if self._vectorized:
+            # Struct-of-arrays fast path: one vectorized pass over the
+            # shared NodeArrays, bit-identical to the scalar loop below.
+            was_active, refused = self.network.arrays.step_all(commands)
+            active_set = self.network.arrays.active_frozenset(was_active)
+            reports: List[NodeSlotReport] = []
+        else:
+            charge_scale = 1.0
+            if self.charging_model is not None:
+                charge_scale = self.charging_model.charge_scale(slot)
 
-        reports: List[NodeSlotReport] = []
-        for node in self.network.nodes:
-            drain_scale = 1.0
-            if self.charging_model is not None and node.node_id in commands:
-                drain_scale = self.charging_model.drain_scale(slot)
-            reports.append(
-                node.step(
-                    slot,
-                    activate=node.node_id in commands,
-                    drain_scale=drain_scale,
-                    charge_scale=charge_scale,
+            reports = []
+            for node in self.network.nodes:
+                drain_scale = 1.0
+                if self.charging_model is not None and node.node_id in commands:
+                    drain_scale = self.charging_model.drain_scale(slot)
+                reports.append(
+                    node.step(
+                        slot,
+                        activate=node.node_id in commands,
+                        drain_scale=drain_scale,
+                        charge_scale=charge_scale,
+                    )
                 )
-            )
+            active_set = frozenset(r.node_id for r in reports if r.was_active)
+            refused = sum(1 for r in reports if r.refused_activation)
 
-        active_set = frozenset(r.node_id for r in reports if r.was_active)
         if self.sensing_filter is not None:
             # Stuck nodes burned the energy but their readings are junk.
+            # Applied strictly *after* the activity mask / candidate
+            # lookup, on both stepping paths, so filtered sensors still
+            # drain energy exactly like unfiltered ones.
             active_set = frozenset(
                 v for v in active_set if self.sensing_filter(v, slot)
             )
-        refused = sum(1 for r in reports if r.refused_activation)
         self._refused_total += refused
         record = self._accumulator.record(slot, active_set, refused=refused)
 
         if self.event_process is not None:
             self.event_process.step(slot, active_set)
 
-        obs_events.emit(
-            "engine.slot",
-            slot=slot,
-            commanded=sorted(commands),
-            active=sorted(active_set),
-            utility=record.utility,
-            refused=refused,
-        )
-        self.policy.observe(slot, reports)
+        if obs_events.sink_active():
+            # Building the sorted id lists costs O(n log n) per slot at
+            # fleet scale; skip it entirely when nothing is listening.
+            obs_events.emit(
+                "engine.slot",
+                slot=slot,
+                commanded=sorted(commands),
+                active=sorted(active_set),
+                utility=record.utility,
+                refused=refused,
+            )
+        if not self._vectorized:
+            self.policy.observe(slot, reports)
         if self.keep_node_reports:
             self._all_reports.append(reports)
         self.network.clock.advance()

@@ -12,8 +12,11 @@ from typing import Dict, FrozenSet, List, Optional, Sequence
 from repro.core.problem import SchedulingProblem
 from repro.energy.period import ChargingPeriod
 from repro.energy.states import NodeState
+import numpy as np
+
 from repro.sim.clock import SlottedClock
 from repro.sim.node import SimulatedNode
+from repro.sim.soa import STATE_CODES, NodeArrays
 from repro.utility.base import UtilityFunction
 
 
@@ -53,6 +56,11 @@ class SensorNetwork:
         self.period = period
         self.utility = utility
         overrides = node_periods or {}
+        # Hot state lives in one struct-of-arrays block (battery levels,
+        # state codes, counters); the node objects are views over it, so
+        # the engine can choose per slot between vectorized stepping and
+        # the object API without the two ever diverging.
+        self.arrays = NodeArrays(num_sensors)
         self.nodes: List[SimulatedNode] = [
             SimulatedNode(
                 node_id=i,
@@ -60,6 +68,8 @@ class SensorNetwork:
                 capacity=capacity,
                 ready_threshold=ready_threshold,
                 slot_minutes=period.slot_length,
+                arrays=self.arrays,
+                index=i,
             )
             for i in range(num_sensors)
         ]
@@ -96,10 +106,12 @@ class SensorNetwork:
 
     def ready_sensors(self) -> FrozenSet[int]:
         """Ids that would honour an activation command this slot."""
-        return frozenset(n.node_id for n in self.nodes if n.can_activate)
+        code = STATE_CODES[NodeState.READY]
+        return frozenset(np.flatnonzero(self.arrays.state == code).tolist())
 
     def active_sensors(self) -> FrozenSet[int]:
-        return frozenset(n.node_id for n in self.nodes if n.is_active)
+        code = STATE_CODES[NodeState.ACTIVE]
+        return frozenset(np.flatnonzero(self.arrays.state == code).tolist())
 
     def states(self) -> Dict[int, NodeState]:
         return {n.node_id: n.state for n in self.nodes}

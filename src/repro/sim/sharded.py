@@ -1,0 +1,411 @@
+"""Sharded multi-process simulation: partition the fleet, merge the slots.
+
+Node dynamics are *embarrassingly parallel* under a fixed schedule: each
+node's battery trajectory depends only on its own commands, never on
+another node's state.  The only global computation is the per-slot
+utility of the merged active set.  So the fleet is partitioned into
+shards, each shard steps its own :class:`~repro.sim.engine.
+SimulationEngine` (in a worker process from :mod:`repro.runtime.pool`),
+and a coordinator merges the per-shard active sets slot by slot and
+evaluates the utility once -- producing a :class:`~repro.sim.engine.
+SimulationResult` **bit-identical** to a single-process run:
+
+- Shards carry the *same* node dynamics (the struct-of-arrays fast
+  path), so per-node levels/states/refusals match exactly.
+- The merged active set is built in ascending sensor id order -- the
+  engine's canonical construction -- so frozenset layout, and therefore
+  every downstream iteration, matches.
+- The coordinator's :class:`~repro.sim.metrics.UtilityAccumulator` is
+  configured exactly like the engine's (same memo policy, same
+  ``sensing_filter`` handling: the filter is applied *after* the merge,
+  mirroring the engine applying it after the activity mask).
+
+Partitioning is spatial when sensor positions are known (grid stripes
+via the :mod:`repro.coverage.spatial` cell keys, so a shard's sensors
+are geographically contiguous) and contiguous id ranges otherwise.
+
+Checkpointing reuses :mod:`repro.io.checkpoint` verbatim: every shard
+engine's state is written as its own atomic snapshot next to a small
+manifest, and :meth:`ShardedSimulation.restore_from` rebuilds the
+coordinator by re-merging the shards' recorded slots -- deterministic,
+so an interrupted-and-resumed run is bit-for-bit the uninterrupted one.
+
+Unsupported here (use the single-process engine): per-node reports,
+stochastic charging models and event processes -- their RNG streams are
+ordered across nodes, which sharding would reorder.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.schedule import UnrolledSchedule
+from repro.io.checkpoint import load_checkpoint, save_checkpoint
+from repro.obs.registry import get_registry
+from repro.policies.base import ActivationPolicy
+from repro.sim.engine import SimulationEngine, SimulationResult
+from repro.sim.metrics import UtilityAccumulator
+from repro.sim.network import SensorNetwork
+from repro.utility.base import UtilityFunction
+
+#: Manifest format for sharded checkpoints (inner payload of the
+#: standard repro-checkpoint envelope).
+SHARDED_STATE_KIND = "sharded-sim-state"
+SHARDED_STATE_VERSION = 1
+
+
+class NullUtility(UtilityFunction):
+    """Zero utility: shard engines do energy accounting, not evaluation."""
+
+    @property
+    def ground_set(self) -> frozenset:
+        return frozenset()
+
+    def value(self, sensors) -> float:
+        return 0.0
+
+
+class ShardPolicy(ActivationPolicy):
+    """Restrict a global schedule to one shard's nodes (local ids)."""
+
+    def __init__(
+        self,
+        schedule,
+        global_ids: Sequence[int],
+    ):
+        self.schedule = schedule
+        self.global_ids = list(global_ids)
+
+    def decide(self, slot, network):
+        if isinstance(self.schedule, UnrolledSchedule):
+            if slot >= self.schedule.total_slots:
+                return frozenset()
+        commanded = self.schedule.active_set(slot)
+        return frozenset(
+            local
+            for local, sensor in enumerate(self.global_ids)
+            if sensor in commanded
+        )
+
+
+def partition_sensors(
+    num_sensors: int,
+    shards: int,
+    positions=None,
+    cell_size: Optional[float] = None,
+) -> List[List[int]]:
+    """Split ``0..n-1`` into ``shards`` near-equal groups.
+
+    With ``positions`` (a sequence of points with ``.x``/``.y``), ids
+    are ordered by their spatial grid cell -- ``cell_size`` defaults to
+    the region diameter over ``shards`` -- so each shard is a
+    geographically contiguous stripe; without positions, contiguous id
+    ranges.  Ids stay ascending *within* each shard (the merge relies
+    on it), and the partition is deterministic.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    shards = min(shards, max(1, num_sensors))
+    order = list(range(num_sensors))
+    if positions is not None:
+        if len(positions) != num_sensors:
+            raise ValueError(
+                f"{len(positions)} positions for {num_sensors} sensors"
+            )
+        if cell_size is None:
+            xs = [p.x for p in positions]
+            ys = [p.y for p in positions]
+            extent = max(
+                max(xs, default=0.0) - min(xs, default=0.0),
+                max(ys, default=0.0) - min(ys, default=0.0),
+            )
+            cell_size = max(extent / shards, 1e-9)
+        order.sort(
+            key=lambda j: (
+                math.floor(positions[j].x / cell_size),
+                math.floor(positions[j].y / cell_size),
+                j,
+            )
+        )
+    out: List[List[int]] = []
+    base, extra = divmod(num_sensors, shards)
+    start = 0
+    for k in range(shards):
+        size = base + (1 if k < extra else 0)
+        out.append(sorted(order[start : start + size]))
+        start += size
+    return out
+
+
+# ----------------------------------------------------------------------
+# Worker side (top-level: must be picklable for the process pool)
+# ----------------------------------------------------------------------
+
+
+def _build_shard_engine(config: Dict) -> SimulationEngine:
+    """An engine over one shard's nodes (local ids, null utility)."""
+    global_ids: List[int] = config["global_ids"]
+    overrides = config.get("node_periods") or {}
+    network = SensorNetwork(
+        num_sensors=len(global_ids),
+        period=config["period"],
+        utility=NullUtility(),
+        capacity=config.get("capacity", 1.0),
+        ready_threshold=config.get("ready_threshold", 1.0),
+        node_periods={
+            local: overrides[sensor]
+            for local, sensor in enumerate(global_ids)
+            if sensor in overrides
+        },
+    )
+    policy = ShardPolicy(config["schedule"], global_ids)
+    return SimulationEngine(network, policy)
+
+
+def _run_shard_task(task: Dict) -> Dict:
+    """Advance one shard ``task["slots"]`` slots; return its new state.
+
+    The returned engine checkpoint carries the shard's full accumulator
+    (slot -> local active set), which is everything the coordinator
+    needs for merging and for the next chunk's restore.
+    """
+    engine = _build_shard_engine(task["config"])
+    if task["state"] is not None:
+        engine.restore(task["state"])
+    engine.advance(task["slots"])
+    return engine.checkpoint()
+
+
+# ----------------------------------------------------------------------
+# Coordinator
+# ----------------------------------------------------------------------
+
+
+class ShardedSimulation:
+    """Drive ``shards`` shard engines and merge their slots.
+
+    Parameters
+    ----------
+    num_sensors, period, utility:
+        The global network description (what a single
+        :class:`~repro.sim.network.SensorNetwork` would be built from).
+    schedule:
+        The global :class:`~repro.core.schedule.PeriodicSchedule` (or
+        unrolled schedule) every shard executes its restriction of.
+    shards:
+        Partition count; clamped to the sensor count.
+    positions:
+        Optional sensor positions enabling spatial (grid-stripe)
+        partitioning.
+    sensing_filter:
+        As in :class:`~repro.sim.engine.SimulationEngine`; applied by
+        the coordinator *after* merging, never inside shards.
+    jobs:
+        Worker processes for :func:`repro.runtime.pool.run_tasks`
+        (defaults to the shard count; the pool auto-falls back to
+        serial when parallelism cannot win).
+    """
+
+    def __init__(
+        self,
+        num_sensors: int,
+        period,
+        utility: UtilityFunction,
+        schedule,
+        shards: int,
+        capacity: float = 1.0,
+        ready_threshold: float = 1.0,
+        node_periods: Optional[Dict] = None,
+        positions=None,
+        sensing_filter: Optional[Callable[[int, int], bool]] = None,
+        jobs: Optional[int] = None,
+    ):
+        self.num_sensors = num_sensors
+        self.utility = utility
+        self.sensing_filter = sensing_filter
+        self._jobs = jobs if jobs is not None else shards
+        self._partition = partition_sensors(
+            num_sensors, shards, positions=positions
+        )
+        self._configs = [
+            {
+                "global_ids": ids,
+                "period": period,
+                "schedule": schedule,
+                "capacity": capacity,
+                "ready_threshold": ready_threshold,
+                "node_periods": node_periods,
+            }
+            for ids in self._partition
+        ]
+        self._states: List[Optional[Dict]] = [None] * len(self._partition)
+        self._merged_slots = 0
+        self._accumulator = UtilityAccumulator(utility)
+        if sensing_filter is not None:
+            # Same reasoning as the engine: filtered sets do not share
+            # one construction order, so the memo is not provably exact.
+            self._accumulator.disable_memo()
+        self._refused_total = 0
+        registry = get_registry()
+        registry.gauge(
+            "repro_sim_shard_count",
+            "Shards in the most recent sharded simulation",
+        ).set(len(self._partition))
+        self._m_shard_slots = registry.counter(
+            "repro_sim_shard_slots_total",
+            "Shard-slots executed by sharded simulations",
+        )
+        self._m_merge_seconds = registry.histogram(
+            "repro_sim_shard_merge_seconds",
+            "Wall time merging per-shard slot records",
+        )
+        self._m_checkpoints = registry.counter(
+            "repro_sim_shard_checkpoints_total",
+            "Per-shard partition snapshots written",
+        )
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._partition)
+
+    @property
+    def slots_done(self) -> int:
+        return self._merged_slots
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+
+    def advance(self, num_slots: int) -> SimulationResult:
+        """Step every shard ``num_slots`` slots, merge, return the
+        cumulative result (the single-engine ``advance`` contract)."""
+        if num_slots < 0:
+            raise ValueError(f"num_slots must be >= 0, got {num_slots}")
+        if num_slots > 0:
+            from repro.runtime.pool import run_tasks
+
+            tasks = [
+                {"config": config, "state": state, "slots": num_slots}
+                for config, state in zip(self._configs, self._states)
+            ]
+            results, _telemetry = run_tasks(
+                _run_shard_task, tasks, jobs=self._jobs
+            )
+            self._states = list(results)
+            self._m_shard_slots.inc(num_slots * self.num_shards)
+            self._merge()
+        return self.result()
+
+    def run(self, num_slots: int) -> SimulationResult:
+        """Fresh run: reset all shard and coordinator state first."""
+        self._states = [None] * self.num_shards
+        self._merged_slots = 0
+        self._accumulator = UtilityAccumulator(self.utility)
+        if self.sensing_filter is not None:
+            self._accumulator.disable_memo()
+        self._refused_total = 0
+        return self.advance(num_slots)
+
+    def result(self) -> SimulationResult:
+        return SimulationResult(
+            num_slots=self._merged_slots,
+            accumulator=self._accumulator,
+            refused_activations=self._refused_total,
+            node_reports=[],
+            detection=None,
+        )
+
+    def _merge(self) -> None:
+        """Fold newly-recorded shard slots into the global accumulator."""
+        start = time.perf_counter()
+        per_shard = [
+            state["accumulator"] or [] for state in self._states  # type: ignore[index]
+        ]
+        total = min(len(records) for records in per_shard)
+        for s in range(self._merged_slots, total):
+            merged: List[int] = []
+            refused = 0
+            slot = None
+            for shard, records in enumerate(per_shard):
+                record = records[s]
+                slot = record["slot"] if slot is None else slot
+                ids = self._partition[shard]
+                merged.extend(ids[local] for local in record["active_set"])
+                refused += record["refused_activations"]
+            merged.sort()
+            active_set = frozenset(merged)
+            if self.sensing_filter is not None:
+                active_set = frozenset(
+                    v for v in active_set if self.sensing_filter(v, slot)
+                )
+            self._refused_total += refused
+            self._accumulator.record(slot, active_set, refused=refused)
+            self._merged_slots += 1
+        self._m_merge_seconds.observe(time.perf_counter() - start)
+
+    # ------------------------------------------------------------------
+    # Checkpoint / resume (per-shard partition snapshots)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def shard_path(path: str, shard: int) -> str:
+        return f"{path}.shard{shard}"
+
+    def checkpoint(self, path: str, config: Optional[Dict] = None) -> None:
+        """Write the manifest at ``path`` and one snapshot per shard.
+
+        Each file goes through :func:`repro.io.checkpoint.
+        save_checkpoint` (atomic rename), so a crash mid-checkpoint
+        leaves the previous complete generation intact.
+        """
+        if any(state is None for state in self._states):
+            raise ValueError("nothing to checkpoint: run() first")
+        for shard, state in enumerate(self._states):
+            save_checkpoint(state, self.shard_path(path, shard))
+            self._m_checkpoints.inc()
+        manifest = {
+            "kind": SHARDED_STATE_KIND,
+            "version": SHARDED_STATE_VERSION,
+            "shards": self.num_shards,
+            "slots_done": self._merged_slots,
+        }
+        save_checkpoint(manifest, path, config=config)
+
+    def restore_from(self, path: str) -> None:
+        """Load every shard snapshot and re-merge the recorded slots.
+
+        The coordinator's accumulator is rebuilt by replaying the merge
+        from slot 0 -- a deterministic recomputation, so the resumed
+        run is bit-for-bit the uninterrupted one.
+        """
+        manifest, _config = load_checkpoint(path)
+        kind = manifest.get("kind")
+        if kind != SHARDED_STATE_KIND:
+            raise ValueError(
+                f"not a sharded-sim manifest (kind={kind!r}, "
+                f"expected {SHARDED_STATE_KIND!r})"
+            )
+        if manifest.get("shards") != self.num_shards:
+            raise ValueError(
+                f"manifest holds {manifest.get('shards')} shards but this "
+                f"simulation has {self.num_shards}; rebuild with the "
+                "original configuration before restoring"
+            )
+        states = []
+        for shard in range(self.num_shards):
+            state, _ = load_checkpoint(self.shard_path(path, shard))
+            states.append(state)
+        self._states = states
+        self._merged_slots = 0
+        self._accumulator = UtilityAccumulator(self.utility)
+        if self.sensing_filter is not None:
+            self._accumulator.disable_memo()
+        self._refused_total = 0
+        self._merge()
+        if self._merged_slots != manifest.get("slots_done"):
+            raise ValueError(
+                f"shard snapshots replay to {self._merged_slots} slots "
+                f"but the manifest says {manifest.get('slots_done')}"
+            )

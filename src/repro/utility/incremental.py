@@ -657,6 +657,34 @@ def make_evaluator(
     return IncrementalEvaluator(fn)
 
 
+def evaluator_from_deployment(
+    deployment,
+    model,
+    p: float = 0.4,
+    incremental: Optional[bool] = None,
+) -> Tuple[TargetSystem, IncrementalEvaluator]:
+    """Build a detection :class:`TargetSystem` + evaluator for a deployment.
+
+    The fleet-scale construction path: per-target coverage sets are
+    computed through :func:`repro.coverage.matrix.coverage_sets`, which
+    routes point queries through the :mod:`repro.coverage.spatial` grid
+    index when ``REPRO_SPATIAL`` allows it -- so at 10^4+ sensors the
+    utility build is O(sensors in nearby cells) per target instead of
+    O(n), while staying bit-identical to brute force (the per-slot
+    evaluations then run over identically-constructed frozensets, which
+    is what the evaluator contract above requires).
+
+    Returns ``(utility, evaluator)`` so callers keep the utility for
+    accumulators and schedules.
+    """
+    from repro.coverage.matrix import coverage_sets
+
+    utility = TargetSystem.homogeneous_detection(
+        coverage_sets(deployment, model), p=p
+    )
+    return utility, make_evaluator(utility, incremental=incremental)
+
+
 def make_slot_evaluators(
     functions: Sequence[UtilityFunction],
     incremental: Optional[bool] = None,

@@ -52,6 +52,25 @@ class TestDispatch:
         solve(make_problem(n=6), method="greedy", trace=trace)
         assert len(trace.steps) == 6
 
+    def test_hef_dispatches_to_the_baseline(self):
+        from repro.core.baselines import high_energy_first_schedule
+
+        problem = make_problem(n=10)
+        result = solve(problem, method="hef")
+        assert result.method == "hef"
+        assert result.periodic == high_energy_first_schedule(problem)
+
+    def test_hef_is_deterministic(self):
+        problem = make_problem(n=10)
+        a = solve(problem, method="hef")
+        b = solve(problem, method="hef")
+        assert a.periodic == b.periodic
+        assert a.total_utility == b.total_utility
+
+    def test_hef_rejects_dense_regime(self):
+        with pytest.raises(ValueError, match="sparse"):
+            solve(make_problem(rho=0.5), method="hef")
+
 
 class TestMetrics:
     def test_average_consistent_with_total(self):

@@ -276,6 +276,39 @@ class TestCoalescing:
         assert len(payloads) <= 3
 
 
+class TestHefMethod:
+    def test_hef_solves_over_http(self, service_client):
+        _, client = service_client
+        status, body, _ = client.post("/v1/solve", solve_body(method="hef"))
+        assert status == 200
+        assert body["result"]["method"] == "hef"
+        # The wire result matches the in-process solver exactly.
+        from repro.core.problem import SchedulingProblem
+        from repro.energy.period import ChargingPeriod
+        from repro.utility.detection import HomogeneousDetectionUtility
+
+        problem = SchedulingProblem(
+            num_sensors=8,
+            period=ChargingPeriod.from_ratio(3.0),
+            utility=HomogeneousDetectionUtility(range(8), p=0.4),
+            num_periods=1,
+        )
+        local = solve(problem, method="hef")
+        assert body["result"]["total_utility"] == local.total_utility
+        assert body["result"]["periodic"]["assignment"] == {
+            str(s): slot for s, slot in local.periodic.assignment.items()
+        }
+
+    def test_hef_dense_regime_is_a_structured_500(self, service_client):
+        _, client = service_client
+        status, body, _ = client.post(
+            "/v1/solve", solve_body(method="hef", rho=0.5)
+        )
+        assert status == 500
+        assert body["error"]["code"] == "internal"
+        assert "sparse" in body["error"]["message"]
+
+
 class TestMetricsEndpoint:
     def test_exposition_passes_linter(self, service_client):
         _, client = service_client

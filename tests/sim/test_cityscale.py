@@ -1,0 +1,144 @@
+"""City-scale scenario generator: determinism, physics, heterogeneity."""
+
+import math
+
+import pytest
+
+from repro.core.problem import SchedulingProblem
+from repro.energy.period import ChargingPeriod
+from repro.sim.cityscale import (
+    BASE_DISCHARGE_MINUTES,
+    DENSITY,
+    DIURNAL_AMPLITUDE,
+    PANEL_CLASSES,
+    city_scenario,
+    diurnal_weight,
+    heterogeneous_period,
+)
+from repro.solar.weather import WeatherCondition
+
+
+class TestHeterogeneousPeriod:
+    def test_standard_panel_reproduces_catalogue_profiles(self):
+        # The repo's energy profiles: sunny T_r = 45 min, cloudy 90,
+        # rainy 180 for the default 50 J mote battery.
+        panel = PANEL_CLASSES[0][1]
+        expected = {
+            WeatherCondition.SUNNY: 45.0,
+            WeatherCondition.CLOUDY: 90.0,
+            WeatherCondition.RAINY: 180.0,
+        }
+        for condition, recharge in expected.items():
+            period = heterogeneous_period(panel, condition)
+            assert period.discharge_time == BASE_DISCHARGE_MINUTES
+            assert period.recharge_time == recharge
+
+    def test_every_catalogue_pair_yields_integral_rho(self):
+        # ChargingPeriod itself raises on non-integer rho, so simply
+        # constructing every (panel, weather) pair is the assertion.
+        for _, panel, _ in PANEL_CLASSES:
+            for condition in WeatherCondition:
+                period = heterogeneous_period(panel, condition)
+                rho = period.recharge_time / period.discharge_time
+                assert rho >= 1.0
+                assert rho == round(rho)
+
+    def test_larger_panel_never_slower(self):
+        standard = PANEL_CLASSES[0][1]
+        large = PANEL_CLASSES[1][1]
+        for condition in WeatherCondition:
+            assert (
+                heterogeneous_period(large, condition).recharge_time
+                <= heterogeneous_period(standard, condition).recharge_time
+            )
+
+
+class TestDiurnalWeights:
+    def test_peak_hour_maximizes_demand(self):
+        assert diurnal_weight(12.0, 12.0) == pytest.approx(
+            1.0 + DIURNAL_AMPLITUDE
+        )
+        assert diurnal_weight(0.0, 12.0) == pytest.approx(
+            1.0 - DIURNAL_AMPLITUDE
+        )
+
+    def test_always_positive(self):
+        for hour in range(24):
+            for peak in (8.0, 12.0, 18.0, 22.0):
+                assert diurnal_weight(float(hour), peak) > 0.0
+
+    def test_hour_shifts_scenario_weights(self):
+        noon = city_scenario(200, seed=1, hour=12.0)
+        night = city_scenario(200, seed=1, hour=0.0)
+        assert noon.target_weights != night.target_weights
+        # Same geometry either way: the hour only re-weights targets.
+        assert noon.deployment.sensors == night.deployment.sensors
+
+
+class TestScenario:
+    def test_deterministic_for_a_seed(self):
+        a = city_scenario(300, seed=42)
+        b = city_scenario(300, seed=42)
+        assert a.deployment.sensors == b.deployment.sensors
+        assert a.node_periods == b.node_periods
+        assert a.target_weights == b.target_weights
+        assert a.panel_names == b.panel_names
+        assert [d.condition for d in a.districts] == [
+            d.condition for d in b.districts
+        ]
+
+    def test_constant_density_region_scaling(self):
+        small = city_scenario(400, seed=0)
+        large = city_scenario(1600, seed=0)
+        ratio = large.deployment.region.area / small.deployment.region.area
+        assert ratio == pytest.approx(4.0, rel=0.01)
+        assert small.num_sensors / small.deployment.region.area == (
+            pytest.approx(DENSITY, rel=0.05)
+        )
+
+    def test_base_period_is_paper_sunny(self):
+        scenario = city_scenario(200, seed=3)
+        assert scenario.period.discharge_time == BASE_DISCHARGE_MINUTES
+        assert scenario.period.recharge_time == 3 * BASE_DISCHARGE_MINUTES
+
+    def test_overrides_exclude_base_period_nodes(self):
+        scenario = city_scenario(400, seed=5)
+        assert scenario.node_periods  # heterogeneity actually present
+        for period in scenario.node_periods.values():
+            assert period != scenario.period
+            assert isinstance(period, ChargingPeriod)
+
+    def test_district_grid_covers_region(self):
+        scenario = city_scenario(250, districts=3, seed=2)
+        cells = {d.cell for d in scenario.districts}
+        assert cells == {(x, y) for x in range(3) for y in range(3)}
+
+    def test_problem_and_schedule_are_consistent(self):
+        scenario = city_scenario(220, seed=9)
+        problem = scenario.problem(num_periods=2)
+        assert isinstance(problem, SchedulingProblem)
+        assert problem.num_sensors == 220
+        assert problem.utility is scenario.utility
+        schedule = scenario.round_robin_schedule()
+        assert schedule.slots_per_period == scenario.period.slots_per_period
+        assert schedule.scheduled_sensors == frozenset(range(220))
+
+    def test_target_weights_feed_the_utility(self):
+        scenario = city_scenario(260, seed=11)
+        covered = scenario.utility.covered_elements(
+            range(scenario.num_sensors)
+        )
+        expected = sum(
+            scenario.target_weights[t] for t in covered
+        )
+        assert scenario.utility.value(
+            range(scenario.num_sensors)
+        ) == pytest.approx(expected)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            city_scenario(0)
+        with pytest.raises(ValueError):
+            city_scenario(10, districts=0)
+        with pytest.raises(ValueError):
+            city_scenario(10, target_fraction=-0.1)

@@ -1,0 +1,295 @@
+"""Sharded simulation: bit-equality with the single-process engine.
+
+The sharded driver's contract is that partitioning is invisible: for
+any shard count, schedule, heterogeneous period map or sensing filter,
+the merged :class:`~repro.sim.engine.SimulationResult` is bit-for-bit
+the single-engine one -- same slots, same active-set hash layout, same
+utilities, same refusals -- and a checkpoint/restore cycle through the
+per-shard snapshots reproduces the uninterrupted run exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.coverage.deployment import uniform_deployment
+from repro.coverage.geometry import Point, Rectangle
+from repro.coverage.matrix import coverage_sets
+from repro.coverage.sensing import DiskSensingModel
+from repro.core.schedule import PeriodicSchedule, ScheduleMode
+from repro.energy.period import ChargingPeriod
+from repro.policies.schedule_policy import SchedulePolicy
+from repro.sim.cityscale import city_scenario
+from repro.sim.engine import SimulationEngine
+from repro.sim.network import SensorNetwork
+from repro.sim.sharded import (
+    SHARDED_STATE_KIND,
+    ShardedSimulation,
+    partition_sensors,
+)
+from repro.utility.target_system import TargetSystem
+
+PERIOD = ChargingPeriod.paper_sunny()
+SLOTS_PER_PERIOD = PERIOD.slots_per_period
+
+
+def make_utility(n, num_targets=20, seed=0):
+    deployment = uniform_deployment(
+        n, num_targets=num_targets, region=Rectangle.square(8.0), rng=seed
+    )
+    return (
+        TargetSystem.homogeneous_detection(
+            coverage_sets(deployment, DiskSensingModel(radius=1.5)), p=0.4
+        ),
+        deployment,
+    )
+
+
+def round_robin(n):
+    return PeriodicSchedule(
+        slots_per_period=SLOTS_PER_PERIOD,
+        assignment={i: i % SLOTS_PER_PERIOD for i in range(n)},
+        mode=ScheduleMode.ACTIVE_SLOT,
+    )
+
+
+def run_single(
+    n, utility, schedule, node_periods=None, sensing_filter=None, slots=8
+):
+    network = SensorNetwork(
+        n, PERIOD, utility, node_periods=node_periods
+    )
+    engine = SimulationEngine(
+        network, SchedulePolicy(schedule), sensing_filter=sensing_filter
+    )
+    return engine.run(slots)
+
+
+def assert_bit_identical(sharded_result, single_result):
+    a, b = sharded_result.accumulator.records, single_result.accumulator.records
+    assert len(a) == len(b)
+    for ra, rb in zip(a, b):
+        assert ra.slot == rb.slot
+        assert ra.active_set == rb.active_set
+        # Identical frozenset iteration order (hash layout), not just
+        # equal membership -- downstream evaluation order hangs off it.
+        assert list(ra.active_set) == list(rb.active_set)
+        assert ra.utility == rb.utility
+        assert ra.refused_activations == rb.refused_activations
+    assert (
+        sharded_result.refused_activations
+        == single_result.refused_activations
+    )
+    assert sharded_result.total_utility == single_result.total_utility
+
+
+class TestPartition:
+    def test_covers_every_id_exactly_once(self):
+        parts = partition_sensors(100, 7)
+        seen = [j for part in parts for j in part]
+        assert sorted(seen) == list(range(100))
+        assert len(parts) == 7
+
+    def test_ascending_within_each_shard(self):
+        rng = np.random.default_rng(4)
+        positions = [
+            Point(float(x), float(y))
+            for x, y in rng.uniform(0.0, 10.0, size=(60, 2))
+        ]
+        parts = partition_sensors(60, 4, positions=positions)
+        assert sorted(j for part in parts for j in part) == list(range(60))
+        for part in parts:
+            assert part == sorted(part)
+
+    def test_near_equal_sizes(self):
+        parts = partition_sensors(10, 3)
+        assert sorted(len(part) for part in parts) == [3, 3, 4]
+
+    def test_shards_clamped_to_sensor_count(self):
+        parts = partition_sensors(3, 8)
+        assert len(parts) == 3
+        assert all(len(part) == 1 for part in parts)
+
+    def test_spatial_partition_is_deterministic(self):
+        rng = np.random.default_rng(11)
+        positions = [
+            Point(float(x), float(y))
+            for x, y in rng.uniform(0.0, 10.0, size=(80, 2))
+        ]
+        assert partition_sensors(80, 5, positions=positions) == (
+            partition_sensors(80, 5, positions=positions)
+        )
+
+    def test_position_count_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="positions"):
+            partition_sensors(10, 2, positions=[Point(0.0, 0.0)])
+
+
+class TestBitEquality:
+    @pytest.mark.parametrize("shards", [1, 2, 4, 7])
+    def test_matches_single_engine(self, shards):
+        n = 60
+        utility, _ = make_utility(n, seed=3)
+        schedule = round_robin(n)
+        single = run_single(n, utility, schedule)
+        sharded = ShardedSimulation(
+            num_sensors=n,
+            period=PERIOD,
+            utility=utility,
+            schedule=schedule,
+            shards=shards,
+        )
+        assert_bit_identical(sharded.run(8), single)
+
+    def test_spatial_partition_matches_single_engine(self):
+        n = 60
+        utility, deployment = make_utility(n, seed=5)
+        schedule = round_robin(n)
+        single = run_single(n, utility, schedule)
+        sharded = ShardedSimulation(
+            num_sensors=n,
+            period=PERIOD,
+            utility=utility,
+            schedule=schedule,
+            shards=4,
+            positions=deployment.sensors,
+        )
+        assert_bit_identical(sharded.run(8), single)
+
+    def test_heterogeneous_periods_match(self):
+        n = 50
+        utility, _ = make_utility(n, seed=7)
+        schedule = round_robin(n)
+        overrides = {
+            i: ChargingPeriod(PERIOD.discharge_time, PERIOD.discharge_time * 6)
+            for i in range(0, n, 3)
+        }
+        single = run_single(n, utility, schedule, node_periods=overrides)
+        sharded = ShardedSimulation(
+            num_sensors=n,
+            period=PERIOD,
+            utility=utility,
+            schedule=schedule,
+            shards=3,
+            node_periods=overrides,
+        )
+        assert_bit_identical(sharded.run(8), single)
+
+    def test_sensing_filter_applied_after_merge(self):
+        n = 60
+        utility, _ = make_utility(n, seed=9)
+        schedule = round_robin(n)
+
+        def stuck(sensor, slot):
+            return sensor % 5 != 0
+
+        single = run_single(n, utility, schedule, sensing_filter=stuck)
+        sharded = ShardedSimulation(
+            num_sensors=n,
+            period=PERIOD,
+            utility=utility,
+            schedule=schedule,
+            shards=4,
+            sensing_filter=stuck,
+        )
+        assert_bit_identical(sharded.run(8), single)
+
+    def test_cityscale_scenario_matches(self):
+        scenario = city_scenario(120, seed=13)
+        schedule = scenario.round_robin_schedule()
+        network = SensorNetwork(
+            scenario.num_sensors,
+            scenario.period,
+            scenario.utility,
+            node_periods=scenario.node_periods,
+        )
+        single = SimulationEngine(network, SchedulePolicy(schedule)).run(8)
+        sharded = ShardedSimulation(
+            num_sensors=scenario.num_sensors,
+            period=scenario.period,
+            utility=scenario.utility,
+            schedule=schedule,
+            shards=4,
+            node_periods=scenario.node_periods,
+            positions=scenario.positions,
+        )
+        assert_bit_identical(sharded.run(8), single)
+
+    def test_incremental_advance_equals_one_shot(self):
+        n = 40
+        utility, _ = make_utility(n, seed=2)
+        schedule = round_robin(n)
+        one_shot = ShardedSimulation(
+            num_sensors=n, period=PERIOD, utility=utility,
+            schedule=schedule, shards=2,
+        )
+        chunked = ShardedSimulation(
+            num_sensors=n, period=PERIOD, utility=utility,
+            schedule=schedule, shards=2,
+        )
+        full = one_shot.run(8)
+        chunked.run(3)
+        chunked.advance(2)
+        partial = chunked.advance(3)
+        assert_bit_identical(partial, full)
+
+
+class TestCheckpointResume:
+    def make(self, n=48, utility=None, schedule=None, shards=3):
+        if utility is None:
+            utility, _ = make_utility(n, seed=17)
+        if schedule is None:
+            schedule = round_robin(n)
+        return ShardedSimulation(
+            num_sensors=n,
+            period=PERIOD,
+            utility=utility,
+            schedule=schedule,
+            shards=shards,
+        ), utility, schedule
+
+    def test_resume_is_bit_identical_to_uninterrupted(self, tmp_path):
+        path = str(tmp_path / "fleet.ckpt")
+        n = 48
+        first, utility, schedule = self.make(n)
+        reference, _, _ = self.make(n, utility=utility, schedule=schedule)
+        full = reference.run(8)
+
+        first.run(4)
+        first.checkpoint(path)
+
+        resumed, _, _ = self.make(n, utility=utility, schedule=schedule)
+        resumed.restore_from(path)
+        assert resumed.slots_done == 4
+        assert_bit_identical(resumed.advance(4), full)
+
+    def test_manifest_and_shard_files_exist(self, tmp_path):
+        path = str(tmp_path / "fleet.ckpt")
+        sim, _, _ = self.make(shards=3)
+        sim.run(2)
+        sim.checkpoint(path)
+        assert (tmp_path / "fleet.ckpt").exists()
+        for shard in range(3):
+            assert (tmp_path / f"fleet.ckpt.shard{shard}").exists()
+
+    def test_checkpoint_before_run_is_rejected(self, tmp_path):
+        sim, _, _ = self.make()
+        with pytest.raises(ValueError, match="run"):
+            sim.checkpoint(str(tmp_path / "early.ckpt"))
+
+    def test_restore_rejects_wrong_shard_count(self, tmp_path):
+        path = str(tmp_path / "fleet.ckpt")
+        sim, utility, schedule = self.make(shards=3)
+        sim.run(2)
+        sim.checkpoint(path)
+        other, _, _ = self.make(utility=utility, schedule=schedule, shards=2)
+        with pytest.raises(ValueError, match="shards"):
+            other.restore_from(path)
+
+    def test_restore_rejects_foreign_checkpoint(self, tmp_path):
+        from repro.io.checkpoint import save_checkpoint
+
+        path = str(tmp_path / "other.ckpt")
+        save_checkpoint({"kind": "engine-state", "version": 1}, path)
+        sim, _, _ = self.make()
+        with pytest.raises(ValueError, match=SHARDED_STATE_KIND):
+            sim.restore_from(path)

@@ -1,0 +1,284 @@
+"""Differential suite: vectorized struct-of-arrays step vs. scalar step.
+
+The engine's fast path performs the per-node energy accounting as
+whole-fleet numpy operations; the contract is bit-identical results to
+the scalar per-node-object loop -- same active-set hash layout, same
+float64 battery trajectories, same refusal/transition counters -- plus
+the ``sensing_filter`` regression pinned here: the filter must be
+applied *after* the activity mask at all three call sites (begin, step,
+restore), so filtered ("stuck") sensors still drain while their
+readings are discarded.
+"""
+
+import numpy as np
+import pytest
+
+from repro.coverage.deployment import uniform_deployment
+from repro.coverage.geometry import Rectangle
+from repro.coverage.matrix import coverage_sets
+from repro.coverage.sensing import DiskSensingModel
+from repro.core.schedule import PeriodicSchedule, ScheduleMode
+from repro.energy.period import ChargingPeriod
+from repro.energy.states import NodeState
+from repro.policies.base import ActivationPolicy
+from repro.policies.schedule_policy import SchedulePolicy
+from repro.sim.engine import SimulationEngine
+from repro.sim.network import SensorNetwork
+from repro.utility.target_system import TargetSystem
+
+PERIOD = ChargingPeriod.paper_sunny()
+
+
+def make_utility(n, seed=0):
+    deployment = uniform_deployment(
+        n, num_targets=15, region=Rectangle.square(6.0), rng=seed
+    )
+    return TargetSystem.homogeneous_detection(
+        coverage_sets(deployment, DiskSensingModel(radius=1.2)), p=0.4
+    )
+
+
+def schedule_for(n, slots_per_period):
+    return PeriodicSchedule(
+        slots_per_period=slots_per_period,
+        assignment={i: i % slots_per_period for i in range(n)},
+        mode=ScheduleMode.ACTIVE_SLOT,
+    )
+
+
+def build_engine(
+    n,
+    utility,
+    schedule,
+    vectorized,
+    node_periods=None,
+    ready_threshold=1.0,
+    sensing_filter=None,
+):
+    network = SensorNetwork(
+        n,
+        PERIOD,
+        utility,
+        ready_threshold=ready_threshold,
+        node_periods=node_periods,
+    )
+    return SimulationEngine(
+        network,
+        SchedulePolicy(schedule),
+        vectorized=vectorized,
+        sensing_filter=sensing_filter,
+    )
+
+
+def assert_bit_identical(fast, slow):
+    a, b = fast.accumulator.records, slow.accumulator.records
+    assert len(a) == len(b)
+    for ra, rb in zip(a, b):
+        assert ra.slot == rb.slot
+        assert ra.active_set == rb.active_set
+        assert list(ra.active_set) == list(rb.active_set)
+        assert ra.utility == rb.utility
+        assert ra.refused_activations == rb.refused_activations
+    assert fast.refused_activations == slow.refused_activations
+    assert fast.total_utility == slow.total_utility
+
+
+def assert_same_node_state(net_a, net_b):
+    assert np.array_equal(net_a.arrays.level, net_b.arrays.level)
+    assert np.array_equal(net_a.arrays.state, net_b.arrays.state)
+    assert np.array_equal(net_a.arrays.transitions, net_b.arrays.transitions)
+    assert np.array_equal(net_a.arrays.refused, net_b.arrays.refused)
+    assert np.array_equal(net_a.arrays.completed, net_b.arrays.completed)
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_feasible_schedule_matches_scalar(self, seed):
+        n = 40
+        utility = make_utility(n, seed=seed)
+        schedule = schedule_for(n, PERIOD.slots_per_period)
+        fast_engine = build_engine(n, utility, schedule, vectorized=True)
+        slow_engine = build_engine(n, utility, schedule, vectorized=False)
+        assert_bit_identical(fast_engine.run(12), slow_engine.run(12))
+        assert_same_node_state(fast_engine.network, slow_engine.network)
+
+    def test_refusals_match_scalar(self):
+        # T=2 commands each node twice per recharge window (rho=3):
+        # every second command is refused, deterministically.
+        n = 30
+        utility = make_utility(n, seed=4)
+        schedule = schedule_for(n, 2)
+        fast_engine = build_engine(n, utility, schedule, vectorized=True)
+        slow_engine = build_engine(n, utility, schedule, vectorized=False)
+        fast = fast_engine.run(10)
+        slow = slow_engine.run(10)
+        assert fast.refused_activations > 0
+        assert_bit_identical(fast, slow)
+        assert_same_node_state(fast_engine.network, slow_engine.network)
+
+    def test_heterogeneous_periods_match_scalar(self):
+        n = 30
+        utility = make_utility(n, seed=6)
+        overrides = {
+            i: ChargingPeriod(PERIOD.discharge_time, PERIOD.discharge_time * 6)
+            for i in range(0, n, 4)
+        }
+        schedule = schedule_for(n, PERIOD.slots_per_period)
+        fast_engine = build_engine(
+            n, utility, schedule, vectorized=True, node_periods=overrides
+        )
+        slow_engine = build_engine(
+            n, utility, schedule, vectorized=False, node_periods=overrides
+        )
+        assert_bit_identical(fast_engine.run(16), slow_engine.run(16))
+        assert_same_node_state(fast_engine.network, slow_engine.network)
+
+    def test_partial_charge_threshold_matches_scalar(self):
+        n = 30
+        utility = make_utility(n, seed=8)
+        schedule = schedule_for(n, 3)
+        fast_engine = build_engine(
+            n, utility, schedule, vectorized=True, ready_threshold=0.6
+        )
+        slow_engine = build_engine(
+            n, utility, schedule, vectorized=False, ready_threshold=0.6
+        )
+        assert_bit_identical(fast_engine.run(12), slow_engine.run(12))
+        assert_same_node_state(fast_engine.network, slow_engine.network)
+
+    def test_checkpoint_crosses_paths(self):
+        # A checkpoint written by the vectorized engine restores into a
+        # scalar engine (and vice versa) with an identical continuation.
+        n = 24
+        utility = make_utility(n, seed=10)
+        schedule = schedule_for(n, PERIOD.slots_per_period)
+        reference = build_engine(n, utility, schedule, vectorized=True)
+        full = reference.run(8)
+
+        fast_engine = build_engine(n, utility, schedule, vectorized=True)
+        fast_engine.run(4)
+        state = fast_engine.checkpoint()
+
+        slow_engine = build_engine(n, utility, schedule, vectorized=False)
+        slow_engine.restore(state)
+        assert_bit_identical(slow_engine.advance(4), full)
+
+
+class TestEligibility:
+    def test_auto_mode_prefers_vectorized(self):
+        n = 10
+        utility = make_utility(n)
+        engine = build_engine(
+            n, utility, schedule_for(n, 4), vectorized=None
+        )
+        assert engine._vectorized
+
+    def test_observe_override_forces_scalar(self):
+        class Watching(SchedulePolicy):
+            def observe(self, slot, reports):
+                pass
+
+        n = 10
+        utility = make_utility(n)
+        network = SensorNetwork(n, PERIOD, utility)
+        engine = SimulationEngine(
+            network, Watching(schedule_for(n, 4)), vectorized=None
+        )
+        assert not engine._vectorized
+        with pytest.raises(ValueError, match="observe"):
+            SimulationEngine(
+                network, Watching(schedule_for(n, 4)), vectorized=True
+            )
+
+    def test_node_reports_force_scalar(self):
+        n = 10
+        utility = make_utility(n)
+        network = SensorNetwork(n, PERIOD, utility)
+        engine = SimulationEngine(
+            network,
+            SchedulePolicy(schedule_for(n, 4)),
+            keep_node_reports=True,
+        )
+        assert not engine._vectorized
+
+
+class TestSensingFilterCallSites:
+    """The filter's three call sites: begin, per-slot step, restore."""
+
+    @staticmethod
+    def stuck(sensor, slot):
+        return sensor % 4 != 0
+
+    def test_begin_disables_memo(self):
+        n = 20
+        utility = make_utility(n)
+        engine = build_engine(
+            n,
+            utility,
+            schedule_for(n, 4),
+            vectorized=None,
+            sensing_filter=self.stuck,
+        )
+        engine.run(2)
+        assert engine._accumulator._memo is None
+        unfiltered = build_engine(
+            n, utility, schedule_for(n, 4), vectorized=None
+        )
+        unfiltered.run(2)
+        assert unfiltered._accumulator._memo is not None
+
+    @pytest.mark.parametrize("vectorized", [True, False])
+    def test_step_excludes_after_activity_mask(self, vectorized):
+        # Stuck sensors are dropped from the recorded active set, but
+        # their batteries drain exactly as if they had reported: the
+        # filter applies after the mask, not to the node dynamics.
+        n = 20
+        utility = make_utility(n, seed=3)
+        schedule = schedule_for(n, 4)
+        filtered = build_engine(
+            n,
+            utility,
+            schedule,
+            vectorized=vectorized,
+            sensing_filter=self.stuck,
+        )
+        plain = build_engine(n, utility, schedule, vectorized=vectorized)
+        filtered_result = filtered.run(4)
+        plain.run(4)
+        for record in filtered_result.accumulator.records:
+            assert all(v % 4 != 0 for v in record.active_set)
+        assert_same_node_state(filtered.network, plain.network)
+
+    def test_filtered_paths_agree_bitwise(self):
+        n = 30
+        utility = make_utility(n, seed=5)
+        schedule = schedule_for(n, 4)
+        fast_engine = build_engine(
+            n, utility, schedule, vectorized=True, sensing_filter=self.stuck
+        )
+        slow_engine = build_engine(
+            n, utility, schedule, vectorized=False, sensing_filter=self.stuck
+        )
+        assert_bit_identical(fast_engine.run(8), slow_engine.run(8))
+
+    def test_restore_keeps_filter_semantics(self):
+        n = 24
+        utility = make_utility(n, seed=7)
+        schedule = schedule_for(n, 4)
+        reference = build_engine(
+            n, utility, schedule, vectorized=None, sensing_filter=self.stuck
+        )
+        full = reference.run(8)
+
+        first = build_engine(
+            n, utility, schedule, vectorized=None, sensing_filter=self.stuck
+        )
+        first.run(4)
+        state = first.checkpoint()
+
+        resumed = build_engine(
+            n, utility, schedule, vectorized=None, sensing_filter=self.stuck
+        )
+        resumed.restore(state)
+        assert resumed._accumulator._memo is None  # third call site
+        assert_bit_identical(resumed.advance(4), full)

@@ -38,6 +38,29 @@ class TestSolve:
         with pytest.raises(SystemExit):
             main(["solve", "--method", "sorcery"])
 
+    def test_hef_method(self, capsys):
+        assert main(["solve", "--sensors", "8", "--method", "hef"]) == 0
+        out = capsys.readouterr().out
+        assert "method  : hef" in out
+        assert "avg utility per slot" in out
+
+    def test_hef_json_is_deterministic(self, capsys):
+        args = ["solve", "--sensors", "10", "--method", "hef", "--json",
+                "--no-cache"]
+        assert main(args) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(args) == 0
+        second = json.loads(capsys.readouterr().out)
+        first.pop("solve_seconds", None)
+        second.pop("solve_seconds", None)
+        assert first == second
+
+    def test_hef_rejects_dense_regime(self, capsys):
+        assert main(
+            ["solve", "--sensors", "8", "--rho", "0.5", "--method", "hef"]
+        ) == 2
+        assert "sparse" in capsys.readouterr().err
+
 
 class TestSimulate:
     def test_greedy_plan_executes_cleanly(self, capsys):

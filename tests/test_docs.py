@@ -15,6 +15,7 @@ DOCS = [
     ROOT / "docs" / "SERVING.md",
     ROOT / "docs" / "SESSIONS.md",
     ROOT / "docs" / "SCALING.md",
+    ROOT / "docs" / "FLEET.md",
 ]
 
 
